@@ -1,0 +1,143 @@
+//! Controller counters (Table 2).
+//!
+//! The CGRA controller owns a handful of iterators shared by all AGUs:
+//!
+//! - `t_cycle` — incremented every clock, reset when a new tile starts;
+//! - `t_wrap` — incremented on every weight-row change, reset per tile;
+//! - `t_wcycle` — like `t_cycle` but reset whenever `t_wrap` changes;
+//! - `tid_r`, `tid_c` — the tile's coordinates within the current block.
+//!
+//! Mappings advance the clock with mapping-specific weight-row lengths; the
+//! helpers here keep the three counters mutually consistent by construction.
+
+/// The per-tile cycle counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TileClock {
+    /// Cycle count within the current tile.
+    pub t_cycle: u64,
+    /// Weight-row (wrap) count within the current tile.
+    pub t_wrap: u64,
+    /// Cycle count within the current weight row.
+    pub t_wcycle: u64,
+}
+
+impl TileClock {
+    /// The state at the start of a tile.
+    #[must_use]
+    pub fn start() -> Self {
+        TileClock::default()
+    }
+
+    /// Advance one cycle; `row_change` marks a weight-row boundary (the
+    /// condition that increments `t_wrap` and resets `t_wcycle`).
+    pub fn step(&mut self, row_change: bool) {
+        self.t_cycle += 1;
+        if row_change {
+            self.t_wrap += 1;
+            self.t_wcycle = 0;
+        } else {
+            self.t_wcycle += 1;
+        }
+    }
+
+    /// Reset for a new tile.
+    pub fn reset(&mut self) {
+        *self = TileClock::start();
+    }
+}
+
+/// Tile coordinates within the current block (`tid_r`, `tid_c`) and the
+/// block geometry (`B_r × B_c` tiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TilePos {
+    /// Zero-based tile row within the block.
+    pub tid_r: usize,
+    /// Zero-based tile column within the block.
+    pub tid_c: usize,
+    /// Tiles per block, row direction.
+    pub b_r: usize,
+    /// Tiles per block, column direction.
+    pub b_c: usize,
+}
+
+impl TilePos {
+    /// The first tile of a `b_r × b_c` block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either block dimension is zero.
+    #[must_use]
+    pub fn first(b_r: usize, b_c: usize) -> Self {
+        assert!(b_r > 0 && b_c > 0, "block dimensions must be nonzero");
+        TilePos {
+            tid_r: 0,
+            tid_c: 0,
+            b_r,
+            b_c,
+        }
+    }
+
+    /// Advance to the next tile in row-major order; returns `false` when the
+    /// block is exhausted (position wraps to the first tile).
+    pub fn advance(&mut self) -> bool {
+        self.tid_c += 1;
+        if self.tid_c == self.b_c {
+            self.tid_c = 0;
+            self.tid_r += 1;
+            if self.tid_r == self.b_r {
+                self.tid_r = 0;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Linear tile index within the block.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.tid_r * self.b_c + self.tid_c
+    }
+
+    /// Total tiles in the block.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.b_r * self.b_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_counts_rows() {
+        let mut c = TileClock::start();
+        c.step(false);
+        c.step(false);
+        assert_eq!((c.t_cycle, c.t_wrap, c.t_wcycle), (2, 0, 2));
+        c.step(true);
+        assert_eq!((c.t_cycle, c.t_wrap, c.t_wcycle), (3, 1, 0));
+        c.step(false);
+        assert_eq!((c.t_cycle, c.t_wrap, c.t_wcycle), (4, 1, 1));
+        c.reset();
+        assert_eq!(c, TileClock::start());
+    }
+
+    #[test]
+    fn tile_pos_row_major_sweep() {
+        let mut p = TilePos::first(2, 3);
+        let mut seen = vec![p.index()];
+        while p.advance() {
+            seen.push(p.index());
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(p.index(), 0, "wraps to origin");
+        assert_eq!(p.tiles(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_block_panics() {
+        let _ = TilePos::first(0, 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! DWC address generation for arbitrary stride (Algorithm 2, §5.2).
+//!
+//! The tile computes an `N_r × N_c` output patch of one channel. For each of
+//! the `K` weight rows (`t_wrap`), H-AGU `r` streams the `(N_c−1)·S + K`
+//! IFM elements of input row `(tid_r·N_r + r)·S + t_wrap` across its H-bus;
+//! PE `(r, c)` MACs whenever the streamed `x` position falls in its window
+//! (`c·S ≤ t_wcycle < c·S + K`), taking the weight from V-bus `c`
+//! (`W(t_wrap, t_wcycle − c·S)`, weights duplicated across V-MEM banks).
+//! A final phase stores the tile, one output column per cycle per row port.
+//!
+//! Data layout (Fig. 10): each run of `S` consecutive IFM rows maps to the
+//! next H-MEM bank round-robin, and rows within a bank are concatenated, so
+//! the `N_r` H-AGUs provably never collide on a bank (the 2nd AGU always
+//! reads `S` rows below the 1st).
+//!
+//! Tile latency: `K·((N_c−1)·S + K) + N_c + 1`.
+
+use crate::counters::{TileClock, TilePos};
+use crate::req::MemRequest;
+
+/// Algorithm-2 AGU configuration for one DWC (arbitrary stride) block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DwcGeneralAgu {
+    /// Kernel size `K`.
+    pub k: usize,
+    /// Stride `S`.
+    pub s: usize,
+    /// Array rows `N_r`.
+    pub nr: usize,
+    /// Array columns `N_c`.
+    pub nc: usize,
+    /// Base word offset of the IFM region in each H-MEM bank.
+    pub addr_ifm: usize,
+    /// Base word offset of the OFM region in each H-MEM bank.
+    pub addr_ofm: usize,
+    /// Base word offset of the weight region in each V-MEM bank.
+    pub addr_w: usize,
+}
+
+impl DwcGeneralAgu {
+    /// IFM elements streamed per weight row.
+    #[must_use]
+    pub fn row_stream_len(&self) -> usize {
+        (self.nc - 1) * self.s + self.k
+    }
+
+    /// Input-block width in words: `S·(B_c·N_c − 1) + K` (Algorithm 2
+    /// line 1).
+    #[must_use]
+    pub fn block_w(&self, b_c: usize) -> usize {
+        self.s * (b_c * self.nc - 1) + self.k
+    }
+
+    /// Tile latency in cycles.
+    #[must_use]
+    pub fn tile_latency(&self) -> u64 {
+        (self.k * self.row_stream_len() + 1 + self.nc) as u64
+    }
+
+    /// Length of phase `t_wrap` (weight rows `0..K`, then bubble + store).
+    #[must_use]
+    pub fn phase_len(&self, t_wrap: u64) -> Option<u64> {
+        if (t_wrap as usize) < self.k {
+            Some(self.row_stream_len() as u64)
+        } else if t_wrap as usize == self.k {
+            Some((self.nc + 1) as u64)
+        } else {
+            None
+        }
+    }
+
+    /// H-AGU request for row port `aid_r` (Algorithm 2).
+    #[must_use]
+    pub fn h_request(&self, clock: TileClock, pos: TilePos, aid_r: usize) -> Option<MemRequest> {
+        let t_wrap = clock.t_wrap as usize;
+        let t_wcycle = clock.t_wcycle as usize;
+        let block_w = self.block_w(pos.b_c);
+        if t_wrap < self.k {
+            // Load: input row (tid_r·N_r + aid_r)·S + t_wrap, bank round-robin
+            // over groups of S rows.
+            let over_bank = (t_wrap / self.s + aid_r) / self.nr;
+            let bank = (t_wrap / self.s + aid_r) % self.nr;
+            let addr = pos.tid_r * block_w * self.s
+                + pos.tid_c * self.s * self.nc
+                + over_bank * block_w * self.s
+                + t_wcycle
+                + (t_wrap % self.s) * block_w
+                + self.addr_ifm;
+            Some(MemRequest::load(bank, addr))
+        } else if t_wcycle >= 1 && t_wcycle <= self.nc {
+            // Store phase (after the pipeline bubble at t_wcycle = 0).
+            let j = t_wcycle - 1;
+            Some(MemRequest::store(
+                aid_r,
+                pos.tid_c * self.nc + pos.tid_r * self.nc * pos.b_c + j + self.addr_ofm,
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// V-AGU request for column port `aid_c`: §5.2's
+    /// `addr = t_wcycle − AID_c·S + t_wrap·K`, valid only while the column's
+    /// kernel window is active. Weights are duplicated in every V-MEM bank.
+    #[must_use]
+    pub fn v_request(&self, clock: TileClock, _pos: TilePos, aid_c: usize) -> Option<MemRequest> {
+        let t_wrap = clock.t_wrap as usize;
+        let t_wcycle = clock.t_wcycle as usize;
+        if t_wrap >= self.k {
+            return None;
+        }
+        let lo = aid_c * self.s;
+        if t_wcycle < lo || t_wcycle >= lo + self.k {
+            return None;
+        }
+        Some(MemRequest::load(aid_c, t_wcycle - lo + t_wrap * self.k + self.addr_w))
+    }
+
+    /// Whether PE column `c` MACs this cycle, and with which kernel tap
+    /// `kx = t_wcycle − c·S`.
+    #[must_use]
+    pub fn active_tap(&self, clock: TileClock, c: usize) -> Option<usize> {
+        let t_wrap = clock.t_wrap as usize;
+        let t_wcycle = clock.t_wcycle as usize;
+        if t_wrap >= self.k {
+            return None;
+        }
+        let lo = c * self.s;
+        (t_wcycle >= lo && t_wcycle < lo + self.k).then(|| t_wcycle - lo)
+    }
+
+    /// Which PE column's output the row-store port carries, if this is a
+    /// store cycle.
+    #[must_use]
+    pub fn store_column(&self, clock: TileClock) -> Option<usize> {
+        let t_wrap = clock.t_wrap as usize;
+        let t_wcycle = clock.t_wcycle as usize;
+        (t_wrap == self.k && (1..=self.nc).contains(&t_wcycle)).then(|| t_wcycle - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::req::AccessKind;
+
+    /// The paper's running example: K = 3, S = 2 on a 2×2 array.
+    fn fig5() -> DwcGeneralAgu {
+        DwcGeneralAgu {
+            k: 3,
+            s: 2,
+            nr: 2,
+            nc: 2,
+            addr_ifm: 0,
+            addr_ofm: 500,
+            addr_w: 0,
+        }
+    }
+
+    fn clock(agu: &DwcGeneralAgu, cycle: u64) -> TileClock {
+        // Drive the clock through the phase structure up to `cycle`.
+        let mut c = TileClock::start();
+        let mut remaining = agu.phase_len(0).unwrap();
+        for _ in 0..cycle {
+            remaining -= 1;
+            let row_change = remaining == 0;
+            c.step(row_change);
+            if row_change {
+                remaining = agu.phase_len(c.t_wrap).unwrap_or(u64::MAX);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn latency_matches_table3() {
+        // K((N_c−1)S+K) = 3·(2+3) = 15, +1 bubble +2 store = 18.
+        assert_eq!(fig5().tile_latency(), 18);
+    }
+
+    #[test]
+    fn fig5_schedule_row0() {
+        // Cycle 1..=5 of Fig. 5b: PE(r,0) active taps 0,1,2 on cycles 0–2;
+        // PE(r,1) taps 0,1,2 on cycles 2–4.
+        let a = fig5();
+        let taps0: Vec<_> = (0..5).map(|t| a.active_tap(clock(&a, t), 0)).collect();
+        let taps1: Vec<_> = (0..5).map(|t| a.active_tap(clock(&a, t), 1)).collect();
+        assert_eq!(taps0, vec![Some(0), Some(1), Some(2), None, None]);
+        assert_eq!(taps1, vec![None, None, Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn h_loads_walk_the_input_row() {
+        let a = fig5();
+        let pos = TilePos::first(1, 1);
+        // Weight row 0: AGU 0 reads bank 0 offsets 0..5 (block_w = S(BcNc−1)+K = 5).
+        for t in 0..5 {
+            let r = a.h_request(clock(&a, t), pos, 0).unwrap();
+            assert_eq!((r.bank, r.offset, r.kind), (0, t as usize, AccessKind::Load));
+        }
+        // Weight row 1 is the second row of bank 0's group (offset +block_w).
+        let r = a.h_request(clock(&a, 5), pos, 0).unwrap();
+        assert_eq!((r.bank, r.offset), (0, 5));
+        // Weight row 2 wraps to the next bank group (over_bank for AGU 1).
+        let r = a.h_request(clock(&a, 10), pos, 1).unwrap();
+        assert_eq!(r.bank, 0, "AGU1 row 2 lands in bank (1 + 2/2) % 2 = 0");
+    }
+
+    #[test]
+    fn no_h_bank_conflicts_all_cycles() {
+        let a = fig5();
+        let pos = TilePos::first(2, 2);
+        for t in 0..a.tile_latency() {
+            let c = clock(&a, t);
+            let banks: Vec<_> = (0..2)
+                .filter_map(|r| a.h_request(c, pos, r))
+                .map(|r| (r.kind, r.bank))
+                .collect();
+            let mut dedup = banks.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(banks.len(), dedup.len(), "bank conflict at cycle {t}: {banks:?}");
+        }
+    }
+
+    #[test]
+    fn v_requests_follow_weight_window() {
+        let a = fig5();
+        let pos = TilePos::first(1, 1);
+        // Column 1 (S=2) is active cycles 2..5 of each weight row, reading
+        // W(t_wrap, 0..3).
+        assert_eq!(a.v_request(clock(&a, 1), pos, 1), None);
+        let r = a.v_request(clock(&a, 2), pos, 1).unwrap();
+        assert_eq!(r.offset, 0);
+        let r = a.v_request(clock(&a, 9), pos, 1).unwrap(); // row1 t_wcycle=4
+        assert_eq!(r.offset, 2 + 3);
+    }
+
+    #[test]
+    fn store_phase_after_bubble() {
+        let a = fig5();
+        let pos = TilePos::first(1, 1);
+        let t_bubble = 15;
+        assert_eq!(a.h_request(clock(&a, t_bubble), pos, 0), None);
+        let r = a.h_request(clock(&a, 16), pos, 0).unwrap();
+        assert_eq!(r.kind, AccessKind::Store);
+        assert_eq!(r.offset, 500);
+        assert_eq!(a.store_column(clock(&a, 17)), Some(1));
+    }
+
+    #[test]
+    fn stride1_specialization_consistent() {
+        let a = DwcGeneralAgu {
+            k: 3,
+            s: 1,
+            nr: 4,
+            nc: 4,
+            addr_ifm: 0,
+            addr_ofm: 0,
+            addr_w: 0,
+        };
+        assert_eq!(a.row_stream_len(), 6);
+        assert_eq!(a.tile_latency(), 3 * 6 + 1 + 4);
+    }
+
+    #[test]
+    fn phase_lens_sum_to_latency() {
+        let a = fig5();
+        let total: u64 = (0..).map_while(|w| a.phase_len(w)).sum();
+        assert_eq!(total, a.tile_latency());
+    }
+}

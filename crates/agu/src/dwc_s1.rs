@@ -1,0 +1,452 @@
+//! Stride-1 DWC address generation (Algorithm 3, §4.2/§5.3, Figs. 6–8, 11).
+//!
+//! The optimized stride-1 mapping is output-stationary with operand reuse:
+//!
+//! - **Prologue** (`N_c − 1` cycles): IFM pixels stream in on the H-busses
+//!   at the east edge and shift west one PE per cycle through the operand
+//!   reuse network, pre-filling the ORN latches.
+//! - **EE / SS / EW** (`K²` cycles): the kernel is walked in boustrophedon
+//!   order (row 0 west→east, SS down one row, row 1 east→west, SS, …). All
+//!   PEs share the broadcast GRF weight; the expanding edge column loads
+//!   fresh IFM from its H-bus while everyone else reuses a neighbour's ORN
+//!   latch. Each SS step loads the southernmost row's `N_c` fresh values in
+//!   a single cycle through the V-busses (Fig. 11 layout).
+//! - **Store** (`N_c` cycles after a bubble): one output column per cycle
+//!   per row port, then one drain cycle.
+//!
+//! Tile latency: `K² + 2·N_c + 1` (Algorithm 3's `tile_latency`
+//! `1 + 2·N_c + K²`).
+//!
+//! Algorithm 3 is written for `K = 3` (its `block_w = 2 + B_c·N_c` hard-codes
+//! `K − 1 = 2`); we generalize the constant to `K − 1`. We also correct two
+//! thesis typos: the store-address `AID_c` is read as `tid_c` (as in
+//! Algorithm 1), and the store offset is zero-based.
+
+use crate::counters::{TileClock, TilePos};
+use crate::req::MemRequest;
+
+/// Where a PE's fresh operand comes from in one schedule cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum S1Phase {
+    /// Prologue: H-bus feeds the east edge; latches shift west.
+    Prologue,
+    /// Expand East: east column loads from H-bus, others reuse ORN-east.
+    ExpandEast {
+        /// Kernel tap being processed.
+        ky: usize,
+        /// Kernel tap being processed.
+        kx: usize,
+    },
+    /// Shift South: south row loads from V-bus, others reuse ORN-south.
+    ShiftSouth {
+        /// Kernel tap being processed.
+        ky: usize,
+        /// Kernel tap being processed.
+        kx: usize,
+    },
+    /// Expand West: west column loads from H-bus, others reuse ORN-west.
+    ExpandWest {
+        /// Kernel tap being processed.
+        ky: usize,
+        /// Kernel tap being processed.
+        kx: usize,
+    },
+    /// Pipeline bubble between compute and store.
+    Bubble,
+    /// Store cycle `j` (output column `j`).
+    Store(usize),
+}
+
+/// Algorithm-3 AGU configuration for one stride-1 DWC block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DwcS1Agu {
+    /// Kernel size `K` (stride is 1 by definition of this mapping).
+    pub k: usize,
+    /// Array rows `N_r`.
+    pub nr: usize,
+    /// Array columns `N_c`.
+    pub nc: usize,
+    /// Base word offset of the IFM region in each H-MEM bank.
+    pub addr_ifm: usize,
+    /// Base word offset of the OFM region in each H-MEM bank.
+    pub addr_ofm: usize,
+    /// Base word offset of the SS data region in each V-MEM bank.
+    pub addr_vm: usize,
+}
+
+impl DwcS1Agu {
+    /// Input-block width in words: `B_c·N_c + K − 1` (Algorithm 3 line 1,
+    /// generalized from its `K = 3` form `2 + B_c·N_c`).
+    #[must_use]
+    pub fn block_w(&self, b_c: usize) -> usize {
+        b_c * self.nc + self.k - 1
+    }
+
+    /// Tile latency: `K² + 2·N_c + 1`.
+    #[must_use]
+    pub fn tile_latency(&self) -> u64 {
+        (self.k * self.k + 2 * self.nc + 1) as u64
+    }
+
+    /// Length of phase `t_wrap`: wrap 0 is prologue + kernel row 0; wraps
+    /// `1..K−1` are SS + one kernel row; wrap `K` is bubble + stores + drain.
+    #[must_use]
+    pub fn phase_len(&self, t_wrap: u64) -> Option<u64> {
+        let w = t_wrap as usize;
+        if w == 0 {
+            Some((self.nc - 1 + self.k) as u64)
+        } else if w < self.k {
+            Some(self.k as u64)
+        } else if w == self.k {
+            Some((self.nc + 2) as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Classify the cycle into its schedule phase.
+    #[must_use]
+    pub fn phase(&self, clock: TileClock) -> S1Phase {
+        let w = clock.t_wrap as usize;
+        let t = clock.t_wcycle as usize;
+        if w == 0 {
+            if t < self.nc - 1 {
+                S1Phase::Prologue
+            } else {
+                S1Phase::ExpandEast {
+                    ky: 0,
+                    kx: t - (self.nc - 1),
+                }
+            }
+        } else if w < self.k {
+            let ky = w;
+            if t == 0 {
+                let kx = if ky % 2 == 1 { self.k - 1 } else { 0 };
+                S1Phase::ShiftSouth { ky, kx }
+            } else if ky % 2 == 1 {
+                S1Phase::ExpandWest { ky, kx: self.k - 1 - t }
+            } else {
+                S1Phase::ExpandEast { ky, kx: t }
+            }
+        } else if t == 0 || t == self.nc + 1 {
+            S1Phase::Bubble
+        } else {
+            S1Phase::Store(t - 1)
+        }
+    }
+
+    /// The GRF index (row-major `ky·K + kx`) broadcast this cycle, if it is
+    /// a compute cycle.
+    #[must_use]
+    pub fn grf_index(&self, clock: TileClock) -> Option<usize> {
+        match self.phase(clock) {
+            S1Phase::ExpandEast { ky, kx } | S1Phase::ShiftSouth { ky, kx } | S1Phase::ExpandWest { ky, kx } => {
+                Some(ky * self.k + kx)
+            }
+            _ => None,
+        }
+    }
+
+    /// H-AGU request for row port `aid_r` (Algorithm 3).
+    #[must_use]
+    pub fn h_request(&self, clock: TileClock, pos: TilePos, aid_r: usize) -> Option<MemRequest> {
+        let w = clock.t_wrap as usize;
+        let t = clock.t_wcycle as usize;
+        let block_w = self.block_w(pos.b_c);
+        if w >= self.k {
+            // Store phase (Algorithm 3 lines 12–13, zero-based).
+            let j = self.store_column(clock)?;
+            return Some(MemRequest::store(
+                aid_r,
+                pos.tid_c * self.nc + pos.tid_r * self.nc * pos.b_c + j + self.addr_ofm,
+            ));
+        }
+        // Load phases: which x offset does this cycle fetch?
+        let x = if w == 0 {
+            // Prologue and kernel row 0 walk x = 0, 1, 2, … (line 19).
+            t
+        } else if w % 2 == 1 {
+            // Odd kernel rows expand west: x = K−1−t (line 23);
+            // t = 0 is the SS cycle (V-bus), no H load.
+            if t == 0 {
+                return None;
+            }
+            self.k - 1 - t
+        } else {
+            // Even kernel rows expand east: x = N_c−1+t (line 26).
+            if t == 0 {
+                return None;
+            }
+            self.nc - 1 + t
+        };
+        // Input row tid_r·N_r + aid_r + t_wrap, one row per bank round-robin.
+        let over_bank = (w + aid_r) / self.nr;
+        let bank = (w + aid_r) % self.nr;
+        let addr = pos.tid_c * self.nc + pos.tid_r * block_w + over_bank * block_w + x + self.addr_ifm;
+        Some(MemRequest::load(bank, addr))
+    }
+
+    /// V-AGU request for column port `aid_c`: SS cycles read one
+    /// pre-partitioned value per column (Fig. 11).
+    #[must_use]
+    pub fn v_request(&self, clock: TileClock, pos: TilePos, aid_c: usize) -> Option<MemRequest> {
+        match self.phase(clock) {
+            S1Phase::ShiftSouth { ky, .. } => {
+                // Entry (tid_r, ky, tid_c): (K−1)·B_c entries per tile row.
+                let offset = pos.tid_r * (self.k - 1) * pos.b_c + (ky - 1) * pos.b_c + pos.tid_c + self.addr_vm;
+                Some(MemRequest::load(aid_c, offset))
+            }
+            _ => None,
+        }
+    }
+
+    /// Which PE column's output the row-store port carries, if this is a
+    /// store cycle.
+    #[must_use]
+    pub fn store_column(&self, clock: TileClock) -> Option<usize> {
+        match self.phase(clock) {
+            S1Phase::Store(j) => Some(j),
+            _ => None,
+        }
+    }
+
+    /// The kernel tap `(ky, kx)` whose IFM value the *fresh-loading* PEs
+    /// consume this cycle, together with the tile-local coordinates of the
+    /// IFM element loaded on H-bus `aid_r` (`None` outside load cycles).
+    /// Used by layout builders and tests to cross-check the address stream
+    /// against the logical access pattern of Fig. 7b.
+    #[must_use]
+    pub fn h_loaded_ifm_coord(&self, clock: TileClock, pos: TilePos, aid_r: usize) -> Option<(usize, usize)> {
+        let w = clock.t_wrap as usize;
+        let t = clock.t_wcycle as usize;
+        if w >= self.k {
+            return None;
+        }
+        let x = if w == 0 {
+            t
+        } else if w % 2 == 1 {
+            if t == 0 {
+                return None;
+            }
+            self.k - 1 - t
+        } else {
+            if t == 0 {
+                return None;
+            }
+            self.nc - 1 + t
+        };
+        // Tile-local input coordinates (row, col).
+        Some((pos.tid_r * self.nr + aid_r + w, pos.tid_c * self.nc + x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::req::AccessKind;
+
+    /// The paper's running example: K = 3 on a 2×2 array.
+    fn fig6() -> DwcS1Agu {
+        DwcS1Agu {
+            k: 3,
+            nr: 2,
+            nc: 2,
+            addr_ifm: 0,
+            addr_ofm: 900,
+            addr_vm: 0,
+        }
+    }
+
+    fn clock(agu: &DwcS1Agu, cycle: u64) -> TileClock {
+        let mut c = TileClock::start();
+        let mut remaining = agu.phase_len(0).unwrap();
+        for _ in 0..cycle {
+            remaining -= 1;
+            let row_change = remaining == 0;
+            c.step(row_change);
+            if row_change {
+                remaining = agu.phase_len(c.t_wrap).unwrap_or(u64::MAX);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn latency_matches_algorithm3() {
+        // 1 + 2·N_c + K² = 1 + 4 + 9 = 14 for the 2×2, K=3 example;
+        // 18 for the 4×4 used in Table 5.
+        assert_eq!(fig6().tile_latency(), 14);
+        let t5 = DwcS1Agu {
+            k: 3,
+            nr: 4,
+            nc: 4,
+            addr_ifm: 0,
+            addr_ofm: 0,
+            addr_vm: 0,
+        };
+        assert_eq!(t5.tile_latency(), 18);
+    }
+
+    #[test]
+    fn phase_sequence_is_ee_ss_ew_ss_ee() {
+        // K=3, N_c=2: prologue(1), EE row0 (3), SS, EW(2), SS, EE(2),
+        // bubble, store(2), bubble — 14 cycles total.
+        let a = fig6();
+        let phases: Vec<_> = (0..a.tile_latency()).map(|t| a.phase(clock(&a, t))).collect();
+        use S1Phase::*;
+        assert_eq!(
+            phases,
+            vec![
+                Prologue,
+                ExpandEast { ky: 0, kx: 0 },
+                ExpandEast { ky: 0, kx: 1 },
+                ExpandEast { ky: 0, kx: 2 },
+                ShiftSouth { ky: 1, kx: 2 },
+                ExpandWest { ky: 1, kx: 1 },
+                ExpandWest { ky: 1, kx: 0 },
+                ShiftSouth { ky: 2, kx: 0 },
+                ExpandEast { ky: 2, kx: 1 },
+                ExpandEast { ky: 2, kx: 2 },
+                Bubble,
+                Store(0),
+                Store(1),
+                Bubble,
+            ]
+        );
+    }
+
+    #[test]
+    fn grf_walks_kernel_boustrophedon() {
+        let a = fig6();
+        let seq: Vec<_> = (0..a.tile_latency()).filter_map(|t| a.grf_index(clock(&a, t))).collect();
+        // W00 W01 W02 | W12 W11 W10 | W20 W21 W22 (row-major indices).
+        assert_eq!(seq, vec![0, 1, 2, 5, 4, 3, 6, 7, 8]);
+    }
+
+    #[test]
+    fn every_weight_tap_appears_exactly_once() {
+        for k in [1usize, 2, 3, 5] {
+            let a = DwcS1Agu {
+                k,
+                nr: 3,
+                nc: 4,
+                addr_ifm: 0,
+                addr_ofm: 0,
+                addr_vm: 0,
+            };
+            let mut seq: Vec<_> = (0..a.tile_latency()).filter_map(|t| a.grf_index(clock(&a, t))).collect();
+            seq.sort_unstable();
+            assert_eq!(seq, (0..k * k).collect::<Vec<_>>(), "K={k}");
+        }
+    }
+
+    #[test]
+    fn h_loads_match_fig7_access_pattern() {
+        // Fig. 7b (2×2, K=3): tile-local IFM coords loaded fresh per cycle.
+        let a = fig6();
+        let pos = TilePos::first(1, 1);
+        // Prologue cycle 0 loads column x=0 of rows 0..2 (one per H-bus).
+        assert_eq!(a.h_loaded_ifm_coord(clock(&a, 0), pos, 0), Some((0, 0)));
+        assert_eq!(a.h_loaded_ifm_coord(clock(&a, 0), pos, 1), Some((1, 0)));
+        // EE row0 kx=2 (cycle 3) loads x = N_c−1+kx = 3.
+        assert_eq!(a.h_loaded_ifm_coord(clock(&a, 3), pos, 0), Some((0, 3)));
+        // SS at cycle 4 loads nothing on H (V-bus serves it).
+        assert_eq!(a.h_loaded_ifm_coord(clock(&a, 4), pos, 0), None);
+        // EW ky=1 kx=1 (cycle 5) loads x = kx = 1 of row r+1.
+        assert_eq!(a.h_loaded_ifm_coord(clock(&a, 5), pos, 0), Some((1, 1)));
+        assert_eq!(a.h_loaded_ifm_coord(clock(&a, 5), pos, 1), Some((2, 1)));
+        // EE ky=2 kx=2 (cycle 9) loads x = N_c−1+t = 3 of row r+2.
+        assert_eq!(a.h_loaded_ifm_coord(clock(&a, 9), pos, 0), Some((2, 3)));
+    }
+
+    #[test]
+    fn h_banks_rotate_with_kernel_row() {
+        let a = fig6();
+        let pos = TilePos::first(1, 1);
+        // Wrap 0: AGU r reads bank r; wrap 1: bank (r+1) % N_r.
+        let r0 = a.h_request(clock(&a, 0), pos, 0).unwrap();
+        assert_eq!(r0.bank, 0);
+        let r1 = a.h_request(clock(&a, 5), pos, 0).unwrap(); // ky=1
+        assert_eq!(r1.bank, 1);
+        let r2 = a.h_request(clock(&a, 8), pos, 0).unwrap(); // ky=2
+        assert_eq!((r2.bank, r2.kind), (0, AccessKind::Load));
+    }
+
+    #[test]
+    fn no_h_bank_conflicts_all_cycles() {
+        for (nr, nc, k) in [(2, 2, 3), (4, 4, 3), (3, 4, 5), (4, 3, 2)] {
+            let a = DwcS1Agu {
+                k,
+                nr,
+                nc,
+                addr_ifm: 0,
+                addr_ofm: 0,
+                addr_vm: 0,
+            };
+            let pos = TilePos::first(2, 2);
+            for t in 0..a.tile_latency() {
+                let c = clock(&a, t);
+                let banks: Vec<_> = (0..nr)
+                    .filter_map(|r| a.h_request(c, pos, r))
+                    .map(|r| (r.kind, r.bank))
+                    .collect();
+                let mut dedup = banks.clone();
+                dedup.sort();
+                dedup.dedup();
+                assert_eq!(banks.len(), dedup.len(), "conflict nr={nr} k={k} t={t}: {banks:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn v_requests_only_on_ss_cycles() {
+        let a = fig6();
+        let pos = TilePos::first(2, 3);
+        let ss_cycles: Vec<_> = (0..a.tile_latency())
+            .filter(|&t| a.v_request(clock(&a, t), pos, 0).is_some())
+            .collect();
+        assert_eq!(ss_cycles, vec![4, 7]);
+        // Entry addressing: tid_r=0, ky=1 → offset (1−1)·B_c + tid_c.
+        let r = a.v_request(clock(&a, 4), pos, 1).unwrap();
+        assert_eq!((r.bank, r.offset), (1, 0));
+        let r = a.v_request(clock(&a, 7), pos, 1).unwrap();
+        assert_eq!(r.offset, 3);
+    }
+
+    #[test]
+    fn stores_after_bubble_cover_nc_columns() {
+        let a = fig6();
+        let mut pos = TilePos::first(2, 2);
+        pos.tid_r = 1;
+        pos.tid_c = 1;
+        let r = a.h_request(clock(&a, 11), pos, 0).unwrap();
+        assert_eq!(r.kind, AccessKind::Store);
+        // tid_c·N_c + tid_r·N_c·B_c + 0 + 900.
+        assert_eq!(r.offset, 2 + 4 + 900);
+        assert_eq!(a.store_column(clock(&a, 12)), Some(1));
+        assert_eq!(a.h_request(clock(&a, 13), pos, 0), None);
+    }
+
+    #[test]
+    fn phase_lens_sum_to_latency() {
+        let a = fig6();
+        let total: u64 = (0..).map_while(|w| a.phase_len(w)).sum();
+        assert_eq!(total, a.tile_latency());
+    }
+
+    #[test]
+    fn k1_degenerates_gracefully() {
+        // K = 1: no SS/EW phases at all; 1 MAC cycle after the prologue.
+        let a = DwcS1Agu {
+            k: 1,
+            nr: 2,
+            nc: 2,
+            addr_ifm: 0,
+            addr_ofm: 0,
+            addr_vm: 0,
+        };
+        assert_eq!(a.tile_latency(), 1 + 4 + 1);
+        let seq: Vec<_> = (0..a.tile_latency()).filter_map(|t| a.grf_index(clock(&a, t))).collect();
+        assert_eq!(seq, vec![0]);
+    }
+}

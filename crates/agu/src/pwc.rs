@@ -1,0 +1,195 @@
+//! PWC address generation (Algorithm 1 and the §5.1 V-AGU form).
+//!
+//! The PWC tile multiplies `N_r` output pixels by `N_c` output channels,
+//! streaming the `N_i` reduction dimension over `t_cycle`:
+//!
+//! - H-AGU `r` reads bank `r` at `tid_r·N_i + t_cycle` (Fig. 9 layout: pixel
+//!   `p` lives in bank `p mod N_r` with its channel vector contiguous);
+//! - V-AGU `c` reads bank `c` at `tid_c·N_i + t_cycle` (weight column
+//!   `o` in bank `o mod N_c`);
+//! - after a one-cycle pipeline bubble, H-AGU `r` writes the tile's `N_c`
+//!   outputs of pixel row `r` to the block-local OFM region, one per cycle.
+//!
+//! Tile latency: `N_i + N_c + 1`.
+
+use crate::counters::{TileClock, TilePos};
+use crate::req::MemRequest;
+
+/// Algorithm-1 AGU configuration for one PWC block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PwcAgu {
+    /// Reduction length `N_i` (input channels).
+    pub ni: usize,
+    /// Array columns `N_c`.
+    pub nc: usize,
+    /// Base word offset of the IFM region in each H-MEM bank.
+    pub addr_ifm: usize,
+    /// Base word offset of the OFM region in each H-MEM bank.
+    pub addr_ofm: usize,
+    /// Base word offset of the weight region in each V-MEM bank.
+    pub addr_w: usize,
+}
+
+impl PwcAgu {
+    /// Tile latency in cycles: stream `N_i`, one bubble, store `N_c`.
+    #[must_use]
+    pub fn tile_latency(&self) -> u64 {
+        (self.ni + self.nc + 1) as u64
+    }
+
+    /// Length of weight row `t_wrap`, or `None` past the last phase. PWC
+    /// has a single "row" (the whole reduction) plus the store phase, so the
+    /// controller never raises a mid-stream row change.
+    #[must_use]
+    pub fn phase_len(&self, t_wrap: u64) -> Option<u64> {
+        match t_wrap {
+            0 => Some(self.ni as u64),
+            1 => Some((self.nc + 1) as u64), // bubble + stores
+            _ => None,
+        }
+    }
+
+    /// H-AGU request for row `aid_r` at the given counters.
+    #[must_use]
+    pub fn h_request(&self, clock: TileClock, pos: TilePos, aid_r: usize) -> Option<MemRequest> {
+        let t = clock.t_cycle as usize;
+        if t < self.ni {
+            // Algorithm 1, load: addr = tid_r·N_i + t_cycle + addr_IFM.
+            Some(MemRequest::load(aid_r, pos.tid_r * self.ni + t + self.addr_ifm))
+        } else if t > self.ni && t < self.ni + 1 + self.nc {
+            // Algorithm 1, store: one output channel per cycle.
+            let j = t - self.ni - 1;
+            Some(MemRequest::store(
+                aid_r,
+                pos.tid_c * self.nc + pos.tid_r * self.nc * pos.b_c + j + self.addr_ofm,
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// V-AGU request for column `aid_c`: §5.1's
+    /// `addr = (AID_c << N_a) | (tid_c·N_i + t_cycle)`.
+    #[must_use]
+    pub fn v_request(&self, clock: TileClock, pos: TilePos, aid_c: usize) -> Option<MemRequest> {
+        let t = clock.t_cycle as usize;
+        (t < self.ni).then(|| MemRequest::load(aid_c, pos.tid_c * self.ni + t + self.addr_w))
+    }
+
+    /// Which PE column's output the row-store port carries at `t_cycle`, if
+    /// this is a store cycle.
+    #[must_use]
+    pub fn store_column(&self, clock: TileClock) -> Option<usize> {
+        let t = clock.t_cycle as usize;
+        (t > self.ni && t < self.ni + 1 + self.nc).then(|| t - self.ni - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::req::AccessKind;
+
+    fn agu() -> PwcAgu {
+        PwcAgu {
+            ni: 8,
+            nc: 4,
+            addr_ifm: 0,
+            addr_ofm: 100,
+            addr_w: 0,
+        }
+    }
+
+    fn clock_at(t: u64) -> TileClock {
+        let mut c = TileClock::start();
+        for _ in 0..t {
+            c.step(false);
+        }
+        c
+    }
+
+    #[test]
+    fn tile_latency_formula() {
+        assert_eq!(agu().tile_latency(), 13);
+    }
+
+    #[test]
+    fn loads_stream_reduction() {
+        let a = agu();
+        let pos = TilePos::first(2, 3);
+        for t in 0..8 {
+            let r = a.h_request(clock_at(t), pos, 1).unwrap();
+            assert_eq!(r.kind, AccessKind::Load);
+            assert_eq!(r.bank, 1);
+            assert_eq!(r.offset, t as usize);
+        }
+    }
+
+    #[test]
+    fn tile_row_offsets_advance_by_ni() {
+        let a = agu();
+        let mut pos = TilePos::first(2, 3);
+        pos.tid_r = 1;
+        let r = a.h_request(clock_at(0), pos, 0).unwrap();
+        assert_eq!(r.offset, 8);
+    }
+
+    #[test]
+    fn bubble_cycle_is_idle() {
+        let a = agu();
+        let pos = TilePos::first(1, 1);
+        assert_eq!(a.h_request(clock_at(8), pos, 0), None);
+        assert_eq!(a.v_request(clock_at(8), pos, 0), None);
+    }
+
+    #[test]
+    fn stores_cover_nc_output_channels() {
+        let a = agu();
+        let mut pos = TilePos::first(2, 2);
+        pos.tid_r = 1;
+        pos.tid_c = 1;
+        for j in 0..4usize {
+            let t = 9 + j as u64;
+            let r = a.h_request(clock_at(t), pos, 3).unwrap();
+            assert_eq!(r.kind, AccessKind::Store);
+            // tid_c·N_c + tid_r·N_c·B_c + j + 100
+            assert_eq!(r.offset, 4 + 8 + j + 100);
+            assert_eq!(a.store_column(clock_at(t)), Some(j));
+        }
+        assert_eq!(a.h_request(clock_at(13), pos, 3), None);
+    }
+
+    #[test]
+    fn v_loads_select_weight_block() {
+        let a = agu();
+        let mut pos = TilePos::first(1, 4);
+        pos.tid_c = 2;
+        let r = a.v_request(clock_at(3), pos, 1).unwrap();
+        assert_eq!(r.bank, 1);
+        assert_eq!(r.offset, 2 * 8 + 3);
+    }
+
+    #[test]
+    fn phase_lens_sum_to_latency() {
+        let a = agu();
+        let total: u64 = (0..).map_while(|w| a.phase_len(w)).sum();
+        assert_eq!(total, a.tile_latency());
+    }
+
+    #[test]
+    fn no_bank_conflicts_within_any_cycle() {
+        // Distinct AIDs always target distinct banks (trivially: bank = AID).
+        let a = agu();
+        let pos = TilePos::first(2, 2);
+        for t in 0..a.tile_latency() {
+            let banks: Vec<_> = (0..4)
+                .filter_map(|r| a.h_request(clock_at(t), pos, r))
+                .map(|r| r.bank)
+                .collect();
+            let mut dedup = banks.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(banks.len(), dedup.len(), "conflict at t={t}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Memory request descriptors produced by AGUs.
+
+use std::fmt;
+
+/// Load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessKind {
+    /// Read a word onto the bus.
+    Load,
+    /// Write a word from the array.
+    Store,
+}
+
+/// One streamed memory access: `(bank, offset)` in the paper's
+/// `(bank << N_a) | offset` global address convention, plus the direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRequest {
+    /// Target bank.
+    pub bank: usize,
+    /// In-bank word offset.
+    pub offset: usize,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl MemRequest {
+    /// A load request.
+    #[must_use]
+    pub fn load(bank: usize, offset: usize) -> Self {
+        MemRequest {
+            bank,
+            offset,
+            kind: AccessKind::Load,
+        }
+    }
+
+    /// A store request.
+    #[must_use]
+    pub fn store(bank: usize, offset: usize) -> Self {
+        MemRequest {
+            bank,
+            offset,
+            kind: AccessKind::Store,
+        }
+    }
+
+    /// Compose the paper's global address given the bank address width.
+    #[must_use]
+    pub fn global_addr(&self, addr_bits: u32) -> usize {
+        (self.bank << addr_bits) | self.offset
+    }
+}
+
+impl fmt::Display for MemRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            AccessKind::Load => "ld",
+            AccessKind::Store => "st",
+        };
+        write!(f, "{k} b{}+{:#x}", self.bank, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_addr_composition() {
+        let r = MemRequest::load(3, 5);
+        assert_eq!(r.global_addr(10), (3 << 10) | 5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MemRequest::store(1, 16).to_string(), "st b1+0x10");
+    }
+}

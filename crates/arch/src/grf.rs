@@ -1,0 +1,215 @@
+//! Global register file and Weight Buffer (§3.2 "Other Changes").
+//!
+//! For DWC with stride 1 all PEs consume the *same* weight element each
+//! cycle, so NP-CGRA broadcasts it from a small single-port global register
+//! file (GRF), indexed by the controller through the per-cycle global
+//! configuration bits. The GRF is filled either by DMA or from a small
+//! dedicated Weight Buffer that can hold several channels' worth of kernels
+//! (Table 4: 1152 bytes = 64 copies of a 3×3×16-bit kernel, padded to 18
+//! B each).
+
+use npcgra_nn::Word;
+
+/// Default GRF capacity in words: one K×K kernel up to K = 4 (a 3×3 kernel
+/// needs 9 entries; the 4-bit configuration index addresses up to 16).
+pub const GRF_WORDS: usize = 16;
+
+/// The broadcast global register file.
+///
+/// # Example
+///
+/// ```
+/// use npcgra_arch::GlobalRegFile;
+///
+/// let mut grf = GlobalRegFile::new();
+/// grf.load(&[1, 2, 3, 4, 5, 6, 7, 8, 9]).unwrap();
+/// assert_eq!(grf.read(4), Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalRegFile {
+    words: [Word; GRF_WORDS],
+    valid: usize,
+}
+
+impl GlobalRegFile {
+    /// An empty GRF.
+    #[must_use]
+    pub fn new() -> Self {
+        GlobalRegFile {
+            words: [0; GRF_WORDS],
+            valid: 0,
+        }
+    }
+
+    /// Load `data` starting at index 0 (a DMA or Weight-Buffer fill).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the capacity if `data` does not fit.
+    pub fn load(&mut self, data: &[Word]) -> Result<(), usize> {
+        if data.len() > GRF_WORDS {
+            return Err(GRF_WORDS);
+        }
+        self.words[..data.len()].copy_from_slice(data);
+        self.valid = data.len();
+        Ok(())
+    }
+
+    /// Broadcast-read entry `idx`, if it has been loaded.
+    #[must_use]
+    pub fn read(&self, idx: usize) -> Option<Word> {
+        (idx < self.valid).then(|| self.words[idx])
+    }
+
+    /// Number of valid entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.valid
+    }
+
+    /// Whether no entries are loaded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.valid == 0
+    }
+}
+
+impl Default for GlobalRegFile {
+    fn default() -> Self {
+        GlobalRegFile::new()
+    }
+}
+
+/// The optional Weight Buffer: a staging store holding pre-loaded GRF images
+/// (one per channel) so consecutive DWC channels switch kernels without a
+/// DMA round trip.
+///
+/// Table 4 sizes it at 1152 bytes = 64 entries × 144 bits (one 3×3 16-bit
+/// kernel each).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightBuffer {
+    entries: Vec<Vec<Word>>,
+    capacity: usize,
+}
+
+impl WeightBuffer {
+    /// A buffer holding up to `capacity` GRF images (Table 4 uses 64).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        WeightBuffer {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// The Table 4 configuration: 64 kernel slots.
+    #[must_use]
+    pub fn table4() -> Self {
+        WeightBuffer::new(64)
+    }
+
+    /// Stage one kernel image. Returns its slot index.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the capacity when full or when the image exceeds
+    /// [`GRF_WORDS`].
+    pub fn stage(&mut self, kernel: &[Word]) -> Result<usize, usize> {
+        if self.entries.len() >= self.capacity {
+            return Err(self.capacity);
+        }
+        if kernel.len() > GRF_WORDS {
+            return Err(GRF_WORDS);
+        }
+        self.entries.push(kernel.to_vec());
+        Ok(self.entries.len() - 1)
+    }
+
+    /// Copy slot `slot` into the GRF (the per-channel switch).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the number of staged entries if `slot` is invalid.
+    pub fn fill_grf(&self, slot: usize, grf: &mut GlobalRegFile) -> Result<(), usize> {
+        let kernel = self.entries.get(slot).ok_or(self.entries.len())?;
+        grf.load(kernel).expect("staged kernels fit the GRF by construction");
+        Ok(())
+    }
+
+    /// Number of staged kernels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Size in bytes at a 16-bit word, padded to whole 64-bit rows as in
+    /// Table 4 (144 bits → 3 rows of 64 bits = 24 B... the paper's 1152 B /
+    /// 64 entries = 18 B per 3×3 kernel, i.e. exactly 9 words).
+    #[must_use]
+    pub fn capacity_bytes(&self, kernel_words: usize) -> usize {
+        self.capacity * kernel_words * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grf_load_and_read() {
+        let mut g = GlobalRegFile::new();
+        g.load(&[10, 20, 30]).unwrap();
+        assert_eq!(g.read(0), Some(10));
+        assert_eq!(g.read(2), Some(30));
+        assert_eq!(g.read(3), None);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn grf_rejects_oversize() {
+        let mut g = GlobalRegFile::new();
+        assert_eq!(g.load(&[0; 17]), Err(16));
+    }
+
+    #[test]
+    fn grf_reload_shrinks_valid_range() {
+        let mut g = GlobalRegFile::new();
+        g.load(&[1; 9]).unwrap();
+        g.load(&[2; 4]).unwrap();
+        assert_eq!(g.read(3), Some(2));
+        assert_eq!(g.read(4), None);
+    }
+
+    #[test]
+    fn weight_buffer_stages_and_fills() {
+        let mut wb = WeightBuffer::new(2);
+        let s0 = wb.stage(&[1, 2, 3, 4, 5, 6, 7, 8, 9]).unwrap();
+        let s1 = wb.stage(&[9, 8, 7, 6, 5, 4, 3, 2, 1]).unwrap();
+        assert!(wb.stage(&[0]).is_err(), "capacity 2");
+        let mut grf = GlobalRegFile::new();
+        wb.fill_grf(s1, &mut grf).unwrap();
+        assert_eq!(grf.read(0), Some(9));
+        wb.fill_grf(s0, &mut grf).unwrap();
+        assert_eq!(grf.read(0), Some(1));
+    }
+
+    #[test]
+    fn weight_buffer_bad_slot() {
+        let wb = WeightBuffer::table4();
+        let mut grf = GlobalRegFile::new();
+        assert_eq!(wb.fill_grf(0, &mut grf), Err(0));
+    }
+
+    #[test]
+    fn table4_capacity_bytes() {
+        // 64 slots × 9 words × 2 B = 1152 B, matching Table 4.
+        let wb = WeightBuffer::table4();
+        assert_eq!(wb.capacity_bytes(9), 1152);
+    }
+}

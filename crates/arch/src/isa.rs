@@ -1,0 +1,445 @@
+//! The NP-CGRA instruction word (Fig. 3).
+//!
+//! The paper derives its format from the CCF framework's 32-bit R-type
+//! instruction and extends it to 36 bits per PE: `op`, `muxB` and `wr-op`
+//! each gain one bit and `in-op` gains two, to address the larger input
+//! muxes and the operand reuse network. We realize Fig. 3 with the concrete
+//! bit layout below (LSB first):
+//!
+//! | bits  | field  | meaning |
+//! |-------|--------|---------|
+//! | 0–4   | op     | PE operation ([`crate::Op`]) |
+//! | 5–8   | muxA   | operand-A source ([`MuxSel`]) |
+//! | 9–12  | muxB   | operand-B source |
+//! | 13–16 | reg a  | register-file index for muxA |
+//! | 17–20 | reg b  | register-file index for muxB |
+//! | 21    | wr-en  | register-file write enable |
+//! | 22–25 | wr-reg | register-file write index |
+//! | 26–27 | wr-op  | what to write ([`WriteSel`]) |
+//! | 28–29 | in-op  | which neighbour's muxA feeds the ORN input ([`OrnTap`]) |
+//! | 30    | orn-en | latch this PE's muxA output for neighbours |
+//! | 31    | AB     | addressed-load request (output register is the address) |
+//! | 32    | DB     | addressed-store request (output register is the data) |
+//! | 33–35 | —      | reserved (zero) |
+//!
+//! Streamed load-store (the AGU path) is controlled globally per cycle, not
+//! per instruction, which is why AGU control lives in the 8 extra
+//! configuration bits per cycle (see [`crate::spec::CgraSpec::config_bits_per_cycle`]).
+
+use std::fmt;
+
+use crate::op::Op;
+
+/// Bit width of one NP-CGRA PE instruction.
+pub const WIDTH: u32 = 36;
+
+/// Bit width of the baseline CCF R-type PE instruction.
+pub const BASELINE_WIDTH: u32 = 32;
+
+/// Operand-source selector for a PE input mux.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum MuxSel {
+    /// Constant zero (also the reset source).
+    #[default]
+    Zero = 0,
+    /// The horizontal memory bus of this PE's row.
+    HBus = 1,
+    /// The vertical memory bus of this PE's column (NP-CGRA only).
+    VBus = 2,
+    /// This PE's own output register.
+    SelfOut = 3,
+    /// The north neighbour's output register.
+    North = 4,
+    /// The south neighbour's output register.
+    South = 5,
+    /// The east neighbour's output register.
+    East = 6,
+    /// The west neighbour's output register.
+    West = 7,
+    /// The local register file, indexed by the `reg a`/`reg b` field.
+    Reg = 8,
+    /// The global register file, indexed by the per-cycle global
+    /// configuration (NP-CGRA only).
+    Grf = 9,
+    /// The operand-reuse value latched by the neighbour selected with
+    /// `in-op` on the *previous* cycle (NP-CGRA only).
+    Orn = 10,
+}
+
+impl MuxSel {
+    /// All selector values, in encoding order.
+    pub const ALL: [MuxSel; 11] = [
+        MuxSel::Zero,
+        MuxSel::HBus,
+        MuxSel::VBus,
+        MuxSel::SelfOut,
+        MuxSel::North,
+        MuxSel::South,
+        MuxSel::East,
+        MuxSel::West,
+        MuxSel::Reg,
+        MuxSel::Grf,
+        MuxSel::Orn,
+    ];
+
+    /// Decode a 4-bit selector code.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<MuxSel> {
+        MuxSel::ALL.get(code as usize).copied()
+    }
+
+    /// The 4-bit selector code.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this source exists only on NP-CGRA (not the baseline).
+    #[must_use]
+    pub fn is_extension(self) -> bool {
+        matches!(self, MuxSel::VBus | MuxSel::Grf | MuxSel::Orn)
+    }
+}
+
+/// Which neighbour's muxA output feeds this PE's operand-reuse input
+/// (the instruction's `in-op` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum OrnTap {
+    /// Reuse from the north neighbour.
+    #[default]
+    North = 0,
+    /// Reuse from the south neighbour.
+    South = 1,
+    /// Reuse from the east neighbour.
+    East = 2,
+    /// Reuse from the west neighbour.
+    West = 3,
+}
+
+impl OrnTap {
+    /// All taps in encoding order.
+    pub const ALL: [OrnTap; 4] = [OrnTap::North, OrnTap::South, OrnTap::East, OrnTap::West];
+
+    /// Decode a 2-bit tap code.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<OrnTap> {
+        OrnTap::ALL.get(code as usize).copied()
+    }
+
+    /// The 2-bit tap code.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Row/column delta `(dr, dc)` of the tapped neighbour.
+    #[must_use]
+    pub fn delta(self) -> (isize, isize) {
+        match self {
+            OrnTap::North => (-1, 0),
+            OrnTap::South => (1, 0),
+            OrnTap::East => (0, 1),
+            OrnTap::West => (0, -1),
+        }
+    }
+}
+
+/// What the register-file write port stores (the instruction's `wr-op`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum WriteSel {
+    /// This PE's own output register.
+    #[default]
+    SelfOut = 0,
+    /// The operand-reuse input (the neighbour muxA value selected by
+    /// `in-op`).
+    Orn = 1,
+    /// The row's H-bus value.
+    HBus = 2,
+    /// The column's V-bus value.
+    VBus = 3,
+}
+
+impl WriteSel {
+    /// All write selectors in encoding order.
+    pub const ALL: [WriteSel; 4] = [WriteSel::SelfOut, WriteSel::Orn, WriteSel::HBus, WriteSel::VBus];
+
+    /// Decode a 2-bit code.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<WriteSel> {
+        WriteSel::ALL.get(code as usize).copied()
+    }
+
+    /// The 2-bit code.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Error produced when decoding a malformed instruction word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode field.
+    BadOp(u8),
+    /// Unknown mux selector.
+    BadMux(u8),
+    /// Nonzero reserved bits.
+    ReservedBits(u64),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOp(c) => write!(f, "unknown opcode {c:#x}"),
+            DecodeError::BadMux(c) => write!(f, "unknown mux selector {c:#x}"),
+            DecodeError::ReservedBits(w) => write!(f, "reserved bits set in instruction word {w:#011x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One decoded PE instruction.
+///
+/// # Example
+///
+/// ```
+/// use npcgra_arch::{Instruction, Op, MuxSel};
+///
+/// let mac = Instruction::mac(MuxSel::HBus, MuxSel::VBus);
+/// let word = mac.encode();
+/// assert_eq!(Instruction::decode(word).unwrap(), mac);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Instruction {
+    /// PE operation.
+    pub op: Op,
+    /// Operand-A source.
+    pub mux_a: MuxSel,
+    /// Operand-B source.
+    pub mux_b: MuxSel,
+    /// Register index used when `mux_a == MuxSel::Reg`.
+    pub reg_a: u8,
+    /// Register index used when `mux_b == MuxSel::Reg`.
+    pub reg_b: u8,
+    /// Register-file write enable.
+    pub wr_en: bool,
+    /// Register-file write index.
+    pub wr_reg: u8,
+    /// Register-file write source.
+    pub wr_sel: WriteSel,
+    /// ORN input tap (`in-op`).
+    pub in_op: OrnTap,
+    /// Latch this PE's muxA output for neighbours this cycle.
+    pub orn_en: bool,
+    /// Addressed-load request (`AB`): use the output register as a load
+    /// address (baseline-style addressed load-store).
+    pub ab: bool,
+    /// Addressed-store request (`DB`).
+    pub db: bool,
+}
+
+impl Instruction {
+    /// A no-op instruction.
+    #[must_use]
+    pub fn nop() -> Self {
+        Instruction::default()
+    }
+
+    /// A single-cycle MAC with the given operand sources.
+    #[must_use]
+    pub fn mac(a: MuxSel, b: MuxSel) -> Self {
+        Instruction {
+            op: Op::Mac,
+            mux_a: a,
+            mux_b: b,
+            ..Instruction::default()
+        }
+    }
+
+    /// A MUL (which also initializes a MAC chain).
+    #[must_use]
+    pub fn mul(a: MuxSel, b: MuxSel) -> Self {
+        Instruction {
+            op: Op::Mul,
+            mux_a: a,
+            mux_b: b,
+            ..Instruction::default()
+        }
+    }
+
+    /// Builder-style: enable the ORN latch.
+    #[must_use]
+    pub fn with_orn(mut self) -> Self {
+        self.orn_en = true;
+        self
+    }
+
+    /// Builder-style: set the ORN input tap.
+    #[must_use]
+    pub fn with_tap(mut self, tap: OrnTap) -> Self {
+        self.in_op = tap;
+        self
+    }
+
+    /// Whether the instruction uses any NP-CGRA-only feature.
+    #[must_use]
+    pub fn uses_extension(self) -> bool {
+        self.op.needs_mac_chaining()
+            || self.mux_a.is_extension()
+            || self.mux_b.is_extension()
+            || self.orn_en
+            || matches!(self.wr_sel, WriteSel::Orn | WriteSel::VBus)
+    }
+
+    /// Encode to the 36-bit word (in the low bits of a `u64`).
+    #[must_use]
+    pub fn encode(self) -> u64 {
+        let mut w = 0u64;
+        w |= u64::from(self.op.code());
+        w |= u64::from(self.mux_a.code()) << 5;
+        w |= u64::from(self.mux_b.code()) << 9;
+        w |= u64::from(self.reg_a & 0xf) << 13;
+        w |= u64::from(self.reg_b & 0xf) << 17;
+        w |= u64::from(self.wr_en) << 21;
+        w |= u64::from(self.wr_reg & 0xf) << 22;
+        w |= u64::from(self.wr_sel.code()) << 26;
+        w |= u64::from(self.in_op.code()) << 28;
+        w |= u64::from(self.orn_en) << 30;
+        w |= u64::from(self.ab) << 31;
+        w |= u64::from(self.db) << 32;
+        w
+    }
+
+    /// Decode a 36-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on an unknown opcode/mux code or nonzero
+    /// reserved bits.
+    pub fn decode(w: u64) -> Result<Self, DecodeError> {
+        if w >> 33 != 0 {
+            return Err(DecodeError::ReservedBits(w));
+        }
+        let op_code = (w & 0x1f) as u8;
+        let op = Op::from_code(op_code).ok_or(DecodeError::BadOp(op_code))?;
+        let ma = ((w >> 5) & 0xf) as u8;
+        let mux_a = MuxSel::from_code(ma).ok_or(DecodeError::BadMux(ma))?;
+        let mb = ((w >> 9) & 0xf) as u8;
+        let mux_b = MuxSel::from_code(mb).ok_or(DecodeError::BadMux(mb))?;
+        Ok(Instruction {
+            op,
+            mux_a,
+            mux_b,
+            reg_a: ((w >> 13) & 0xf) as u8,
+            reg_b: ((w >> 17) & 0xf) as u8,
+            wr_en: (w >> 21) & 1 == 1,
+            wr_reg: ((w >> 22) & 0xf) as u8,
+            wr_sel: WriteSel::from_code(((w >> 26) & 0x3) as u8).expect("2-bit write selector is total"),
+            in_op: OrnTap::from_code(((w >> 28) & 0x3) as u8).expect("2-bit tap is total"),
+            orn_en: (w >> 30) & 1 == 1,
+            ab: (w >> 31) & 1 == 1,
+            db: (w >> 32) & 1 == 1,
+        })
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} a={:?} b={:?}", self.op, self.mux_a, self.mux_b)?;
+        if self.orn_en {
+            write!(f, " orn({:?})", self.in_op)?;
+        }
+        if self.wr_en {
+            write!(f, " wr r{}<-{:?}", self.wr_reg, self.wr_sel)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_fits_in_width() {
+        let i = Instruction {
+            op: Op::CmpLt,
+            mux_a: MuxSel::Orn,
+            mux_b: MuxSel::Grf,
+            reg_a: 15,
+            reg_b: 15,
+            wr_en: true,
+            wr_reg: 15,
+            wr_sel: WriteSel::VBus,
+            in_op: OrnTap::West,
+            orn_en: true,
+            ab: true,
+            db: true,
+        };
+        assert!(i.encode() < (1u64 << WIDTH));
+    }
+
+    #[test]
+    fn roundtrip_all_fields() {
+        for op in Op::ALL {
+            for mux in MuxSel::ALL {
+                let i = Instruction {
+                    op,
+                    mux_a: mux,
+                    mux_b: MuxSel::Reg,
+                    reg_a: 7,
+                    reg_b: 3,
+                    wr_en: true,
+                    wr_reg: 9,
+                    wr_sel: WriteSel::Orn,
+                    in_op: OrnTap::East,
+                    orn_en: true,
+                    ab: false,
+                    db: true,
+                };
+                assert_eq!(Instruction::decode(i.encode()).unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        assert!(matches!(Instruction::decode(0x1f), Err(DecodeError::BadOp(0x1f))));
+    }
+
+    #[test]
+    fn decode_rejects_reserved_bits() {
+        assert!(matches!(Instruction::decode(1u64 << 35), Err(DecodeError::ReservedBits(_))));
+    }
+
+    #[test]
+    fn nop_encodes_to_zero() {
+        assert_eq!(Instruction::nop().encode(), 0);
+    }
+
+    #[test]
+    fn extension_detection() {
+        assert!(Instruction::mac(MuxSel::HBus, MuxSel::VBus).uses_extension());
+        assert!(Instruction::mul(MuxSel::HBus, MuxSel::Grf).uses_extension());
+        assert!(!Instruction::mul(MuxSel::HBus, MuxSel::Reg).uses_extension());
+        assert!(Instruction::mul(MuxSel::HBus, MuxSel::Reg).with_orn().uses_extension());
+    }
+
+    #[test]
+    fn tap_deltas() {
+        assert_eq!(OrnTap::East.delta(), (0, 1));
+        assert_eq!(OrnTap::North.delta(), (-1, 0));
+    }
+
+    #[test]
+    fn display_mentions_op() {
+        let i = Instruction::mac(MuxSel::HBus, MuxSel::VBus).with_orn();
+        let s = i.to_string();
+        assert!(s.contains("mac"));
+        assert!(s.contains("orn"));
+    }
+}

@@ -1,0 +1,38 @@
+//! NP-CGRA architecture model.
+//!
+//! This crate models the *structural* side of the paper's proposal:
+//!
+//! - [`spec`]: machine specifications ([`CgraSpec`]) for the baseline
+//!   ADRES-like CGRA and NP-CGRA (Table 4), including feature flags for the
+//!   three extensions (crossbar-style memory bus, dual-mode MAC, operand
+//!   reuse network) and configuration-memory sizing (§3.3).
+//! - [`op`] / [`isa`]: the PE operation set and the 36-bit instruction word
+//!   of Fig. 3, with exact encode/decode.
+//! - [`mac`]: the dual-mode MAC unit with the paper's synthesis timing
+//!   (0.68 ns MUL, 1.08 ns chained MAC).
+//! - [`pe`]: the behavioural PE datapath — input muxes, a small register
+//!   file, the output register, and the operand-reuse latch that neighbours
+//!   read one cycle later.
+//! - [`grf`]: the broadcast global register file and its optional Weight
+//!   Buffer.
+//!
+//! The cycle-accurate machine that wires PEs, busses, AGUs and memories
+//! together lives in `npcgra-sim`; this crate keeps each component small and
+//! independently testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grf;
+pub mod isa;
+pub mod mac;
+pub mod op;
+pub mod pe;
+pub mod spec;
+
+pub use grf::{GlobalRegFile, WeightBuffer};
+pub use isa::{DecodeError, Instruction, MuxSel, OrnTap, WriteSel};
+pub use mac::{DualModeMac, MacMode, MacTiming};
+pub use op::Op;
+pub use pe::{Pe, PeInputs, PeOutputs};
+pub use spec::{CgraFeatures, CgraSpec};

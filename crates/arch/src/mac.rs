@@ -1,0 +1,188 @@
+//! The dual-mode MAC unit (§3.2).
+//!
+//! Most CGRA PEs perform one operation per cycle — MUL *or* ADD. NP-CGRA
+//! makes the MUL→ADD chain *configurable at application granularity*: an
+//! application that uses MAC chaining runs with the longer chained critical
+//! path; one that does not keeps the baseline cycle time. The paper's
+//! synthesis measured a 0.68 ns MUL path and a 1.08 ns chained MAC path
+//! (1.23 ns vs 1.65 ns full-PE critical path, a 34 % cycle-time increase
+//! when driven at maximum speed; both meet timing at the 2 ns / 500 MHz
+//! target used for the evaluation).
+
+use crate::op::Op;
+
+/// The application-granularity MAC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MacMode {
+    /// MUL and ADD are chained: [`Op::Mac`] completes in one cycle.
+    #[default]
+    Chained,
+    /// Chaining disabled (baseline behaviour): [`Op::Mac`] is illegal and a
+    /// MAC takes a MUL cycle followed by an ADD cycle.
+    Split,
+}
+
+/// Synthesis-derived timing of the PE arithmetic paths, in nanoseconds
+/// (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacTiming {
+    /// Multiplier path delay.
+    pub mul_ns: f64,
+    /// Chained multiply-add path delay.
+    pub mac_ns: f64,
+    /// Full-PE critical path without chaining (baseline CGRA).
+    pub pe_baseline_ns: f64,
+    /// Full-PE critical path with chaining (NP-CGRA at maximum speed).
+    pub pe_chained_ns: f64,
+}
+
+impl MacTiming {
+    /// The paper's Samsung 65 nm synthesis results.
+    #[must_use]
+    pub fn samsung_65nm() -> Self {
+        MacTiming {
+            mul_ns: 0.68,
+            mac_ns: 1.08,
+            pe_baseline_ns: 1.23,
+            pe_chained_ns: 1.65,
+        }
+    }
+
+    /// Critical path for the given mode.
+    #[must_use]
+    pub fn critical_path_ns(&self, mode: MacMode) -> f64 {
+        match mode {
+            MacMode::Chained => self.pe_chained_ns,
+            MacMode::Split => self.pe_baseline_ns,
+        }
+    }
+
+    /// Maximum clock frequency (Hz) for the given mode.
+    #[must_use]
+    pub fn fmax_hz(&self, mode: MacMode) -> f64 {
+        1e9 / self.critical_path_ns(mode)
+    }
+
+    /// Whether a clock target (Hz) is met in the given mode.
+    #[must_use]
+    pub fn meets(&self, mode: MacMode, clock_hz: f64) -> bool {
+        self.fmax_hz(mode) >= clock_hz
+    }
+}
+
+impl Default for MacTiming {
+    fn default() -> Self {
+        MacTiming::samsung_65nm()
+    }
+}
+
+/// Error returned when an op is illegal for the configured MAC mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacModeError {
+    mode: MacMode,
+    op: Op,
+}
+
+impl std::fmt::Display for MacModeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "operation {} requires MAC chaining but mode is {:?}", self.op, self.mode)
+    }
+}
+
+impl std::error::Error for MacModeError {}
+
+/// The functional dual-mode MAC: evaluates ops, enforcing the mode.
+///
+/// # Example
+///
+/// ```
+/// use npcgra_arch::{DualModeMac, MacMode, Op};
+///
+/// let mac = DualModeMac::new(MacMode::Chained);
+/// assert_eq!(mac.execute(Op::Mac, 10, 3, 4).unwrap(), 22);
+///
+/// let split = DualModeMac::new(MacMode::Split);
+/// assert!(split.execute(Op::Mac, 10, 3, 4).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DualModeMac {
+    mode: MacMode,
+}
+
+impl DualModeMac {
+    /// Create a MAC unit in the given mode.
+    #[must_use]
+    pub fn new(mode: MacMode) -> Self {
+        DualModeMac { mode }
+    }
+
+    /// The configured mode.
+    #[must_use]
+    pub fn mode(self) -> MacMode {
+        self.mode
+    }
+
+    /// Evaluate `op` with the current accumulator `acc` and operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MacModeError`] if `op` is [`Op::Mac`] while chaining is
+    /// disabled.
+    pub fn execute(self, op: Op, acc: i32, a: i32, b: i32) -> Result<i32, MacModeError> {
+        if op.needs_mac_chaining() && self.mode == MacMode::Split {
+            return Err(MacModeError { mode: self.mode, op });
+        }
+        Ok(op.eval(acc, a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chained_mode_allows_mac() {
+        let m = DualModeMac::new(MacMode::Chained);
+        assert_eq!(m.execute(Op::Mac, 1, 2, 3).unwrap(), 7);
+    }
+
+    #[test]
+    fn split_mode_rejects_mac_allows_mul_add() {
+        let m = DualModeMac::new(MacMode::Split);
+        assert!(m.execute(Op::Mac, 1, 2, 3).is_err());
+        assert_eq!(m.execute(Op::Mul, 0, 2, 3).unwrap(), 6);
+        assert_eq!(m.execute(Op::Add, 0, 2, 3).unwrap(), 5);
+    }
+
+    #[test]
+    fn paper_timing_meets_500mhz_in_both_modes() {
+        let t = MacTiming::samsung_65nm();
+        assert!(t.meets(MacMode::Chained, 500e6));
+        assert!(t.meets(MacMode::Split, 500e6));
+    }
+
+    #[test]
+    fn chained_fmax_is_34_percent_slower() {
+        let t = MacTiming::samsung_65nm();
+        let ratio = t.critical_path_ns(MacMode::Chained) / t.critical_path_ns(MacMode::Split);
+        assert!((ratio - 1.34).abs() < 0.01, "cycle-time ratio {ratio}");
+    }
+
+    #[test]
+    fn split_mac_emulation_matches_chained() {
+        // MUL then ADD over two cycles == one chained MAC.
+        let split = DualModeMac::new(MacMode::Split);
+        let chained = DualModeMac::new(MacMode::Chained);
+        let (acc, a, b) = (11, -4, 9);
+        let prod = split.execute(Op::Mul, 0, a, b).unwrap();
+        let two_cycle = split.execute(Op::Add, 0, acc, prod).unwrap();
+        let one_cycle = chained.execute(Op::Mac, acc, a, b).unwrap();
+        assert_eq!(two_cycle, one_cycle);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DualModeMac::new(MacMode::Split).execute(Op::Mac, 0, 0, 0).unwrap_err();
+        assert!(e.to_string().contains("chaining"));
+    }
+}

@@ -1,0 +1,207 @@
+//! The PE operation set.
+//!
+//! The baseline ADRES-like PE supports arithmetic/logic ops at one op per
+//! cycle (MUL *or* ADD, §3.1). NP-CGRA adds the chained [`Op::Mac`], enabled
+//! by the dual-mode MAC unit; the remaining ops are shared by both machines.
+
+use std::fmt;
+
+/// One PE operation, executed in a single cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum Op {
+    /// No operation; the output register holds its value.
+    #[default]
+    Nop = 0,
+    /// `out = A`.
+    Pass = 1,
+    /// `out = A + B`.
+    Add = 2,
+    /// `out = A - B`.
+    Sub = 3,
+    /// `out = A * B` (also the MAC-chain initializer: it overwrites the
+    /// accumulator).
+    Mul = 4,
+    /// `out = out + A * B` — single-cycle multiply-accumulate; requires the
+    /// dual-mode MAC extension (chained mode).
+    Mac = 5,
+    /// `out = A & B`.
+    And = 6,
+    /// `out = A | B`.
+    Or = 7,
+    /// `out = A ^ B`.
+    Xor = 8,
+    /// `out = A << (B & 31)`.
+    Shl = 9,
+    /// `out = A >> (B & 31)` (arithmetic).
+    Shr = 10,
+    /// `out = max(A, B)` (ReLU and pooling building block).
+    Max = 11,
+    /// `out = min(A, B)`.
+    Min = 12,
+    /// `out = (A == B) ? 1 : 0`.
+    CmpEq = 13,
+    /// `out = (A < B) ? 1 : 0` (signed).
+    CmpLt = 14,
+}
+
+impl Op {
+    /// All operations, in encoding order.
+    pub const ALL: [Op; 15] = [
+        Op::Nop,
+        Op::Pass,
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Mac,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Shl,
+        Op::Shr,
+        Op::Max,
+        Op::Min,
+        Op::CmpEq,
+        Op::CmpLt,
+    ];
+
+    /// Decode from the 5-bit opcode field.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Op> {
+        Op::ALL.get(code as usize).copied()
+    }
+
+    /// The 5-bit opcode.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether the op requires the dual-mode MAC in chained mode.
+    #[must_use]
+    pub fn needs_mac_chaining(self) -> bool {
+        self == Op::Mac
+    }
+
+    /// Whether this cycle performs useful arithmetic toward a convolution
+    /// (the paper's utilization metric counts MUL/ADD/MAC work).
+    #[must_use]
+    pub fn is_arith(self) -> bool {
+        !matches!(self, Op::Nop | Op::Pass)
+    }
+
+    /// Number of primitive MUL/ADD operations this op represents, used by
+    /// the utilization accounting (a chained MAC counts as 2, matching the
+    /// paper's "#Ops/cycle" convention in Table 6).
+    #[must_use]
+    pub fn primitive_ops(self) -> u32 {
+        match self {
+            Op::Nop | Op::Pass => 0,
+            Op::Mac => 2,
+            _ => 1,
+        }
+    }
+
+    /// Evaluate the operation on 32-bit accumulator values with wrapping
+    /// semantics. `acc` is the current output-register value (used by
+    /// [`Op::Mac`] and returned unchanged for [`Op::Nop`]).
+    #[must_use]
+    pub fn eval(self, acc: i32, a: i32, b: i32) -> i32 {
+        match self {
+            Op::Nop => acc,
+            Op::Pass => a,
+            Op::Add => a.wrapping_add(b),
+            Op::Sub => a.wrapping_sub(b),
+            Op::Mul => a.wrapping_mul(b),
+            Op::Mac => acc.wrapping_add(a.wrapping_mul(b)),
+            Op::And => a & b,
+            Op::Or => a | b,
+            Op::Xor => a ^ b,
+            Op::Shl => a.wrapping_shl((b & 31) as u32),
+            Op::Shr => a.wrapping_shr((b & 31) as u32),
+            Op::Max => a.max(b),
+            Op::Min => a.min(b),
+            Op::CmpEq => i32::from(a == b),
+            Op::CmpLt => i32::from(a < b),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Nop => "nop",
+            Op::Pass => "pass",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Mac => "mac",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Shl => "shl",
+            Op::Shr => "shr",
+            Op::Max => "max",
+            Op::Min => "min",
+            Op::CmpEq => "cmpeq",
+            Op::CmpLt => "cmplt",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for op in Op::ALL {
+            assert_eq!(Op::from_code(op.code()), Some(op));
+        }
+        assert_eq!(Op::from_code(31), None);
+    }
+
+    #[test]
+    fn mac_accumulates() {
+        assert_eq!(Op::Mac.eval(10, 3, 4), 22);
+        assert_eq!(Op::Mul.eval(10, 3, 4), 12);
+    }
+
+    #[test]
+    fn nop_holds() {
+        assert_eq!(Op::Nop.eval(7, 100, 100), 7);
+    }
+
+    #[test]
+    fn wrapping_mul_does_not_panic() {
+        let _ = Op::Mul.eval(0, i32::MAX, 2);
+        let _ = Op::Mac.eval(i32::MAX, i32::MAX, i32::MAX);
+    }
+
+    #[test]
+    fn primitive_op_counts() {
+        assert_eq!(Op::Mac.primitive_ops(), 2);
+        assert_eq!(Op::Add.primitive_ops(), 1);
+        assert_eq!(Op::Nop.primitive_ops(), 0);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(Op::Shl.eval(0, 1, 33), 2);
+        assert_eq!(Op::Shr.eval(0, -8, 1), -4);
+    }
+
+    #[test]
+    fn compare_ops() {
+        assert_eq!(Op::CmpEq.eval(0, 3, 3), 1);
+        assert_eq!(Op::CmpLt.eval(0, -1, 0), 1);
+        assert_eq!(Op::CmpLt.eval(0, 1, 0), 0);
+    }
+
+    #[test]
+    fn relu_via_max() {
+        assert_eq!(Op::Max.eval(0, -5, 0), 0);
+        assert_eq!(Op::Max.eval(0, 5, 0), 5);
+    }
+}

@@ -1,0 +1,463 @@
+//! The behavioural PE datapath (Fig. 2).
+//!
+//! A PE holds an output register, a small local register file and — on
+//! NP-CGRA — the operand-reuse latch. Every cycle it selects two operands
+//! through its input muxes, executes one operation on the (dual-mode) ALU,
+//! and optionally writes the register file and the operand-reuse latch.
+//!
+//! The PE is deliberately self-contained: the simulator snapshots all
+//! neighbour outputs and bus values into [`PeInputs`] *before* stepping any
+//! PE, which gives the synchronous register semantics of real hardware
+//! (neighbour outputs and ORN values observed by a PE are the values latched
+//! at the end of the previous cycle).
+
+use std::fmt;
+
+use crate::isa::{Instruction, MuxSel, OrnTap, WriteSel};
+use crate::mac::DualModeMac;
+
+/// Number of registers in the PE-local register file (4-bit index).
+pub const REG_FILE_SIZE: usize = 16;
+
+/// Everything a PE can observe in one cycle.
+///
+/// `None` means "this source does not exist here" — e.g. `v_bus` is `None`
+/// on the baseline machine, and `north` is `None` in row 0. Selecting an
+/// absent source is a configuration error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeInputs {
+    /// Row H-bus value (if the row bus carries valid data this cycle).
+    pub h_bus: Option<i32>,
+    /// Column V-bus value (NP-CGRA only).
+    pub v_bus: Option<i32>,
+    /// Broadcast GRF read value (NP-CGRA only).
+    pub grf: Option<i32>,
+    /// North neighbour's output register (previous cycle).
+    pub north: Option<i32>,
+    /// South neighbour's output register (previous cycle).
+    pub south: Option<i32>,
+    /// East neighbour's output register (previous cycle).
+    pub east: Option<i32>,
+    /// West neighbour's output register (previous cycle).
+    pub west: Option<i32>,
+    /// North neighbour's operand-reuse latch (previous cycle).
+    pub orn_north: Option<i32>,
+    /// South neighbour's operand-reuse latch (previous cycle).
+    pub orn_south: Option<i32>,
+    /// East neighbour's operand-reuse latch (previous cycle).
+    pub orn_east: Option<i32>,
+    /// West neighbour's operand-reuse latch (previous cycle).
+    pub orn_west: Option<i32>,
+}
+
+/// What a PE produced in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeOutputs {
+    /// The new output-register value.
+    pub out: i32,
+    /// Addressed-load request: `Some(address)` when the instruction's `AB`
+    /// bit is set (the output register value is the address).
+    pub load_request: Option<i32>,
+    /// Addressed-store request: `Some(data)` when `DB` is set.
+    pub store_request: Option<i32>,
+    /// Whether this cycle counted as useful arithmetic (for utilization).
+    pub arith: bool,
+    /// Primitive MUL/ADD ops performed this cycle (MAC counts 2).
+    pub primitive_ops: u32,
+}
+
+/// Errors raised by a PE configuration that references an absent resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeError {
+    /// The selected operand source carries no value this cycle.
+    SourceUnavailable {
+        /// The offending selector.
+        sel: MuxSel,
+    },
+    /// `Op::Mac` while the dual-mode MAC is in split mode.
+    MacChainingDisabled,
+    /// Register index out of range (should be unreachable for decoded
+    /// instructions, which carry 4-bit indices).
+    BadRegister(u8),
+}
+
+impl fmt::Display for PeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeError::SourceUnavailable { sel } => write!(f, "operand source {sel:?} is unavailable this cycle"),
+            PeError::MacChainingDisabled => write!(f, "MAC op issued while chaining is disabled"),
+            PeError::BadRegister(r) => write!(f, "register index {r} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for PeError {}
+
+/// One processing element.
+///
+/// # Example
+///
+/// ```
+/// use npcgra_arch::{Pe, PeInputs, Instruction, MuxSel, DualModeMac, MacMode};
+///
+/// let mut pe = Pe::new();
+/// let mac = DualModeMac::new(MacMode::Chained);
+/// let ins = Instruction::mac(MuxSel::HBus, MuxSel::VBus);
+/// let io = PeInputs { h_bus: Some(3), v_bus: Some(4), ..PeInputs::default() };
+/// let out = pe.step(&ins, &io, mac).unwrap();
+/// assert_eq!(out.out, 12);
+/// let out = pe.step(&ins, &io, mac).unwrap();
+/// assert_eq!(out.out, 24); // accumulated
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pe {
+    out: i32,
+    rf: [i32; REG_FILE_SIZE],
+    orn: i32,
+    orn_valid: bool,
+}
+
+impl Pe {
+    /// A PE with cleared state.
+    #[must_use]
+    pub fn new() -> Self {
+        Pe {
+            out: 0,
+            rf: [0; REG_FILE_SIZE],
+            orn: 0,
+            orn_valid: false,
+        }
+    }
+
+    /// The current output-register value.
+    #[must_use]
+    pub fn out(&self) -> i32 {
+        self.out
+    }
+
+    /// The operand-reuse latch value visible to neighbours, if valid.
+    #[must_use]
+    pub fn orn(&self) -> Option<i32> {
+        self.orn_valid.then_some(self.orn)
+    }
+
+    /// Read a register-file entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= REG_FILE_SIZE`.
+    #[must_use]
+    pub fn reg(&self, idx: usize) -> i32 {
+        self.rf[idx]
+    }
+
+    /// Directly write a register-file entry (used by test benches and the
+    /// controller's initialization path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= REG_FILE_SIZE`.
+    pub fn set_reg(&mut self, idx: usize, v: i32) {
+        self.rf[idx] = v;
+    }
+
+    /// Force the output register (tile initialization).
+    pub fn set_out(&mut self, v: i32) {
+        self.out = v;
+    }
+
+    /// Clear output, register file and ORN latch.
+    pub fn reset(&mut self) {
+        *self = Pe::new();
+    }
+
+    fn resolve(&self, sel: MuxSel, reg: u8, io: &PeInputs) -> Result<i32, PeError> {
+        let missing = |sel| PeError::SourceUnavailable { sel };
+        Ok(match sel {
+            MuxSel::Zero => 0,
+            MuxSel::HBus => io.h_bus.ok_or(missing(sel))?,
+            MuxSel::VBus => io.v_bus.ok_or(missing(sel))?,
+            MuxSel::SelfOut => self.out,
+            MuxSel::North => io.north.ok_or(missing(sel))?,
+            MuxSel::South => io.south.ok_or(missing(sel))?,
+            MuxSel::East => io.east.ok_or(missing(sel))?,
+            MuxSel::West => io.west.ok_or(missing(sel))?,
+            MuxSel::Reg => {
+                let r = reg as usize;
+                if r >= REG_FILE_SIZE {
+                    return Err(PeError::BadRegister(reg));
+                }
+                self.rf[r]
+            }
+            MuxSel::Grf => io.grf.ok_or(missing(sel))?,
+            MuxSel::Orn => self.orn_in(reg_to_tap(reg), io).ok_or(missing(sel))?,
+        })
+    }
+
+    fn orn_in(&self, tap: OrnTap, io: &PeInputs) -> Option<i32> {
+        match tap {
+            OrnTap::North => io.orn_north,
+            OrnTap::South => io.orn_south,
+            OrnTap::East => io.orn_east,
+            OrnTap::West => io.orn_west,
+        }
+    }
+
+    /// Execute one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError`] if the instruction selects an unavailable source
+    /// or issues a MAC while chaining is disabled.
+    pub fn step(&mut self, ins: &Instruction, io: &PeInputs, mac: DualModeMac) -> Result<PeOutputs, PeError> {
+        // Operand selection. For MuxSel::Orn the instruction's in-op field
+        // chooses the tap (reg fields are ignored for that selector).
+        let a = if ins.mux_a == MuxSel::Orn {
+            self.orn_in(ins.in_op, io)
+                .ok_or(PeError::SourceUnavailable { sel: MuxSel::Orn })?
+        } else {
+            self.resolve(ins.mux_a, ins.reg_a, io)?
+        };
+        let b = if ins.mux_b == MuxSel::Orn {
+            self.orn_in(ins.in_op, io)
+                .ok_or(PeError::SourceUnavailable { sel: MuxSel::Orn })?
+        } else {
+            self.resolve(ins.mux_b, ins.reg_b, io)?
+        };
+
+        let new_out = mac
+            .execute(ins.op, self.out, a, b)
+            .map_err(|_| PeError::MacChainingDisabled)?;
+
+        // Register-file write (end of cycle).
+        if ins.wr_en {
+            let wr = ins.wr_reg as usize;
+            if wr >= REG_FILE_SIZE {
+                return Err(PeError::BadRegister(ins.wr_reg));
+            }
+            let data = match ins.wr_sel {
+                WriteSel::SelfOut => new_out,
+                WriteSel::Orn => self
+                    .orn_in(ins.in_op, io)
+                    .ok_or(PeError::SourceUnavailable { sel: MuxSel::Orn })?,
+                WriteSel::HBus => io.h_bus.ok_or(PeError::SourceUnavailable { sel: MuxSel::HBus })?,
+                WriteSel::VBus => io.v_bus.ok_or(PeError::SourceUnavailable { sel: MuxSel::VBus })?,
+            };
+            self.rf[wr] = data;
+        }
+
+        // Operand-reuse latch: captures the muxA output for neighbours to
+        // read next cycle.
+        if ins.orn_en {
+            self.orn = a;
+            self.orn_valid = true;
+        }
+
+        self.out = new_out;
+        Ok(PeOutputs {
+            out: new_out,
+            load_request: ins.ab.then_some(new_out),
+            store_request: ins.db.then_some(new_out),
+            arith: ins.op.is_arith(),
+            primitive_ops: ins.op.primitive_ops(),
+        })
+    }
+}
+
+impl Default for Pe {
+    fn default() -> Self {
+        Pe::new()
+    }
+}
+
+/// Reuse the 2-bit reg field as a tap index when muxB selects ORN without
+/// touching in-op; decoded instructions normally route ORN through in-op.
+fn reg_to_tap(reg: u8) -> OrnTap {
+    OrnTap::from_code(reg & 0x3).expect("2-bit tap is total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::MacMode;
+    use crate::op::Op;
+
+    fn chained() -> DualModeMac {
+        DualModeMac::new(MacMode::Chained)
+    }
+
+    #[test]
+    fn mac_accumulates_over_cycles() {
+        let mut pe = Pe::new();
+        let ins = Instruction::mac(MuxSel::HBus, MuxSel::VBus);
+        for i in 1..=4 {
+            let io = PeInputs {
+                h_bus: Some(i),
+                v_bus: Some(2),
+                ..PeInputs::default()
+            };
+            pe.step(&ins, &io, chained()).unwrap();
+        }
+        assert_eq!(pe.out(), 2 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn mul_reinitializes_chain() {
+        let mut pe = Pe::new();
+        let io = PeInputs {
+            h_bus: Some(5),
+            v_bus: Some(5),
+            ..PeInputs::default()
+        };
+        pe.step(&Instruction::mac(MuxSel::HBus, MuxSel::VBus), &io, chained())
+            .unwrap();
+        pe.step(&Instruction::mul(MuxSel::HBus, MuxSel::VBus), &io, chained())
+            .unwrap();
+        assert_eq!(pe.out(), 25);
+    }
+
+    #[test]
+    fn missing_vbus_is_error() {
+        let mut pe = Pe::new();
+        let ins = Instruction::mac(MuxSel::HBus, MuxSel::VBus);
+        let io = PeInputs {
+            h_bus: Some(1),
+            ..PeInputs::default()
+        };
+        assert!(matches!(
+            pe.step(&ins, &io, chained()),
+            Err(PeError::SourceUnavailable { sel: MuxSel::VBus })
+        ));
+    }
+
+    #[test]
+    fn orn_latch_is_one_cycle_delayed() {
+        // PE latches its muxA value; we read it back via the accessor as the
+        // simulator would for a neighbour.
+        let mut pe = Pe::new();
+        assert_eq!(pe.orn(), None);
+        let ins = Instruction::mul(MuxSel::HBus, MuxSel::Zero).with_orn();
+        let io = PeInputs {
+            h_bus: Some(42),
+            ..PeInputs::default()
+        };
+        pe.step(&ins, &io, chained()).unwrap();
+        assert_eq!(pe.orn(), Some(42));
+        // Without orn_en the latch holds.
+        let ins2 = Instruction::mul(MuxSel::HBus, MuxSel::Zero);
+        let io2 = PeInputs {
+            h_bus: Some(7),
+            ..PeInputs::default()
+        };
+        pe.step(&ins2, &io2, chained()).unwrap();
+        assert_eq!(pe.orn(), Some(42));
+    }
+
+    #[test]
+    fn orn_operand_reads_neighbour_latch() {
+        let mut pe = Pe::new();
+        let ins = Instruction {
+            op: Op::Pass,
+            mux_a: MuxSel::Orn,
+            in_op: OrnTap::East,
+            ..Instruction::default()
+        };
+        let io = PeInputs {
+            orn_east: Some(99),
+            ..PeInputs::default()
+        };
+        let out = pe.step(&ins, &io, chained()).unwrap();
+        assert_eq!(out.out, 99);
+    }
+
+    #[test]
+    fn register_file_write_and_read() {
+        let mut pe = Pe::new();
+        // Write the H-bus value into r3.
+        let wr = Instruction {
+            op: Op::Nop,
+            wr_en: true,
+            wr_reg: 3,
+            wr_sel: WriteSel::HBus,
+            ..Instruction::default()
+        };
+        let io = PeInputs {
+            h_bus: Some(-17),
+            ..PeInputs::default()
+        };
+        pe.step(&wr, &io, chained()).unwrap();
+        assert_eq!(pe.reg(3), -17);
+        // Read it back through muxA.
+        let rd = Instruction {
+            op: Op::Pass,
+            mux_a: MuxSel::Reg,
+            reg_a: 3,
+            ..Instruction::default()
+        };
+        let out = pe.step(&rd, &PeInputs::default(), chained()).unwrap();
+        assert_eq!(out.out, -17);
+    }
+
+    #[test]
+    fn store_request_carries_output() {
+        let mut pe = Pe::new();
+        let ins = Instruction {
+            op: Op::Pass,
+            mux_a: MuxSel::HBus,
+            db: true,
+            ..Instruction::default()
+        };
+        let io = PeInputs {
+            h_bus: Some(8),
+            ..PeInputs::default()
+        };
+        let out = pe.step(&ins, &io, chained()).unwrap();
+        assert_eq!(out.store_request, Some(8));
+        assert_eq!(out.load_request, None);
+    }
+
+    #[test]
+    fn grf_operand() {
+        let mut pe = Pe::new();
+        let ins = Instruction::mac(MuxSel::HBus, MuxSel::Grf);
+        let io = PeInputs {
+            h_bus: Some(3),
+            grf: Some(-2),
+            ..PeInputs::default()
+        };
+        let out = pe.step(&ins, &io, chained()).unwrap();
+        assert_eq!(out.out, -6);
+    }
+
+    #[test]
+    fn nop_is_not_arith() {
+        let mut pe = Pe::new();
+        let out = pe.step(&Instruction::nop(), &PeInputs::default(), chained()).unwrap();
+        assert!(!out.arith);
+        assert_eq!(out.primitive_ops, 0);
+    }
+
+    #[test]
+    fn split_mode_mac_errors() {
+        let mut pe = Pe::new();
+        let ins = Instruction::mac(MuxSel::HBus, MuxSel::VBus);
+        let io = PeInputs {
+            h_bus: Some(1),
+            v_bus: Some(1),
+            ..PeInputs::default()
+        };
+        let r = pe.step(&ins, &io, DualModeMac::new(MacMode::Split));
+        assert!(matches!(r, Err(PeError::MacChainingDisabled)));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut pe = Pe::new();
+        pe.set_out(5);
+        pe.set_reg(2, 9);
+        pe.reset();
+        assert_eq!(pe.out(), 0);
+        assert_eq!(pe.reg(2), 0);
+        assert_eq!(pe.orn(), None);
+    }
+}

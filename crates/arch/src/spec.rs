@@ -1,0 +1,307 @@
+//! Machine specifications (Table 4 and §3.3).
+//!
+//! A [`CgraSpec`] describes one concrete machine: array geometry, word
+//! width, clock, local-memory sizing, off-chip interface and which of the
+//! paper's three extensions are present. Two canonical instances exist:
+//! [`CgraSpec::baseline`] (the ADRES-like machine CCF compiles to) and
+//! [`CgraSpec::np_cgra`] (the proposed machine).
+
+use crate::isa;
+use crate::mac::MacMode;
+
+/// Feature flags for the paper's architecture extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CgraFeatures {
+    /// Crossbar-style memory bus: V-MEM + per-column V-busses and the
+    /// AGU↔bank crossbar (§3.2).
+    pub crossbar_vbus: bool,
+    /// Dual-mode MAC (single-cycle MUL+ADD chaining).
+    pub dual_mode_mac: bool,
+    /// Operand reuse network (input-to-input forwarding).
+    pub operand_reuse: bool,
+    /// Streamed load-store through AGUs (vs addressed load-store computed on
+    /// PEs).
+    pub streamed_lsu: bool,
+    /// Broadcast global register file (+ optional Weight Buffer).
+    pub grf: bool,
+}
+
+impl CgraFeatures {
+    /// All extensions on (NP-CGRA).
+    #[must_use]
+    pub fn all() -> Self {
+        CgraFeatures {
+            crossbar_vbus: true,
+            dual_mode_mac: true,
+            operand_reuse: true,
+            streamed_lsu: true,
+            grf: true,
+        }
+    }
+
+    /// No extensions (baseline ADRES-like CGRA).
+    #[must_use]
+    pub fn none() -> Self {
+        CgraFeatures {
+            crossbar_vbus: false,
+            dual_mode_mac: false,
+            operand_reuse: false,
+            streamed_lsu: false,
+            grf: false,
+        }
+    }
+}
+
+/// One machine configuration.
+///
+/// # Example
+///
+/// ```
+/// use npcgra_arch::CgraSpec;
+///
+/// let np = CgraSpec::np_cgra(8, 8);
+/// assert_eq!(np.num_pes(), 64);
+/// assert_eq!(np.config_bits_per_cycle(), 2312); // 36×64 + 8, Table 4
+/// assert_eq!(np.peak_ops_per_cycle(), 128);     // Table 6 "#Ops/cycle"
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgraSpec {
+    /// PE-array rows `N_r`.
+    pub rows: usize,
+    /// PE-array columns `N_c`.
+    pub cols: usize,
+    /// Datapath word size in bytes (Table 4: 2; the §3.1 baseline: 4).
+    pub word_bytes: usize,
+    /// Clock frequency in Hz (500 MHz in the evaluation).
+    pub clock_hz: f64,
+    /// Extension flags.
+    pub features: CgraFeatures,
+    /// H-MEM capacity in bytes, per buffering set (Table 4: 39 KB).
+    pub hmem_bytes: usize,
+    /// V-MEM capacity in bytes, per buffering set (equal to H-MEM).
+    pub vmem_bytes: usize,
+    /// Number of double-buffering sets (Table 4: 2).
+    pub mem_sets: usize,
+    /// Off-chip bandwidth in bytes/second (Table 4: 12.5 GB/s).
+    pub dram_bandwidth: f64,
+    /// Fixed DMA transfer latency in CGRA cycles (Table 4: 200).
+    pub dma_latency_cycles: u64,
+    /// Configuration-memory depth in contexts.
+    pub config_contexts: usize,
+}
+
+impl CgraSpec {
+    /// The baseline ADRES-like CGRA: mesh + per-row busses, one
+    /// (addressed) load-store unit per row, MUL *or* ADD per PE per cycle.
+    /// §3.1 analyses it with a 4-byte word.
+    #[must_use]
+    pub fn baseline(rows: usize, cols: usize) -> Self {
+        CgraSpec {
+            rows,
+            cols,
+            word_bytes: 4,
+            clock_hz: 500e6,
+            features: CgraFeatures::none(),
+            hmem_bytes: 39 * 1024 * 2, // undivided local memory, same total as H+V
+            vmem_bytes: 0,
+            mem_sets: 2,
+            dram_bandwidth: 12.5e9,
+            dma_latency_cycles: 200,
+            config_contexts: 32,
+        }
+    }
+
+    /// NP-CGRA per Table 4: 16-bit words, 500 MHz, 39 KB H-MEM and V-MEM
+    /// (×2 sets), 12.5 GB/s off-chip, 200-cycle DMA latency.
+    #[must_use]
+    pub fn np_cgra(rows: usize, cols: usize) -> Self {
+        CgraSpec {
+            rows,
+            cols,
+            word_bytes: 2,
+            clock_hz: 500e6,
+            features: CgraFeatures::all(),
+            hmem_bytes: 39 * 1024,
+            vmem_bytes: 39 * 1024,
+            mem_sets: 2,
+            dram_bandwidth: 12.5e9,
+            dma_latency_cycles: 200,
+            config_contexts: 32,
+        }
+    }
+
+    /// The Table 4 machine: 8×8 NP-CGRA.
+    #[must_use]
+    pub fn table4() -> Self {
+        CgraSpec::np_cgra(8, 8)
+    }
+
+    /// Builder-style word-size override.
+    #[must_use]
+    pub fn with_word_bytes(mut self, bytes: usize) -> Self {
+        self.word_bytes = bytes;
+        self
+    }
+
+    /// Builder-style clock override.
+    #[must_use]
+    pub fn with_clock_hz(mut self, hz: f64) -> Self {
+        self.clock_hz = hz;
+        self
+    }
+
+    /// Builder-style feature override (for ablations).
+    #[must_use]
+    pub fn with_features(mut self, features: CgraFeatures) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Number of PEs.
+    #[must_use]
+    pub fn num_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// One clock period, in seconds.
+    #[must_use]
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+
+    /// The MAC mode implied by the feature set.
+    #[must_use]
+    pub fn mac_mode(&self) -> MacMode {
+        if self.features.dual_mode_mac {
+            MacMode::Chained
+        } else {
+            MacMode::Split
+        }
+    }
+
+    /// Peak primitive ops (MUL/ADD) per cycle: 2 per PE with dual-mode MAC,
+    /// 1 otherwise (the "#Ops/cycle" convention of Table 6).
+    #[must_use]
+    pub fn peak_ops_per_cycle(&self) -> u64 {
+        self.num_pes() as u64 * if self.features.dual_mode_mac { 2 } else { 1 }
+    }
+
+    /// Peak MACs per second.
+    #[must_use]
+    pub fn peak_macs_per_sec(&self) -> f64 {
+        let macs_per_cycle = if self.features.dual_mode_mac {
+            self.num_pes() as f64
+        } else {
+            self.num_pes() as f64 / 2.0
+        };
+        macs_per_cycle * self.clock_hz
+    }
+
+    /// Number of simultaneous on-chip streamed read ports: one H-AGU per
+    /// row, plus one V-AGU per column with the crossbar extension. The
+    /// baseline has one (addressed) load-store unit per row.
+    #[must_use]
+    pub fn read_ports(&self) -> usize {
+        self.rows + if self.features.crossbar_vbus { self.cols } else { 0 }
+    }
+
+    /// Per-PE instruction width in bits.
+    #[must_use]
+    pub fn instruction_bits(&self) -> u32 {
+        if self.features == CgraFeatures::none() {
+            isa::BASELINE_WIDTH
+        } else {
+            isa::WIDTH
+        }
+    }
+
+    /// Configuration bits consumed per cycle: `36 × #PEs + 8` for NP-CGRA
+    /// (4 GRF-index bits + 2 H/V read-request bits + 2 streamed-LSU control
+    /// bits, §6.1), `32 × #PEs` for the baseline.
+    #[must_use]
+    pub fn config_bits_per_cycle(&self) -> u64 {
+        let global = if self.features == CgraFeatures::none() { 0 } else { 8 };
+        u64::from(self.instruction_bits()) * self.num_pes() as u64 + global
+    }
+
+    /// Configuration-memory size in bytes for the configured context depth
+    /// (Table 4: 2312 bits × 32 contexts = 9248 B for the 8×8 machine).
+    #[must_use]
+    pub fn config_mem_bytes(&self) -> u64 {
+        self.config_bits_per_cycle() * self.config_contexts as u64 / 8
+    }
+
+    /// Total on-chip data memory in bytes (all sets; Table 4/6: 156 KB for
+    /// the 8×8 machine).
+    #[must_use]
+    pub fn total_local_mem_bytes(&self) -> usize {
+        (self.hmem_bytes + self.vmem_bytes) * self.mem_sets
+    }
+
+    /// Suggested H-MEM capacity in *words* to hold one blocked operand,
+    /// `N_i·K²·N_r`, the sizing rule Table 4 mentions for AlexNet.
+    #[must_use]
+    pub fn blocked_operand_words(n_i: usize, k: usize, rows: usize) -> usize {
+        n_i * k * k * rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_constants() {
+        let s = CgraSpec::table4();
+        assert_eq!(s.num_pes(), 64);
+        assert_eq!(s.word_bytes, 2);
+        assert!((s.clock_hz - 500e6).abs() < 1.0);
+        assert_eq!(s.config_bits_per_cycle(), 2312);
+        assert_eq!(s.config_mem_bytes(), 9248);
+        assert_eq!(s.total_local_mem_bytes(), 4 * 39 * 1024);
+    }
+
+    #[test]
+    fn table6_ops_per_cycle() {
+        assert_eq!(CgraSpec::np_cgra(8, 8).peak_ops_per_cycle(), 128);
+        // The baseline does one op per PE per cycle.
+        assert_eq!(CgraSpec::baseline(4, 4).peak_ops_per_cycle(), 16);
+    }
+
+    #[test]
+    fn baseline_has_no_extensions() {
+        let b = CgraSpec::baseline(4, 4);
+        assert_eq!(b.features, CgraFeatures::none());
+        assert_eq!(b.instruction_bits(), 32);
+        assert_eq!(b.read_ports(), 4);
+        assert_eq!(b.mac_mode(), MacMode::Split);
+    }
+
+    #[test]
+    fn np_cgra_doubles_read_ports() {
+        // §3.1: the enhanced CGRA needs one load-store unit per row *or*
+        // column → 16 ports on an 8×8.
+        assert_eq!(CgraSpec::np_cgra(8, 8).read_ports(), 16);
+    }
+
+    #[test]
+    fn peak_macs_reflect_dual_mode() {
+        let np = CgraSpec::np_cgra(8, 8);
+        let base = CgraSpec::baseline(8, 8);
+        assert!((np.peak_macs_per_sec() / (64.0 * 500e6) - 1.0).abs() < 1e-9);
+        assert!((base.peak_macs_per_sec() / (32.0 * 500e6) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builders_override() {
+        let s = CgraSpec::baseline(4, 4).with_word_bytes(2).with_clock_hz(450e6);
+        assert_eq!(s.word_bytes, 2);
+        assert!((s.clock_hz - 450e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn blocked_operand_sizing() {
+        // AlexNet conv3 on an 8-row machine: 256×9×8 words.
+        assert_eq!(CgraSpec::blocked_operand_words(256, 3, 8), 18432);
+    }
+}

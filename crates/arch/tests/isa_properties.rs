@@ -1,0 +1,91 @@
+//! Property tests for the instruction encoding and PE semantics.
+
+use npcgra_arch::{DualModeMac, Instruction, MacMode, MuxSel, Op, OrnTap, Pe, PeInputs, WriteSel};
+use proptest::prelude::*;
+
+fn any_op() -> impl Strategy<Value = Op> {
+    (0..Op::ALL.len()).prop_map(|i| Op::ALL[i])
+}
+
+fn any_mux() -> impl Strategy<Value = MuxSel> {
+    (0..MuxSel::ALL.len()).prop_map(|i| MuxSel::ALL[i])
+}
+
+fn any_instruction() -> impl Strategy<Value = Instruction> {
+    (
+        any_op(),
+        any_mux(),
+        any_mux(),
+        0u8..16,
+        0u8..16,
+        any::<bool>(),
+        0u8..16,
+        (0..WriteSel::ALL.len()).prop_map(|i| WriteSel::ALL[i]),
+        (0..OrnTap::ALL.len()).prop_map(|i| OrnTap::ALL[i]),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |(op, mux_a, mux_b, reg_a, reg_b, wr_en, wr_reg, wr_sel, in_op, (orn_en, ab, db))| Instruction {
+                op,
+                mux_a,
+                mux_b,
+                reg_a,
+                reg_b,
+                wr_en,
+                wr_reg,
+                wr_sel,
+                in_op,
+                orn_en,
+                ab,
+                db,
+            },
+        )
+}
+
+proptest! {
+    /// encode → decode is the identity for every well-formed instruction.
+    #[test]
+    fn encode_decode_roundtrip(ins in any_instruction()) {
+        let w = ins.encode();
+        prop_assert!(w < (1u64 << npcgra_arch::isa::WIDTH));
+        prop_assert_eq!(Instruction::decode(w).unwrap(), ins);
+    }
+
+    /// Decoding never panics on arbitrary 36-bit words.
+    #[test]
+    fn decode_is_total_over_36_bits(w in 0u64..(1u64 << 36)) {
+        let _ = Instruction::decode(w);
+    }
+
+    /// A chained MAC equals MUL-then-ADD split across two baseline cycles.
+    #[test]
+    fn mac_equals_split_sequence(acc in any::<i16>(), a in any::<i16>(), b in any::<i16>()) {
+        let (acc, a, b) = (i32::from(acc), i32::from(a), i32::from(b));
+        let chained = DualModeMac::new(MacMode::Chained).execute(Op::Mac, acc, a, b).unwrap();
+        let split = DualModeMac::new(MacMode::Split);
+        let prod = split.execute(Op::Mul, 0, a, b).unwrap();
+        let sum = split.execute(Op::Add, 0, acc, prod).unwrap();
+        prop_assert_eq!(chained, sum);
+    }
+
+    /// A PE running `mac(HBus, VBus)` for n cycles computes the dot product.
+    #[test]
+    fn pe_mac_chain_is_dot_product(xs in prop::collection::vec(any::<i16>(), 1..20), ws in prop::collection::vec(any::<i16>(), 1..20)) {
+        let n = xs.len().min(ws.len());
+        let mut pe = Pe::new();
+        let mac = DualModeMac::new(MacMode::Chained);
+        let mut expect: i32 = 0;
+        for i in 0..n {
+            let ins = if i == 0 {
+                Instruction::mul(MuxSel::HBus, MuxSel::VBus)
+            } else {
+                Instruction::mac(MuxSel::HBus, MuxSel::VBus)
+            };
+            let io = PeInputs { h_bus: Some(i32::from(xs[i])), v_bus: Some(i32::from(ws[i])), ..PeInputs::default() };
+            pe.step(&ins, &io, mac).unwrap();
+            let prod = i32::from(xs[i]).wrapping_mul(i32::from(ws[i]));
+            expect = if i == 0 { prod } else { expect.wrapping_add(prod) };
+        }
+        prop_assert_eq!(pe.out(), expect);
+    }
+}

@@ -1,0 +1,59 @@
+//! Area-delay product, the paper's primary cost-efficiency metric.
+
+/// One ADP data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adp {
+    /// Area in mm² (65 nm / 16-bit equivalent).
+    pub area_mm2: f64,
+    /// Latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl Adp {
+    /// The product in mm²·ms.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.area_mm2 * self.latency_ms
+    }
+
+    /// Improvement factor of `self` over `other` (how many times smaller
+    /// `self`'s ADP is).
+    #[must_use]
+    pub fn improvement_over(&self, other: &Adp) -> f64 {
+        other.value() / self.value()
+    }
+}
+
+/// Convenience constructor.
+#[must_use]
+pub fn adp(area_mm2: f64, latency_ms: f64) -> Adp {
+    Adp { area_mm2, latency_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_pwc_improvement_is_about_18x() {
+        // Paper §6.2: 122.48 vs 6.83 mm²·ms ≈ 17.9× ADP reduction for PWC.
+        let ccf = adp(1.5522, 78.91);
+        let ours = adp(1.836, 3.72);
+        let gain = ours.improvement_over(&ccf);
+        assert!((17.0..19.0).contains(&gain), "gain {gain}");
+    }
+
+    #[test]
+    fn table5_dwc_improvements() {
+        // DWC S=1: 17.22 → 1.69 ≈ 10.2×; DWC S=2: 12.02 → 1.48 ≈ 8.1×.
+        let g1 = adp(1.836, 0.92).improvement_over(&adp(1.5522, 11.10));
+        assert!((9.0..11.5).contains(&g1), "S=1 gain {g1}");
+        let g2 = adp(1.836, 0.81).improvement_over(&adp(1.5522, 7.74));
+        assert!((7.0..9.0).contains(&g2), "S=2 gain {g2}");
+    }
+
+    #[test]
+    fn value_is_product() {
+        assert!((adp(2.0, 3.0).value() - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! Literature comparator records for Table 6.
+//!
+//! The paper compares against *reported* numbers from the cited papers (it
+//! did not re-implement Eyeriss or SDT-CGRA); we encode the same records.
+//! Runtimes are as reported; areas carry their process node and datapath
+//! width so [`crate::convert_area`] can produce the 65 nm/16-bit column.
+
+use crate::scaling::{convert_area, TechNode};
+
+/// One architecture row of Table 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparator {
+    /// Display name.
+    pub name: &'static str,
+    /// "ASIC" or "CGRA".
+    pub technology: &'static str,
+    /// Process node.
+    pub node: TechNode,
+    /// Clock in MHz.
+    pub clock_mhz: f64,
+    /// Number of PEs.
+    pub pes: u32,
+    /// Peak ops per cycle.
+    pub ops_per_cycle: u32,
+    /// Datapath width in bits.
+    pub data_bits: u32,
+    /// On-chip data memory in KB.
+    pub onchip_kb: f64,
+    /// Reported area in mm².
+    pub reported_area_mm2: f64,
+    /// Override for the converted-area column (used when the paper carries
+    /// an assumed area through unconverted, as for Auto-tuning).
+    pub converted_override: Option<f64>,
+    /// MobileNet V1 DSC runtime in ms (if reported).
+    pub mobilenet_v1_dsc_ms: Option<f64>,
+    /// AlexNet conv runtime in ms (if reported).
+    pub alexnet_conv_ms: Option<f64>,
+}
+
+impl Comparator {
+    /// Area converted to the 65 nm / 16-bit equivalent.
+    #[must_use]
+    pub fn converted_area_mm2(&self) -> f64 {
+        self.converted_override
+            .unwrap_or_else(|| convert_area(self.reported_area_mm2, self.node, self.data_bits))
+    }
+
+    /// AlexNet ADP (converted area × reported runtime), if available.
+    #[must_use]
+    pub fn alexnet_adp(&self) -> Option<f64> {
+        self.alexnet_conv_ms.map(|ms| ms * self.converted_area_mm2())
+    }
+
+    /// MobileNet V1 DSC ADP, if available.
+    #[must_use]
+    pub fn mobilenet_v1_adp(&self) -> Option<f64> {
+        self.mobilenet_v1_dsc_ms.map(|ms| ms * self.converted_area_mm2())
+    }
+}
+
+/// Eyeriss (Chen et al., JSSC'16).
+#[must_use]
+pub fn eyeriss() -> Comparator {
+    Comparator {
+        name: "Eyeriss",
+        technology: "ASIC",
+        node: TechNode(65),
+        clock_mhz: 200.0,
+        pes: 168,
+        ops_per_cycle: 336,
+        data_bits: 16,
+        onchip_kb: 108.0,
+        reported_area_mm2: 12.25,
+        converted_override: None,
+        mobilenet_v1_dsc_ms: None,
+        alexnet_conv_ms: Some(28.82),
+    }
+}
+
+/// Eyeriss v2 (Chen et al., JETCAS'19); area assumed equal to Eyeriss as in
+/// the paper (gate count only was reported), 8-bit datapath.
+#[must_use]
+pub fn eyeriss_v2() -> Comparator {
+    Comparator {
+        name: "Eyeriss-v2",
+        technology: "ASIC",
+        node: TechNode(65),
+        clock_mhz: 200.0,
+        pes: 192,
+        ops_per_cycle: 768,
+        data_bits: 8,
+        onchip_kb: 192.0,
+        reported_area_mm2: 12.25,
+        converted_override: None,
+        mobilenet_v1_dsc_ms: Some(0.78),
+        alexnet_conv_ms: Some(9.79),
+    }
+}
+
+/// The auto-tuning CGRA compiler approach (Bae et al., TCAD'18); area
+/// assumed equal to the 4×4 baseline CGRA per the Table 6 footnote.
+#[must_use]
+pub fn auto_tuning() -> Comparator {
+    Comparator {
+        name: "Auto-tuning",
+        technology: "CGRA",
+        node: TechNode(32),
+        clock_mhz: 500.0,
+        pes: 16,
+        ops_per_cycle: 16,
+        data_bits: 32,
+        onchip_kb: 320.0,
+        // The paper carries the assumed 4×4-baseline area (1.55 mm²,
+        // precisely our calibrated 1.5522) through *without* node
+        // conversion, since it is an assumption rather than a report.
+        reported_area_mm2: 1.55,
+        converted_override: Some(1.5522),
+        mobilenet_v1_dsc_ms: None,
+        alexnet_conv_ms: Some(990.0),
+    }
+}
+
+/// SDT-CGRA (Fan et al., TVLSI'18).
+#[must_use]
+pub fn sdt_cgra() -> Comparator {
+    Comparator {
+        name: "SDT-CGRA",
+        technology: "CGRA",
+        node: TechNode(55),
+        clock_mhz: 450.0,
+        pes: 25,
+        ops_per_cycle: 205,
+        data_bits: 16,
+        onchip_kb: 54.6,
+        reported_area_mm2: 5.19,
+        converted_override: None,
+        mobilenet_v1_dsc_ms: None,
+        alexnet_conv_ms: Some(23.24),
+    }
+}
+
+/// All Table 6 comparator rows (NP-CGRA itself comes from our simulator and
+/// area model).
+#[must_use]
+pub fn all_comparators() -> Vec<Comparator> {
+    vec![eyeriss(), eyeriss_v2(), auto_tuning(), sdt_cgra()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_converted_areas() {
+        assert!((eyeriss().converted_area_mm2() - 12.25).abs() < 0.01);
+        assert!((eyeriss_v2().converted_area_mm2() - 24.50).abs() < 0.01);
+        assert!((sdt_cgra().converted_area_mm2() - 7.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn auto_tuning_area_is_carried_unscaled() {
+        // The Table 6 footnote value is an assumption, not a measurement:
+        // the tabulated converted area equals the 4×4 baseline's.
+        let a = auto_tuning();
+        assert!((a.converted_area_mm2() - 1.5522).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table6_adps() {
+        // Eyeriss AlexNet ADP 353.03; Eyeriss v2 239.96 and MobileNet 19.11;
+        // Auto-tuning 1536.68; SDT-CGRA 168.59.
+        assert!((eyeriss().alexnet_adp().unwrap() - 353.03).abs() < 0.5);
+        assert!((eyeriss_v2().alexnet_adp().unwrap() - 239.96).abs() < 0.5);
+        assert!((eyeriss_v2().mobilenet_v1_adp().unwrap() - 19.11).abs() < 0.1);
+        assert!((auto_tuning().alexnet_adp().unwrap() - 1536.68).abs() < 1.0);
+        assert!((sdt_cgra().alexnet_adp().unwrap() - 168.59).abs() < 0.5);
+    }
+
+    #[test]
+    fn four_rows_present() {
+        assert_eq!(all_comparators().len(), 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! A first-order energy model (beyond-paper extension).
+//!
+//! The paper motivates CGRAs with "high energy efficiency" but reports no
+//! energy numbers; this model makes the claim quantitative. Per-event
+//! energies follow the well-known 45 nm survey numbers (Horowitz,
+//! ISSCC'14: 16-bit multiply ≈ 1 pJ at 45 nm; SRAM ≈ an order of magnitude
+//! above arithmetic; DRAM two orders above SRAM), scaled to 65 nm (≈1.8×
+//! capacitance) and the paper's 16-bit datapath. These are *relative*
+//! constants: the interesting outputs are ratios and breakdowns, not
+//! absolute joules.
+
+/// Per-event energies in picojoules at 65 nm / 16-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One 16-bit MAC (multiply + accumulate) on a PE.
+    pub mac_pj: f64,
+    /// One idle-PE cycle (clocking, configuration fetch share).
+    pub pe_idle_pj: f64,
+    /// One word read or written at a 4–5 KB SRAM bank (H-MEM/V-MEM).
+    pub sram_access_pj: f64,
+    /// One GRF broadcast read.
+    pub grf_read_pj: f64,
+    /// One word moved over the off-chip interface.
+    pub dram_word_pj: f64,
+}
+
+impl EnergyModel {
+    /// The calibrated 65 nm / 16-bit constants.
+    #[must_use]
+    pub fn nm65() -> Self {
+        EnergyModel {
+            mac_pj: 2.0,
+            pe_idle_pj: 0.2,
+            sram_access_pj: 5.0,
+            grf_read_pj: 0.5,
+            dram_word_pj: 320.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::nm65()
+    }
+}
+
+/// Event counts for one layer (or block), as measured by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessCounts {
+    /// MAC operations.
+    pub macs: u64,
+    /// PE-cycles spent idle (`PEs × cycles − macs`).
+    pub idle_pe_cycles: u64,
+    /// H-MEM + V-MEM accesses (reads + writes).
+    pub sram_accesses: u64,
+    /// GRF broadcast reads.
+    pub grf_reads: u64,
+    /// Off-chip words moved (both directions).
+    pub dram_words: u64,
+}
+
+/// An energy estimate, by component.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// PE arithmetic energy (µJ).
+    pub compute_uj: f64,
+    /// Idle/clocking energy (µJ).
+    pub idle_uj: f64,
+    /// On-chip SRAM energy (µJ).
+    pub sram_uj: f64,
+    /// GRF energy (µJ).
+    pub grf_uj: f64,
+    /// Off-chip DRAM energy (µJ).
+    pub dram_uj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in microjoules.
+    #[must_use]
+    pub fn total_uj(&self) -> f64 {
+        self.compute_uj + self.idle_uj + self.sram_uj + self.grf_uj + self.dram_uj
+    }
+
+    /// On-chip fraction of total energy.
+    #[must_use]
+    pub fn onchip_fraction(&self) -> f64 {
+        1.0 - self.dram_uj / self.total_uj()
+    }
+
+    /// Energy-delay product in µJ·ms, the joint efficiency metric
+    /// complementing the paper's ADP.
+    #[must_use]
+    pub fn edp(&self, latency_ms: f64) -> f64 {
+        self.total_uj() * latency_ms
+    }
+}
+
+impl EnergyModel {
+    /// Estimate the energy of the counted events.
+    #[must_use]
+    pub fn estimate(&self, counts: &AccessCounts) -> EnergyBreakdown {
+        let pj = 1e-6; // pJ → µJ
+        EnergyBreakdown {
+            compute_uj: counts.macs as f64 * self.mac_pj * pj,
+            idle_uj: counts.idle_pe_cycles as f64 * self.pe_idle_pj * pj,
+            sram_uj: counts.sram_accesses as f64 * self.sram_access_pj * pj,
+            grf_uj: counts.grf_reads as f64 * self.grf_read_pj * pj,
+            dram_uj: counts.dram_words as f64 * self.dram_word_pj * pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> AccessCounts {
+        AccessCounts {
+            macs: 1_000_000,
+            idle_pe_cycles: 200_000,
+            sram_accesses: 300_000,
+            grf_reads: 10_000,
+            dram_words: 50_000,
+        }
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let b = EnergyModel::nm65().estimate(&counts());
+        let sum = b.compute_uj + b.idle_uj + b.sram_uj + b.grf_uj + b.dram_uj;
+        assert!((b.total_uj() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_dominates_per_word() {
+        // The hierarchy must hold: DRAM >> SRAM >> MAC >> idle, per event.
+        let m = EnergyModel::nm65();
+        assert!(m.dram_word_pj > 10.0 * m.sram_access_pj);
+        assert!(m.sram_access_pj > m.mac_pj);
+        assert!(m.mac_pj > m.pe_idle_pj);
+    }
+
+    #[test]
+    fn reuse_saves_energy() {
+        // Halving SRAM traffic at constant work reduces total energy.
+        let m = EnergyModel::nm65();
+        let base = counts();
+        let mut reused = base;
+        reused.sram_accesses /= 2;
+        assert!(m.estimate(&reused).total_uj() < m.estimate(&base).total_uj());
+    }
+
+    #[test]
+    fn edp_is_energy_times_delay() {
+        let b = EnergyModel::nm65().estimate(&counts());
+        assert!((b.edp(2.0) - 2.0 * b.total_uj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn onchip_fraction_bounds() {
+        let b = EnergyModel::nm65().estimate(&counts());
+        assert!((0.0..=1.0).contains(&b.onchip_fraction()));
+    }
+}

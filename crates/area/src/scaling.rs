@@ -1,0 +1,60 @@
+//! Technology and word-width conversion (§6.4–6.5).
+//!
+//! To compare areas across process nodes and datapath widths, the paper
+//! converts every reported area to a 65 nm / 16-bit equivalent: area scales
+//! with the square of the feature-size ratio and linearly with datapath
+//! width (halving 8-bit to 16-bit doubles it, which the paper calls
+//! conservative for Eyeriss v2).
+
+/// A process node in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TechNode(pub u32);
+
+impl TechNode {
+    /// The paper's reference node.
+    pub const REFERENCE: TechNode = TechNode(65);
+
+    /// Area multiplier to convert *from* this node *to* the reference.
+    #[must_use]
+    pub fn to_reference_factor(self) -> f64 {
+        let r = f64::from(TechNode::REFERENCE.0) / f64::from(self.0);
+        r * r
+    }
+}
+
+/// Convert a reported area to the 65 nm / 16-bit equivalent.
+#[must_use]
+pub fn convert_area(reported_mm2: f64, node: TechNode, data_bits: u32) -> f64 {
+    reported_mm2 * node.to_reference_factor() * 16.0 / f64::from(data_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_node_same_width_identity() {
+        assert!((convert_area(2.14, TechNode(65), 16) - 2.14).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sdt_cgra_conversion_matches_table6() {
+        // 5.19 mm² at 55 nm, 16-bit → 7.25 mm² (Table 6).
+        let a = convert_area(5.19, TechNode(55), 16);
+        assert!((a - 7.25).abs() < 0.01, "converted {a}");
+    }
+
+    #[test]
+    fn eyeriss_v2_width_conversion_matches_table6() {
+        // ≥12.25 mm² at 65 nm, 8-bit → ≥24.50 mm² (Table 6).
+        let a = convert_area(12.25, TechNode(65), 8);
+        assert!((a - 24.50).abs() < 0.01, "converted {a}");
+    }
+
+    #[test]
+    fn smaller_node_scales_up() {
+        // 32 nm → 65 nm multiplies by (65/32)² ≈ 4.13.
+        let f = TechNode(32).to_reference_factor();
+        assert!((f - 4.126).abs() < 0.01);
+    }
+}

@@ -1,0 +1,241 @@
+//! The CCF-compiler baseline model (Table 5's "CCF" column).
+//!
+//! CCF compiles convolution loops for the baseline CGRA with *addressed*
+//! load-store: every streamed operand costs explicit address arithmetic on
+//! PEs. The paper inspected CCF's output and found **1 extra MUL and 3
+//! extra ADDs per MAC** plus empty slots. We reproduce that pipeline by
+//! constructing the loop-body DFG CCF sees and scheduling it with the
+//! mesh-aware modulo scheduler:
+//!
+//! ```text
+//! for i in 0..N_i:                    # pipelined reduction loop
+//!     ind   = ind + 1                 # ADD (loop-carried)
+//!     a_x   = base_x + ind            # ADD
+//!     x     = load a_x                # LSU
+//!     a_w0  = ind * N_o               # MUL
+//!     a_w   = a_w0 + base_w           # ADD
+//!     w     = load a_w                # LSU
+//!     p     = x * w                   # MUL   (useful)
+//!     acc   = acc + p                 # ADD   (useful, loop-carried)
+//! ```
+//!
+//! Stride-2 DWC adds two more address ops (the `·S` scalings of the x/y
+//! indices), which is why its CCF utilization is lower in Table 5.
+
+use npcgra_nn::{ConvKind, ConvLayer};
+
+use crate::dfg::{Dfg, NodeClass, NodeOp};
+use crate::modulo::{ModuloScheduler, Schedule};
+
+/// The per-MAC loop body CCF emits for a unit-stride conv reduction.
+#[must_use]
+pub fn ccf_mac_body(extra_stride_ops: bool) -> Dfg {
+    let mut g = Dfg::new();
+    let ind = g.node(NodeClass::Arith, "ind++");
+    g.edge_carried(ind, ind, 1);
+    let x_index = if extra_stride_ops {
+        // Strided access: scale the column index and add the scaled row
+        // term before forming the address.
+        let sx = g.node(NodeClass::Arith, "sx=ind*S");
+        g.edge(ind, sx);
+        let sy = g.node(NodeClass::Arith, "row=sx+oy*S*W");
+        g.edge(sx, sy);
+        sy
+    } else {
+        ind
+    };
+    let a_x = g.node(NodeClass::Arith, "a_x=base+idx");
+    g.edge(x_index, a_x);
+    let ld_x = g.node(NodeClass::MemLoad, "x=load");
+    g.edge(a_x, ld_x);
+    let a_w0 = g.node(NodeClass::Arith, "a_w0=ind*No");
+    g.edge(ind, a_w0);
+    let a_w = g.node(NodeClass::Arith, "a_w=a_w0+base");
+    g.edge(a_w0, a_w);
+    let ld_w = g.node(NodeClass::MemLoad, "w=load");
+    g.edge(a_w, ld_w);
+    let mul = g.node(NodeClass::Arith, "p=x*w");
+    g.edge(ld_x, mul);
+    g.edge(ld_w, mul);
+    let acc = g.node(NodeClass::Arith, "acc+=p");
+    g.edge(mul, acc);
+    g.edge_carried(acc, acc, 1);
+    g
+}
+
+/// The unit-stride CCF MAC body *with dataflow semantics*, for functional
+/// execution (see [`crate::exec`]): `acc += X[base_x + i] · W[base_w + i·no]`.
+/// Returns the graph and the accumulator node to observe.
+#[must_use]
+pub fn ccf_mac_body_semantic(base_x: i64, base_w: i64, no: i64) -> (Dfg, crate::dfg::NodeId) {
+    let mut g = Dfg::new();
+    let ind = g.node_op(NodeClass::Arith, "ind++", NodeOp::Induction { init: 0, step: 1 });
+    g.edge_carried(ind, ind, 1);
+    let a_x = g.node_op(NodeClass::Arith, "a_x=base+ind", NodeOp::AddImm(base_x));
+    g.edge(ind, a_x);
+    let ld_x = g.node_op(NodeClass::MemLoad, "x=load", NodeOp::Load);
+    g.edge(a_x, ld_x);
+    let a_w0 = g.node_op(NodeClass::Arith, "a_w0=ind*No", NodeOp::MulImm(no));
+    g.edge(ind, a_w0);
+    let a_w = g.node_op(NodeClass::Arith, "a_w=a_w0+base", NodeOp::AddImm(base_w));
+    g.edge(a_w0, a_w);
+    let ld_w = g.node_op(NodeClass::MemLoad, "w=load", NodeOp::Load);
+    g.edge(a_w, ld_w);
+    let mul = g.node_op(NodeClass::Arith, "p=x*w", NodeOp::Mul);
+    g.edge(ld_x, mul);
+    g.edge(ld_w, mul);
+    let acc = g.node_op(NodeClass::Arith, "acc+=p", NodeOp::Acc);
+    g.edge(mul, acc);
+    g.edge_carried(acc, acc, 1);
+    (g, acc)
+}
+
+/// A compiled-layer result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CcfResult {
+    /// Achieved initiation interval (cycles per MAC iteration).
+    pub ii: u64,
+    /// Total layer cycles (II × MACs + pipeline fill).
+    pub cycles: u64,
+    /// Seconds at the machine clock.
+    pub seconds: f64,
+    /// Useful-MAC utilization: `2·MACs / (PEs · cycles)` ops over capacity,
+    /// matching the paper's util metric for the one-op-per-cycle baseline
+    /// (a MAC is a MUL plus an ADD there).
+    pub utilization: f64,
+    /// Slot occupancy of the kernel window (ops + routes + holds).
+    pub occupancy: f64,
+    /// The schedule itself.
+    pub schedule: Schedule,
+}
+
+/// The CCF-on-baseline-CGRA model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcfModel {
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Clock frequency (Hz).
+    pub clock_hz: f64,
+}
+
+impl CcfModel {
+    /// The Table 5 baseline: a 4×4 array at 500 MHz.
+    #[must_use]
+    pub fn table5() -> Self {
+        CcfModel {
+            rows: 4,
+            cols: 4,
+            clock_hz: 500e6,
+        }
+    }
+
+    /// Compile and time one layer. Supported kinds: pointwise and
+    /// depthwise (CCF treats both as scalar MAC loops; stride > 1 adds
+    /// address ops).
+    ///
+    /// The pipelined loop is the per-output reduction (`N_i` trips for PWC,
+    /// `K²` for DWC), so every output pays the modulo schedule's
+    /// fill/drain (`makespan`) on top of `II × trip` steady-state cycles —
+    /// the "empty slots" the paper saw in CCF's output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulo scheduler cannot place the body (does not
+    /// happen for the shipped bodies) or the layer is a standard conv
+    /// (lower it to matmul first).
+    #[must_use]
+    pub fn compile_layer(&self, layer: &ConvLayer) -> CcfResult {
+        assert_ne!(layer.kind(), ConvKind::Standard, "lower standard conv before the CCF model");
+        let body = ccf_mac_body(layer.s() > 1);
+        let trip = match layer.kind() {
+            ConvKind::Pointwise => layer.in_channels() as u64,
+            _ => (layer.k() * layer.k()) as u64,
+        };
+        self.compile_macs(&body, layer.macs(), trip)
+    }
+
+    /// Compile a MAC body and scale to `macs` iterations, pipelined in
+    /// loop instances of `trip` iterations each.
+    #[must_use]
+    pub fn compile_macs(&self, body: &Dfg, macs: u64, trip: u64) -> CcfResult {
+        let sched = ModuloScheduler::new(self.rows, self.cols);
+        let schedule = sched.schedule(body).expect("CCF body schedulable");
+        let pes = (self.rows * self.cols) as u64;
+        let instances = macs.div_ceil(trip.max(1));
+        let cycles = instances * (schedule.ii * trip + schedule.makespan);
+        let seconds = cycles as f64 / self.clock_hz;
+        let utilization = (2 * macs) as f64 / (pes as f64 * cycles as f64);
+        let occupancy = schedule.occupancy(pes as usize);
+        CcfResult {
+            ii: schedule.ii,
+            cycles,
+            seconds,
+            utilization,
+            occupancy,
+            schedule,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_has_paper_op_mix() {
+        // 1 useful MUL + 1 useful ADD + 1 MUL + 3 ADDs of address math +
+        // 2 loads = 8 nodes (unit stride).
+        let g = ccf_mac_body(false);
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.mem_ops(), 2);
+        // Stride variant has two extra address ops.
+        assert_eq!(ccf_mac_body(true).len(), 10);
+    }
+
+    #[test]
+    fn pwc_layer_lands_in_the_paper_regime() {
+        // Paper: 78.91 ms / 8.14 % util for MobileNet pw1 on the 4×4
+        // baseline. The model must land in the single-digit-util,
+        // tens-of-ms regime (the shape, not the exact number).
+        let layer = ConvLayer::pointwise("pw1", 32, 64, 112, 112);
+        let r = CcfModel::table5().compile_layer(&layer);
+        let ms = r.seconds * 1e3;
+        assert!((45.0..130.0).contains(&ms), "CCF PWC {ms} ms");
+        assert!((0.04..0.14).contains(&r.utilization), "CCF util {}", r.utilization);
+    }
+
+    #[test]
+    fn stride2_is_less_efficient() {
+        let dw1 = ConvLayer::depthwise("dw1", 32, 112, 112, 3, 1, 1);
+        let dw2 = ConvLayer::depthwise("dw2", 64, 112, 112, 3, 2, 1);
+        let m = CcfModel::table5();
+        let r1 = m.compile_layer(&dw1);
+        let r2 = m.compile_layer(&dw2);
+        assert!(
+            r2.utilization <= r1.utilization,
+            "stride-2 util {} vs stride-1 {}",
+            r2.utilization,
+            r1.utilization
+        );
+    }
+
+    #[test]
+    fn cycles_scale_linearly_with_macs() {
+        let m = CcfModel::table5();
+        let body = ccf_mac_body(false);
+        let a = m.compile_macs(&body, 1_000, 10);
+        let b = m.compile_macs(&body, 2_000, 10);
+        assert_eq!(b.cycles, 2 * a.cycles);
+    }
+
+    #[test]
+    fn occupancy_below_one_means_empty_slots() {
+        // The paper observed empty slots in CCF output; the model keeps
+        // some of the II window idle too.
+        let r = CcfModel::table5().compile_layer(&ConvLayer::pointwise("pw", 32, 64, 112, 112));
+        assert!(r.occupancy < 1.0);
+        assert!(r.occupancy > 0.2, "occupancy {} suspiciously low", r.occupancy);
+    }
+}

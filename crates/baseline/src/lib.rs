@@ -1,0 +1,32 @@
+//! Baseline comparators (§3.1 and §6.2).
+//!
+//! Two models live here:
+//!
+//! - [`dfg`] + [`modulo`] + [`ccf`]: a CCF-style compiler flow for the
+//!   baseline ADRES-like CGRA. Convolution inner loops are lowered to
+//!   dataflow graphs with *addressed* load-store — the paper observed that
+//!   CCF emits 1 extra MUL and 3 extra ADDs per MAC purely for address
+//!   computation — and software-pipelined by an iterative modulo scheduler
+//!   that honours the mesh interconnect (operands travel one hop per cycle,
+//!   consuming route slots) and the one-load-store-unit-per-row constraint.
+//!   The resulting initiation interval gives the Table 5 "CCF" column's
+//!   latency and utilization regime.
+//! - [`theoretical`]: the minimum-latency analysis of Table 1 — compute
+//!   time vs L1-transfer time for the baseline 4×4 CGRA, the "enhanced"
+//!   8×8 CGRA, and an Eyeriss-class DPU, over the seven MobileNet-V2 DWC
+//!   layers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccf;
+pub mod dfg;
+pub mod exec;
+pub mod modulo;
+pub mod theoretical;
+
+pub use ccf::{CcfModel, CcfResult};
+pub use dfg::{Dfg, NodeClass, NodeId, NodeOp};
+pub use exec::ScheduleExecutor;
+pub use modulo::{ModuloScheduler, Schedule};
+pub use theoretical::{baseline_4x4, enhanced_8x8, eyeriss_168, min_latency, ArchPoint, MinLatency, ReuseScenario};

@@ -1,0 +1,231 @@
+//! The theoretical minimum-latency analysis of Table 1 (§3.1).
+//!
+//! Layer latency is `max(compute, L1 transfer, DMA)`:
+//!
+//! - **compute** assumes 100 % PE utilization — two ops per MAC on machines
+//!   without a single-cycle MAC, one otherwise;
+//! - **L1 transfer** assumes every load-store unit streams one word per
+//!   cycle; the *most-reuse* scenario reads each IFM element once, the
+//!   *least-reuse* scenario fetches one operand per MAC (no spatial reuse);
+//!   OFM write-back always flows through the same ports;
+//! - **DMA** is the off-chip stream time at 12.5 GB/s (negligible for the
+//!   DWC layers compared, as the paper notes).
+
+use npcgra_nn::ConvLayer;
+
+/// One architecture point in the Table 1 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchPoint {
+    /// Display name.
+    pub name: String,
+    /// Number of PEs.
+    pub pes: u64,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Simultaneous load-store units.
+    pub lsus: u64,
+    /// Word size in bytes (for DMA volume).
+    pub word_bytes: u64,
+    /// Whether a PE does a full MAC per cycle.
+    pub single_cycle_mac: bool,
+}
+
+/// The baseline 4×4 CGRA of §3.1 (500 MHz, 4-byte words, 4 LSUs, MUL *or*
+/// ADD per cycle).
+#[must_use]
+pub fn baseline_4x4() -> ArchPoint {
+    ArchPoint {
+        name: "CGRA baseline (4x4)".into(),
+        pes: 16,
+        clock_hz: 500e6,
+        lsus: 4,
+        word_bytes: 4,
+        single_cycle_mac: false,
+    }
+}
+
+/// The "CGRA enhanced" point: 8×8, 2-byte words, single-cycle MAC, one LSU
+/// per row *or* column (16 total).
+#[must_use]
+pub fn enhanced_8x8() -> ArchPoint {
+    ArchPoint {
+        name: "CGRA enhanced (8x8)".into(),
+        pes: 64,
+        clock_hz: 500e6,
+        lsus: 16,
+        word_bytes: 2,
+        single_cycle_mac: true,
+    }
+}
+
+/// Eyeriss as the reference hard DPU: 168 PEs at 200 MHz, 32 LSUs assumed.
+#[must_use]
+pub fn eyeriss_168() -> ArchPoint {
+    ArchPoint {
+        name: "Eyeriss (168 PEs)".into(),
+        pes: 168,
+        clock_hz: 200e6,
+        lsus: 32,
+        word_bytes: 2,
+        single_cycle_mac: true,
+    }
+}
+
+/// IFM-reuse scenario for the L1 estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseScenario {
+    /// One L1 read per MAC operand pair (no spatial reuse).
+    Least,
+    /// Each IFM element read from L1 exactly once.
+    Most,
+}
+
+/// The minimum-latency breakdown for a set of layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinLatency {
+    /// Compute-bound time in seconds.
+    pub compute_s: f64,
+    /// L1-transfer-bound time in seconds.
+    pub l1_s: f64,
+    /// Off-chip DMA time in seconds.
+    pub dma_s: f64,
+}
+
+impl MinLatency {
+    /// The layer latency: the max of the three bounds.
+    #[must_use]
+    pub fn latency_s(&self) -> f64 {
+        self.compute_s.max(self.l1_s).max(self.dma_s)
+    }
+
+    /// Milliseconds helper.
+    #[must_use]
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_s() * 1e3
+    }
+}
+
+/// Compute the Table 1 bounds for `layers` on `arch` under `scenario`.
+#[must_use]
+pub fn min_latency(arch: &ArchPoint, layers: &[ConvLayer], scenario: ReuseScenario) -> MinLatency {
+    let macs: u64 = layers.iter().map(ConvLayer::macs).sum();
+    let ifm: u64 = layers.iter().map(ConvLayer::ifm_elems).sum();
+    let ofm: u64 = layers.iter().map(ConvLayer::ofm_elems).sum();
+    let weights: u64 = layers.iter().map(ConvLayer::weight_elems).sum();
+
+    let ops_per_mac = if arch.single_cycle_mac { 1 } else { 2 };
+    let compute_cycles = macs * ops_per_mac / arch.pes;
+    // L1 traffic counts the *load* ports (the bottleneck resource); OFM
+    // write-back flows on the store path, which never dominates for DWC
+    // (outputs are K² times fewer than operand fetches).
+    let reads = match scenario {
+        ReuseScenario::Least => macs,
+        ReuseScenario::Most => ifm,
+    } + weights;
+    let l1_cycles = reads / arch.lsus;
+    let dma_bytes = (ifm + ofm + weights) * arch.word_bytes;
+
+    MinLatency {
+        compute_s: compute_cycles as f64 / arch.clock_hz,
+        l1_s: l1_cycles as f64 / arch.clock_hz,
+        dma_s: dma_bytes as f64 / 12.5e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npcgra_nn::models::mobilenet_v2_table1_dwc_layers;
+
+    fn layers() -> Vec<ConvLayer> {
+        mobilenet_v2_table1_dwc_layers()
+    }
+
+    #[test]
+    fn compute_ratio_baseline_vs_eyeriss_is_8x() {
+        // Table 1: 1.68 ms vs 0.20 ms ≈ 8.4× — the ratio is exact in the
+        // model (2 ops/MAC · Eyeriss PEs · Eyeriss clock / ...).
+        let l = layers();
+        let base = min_latency(&baseline_4x4(), &l, ReuseScenario::Most);
+        let eye = min_latency(&eyeriss_168(), &l, ReuseScenario::Most);
+        let ratio = base.compute_s / eye.compute_s;
+        assert!((ratio - 8.4).abs() < 0.1, "compute ratio {ratio}");
+    }
+
+    #[test]
+    fn enhanced_matches_eyeriss_compute() {
+        let l = layers();
+        let enh = min_latency(&enhanced_8x8(), &l, ReuseScenario::Most);
+        let eye = min_latency(&eyeriss_168(), &l, ReuseScenario::Most);
+        let ratio = enh.compute_s / eye.compute_s;
+        assert!((0.9..1.1).contains(&ratio), "enhanced/Eyeriss compute {ratio}");
+    }
+
+    #[test]
+    fn baseline_is_l1_bound_without_reuse() {
+        // Table 1's 4.10 ms worst case: least reuse makes L1 the bottleneck.
+        let l = layers();
+        let worst = min_latency(&baseline_4x4(), &l, ReuseScenario::Least);
+        assert!(worst.l1_s > worst.compute_s);
+        assert!((worst.latency_ms() / (min_latency(&baseline_4x4(), &l, ReuseScenario::Most).latency_ms()) > 1.5));
+    }
+
+    #[test]
+    fn enhanced_is_essentially_compute_bound_with_reuse() {
+        // The §3.1 conclusion: doubling on-chip bandwidth (16 LSUs) makes
+        // the 8×8 enhanced machine compute-bound at Eyeriss-class latency.
+        // Our layer accounting leaves L1 within ~10 % of compute (the paper
+        // has 0.19 vs 0.21 ms); assert near-parity rather than strict
+        // ordering.
+        let l = layers();
+        let enh = min_latency(&enhanced_8x8(), &l, ReuseScenario::Most);
+        assert!(
+            enh.l1_s <= 1.15 * enh.compute_s,
+            "compute {} vs l1 {}",
+            enh.compute_s,
+            enh.l1_s
+        );
+        // Halving the LSUs (back to one per row) makes it clearly L1-bound,
+        // which is exactly why the crossbar/V-MEM extension exists.
+        let mut half = enhanced_8x8();
+        half.lsus = 8;
+        let bound = min_latency(&half, &l, ReuseScenario::Most);
+        assert!(bound.l1_s > 1.5 * bound.compute_s);
+    }
+
+    #[test]
+    fn dma_stays_off_the_critical_path_for_the_baseline() {
+        // The paper reports DMA time as "very small for all the cases";
+        // under our fuller data accounting it stays below the on-chip
+        // bounds for the baseline and within the same order of magnitude
+        // everywhere (EXPERIMENTS.md discusses the gap).
+        let l = layers();
+        let base = min_latency(&baseline_4x4(), &l, ReuseScenario::Most);
+        assert!(base.dma_s < base.compute_s.max(base.l1_s));
+        for arch in [enhanced_8x8(), eyeriss_168()] {
+            let m = min_latency(&arch, &l, ReuseScenario::Most);
+            assert!(m.dma_s < 5.0 * m.compute_s.max(m.l1_s), "{}", arch.name);
+        }
+    }
+
+    #[test]
+    fn absolute_magnitudes_in_paper_band() {
+        // Paper values (ms): baseline compute 1.68, enhanced 0.21,
+        // Eyeriss 0.20. Our layer accounting yields the same ratios with a
+        // ~1.3× absolute offset (documented in EXPERIMENTS.md); assert the
+        // band rather than the point.
+        let l = layers();
+        let base = min_latency(&baseline_4x4(), &l, ReuseScenario::Most);
+        assert!(
+            (1.4..3.2).contains(&(base.compute_s * 1e3)),
+            "baseline compute {}",
+            base.compute_s * 1e3
+        );
+        let eye = min_latency(&eyeriss_168(), &l, ReuseScenario::Most);
+        assert!(
+            (0.17..0.40).contains(&(eye.compute_s * 1e3)),
+            "eyeriss compute {}",
+            eye.compute_s * 1e3
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the modulo scheduler: every schedule it emits must be
+//! legal (dependences, mesh reachability, modulo resources), for arbitrary
+//! random DFGs.
+
+use npcgra_baseline::{ccf, CcfModel, Dfg, ModuloScheduler, NodeClass};
+use proptest::prelude::*;
+
+/// A random DAG of arithmetic/memory nodes with forward edges and an
+/// optional accumulator recurrence.
+fn random_dfg() -> impl Strategy<Value = Dfg> {
+    (
+        2usize..12,
+        proptest::collection::vec(any::<(u8, u8, bool)>(), 1..20),
+        any::<bool>(),
+    )
+        .prop_map(|(n, raw_edges, recur)| {
+            let mut g = Dfg::new();
+            for i in 0..n {
+                let class = if i % 5 == 3 { NodeClass::MemLoad } else { NodeClass::Arith };
+                g.node(class, &format!("n{i}"));
+            }
+            for (a, b, _) in raw_edges {
+                let (a, b) = (a as usize % n, b as usize % n);
+                if a < b {
+                    g.edge(a, b);
+                }
+            }
+            if recur {
+                g.edge_carried(n - 1, n - 1, 1);
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every schedule produced validates against the constraints it was
+    /// produced under.
+    #[test]
+    fn schedules_are_legal(dfg in random_dfg(), rows in 1usize..5, cols in 1usize..5) {
+        let sched = ModuloScheduler::new(rows, cols);
+        if let Some(s) = sched.schedule(&dfg) {
+            prop_assert!(s.validate(&dfg, &sched).is_ok(), "{:?}", s.validate(&dfg, &sched));
+            prop_assert!(s.ii >= sched.res_mii(&dfg).max(dfg.rec_mii()));
+            prop_assert!(s.occupancy(rows * cols) <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Schedules remain legal under the relaxed (register-file holding)
+    /// model too. (Greedy scheduling is not monotone in constraint
+    /// relaxation, so we do not assert an II ordering here — only that both
+    /// schedulers emit valid schedules.)
+    #[test]
+    fn rf_holding_schedules_are_legal(dfg in random_dfg()) {
+        let rf_hold = ModuloScheduler { hold_in_pe: false, ..ModuloScheduler::new(3, 3) };
+        if let Some(s) = rf_hold.schedule(&dfg) {
+            prop_assert!(s.validate(&dfg, &rf_hold).is_ok(), "{:?}", s.validate(&dfg, &rf_hold));
+        }
+    }
+
+    /// CCF latency scales monotonically with MAC count.
+    #[test]
+    fn ccf_latency_monotone(m1 in 1_000u64..100_000, m2 in 100_000u64..1_000_000) {
+        let model = CcfModel::table5();
+        let body = ccf::ccf_mac_body(false);
+        let a = model.compile_macs(&body, m1, 32);
+        let b = model.compile_macs(&body, m2, 32);
+        prop_assert!(a.cycles <= b.cycles);
+    }
+}

@@ -1,0 +1,160 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each group
+//! prints the simulated-cycle comparison (the ablation result) and
+//! benchmarks the evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use npcgra::nn::models;
+use npcgra::CgraSpec;
+use npcgra_kernels::{perf, BlockCfg};
+use npcgra_sim::{time_layer, MappingKind};
+
+/// Dual-mode MAC: chained MAC vs MUL+ADD split halves/doubles the compute
+/// cycles of every mapping (§3.2's "reduce PWC latency to half").
+fn ablation_dual_mode_mac(c: &mut Criterion) {
+    let (pw, _, _) = models::table5_layers();
+    let spec = CgraSpec::np_cgra(4, 4);
+    let cfg = BlockCfg::choose_pwc(&spec, pw.in_channels(), pw.out_w(), pw.out_channels());
+    let chained = perf::pwc_layer_cycles(&pw, &spec, cfg);
+    // Without chaining each MAC is two issue slots: the stream phase
+    // doubles (N_i MACs -> 2·N_i cycles per tile).
+    let split_tile = 2 * pw.in_channels() as u64 + spec.cols as u64 + 1;
+    let chained_tile = pw.in_channels() as u64 + spec.cols as u64 + 1;
+    let split = chained / chained_tile * split_tile;
+    println!(
+        "[ablation/dual-mode-mac] PWC cycles: chained {chained}, split {split} ({:.2}x)",
+        split as f64 / chained as f64
+    );
+    c.bench_function("ablations/dual_mode_mac_model", |b| {
+        b.iter(|| black_box(perf::pwc_layer_cycles(black_box(&pw), &spec, cfg)));
+    });
+}
+
+/// Operand reuse network: DWC-S1 (ORN-based) vs the general mapping
+/// (H-bus streaming) on stride-1 layers.
+fn ablation_orn(c: &mut Criterion) {
+    let (_, dw1, _) = models::table5_layers();
+    let spec = CgraSpec::np_cgra(4, 4);
+    let cfg = BlockCfg::choose_dwc(&spec, 3, 1, dw1.out_h(), dw1.out_w());
+    let with_orn = perf::dwc_s1_layer_cycles(&dw1, &spec, cfg);
+    let without = perf::dwc_general_layer_cycles(&dw1, &spec, cfg);
+    println!(
+        "[ablation/orn] DWC S=1 cycles: with ORN {with_orn}, without {without} ({:.2}x)",
+        without as f64 / with_orn as f64
+    );
+    c.bench_function("ablations/orn_vs_streaming", |b| {
+        b.iter(|| {
+            black_box(perf::dwc_s1_layer_cycles(black_box(&dw1), &spec, cfg));
+            black_box(perf::dwc_general_layer_cycles(black_box(&dw1), &spec, cfg));
+        });
+    });
+}
+
+/// Crossbar + V-MEM: the mapping-level effect is the matmul-DWC column cap
+/// (1/N_c utilization) vs the full 2-D mappings.
+fn ablation_crossbar(c: &mut Criterion) {
+    let (_, dw1, _) = models::table5_layers();
+    let spec = CgraSpec::np_cgra(4, 4);
+    let ours = time_layer(&dw1, &spec, MappingKind::Auto).expect("maps");
+    let matmul = time_layer(&dw1, &spec, MappingKind::MatmulDwc).expect("maps");
+    println!(
+        "[ablation/2d-mapping] DWC S=1: 2-D {:.2} ms vs single-column {:.2} ms ({:.2}x)",
+        ours.ms(),
+        matmul.ms(),
+        matmul.ms() / ours.ms()
+    );
+    c.bench_function("ablations/mapping_dimensionality", |b| {
+        b.iter(|| {
+            black_box(time_layer(black_box(&dw1), &spec, MappingKind::Auto).expect("maps"));
+            black_box(time_layer(black_box(&dw1), &spec, MappingKind::MatmulDwc).expect("maps"));
+        });
+    });
+}
+
+/// Array-size sweep: PWC efficiency as the array grows (the paper expects
+/// the mapping-efficiency gap over CCF to widen with size).
+fn ablation_array_sweep(c: &mut Criterion) {
+    let (pw, _, _) = models::table5_layers();
+    print!("[ablation/array-sweep] PWC utilization:");
+    for n in [2usize, 4, 8, 16] {
+        let spec = CgraSpec::np_cgra(n, n);
+        let r = time_layer(&pw, &spec, MappingKind::Auto).expect("maps");
+        print!(" {n}x{n}={:.1}%", r.utilization() * 100.0);
+    }
+    println!();
+    c.bench_function("ablations/array_size_sweep", |b| {
+        b.iter(|| {
+            for n in [2usize, 4, 8, 16] {
+                let spec = CgraSpec::np_cgra(n, n);
+                black_box(time_layer(black_box(&pw), &spec, MappingKind::Auto).expect("maps"));
+            }
+        });
+    });
+}
+
+/// V-MEM SS path (the §4.2 design choice): one V-bus cycle per SS vs
+/// streaming the south row over an H-bus for N_c cycles.
+fn ablation_ss_vmem(c: &mut Criterion) {
+    for n in [4usize, 8, 16] {
+        let spec = CgraSpec::np_cgra(n, n);
+        let with = npcgra::kernels::DwcS1Mapping::new(3, &spec, 0);
+        use npcgra::kernels::TileMapping;
+        let w = with.tile_latency();
+        let wo = perf::dwc_s1_tile_latency_without_vmem(3, &spec);
+        println!(
+            "[ablation/ss-vmem] {n}x{n}: tile {w} cycles with V-MEM, {wo} without ({:.2}x)",
+            wo as f64 / w as f64
+        );
+    }
+    c.bench_function("ablations/ss_vmem_model", |b| {
+        b.iter(|| black_box(perf::dwc_s1_tile_latency_without_vmem(3, &CgraSpec::np_cgra(8, 8))));
+    });
+}
+
+/// Table 4's two buffering sets: double-buffered vs serialized DMA.
+fn ablation_double_buffering(c: &mut Criterion) {
+    use npcgra_sim::time_layer_single_buffered;
+    let spec = CgraSpec::table4();
+    let (_, dw1, _) = models::table5_layers();
+    let db = time_layer(&dw1, &spec, MappingKind::Auto).expect("maps");
+    let sb = time_layer_single_buffered(&dw1, &spec, MappingKind::Auto).expect("maps");
+    println!(
+        "[ablation/double-buffer] dw1: {:.3} ms with 2 sets, {:.3} ms with 1 ({:.2}x)",
+        db.ms(),
+        sb.ms(),
+        sb.ms() / db.ms()
+    );
+    c.bench_function("ablations/double_buffering_model", |b| {
+        b.iter(|| black_box(time_layer_single_buffered(black_box(&dw1), &spec, MappingKind::Auto).expect("maps")));
+    });
+}
+
+/// §5.4 channel batching on a DMA-bound layer.
+fn ablation_channel_batching(c: &mut Criterion) {
+    let spec = CgraSpec::table4();
+    let layer = npcgra::ConvLayer::depthwise("s7.dw", 960, 7, 7, 3, 1, 1);
+    let plain = time_layer(&layer, &spec, MappingKind::Auto).expect("maps");
+    let batched = time_layer(&layer, &spec, MappingKind::BatchedDwcS1).expect("maps");
+    println!(
+        "[ablation/batching] 7x7x960 DWC: {:.3} ms per-channel vs {:.3} ms batched ({:.2}x)",
+        plain.ms(),
+        batched.ms(),
+        plain.ms() / batched.ms()
+    );
+    c.bench_function("ablations/channel_batching_model", |b| {
+        b.iter(|| black_box(time_layer(black_box(&layer), &spec, MappingKind::BatchedDwcS1).expect("maps")));
+    });
+}
+
+criterion_group!(
+    ablations,
+    ablation_dual_mode_mac,
+    ablation_orn,
+    ablation_crossbar,
+    ablation_array_sweep,
+    ablation_ss_vmem,
+    ablation_channel_batching,
+    ablation_double_buffering
+);
+criterion_main!(ablations);

@@ -1,0 +1,87 @@
+//! Benchmarks of the cycle-accurate simulator itself: simulated cycles per
+//! wall-clock second for each mapping, and the end-to-end functional layer
+//! runs that back Tables 3 and 5.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use npcgra::sim::{run_layer, run_matmul_dwc};
+use npcgra::Machine;
+use npcgra_bench::{small_dsc, small_pwc, spec_4x4};
+use npcgra_kernels::dwc_general::padded_ifm;
+use npcgra_kernels::dwc_s1::DwcS1LayerMap;
+use npcgra_kernels::pwc::PwcLayerMap;
+
+fn bench_block_execution(c: &mut Criterion) {
+    let spec = spec_4x4();
+
+    let mut g = c.benchmark_group("simulator/block");
+    // PWC block.
+    let (pw, pw_ifm, pw_w) = small_pwc();
+    let pw_map = PwcLayerMap::new(&pw, &spec).expect("maps");
+    let pw_prog = pw_map.materialize(0, &pw_ifm, &pw_w);
+    g.throughput(Throughput::Elements(pw_prog.compute_cycles()));
+    g.bench_function("pwc_tile_cycles", |b| {
+        let mut m = Machine::new(&spec);
+        b.iter(|| black_box(m.run_block(black_box(&pw_prog)).expect("runs")));
+    });
+
+    // DWC-S1 block.
+    let (dw, dw_ifm, dw_w) = small_dsc();
+    let dw_map = DwcS1LayerMap::new(&dw, &spec).expect("maps");
+    let padded = padded_ifm(&dw, &dw_ifm);
+    let dw_prog = dw_map.materialize(0, &padded, &dw_w);
+    g.throughput(Throughput::Elements(dw_prog.compute_cycles()));
+    g.bench_function("dwc_s1_tile_cycles", |b| {
+        let mut m = Machine::new(&spec);
+        b.iter(|| black_box(m.run_block(black_box(&dw_prog)).expect("runs")));
+    });
+    g.finish();
+}
+
+fn bench_layer_execution(c: &mut Criterion) {
+    let spec = spec_4x4();
+    let mut g = c.benchmark_group("simulator/layer");
+    g.sample_size(10);
+
+    let (pw, pw_ifm, pw_w) = small_pwc();
+    g.bench_function("pwc_layer_functional", |b| {
+        b.iter(|| black_box(run_layer(&pw, &pw_ifm, &pw_w, &spec).expect("runs")));
+    });
+
+    let (dw, dw_ifm, dw_w) = small_dsc();
+    g.bench_function("dwc_s1_layer_functional", |b| {
+        b.iter(|| black_box(run_layer(&dw, &dw_ifm, &dw_w, &spec).expect("runs")));
+    });
+    g.bench_function("dwc_matmul_layer_functional", |b| {
+        b.iter(|| black_box(run_matmul_dwc(&dw, &dw_ifm, &dw_w, &spec).expect("runs")));
+    });
+    g.finish();
+}
+
+fn bench_encoded_execution(c: &mut Criterion) {
+    // The decode-per-cycle overhead of running from configuration memory.
+    let spec = spec_4x4();
+    let (dw, dw_ifm, dw_w) = small_dsc();
+    let map = DwcS1LayerMap::new(&dw, &spec).expect("maps");
+    let padded = padded_ifm(&dw, &dw_ifm);
+    let prog = map.materialize(0, &padded, &dw_w);
+    let mut g = c.benchmark_group("simulator/encoded");
+    g.bench_function("oracle_block", |b| {
+        let mut m = Machine::new(&spec);
+        b.iter(|| black_box(m.run_block(black_box(&prog)).expect("runs")));
+    });
+    g.bench_function("encoded_block", |b| {
+        let mut m = Machine::new(&spec);
+        b.iter(|| black_box(m.run_block_encoded(black_box(&prog)).expect("runs")));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    simulator,
+    bench_block_execution,
+    bench_layer_execution,
+    bench_encoded_execution
+);
+criterion_main!(simulator);

@@ -1,0 +1,165 @@
+//! One Criterion group per paper table: each group prints the regenerated
+//! metrics once, then benchmarks the evaluation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use npcgra::nn::models;
+use npcgra::{LayerReport, NpCgra};
+use npcgra_baseline::{baseline_4x4, enhanced_8x8, eyeriss_168, min_latency, CcfModel, ReuseScenario};
+use npcgra_bench::spec_4x4;
+use npcgra_sim::{time_layer, MappingKind};
+
+fn bench_table1(c: &mut Criterion) {
+    let layers = models::mobilenet_v2_table1_dwc_layers();
+    for arch in [baseline_4x4(), enhanced_8x8(), eyeriss_168()] {
+        let m = min_latency(&arch, &layers, ReuseScenario::Most);
+        println!(
+            "[table1] {}: compute {:.2} ms, L1 {:.2} ms",
+            arch.name,
+            m.compute_s * 1e3,
+            m.l1_s * 1e3
+        );
+    }
+    c.bench_function("table1/min_latency_7_dwc_layers", |b| {
+        b.iter(|| {
+            for arch in [baseline_4x4(), enhanced_8x8(), eyeriss_168()] {
+                black_box(min_latency(&arch, black_box(&layers), ReuseScenario::Most));
+            }
+        });
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let spec = spec_4x4();
+    let (pw, dw1, dw2) = models::table5_layers();
+    let ccf = CcfModel::table5();
+    for l in [&pw, &dw1, &dw2] {
+        let ours = time_layer(l, &spec, MappingKind::Auto).expect("maps");
+        let base = ccf.compile_layer(l);
+        println!(
+            "[table5] {}: ours {:.2} ms ({:.1} %), CCF {:.2} ms ({:.1} %)",
+            l.name(),
+            ours.ms(),
+            ours.utilization() * 100.0,
+            base.seconds * 1e3,
+            base.utilization * 100.0
+        );
+    }
+    c.bench_function("table5/np_cgra_mapping_estimates", |b| {
+        b.iter(|| {
+            for l in [&pw, &dw1, &dw2] {
+                black_box(time_layer(black_box(l), &spec, MappingKind::Auto).expect("maps"));
+            }
+        });
+    });
+    c.bench_function("table5/ccf_modulo_scheduling", |b| {
+        b.iter(|| {
+            for l in [&pw, &dw1, &dw2] {
+                black_box(ccf.compile_layer(black_box(l)));
+            }
+        });
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    use npcgra_kernels::{perf, BlockCfg};
+    let spec = spec_4x4();
+    let (pw, dw1, dw2) = models::table5_layers();
+    let cfg_pw = BlockCfg::choose_pwc(&spec, pw.in_channels(), pw.out_w(), pw.out_channels());
+    let cfg_dw = BlockCfg::choose_dwc(&spec, 3, 1, dw1.out_h(), dw1.out_w());
+    println!(
+        "[table3] closed forms (cycles): PWC {} / DWC-S1 {} / DWC-S2 {}",
+        perf::pwc_layer_cycles(&pw, &spec, cfg_pw),
+        perf::dwc_s1_layer_cycles(&dw1, &spec, cfg_dw),
+        perf::best_mapping_cycles(&dw2, &spec)
+    );
+    c.bench_function("table3/closed_form_latency_models", |b| {
+        b.iter(|| {
+            black_box(perf::pwc_layer_cycles(black_box(&pw), &spec, cfg_pw));
+            black_box(perf::dwc_s1_layer_cycles(black_box(&dw1), &spec, cfg_dw));
+            black_box(perf::best_mapping_cycles(black_box(&dw2), &spec));
+        });
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    // Figs. 1/5/6-8: schedule generation = configuration compilation;
+    // Figs. 9-11: bank-image construction.
+    use npcgra_kernels::{ConfigImage, DwcGeneralMapping, DwcS1Mapping, PwcMapping};
+    let spec = spec_4x4();
+    c.bench_function("fig_schedules/config_compilation", |b| {
+        b.iter(|| {
+            black_box(ConfigImage::compile(&PwcMapping::new(32, &spec, 0), &spec).expect("compiles"));
+            black_box(ConfigImage::compile(&DwcS1Mapping::new(3, &spec, 0), &spec).expect("compiles"));
+            black_box(ConfigImage::compile(&DwcGeneralMapping::new(3, 2, &spec, 0), &spec).expect("compiles"));
+        });
+    });
+    use npcgra::Tensor;
+    use npcgra_kernels::{layout, BlockCfg};
+    let padded = Tensor::random(1, 34, 34, 1);
+    let cfg = BlockCfg { b_r: 2, b_c: 2 };
+    c.bench_function("fig_layouts/bank_image_construction", |b| {
+        b.iter(|| {
+            black_box(layout::dwc_s1_h_image(black_box(&padded), 0, 0, 0, cfg, 4, 4, 3));
+            black_box(layout::dwc_s1_v_image(black_box(&padded), 0, 0, 0, cfg, 4, 4, 3));
+        });
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let machine = NpCgra::table4();
+    let v1 = models::mobilenet_v1(0.5, 128);
+    let v2 = models::mobilenet_v2(1.0, 224);
+    let alex = models::alexnet();
+
+    let t1 = machine.time_model_dsc(&v1).expect("v1");
+    let t2 = machine.time_model_dsc(&v2).expect("v2");
+    let alex_ms: f64 = alex.conv_layers().map(|l| machine.time_layer(l).expect("alex").ms()).sum();
+    println!(
+        "[table6] V1 DSC {:.2} ms (paper 4.01), V2 DSC {:.2} ms (paper 18.06), AlexNet {:.2} ms (paper 40.07)",
+        t1.ms(),
+        t2.ms(),
+        alex_ms
+    );
+
+    c.bench_function("table6/mobilenet_v1_dsc_timing", |b| {
+        b.iter(|| black_box(machine.time_model_dsc(black_box(&v1)).expect("v1")));
+    });
+    c.bench_function("table6/mobilenet_v2_dsc_timing", |b| {
+        b.iter(|| black_box(machine.time_model_dsc(black_box(&v2)).expect("v2")));
+    });
+    c.bench_function("table6/alexnet_im2col_pwc_timing", |b| {
+        b.iter(|| {
+            let total: f64 = alex.conv_layers().map(|l| machine.time_layer(l).expect("alex").ms()).sum();
+            black_box(total)
+        });
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let machine = NpCgra::table4();
+    let a = machine.area();
+    println!(
+        "[fig12] NP-CGRA 8x8: total {:.3} mm^2 (SRAM {:.3}, PEs {:.3}, AGUs {:.3})",
+        a.total(),
+        a.sram,
+        a.pe_array,
+        a.agus
+    );
+    c.bench_function("fig12/area_breakdown", |b| {
+        b.iter(|| black_box(NpCgra::table4().area().total()));
+    });
+    let _ = LayerReport::for_spec("bench", machine.spec());
+}
+
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table3,
+    bench_table5,
+    bench_table6,
+    bench_fig12,
+    bench_figures
+);
+criterion_main!(tables);

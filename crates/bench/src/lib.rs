@@ -1,0 +1,38 @@
+//! Shared helpers for the NP-CGRA benchmark harness.
+//!
+//! The benches serve two purposes: Criterion measures the wall-clock cost
+//! of the *models* (how fast the reproduction evaluates each paper table),
+//! and each group first prints the simulated paper metrics it regenerates,
+//! so `cargo bench` output doubles as an experiment log.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use npcgra::{CgraSpec, ConvLayer, Tensor};
+
+/// The Table 5 machine (4×4 with the Table 4 memory budget).
+#[must_use]
+pub fn spec_4x4() -> CgraSpec {
+    let mut s = CgraSpec::np_cgra(4, 4);
+    s.hmem_bytes = 39 * 1024;
+    s.vmem_bytes = 39 * 1024;
+    s
+}
+
+/// A small DSC workload with data, for cycle-accurate benching.
+#[must_use]
+pub fn small_dsc() -> (ConvLayer, Tensor, Tensor) {
+    let layer = ConvLayer::depthwise("dw", 8, 32, 32, 3, 1, 1);
+    let ifm = Tensor::random(8, 32, 32, 1);
+    let w = layer.random_weights(2);
+    (layer, ifm, w)
+}
+
+/// A small PWC workload with data.
+#[must_use]
+pub fn small_pwc() -> (ConvLayer, Tensor, Tensor) {
+    let layer = ConvLayer::pointwise("pw", 32, 32, 16, 16);
+    let ifm = Tensor::random(32, 16, 16, 3);
+    let w = layer.random_weights(4);
+    (layer, ifm, w)
+}

@@ -1,0 +1,69 @@
+//! `npcgra` — the NP-CGRA reproduction's command line.
+//!
+//! ```text
+//! npcgra run-layer  --kind dw --channels 32 --size 112x112 --stride 1 [--machine 8x8] [--relu] [--mapping auto|matmul|batched]
+//! npcgra time-model --model v1|v2|alexnet [--alpha 0.5] [--res 128] [--machine 8x8] [--batched]
+//! npcgra trace      --kind dw --channels 2 --size 8x8 [--machine 2x2] [--cycles 40]
+//! npcgra energy     --kind dw --channels 8 --size 24x24 [--mapping auto|matmul|batched]
+//! npcgra disasm     --kind dw --channels 1 --size 8x8 [--machine 2x2] [--relu]
+//! ```
+
+mod args;
+mod cmd_disasm;
+mod cmd_energy;
+mod cmd_run_layer;
+mod cmd_time_model;
+mod cmd_trace;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "run-layer" => cmd_run_layer::run(rest),
+        "time-model" => cmd_time_model::run(rest),
+        "trace" => cmd_trace::run(rest),
+        "energy" => cmd_energy::run(rest),
+        "disasm" => cmd_disasm::run(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+npcgra — cycle-accurate NP-CGRA reproduction (DATE 2021)
+
+commands:
+  run-layer   run one layer functionally, check against the golden
+              reference and print the performance report
+  time-model  per-layer timing of MobileNet V1/V2 or AlexNet
+  trace       dump a cycle-by-cycle execution trace of one block
+  energy      first-order energy estimate of one layer
+  disasm      disassemble a mapping's configuration memory (Fig. 3 view)
+
+common flags:
+  --machine RxC       array size (default 8x8, the Table 4 machine)
+  --kind dw|pw        layer kind for run-layer/trace/energy
+  --channels N        channels (dw) or in,out channels (pw: --channels 32,64)
+  --size HxW          feature-map size
+  --stride S          stride (dw only, default 1)
+  --relu / --leaky N  fused activation
+  --mapping auto|matmul|batched
+  --model v1|v2|alexnet, --alpha A, --res R (time-model)
+  --batched           use §5.4 channel batching where it helps (time-model)
+  --cycles N          max trace lines (trace)
+";

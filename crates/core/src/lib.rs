@@ -1,0 +1,227 @@
+//! # NP-CGRA
+//!
+//! A production-quality Rust reproduction of *"NP-CGRA: Extending CGRAs for
+//! Efficient Processing of Light-weight Deep Neural Networks"* (DATE 2021):
+//! a coarse-grained reconfigurable array extended with a crossbar-style
+//! memory bus (H-MEM/V-MEM + V-busses), dual-mode MAC units, and an operand
+//! reuse network, together with the paper's mapping schemes for pointwise
+//! and depthwise convolution.
+//!
+//! This facade crate re-exports the subsystem crates and offers a
+//! high-level entry point, [`NpCgra`]:
+//!
+//! ```
+//! use npcgra::{NpCgra, ConvLayer, Tensor, reference};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 4×4 NP-CGRA (the Table 5 configuration).
+//! let machine = NpCgra::new_4x4();
+//!
+//! // A small depthwise layer with real data.
+//! let layer = ConvLayer::depthwise("dw", 4, 16, 16, 3, 1, 1);
+//! let ifm = Tensor::random(4, 16, 16, 7);
+//! let weights = layer.random_weights(8);
+//!
+//! // Run it cycle-accurately and check against the golden reference.
+//! let (ofm, report) = machine.run_layer(&layer, &ifm, &weights)?;
+//! assert_eq!(ofm, reference::run_layer(&layer, &ifm, &weights)?);
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`nn`] | tensors, layer descriptors, golden convolutions, model tables |
+//! | [`arch`] | PE datapath, dual-mode MAC, ORN, GRF, instruction format, machine specs |
+//! | [`mem`] | banked H-MEM/V-MEM with crossbar + conflict checking, DMA |
+//! | [`agu`] | controller counters and the Algorithm 1–3 address generators |
+//! | [`kernels`] | data layouts (Figs. 9–11), tiling, the four mappings |
+//! | [`sim`] | the cycle-accurate machine and layer runners |
+//! | [`baseline`] | CCF compiler model and the Table 1 analysis |
+//! | [`area`] | calibrated area model, scaling, ADP, Table 6 comparators |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use npcgra_agu as agu;
+pub use npcgra_arch as arch;
+pub use npcgra_area as area;
+pub use npcgra_baseline as baseline;
+pub use npcgra_kernels as kernels;
+pub use npcgra_mem as mem;
+pub use npcgra_nn as nn;
+pub use npcgra_sim as sim;
+
+pub use npcgra_arch::{CgraFeatures, CgraSpec};
+pub use npcgra_area::{adp, Adp, AreaBreakdown, AreaModel};
+pub use npcgra_nn::{reference, ConvKind, ConvLayer, Matrix, Model, Tensor};
+pub use npcgra_sim::{LayerReport, Machine, MappingKind, SimError};
+
+use npcgra_nn::ConvKind as Kind;
+
+/// A configured NP-CGRA machine with its area model: the one-stop API for
+/// running layers and models and computing efficiency metrics.
+#[derive(Debug, Clone)]
+pub struct NpCgra {
+    spec: CgraSpec,
+    area: AreaModel,
+}
+
+impl NpCgra {
+    /// A machine from an explicit spec.
+    #[must_use]
+    pub fn new(spec: CgraSpec) -> Self {
+        NpCgra {
+            spec,
+            area: AreaModel::calibrated(),
+        }
+    }
+
+    /// The Table 4 machine: 8×8 NP-CGRA at 500 MHz.
+    #[must_use]
+    pub fn table4() -> Self {
+        NpCgra::new(CgraSpec::table4())
+    }
+
+    /// The 4×4 machine used for the Table 5 comparison (CCF's flow limits
+    /// that experiment to 4×4).
+    #[must_use]
+    pub fn new_4x4() -> Self {
+        NpCgra::new(CgraSpec::np_cgra(4, 4))
+    }
+
+    /// The machine specification.
+    #[must_use]
+    pub fn spec(&self) -> &CgraSpec {
+        &self.spec
+    }
+
+    /// The area model in use.
+    #[must_use]
+    pub fn area_model(&self) -> &AreaModel {
+        &self.area
+    }
+
+    /// Component-area breakdown of this machine.
+    #[must_use]
+    pub fn area(&self) -> AreaBreakdown {
+        self.area.breakdown(&self.spec)
+    }
+
+    /// Run one layer functionally on the cycle-accurate simulator.
+    ///
+    /// Dispatches to the paper's best mapping for the layer kind; standard
+    /// convolution is lowered through im2col to the PWC mapping (with the
+    /// host im2col time charged to the report).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the layer cannot be mapped or a hardware
+    /// rule is violated during simulation.
+    pub fn run_layer(&self, layer: &ConvLayer, ifm: &Tensor, weights: &Tensor) -> Result<(Tensor, LayerReport), SimError> {
+        if layer.kind() == Kind::Standard {
+            npcgra_sim::run_standard_via_im2col(layer, ifm, weights, &self.spec)
+        } else {
+            npcgra_sim::run_layer(layer, ifm, weights, &self.spec)
+        }
+    }
+
+    /// Timing-only estimate of one layer (identical cycle accounting to
+    /// [`NpCgra::run_layer`], no data movement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the layer cannot be mapped.
+    pub fn time_layer(&self, layer: &ConvLayer) -> Result<LayerReport, SimError> {
+        npcgra_sim::time_layer(layer, &self.spec, MappingKind::Auto)
+    }
+
+    /// Time every layer of a model; returns per-layer reports in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mapping failure.
+    pub fn time_model(&self, model: &Model) -> Result<Vec<LayerReport>, SimError> {
+        model.layers().iter().map(|l| self.time_layer(l)).collect()
+    }
+
+    /// Time only a model's DSC (depthwise + pointwise) layers — the paper's
+    /// "DSC runtime" metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mapping failure.
+    pub fn time_model_dsc(&self, model: &Model) -> Result<LayerReport, SimError> {
+        let reports: Vec<LayerReport> = model.dsc_layers().map(|l| self.time_layer(l)).collect::<Result<_, _>>()?;
+        Ok(LayerReport::total(&format!("{} (DSC)", model.name()), &reports))
+    }
+
+    /// The ADP of a measured report on this machine.
+    #[must_use]
+    pub fn adp_of(&self, report: &LayerReport) -> Adp {
+        adp(self.area().total(), report.ms())
+    }
+
+    /// General matrix multiplication `A (m×k) × B (k×n)` on the array.
+    ///
+    /// PWC *is* matmul (§3.2), so any matrix product runs through the same
+    /// output-stationary mapping: `A`'s rows become pixels, the shared `k`
+    /// dimension streams over the busses, and `B`'s columns become output
+    /// channels. This is the paper's concluding claim — "many [machine
+    /// learning algorithms and digital filters] are based on matrix
+    /// multiplication and convolution" — as an API.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the reduction dimension cannot fit local
+    /// memory or a hardware rule is violated.
+    pub fn matmul(&self, a: &Matrix, b: &Matrix) -> Result<(Matrix, LayerReport), SimError> {
+        assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let layer = ConvLayer::pointwise("matmul", k, n, 1, m);
+        // A's rows are the "pixels" (CHW: channel = shared dim).
+        let ifm = Tensor::from_fn(k, 1, m, |i, _, p| a.get(p, i));
+        let weights = Tensor::from_fn(n, 1, k, |o, _, i| b.get(i, o));
+        let (ofm, report) = npcgra_sim::run_layer(&layer, &ifm, &weights, &self.spec)?;
+        let out = Matrix::from_fn(m, n, |r, c| ofm.get(c, 0, r));
+        Ok((out, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_runs_a_layer() {
+        let m = NpCgra::new_4x4();
+        let layer = ConvLayer::pointwise("pw", 6, 6, 4, 4);
+        let ifm = Tensor::random(6, 4, 4, 1);
+        let w = layer.random_weights(2);
+        let (ofm, report) = m.run_layer(&layer, &ifm, &w).unwrap();
+        assert_eq!(ofm, reference::run_layer(&layer, &ifm, &w).unwrap());
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn facade_times_a_model_dsc() {
+        let m = NpCgra::table4();
+        let model = npcgra_nn::models::mobilenet_v1(0.25, 32);
+        let total = m.time_model_dsc(&model).unwrap();
+        assert!(total.cycles > 0);
+        assert!(total.macs > 0);
+    }
+
+    #[test]
+    fn adp_uses_machine_area() {
+        let m = NpCgra::table4();
+        let mut r = LayerReport::for_spec("x", m.spec());
+        r.cycles = 500_000; // 1 ms
+        let a = m.adp_of(&r);
+        assert!((a.area_mm2 - 2.14).abs() < 0.02);
+        assert!((a.value() - 2.14).abs() < 0.03);
+    }
+}

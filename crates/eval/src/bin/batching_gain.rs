@@ -1,0 +1,45 @@
+//! Quantify the §5.4 channel-batching extension on MobileNet V2's DWC
+//! layers (beyond-paper experiment).
+//!
+//! ```text
+//! cargo run --release -p npcgra-eval --bin batching_gain
+//! ```
+
+use npcgra::nn::models;
+use npcgra::sim::{time_layer, MappingKind};
+use npcgra::{ConvKind, NpCgra};
+
+fn main() {
+    let machine = NpCgra::table4();
+    let v2 = models::mobilenet_v2(1.0, 224);
+    println!("MobileNet V2 DWC layers: per-channel (paper) vs channel-batched (§5.4 extension)");
+    println!("{:<14} {:>10} {:>10} {:>8}", "layer", "plain ms", "batch ms", "gain");
+    let mut plain_total = 0.0;
+    let mut batch_total = 0.0;
+    for layer in v2.dsc_layers() {
+        if layer.kind() != ConvKind::Depthwise || layer.s() != 1 {
+            let r = time_layer(layer, machine.spec(), MappingKind::Auto).expect("maps");
+            plain_total += r.ms();
+            batch_total += r.ms();
+            continue;
+        }
+        let plain = time_layer(layer, machine.spec(), MappingKind::Auto).expect("maps");
+        let batched = time_layer(layer, machine.spec(), MappingKind::BatchedDwcS1).expect("maps");
+        if batched.ms() < plain.ms() * 0.99 {
+            println!(
+                "{:<14} {:>10.4} {:>10.4} {:>7.2}x",
+                layer.name(),
+                plain.ms(),
+                batched.ms(),
+                plain.ms() / batched.ms()
+            );
+        }
+        plain_total += plain.ms();
+        batch_total += plain.ms().min(batched.ms());
+    }
+    println!("{:-<46}", "");
+    println!(
+        "V2 DSC total: {plain_total:.2} ms -> {batch_total:.2} ms ({:.2}x)",
+        plain_total / batch_total
+    );
+}

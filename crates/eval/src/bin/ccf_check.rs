@@ -1,0 +1,18 @@
+fn main() {
+    use npcgra_baseline::CcfModel;
+    use npcgra_nn::models::table5_layers;
+    let (pw, dw1, dw2) = table5_layers();
+    let m = CcfModel::table5();
+    for l in [&pw, &dw1, &dw2] {
+        let r = m.compile_layer(l);
+        println!(
+            "{}: II={} {:.2} ms util {:.2}% occ {:.1}% makespan {}",
+            l.name(),
+            r.ii,
+            r.seconds * 1e3,
+            r.utilization * 100.0,
+            r.occupancy * 100.0,
+            r.schedule.makespan
+        );
+    }
+}

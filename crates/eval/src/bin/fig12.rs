@@ -1,0 +1,59 @@
+//! Regenerate Fig. 12: the synthesis-area comparison of the baseline and
+//! NP-CGRA 8×8 machines, by component.
+//!
+//! ```text
+//! cargo run --release -p npcgra-eval --bin fig12
+//! ```
+
+use npcgra_arch::CgraSpec;
+use npcgra_area::model::baseline_like;
+use npcgra_area::{AreaBreakdown, AreaModel};
+
+fn main() {
+    let model = AreaModel::calibrated();
+    let base = model.breakdown(&baseline_like(8, 8));
+    let np = model.breakdown(&CgraSpec::np_cgra(8, 8));
+
+    println!("Fig. 12: area comparison, 8x8 machines at 65 nm / 500 MHz (mm^2)");
+    println!();
+    println!("{:<14} {:>10} {:>10} {:>8}", "Component", "Baseline", "NP-CGRA", "delta");
+    component("SRAM", base.sram, np.sram);
+    component("PE array", base.pe_array, np.pe_array);
+    component("AGUs", base.agus, np.agus);
+    component("Controller", base.controller, np.controller);
+    component("GRF+WeightBuf", base.grf, np.grf);
+    println!("{:-<44}", "");
+    component("Total", base.total(), np.total());
+    println!();
+    println!(
+        "total overhead: {:.1} % (paper: 22.2 %)",
+        (np.total() / base.total() - 1.0) * 100.0
+    );
+    println!(
+        "core overhead:  {:.1} % over the baseline core",
+        (np.core() / base.core() - 1.0) * 100.0
+    );
+    bars("baseline", &base);
+    bars("np-cgra ", &np);
+    println!();
+    println!("critical path: 1.23 ns baseline vs 1.65 ns NP-CGRA chained (paper synthesis);");
+    println!("both meet the 2 ns / 500 MHz evaluation target.");
+}
+
+fn component(name: &str, b: f64, n: f64) {
+    println!("{name:<14} {b:>10.3} {n:>10.3} {:>+8.3}", n - b);
+}
+
+fn bars(name: &str, a: &AreaBreakdown) {
+    let scale = 30.0 / 2.2;
+    let seg = |v: f64, ch: char| ch.to_string().repeat((v * scale).round() as usize);
+    println!(
+        "{name} |{}{}{}{}{}| {:.2} mm^2  (#=SRAM, P=PEs, A=AGU, C=ctrl, G=GRF)",
+        seg(a.sram, '#'),
+        seg(a.pe_array, 'P'),
+        seg(a.agus, 'A'),
+        seg(a.controller, 'C'),
+        seg(a.grf, 'G'),
+        a.total()
+    );
+}

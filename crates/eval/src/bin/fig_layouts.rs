@@ -1,0 +1,65 @@
+//! Regenerate the data-layout figures (Figs. 9–11): bank assignment and
+//! in-bank placement for PWC H-MEM, DWC-general H-MEM and DWC-S1 V-MEM.
+//!
+//! ```text
+//! cargo run --release -p npcgra-eval --bin fig_layouts
+//! ```
+
+use npcgra_kernels::{layout, BlockCfg};
+use npcgra_nn::Tensor;
+
+fn main() {
+    fig9();
+    fig10();
+    fig11();
+}
+
+/// Fig. 9: PWC IFM in H-MEM — pixel p's channel vector in bank p mod N_r.
+fn fig9() {
+    println!("Fig. 9: PWC IFM layout in H-MEM (3 banks, N_i = 4, pixels X0..X8)");
+    let ni = 4;
+    // Encode pixel.channel as p*10 + i for readability.
+    let ifm = Tensor::from_fn(ni, 1, 9, |i, _, p| (p * 10 + i) as i16);
+    let (banks, addr_ofm) = layout::pwc_h_image(&ifm, 0, 0, BlockCfg { b_r: 3, b_c: 1 }, 3, 2);
+    for (b, bank) in banks.iter().enumerate() {
+        let words: Vec<String> = bank[..addr_ofm].iter().map(|w| format!("X{},{}", w / 10, w % 10)).collect();
+        println!("  bank {b}: {}", words.join(" "));
+    }
+    println!();
+}
+
+/// Fig. 10: DWC (S=2) IFM in H-MEM — each run of S rows to the next bank.
+fn fig10() {
+    println!("Fig. 10: DWC-general IFM layout in H-MEM (S = 2, 3 banks, K = 3)");
+    // Encode row y, col x as (y+1)*16 + x so unfilled words (0) are distinct.
+    let padded = Tensor::from_fn(1, 8, 8, |_, y, x| ((y + 1) * 16 + x) as i16);
+    let (banks, addr_ofm) = layout::dwc_general_h_image(&padded, 0, 0, 0, BlockCfg { b_r: 1, b_c: 1 }, 3, 3, 3, 2);
+    for (b, bank) in banks.iter().enumerate() {
+        let words: Vec<String> = bank[..addr_ofm]
+            .iter()
+            .map(|&w| {
+                if w == 0 {
+                    "----".into()
+                } else {
+                    format!("X{},{}", w / 16 - 1, w % 16)
+                }
+            })
+            .collect();
+        println!("  bank {b}: {}", words.join(" "));
+    }
+    println!();
+}
+
+/// Fig. 11: DWC-S1 SS data in V-MEM — the N_c-strided elements each SS
+/// cycle broadcasts.
+fn fig11() {
+    println!("Fig. 11: DWC stride-1 SS data in V-MEM (3x3 array, K = 3, B_c = 3)");
+    let padded = Tensor::from_fn(1, 11, 11, |_, y, x| (y * 16 + x) as i16);
+    let banks = layout::dwc_s1_v_image(&padded, 0, 0, 0, BlockCfg { b_r: 1, b_c: 3 }, 3, 3, 3);
+    for (b, bank) in banks.iter().enumerate() {
+        let words: Vec<String> = bank.iter().map(|w| format!("X{},{}", w / 16, w % 16)).collect();
+        println!("  bank {b}: {}", words.join(" "));
+    }
+    println!();
+    println!("(compare the paper's Fig. 11b: bank 0 holds X3,2 X3,5 X3,8 X4,0 X4,3 X4,6)");
+}

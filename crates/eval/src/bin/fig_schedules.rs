@@ -1,0 +1,106 @@
+//! Regenerate the schedule figures (Figs. 1, 5, 6): per-cycle phase and
+//! operand-source tables for each mapping on the paper's 2×2 examples.
+//! (For a full per-PE instruction dump, run `cargo run --example
+//! schedule_viewer`.)
+//!
+//! ```text
+//! cargo run --release -p npcgra-eval --bin fig_schedules
+//! ```
+
+use npcgra_agu::dwc_s1::S1Phase;
+use npcgra_agu::{DwcGeneralAgu, DwcS1Agu, PwcAgu, TileClock, TilePos};
+
+fn drive<F: FnMut(u64, TileClock)>(phase_len: impl Fn(u64) -> Option<u64>, mut f: F) {
+    let mut clock = TileClock::start();
+    let mut remaining = phase_len(0).expect("phase 0");
+    let mut cycle = 0;
+    loop {
+        f(cycle, clock);
+        cycle += 1;
+        remaining -= 1;
+        if remaining == 0 {
+            match phase_len(clock.t_wrap + 1) {
+                Some(len) => {
+                    clock.step(true);
+                    remaining = len;
+                }
+                None => break,
+            }
+        } else {
+            clock.step(false);
+        }
+    }
+}
+
+fn main() {
+    let pos = TilePos::first(1, 1);
+
+    println!("Fig. 1: PWC tile on a 2x2 (N_i = 9): H-bus feeds rows, V-bus feeds columns");
+    let pwc = PwcAgu {
+        ni: 9,
+        nc: 2,
+        addr_ifm: 0,
+        addr_ofm: 100,
+        addr_w: 0,
+    };
+    drive(
+        |w| pwc.phase_len(w),
+        |t, c| {
+            let h: Vec<String> = (0..2)
+                .map(|r| pwc.h_request(c, pos, r).map_or("-".into(), |q| q.to_string()))
+                .collect();
+            let v: Vec<String> = (0..2)
+                .map(|k| pwc.v_request(c, pos, k).map_or("-".into(), |q| q.to_string()))
+                .collect();
+            println!("  T={t:>2}  H[{}]  V[{}]", h.join(" "), v.join(" "));
+        },
+    );
+
+    println!();
+    println!("Fig. 5: DWC general tile (K = 3, S = 2) on a 2x2: active kernel taps per column");
+    let gen = DwcGeneralAgu {
+        k: 3,
+        s: 2,
+        nr: 2,
+        nc: 2,
+        addr_ifm: 0,
+        addr_ofm: 100,
+        addr_w: 0,
+    };
+    drive(
+        |w| gen.phase_len(w),
+        |t, c| {
+            let taps: Vec<String> = (0..2)
+                .map(|col| gen.active_tap(c, col).map_or("-".into(), |kx| format!("W{},{kx}", c.t_wrap)))
+                .collect();
+            println!("  T={t:>2}  col taps [{}]", taps.join(" "));
+        },
+    );
+
+    println!();
+    println!("Fig. 6: DWC stride-1 tile (K = 3) on a 2x2: EE/SS/EW phase walk");
+    let s1 = DwcS1Agu {
+        k: 3,
+        nr: 2,
+        nc: 2,
+        addr_ifm: 0,
+        addr_ofm: 100,
+        addr_vm: 0,
+    };
+    drive(
+        |w| s1.phase_len(w),
+        |t, c| {
+            let phase = match s1.phase(c) {
+                S1Phase::Prologue => "prologue (H-bus -> ORN shift west)".to_string(),
+                S1Phase::ExpandEast { ky, kx } => format!("EE  W{ky},{kx} (east col loads H-bus)"),
+                S1Phase::ShiftSouth { ky, kx } => format!("SS  W{ky},{kx} (south row loads V-bus)"),
+                S1Phase::ExpandWest { ky, kx } => format!("EW  W{ky},{kx} (west col loads H-bus)"),
+                S1Phase::Bubble => "bubble".to_string(),
+                S1Phase::Store(j) => format!("store column {j}"),
+            };
+            println!("  T={t:>2}  {phase}");
+        },
+    );
+    println!();
+    println!("GRF broadcast order (boustrophedon): W00 W01 W02 | W12 W11 W10 | W20 W21 W22");
+}

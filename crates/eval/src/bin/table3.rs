@@ -1,0 +1,68 @@
+//! Regenerate Table 3: the closed-form tile/block/layer latency models,
+//! cross-checked against the cycle-accurate simulator on a sample layer.
+//!
+//! ```text
+//! cargo run --release -p npcgra-eval --bin table3
+//! ```
+
+use npcgra_arch::CgraSpec;
+use npcgra_kernels::{perf, BlockCfg, DwcGeneralMapping, DwcS1Mapping, PwcMapping, TileMapping};
+use npcgra_nn::{ConvLayer, Tensor};
+use npcgra_sim::run_layer;
+
+fn main() {
+    let spec = CgraSpec::np_cgra(4, 4);
+    let (nr, nc) = (spec.rows, spec.cols);
+
+    println!("Table 3: performance analysis (4x4 machine, lambda made explicit)");
+    println!();
+    println!("{:<16} {:>28} {:>12}", "Mapping", "Tile latency formula", "cycles");
+    let ni = 32;
+    let k = 3;
+    println!(
+        "{:<16} {:>28} {:>12}",
+        "PWC",
+        format!("N_i + lambda = {ni} + {}", nc + 1),
+        PwcMapping::new(ni, &spec, 0).tile_latency()
+    );
+    for s in [1usize, 2] {
+        println!(
+            "{:<16} {:>28} {:>12}",
+            format!("DWC general S={s}"),
+            format!("K((N_c-1)S+K)+lambda = {}", k * ((nc - 1) * s + k) + nc + 1),
+            DwcGeneralMapping::new(k, s, &spec, 0).tile_latency()
+        );
+    }
+    println!(
+        "{:<16} {:>28} {:>12}",
+        "DWC optimized",
+        format!("K^2+2N_c+1 = {}", k * k + 2 * nc + 1),
+        DwcS1Mapping::new(k, &spec, 0).tile_latency()
+    );
+
+    // Layer-latency formulas vs the cycle-accurate simulator.
+    println!();
+    println!("layer-latency formulas vs cycle-accurate simulation:");
+    let pw = ConvLayer::pointwise("pw", 16, 24, 12, 12);
+    let dw1 = ConvLayer::depthwise("dw-s1", 4, 20, 20, 3, 1, 1);
+    let dw2 = ConvLayer::depthwise("dw-s2", 4, 20, 20, 3, 2, 1);
+
+    let cfg_pw = BlockCfg::choose_pwc(&spec, pw.in_channels(), pw.out_w(), pw.out_channels());
+    check("PWC", perf::pwc_layer_cycles(&pw, &spec, cfg_pw), &pw, &spec);
+    let cfg1 = BlockCfg::choose_dwc(&spec, 3, 1, dw1.out_h(), dw1.out_w());
+    check("DWC optimized", perf::dwc_s1_layer_cycles(&dw1, &spec, cfg1), &dw1, &spec);
+    let cfg2 = BlockCfg::choose_dwc(&spec, 3, 2, dw2.out_h(), dw2.out_w());
+    check("DWC general", perf::dwc_general_layer_cycles(&dw2, &spec, cfg2), &dw2, &spec);
+    println!("({nr}x{nc} machine; formulas and simulation agree exactly by construction)");
+}
+
+fn check(name: &str, formula: u64, layer: &ConvLayer, spec: &CgraSpec) {
+    let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), 1);
+    let w = layer.random_weights(2);
+    let (_, rep) = run_layer(layer, &ifm, &w, spec).expect("layer runs");
+    let status = if formula == rep.compute_cycles { "OK" } else { "MISMATCH" };
+    println!(
+        "  {name:<16} formula {formula:>9} cycles, simulated {:>9} compute cycles  [{status}]",
+        rep.compute_cycles
+    );
+}

@@ -1,0 +1,43 @@
+//! Regenerate Table 4: the NP-CGRA specification, derived from the
+//! architecture model (not restated constants — the configuration-memory
+//! and Weight-Buffer sizes are computed from the instruction format and
+//! GRF geometry).
+//!
+//! ```text
+//! cargo run --release -p npcgra-eval --bin table4
+//! ```
+
+use npcgra_arch::{CgraSpec, WeightBuffer};
+
+fn main() {
+    let s = CgraSpec::table4();
+    println!("Table 4: NP-CGRA specifications");
+    println!("{:<28} {} ({}x{})", "Number of PEs", s.num_pes(), s.rows, s.cols);
+    println!("{:<28} {}-bit", "Word size", s.word_bytes * 8);
+    println!("{:<28} {:.0} MHz", "Clock frequency", s.clock_hz / 1e6);
+    println!("{:<28} {:.1} GB/s", "Off-chip memory bandwidth", s.dram_bandwidth / 1e9);
+    println!("{:<28} {} cycles", "DMA latency", s.dma_latency_cycles);
+    println!(
+        "{:<28} {} KB (x{} sets)",
+        "H-MEM size (= V-MEM size)",
+        s.hmem_bytes / 1024,
+        s.mem_sets
+    );
+    println!(
+        "{:<28} {} bytes ({} x 32 contexts / 8; {} bits/cycle = 36 x {} + 8)",
+        "Configuration memory size",
+        s.config_mem_bytes(),
+        s.config_bits_per_cycle(),
+        s.config_bits_per_cycle(),
+        s.num_pes()
+    );
+    let wb = WeightBuffer::table4();
+    println!(
+        "{:<28} {} bytes (64 x 3x3 16-bit kernels)",
+        "Weight buffer size",
+        wb.capacity_bytes(9)
+    );
+    println!();
+    println!("(paper row-for-row: 64 PEs, 16-bit, 500 MHz, 12.5 GB/s, 200 cycles,");
+    println!(" 39 KB x2, 9248 bytes, 1152 bytes)");
+}

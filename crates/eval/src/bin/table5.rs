@@ -1,0 +1,95 @@
+//! Regenerate Table 5: the MobileNet DSC comparison on the 4×4 machine —
+//! CCF on the baseline CGRA vs matmul-based DWC vs the paper's mappings,
+//! in latency, utilization and ADP.
+//!
+//! ```text
+//! cargo run --release -p npcgra-eval --bin table5
+//! ```
+
+use npcgra_arch::CgraSpec;
+use npcgra_area::model::baseline_like;
+use npcgra_area::{adp, AreaModel};
+use npcgra_baseline::CcfModel;
+use npcgra_nn::models::table5_layers;
+use npcgra_sim::{time_layer, MappingKind};
+
+fn main() {
+    let spec = {
+        let mut s = CgraSpec::np_cgra(4, 4);
+        // Keep the Table 4 memory budget split across the smaller array.
+        s.hmem_bytes = 39 * 1024;
+        s.vmem_bytes = 39 * 1024;
+        s
+    };
+    let area_model = AreaModel::calibrated();
+    let np_area = area_model.total(&spec);
+    let base_area = area_model.total(&baseline_like(4, 4));
+
+    let (pw, dw1, dw2) = table5_layers();
+    let ccf = CcfModel::table5();
+
+    println!("Table 5: MobileNet DSC result (4x4 machines @ 500 MHz)");
+    println!("paper reference rows are quoted in brackets.");
+    println!();
+    println!(
+        "{:<12} {:>22} {:>22} {:>22}",
+        "Metric/Layer", "CCF", "Matmul DWC", "Our mapping"
+    );
+
+    let fmt = |ms: f64, util: f64| format!("{ms:>8.2} ms {:>5.2}%", util * 100.0);
+
+    // Latency + utilization.
+    for (layer, paper) in [
+        (&pw, ["78.91 (8.14)", "3.72 (86.42)", "3.72 (86.42)"]),
+        (&dw1, ["11.10 (8.14)", "2.82 (16.04)", "0.92 (49.00)"]),
+        (&dw2, ["7.74 (5.83)", "1.41 (16.01)", "0.81 (28.00)"]),
+    ] {
+        let c = ccf.compile_layer(layer);
+        let matmul = match layer.kind() {
+            npcgra_nn::ConvKind::Pointwise => time_layer(layer, &spec, MappingKind::Auto).expect("pwc maps"),
+            _ => time_layer(layer, &spec, MappingKind::MatmulDwc).expect("matmul maps"),
+        };
+        let ours = time_layer(layer, &spec, MappingKind::Auto).expect("maps");
+        println!(
+            "{:<12} {:>22} {:>22} {:>22}",
+            layer.name(),
+            fmt(c.seconds * 1e3, c.utilization),
+            fmt(matmul.ms(), matmul.utilization()),
+            fmt(ours.ms(), ours.utilization()),
+        );
+        println!("{:<12} {:>22} {:>22} {:>22}", "  [paper]", paper[0], paper[1], paper[2]);
+    }
+
+    // ADP.
+    println!();
+    println!(
+        "{:<12} {:>22} {:>22} {:>22}",
+        "ADP (mm^2*ms)", "CCF", "Matmul DWC", "Our mapping"
+    );
+    for (layer, paper) in [
+        (&pw, ["122.48", "6.83", "6.83"]),
+        (&dw1, ["17.22", "5.17", "1.69"]),
+        (&dw2, ["12.02", "2.59", "1.48"]),
+    ] {
+        let c = ccf.compile_layer(layer);
+        let matmul = match layer.kind() {
+            npcgra_nn::ConvKind::Pointwise => time_layer(layer, &spec, MappingKind::Auto).expect("pwc maps"),
+            _ => time_layer(layer, &spec, MappingKind::MatmulDwc).expect("matmul maps"),
+        };
+        let ours = time_layer(layer, &spec, MappingKind::Auto).expect("maps");
+        println!(
+            "{:<12} {:>22.2} {:>22.2} {:>22.2}",
+            layer.name(),
+            adp(base_area, c.seconds * 1e3).value(),
+            adp(np_area, matmul.ms()).value(),
+            adp(np_area, ours.ms()).value(),
+        );
+        println!("{:<12} {:>22} {:>22} {:>22}", "  [paper]", paper[0], paper[1], paper[2]);
+    }
+
+    println!();
+    println!(
+        "areas: baseline {base_area:.3} mm^2, NP-CGRA {np_area:.3} mm^2 (+{:.1}%)",
+        (np_area / base_area - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,107 @@
+//! Regenerate Table 6: the cross-architecture comparison — Eyeriss,
+//! Eyeriss v2, Auto-tuning, SDT-CGRA (literature records) vs NP-CGRA
+//! (our simulator + area model).
+//!
+//! ```text
+//! cargo run --release -p npcgra-eval --bin table6
+//! ```
+
+use npcgra::nn::models;
+use npcgra::{adp, LayerReport, NpCgra};
+use npcgra_area::all_comparators;
+
+fn main() {
+    let machine = NpCgra::table4();
+    let spec = *machine.spec();
+    let area = machine.area().total();
+
+    // NP-CGRA measured rows.
+    let v1 = models::mobilenet_v1(0.5, 128);
+    let v1_dsc = machine.time_model_dsc(&v1).expect("v1 maps");
+    let v2 = models::mobilenet_v2(1.0, 224);
+    let v2_dsc = machine.time_model_dsc(&v2).expect("v2 maps");
+    let alex = models::alexnet();
+    let alex_reports: Vec<LayerReport> = alex
+        .conv_layers()
+        .map(|l| machine.time_layer(l).expect("alexnet maps"))
+        .collect();
+    let alex_ms: f64 = alex_reports.iter().map(LayerReport::ms).sum();
+
+    println!("Table 6: comparison with previous CGRA and DPU implementations");
+    println!("(comparator rows are reported literature values, as in the paper)");
+    println!();
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>9} {:>10}",
+        "", "Eyeriss", "Eyeriss-v2", "Auto-tuning", "SDT-CGRA", "NP-CGRA"
+    );
+
+    let comps = all_comparators();
+    let row = |label: &str, f: &dyn Fn(&npcgra_area::Comparator) -> String, ours: String| {
+        print!("{label:<28}");
+        for c in &comps {
+            print!(" {:>10}", f(c));
+        }
+        println!(" {ours:>10}");
+    };
+
+    row(
+        "Technology",
+        &|c| format!("{} ({}nm)", c.technology, c.node.0),
+        "CGRA (65nm)".into(),
+    );
+    row(
+        "Clock (MHz)",
+        &|c| format!("{:.0}", c.clock_mhz),
+        format!("{:.0}", spec.clock_hz / 1e6),
+    );
+    row(
+        "#PEs (#Ops/cycle)",
+        &|c| format!("{} ({})", c.pes, c.ops_per_cycle),
+        format!("{} ({})", spec.num_pes(), spec.peak_ops_per_cycle()),
+    );
+    row(
+        "Data width (bits)",
+        &|c| format!("{}", c.data_bits),
+        format!("{}", spec.word_bytes * 8),
+    );
+    row(
+        "On-chip memory (kB)",
+        &|c| format!("{:.1}", c.onchip_kb),
+        format!("{}", spec.total_local_mem_bytes() / 1024),
+    );
+    row(
+        "Reported area (mm^2)",
+        &|c| format!("{:.2}", c.reported_area_mm2),
+        format!("{area:.2}"),
+    );
+    row(
+        "Converted area (mm^2)",
+        &|c| format!("{:.2}", c.converted_area_mm2()),
+        format!("{area:.2}"),
+    );
+    row(
+        "MobileNet V1 DSC (ms)",
+        &|c| c.mobilenet_v1_dsc_ms.map_or("-".into(), |v| format!("{v:.2}")),
+        format!("{:.2}", v1_dsc.ms()),
+    );
+    row("MobileNet V2 DSC (ms)", &|_| "-".into(), format!("{:.2}", v2_dsc.ms()));
+    row(
+        "MobileNet V1 ADP",
+        &|c| c.mobilenet_v1_adp().map_or("-".into(), |v| format!("{v:.2}")),
+        format!("{:.2}", adp(area, v1_dsc.ms()).value()),
+    );
+    row(
+        "AlexNet conv (ms)",
+        &|c| c.alexnet_conv_ms.map_or("-".into(), |v| format!("{v:.2}")),
+        format!("{alex_ms:.2}"),
+    );
+    row(
+        "AlexNet ADP",
+        &|c| c.alexnet_adp().map_or("-".into(), |v| format!("{v:.2}")),
+        format!("{:.2}", adp(area, alex_ms).value()),
+    );
+
+    println!();
+    println!("paper NP-CGRA column: V1 4.01 ms / ADP 8.60, V2 18.06 ms, AlexNet 40.07 ms / ADP 87.28");
+    println!("(AlexNet latency includes the ARM host im2col time; its area is not in the ADP, as in the paper)");
+}

@@ -1,0 +1,45 @@
+//! Datapath-width study (§2.3's "the width of datapath is trivially
+//! configurable at design time"): how 8/16/32-bit variants of the 8×8
+//! NP-CGRA trade area, DMA bandwidth pressure and MobileNet latency.
+//!
+//! ```text
+//! cargo run --release -p npcgra-eval --bin width_study
+//! ```
+
+use npcgra::nn::models;
+use npcgra::{AreaModel, CgraSpec, NpCgra};
+
+fn main() {
+    println!("Datapath-width study: 8x8 NP-CGRA at 500 MHz, MobileNet V1 (0.5/128) DSC");
+    println!("(functional datapath is 16-bit; width enters the DMA volume, the SRAM");
+    println!(" capacity-in-words, and the 65nm/16-bit area conversion)");
+    println!();
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14}",
+        "width", "area mm^2", "DSC ms", "ADP", "DMA bytes/elem"
+    );
+
+    let v1 = models::mobilenet_v1(0.5, 128);
+    let base_area = AreaModel::calibrated().total(&CgraSpec::table4());
+    for bits in [8u32, 16, 32] {
+        let mut spec = CgraSpec::table4();
+        spec.word_bytes = bits as usize / 8;
+        let machine = NpCgra::new(spec);
+        let total = machine.time_model_dsc(&v1).expect("maps");
+        // Area scales linearly with datapath width (the paper's own
+        // conversion convention).
+        let area = base_area * f64::from(bits) / 16.0;
+        println!(
+            "{:<8} {:>12.2} {:>12.3} {:>12.2} {:>14}",
+            format!("{bits}-bit"),
+            area,
+            total.ms(),
+            area * total.ms(),
+            spec.word_bytes
+        );
+    }
+    println!();
+    println!("narrower words shrink area and off-chip traffic; the 16-bit point is the");
+    println!("paper's Table 4 machine. (8-bit accuracy effects are out of scope, as in");
+    println!("the paper: 'we do not consider aggressive quantization'.)");
+}

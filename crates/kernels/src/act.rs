@@ -1,0 +1,135 @@
+//! Fused-activation epilogues.
+//!
+//! Every mapping has a pipeline bubble between its last MAC cycle and its
+//! store phase (the PE outputs settle while the store ports take over).
+//! Activations ride in that slot:
+//!
+//! - **ReLU** replaces the bubble's NOP with `out = max(out, 0)` on every
+//!   PE — zero added latency;
+//! - **leaky ReLU** (`max(x, x >> shift)`) extends the epilogue to three
+//!   cycles: save `x` to r0, shift (`out = x >> shift`, the shift amount
+//!   broadcast from the GRF), then `out = max(out, r0)`.
+//!
+//! This is the "supporting new activation functions (e.g., leaky ReLU)"
+//! flexibility the paper's introduction claims for CGRAs, realized with
+//! nothing but the existing PE operation set.
+
+use npcgra_arch::{Instruction, MuxSel, Op, WriteSel};
+use npcgra_nn::{Activation, Word};
+
+/// Epilogue length in cycles (the original bubble counts as cycle 0).
+#[must_use]
+pub fn epilogue_len(act: Activation) -> u64 {
+    1 + act.extra_tile_cycles()
+}
+
+/// The instruction every (output-holding) PE executes at epilogue `step`.
+#[must_use]
+pub fn epilogue_instruction(act: Activation, step: u64) -> Instruction {
+    match (act, step) {
+        (Activation::Relu, 0) => Instruction {
+            op: Op::Max,
+            mux_a: MuxSel::SelfOut,
+            mux_b: MuxSel::Zero,
+            ..Instruction::default()
+        },
+        (Activation::LeakyRelu { .. }, 0) => {
+            // r0 <- out (NOP keeps the output register intact).
+            Instruction {
+                op: Op::Nop,
+                wr_en: true,
+                wr_reg: 0,
+                wr_sel: WriteSel::SelfOut,
+                ..Instruction::default()
+            }
+        }
+        (Activation::LeakyRelu { .. }, 1) => {
+            // out <- out >> shift, shift broadcast from the GRF.
+            Instruction {
+                op: Op::Shr,
+                mux_a: MuxSel::SelfOut,
+                mux_b: MuxSel::Grf,
+                ..Instruction::default()
+            }
+        }
+        (Activation::LeakyRelu { .. }, 2) => {
+            // out <- max(out, r0) = max(x >> shift, x).
+            Instruction {
+                op: Op::Max,
+                mux_a: MuxSel::SelfOut,
+                mux_b: MuxSel::Reg,
+                reg_b: 0,
+                ..Instruction::default()
+            }
+        }
+        _ => Instruction::nop(),
+    }
+}
+
+/// The epilogue step that reads the GRF (the shift constant), if any.
+#[must_use]
+pub fn grf_read_step(act: Activation) -> Option<u64> {
+    matches!(act, Activation::LeakyRelu { .. }).then_some(1)
+}
+
+/// The GRF word holding the shift constant, if the activation needs one.
+#[must_use]
+pub fn grf_constant(act: Activation) -> Option<Word> {
+    match act {
+        Activation::LeakyRelu { shift } => Some(Word::from(shift)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths() {
+        assert_eq!(epilogue_len(Activation::None), 1);
+        assert_eq!(epilogue_len(Activation::Relu), 1);
+        assert_eq!(epilogue_len(Activation::LeakyRelu { shift: 2 }), 3);
+    }
+
+    #[test]
+    fn relu_is_single_max() {
+        let i = epilogue_instruction(Activation::Relu, 0);
+        assert_eq!(i.op, Op::Max);
+        assert_eq!((i.mux_a, i.mux_b), (MuxSel::SelfOut, MuxSel::Zero));
+    }
+
+    #[test]
+    fn none_is_nop() {
+        assert_eq!(epilogue_instruction(Activation::None, 0), Instruction::nop());
+    }
+
+    #[test]
+    fn leaky_sequence_computes_the_identity() {
+        // Drive a PE through the 3-step epilogue and check the result for
+        // positive and negative accumulators.
+        use npcgra_arch::{DualModeMac, MacMode, Pe, PeInputs};
+        let act = Activation::LeakyRelu { shift: 3 };
+        let mac = DualModeMac::new(MacMode::Chained);
+        for x in [-1000i32, -9, -1, 0, 5, 1000] {
+            let mut pe = Pe::new();
+            pe.set_out(x);
+            for step in 0..3 {
+                let io = PeInputs {
+                    grf: Some(3),
+                    ..PeInputs::default()
+                };
+                pe.step(&epilogue_instruction(act, step), &io, mac).unwrap();
+            }
+            assert_eq!(pe.out(), act.apply_acc(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn grf_plumbing() {
+        assert_eq!(grf_read_step(Activation::Relu), None);
+        assert_eq!(grf_read_step(Activation::LeakyRelu { shift: 4 }), Some(1));
+        assert_eq!(grf_constant(Activation::LeakyRelu { shift: 4 }), Some(4));
+        assert_eq!(grf_constant(Activation::Relu), None);
+    }
+}

@@ -1,0 +1,355 @@
+//! Configuration-memory compilation (§3.3).
+//!
+//! A real CGRA executes from *configuration memory*: a small store of
+//! per-cycle contexts (one encoded instruction per PE plus a few global
+//! bits), sequenced by the controller. Table 4 gives NP-CGRA 32 contexts of
+//! `36 × #PEs + 8` bits.
+//!
+//! [`ConfigImage::compile`] lowers a [`TileMapping`]'s schedule into that
+//! form: every cycle's PE instructions are **encoded** into their 36-bit
+//! words (Fig. 3), identical cycles are deduplicated into shared contexts,
+//! and the controller keeps only the per-cycle context index. This both
+//! validates that the paper's 32-context budget really fits the shipped
+//! mappings and lets the simulator execute from *decoded* words
+//! ([`crate::program::TileMapping`] ⇄ bits round trip), closing the ISA
+//! loop.
+//!
+//! PE instructions in all four mappings depend only on the schedule phase —
+//! not on the tile coordinates (`tid_r`, `tid_c`), which enter through the
+//! AGUs — so one compiled image serves every tile of a layer, exactly as
+//! hardware reuses its contexts.
+
+use npcgra_agu::{TileClock, TilePos};
+use npcgra_arch::{isa, CgraSpec, Instruction};
+
+use crate::program::TileMapping;
+
+/// One configuration context: the encoded instruction words of every PE
+/// (row-major) plus the global per-cycle bits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CycleConfig {
+    /// Encoded 36-bit instruction per PE, row-major.
+    pub words: Vec<u64>,
+    /// GRF broadcast index for this cycle (the 4 global index bits).
+    pub grf_index: Option<u8>,
+    /// Global H-MEM streamed-read request bit.
+    pub h_read: bool,
+    /// Global V-MEM streamed-read request bit.
+    pub v_read: bool,
+}
+
+/// A compiled tile: deduplicated contexts plus the controller's per-cycle
+/// context sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigImage {
+    contexts: Vec<CycleConfig>,
+    schedule: Vec<usize>,
+    rows: usize,
+    cols: usize,
+}
+
+/// Error from configuration compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "configuration compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl ConfigImage {
+    /// Compile a tile schedule into configuration memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] if the mapping's PE instructions vary with
+    /// the tile position (they must not — position enters via the AGUs) or
+    /// if the deduplicated context count exceeds the machine's
+    /// configuration-memory depth.
+    pub fn compile(mapping: &dyn TileMapping, spec: &CgraSpec) -> Result<Self, CompileError> {
+        let (rows, cols) = (spec.rows, spec.cols);
+        let probe_a = TilePos::first(1, 1);
+        let mut probe_b = TilePos::first(2, 2);
+        probe_b.tid_r = 1;
+        probe_b.tid_c = 1;
+
+        let mut contexts: Vec<CycleConfig> = Vec::new();
+        let mut schedule = Vec::new();
+
+        let mut clock = TileClock::start();
+        let mut remaining = mapping.phase_len(0).ok_or_else(|| CompileError {
+            message: "empty tile".into(),
+        })?;
+        loop {
+            let mut words = Vec::with_capacity(rows * cols);
+            let mut h_read = false;
+            let mut v_read = false;
+            for r in 0..rows {
+                for c in 0..cols {
+                    let ins = mapping.pe_instruction(clock, probe_a, r, c);
+                    if ins != mapping.pe_instruction(clock, probe_b, r, c) {
+                        return Err(CompileError {
+                            message: format!(
+                                "PE({r},{c}) instruction depends on tile position at t_cycle {}",
+                                clock.t_cycle
+                            ),
+                        });
+                    }
+                    words.push(ins.encode());
+                }
+            }
+            for r in 0..rows {
+                if mapping.h_request(clock, probe_a, r).is_some() {
+                    h_read = true;
+                }
+            }
+            for c in 0..cols {
+                if mapping.v_request(clock, probe_a, c).is_some() {
+                    v_read = true;
+                }
+            }
+            let grf_index = mapping
+                .grf_index(clock)
+                .map(|i| u8::try_from(i).expect("GRF index fits 4 bits"));
+            let ctx = CycleConfig {
+                words,
+                grf_index,
+                h_read,
+                v_read,
+            };
+            let idx = match contexts.iter().position(|c| *c == ctx) {
+                Some(i) => i,
+                None => {
+                    contexts.push(ctx);
+                    contexts.len() - 1
+                }
+            };
+            schedule.push(idx);
+
+            remaining -= 1;
+            if remaining == 0 {
+                match mapping.phase_len(clock.t_wrap + 1) {
+                    Some(len) => {
+                        clock.step(true);
+                        remaining = len;
+                    }
+                    None => break,
+                }
+            } else {
+                clock.step(false);
+            }
+        }
+
+        if contexts.len() > spec.config_contexts {
+            return Err(CompileError {
+                message: format!(
+                    "{} contexts exceed the configuration memory depth {}",
+                    contexts.len(),
+                    spec.config_contexts
+                ),
+            });
+        }
+        Ok(ConfigImage {
+            contexts,
+            schedule,
+            rows,
+            cols,
+        })
+    }
+
+    /// Number of distinct contexts.
+    #[must_use]
+    pub fn num_contexts(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Tile latency in cycles (the schedule length).
+    #[must_use]
+    pub fn tile_cycles(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// The context index executed at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is out of range.
+    #[must_use]
+    pub fn context_at(&self, cycle: usize) -> &CycleConfig {
+        &self.contexts[self.schedule[cycle]]
+    }
+
+    /// Decode PE `(r, c)`'s instruction at `cycle` from its stored 36-bit
+    /// word — the path hardware takes every cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or the stored word is malformed
+    /// (impossible for compiled images).
+    #[must_use]
+    pub fn instruction_at(&self, cycle: usize, r: usize, c: usize) -> Instruction {
+        let word = self.context_at(cycle).words[r * self.cols + c];
+        Instruction::decode(word).expect("compiled words decode")
+    }
+
+    /// Disassemble the configuration memory into readable text: one
+    /// section per context (with its global bits) and the controller's
+    /// per-cycle context sequence. The inverse view of Fig. 3.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, ctx) in self.contexts.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "context {i}: grf={} h_read={} v_read={}",
+                ctx.grf_index.map_or("-".to_string(), |g| g.to_string()),
+                u8::from(ctx.h_read),
+                u8::from(ctx.v_read)
+            );
+            for r in 0..self.rows {
+                let row: Vec<String> = (0..self.cols)
+                    .map(|c| {
+                        let word = ctx.words[r * self.cols + c];
+                        let ins = Instruction::decode(word).expect("compiled words decode");
+                        format!("{:09x}:{ins}", word)
+                    })
+                    .collect();
+                let _ = writeln!(out, "  row {r}: {}", row.join(" | "));
+            }
+        }
+        let seq: Vec<String> = self.schedule.iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "schedule ({} cycles): {}", self.schedule.len(), seq.join(" "));
+        out
+    }
+
+    /// Bits stored per context: `36 × #PEs + 8` (§6.1).
+    #[must_use]
+    pub fn bits_per_context(&self) -> u64 {
+        u64::from(isa::WIDTH) * (self.rows * self.cols) as u64 + 8
+    }
+
+    /// Total configuration bits this image occupies.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.bits_per_context() * self.contexts.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DwcGeneralMapping, DwcS1Mapping, MatmulDwcMapping, PwcMapping};
+
+    fn spec() -> CgraSpec {
+        CgraSpec::np_cgra(4, 4)
+    }
+
+    #[test]
+    fn pwc_compiles_to_four_contexts() {
+        // MUL-init, MAC-stream, bubble (no reads) and store (H reads only).
+        let m = PwcMapping::new(32, &spec(), 100);
+        let img = ConfigImage::compile(&m, &spec()).unwrap();
+        assert_eq!(img.num_contexts(), 4);
+        assert_eq!(img.tile_cycles() as u64, m.tile_latency());
+    }
+
+    #[test]
+    fn all_mappings_fit_32_contexts_on_8x8() {
+        // The Table 4 configuration-memory depth must hold every shipped
+        // mapping on the evaluation machine.
+        let spec = CgraSpec::table4();
+        let maps: Vec<Box<dyn TileMapping>> = vec![
+            Box::new(PwcMapping::new(512, &spec, 0)),
+            Box::new(DwcGeneralMapping::new(3, 2, &spec, 0)),
+            Box::new(DwcGeneralMapping::new(3, 1, &spec, 0)),
+            Box::new(DwcS1Mapping::new(3, &spec, 0)),
+            Box::new(MatmulDwcMapping::new(3, &spec, 0)),
+        ];
+        for m in &maps {
+            let img = ConfigImage::compile(m.as_ref(), &spec).unwrap();
+            assert!(img.num_contexts() <= 32, "{} contexts", img.num_contexts());
+        }
+    }
+
+    #[test]
+    fn decoded_instructions_match_the_oracle() {
+        let s = spec();
+        let m = DwcS1Mapping::new(3, &s, 50);
+        let img = ConfigImage::compile(&m, &s).unwrap();
+        let pos = TilePos::first(1, 1);
+        let mut clock = TileClock::start();
+        let mut remaining = m.phase_len(0).unwrap();
+        for cycle in 0..img.tile_cycles() {
+            for r in 0..4 {
+                for c in 0..4 {
+                    assert_eq!(
+                        img.instruction_at(cycle, r, c),
+                        m.pe_instruction(clock, pos, r, c),
+                        "cycle {cycle} PE({r},{c})"
+                    );
+                }
+            }
+            remaining -= 1;
+            if remaining == 0 {
+                if let Some(len) = m.phase_len(clock.t_wrap + 1) {
+                    clock.step(true);
+                    remaining = len;
+                }
+            } else {
+                clock.step(false);
+            }
+        }
+    }
+
+    #[test]
+    fn grf_indices_recorded() {
+        let s = spec();
+        let m = DwcS1Mapping::new(3, &s, 0);
+        let img = ConfigImage::compile(&m, &s).unwrap();
+        let grf_cycles: Vec<u8> = (0..img.tile_cycles()).filter_map(|t| img.context_at(t).grf_index).collect();
+        // Boustrophedon order, once per compute cycle.
+        assert_eq!(grf_cycles, vec![0, 1, 2, 5, 4, 3, 6, 7, 8]);
+    }
+
+    #[test]
+    fn disassembly_is_readable_and_complete() {
+        let s = spec();
+        let m = PwcMapping::new(8, &s, 0);
+        let img = ConfigImage::compile(&m, &s).unwrap();
+        let text = img.disassemble();
+        assert!(text.contains("context 0"));
+        assert!(text.contains("mul"));
+        assert!(text.contains("mac"));
+        assert!(text.contains("schedule (13 cycles)"));
+        // One "row" line per array row per context.
+        let rows = text.lines().filter(|l| l.trim_start().starts_with("row ")).count();
+        assert_eq!(rows, img.num_contexts() * 4);
+    }
+
+    #[test]
+    fn bits_accounting_matches_spec() {
+        let s = CgraSpec::table4();
+        let m = PwcMapping::new(64, &s, 0);
+        let img = ConfigImage::compile(&m, &s).unwrap();
+        assert_eq!(img.bits_per_context(), s.config_bits_per_cycle());
+        assert!(img.total_bits() <= s.config_mem_bytes() * 8);
+    }
+
+    #[test]
+    fn read_enables_follow_phases() {
+        let s = spec();
+        let m = PwcMapping::new(8, &s, 0);
+        let img = ConfigImage::compile(&m, &s).unwrap();
+        // Stream cycles read both memories; the bubble reads neither;
+        // store cycles assert H (the store request goes through H-MEM).
+        assert!(img.context_at(0).h_read && img.context_at(0).v_read);
+        assert!(!img.context_at(8).h_read && !img.context_at(8).v_read);
+        assert!(img.context_at(9).h_read && !img.context_at(9).v_read);
+    }
+}

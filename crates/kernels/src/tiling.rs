@@ -1,0 +1,187 @@
+//! Block-size selection.
+//!
+//! A *tile* is the work the array does simultaneously (`N_r × N_c` outputs);
+//! a *block* is `B_r × B_c` tiles whose data fits in local memory (§IV). The
+//! chooser maximizes the block subject to the per-bank H-MEM/V-MEM word
+//! budget, which both amortizes DMA latency and matches the layer-latency
+//! ceil-terms of Table 3.
+
+use npcgra_arch::CgraSpec;
+
+/// A block geometry: `B_r × B_c` tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockCfg {
+    /// Tiles per block, row direction.
+    pub b_r: usize,
+    /// Tiles per block, column direction.
+    pub b_c: usize,
+}
+
+impl BlockCfg {
+    /// Words available per H-MEM bank.
+    #[must_use]
+    pub fn hmem_words_per_bank(spec: &CgraSpec) -> usize {
+        spec.hmem_bytes / spec.word_bytes / spec.rows.max(1)
+    }
+
+    /// Words available per V-MEM bank (falls back to the H-MEM pool when
+    /// the machine has no separate V-MEM).
+    #[must_use]
+    pub fn vmem_words_per_bank(spec: &CgraSpec) -> usize {
+        if spec.vmem_bytes == 0 {
+            Self::hmem_words_per_bank(spec)
+        } else {
+            spec.vmem_bytes / spec.word_bytes / spec.cols.max(1)
+        }
+    }
+
+    /// The block size that covers `extent` tiles with the least total work:
+    /// the `b ≤ cap` minimizing `ceil(extent/b)·b` (ties prefer larger `b`,
+    /// which means fewer blocks and fewer DMA latencies).
+    #[must_use]
+    pub fn best_split(extent: usize, cap: usize) -> usize {
+        let extent = extent.max(1);
+        let cap = cap.max(1).min(extent);
+        let mut best = 1;
+        let mut best_cost = usize::MAX;
+        for b in 1..=cap {
+            let cost = extent.div_ceil(b) * b;
+            if cost < best_cost || (cost == best_cost && b > best) {
+                best = b;
+                best_cost = cost;
+            }
+        }
+        best
+    }
+
+    /// Block choice for the PWC mapping.
+    ///
+    /// Per H bank the block needs `B_r·N_i` IFM words plus `B_r·B_c·N_c` OFM
+    /// words; per V bank `B_c·N_i` weight words. `B_r`/`B_c` are capped at
+    /// full coverage of the pixel-row (`N_w`) and output-channel (`N_o`)
+    /// dimensions and balanced to avoid computing padding tiles.
+    #[must_use]
+    pub fn choose_pwc(spec: &CgraSpec, n_i: usize, n_w: usize, n_o: usize) -> BlockCfg {
+        let h_budget = Self::hmem_words_per_bank(spec);
+        let v_budget = Self::vmem_words_per_bank(spec);
+        let max_br = n_w.div_ceil(spec.rows).max(1);
+        let max_bc = n_o.div_ceil(spec.cols).max(1);
+        let mut b_c = Self::best_split(max_bc, (v_budget / n_i.max(1)).max(1));
+        // If even B_r = 1 overflows the H budget, shrink B_c first.
+        while b_c > 1 && n_i + b_c * spec.cols > h_budget {
+            b_c -= 1;
+        }
+        let per_br = n_i + b_c * spec.cols;
+        let cap_br = (h_budget / per_br.max(1)).max(1);
+        let b_r = Self::best_split(max_br, cap_br);
+        BlockCfg { b_r, b_c }
+    }
+
+    /// Block choice for the DWC mappings (stride `s`, kernel `k`), per
+    /// channel.
+    ///
+    /// Per H bank: the block's share of input rows (`≈ (B_r·N_r·S + K)/N_r`
+    /// rows of `block_w = S·(B_c·N_c−1)+K` words) plus `B_r·B_c·N_c` OFM
+    /// words. Caps at full coverage of `N_h` (rows) and `N_w` (cols) and
+    /// balances both directions.
+    #[must_use]
+    pub fn choose_dwc(spec: &CgraSpec, k: usize, s: usize, n_h: usize, n_w: usize) -> BlockCfg {
+        let h_budget = Self::hmem_words_per_bank(spec);
+        let max_br = n_h.div_ceil(spec.rows).max(1);
+        let max_bc = n_w.div_ceil(spec.cols).max(1);
+        let fits = |b_r: usize, b_c: usize| {
+            let block_w = s * (b_c * spec.cols - 1) + k;
+            let input_rows = (b_r * spec.rows - 1) * s + k;
+            let rows_per_bank = input_rows.div_ceil(spec.rows.max(1));
+            rows_per_bank * block_w + b_r * b_c * spec.cols <= h_budget
+        };
+        // Largest feasible b_c at b_r = 1, balanced over the extent.
+        let mut cap_bc = max_bc;
+        while cap_bc > 1 && !fits(1, cap_bc) {
+            cap_bc -= 1;
+        }
+        let b_c = Self::best_split(max_bc, cap_bc);
+        // Largest feasible b_r for that b_c, balanced.
+        let mut cap_br = max_br;
+        while cap_br > 1 && !fits(cap_br, b_c) {
+            cap_br -= 1;
+        }
+        let b_r = Self::best_split(max_br, cap_br);
+        BlockCfg { b_r, b_c }
+    }
+
+    /// Number of blocks needed to cover `extent` outputs with `per_block`
+    /// outputs per block.
+    #[must_use]
+    pub fn blocks_to_cover(extent: usize, per_block: usize) -> usize {
+        extent.div_ceil(per_block).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_bank_budgets() {
+        let spec = CgraSpec::table4();
+        // 39 KB / 2 B / 8 banks = 2496 words per bank.
+        assert_eq!(BlockCfg::hmem_words_per_bank(&spec), 2496);
+        assert_eq!(BlockCfg::vmem_words_per_bank(&spec), 2496);
+    }
+
+    #[test]
+    fn pwc_block_fits_budget() {
+        let spec = CgraSpec::table4();
+        let cfg = BlockCfg::choose_pwc(&spec, 512, 14, 512);
+        let h = cfg.b_r * 512 + cfg.b_r * cfg.b_c * 8;
+        assert!(h <= 2496, "H need {h}");
+        assert!(cfg.b_c * 512 <= 2496);
+        assert!(cfg.b_r >= 1 && cfg.b_c >= 1);
+    }
+
+    #[test]
+    fn pwc_small_layer_fully_covered() {
+        let spec = CgraSpec::table4();
+        let cfg = BlockCfg::choose_pwc(&spec, 32, 16, 16);
+        assert_eq!(cfg.b_r, 2); // 16 pixels / 8 rows
+        assert_eq!(cfg.b_c, 2);
+    }
+
+    #[test]
+    fn dwc_block_fits_budget() {
+        let spec = CgraSpec::table4();
+        let cfg = BlockCfg::choose_dwc(&spec, 3, 1, 112, 112);
+        let block_w = cfg.b_c * 8 + 2;
+        let input_rows = (cfg.b_r * 8 - 1) + 3;
+        let need = input_rows.div_ceil(8) * block_w + cfg.b_r * cfg.b_c * 8;
+        assert!(need <= 2496, "need {need} for {cfg:?}");
+    }
+
+    #[test]
+    fn dwc_stride2_block() {
+        let spec = CgraSpec::np_cgra(4, 4);
+        let cfg = BlockCfg::choose_dwc(&spec, 3, 2, 56, 56);
+        assert!(cfg.b_r >= 1 && cfg.b_c >= 1);
+        let block_w = 2 * (cfg.b_c * 4 - 1) + 3;
+        let input_rows = (cfg.b_r * 4 - 1) * 2 + 3;
+        let need = input_rows.div_ceil(4) * block_w + cfg.b_r * cfg.b_c * 4;
+        assert!(need <= BlockCfg::hmem_words_per_bank(&spec));
+    }
+
+    #[test]
+    fn tiny_memory_degrades_to_minimal_block() {
+        let mut spec = CgraSpec::np_cgra(4, 4);
+        spec.hmem_bytes = 4 * 64 * 2; // 64 words per bank
+        let cfg = BlockCfg::choose_pwc(&spec, 48, 128, 128);
+        assert_eq!(cfg.b_r, 1);
+        assert!(48 + cfg.b_c * 4 <= 64);
+    }
+
+    #[test]
+    fn blocks_to_cover_rounds_up() {
+        assert_eq!(BlockCfg::blocks_to_cover(112, 32), 4);
+        assert_eq!(BlockCfg::blocks_to_cover(9, 8), 2);
+        assert_eq!(BlockCfg::blocks_to_cover(8, 8), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! The central consistency property of the whole mapping stack: for random
+//! geometries, the IFM element the *schedule* needs each cycle is exactly
+//! the word the *AGU address* finds in the *layout's* bank image. If any of
+//! the three (schedule semantics, Algorithms 1–3, Figs. 9–11 layouts)
+//! drifts, these tests catch it without running the full machine.
+
+use npcgra_agu::{AccessKind, TileClock, TilePos};
+use npcgra_arch::CgraSpec;
+use npcgra_kernels::dwc_s1::DwcS1LayerMap;
+use npcgra_kernels::pwc::PwcLayerMap;
+use npcgra_kernels::BlockProgram;
+use npcgra_nn::{ConvLayer, Tensor, Word};
+use proptest::prelude::*;
+
+/// Walk every cycle of every tile of a block, resolving each H/V load
+/// through the bank images, and hand the values to `check`.
+fn walk_loads(prog: &BlockProgram, rows: usize, cols: usize, mut check: impl FnMut(&str, usize, u64, usize, Word)) {
+    let mapping = prog.mapping.as_ref();
+    let mut pos = TilePos::first(prog.tiles.b_r, prog.tiles.b_c);
+    loop {
+        let mut clock = TileClock::start();
+        let mut remaining = mapping.phase_len(0).unwrap();
+        loop {
+            for r in 0..rows {
+                if let Some(req) = mapping.h_request(clock, pos, r) {
+                    if req.kind == AccessKind::Load {
+                        let v = prog.h_banks[req.bank][req.offset];
+                        check("H", pos.index(), clock.t_cycle, r, v);
+                    }
+                }
+            }
+            for c in 0..cols {
+                if let Some(req) = mapping.v_request(clock, pos, c) {
+                    if req.kind == AccessKind::Load {
+                        let v = prog.v_banks[req.bank][req.offset];
+                        check("V", pos.index(), clock.t_cycle, c, v);
+                    }
+                }
+            }
+            remaining -= 1;
+            if remaining == 0 {
+                match mapping.phase_len(clock.t_wrap + 1) {
+                    Some(len) => {
+                        clock.step(true);
+                        remaining = len;
+                    }
+                    None => break,
+                }
+            } else {
+                clock.step(false);
+            }
+        }
+        if !pos.advance() {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// PWC: H-bus r at stream cycle t must carry channel t of pixel
+    /// (block base + tid_r·N_r + r); V-bus c must carry weight (t, oc).
+    #[test]
+    fn pwc_loads_are_the_right_operands(
+        ni in 2usize..20, no in 1usize..20, w in 2usize..12,
+        rows in 2usize..5, cols in 2usize..5,
+    ) {
+        let spec = CgraSpec::np_cgra(rows, cols);
+        // Tag every IFM element with a unique value: channel major.
+        let layer = ConvLayer::pointwise("pw", ni, no, 1, w);
+        let map = PwcLayerMap::new(&layer, &spec).unwrap();
+        let ifm = Tensor::from_fn(ni, 1, w, |i, _, p| (p * 64 + i) as Word);
+        let weights = Tensor::from_fn(no, 1, ni, |o, _, i| (o * 64 + i) as Word + 1000);
+        let prog = map.materialize(0, &ifm, &weights);
+        let nc = cols;
+        let mut violations: Vec<String> = Vec::new();
+        walk_loads(&prog, rows, cols, |bus, tile, t, lane, v| {
+            let (tid_r, tid_c) = (tile / map.cfg().b_c, tile % map.cfg().b_c);
+            if bus == "H" && (t as usize) < ni {
+                let pixel = tid_r * rows + lane;
+                if pixel < w && v as usize != pixel * 64 + t as usize {
+                    violations.push(format!("H pixel {pixel} ch {t}: got {v}"));
+                }
+            } else if bus == "V" && (t as usize) < ni {
+                let oc = tid_c * nc + lane;
+                if oc < no && v as usize != oc * 64 + t as usize + 1000 {
+                    violations.push(format!("V oc {oc} ch {t}: got {v}"));
+                }
+            }
+        });
+        prop_assert!(violations.is_empty(), "{:?}", &violations[..violations.len().min(5)]);
+    }
+
+    /// DWC-S1: every fresh H load carries the tile-local IFM coordinate the
+    /// schedule documents (`h_loaded_ifm_coord`), resolved through the
+    /// Fig. 11 layouts.
+    #[test]
+    fn dwc_s1_loads_match_declared_coordinates(
+        h in 6usize..20, w in 6usize..20,
+        rows in 2usize..5, cols in 2usize..5,
+    ) {
+        let spec = CgraSpec::np_cgra(rows, cols);
+        let layer = ConvLayer::depthwise("dw", 1, h, w, 3, 1, 1);
+        let map = DwcS1LayerMap::new(&layer, &spec).unwrap();
+        // Unique tag per padded-image coordinate.
+        let padded = Tensor::from_fn(1, h + 2, w + 2, |_, y, x| (y * 256 + x) as Word);
+        let weights = layer.random_weights(1);
+        let prog = map.materialize(0, &padded, &weights);
+        let agu = npcgra_agu::DwcS1Agu { k: 3, nr: rows, nc: cols, addr_ifm: 0, addr_ofm: 0, addr_vm: 0 };
+
+        let mapping = prog.mapping.as_ref();
+        let mut pos = TilePos::first(prog.tiles.b_r, prog.tiles.b_c);
+        loop {
+            let mut clock = TileClock::start();
+            let mut remaining = mapping.phase_len(0).unwrap();
+            loop {
+                for r in 0..rows {
+                    if let (Some(req), Some((ty, tx))) =
+                        (mapping.h_request(clock, pos, r), agu.h_loaded_ifm_coord(clock, pos, r))
+                    {
+                        if req.kind == AccessKind::Load && ty < h + 2 && tx < w + 2 {
+                            let v = prog.h_banks[req.bank][req.offset];
+                            prop_assert_eq!(v as usize, ty * 256 + tx, "declared ({},{})", ty, tx);
+                        }
+                    }
+                }
+                remaining -= 1;
+                if remaining == 0 {
+                    match mapping.phase_len(clock.t_wrap + 1) {
+                        Some(len) => { clock.step(true); remaining = len; }
+                        None => break,
+                    }
+                } else {
+                    clock.step(false);
+                }
+            }
+            if !pos.advance() {
+                break;
+            }
+        }
+    }
+
+    /// No mapping ever issues two same-kind requests to one bank in one
+    /// cycle — the §5.2 conflict-freedom claim, as a property over random
+    /// geometry.
+    #[test]
+    fn no_bank_conflicts_any_mapping(
+        h in 6usize..18, w in 6usize..18, ch in 1usize..3,
+        rows in 2usize..5, cols in 2usize..5, s in 1usize..3,
+    ) {
+        let spec = CgraSpec::np_cgra(rows, cols);
+        let layer = ConvLayer::depthwise("dw", ch, h, w, 3, s, 1);
+        let padded = Tensor::random(ch, h + 2, w + 2, 1);
+        let weights = layer.random_weights(2);
+        let prog = if s == 1 {
+            DwcS1LayerMap::new(&layer, &spec).unwrap().materialize(0, &padded, &weights)
+        } else {
+            npcgra_kernels::dwc_general::DwcGeneralLayerMap::new(&layer, &spec).unwrap().materialize(0, &padded, &weights)
+        };
+        let mapping = prog.mapping.as_ref();
+        let mut pos = TilePos::first(prog.tiles.b_r, prog.tiles.b_c);
+        loop {
+            let mut clock = TileClock::start();
+            let mut remaining = mapping.phase_len(0).unwrap();
+            loop {
+                let mut h_banks_hit = vec![0u8; rows];
+                for r in 0..rows {
+                    if let Some(req) = mapping.h_request(clock, pos, r) {
+                        if req.kind == AccessKind::Load {
+                            h_banks_hit[req.bank] += 1;
+                        }
+                    }
+                }
+                prop_assert!(h_banks_hit.iter().all(|&n| n <= 1), "H conflict at t={} {:?}", clock.t_cycle, h_banks_hit);
+                remaining -= 1;
+                if remaining == 0 {
+                    match mapping.phase_len(clock.t_wrap + 1) {
+                        Some(len) => { clock.step(true); remaining = len; }
+                        None => break,
+                    }
+                } else {
+                    clock.step(false);
+                }
+            }
+            if !pos.advance() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! A single SRAM bank.
+
+use npcgra_nn::Word;
+
+/// One word-addressed SRAM bank.
+///
+/// # Example
+///
+/// ```
+/// use npcgra_mem::SramBank;
+///
+/// let mut b = SramBank::new(64);
+/// b.write(10, -5).unwrap();
+/// assert_eq!(b.read(10), Some(-5));
+/// assert_eq!(b.read(64), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SramBank {
+    words: Vec<Word>,
+}
+
+impl SramBank {
+    /// A zero-initialized bank of `words` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    #[must_use]
+    pub fn new(words: usize) -> Self {
+        assert!(words > 0, "bank capacity must be nonzero");
+        SramBank { words: vec![0; words] }
+    }
+
+    /// Capacity in words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the bank holds no words (never true).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of address bits `N_a` needed to address this bank
+    /// (`ceil(log2(len))`; zero for a single-word bank).
+    #[must_use]
+    pub fn addr_bits(&self) -> u32 {
+        let n = self.words.len();
+        if n <= 1 {
+            0
+        } else {
+            usize::BITS - (n - 1).leading_zeros()
+        }
+    }
+
+    /// Read the word at `addr`, or `None` if out of range.
+    #[must_use]
+    pub fn read(&self, addr: usize) -> Option<Word> {
+        self.words.get(addr).copied()
+    }
+
+    /// Write `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the capacity if `addr` is out of range.
+    pub fn write(&mut self, addr: usize, value: Word) -> Result<(), usize> {
+        match self.words.get_mut(addr) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(self.words.len()),
+        }
+    }
+
+    /// Bulk-fill starting at `base` (DMA landing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the capacity if the block does not fit.
+    pub fn fill(&mut self, base: usize, data: &[Word]) -> Result<(), usize> {
+        let end = base.checked_add(data.len()).ok_or(self.words.len())?;
+        if end > self.words.len() {
+            return Err(self.words.len());
+        }
+        self.words[base..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Borrow the raw contents (test benches and DMA read-back).
+    #[must_use]
+    pub fn as_slice(&self) -> &[Word] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut b = SramBank::new(8);
+        b.write(7, 123).unwrap();
+        assert_eq!(b.read(7), Some(123));
+    }
+
+    #[test]
+    fn out_of_range() {
+        let mut b = SramBank::new(8);
+        assert_eq!(b.read(8), None);
+        assert_eq!(b.write(8, 0), Err(8));
+    }
+
+    #[test]
+    fn fill_block() {
+        let mut b = SramBank::new(8);
+        b.fill(2, &[1, 2, 3]).unwrap();
+        assert_eq!(b.as_slice(), &[0, 0, 1, 2, 3, 0, 0, 0]);
+        assert!(b.fill(6, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn addr_bits() {
+        assert_eq!(SramBank::new(1).addr_bits(), 0);
+        assert_eq!(SramBank::new(2).addr_bits(), 1);
+        assert_eq!(SramBank::new(1024).addr_bits(), 10);
+        assert_eq!(SramBank::new(1025).addr_bits(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = SramBank::new(0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Multi-banked local memory with crossbar and conflict checking.
+//!
+//! Global addresses follow the paper's convention throughout Algorithms 1–3:
+//! `addr = (bank << N_a) | offset`, where `N_a` is the per-bank address
+//! width. Every simulated cycle begins with [`BankedMemory::begin_cycle`];
+//! reads and writes within a cycle are checked for the conflict-freedom the
+//! paper proves for its layouts (one read and one write per bank per cycle;
+//! a second access of the same kind is a [`MemError::BankConflict`]).
+//!
+//! Without the crossbar feature (the baseline's parallel busses), port `i`
+//! may only access bank `i`; cross-bank requests raise
+//! [`MemError::CrossbarRequired`]. This is exactly the restriction that
+//! makes the DWC layouts of Figs. 10–11 impossible on the baseline.
+
+use std::fmt;
+
+use npcgra_nn::Word;
+
+use crate::bank::SramBank;
+
+/// Errors raised by local-memory access checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Two same-kind accesses hit one bank in one cycle.
+    BankConflict {
+        /// The contended bank.
+        bank: usize,
+        /// The ports that collided.
+        ports: (usize, usize),
+        /// Whether the colliding accesses were writes.
+        write: bool,
+    },
+    /// A port addressed a foreign bank while the crossbar is absent.
+    CrossbarRequired {
+        /// Requesting port.
+        port: usize,
+        /// Addressed bank.
+        bank: usize,
+    },
+    /// Bank index out of range.
+    BadBank(usize),
+    /// In-bank offset out of range.
+    BadOffset {
+        /// Addressed bank.
+        bank: usize,
+        /// Offending offset.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::BankConflict { bank, ports, write } => {
+                let kind = if *write { "write" } else { "read" };
+                write!(f, "bank {bank} {kind} conflict between ports {} and {}", ports.0, ports.1)
+            }
+            MemError::CrossbarRequired { port, bank } => {
+                write!(f, "port {port} addressed bank {bank} but the machine has no crossbar")
+            }
+            MemError::BadBank(b) => write!(f, "bank index {b} out of range"),
+            MemError::BadOffset { bank, offset } => write!(f, "offset {offset} out of range for bank {bank}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A group of SRAM banks with crossbar access and conflict detection
+/// (models H-MEM or V-MEM).
+///
+/// # Example
+///
+/// ```
+/// use npcgra_mem::BankedMemory;
+///
+/// let mut m = BankedMemory::new(4, 256, true);
+/// let addr = m.global_addr(2, 17);
+/// m.write_free(addr, 99).unwrap();
+/// m.begin_cycle();
+/// assert_eq!(m.read(0, addr).unwrap(), 99); // port 0 reads bank 2 via crossbar
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankedMemory {
+    banks: Vec<SramBank>,
+    addr_bits: u32,
+    crossbar: bool,
+    read_ports_this_cycle: Vec<Option<usize>>,
+    write_ports_this_cycle: Vec<Option<usize>>,
+    reads: u64,
+    writes: u64,
+    peak_banks_touched: usize,
+}
+
+impl BankedMemory {
+    /// Create `num_banks` banks of `words_per_bank` words each. `crossbar`
+    /// enables any-port-to-any-bank routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_banks` or `words_per_bank` is zero.
+    #[must_use]
+    pub fn new(num_banks: usize, words_per_bank: usize, crossbar: bool) -> Self {
+        assert!(num_banks > 0, "need at least one bank");
+        let banks: Vec<_> = (0..num_banks).map(|_| SramBank::new(words_per_bank)).collect();
+        let addr_bits = banks[0].addr_bits();
+        BankedMemory {
+            banks,
+            addr_bits,
+            crossbar,
+            read_ports_this_cycle: vec![None; num_banks],
+            write_ports_this_cycle: vec![None; num_banks],
+            reads: 0,
+            writes: 0,
+            peak_banks_touched: 0,
+        }
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn num_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Per-bank capacity in words.
+    #[must_use]
+    pub fn words_per_bank(&self) -> usize {
+        self.banks[0].len()
+    }
+
+    /// Total capacity in words.
+    #[must_use]
+    pub fn total_words(&self) -> usize {
+        self.num_banks() * self.words_per_bank()
+    }
+
+    /// The per-bank address width `N_a` used by the global address format.
+    #[must_use]
+    pub fn addr_bits(&self) -> u32 {
+        self.addr_bits
+    }
+
+    /// Compose a global address `(bank << N_a) | offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` or `offset` is out of range.
+    #[must_use]
+    pub fn global_addr(&self, bank: usize, offset: usize) -> usize {
+        assert!(bank < self.num_banks(), "bank {bank} out of range");
+        assert!(offset < self.words_per_bank(), "offset {offset} out of range");
+        (bank << self.addr_bits) | offset
+    }
+
+    /// Split a global address into `(bank, offset)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if either part is out of range.
+    pub fn split_addr(&self, addr: usize) -> Result<(usize, usize), MemError> {
+        let bank = addr >> self.addr_bits;
+        let offset = addr & ((1usize << self.addr_bits) - 1);
+        if bank >= self.num_banks() {
+            return Err(MemError::BadBank(bank));
+        }
+        if offset >= self.words_per_bank() {
+            return Err(MemError::BadOffset { bank, offset });
+        }
+        Ok((bank, offset))
+    }
+
+    /// Start a new cycle: clears the per-cycle access bookkeeping.
+    pub fn begin_cycle(&mut self) {
+        let touched = self
+            .read_ports_this_cycle
+            .iter()
+            .chain(&self.write_ports_this_cycle)
+            .filter(|p| p.is_some())
+            .count();
+        self.peak_banks_touched = self.peak_banks_touched.max(touched);
+        self.read_ports_this_cycle.fill(None);
+        self.write_ports_this_cycle.fill(None);
+    }
+
+    fn check_routing(&self, port: usize, bank: usize) -> Result<(), MemError> {
+        if !self.crossbar && port != bank {
+            return Err(MemError::CrossbarRequired { port, bank });
+        }
+        Ok(())
+    }
+
+    /// Port `port` reads global address `addr` this cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on a malformed address, a missing crossbar, or
+    /// a second read of the same bank within the cycle.
+    pub fn read(&mut self, port: usize, addr: usize) -> Result<Word, MemError> {
+        let (bank, offset) = self.split_addr(addr)?;
+        self.check_routing(port, bank)?;
+        if let Some(prev) = self.read_ports_this_cycle[bank] {
+            return Err(MemError::BankConflict {
+                bank,
+                ports: (prev, port),
+                write: false,
+            });
+        }
+        self.read_ports_this_cycle[bank] = Some(port);
+        self.reads += 1;
+        self.banks[bank].read(offset).ok_or(MemError::BadOffset { bank, offset })
+    }
+
+    /// Port `port` writes global address `addr` this cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on a malformed address, a missing crossbar, or
+    /// a second write of the same bank within the cycle.
+    pub fn write(&mut self, port: usize, addr: usize, value: Word) -> Result<(), MemError> {
+        let (bank, offset) = self.split_addr(addr)?;
+        self.check_routing(port, bank)?;
+        if let Some(prev) = self.write_ports_this_cycle[bank] {
+            return Err(MemError::BankConflict {
+                bank,
+                ports: (prev, port),
+                write: true,
+            });
+        }
+        self.write_ports_this_cycle[bank] = Some(port);
+        self.writes += 1;
+        self.banks[bank]
+            .write(offset, value)
+            .map_err(|_| MemError::BadOffset { bank, offset })
+    }
+
+    /// Untimed write used by DMA fills and test setup (bypasses the port
+    /// bookkeeping — DMA runs while the array is idle on the other buffer
+    /// set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on a malformed address.
+    pub fn write_free(&mut self, addr: usize, value: Word) -> Result<(), MemError> {
+        let (bank, offset) = self.split_addr(addr)?;
+        self.banks[bank]
+            .write(offset, value)
+            .map_err(|_| MemError::BadOffset { bank, offset })
+    }
+
+    /// Untimed read used by verification and DMA write-back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on a malformed address.
+    pub fn read_free(&self, addr: usize) -> Result<Word, MemError> {
+        let (bank, offset) = self.split_addr(addr)?;
+        self.banks[bank].read(offset).ok_or(MemError::BadOffset { bank, offset })
+    }
+
+    /// Bulk-fill one bank starting at `offset` (DMA landing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the block does not fit.
+    pub fn fill_bank(&mut self, bank: usize, offset: usize, data: &[Word]) -> Result<(), MemError> {
+        if bank >= self.num_banks() {
+            return Err(MemError::BadBank(bank));
+        }
+        self.banks[bank]
+            .fill(offset, data)
+            .map_err(|_| MemError::BadOffset { bank, offset })
+    }
+
+    /// Zero all banks (between layers).
+    pub fn clear(&mut self) {
+        let n = self.words_per_bank();
+        for b in &mut self.banks {
+            *b = SramBank::new(n);
+        }
+    }
+
+    /// Total timed reads served.
+    #[must_use]
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total timed writes served.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Maximum number of banks touched in any single cycle so far.
+    #[must_use]
+    pub fn peak_banks_touched(&self) -> usize {
+        self.peak_banks_touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_addr_roundtrip() {
+        let m = BankedMemory::new(8, 1024, true);
+        let addr = m.global_addr(5, 321);
+        assert_eq!(addr, (5 << 10) | 321);
+        assert_eq!(m.split_addr(addr).unwrap(), (5, 321));
+    }
+
+    #[test]
+    fn crossbar_routes_any_port() {
+        let mut m = BankedMemory::new(4, 16, true);
+        m.write_free(m.global_addr(3, 2), 7).unwrap();
+        m.begin_cycle();
+        assert_eq!(m.read(0, (3 << 4) | 2).unwrap(), 7);
+    }
+
+    #[test]
+    fn no_crossbar_restricts_to_own_bank() {
+        let mut m = BankedMemory::new(4, 16, false);
+        m.begin_cycle();
+        assert!(matches!(
+            m.read(0, (3 << 4) | 2),
+            Err(MemError::CrossbarRequired { port: 0, bank: 3 })
+        ));
+        assert!(m.read(3, (3 << 4) | 2).is_ok());
+    }
+
+    #[test]
+    fn two_reads_same_bank_conflict() {
+        let mut m = BankedMemory::new(4, 16, true);
+        m.begin_cycle();
+        m.read(0, 1 << 4).unwrap();
+        let e = m.read(2, (1 << 4) | 5).unwrap_err();
+        assert!(matches!(
+            e,
+            MemError::BankConflict {
+                bank: 1,
+                ports: (0, 2),
+                write: false
+            }
+        ));
+    }
+
+    #[test]
+    fn reads_clear_at_cycle_boundary() {
+        let mut m = BankedMemory::new(2, 16, true);
+        m.begin_cycle();
+        m.read(0, 0).unwrap();
+        m.begin_cycle();
+        assert!(m.read(1, 0).is_ok());
+    }
+
+    #[test]
+    fn read_plus_write_same_bank_allowed() {
+        let mut m = BankedMemory::new(2, 16, true);
+        m.begin_cycle();
+        m.read(0, 3).unwrap();
+        assert!(m.write(1, 5, 9).is_ok());
+    }
+
+    #[test]
+    fn two_writes_same_bank_conflict() {
+        let mut m = BankedMemory::new(2, 16, true);
+        m.begin_cycle();
+        m.write(0, 3, 1).unwrap();
+        assert!(matches!(m.write(1, 4, 2), Err(MemError::BankConflict { write: true, .. })));
+    }
+
+    #[test]
+    fn bad_bank_and_offset() {
+        let m = BankedMemory::new(2, 16, true);
+        assert!(matches!(m.split_addr(2 << 4), Err(MemError::BadBank(2))));
+    }
+
+    #[test]
+    fn fill_and_readback() {
+        let mut m = BankedMemory::new(2, 8, true);
+        m.fill_bank(1, 2, &[4, 5, 6]).unwrap();
+        assert_eq!(m.read_free((1 << 3) | 3).unwrap(), 5);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = BankedMemory::new(2, 8, true);
+        m.begin_cycle();
+        m.read(0, 0).unwrap();
+        m.write(1, (1 << 3) | 1, 1).unwrap();
+        m.begin_cycle();
+        assert_eq!(m.reads(), 1);
+        assert_eq!(m.writes(), 1);
+        assert_eq!(m.peak_banks_touched(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MemError::BankConflict {
+            bank: 1,
+            ports: (0, 2),
+            write: false,
+        };
+        assert!(e.to_string().contains("read conflict"));
+    }
+}

@@ -1,0 +1,30 @@
+//! NP-CGRA memory subsystem.
+//!
+//! The crossbar-style memory bus (§3.2) splits local memory into **H-MEM**
+//! (read by per-row H-busses) and **V-MEM** (read by per-column V-busses),
+//! each a set of single-access-per-cycle SRAM banks behind a crossbar that
+//! lets any AGU reach any bank. The paper's mappings are constructed so that
+//! AGUs never collide on a bank; this crate *checks* that property at
+//! simulation time instead of assuming it.
+//!
+//! - [`bank`]: one SRAM bank.
+//! - [`banked`]: a bank group with the paper's `(bank << N_a) | offset`
+//!   global addressing, per-cycle conflict detection and an optional
+//!   crossbar (disabled = baseline parallel busses, where AGU *i* can only
+//!   reach bank *i*).
+//! - [`xmem`]: external (off-chip) memory with a bump region allocator.
+//! - [`dma`]: the DMA timing model (fixed 200-cycle latency + 12.5 GB/s
+//!   bandwidth, Table 4) and traffic accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod banked;
+pub mod dma;
+pub mod xmem;
+
+pub use bank::SramBank;
+pub use banked::{BankedMemory, MemError};
+pub use dma::{DmaEngine, DmaTransfer};
+pub use xmem::{ExternalMemory, Region};

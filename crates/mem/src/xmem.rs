@@ -1,0 +1,183 @@
+//! External (off-chip) memory with a simple region allocator.
+//!
+//! Holds IFM, weight and OFM images between layers; the DMA engine moves
+//! blocks between here and H-MEM/V-MEM. Word-addressed, since the datapath
+//! word size is uniform within a run.
+
+use std::fmt;
+
+use npcgra_nn::{Tensor, Word};
+
+/// A named, contiguous allocation in external memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Base word address.
+    pub base: usize,
+    /// Length in words.
+    pub len: usize,
+}
+
+impl Region {
+    /// One-past-the-end address.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.base + self.len
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}..{:#x})", self.base, self.end())
+    }
+}
+
+/// Word-addressed external memory with bump allocation.
+///
+/// # Example
+///
+/// ```
+/// use npcgra_mem::ExternalMemory;
+///
+/// let mut xm = ExternalMemory::new();
+/// let r = xm.alloc(16);
+/// xm.write(r.base + 3, 42).unwrap();
+/// assert_eq!(xm.read(r.base + 3).unwrap(), 42);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExternalMemory {
+    words: Vec<Word>,
+}
+
+impl ExternalMemory {
+    /// An empty external memory.
+    #[must_use]
+    pub fn new() -> Self {
+        ExternalMemory { words: Vec::new() }
+    }
+
+    /// Allocate a zeroed region of `len` words.
+    pub fn alloc(&mut self, len: usize) -> Region {
+        let base = self.words.len();
+        self.words.resize(base + len, 0);
+        Region { base, len }
+    }
+
+    /// Allocate a region and copy a tensor into it in CHW order (the
+    /// external-memory layout of Figs. 9–11 before bank partitioning).
+    pub fn alloc_tensor(&mut self, t: &Tensor) -> Region {
+        let r = self.alloc(t.len());
+        self.words[r.base..r.end()].copy_from_slice(t.as_slice());
+        r
+    }
+
+    /// Read one word.
+    ///
+    /// # Errors
+    ///
+    /// Returns the memory size if `addr` is out of range.
+    pub fn read(&self, addr: usize) -> Result<Word, usize> {
+        self.words.get(addr).copied().ok_or(self.words.len())
+    }
+
+    /// Write one word.
+    ///
+    /// # Errors
+    ///
+    /// Returns the memory size if `addr` is out of range.
+    pub fn write(&mut self, addr: usize, value: Word) -> Result<(), usize> {
+        let len = self.words.len();
+        match self.words.get_mut(addr) {
+            Some(w) => {
+                *w = value;
+                Ok(())
+            }
+            None => Err(len),
+        }
+    }
+
+    /// Borrow a region's contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is out of range.
+    #[must_use]
+    pub fn slice(&self, r: Region) -> &[Word] {
+        &self.words[r.base..r.end()]
+    }
+
+    /// Copy a block out of memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn read_block(&self, base: usize, len: usize) -> Vec<Word> {
+        self.words[base..base + len].to_vec()
+    }
+
+    /// Copy a block into memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_block(&mut self, base: usize, data: &[Word]) {
+        self.words[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Total allocated words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing is allocated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_contiguous() {
+        let mut xm = ExternalMemory::new();
+        let a = xm.alloc(10);
+        let b = xm.alloc(5);
+        assert_eq!(a.base, 0);
+        assert_eq!(b.base, 10);
+        assert_eq!(xm.len(), 15);
+    }
+
+    #[test]
+    fn tensor_roundtrip() {
+        let t = Tensor::random(2, 3, 4, 42);
+        let mut xm = ExternalMemory::new();
+        let r = xm.alloc_tensor(&t);
+        assert_eq!(xm.slice(r), t.as_slice());
+    }
+
+    #[test]
+    fn oob_access_errors() {
+        let mut xm = ExternalMemory::new();
+        xm.alloc(4);
+        assert_eq!(xm.read(4), Err(4));
+        assert_eq!(xm.write(4, 0), Err(4));
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let mut xm = ExternalMemory::new();
+        let r = xm.alloc(8);
+        xm.write_block(r.base + 2, &[1, 2, 3]);
+        assert_eq!(xm.read_block(r.base + 2, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn region_display() {
+        let r = Region { base: 16, len: 16 };
+        assert_eq!(r.to_string(), "[0x10..0x20)");
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the memory subsystem.
+
+use npcgra_arch::CgraSpec;
+use npcgra_mem::dma::double_buffered_cycles_exact;
+use npcgra_mem::{BankedMemory, DmaEngine, ExternalMemory};
+use npcgra_nn::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    /// Global-address composition and splitting are inverse for any
+    /// in-range (bank, offset).
+    #[test]
+    fn global_addr_roundtrip(banks in 1usize..16, words_log2 in 1u32..12, bank_raw in 0usize..4096, offset_raw in 0usize..1_000_000) {
+        let words = 1usize << words_log2;
+        let bank = bank_raw % banks;
+        let offset = offset_raw % words;
+        let m = BankedMemory::new(banks, words, true);
+        let addr = m.global_addr(bank, offset);
+        prop_assert_eq!(m.split_addr(addr).unwrap(), (bank, offset));
+    }
+
+    /// Whatever is written free-form is read back exactly.
+    #[test]
+    fn write_read_roundtrip(words in prop::collection::vec(any::<i16>(), 1..64)) {
+        let mut m = BankedMemory::new(4, 64, true);
+        for (i, &w) in words.iter().enumerate() {
+            let addr = m.global_addr(i % 4, i / 4);
+            m.write_free(addr, w).unwrap();
+        }
+        for (i, &w) in words.iter().enumerate() {
+            let addr = m.global_addr(i % 4, i / 4);
+            prop_assert_eq!(m.read_free(addr).unwrap(), w);
+        }
+    }
+
+    /// Within one cycle, N distinct banks accept N reads; any repeat bank
+    /// conflicts.
+    #[test]
+    fn conflict_detection_is_exact(banks in 2usize..8, repeat in 0usize..8) {
+        let mut m = BankedMemory::new(banks, 16, true);
+        m.begin_cycle();
+        for b in 0..banks {
+            prop_assert!(m.read(b, m.global_addr(b, 0)).is_ok());
+        }
+        let again = repeat % banks;
+        prop_assert!(m.read(0, m.global_addr(again, 1)).is_err());
+    }
+
+    /// DMA cycles are monotone and affine in the word count.
+    #[test]
+    fn dma_timing_affine(a in 1u64..100_000, b in 1u64..100_000) {
+        let e = DmaEngine::new(&CgraSpec::table4());
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(e.transfer_cycles(lo) <= e.transfer_cycles(hi));
+        // Latency appears exactly once per transfer (±1 for ceil rounding).
+        let joint = e.transfer_cycles(lo + hi);
+        prop_assert!(joint <= e.transfer_cycles(lo) + e.transfer_cycles(hi));
+        prop_assert!(joint + 200 + 1 >= e.transfer_cycles(lo) + e.transfer_cycles(hi));
+    }
+
+    /// The double-buffer pipeline is bounded below by both stage sums and
+    /// above by their total.
+    #[test]
+    fn double_buffer_bounds(blocks in prop::collection::vec((1u64..1000, 1u64..1000), 1..20)) {
+        let total = double_buffered_cycles_exact(&blocks);
+        let compute: u64 = blocks.iter().map(|b| b.0).sum();
+        let dma: u64 = blocks.iter().map(|b| b.1).sum();
+        prop_assert!(total >= compute.max(dma));
+        prop_assert!(total <= compute + dma);
+    }
+
+    /// External-memory tensor images round-trip.
+    #[test]
+    fn xmem_tensor_roundtrip(c in 1usize..4, h in 1usize..6, w in 1usize..6, seed in 0u64..100) {
+        let t = Tensor::random(c, h, w, seed);
+        let mut xm = ExternalMemory::new();
+        let r = xm.alloc_tensor(&t);
+        prop_assert_eq!(xm.slice(r), t.as_slice());
+        prop_assert_eq!(r.len, t.len());
+    }
+}

@@ -1,0 +1,104 @@
+//! The classifier head: global average pooling and a fully-connected layer.
+//!
+//! MobileNets end with GAP + FC. Neither is depthwise-separable
+//! convolution — the paper's "DSC runtime" excludes them — but a usable
+//! inference engine needs them: GAP is a trivial host-side reduction
+//! (`N_i` sums over `H·W` values), and FC *is* a `1×N_i` by `N_i×classes`
+//! matrix product, which NP-CGRA runs through the PWC mapping
+//! (`NpCgra::matmul`).
+
+use crate::tensor::{Matrix, Tensor};
+use crate::{truncate, Acc, Word};
+
+/// Global average pooling: one rounded mean per channel.
+///
+/// Uses round-half-away-from-zero on the exact channel sum, the usual
+/// fixed-point pooling choice.
+#[must_use]
+pub fn global_avg_pool(t: &Tensor) -> Vec<Word> {
+    let (c, h, w) = t.shape();
+    let n = (h * w) as Acc;
+    (0..c)
+        .map(|ch| {
+            let mut sum: Acc = 0;
+            for y in 0..h {
+                for x in 0..w {
+                    sum += Acc::from(t.get(ch, y, x));
+                }
+            }
+            let rounded = if sum >= 0 { (sum + n / 2) / n } else { (sum - n / 2) / n };
+            truncate(rounded)
+        })
+        .collect()
+}
+
+/// Fully-connected layer, golden reference: `logits = features × weights`
+/// with the datapath's wrapping 16-bit truncation. `weights` is
+/// `in_features × classes`.
+///
+/// # Panics
+///
+/// Panics if `features.len() != weights.rows()`.
+#[must_use]
+pub fn fully_connected(features: &[Word], weights: &Matrix) -> Vec<Word> {
+    assert_eq!(features.len(), weights.rows(), "feature/weight shape mismatch");
+    (0..weights.cols())
+        .map(|c| {
+            let mut acc: Acc = 0;
+            for (i, &f) in features.iter().enumerate() {
+                acc = acc.wrapping_add(Acc::from(f).wrapping_mul(Acc::from(weights.get(i, c))));
+            }
+            truncate(acc)
+        })
+        .collect()
+}
+
+/// Index of the largest logit (ties resolve to the first).
+#[must_use]
+pub fn argmax(logits: &[Word]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map_or(0, |(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_of_constant_channel_is_the_constant() {
+        let t = Tensor::from_fn(3, 4, 4, |c, _, _| (c as Word + 1) * 10);
+        assert_eq!(global_avg_pool(&t), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn gap_rounds_half_away_from_zero() {
+        // Channel sum 2 over 4 elements = 0.5 → 1; -2/4 = -0.5 → -1.
+        let pos = Tensor::from_fn(1, 2, 2, |_, y, x| i16::from(y == 0 && x == 0) * 2);
+        assert_eq!(global_avg_pool(&pos), vec![1]);
+        let neg = Tensor::from_fn(1, 2, 2, |_, y, x| -(i16::from(y == 0 && x == 0) * 2));
+        assert_eq!(global_avg_pool(&neg), vec![-1]);
+    }
+
+    #[test]
+    fn fc_matches_matrix_product() {
+        let features: Vec<Word> = vec![1, -2, 3];
+        let w = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as Word);
+        // logits = [1*0 + -2*2 + 3*4, 1*1 + -2*3 + 3*5] = [8, 10].
+        assert_eq!(fully_connected(&features, &w), vec![8, 10]);
+    }
+
+    #[test]
+    fn argmax_first_on_tie() {
+        assert_eq!(argmax(&[3, 7, 7, 1]), 1);
+        assert_eq!(argmax(&[-5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn fc_shape_checked() {
+        let _ = fully_connected(&[1, 2], &Matrix::zeros(3, 2));
+    }
+}

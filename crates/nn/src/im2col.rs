@@ -1,0 +1,270 @@
+//! im2col lowering and its host-processor cost model.
+//!
+//! NP-CGRA runs standard (3-D) convolution by converting it into matrix
+//! multiplication with im2col and then applying the PWC mapping (§6.5). The
+//! paper performs im2col on the ARMv8 host of a Xilinx Ultra96-V2 board and
+//! *includes its runtime* in AlexNet latency (Table 6), so the cost model
+//! here is part of the experiment reproduction.
+//!
+//! The same lowering, restricted to a single channel, yields the
+//! "Matmul DWC" comparison point of Table 5 (DWC as a `(pixels×K²)·(K²×1)`
+//! product that can only occupy one CGRA column).
+
+use crate::layer::{ConvKind, ConvLayer, LayerShapeError};
+use crate::tensor::{Matrix, Tensor};
+
+/// Lower one group of a standard convolution into the im2col pixel matrix.
+///
+/// Row `p` corresponds to output pixel `p = oy*out_w + ox`; column
+/// `(ky*K + kx)*cin_per_group + ci` holds the IFM element under kernel tap
+/// `(ky, kx)` of group-local channel `ci` (zero for padded taps). This
+/// column order matches the packed weight layout of
+/// [`ConvLayer::random_weights`] for standard layers, so
+/// `im2col_matrix(..) × weight_matrix` reproduces the golden reference
+/// exactly.
+///
+/// # Errors
+///
+/// Returns [`LayerShapeError`] if the layer is pointwise-incompatible
+/// (`kind` must be [`ConvKind::Standard`] or [`ConvKind::Depthwise`]), the
+/// IFM shape mismatches, or `group` is out of range.
+pub fn im2col_matrix(layer: &ConvLayer, ifm: &Tensor, group: usize) -> Result<Matrix, LayerShapeError> {
+    if layer.kind() == ConvKind::Pointwise {
+        return Err(LayerShapeError::new(
+            "im2col of a pointwise layer is the identity; use the pixel matrix directly",
+        ));
+    }
+    if ifm.shape() != (layer.in_channels(), layer.in_h(), layer.in_w()) {
+        return Err(LayerShapeError::new("ifm shape does not match layer"));
+    }
+    if group >= layer.groups() {
+        return Err(LayerShapeError::new(format!(
+            "group {group} out of range ({} groups)",
+            layer.groups()
+        )));
+    }
+    let k = layer.k();
+    let s = layer.s();
+    let pad = layer.pad() as isize;
+    let cin_per_g = layer.in_channels() / layer.groups();
+    let (oh, ow) = (layer.out_h(), layer.out_w());
+    Ok(Matrix::from_fn(oh * ow, k * k * cin_per_g, |p, col| {
+        let (oy, ox) = (p / ow, p % ow);
+        let tap = col / cin_per_g;
+        let ci = col % cin_per_g;
+        let (ky, kx) = (tap / k, tap % k);
+        let iy = (oy * s + ky) as isize - pad;
+        let ix = (ox * s + kx) as isize - pad;
+        ifm.get_padded(group * cin_per_g + ci, iy, ix)
+    }))
+}
+
+/// The weight matrix for one group, shaped `(K²·cin_per_group) × cout_per_group`,
+/// with rows ordered to match [`im2col_matrix`] columns.
+///
+/// # Errors
+///
+/// Returns [`LayerShapeError`] on kind/shape/group mismatch.
+pub fn weight_matrix(layer: &ConvLayer, weights: &Tensor, group: usize) -> Result<Matrix, LayerShapeError> {
+    if layer.kind() == ConvKind::Pointwise {
+        return Err(LayerShapeError::new("pointwise weights are already a matrix"));
+    }
+    if group >= layer.groups() {
+        return Err(LayerShapeError::new("group out of range"));
+    }
+    let k = layer.k();
+    let cin_per_g = layer.in_channels() / layer.groups();
+    let cout_per_g = layer.out_channels() / layer.groups();
+    let expected = match layer.kind() {
+        ConvKind::Depthwise => (layer.in_channels(), k, k),
+        _ => (layer.out_channels(), k, k * cin_per_g),
+    };
+    if weights.shape() != expected {
+        return Err(LayerShapeError::new("weight shape mismatch"));
+    }
+    Ok(match layer.kind() {
+        ConvKind::Depthwise => {
+            // One output channel per group; rows are the K² taps.
+            Matrix::from_fn(k * k, 1, |row, _| weights.get(group, row / k, row % k))
+        }
+        _ => Matrix::from_fn(k * k * cin_per_g, cout_per_g, |row, oc| {
+            let tap = row / cin_per_g;
+            let ci = row % cin_per_g;
+            let (ky, kx) = (tap / k, tap % k);
+            weights.get(group * cout_per_g + oc, ky, kx * cin_per_g + ci)
+        }),
+    })
+}
+
+/// Number of elements im2col materializes for the whole layer (all groups).
+#[must_use]
+pub fn im2col_elems(layer: &ConvLayer) -> u64 {
+    let cin_per_g = (layer.in_channels() / layer.groups()) as u64;
+    (layer.out_h() * layer.out_w()) as u64 * (layer.k() * layer.k()) as u64 * cin_per_g * layer.groups() as u64
+}
+
+/// Cost model for im2col executed on the host processor.
+///
+/// The paper measured im2col functions on the ARMv8 core of an Ultra96-V2
+/// board. im2col is a memory-bound linear pass, so a per-element cycle cost
+/// at the host clock reproduces its latency contribution. The defaults are
+/// calibrated so AlexNet's five conv layers cost ≈13 ms of host time, which
+/// combined with the CGRA matmul time lands near the paper's 40.07 ms total.
+///
+/// The paper's "further optimization" section notes that ordering im2col
+/// channel-first reduces overhead; [`Im2colCostModel::channel_first`]
+/// models that variant with a lower per-element cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Im2colCostModel {
+    /// Host clock frequency in Hz.
+    pub host_hz: f64,
+    /// Average host cycles spent per materialized im2col element.
+    pub cycles_per_elem: f64,
+}
+
+impl Im2colCostModel {
+    /// The calibrated Ultra96-V2 ARMv8 model (1.5 GHz, ~4.5 cycles/element).
+    #[must_use]
+    pub fn ultra96() -> Self {
+        Im2colCostModel {
+            host_hz: 1.5e9,
+            cycles_per_elem: 4.5,
+        }
+    }
+
+    /// Channel-first traversal variant (paper §5.4 "Further optimization"):
+    /// better locality, ~40 % fewer cycles per element.
+    #[must_use]
+    pub fn channel_first(self) -> Self {
+        Im2colCostModel {
+            cycles_per_elem: self.cycles_per_elem * 0.6,
+            ..self
+        }
+    }
+
+    /// Host seconds spent lowering `layer`.
+    #[must_use]
+    pub fn seconds(&self, layer: &ConvLayer) -> f64 {
+        im2col_elems(layer) as f64 * self.cycles_per_elem / self.host_hz
+    }
+}
+
+impl Default for Im2colCostModel {
+    fn default() -> Self {
+        Im2colCostModel::ultra96()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn im2col_matmul_matches_reference_standard() {
+        let layer = ConvLayer::standard("c", 3, 4, 6, 6, 3, 1, 1, 1);
+        let ifm = Tensor::random(3, 6, 6, 7);
+        let w = layer.random_weights(8);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let x = im2col_matrix(&layer, &ifm, 0).unwrap();
+        let wm = weight_matrix(&layer, &w, 0).unwrap();
+        let y = x.matmul(&wm);
+        for o in 0..4 {
+            for p in 0..36 {
+                assert_eq!(y.get(p, o), golden.get(o, p / 6, p % 6));
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_matmul_matches_reference_grouped() {
+        let layer = ConvLayer::standard("c", 4, 6, 5, 5, 3, 2, 1, 2);
+        let ifm = Tensor::random(4, 5, 5, 17);
+        let w = layer.random_weights(18);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (oh, ow) = (layer.out_h(), layer.out_w());
+        for g in 0..2 {
+            let x = im2col_matrix(&layer, &ifm, g).unwrap();
+            let wm = weight_matrix(&layer, &w, g).unwrap();
+            let y = x.matmul(&wm);
+            for oc in 0..3 {
+                for p in 0..oh * ow {
+                    assert_eq!(y.get(p, oc), golden.get(g * 3 + oc, p / ow, p % ow));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_matmul_matches_reference_depthwise() {
+        // Matmul DWC (Table 5's middle column) functional check.
+        let layer = ConvLayer::depthwise("dw", 3, 7, 7, 3, 1, 1);
+        let ifm = Tensor::random(3, 7, 7, 9);
+        let w = layer.random_weights(10);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        for c in 0..3 {
+            let x = im2col_matrix(&layer, &ifm, c).unwrap();
+            let wm = weight_matrix(&layer, &w, c).unwrap();
+            assert_eq!(wm.rows(), 9);
+            assert_eq!(wm.cols(), 1);
+            let y = x.matmul(&wm);
+            for p in 0..49 {
+                assert_eq!(y.get(p, 0), golden.get(c, p / 7, p % 7));
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_stride_and_pad_geometry() {
+        let layer = ConvLayer::standard("c", 1, 1, 5, 5, 3, 2, 1, 1);
+        let ifm = Tensor::from_fn(1, 5, 5, |_, y, x| (y * 5 + x) as i16);
+        let x = im2col_matrix(&layer, &ifm, 0).unwrap();
+        assert_eq!(x.rows(), 9);
+        assert_eq!(x.cols(), 9);
+        // First output pixel's top-left tap is padding.
+        assert_eq!(x.get(0, 0), 0);
+        // Centre tap of the first window is ifm(0,0).
+        assert_eq!(x.get(0, 4), 0);
+        // Centre output pixel (oy=1,ox=1) centre tap is ifm(2,2)=12.
+        assert_eq!(x.get(4, 4), 12);
+    }
+
+    #[test]
+    fn im2col_rejects_pointwise() {
+        let layer = ConvLayer::pointwise("pw", 2, 2, 4, 4);
+        let ifm = Tensor::zeros(2, 4, 4);
+        assert!(im2col_matrix(&layer, &ifm, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_rejects_bad_group() {
+        let layer = ConvLayer::standard("c", 2, 2, 4, 4, 3, 1, 1, 1);
+        let ifm = Tensor::zeros(2, 4, 4);
+        assert!(im2col_matrix(&layer, &ifm, 1).is_err());
+    }
+
+    #[test]
+    fn elems_counts_all_groups() {
+        let layer = ConvLayer::standard("c", 4, 6, 8, 8, 3, 1, 1, 2);
+        assert_eq!(im2col_elems(&layer), (8 * 8 * 9 * 2 * 2) as u64);
+    }
+
+    #[test]
+    fn cost_model_scales_linearly() {
+        let small = ConvLayer::standard("a", 3, 8, 8, 8, 3, 1, 1, 1);
+        let big = ConvLayer::standard("b", 3, 8, 16, 16, 3, 1, 1, 1);
+        let m = Im2colCostModel::default();
+        let ratio = m.seconds(&big) / m.seconds(&small);
+        assert!(
+            (ratio - 4.0).abs() < 0.05,
+            "doubling H and W should ~4x the cost, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn channel_first_is_cheaper() {
+        let layer = ConvLayer::standard("c", 3, 8, 16, 16, 3, 1, 1, 1);
+        let base = Im2colCostModel::default();
+        assert!(base.channel_first().seconds(&layer) < base.seconds(&layer));
+    }
+}

@@ -1,0 +1,444 @@
+//! Convolution layer descriptors.
+//!
+//! A [`ConvLayer`] captures the geometry of one convolution layer — kind
+//! (depthwise / pointwise / standard), kernel size `K`, stride `S`, padding,
+//! channel counts and spatial dimensions — and derives the quantities the
+//! paper's performance models need: output geometry, MAC counts and data
+//! volumes (Table 2 nomenclature: `N_i`, `N_o`, `N_h`, `N_w`, `K`, `S`).
+
+use std::fmt;
+
+use crate::activation::Activation;
+use crate::tensor::Tensor;
+
+/// The convolution flavour, following the paper's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvKind {
+    /// Depthwise convolution (DWC): one `K×K` filter per channel,
+    /// `N_o = N_i`, no cross-channel reduction.
+    Depthwise,
+    /// Pointwise convolution (PWC): `1×1` convolution, algorithmically a
+    /// matrix multiplication of the pixel matrix by the `N_i×N_o` weights.
+    Pointwise,
+    /// Standard 3-D convolution (as in AlexNet), run on NP-CGRA via
+    /// im2col + the PWC mapping.
+    Standard,
+}
+
+impl fmt::Display for ConvKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConvKind::Depthwise => "DWC",
+            ConvKind::Pointwise => "PWC",
+            ConvKind::Standard => "CONV",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when a layer description is geometrically invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerShapeError {
+    message: String,
+}
+
+impl fmt::Display for LayerShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid layer shape: {}", self.message)
+    }
+}
+
+impl std::error::Error for LayerShapeError {}
+
+impl LayerShapeError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        LayerShapeError { message: message.into() }
+    }
+}
+
+/// A convolution layer descriptor.
+///
+/// # Example
+///
+/// ```
+/// use npcgra_nn::{ConvLayer, ConvKind};
+///
+/// let pw = ConvLayer::pointwise("pw1", 32, 64, 112, 112);
+/// assert_eq!(pw.kind(), ConvKind::Pointwise);
+/// assert_eq!(pw.macs(), 112 * 112 * 32 * 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConvLayer {
+    name: String,
+    kind: ConvKind,
+    k: usize,
+    s: usize,
+    pad: usize,
+    n_i: usize,
+    n_o: usize,
+    in_h: usize,
+    in_w: usize,
+    groups: usize,
+    activation: Activation,
+}
+
+impl ConvLayer {
+    /// General constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayerShapeError`] if any dimension is zero, the padded input
+    /// is smaller than the kernel, the kind-specific constraints are violated
+    /// (PWC must have `K = S = 1`, `pad = 0`; DWC must have `N_o = N_i`), or
+    /// `groups` does not divide both channel counts.
+    #[allow(clippy::too_many_arguments)] // one field per layer parameter
+    pub fn new(
+        name: impl Into<String>,
+        kind: ConvKind,
+        n_i: usize,
+        n_o: usize,
+        in_h: usize,
+        in_w: usize,
+        k: usize,
+        s: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Result<Self, LayerShapeError> {
+        if n_i == 0 || n_o == 0 || in_h == 0 || in_w == 0 || k == 0 || s == 0 || groups == 0 {
+            return Err(LayerShapeError::new("dimensions must be nonzero"));
+        }
+        if in_h + 2 * pad < k || in_w + 2 * pad < k {
+            return Err(LayerShapeError::new(format!(
+                "padded input {}x{} smaller than kernel {k}",
+                in_h + 2 * pad,
+                in_w + 2 * pad
+            )));
+        }
+        match kind {
+            ConvKind::Pointwise => {
+                if k != 1 || s != 1 || pad != 0 {
+                    return Err(LayerShapeError::new("pointwise layers require K=1, S=1, pad=0"));
+                }
+                if groups != 1 {
+                    return Err(LayerShapeError::new("grouped pointwise layers are not modelled"));
+                }
+            }
+            ConvKind::Depthwise => {
+                if n_o != n_i {
+                    return Err(LayerShapeError::new("depthwise layers require N_o = N_i"));
+                }
+                if groups != n_i {
+                    return Err(LayerShapeError::new("depthwise layers require groups = N_i"));
+                }
+            }
+            ConvKind::Standard => {
+                if !n_i.is_multiple_of(groups) || !n_o.is_multiple_of(groups) {
+                    return Err(LayerShapeError::new("groups must divide both channel counts"));
+                }
+            }
+        }
+        Ok(ConvLayer {
+            name: name.into(),
+            kind,
+            k,
+            s,
+            pad,
+            n_i,
+            n_o,
+            in_h,
+            in_w,
+            groups,
+            activation: Activation::None,
+        })
+    }
+
+    /// Depthwise layer with `channels` channels, `in_h`×`in_w` input, kernel
+    /// `k`, stride `s`, padding `pad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`ConvLayer::new`]).
+    #[must_use]
+    pub fn depthwise(name: &str, channels: usize, in_h: usize, in_w: usize, k: usize, s: usize, pad: usize) -> Self {
+        ConvLayer::new(name, ConvKind::Depthwise, channels, channels, in_h, in_w, k, s, pad, channels)
+            .expect("invalid depthwise layer")
+    }
+
+    /// Pointwise (1×1) layer mapping `n_i` input channels to `n_o` output
+    /// channels over an `in_h`×`in_w` feature map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`ConvLayer::new`]).
+    #[must_use]
+    pub fn pointwise(name: &str, n_i: usize, n_o: usize, in_h: usize, in_w: usize) -> Self {
+        ConvLayer::new(name, ConvKind::Pointwise, n_i, n_o, in_h, in_w, 1, 1, 0, 1).expect("invalid pointwise layer")
+    }
+
+    /// Standard 3-D convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`ConvLayer::new`]).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // one field per layer parameter
+    pub fn standard(
+        name: &str,
+        n_i: usize,
+        n_o: usize,
+        in_h: usize,
+        in_w: usize,
+        k: usize,
+        s: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Self {
+        ConvLayer::new(name, ConvKind::Standard, n_i, n_o, in_h, in_w, k, s, pad, groups).expect("invalid standard conv layer")
+    }
+
+    /// Builder-style: attach a fused activation.
+    #[must_use]
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// The fused activation applied to every output element.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Layer name (for reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The convolution flavour.
+    #[must_use]
+    pub fn kind(&self) -> ConvKind {
+        self.kind
+    }
+
+    /// Kernel size `K` (square kernels, as in the paper).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Stride `S`.
+    #[must_use]
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Zero padding applied on each spatial side.
+    #[must_use]
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Number of input channels `N_i`.
+    #[must_use]
+    pub fn in_channels(&self) -> usize {
+        self.n_i
+    }
+
+    /// Number of output channels `N_o`.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.n_o
+    }
+
+    /// Input feature-map height.
+    #[must_use]
+    pub fn in_h(&self) -> usize {
+        self.in_h
+    }
+
+    /// Input feature-map width.
+    #[must_use]
+    pub fn in_w(&self) -> usize {
+        self.in_w
+    }
+
+    /// Convolution group count (AlexNet conv2/4/5 use 2 groups).
+    #[must_use]
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Output feature-map height `N_h`.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.k) / self.s + 1
+    }
+
+    /// Output feature-map width `N_w`.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.k) / self.s + 1
+    }
+
+    /// Multiply-accumulate count of the layer.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        let spatial = (self.out_h() * self.out_w()) as u64;
+        match self.kind {
+            ConvKind::Depthwise => spatial * (self.k * self.k) as u64 * self.n_i as u64,
+            ConvKind::Pointwise => spatial * self.n_i as u64 * self.n_o as u64,
+            ConvKind::Standard => spatial * (self.k * self.k) as u64 * (self.n_i / self.groups) as u64 * self.n_o as u64,
+        }
+    }
+
+    /// IFM element count (unpadded).
+    #[must_use]
+    pub fn ifm_elems(&self) -> u64 {
+        (self.n_i * self.in_h * self.in_w) as u64
+    }
+
+    /// OFM element count.
+    #[must_use]
+    pub fn ofm_elems(&self) -> u64 {
+        (self.n_o * self.out_h() * self.out_w()) as u64
+    }
+
+    /// Weight element count.
+    #[must_use]
+    pub fn weight_elems(&self) -> u64 {
+        match self.kind {
+            ConvKind::Depthwise => (self.k * self.k * self.n_i) as u64,
+            ConvKind::Pointwise => (self.n_i * self.n_o) as u64,
+            ConvKind::Standard => (self.k * self.k * (self.n_i / self.groups) * self.n_o) as u64,
+        }
+    }
+
+    /// Arithmetic intensity in MACs per transferred element
+    /// (IFM + OFM + weights), the paper's
+    /// "computation-to-data-transfer ratio" that makes DWC memory-bound.
+    #[must_use]
+    pub fn macs_per_elem(&self) -> f64 {
+        self.macs() as f64 / (self.ifm_elems() + self.ofm_elems() + self.weight_elems()) as f64
+    }
+
+    /// Draw deterministic pseudo-random weights shaped for this layer:
+    /// DWC → `(N_i, K, K)`; PWC → `(N_o, 1, N_i)`;
+    /// standard → `(N_o, K, K*N_i/groups)` packed per output channel.
+    #[must_use]
+    pub fn random_weights(&self, seed: u64) -> Tensor {
+        match self.kind {
+            ConvKind::Depthwise => Tensor::random(self.n_i, self.k, self.k, seed),
+            ConvKind::Pointwise => Tensor::random(self.n_o, 1, self.n_i, seed),
+            ConvKind::Standard => Tensor::random(self.n_o, self.k, self.k * self.n_i / self.groups, seed),
+        }
+    }
+
+    /// A renamed copy (useful when instantiating repeated blocks).
+    #[must_use]
+    pub fn renamed(&self, name: &str) -> ConvLayer {
+        let mut l = self.clone();
+        l.name = name.into();
+        l
+    }
+}
+
+impl fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: {}x{}x{} -> {}x{}x{} (K={}, S={}, pad={})",
+            self.kind,
+            self.name,
+            self.n_i,
+            self.in_h,
+            self.in_w,
+            self.n_o,
+            self.out_h(),
+            self.out_w(),
+            self.k,
+            self.s,
+            self.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_geometry_same_padding() {
+        let l = ConvLayer::depthwise("dw", 8, 112, 112, 3, 1, 1);
+        assert_eq!((l.out_h(), l.out_w()), (112, 112));
+    }
+
+    #[test]
+    fn output_geometry_stride2() {
+        let l = ConvLayer::depthwise("dw", 8, 112, 112, 3, 2, 1);
+        assert_eq!((l.out_h(), l.out_w()), (56, 56));
+    }
+
+    #[test]
+    fn alexnet_conv1_geometry() {
+        let l = ConvLayer::standard("conv1", 3, 96, 227, 227, 11, 4, 0, 1);
+        assert_eq!((l.out_h(), l.out_w()), (55, 55));
+        assert_eq!(l.macs(), 55 * 55 * 11 * 11 * 3 * 96);
+    }
+
+    #[test]
+    fn grouped_conv_macs_halve() {
+        let g1 = ConvLayer::standard("c", 48, 128, 27, 27, 5, 1, 2, 1);
+        let g2 = ConvLayer::standard("c", 48, 128, 27, 27, 5, 1, 2, 2);
+        assert_eq!(g1.macs(), 2 * g2.macs());
+    }
+
+    #[test]
+    fn pointwise_is_matmul_sized() {
+        let l = ConvLayer::pointwise("pw", 32, 64, 112, 112);
+        assert_eq!(l.macs(), 112 * 112 * 32 * 64);
+        assert_eq!(l.weight_elems(), 32 * 64);
+    }
+
+    #[test]
+    fn pointwise_rejects_kernel() {
+        let e = ConvLayer::new("x", ConvKind::Pointwise, 8, 8, 4, 4, 3, 1, 0, 1);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn depthwise_rejects_channel_mismatch() {
+        let e = ConvLayer::new("x", ConvKind::Depthwise, 8, 16, 4, 4, 3, 1, 1, 8);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn kernel_larger_than_input_rejected() {
+        let e = ConvLayer::new("x", ConvKind::Standard, 3, 8, 2, 2, 5, 1, 0, 1);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn dwc_has_low_arithmetic_intensity() {
+        let dw = ConvLayer::depthwise("dw", 512, 14, 14, 3, 1, 1);
+        let pw = ConvLayer::pointwise("pw", 512, 512, 14, 14);
+        assert!(
+            dw.macs_per_elem() < pw.macs_per_elem() / 5.0,
+            "DWC should be far more memory-bound than PWC"
+        );
+    }
+
+    #[test]
+    fn display_contains_geometry() {
+        let l = ConvLayer::depthwise("dw1", 32, 112, 112, 3, 2, 1);
+        let s = l.to_string();
+        assert!(s.contains("DWC"));
+        assert!(s.contains("S=2"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ConvLayer::new("x", ConvKind::Pointwise, 0, 8, 4, 4, 1, 1, 0, 1).unwrap_err();
+        assert!(e.to_string().contains("invalid layer shape"));
+    }
+}

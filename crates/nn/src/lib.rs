@@ -1,0 +1,72 @@
+//! Neural-network workload substrate for the NP-CGRA reproduction.
+//!
+//! The NP-CGRA paper (DATE 2021) evaluates its CGRA extensions on
+//! depthwise-separable convolution (DSC) layers from MobileNet V1/V2 and on
+//! the standard (3-D) convolution layers of AlexNet. This crate provides
+//! everything those experiments need on the *workload* side:
+//!
+//! - [`Tensor`] / [`Matrix`]: dense `i16` feature-map and weight containers
+//!   in channel-major (CHW) layout, the layout assumed by the paper's data
+//!   placement figures (Figs. 9–11).
+//! - [`ConvLayer`]: a convolution layer descriptor (depthwise, pointwise or
+//!   standard), with derived output geometry, MAC counts and data volumes.
+//! - [`reference`]: golden software implementations of DWC, PWC and standard
+//!   convolution used to validate the cycle-accurate simulator functionally.
+//! - [`im2col`]: the im2col lowering the paper uses to run standard
+//!   convolution (and the "Matmul DWC" comparison point) through the PWC
+//!   mapping, together with the host-processor cost model for it.
+//! - [`models`]: layer tables for MobileNet V1 (with width multiplier and
+//!   resolution), MobileNet V2 and AlexNet.
+//!
+//! # Example
+//!
+//! ```
+//! use npcgra_nn::{ConvLayer, ConvKind, Tensor, reference};
+//!
+//! // The first depthwise layer of MobileNet V1 (stride 1).
+//! let layer = ConvLayer::depthwise("dw1", 32, 112, 112, 3, 1, 1);
+//! assert_eq!(layer.out_h(), 112);
+//! assert_eq!(layer.macs(), 9 * 32 * 112 * 112);
+//!
+//! let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), 1);
+//! let w = layer.random_weights(2);
+//! let ofm = reference::run_layer(&layer, &ifm, &w).unwrap();
+//! assert_eq!(ofm.shape(), (32, 112, 112));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod classifier;
+pub mod im2col;
+pub mod layer;
+pub mod models;
+pub mod reference;
+pub mod tensor;
+
+pub use activation::Activation;
+pub use im2col::{im2col_matrix, Im2colCostModel};
+pub use layer::{ConvKind, ConvLayer, LayerShapeError};
+pub use models::{alexnet, mobilenet_v1, mobilenet_v2, mobilenet_v3_small, Model};
+pub use tensor::{Matrix, Tensor};
+
+/// The data word type of the NP-CGRA datapath (16-bit, Table 4).
+pub type Word = i16;
+
+/// The accumulator type used by MAC chains.
+///
+/// The paper's dual-mode MAC accumulates into the PE output register; we use
+/// a 32-bit accumulator and truncate to [`Word`] on write-back, which is the
+/// conventional fixed-point choice for a 16-bit datapath.
+pub type Acc = i32;
+
+/// Truncate an accumulator to the 16-bit datapath width (wrapping).
+///
+/// Both the golden reference and the simulator use this so functional
+/// comparison is exact.
+#[inline]
+#[must_use]
+pub fn truncate(acc: Acc) -> Word {
+    acc as Word
+}

@@ -1,0 +1,508 @@
+//! Model layer tables: MobileNet V1, MobileNet V2 and AlexNet.
+//!
+//! These reproduce the workloads of the paper's evaluation:
+//!
+//! - Table 5 uses the first three DSC layers of MobileNet V1
+//!   (width multiplier 1, resolution 224).
+//! - Table 1 uses seven DWC layers of MobileNet V2, one from each
+//!   bottleneck stage.
+//! - Table 6 uses the full DSC stacks of MobileNet V1/V2 and the AlexNet
+//!   convolution layers (Eyeriss v2's MobileNet numbers are for width
+//!   multiplier 0.5, resolution 128, so NP-CGRA is evaluated on the same
+//!   configuration for the ADP comparison).
+
+use crate::layer::{ConvKind, ConvLayer};
+
+/// A named sequence of convolution layers.
+///
+/// # Example
+///
+/// ```
+/// use npcgra_nn::models::mobilenet_v1;
+///
+/// let m = mobilenet_v1(1.0, 224);
+/// assert_eq!(m.dsc_layers().count(), 26); // 13 DW + 13 PW pairs
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    name: String,
+    layers: Vec<ConvLayer>,
+}
+
+impl Model {
+    /// Build a model from a layer list.
+    #[must_use]
+    pub fn new(name: impl Into<String>, layers: Vec<ConvLayer>) -> Self {
+        Model {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Model name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All layers, in execution order.
+    #[must_use]
+    pub fn layers(&self) -> &[ConvLayer] {
+        &self.layers
+    }
+
+    /// Iterator over the DSC layers only (depthwise + pointwise), the subset
+    /// the paper's "DSC runtime" rows measure.
+    pub fn dsc_layers(&self) -> impl Iterator<Item = &ConvLayer> {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l.kind(), ConvKind::Depthwise | ConvKind::Pointwise))
+    }
+
+    /// Iterator over standard-convolution layers only (AlexNet "conv only").
+    pub fn conv_layers(&self) -> impl Iterator<Item = &ConvLayer> {
+        self.layers.iter().filter(|l| l.kind() == ConvKind::Standard)
+    }
+
+    /// Total MACs over all layers.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::macs).sum()
+    }
+
+    /// Total MACs over DSC layers only.
+    #[must_use]
+    pub fn dsc_macs(&self) -> u64 {
+        self.dsc_layers().map(ConvLayer::macs).sum()
+    }
+}
+
+/// Apply the MobileNet width multiplier: channels scale by `alpha`, rounded
+/// to the nearest multiple of 8 (minimum 8), the convention of the
+/// MobileNet reference implementations.
+#[must_use]
+fn scale_channels(c: usize, alpha: f64) -> usize {
+    let scaled = (c as f64 * alpha).round() as usize;
+    ((scaled + 4) / 8 * 8).max(8)
+}
+
+/// MobileNet V1 with the given width multiplier and input resolution.
+///
+/// Returns the standard first conv followed by 13 (DW, PW) pairs. Pooling
+/// and the classifier are not convolutional and are not modelled (the paper
+/// measures "DSC runtime").
+///
+/// # Panics
+///
+/// Panics if `resolution` is not divisible by 32 (MobileNet requires it so
+/// every stride-2 stage halves cleanly).
+#[must_use]
+pub fn mobilenet_v1(alpha: f64, resolution: usize) -> Model {
+    assert!(resolution.is_multiple_of(32), "MobileNet resolution must be a multiple of 32");
+    let r = |d: usize| resolution / d;
+    let ch = |c: usize| scale_channels(c, alpha);
+
+    // (in_ch, out_ch_of_pw, dw_stride, input_downsample_factor)
+    let blocks: [(usize, usize, usize, usize); 13] = [
+        (32, 64, 1, 2),
+        (64, 128, 2, 2),
+        (128, 128, 1, 4),
+        (128, 256, 2, 4),
+        (256, 256, 1, 8),
+        (256, 512, 2, 8),
+        (512, 512, 1, 16),
+        (512, 512, 1, 16),
+        (512, 512, 1, 16),
+        (512, 512, 1, 16),
+        (512, 512, 1, 16),
+        (512, 1024, 2, 16),
+        (1024, 1024, 1, 32),
+    ];
+
+    let mut layers = vec![ConvLayer::standard("conv1", 3, ch(32), resolution, resolution, 3, 2, 1, 1)];
+    for (i, &(cin, cout, s, down)) in blocks.iter().enumerate() {
+        let res = r(down);
+        let n = i + 1;
+        layers.push(ConvLayer::depthwise(&format!("dw{n}"), ch(cin), res, res, 3, s, 1));
+        let out_res = res / s;
+        layers.push(ConvLayer::pointwise(&format!("pw{n}"), ch(cin), ch(cout), out_res, out_res));
+    }
+    Model::new(format!("MobileNetV1-{alpha}-{resolution}"), layers)
+}
+
+/// One MobileNet V2 inverted-residual bottleneck stage description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V2Stage {
+    /// Expansion factor `t`.
+    pub t: usize,
+    /// Output channels of the stage.
+    pub c: usize,
+    /// Number of repeated blocks.
+    pub n: usize,
+    /// Stride of the first block of the stage.
+    pub s: usize,
+}
+
+/// The seven bottleneck stages of MobileNet V2 (the V2 paper's Table 2).
+pub const V2_STAGES: [V2Stage; 7] = [
+    V2Stage { t: 1, c: 16, n: 1, s: 1 },
+    V2Stage { t: 6, c: 24, n: 2, s: 2 },
+    V2Stage { t: 6, c: 32, n: 3, s: 2 },
+    V2Stage { t: 6, c: 64, n: 4, s: 2 },
+    V2Stage { t: 6, c: 96, n: 3, s: 1 },
+    V2Stage {
+        t: 6,
+        c: 160,
+        n: 3,
+        s: 2,
+    },
+    V2Stage {
+        t: 6,
+        c: 320,
+        n: 1,
+        s: 1,
+    },
+];
+
+/// MobileNet V2 with the given width multiplier and input resolution.
+///
+/// Each bottleneck block expands with a PWC (skipped when `t = 1` and the
+/// expansion would be the identity width), filters with a 3×3 DWC, and
+/// projects with a PWC. The first standard conv and the final 1×1 conv
+/// (modelled as a PWC) are included.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not divisible by 32.
+#[must_use]
+pub fn mobilenet_v2(alpha: f64, resolution: usize) -> Model {
+    assert!(resolution.is_multiple_of(32), "MobileNet resolution must be a multiple of 32");
+    let ch = |c: usize| scale_channels(c, alpha);
+
+    let mut layers = vec![ConvLayer::standard("conv1", 3, ch(32), resolution, resolution, 3, 2, 1, 1)];
+    let mut res = resolution / 2;
+    let mut cin = ch(32);
+    for (si, st) in V2_STAGES.iter().enumerate() {
+        for b in 0..st.n {
+            let stride = if b == 0 { st.s } else { 1 };
+            let cout = ch(st.c);
+            let expanded = cin * st.t;
+            let tag = format!("s{}b{}", si + 1, b + 1);
+            if st.t != 1 {
+                layers.push(ConvLayer::pointwise(&format!("{tag}.expand"), cin, expanded, res, res));
+            }
+            layers.push(ConvLayer::depthwise(&format!("{tag}.dw"), expanded, res, res, 3, stride, 1));
+            res /= stride;
+            layers.push(ConvLayer::pointwise(&format!("{tag}.project"), expanded, cout, res, res));
+            cin = cout;
+        }
+    }
+    layers.push(ConvLayer::pointwise(
+        "conv_last",
+        cin,
+        scale_channels(1280, alpha.max(1.0)),
+        res,
+        res,
+    ));
+    Model::new(format!("MobileNetV2-{alpha}-{resolution}"), layers)
+}
+
+/// The seven DWC layers of Table 1: the first DWC of each MobileNet V2
+/// bottleneck stage (width multiplier 1, resolution 224).
+#[must_use]
+pub fn mobilenet_v2_table1_dwc_layers() -> Vec<ConvLayer> {
+    let m = mobilenet_v2(1.0, 224);
+    let mut out = Vec::with_capacity(7);
+    for si in 1..=7 {
+        let name = format!("s{si}b1.dw");
+        let layer = m
+            .layers()
+            .iter()
+            .find(|l| l.name() == name)
+            .expect("stage DWC present")
+            .clone();
+        out.push(layer);
+    }
+    out
+}
+
+/// The first three DSC layers of MobileNet V1 (α = 1, 224) used by Table 5:
+/// the first PWC, the first stride-1 DWC and the first stride-2 DWC after
+/// the initial standard convolution.
+#[must_use]
+pub fn table5_layers() -> (ConvLayer, ConvLayer, ConvLayer) {
+    let m = mobilenet_v1(1.0, 224);
+    let pw = m.layers().iter().find(|l| l.name() == "pw1").expect("pw1").clone();
+    let dw1 = m.layers().iter().find(|l| l.name() == "dw1").expect("dw1").clone();
+    let dw2 = m.layers().iter().find(|l| l.name() == "dw2").expect("dw2").clone();
+    (pw, dw1, dw2)
+}
+
+/// One MobileNet V3-Small bottleneck description (kernel, expansion width,
+/// output channels, stride). Squeeze-excite and h-swish are not
+/// convolutional and are omitted, as pooling/classifiers are elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct V3Block {
+    /// Depthwise kernel size (3 or 5).
+    pub k: usize,
+    /// Expansion width.
+    pub exp: usize,
+    /// Output channels.
+    pub out: usize,
+    /// Depthwise stride.
+    pub s: usize,
+}
+
+/// The eleven bottlenecks of MobileNet V3-Small (conv skeleton).
+pub const V3_SMALL_BLOCKS: [V3Block; 11] = [
+    V3Block {
+        k: 3,
+        exp: 16,
+        out: 16,
+        s: 2,
+    },
+    V3Block {
+        k: 3,
+        exp: 72,
+        out: 24,
+        s: 2,
+    },
+    V3Block {
+        k: 3,
+        exp: 88,
+        out: 24,
+        s: 1,
+    },
+    V3Block {
+        k: 5,
+        exp: 96,
+        out: 40,
+        s: 2,
+    },
+    V3Block {
+        k: 5,
+        exp: 240,
+        out: 40,
+        s: 1,
+    },
+    V3Block {
+        k: 5,
+        exp: 240,
+        out: 40,
+        s: 1,
+    },
+    V3Block {
+        k: 5,
+        exp: 120,
+        out: 48,
+        s: 1,
+    },
+    V3Block {
+        k: 5,
+        exp: 144,
+        out: 48,
+        s: 1,
+    },
+    V3Block {
+        k: 5,
+        exp: 288,
+        out: 96,
+        s: 2,
+    },
+    V3Block {
+        k: 5,
+        exp: 576,
+        out: 96,
+        s: 1,
+    },
+    V3Block {
+        k: 5,
+        exp: 576,
+        out: 96,
+        s: 1,
+    },
+];
+
+/// The convolutional skeleton of MobileNet V3-Small: first standard conv,
+/// eleven expand/depthwise/project bottlenecks (including the **5x5**
+/// depthwise kernels that exercise the beyond-3x3 mapping paths), and the
+/// final 1x1 conv. Beyond the paper's workloads - the paper evaluates V1
+/// and V2 - but exactly the "future light-weight models" its flexibility
+/// argument targets.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not divisible by 32.
+#[must_use]
+pub fn mobilenet_v3_small(resolution: usize) -> Model {
+    assert!(resolution.is_multiple_of(32), "MobileNet resolution must be a multiple of 32");
+    let mut layers = vec![ConvLayer::standard("conv1", 3, 16, resolution, resolution, 3, 2, 1, 1)];
+    let mut res = resolution / 2;
+    let mut cin = 16;
+    for (i, b) in V3_SMALL_BLOCKS.iter().enumerate() {
+        let tag = format!("b{}", i + 1);
+        if b.exp != cin {
+            layers.push(ConvLayer::pointwise(&format!("{tag}.expand"), cin, b.exp, res, res));
+        }
+        layers.push(ConvLayer::depthwise(
+            &format!("{tag}.dw{}x{}", b.k, b.k),
+            b.exp,
+            res,
+            res,
+            b.k,
+            b.s,
+            b.k / 2,
+        ));
+        res /= b.s;
+        layers.push(ConvLayer::pointwise(&format!("{tag}.project"), b.exp, b.out, res, res));
+        cin = b.out;
+    }
+    layers.push(ConvLayer::pointwise("conv_last", cin, 576, res, res));
+    Model::new(format!("MobileNetV3Small-{resolution}"), layers)
+}
+
+/// AlexNet's five convolution layers (227×227 input; conv2/4/5 grouped ×2,
+/// as in the original Krizhevsky et al. implementation).
+#[must_use]
+pub fn alexnet() -> Model {
+    let layers = vec![
+        ConvLayer::standard("conv1", 3, 96, 227, 227, 11, 4, 0, 1),
+        ConvLayer::standard("conv2", 96, 256, 27, 27, 5, 1, 2, 2),
+        ConvLayer::standard("conv3", 256, 384, 13, 13, 3, 1, 1, 1),
+        ConvLayer::standard("conv4", 384, 384, 13, 13, 3, 1, 1, 2),
+        ConvLayer::standard("conv5", 384, 256, 13, 13, 3, 1, 1, 2),
+    ];
+    Model::new("AlexNet", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_layer_count() {
+        let m = mobilenet_v1(1.0, 224);
+        assert_eq!(m.layers().len(), 1 + 26);
+        assert_eq!(m.dsc_layers().count(), 26);
+    }
+
+    #[test]
+    fn v1_geometry_chain_is_consistent() {
+        let m = mobilenet_v1(1.0, 224);
+        for pair in m.layers().windows(2) {
+            assert_eq!(pair[0].out_channels(), pair[1].in_channels(), "{} -> {}", pair[0], pair[1]);
+            assert_eq!(pair[0].out_h(), pair[1].in_h(), "{} -> {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn v1_final_resolution_is_7() {
+        let m = mobilenet_v1(1.0, 224);
+        assert_eq!(m.layers().last().unwrap().out_h(), 7);
+        assert_eq!(m.layers().last().unwrap().out_channels(), 1024);
+    }
+
+    #[test]
+    fn v1_total_macs_near_published() {
+        // MobileNet V1 (1.0, 224) is ~569M MACs for the conv stack.
+        let m = mobilenet_v1(1.0, 224);
+        let total = m.total_macs() as f64;
+        assert!((5.2e8..6.2e8).contains(&total), "total MACs {total}");
+    }
+
+    #[test]
+    fn v1_width_multiplier_halves_channels() {
+        let m = mobilenet_v1(0.5, 128);
+        assert_eq!(m.layers()[0].out_channels(), 16);
+        assert_eq!(m.layers().last().unwrap().out_channels(), 512);
+        assert_eq!(m.layers()[1].in_h(), 64);
+    }
+
+    #[test]
+    fn v2_geometry_chain_is_consistent() {
+        let m = mobilenet_v2(1.0, 224);
+        for pair in m.layers().windows(2) {
+            assert_eq!(pair[0].out_channels(), pair[1].in_channels(), "{} -> {}", pair[0], pair[1]);
+            assert_eq!(pair[0].out_h(), pair[1].in_h(), "{} -> {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn v2_total_macs_near_published() {
+        // MobileNet V2 (1.0, 224) is ~300M MACs.
+        let m = mobilenet_v2(1.0, 224);
+        let total = m.total_macs() as f64;
+        assert!((2.6e8..3.4e8).contains(&total), "total MACs {total}");
+    }
+
+    #[test]
+    fn table1_layers_are_the_stage_dwcs() {
+        let layers = mobilenet_v2_table1_dwc_layers();
+        assert_eq!(layers.len(), 7);
+        let expect: [(usize, usize, usize); 7] = [
+            (32, 112, 1),
+            (96, 112, 2),
+            (144, 56, 2),
+            (192, 28, 2),
+            (384, 14, 1),
+            (576, 14, 2),
+            (960, 7, 1),
+        ];
+        for (l, (c, h, s)) in layers.iter().zip(expect) {
+            assert_eq!(l.in_channels(), c, "{l}");
+            assert_eq!(l.in_h(), h, "{l}");
+            assert_eq!(l.s(), s, "{l}");
+        }
+    }
+
+    #[test]
+    fn table5_layers_match_paper_geometry() {
+        let (pw, dw1, dw2) = table5_layers();
+        assert_eq!((pw.in_channels(), pw.out_channels(), pw.in_h()), (32, 64, 112));
+        assert_eq!((dw1.in_channels(), dw1.s(), dw1.in_h()), (32, 1, 112));
+        assert_eq!((dw2.in_channels(), dw2.s(), dw2.in_h()), (64, 2, 112));
+    }
+
+    #[test]
+    fn alexnet_macs_near_published() {
+        // AlexNet conv layers are ~666M MACs with grouping.
+        let m = alexnet();
+        let total = m.total_macs() as f64;
+        assert!((6.0e8..7.2e8).contains(&total), "total MACs {total}");
+        assert_eq!(m.conv_layers().count(), 5);
+    }
+
+    #[test]
+    fn alexnet_conv2_shapes() {
+        let m = alexnet();
+        let c2 = &m.layers()[1];
+        assert_eq!((c2.out_h(), c2.out_w()), (27, 27));
+        assert_eq!(c2.groups(), 2);
+    }
+
+    #[test]
+    fn dsc_macs_exclude_standard_conv() {
+        let m = mobilenet_v1(1.0, 224);
+        assert_eq!(m.dsc_macs(), m.total_macs() - m.layers()[0].macs());
+    }
+
+    #[test]
+    fn v3_small_geometry_chain_is_consistent() {
+        let m = mobilenet_v3_small(224);
+        for pair in m.layers().windows(2) {
+            assert_eq!(pair[0].out_channels(), pair[1].in_channels(), "{} -> {}", pair[0], pair[1]);
+            assert_eq!(pair[0].out_h(), pair[1].in_h(), "{} -> {}", pair[0], pair[1]);
+        }
+        // The 5x5 depthwise layers are present (the K=5 mapping path).
+        assert!(m.layers().iter().any(|l| l.kind() == ConvKind::Depthwise && l.k() == 5));
+        assert_eq!(m.layers().last().unwrap().out_h(), 7);
+    }
+
+    #[test]
+    fn channel_rounding_to_multiple_of_8() {
+        assert_eq!(scale_channels(32, 0.5), 16);
+        assert_eq!(scale_channels(32, 0.75), 24);
+        assert_eq!(scale_channels(24, 0.5), 16); // 12 rounds up to 16
+        assert_eq!(scale_channels(8, 0.25), 8); // floor at 8
+    }
+}

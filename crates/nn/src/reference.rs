@@ -1,0 +1,267 @@
+//! Golden reference convolutions.
+//!
+//! These straightforward nested-loop implementations define the functional
+//! contract that the cycle-accurate NP-CGRA simulator must match exactly
+//! (bit-for-bit, including 16-bit wrapping truncation of the 32-bit
+//! accumulator).
+
+use crate::layer::{ConvKind, ConvLayer, LayerShapeError};
+use crate::tensor::{Matrix, Tensor};
+use crate::{truncate, Acc};
+
+/// Run any layer against its golden reference.
+///
+/// Weight tensor shapes follow [`ConvLayer::random_weights`]:
+/// DWC `(N_i, K, K)`, PWC `(N_o, 1, N_i)`, standard
+/// `(N_o, K, K*N_i/groups)`.
+///
+/// # Errors
+///
+/// Returns [`LayerShapeError`] if `ifm` or `weights` do not match the layer
+/// geometry.
+pub fn run_layer(layer: &ConvLayer, ifm: &Tensor, weights: &Tensor) -> Result<Tensor, LayerShapeError> {
+    check_ifm(layer, ifm)?;
+    check_weights(layer, weights)?;
+    Ok(match layer.kind() {
+        ConvKind::Depthwise => depthwise(layer, ifm, weights),
+        ConvKind::Pointwise => pointwise(layer, ifm, weights),
+        ConvKind::Standard => standard(layer, ifm, weights),
+    })
+}
+
+fn check_ifm(layer: &ConvLayer, ifm: &Tensor) -> Result<(), LayerShapeError> {
+    if ifm.shape() != (layer.in_channels(), layer.in_h(), layer.in_w()) {
+        return Err(LayerShapeError::new(format!(
+            "ifm shape {:?} does not match layer input {}x{}x{}",
+            ifm.shape(),
+            layer.in_channels(),
+            layer.in_h(),
+            layer.in_w()
+        )));
+    }
+    Ok(())
+}
+
+fn check_weights(layer: &ConvLayer, w: &Tensor) -> Result<(), LayerShapeError> {
+    let expect = match layer.kind() {
+        ConvKind::Depthwise => (layer.in_channels(), layer.k(), layer.k()),
+        ConvKind::Pointwise => (layer.out_channels(), 1, layer.in_channels()),
+        ConvKind::Standard => (
+            layer.out_channels(),
+            layer.k(),
+            layer.k() * layer.in_channels() / layer.groups(),
+        ),
+    };
+    if w.shape() != expect {
+        return Err(LayerShapeError::new(format!(
+            "weight shape {:?} does not match expected {:?}",
+            w.shape(),
+            expect
+        )));
+    }
+    Ok(())
+}
+
+/// Depthwise convolution: each channel filtered independently.
+fn depthwise(layer: &ConvLayer, ifm: &Tensor, w: &Tensor) -> Tensor {
+    let (oh, ow) = (layer.out_h(), layer.out_w());
+    let (k, s, pad) = (layer.k(), layer.s(), layer.pad() as isize);
+    Tensor::from_fn(layer.out_channels(), oh, ow, |c, oy, ox| {
+        let mut acc: Acc = 0;
+        for ky in 0..k {
+            for kx in 0..k {
+                let iy = (oy * s + ky) as isize - pad;
+                let ix = (ox * s + kx) as isize - pad;
+                let x = ifm.get_padded(c, iy, ix);
+                let wv = w.get(c, ky, kx);
+                acc = acc.wrapping_add(Acc::from(x).wrapping_mul(Acc::from(wv)));
+            }
+        }
+        truncate(layer.activation().apply_acc(acc))
+    })
+}
+
+/// Pointwise convolution: per-pixel matmul over channels.
+fn pointwise(layer: &ConvLayer, ifm: &Tensor, w: &Tensor) -> Tensor {
+    let (h, wd) = (layer.in_h(), layer.in_w());
+    Tensor::from_fn(layer.out_channels(), h, wd, |o, y, x| {
+        let mut acc: Acc = 0;
+        for i in 0..layer.in_channels() {
+            acc = acc.wrapping_add(Acc::from(ifm.get(i, y, x)).wrapping_mul(Acc::from(w.get(o, 0, i))));
+        }
+        truncate(layer.activation().apply_acc(acc))
+    })
+}
+
+/// Standard convolution with optional channel groups (AlexNet conv2/4/5).
+fn standard(layer: &ConvLayer, ifm: &Tensor, w: &Tensor) -> Tensor {
+    let (oh, ow) = (layer.out_h(), layer.out_w());
+    let (k, s, pad) = (layer.k(), layer.s(), layer.pad() as isize);
+    let g = layer.groups();
+    let cin_per_g = layer.in_channels() / g;
+    let cout_per_g = layer.out_channels() / g;
+    Tensor::from_fn(layer.out_channels(), oh, ow, |o, oy, ox| {
+        let grp = o / cout_per_g;
+        let mut acc: Acc = 0;
+        for ci in 0..cin_per_g {
+            let c = grp * cin_per_g + ci;
+            for ky in 0..k {
+                for kx in 0..k {
+                    let iy = (oy * s + ky) as isize - pad;
+                    let ix = (ox * s + kx) as isize - pad;
+                    let x = ifm.get_padded(c, iy, ix);
+                    // Per-output-channel kernel row `ky`, packed (kx, ci).
+                    let wv = w.get(o, ky, kx * cin_per_g + ci);
+                    acc = acc.wrapping_add(Acc::from(x).wrapping_mul(Acc::from(wv)));
+                }
+            }
+        }
+        truncate(layer.activation().apply_acc(acc))
+    })
+}
+
+/// PWC expressed explicitly as the matrix product the paper maps to the
+/// array: the `(N_h·N_w) × N_i` pixel matrix times the `N_i × N_o` weight
+/// matrix. Used to cross-check the tensor-level reference and as the golden
+/// model for raw matmul mapping tests.
+///
+/// # Errors
+///
+/// Returns [`LayerShapeError`] on shape mismatch (see [`run_layer`]).
+pub fn pointwise_as_matmul(layer: &ConvLayer, ifm: &Tensor, w: &Tensor) -> Result<Matrix, LayerShapeError> {
+    if layer.kind() != ConvKind::Pointwise {
+        return Err(LayerShapeError::new("pointwise_as_matmul requires a pointwise layer"));
+    }
+    check_ifm(layer, ifm)?;
+    check_weights(layer, w)?;
+    let pixels = layer.in_h() * layer.in_w();
+    let x = Matrix::from_fn(pixels, layer.in_channels(), |p, i| {
+        ifm.get(i, p / layer.in_w(), p % layer.in_w())
+    });
+    let wm = Matrix::from_fn(layer.in_channels(), layer.out_channels(), |i, o| w.get(o, 0, i));
+    Ok(x.matmul(&wm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ConvLayer;
+
+    #[test]
+    fn depthwise_identity_kernel_passes_through() {
+        // K=1 S=1: output == input * w.
+        let layer = ConvLayer::depthwise("dw", 3, 5, 5, 1, 1, 0);
+        let ifm = Tensor::random(3, 5, 5, 1);
+        let w = Tensor::from_fn(3, 1, 1, |_, _, _| 1);
+        let ofm = run_layer(&layer, &ifm, &w).unwrap();
+        assert_eq!(ofm, ifm);
+    }
+
+    #[test]
+    fn depthwise_all_ones_sums_window() {
+        let layer = ConvLayer::depthwise("dw", 1, 4, 4, 3, 1, 0);
+        let ifm = Tensor::from_fn(1, 4, 4, |_, _, _| 1);
+        let w = Tensor::from_fn(1, 3, 3, |_, _, _| 1);
+        let ofm = run_layer(&layer, &ifm, &w).unwrap();
+        assert_eq!(ofm.shape(), (1, 2, 2));
+        assert!(ofm.as_slice().iter().all(|&v| v == 9));
+    }
+
+    #[test]
+    fn depthwise_padding_zeroes_border_contributions() {
+        let layer = ConvLayer::depthwise("dw", 1, 3, 3, 3, 1, 1);
+        let ifm = Tensor::from_fn(1, 3, 3, |_, _, _| 1);
+        let w = Tensor::from_fn(1, 3, 3, |_, _, _| 1);
+        let ofm = run_layer(&layer, &ifm, &w).unwrap();
+        // Corner output sees only a 2x2 live window.
+        assert_eq!(ofm.get(0, 0, 0), 4);
+        assert_eq!(ofm.get(0, 1, 1), 9);
+        assert_eq!(ofm.get(0, 0, 1), 6);
+    }
+
+    #[test]
+    fn depthwise_stride2_subsamples() {
+        let layer = ConvLayer::depthwise("dw", 1, 5, 5, 1, 2, 0);
+        let ifm = Tensor::from_fn(1, 5, 5, |_, y, x| (y * 5 + x) as i16);
+        let w = Tensor::from_fn(1, 1, 1, |_, _, _| 1);
+        let ofm = run_layer(&layer, &ifm, &w).unwrap();
+        assert_eq!(ofm.shape(), (1, 3, 3));
+        assert_eq!(ofm.get(0, 1, 1), 12);
+        assert_eq!(ofm.get(0, 2, 2), 24);
+    }
+
+    #[test]
+    fn pointwise_matches_matmul_view() {
+        let layer = ConvLayer::pointwise("pw", 7, 5, 6, 4);
+        let ifm = Tensor::random(7, 6, 4, 11);
+        let w = layer.random_weights(12);
+        let ofm = run_layer(&layer, &ifm, &w).unwrap();
+        let mm = pointwise_as_matmul(&layer, &ifm, &w).unwrap();
+        for o in 0..5 {
+            for y in 0..6 {
+                for x in 0..4 {
+                    assert_eq!(ofm.get(o, y, x), mm.get(y * 4 + x, o));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn standard_reduces_to_pointwise_when_k1() {
+        let pw = ConvLayer::pointwise("pw", 6, 4, 5, 5);
+        let st = ConvLayer::standard("st", 6, 4, 5, 5, 1, 1, 0, 1);
+        let ifm = Tensor::random(6, 5, 5, 3);
+        let w = pw.random_weights(4); // (4,1,6) matches standard's (N_o,K,K*N_i)
+        let a = run_layer(&pw, &ifm, &w).unwrap();
+        let b = run_layer(&st, &ifm, &w).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_grouped_blocks_are_independent() {
+        let layer = ConvLayer::standard("g", 4, 4, 4, 4, 3, 1, 1, 2);
+        let mut ifm = Tensor::random(4, 4, 4, 5);
+        let w = layer.random_weights(6);
+        let base = run_layer(&layer, &ifm, &w).unwrap();
+        // Perturb a channel in group 1; group-0 outputs must not change.
+        ifm.set(3, 0, 0, ifm.get(3, 0, 0).wrapping_add(17));
+        let out = run_layer(&layer, &ifm, &w).unwrap();
+        for o in 0..2 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    assert_eq!(base.get(o, y, x), out.get(o, y, x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_ifm_rejected() {
+        let layer = ConvLayer::pointwise("pw", 4, 4, 4, 4);
+        let ifm = Tensor::zeros(3, 4, 4);
+        let w = layer.random_weights(0);
+        assert!(run_layer(&layer, &ifm, &w).is_err());
+    }
+
+    #[test]
+    fn mismatched_weights_rejected() {
+        let layer = ConvLayer::pointwise("pw", 4, 4, 4, 4);
+        let ifm = Tensor::zeros(4, 4, 4);
+        let w = Tensor::zeros(4, 2, 4);
+        assert!(run_layer(&layer, &ifm, &w).is_err());
+    }
+
+    #[test]
+    fn linearity_in_weights() {
+        // conv(x, 2w) == 2*conv(x, w) for small values (no wraparound).
+        let layer = ConvLayer::depthwise("dw", 2, 6, 6, 3, 1, 1);
+        let ifm = Tensor::random(2, 6, 6, 21);
+        let w1 = Tensor::from_fn(2, 3, 3, |c, y, x| ((c + y + x) % 3) as i16);
+        let w2 = Tensor::from_fn(2, 3, 3, |c, y, x| 2 * (((c + y + x) % 3) as i16));
+        let a = run_layer(&layer, &ifm, &w1).unwrap();
+        let b = run_layer(&layer, &ifm, &w2).unwrap();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(2 * x, *y);
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Dense `i16` tensor and matrix containers.
+//!
+//! Feature maps are stored channel-major (CHW): element `(c, y, x)` lives at
+//! `c * h * w + y * w + x`. This is the layout the paper's external-memory
+//! figures assume (one 2-D image per channel, processed one channel at a
+//! time for DWC, one pixel-vector per cycle for PWC).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Word;
+
+/// A dense 3-D tensor of [`Word`]s in CHW layout.
+///
+/// # Example
+///
+/// ```
+/// use npcgra_nn::Tensor;
+///
+/// let mut t = Tensor::zeros(2, 3, 4);
+/// t.set(1, 2, 3, 42);
+/// assert_eq!(t.get(1, 2, 3), 42);
+/// assert_eq!(t.shape(), (2, 3, 4));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tensor {
+    c: usize,
+    h: usize,
+    w: usize,
+    data: Vec<Word>,
+}
+
+impl Tensor {
+    /// Create a zero-filled tensor with `c` channels of `h`×`w` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        assert!(c > 0 && h > 0 && w > 0, "tensor dimensions must be nonzero");
+        Tensor {
+            c,
+            h,
+            w,
+            data: vec![0; c * h * w],
+        }
+    }
+
+    /// Create a tensor filled with deterministic pseudo-random values.
+    ///
+    /// Values are drawn from a small range (−64..=64) so that long MAC
+    /// chains exercise sign handling without saturating the 32-bit
+    /// accumulator in realistic layer sizes.
+    #[must_use]
+    pub fn random(c: usize, h: usize, w: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Tensor::zeros(c, h, w);
+        for v in &mut t.data {
+            *v = rng.gen_range(-64..=64);
+        }
+        t
+    }
+
+    /// Build a tensor from a closure over `(c, y, x)`.
+    #[must_use]
+    pub fn from_fn(c: usize, h: usize, w: usize, mut f: impl FnMut(usize, usize, usize) -> Word) -> Self {
+        let mut t = Tensor::zeros(c, h, w);
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    t.set(ci, y, x, f(ci, y, x));
+                }
+            }
+        }
+        t
+    }
+
+    /// `(channels, height, width)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.c, self.h, self.w)
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+
+    /// Height in elements.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Width in elements.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements (never true: dims are nonzero).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat CHW index of `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        assert!(
+            c < self.c && y < self.h && x < self.w,
+            "tensor index ({c},{y},{x}) out of bounds for {:?}",
+            self.shape()
+        );
+        (c * self.h + y) * self.w + x
+    }
+
+    /// Read element `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> Word {
+        self.data[self.index(c, y, x)]
+    }
+
+    /// Read element `(c, y, x)` treating out-of-bounds spatial coordinates as
+    /// zero padding. `y`/`x` are signed for this reason.
+    #[inline]
+    #[must_use]
+    pub fn get_padded(&self, c: usize, y: isize, x: isize) -> Word {
+        if y < 0 || x < 0 || y as usize >= self.h || x as usize >= self.w {
+            0
+        } else {
+            self.get(c, y as usize, x as usize)
+        }
+    }
+
+    /// Write element `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: Word) {
+        let i = self.index(c, y, x);
+        self.data[i] = v;
+    }
+
+    /// Borrow the flat CHW data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Word] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat CHW data.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [Word] {
+        &mut self.data
+    }
+
+    /// Extract one channel as an `h`×`w` [`Matrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    #[must_use]
+    pub fn channel(&self, c: usize) -> Matrix {
+        assert!(c < self.c, "channel {c} out of bounds for {} channels", self.c);
+        let start = c * self.h * self.w;
+        Matrix::from_vec(self.h, self.w, self.data[start..start + self.h * self.w].to_vec())
+    }
+
+    /// Return a copy with `pad` rows/columns of zeros added on every spatial
+    /// side. Used to pre-pad IFMs in external memory so the CGRA address
+    /// generators never have to special-case borders.
+    #[must_use]
+    pub fn zero_padded(&self, pad: usize) -> Tensor {
+        if pad == 0 {
+            return self.clone();
+        }
+        let mut out = Tensor::zeros(self.c, self.h + 2 * pad, self.w + 2 * pad);
+        for c in 0..self.c {
+            for y in 0..self.h {
+                for x in 0..self.w {
+                    out.set(c, y + pad, x + pad, self.get(c, y, x));
+                }
+            }
+        }
+        out
+    }
+
+    /// Size in bytes at the given word width in bytes.
+    #[must_use]
+    pub fn bytes(&self, word_bytes: usize) -> usize {
+        self.len() * word_bytes
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{}x{})", self.c, self.h, self.w)
+    }
+}
+
+/// A dense row-major 2-D matrix of [`Word`]s.
+///
+/// Used for PWC operands (IFM pixel-matrix × weight matrix) and for im2col
+/// output.
+///
+/// # Example
+///
+/// ```
+/// use npcgra_nn::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as i16);
+/// assert_eq!(m.get(1, 2), 5);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Word>,
+}
+
+impl Matrix {
+    /// Create a zero-filled `rows`×`cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Create a matrix from an existing row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Word>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build a matrix from a closure over `(row, col)`.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Word) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Create a matrix filled with deterministic pseudo-random values.
+    #[must_use]
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in &mut m.data {
+            *v = rng.gen_range(-64..=64);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> Word {
+        assert!(r < self.rows && c < self.cols, "matrix index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Write element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: Word) {
+        assert!(r < self.rows && c < self.cols, "matrix index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow the flat row-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Word] {
+        &self.data
+    }
+
+    /// Borrow one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[Word] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Return the transpose. The paper notes weight matrices may need a
+    /// transpose/reshape before being laid out in V-MEM; weights are constant
+    /// so this happens offline.
+    #[must_use]
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Dense matrix product with wrapping 16-bit truncation of the 32-bit
+    /// accumulator, matching the datapath semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        Matrix::from_fn(self.rows, rhs.cols, |r, c| {
+            let mut acc: crate::Acc = 0;
+            for k in 0..self.cols {
+                acc = acc.wrapping_add(crate::Acc::from(self.get(r, k)).wrapping_mul(crate::Acc::from(rhs.get(k, c))));
+            }
+            crate::truncate(acc)
+        })
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_roundtrip() {
+        let mut t = Tensor::zeros(3, 4, 5);
+        t.set(2, 3, 4, -7);
+        assert_eq!(t.get(2, 3, 4), -7);
+        assert_eq!(t.len(), 60);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn tensor_index_is_chw() {
+        let t = Tensor::from_fn(2, 3, 4, |c, y, x| (c * 100 + y * 10 + x) as Word);
+        assert_eq!(t.as_slice()[0], 0);
+        assert_eq!(t.as_slice()[4], 10); // (0,1,0)
+        assert_eq!(t.as_slice()[12], 100); // (1,0,0)
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn tensor_oob_panics() {
+        let t = Tensor::zeros(1, 1, 1);
+        let _ = t.get(0, 0, 1);
+    }
+
+    #[test]
+    fn padded_reads_are_zero_outside() {
+        let t = Tensor::from_fn(1, 2, 2, |_, _, _| 5);
+        assert_eq!(t.get_padded(0, -1, 0), 0);
+        assert_eq!(t.get_padded(0, 0, 2), 0);
+        assert_eq!(t.get_padded(0, 1, 1), 5);
+    }
+
+    #[test]
+    fn zero_padded_embeds_original() {
+        let t = Tensor::from_fn(2, 2, 2, |c, y, x| (c + y + x) as Word + 1);
+        let p = t.zero_padded(1);
+        assert_eq!(p.shape(), (2, 4, 4));
+        assert_eq!(p.get(0, 0, 0), 0);
+        assert_eq!(p.get(1, 1, 1), t.get(1, 0, 0));
+        assert_eq!(p.get(1, 2, 2), t.get(1, 1, 1));
+    }
+
+    #[test]
+    fn channel_extracts_matrix() {
+        let t = Tensor::from_fn(2, 2, 3, |c, y, x| (c * 50 + y * 3 + x) as Word);
+        let m = t.channel(1);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(1, 2), 55);
+    }
+
+    #[test]
+    fn tensor_random_is_deterministic() {
+        assert_eq!(Tensor::random(2, 3, 4, 9), Tensor::random(2, 3, 4, 9));
+        assert_ne!(Tensor::random(2, 3, 4, 9), Tensor::random(2, 3, 4, 10));
+    }
+
+    #[test]
+    fn matrix_transpose_involution() {
+        let m = Matrix::random(4, 7, 3);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Matrix::random(3, 3, 1);
+        let id = Matrix::from_fn(3, 3, |r, c| i16::from(r == c));
+        assert_eq!(m.matmul(&id), m);
+        assert_eq!(id.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_vec(2, 2, vec![1, 2, 3, 4]);
+        let b = Matrix::from_vec(2, 2, vec![5, 6, 7, 8]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn bytes_scales_with_word_width() {
+        let t = Tensor::zeros(1, 4, 4);
+        assert_eq!(t.bytes(2), 32);
+        assert_eq!(t.bytes(4), 64);
+    }
+}

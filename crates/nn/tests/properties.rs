@@ -1,0 +1,100 @@
+//! Property-based tests for the workload substrate invariants.
+
+use npcgra_nn::{im2col, reference, ConvLayer, Matrix, Tensor};
+use proptest::prelude::*;
+
+/// Strategy for small-but-varied depthwise layer geometries.
+fn dwc_layer() -> impl Strategy<Value = ConvLayer> {
+    (1usize..4, 1usize..4, 1usize..3, 0usize..2, 4usize..10, 4usize..10)
+        .prop_filter_map("valid geometry", |(c, k, s, pad, h, w)| {
+            ConvLayer::new("p", npcgra_nn::ConvKind::Depthwise, c, c, h, w, k, s, pad, c).ok()
+        })
+}
+
+fn std_layer() -> impl Strategy<Value = ConvLayer> {
+    (
+        1usize..4,
+        1usize..5,
+        1usize..4,
+        1usize..3,
+        0usize..2,
+        4usize..9,
+        4usize..9,
+        1usize..3,
+    )
+        .prop_filter_map("valid geometry", |(ci, co, k, s, pad, h, w, g)| {
+            let (ci, co) = (ci * g, co * g);
+            ConvLayer::new("p", npcgra_nn::ConvKind::Standard, ci, co, h, w, k, s, pad, g).ok()
+        })
+}
+
+proptest! {
+    /// im2col × weight-matrix equals the direct reference for any standard layer.
+    #[test]
+    fn im2col_equals_reference(layer in std_layer(), seed in 0u64..1000) {
+        let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), seed);
+        let w = layer.random_weights(seed.wrapping_add(1));
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (oh, ow) = (layer.out_h(), layer.out_w());
+        let cout_per_g = layer.out_channels() / layer.groups();
+        for g in 0..layer.groups() {
+            let x = im2col::im2col_matrix(&layer, &ifm, g).unwrap();
+            let wm = im2col::weight_matrix(&layer, &w, g).unwrap();
+            let y = x.matmul(&wm);
+            for oc in 0..cout_per_g {
+                for p in 0..oh*ow {
+                    prop_assert_eq!(y.get(p, oc), golden.get(g*cout_per_g + oc, p/ow, p%ow));
+                }
+            }
+        }
+    }
+
+    /// Depthwise conv output only depends on its own channel.
+    #[test]
+    fn dwc_channels_independent(layer in dwc_layer(), seed in 0u64..1000) {
+        prop_assume!(layer.in_channels() >= 2);
+        let mut ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), seed);
+        let w = layer.random_weights(seed ^ 0xabcd);
+        let base = reference::run_layer(&layer, &ifm, &w).unwrap();
+        ifm.set(1, 0, 0, ifm.get(1, 0, 0).wrapping_add(1));
+        let out = reference::run_layer(&layer, &ifm, &w).unwrap();
+        for y in 0..layer.out_h() {
+            for x in 0..layer.out_w() {
+                prop_assert_eq!(base.get(0, y, x), out.get(0, y, x));
+            }
+        }
+    }
+
+    /// Pre-padding the IFM and running with pad=0 matches running padded.
+    #[test]
+    fn prepadded_ifm_equivalent(c in 1usize..3, h in 4usize..8, w in 4usize..8, seed in 0u64..1000) {
+        let padded_layer = ConvLayer::depthwise("p", c, h, w, 3, 1, 1);
+        let ifm = Tensor::random(c, h, w, seed);
+        let weights = padded_layer.random_weights(seed + 7);
+        let a = reference::run_layer(&padded_layer, &ifm, &weights).unwrap();
+        let pre = ifm.zero_padded(1);
+        let unpadded_layer = ConvLayer::depthwise("q", c, h + 2, w + 2, 3, 1, 0);
+        let b = reference::run_layer(&unpadded_layer, &pre, &weights).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Matmul is associative with the identity and distributes over known shapes.
+    #[test]
+    fn matmul_dims(r in 1usize..6, k in 1usize..6, c in 1usize..6, seed in 0u64..100) {
+        let a = Matrix::random(r, k, seed);
+        let b = Matrix::random(k, c, seed + 1);
+        let y = a.matmul(&b);
+        prop_assert_eq!((y.rows(), y.cols()), (r, c));
+        // (A B)^T == B^T A^T with wrapping arithmetic.
+        let lhs = y.transposed();
+        let rhs = b.transposed().matmul(&a.transposed());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// MAC count formula consistency: macs == ofm_elems * per-output work.
+    #[test]
+    fn macs_consistent(layer in std_layer()) {
+        let per_out = (layer.k() * layer.k() * layer.in_channels() / layer.groups()) as u64;
+        prop_assert_eq!(layer.macs(), layer.ofm_elems() * per_out);
+    }
+}

@@ -1,0 +1,104 @@
+//! Simulation errors with cycle context.
+
+use std::fmt;
+
+use npcgra_arch::pe::PeError;
+use npcgra_mem::MemError;
+
+/// An error raised while executing a block, annotated with where it
+/// happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Block label (layer + block coordinates).
+    pub block: String,
+    /// Tile index within the block.
+    pub tile: usize,
+    /// Cycle within the tile.
+    pub cycle: u64,
+    /// The underlying cause.
+    pub cause: SimCause,
+}
+
+/// The underlying failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimCause {
+    /// A PE selected an unavailable source or an illegal op.
+    Pe {
+        /// PE coordinates.
+        r: usize,
+        /// PE coordinates.
+        c: usize,
+        /// The PE-level error.
+        err: PeError,
+    },
+    /// A local-memory access violated the bank/crossbar rules.
+    Mem(MemError),
+    /// The schedule asked the GRF for an index that was never loaded.
+    GrfIndex(usize),
+    /// The layer could not be mapped at all (planner error).
+    Map(String),
+    /// A bank image exceeded the configured bank capacity.
+    BankOverflow {
+        /// Which memory.
+        vmem: bool,
+        /// Bank index.
+        bank: usize,
+        /// Image words.
+        need: usize,
+        /// Bank capacity in words.
+        capacity: usize,
+    },
+}
+
+impl SimError {
+    pub(crate) fn new(block: &str, tile: usize, cycle: u64, cause: SimCause) -> Self {
+        SimError {
+            block: block.to_string(),
+            tile,
+            cycle,
+            cause,
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation error in {} tile {} cycle {}: ",
+            self.block, self.tile, self.cycle
+        )?;
+        match &self.cause {
+            SimCause::Pe { r, c, err } => write!(f, "PE({r},{c}): {err}"),
+            SimCause::Mem(e) => write!(f, "{e}"),
+            SimCause::GrfIndex(i) => write!(f, "GRF index {i} not loaded"),
+            SimCause::Map(m) => write!(f, "{m}"),
+            SimCause::BankOverflow {
+                vmem,
+                bank,
+                need,
+                capacity,
+            } => {
+                let which = if *vmem { "V-MEM" } else { "H-MEM" };
+                write!(f, "{which} bank {bank} image of {need} words exceeds capacity {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = SimError::new("pw1[y=0]", 3, 17, SimCause::GrfIndex(5));
+        let s = e.to_string();
+        assert!(s.contains("pw1[y=0]"));
+        assert!(s.contains("tile 3"));
+        assert!(s.contains("cycle 17"));
+        assert!(s.contains("GRF index 5"));
+    }
+}

@@ -1,0 +1,517 @@
+//! Whole-layer execution: functional and timing-only.
+//!
+//! The functional path materializes every block, runs it on the [`Machine`]
+//! and assembles the OFM tensor; the timing path uses the same block
+//! geometry and DMA model without touching data (the two agree cycle-for-
+//! cycle by construction, which the test suite asserts). Both account the
+//! double-buffered block pipeline of Table 4's two memory sets via
+//! [`npcgra_mem::dma::double_buffered_cycles_exact`].
+
+use npcgra_arch::CgraSpec;
+use npcgra_kernels::dwc_batched::DwcS1BatchedLayerMap;
+use npcgra_kernels::dwc_general::{padded_ifm, DwcGeneralLayerMap};
+use npcgra_kernels::dwc_s1::DwcS1LayerMap;
+use npcgra_kernels::matmul_dwc::MatmulDwcLayerMap;
+use npcgra_kernels::pwc::{MapError, PwcLayerMap};
+use npcgra_kernels::BlockProgram;
+use npcgra_mem::dma::double_buffered_cycles_exact;
+use npcgra_mem::DmaEngine;
+use npcgra_nn::{im2col, ConvKind, ConvLayer, Im2colCostModel, Tensor};
+
+use crate::machine::Machine;
+use crate::report::LayerReport;
+use crate::SimError;
+
+/// Which mapping to use for a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MappingKind {
+    /// Pick the paper's best mapping for the layer kind (PWC for pointwise,
+    /// DWC-S1 for stride-1 depthwise, DWC-general otherwise; standard
+    /// convolution through im2col + PWC).
+    #[default]
+    Auto,
+    /// Force the matmul-based DWC (Table 5's middle column).
+    MatmulDwc,
+    /// Channel-batched stride-1 DWC (the §5.4 "further optimization"):
+    /// several channels per block, kernels switched from the Weight Buffer.
+    BatchedDwcS1,
+}
+
+/// A planned layer: uniform block geometry + a materializer.
+struct Plan<'a> {
+    num_blocks: usize,
+    compute: u64,
+    dma_in: u64,
+    dma_out: u64,
+    materialize: Box<dyn Fn(usize) -> BlockProgram + Send + Sync + 'a>,
+}
+
+fn plan<'a>(
+    layer: &'a ConvLayer,
+    spec: &CgraSpec,
+    kind: MappingKind,
+    data: Option<(&'a Tensor, &'a Tensor)>,
+) -> Result<Plan<'a>, MapError> {
+    // The padded IFM is shared by the DWC materializers.
+    let padded = match (layer.kind(), data) {
+        (ConvKind::Depthwise, Some((ifm, _))) => Some(padded_ifm(layer, ifm)),
+        _ => None,
+    };
+    let weights = data.map(|(_, w)| w);
+    Ok(match (kind, layer.kind()) {
+        (MappingKind::BatchedDwcS1, ConvKind::Depthwise) => {
+            let map = DwcS1BatchedLayerMap::new(layer, spec)?;
+            Plan {
+                num_blocks: map.num_blocks(),
+                compute: map.block_compute_cycles(),
+                dma_in: map.block_input_words(),
+                dma_out: map.block_output_words(),
+                materialize: Box::new(move |i| {
+                    map.materialize(
+                        i,
+                        padded.as_ref().expect("functional run needs data"),
+                        weights.expect("functional run needs data"),
+                    )
+                }),
+            }
+        }
+        (MappingKind::MatmulDwc, ConvKind::Depthwise) => {
+            let map = MatmulDwcLayerMap::new(layer, spec)?;
+            Plan {
+                num_blocks: map.num_blocks(),
+                compute: map.block_compute_cycles(),
+                dma_in: map.block_input_words(),
+                dma_out: map.block_output_words(),
+                materialize: Box::new(move |i| {
+                    map.materialize(
+                        i,
+                        padded.as_ref().expect("functional run needs data"),
+                        weights.expect("functional run needs data"),
+                    )
+                }),
+            }
+        }
+        (_, ConvKind::Pointwise) => {
+            let map = PwcLayerMap::new(layer, spec)?;
+            Plan {
+                num_blocks: map.num_blocks(),
+                compute: map.block_compute_cycles(),
+                dma_in: map.block_input_words(),
+                dma_out: map.block_output_words(),
+                materialize: Box::new(move |i| {
+                    let (ifm, w) = data.expect("functional run needs data");
+                    map.materialize(i, ifm, w)
+                }),
+            }
+        }
+        // The stride-1 optimized mapping broadcasts the kernel from the
+        // GRF, whose 4-bit configuration index holds at most
+        // `GRF_WORDS = 16` taps; larger kernels fall back to the general
+        // mapping (weights via V-MEM).
+        (_, ConvKind::Depthwise) if layer.s() == 1 && layer.k() * layer.k() <= npcgra_arch::grf::GRF_WORDS => {
+            let map = DwcS1LayerMap::new(layer, spec)?;
+            Plan {
+                num_blocks: map.num_blocks(),
+                compute: map.block_compute_cycles(),
+                dma_in: map.block_input_words(),
+                dma_out: map.block_output_words(),
+                materialize: Box::new(move |i| {
+                    map.materialize(
+                        i,
+                        padded.as_ref().expect("functional run needs data"),
+                        weights.expect("functional run needs data"),
+                    )
+                }),
+            }
+        }
+        (_, ConvKind::Depthwise) => {
+            let map = DwcGeneralLayerMap::new(layer, spec)?;
+            Plan {
+                num_blocks: map.num_blocks(),
+                compute: map.block_compute_cycles(),
+                dma_in: map.block_input_words(),
+                dma_out: map.block_output_words(),
+                materialize: Box::new(move |i| {
+                    map.materialize(
+                        i,
+                        padded.as_ref().expect("functional run needs data"),
+                        weights.expect("functional run needs data"),
+                    )
+                }),
+            }
+        }
+        (_, ConvKind::Standard) => {
+            return Err(MapError::new("standard convolution runs through run_standard_via_im2col"));
+        }
+    })
+}
+
+fn pipeline_report(name: &str, spec: &CgraSpec, num_blocks: usize, compute: u64, dma_in: u64, dma_out: u64) -> LayerReport {
+    let engine = DmaEngine::new(spec);
+    let dma_cycles = engine.transfer_cycles(dma_in) + engine.transfer_cycles(dma_out);
+    let blocks: Vec<(u64, u64)> = (0..num_blocks).map(|_| (compute, dma_cycles)).collect();
+    let mut r = LayerReport::for_spec(name, spec);
+    r.cycles = double_buffered_cycles_exact(&blocks);
+    r.compute_cycles = compute * num_blocks as u64;
+    r.dma_cycles = dma_cycles * num_blocks as u64;
+    r
+}
+
+/// Run one DSC layer functionally on the cycle-accurate machine, returning
+/// the OFM tensor and the performance report.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on any hardware-rule violation; mapping-construction
+/// failures surface as a [`SimError`] with the planner's message.
+pub fn run_layer(layer: &ConvLayer, ifm: &Tensor, weights: &Tensor, spec: &CgraSpec) -> Result<(Tensor, LayerReport), SimError> {
+    run_layer_with(layer, ifm, weights, spec, MappingKind::Auto)
+}
+
+/// Run a depthwise layer functionally with the matmul-based mapping.
+///
+/// # Errors
+///
+/// As [`run_layer`].
+pub fn run_matmul_dwc(
+    layer: &ConvLayer,
+    ifm: &Tensor,
+    weights: &Tensor,
+    spec: &CgraSpec,
+) -> Result<(Tensor, LayerReport), SimError> {
+    run_layer_with(layer, ifm, weights, spec, MappingKind::MatmulDwc)
+}
+
+/// Run a stride-1 depthwise layer functionally with the channel-batched
+/// mapping (§5.4 extension).
+///
+/// # Errors
+///
+/// As [`run_layer`].
+pub fn run_batched_dwc(
+    layer: &ConvLayer,
+    ifm: &Tensor,
+    weights: &Tensor,
+    spec: &CgraSpec,
+) -> Result<(Tensor, LayerReport), SimError> {
+    run_layer_with(layer, ifm, weights, spec, MappingKind::BatchedDwcS1)
+}
+
+fn map_err_to_sim(layer: &ConvLayer, e: MapError) -> SimError {
+    SimError::new(layer.name(), 0, 0, crate::error::SimCause::Map(e.to_string()))
+}
+
+fn run_layer_with(
+    layer: &ConvLayer,
+    ifm: &Tensor,
+    weights: &Tensor,
+    spec: &CgraSpec,
+    kind: MappingKind,
+) -> Result<(Tensor, LayerReport), SimError> {
+    let plan = plan(layer, spec, kind, Some((ifm, weights))).map_err(|e| map_err_to_sim(layer, e))?;
+    let mut machine = Machine::new(spec);
+    let mut ofm = Tensor::zeros(layer.out_channels(), layer.out_h(), layer.out_w());
+    let mut compute = 0u64;
+    let mut blocks: Vec<(u64, u64)> = Vec::with_capacity(plan.num_blocks);
+    for i in 0..plan.num_blocks {
+        let prog = (plan.materialize)(i);
+        debug_assert_eq!(prog.compute_cycles(), plan.compute, "uniform block plan");
+        let res = machine.run_block(&prog)?;
+        compute += res.compute_cycles;
+        blocks.push((res.compute_cycles, res.dma_in_cycles + res.dma_out_cycles));
+        for (c, y, x, v) in res.ofm {
+            ofm.set(c, y, x, v);
+        }
+    }
+    let mut report = LayerReport::for_spec(layer.name(), spec);
+    report.cycles = double_buffered_cycles_exact(&blocks);
+    report.compute_cycles = compute;
+    report.dma_cycles = blocks.iter().map(|b| b.1).sum();
+    report.macs = layer.macs();
+    Ok((ofm, report))
+}
+
+/// Estimate a layer's energy by running one (representative) block
+/// functionally, measuring its access counts, and scaling by the block
+/// count — blocks are uniform by construction, so the scaling is exact for
+/// interior blocks and conservative for edge blocks.
+///
+/// # Errors
+///
+/// As [`run_layer`].
+pub fn estimate_layer_energy(
+    layer: &ConvLayer,
+    ifm: &Tensor,
+    weights: &Tensor,
+    spec: &CgraSpec,
+    kind: MappingKind,
+    model: &npcgra_area::EnergyModel,
+) -> Result<npcgra_area::EnergyBreakdown, SimError> {
+    let plan = plan(layer, spec, kind, Some((ifm, weights))).map_err(|e| map_err_to_sim(layer, e))?;
+    let mut machine = Machine::new(spec);
+    let prog = (plan.materialize)(0);
+    let res = machine.run_block(&prog)?;
+    let n = plan.num_blocks as u64;
+    let pes = spec.num_pes() as u64;
+    let counts = npcgra_area::AccessCounts {
+        macs: res.mac_ops * n,
+        idle_pe_cycles: (pes * res.compute_cycles).saturating_sub(res.mac_ops) * n,
+        sram_accesses: (res.h_reads + res.h_writes + res.v_reads) * n,
+        grf_reads: res.grf_reads * n,
+        dram_words: (plan.dma_in + plan.dma_out) * n,
+    };
+    Ok(model.estimate(&counts))
+}
+
+/// Run one layer functionally with blocks distributed over `threads`
+/// worker machines. Blocks are architecturally independent (each begins
+/// with a DMA fill and ends with a drain), so the result is bit-identical
+/// to [`run_layer`] — asserted by the test suite — while large layers
+/// simulate several times faster on a multicore host.
+///
+/// # Errors
+///
+/// As [`run_layer`].
+pub fn run_layer_parallel(
+    layer: &ConvLayer,
+    ifm: &Tensor,
+    weights: &Tensor,
+    spec: &CgraSpec,
+    threads: usize,
+) -> Result<(Tensor, LayerReport), SimError> {
+    let plan = plan(layer, spec, MappingKind::Auto, Some((ifm, weights))).map_err(|e| map_err_to_sim(layer, e))?;
+    let threads = threads.clamp(1, plan.num_blocks.max(1));
+    let materialize = &plan.materialize;
+
+    // Each worker runs a disjoint, strided set of blocks on its own machine.
+    let results: Vec<Result<Vec<(usize, crate::machine::BlockResult)>, SimError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut machine = Machine::new(spec);
+                    let mut out = Vec::new();
+                    let mut b = t;
+                    while b < plan.num_blocks {
+                        let prog = (materialize)(b);
+                        out.push((b, machine.run_block(&prog)?));
+                        b += threads;
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut per_block: Vec<Option<crate::machine::BlockResult>> = (0..plan.num_blocks).map(|_| None).collect();
+    for r in results {
+        for (b, res) in r? {
+            per_block[b] = Some(res);
+        }
+    }
+
+    let mut ofm = Tensor::zeros(layer.out_channels(), layer.out_h(), layer.out_w());
+    let mut compute = 0u64;
+    let mut blocks: Vec<(u64, u64)> = Vec::with_capacity(plan.num_blocks);
+    for res in per_block.into_iter().map(|r| r.expect("all blocks ran")) {
+        compute += res.compute_cycles;
+        blocks.push((res.compute_cycles, res.dma_in_cycles + res.dma_out_cycles));
+        for (c, y, x, v) in res.ofm {
+            ofm.set(c, y, x, v);
+        }
+    }
+    let mut report = LayerReport::for_spec(layer.name(), spec);
+    report.cycles = double_buffered_cycles_exact(&blocks);
+    report.compute_cycles = compute;
+    report.dma_cycles = blocks.iter().map(|b| b.1).sum();
+    report.macs = layer.macs();
+    Ok((ofm, report))
+}
+
+/// Timing-only estimate with a *single* memory set (the Table 4 ablation):
+/// every block's DMA serializes with its compute instead of overlapping the
+/// previous block.
+///
+/// # Errors
+///
+/// As [`time_layer`].
+pub fn time_layer_single_buffered(layer: &ConvLayer, spec: &CgraSpec, kind: MappingKind) -> Result<LayerReport, SimError> {
+    let mut r = time_layer(layer, spec, kind)?;
+    let plan = plan(layer, spec, kind, None).map_err(|e| map_err_to_sim(layer, e))?;
+    let engine = DmaEngine::new(spec);
+    let dma = engine.transfer_cycles(plan.dma_in) + engine.transfer_cycles(plan.dma_out);
+    let blocks: Vec<(u64, u64)> = (0..plan.num_blocks).map(|_| (plan.compute, dma)).collect();
+    r.cycles = npcgra_mem::dma::serialized_cycles(&blocks);
+    Ok(r)
+}
+
+/// Timing-only layer estimate: identical cycle accounting to [`run_layer`]
+/// without materializing data. Used for the full-model evaluation sweeps.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the layer cannot be mapped.
+pub fn time_layer(layer: &ConvLayer, spec: &CgraSpec, kind: MappingKind) -> Result<LayerReport, SimError> {
+    if layer.kind() == ConvKind::Standard {
+        return time_standard_via_im2col(layer, spec);
+    }
+    let plan = plan(layer, spec, kind, None).map_err(|e| map_err_to_sim(layer, e))?;
+    let mut r = pipeline_report(layer.name(), spec, plan.num_blocks, plan.compute, plan.dma_in, plan.dma_out);
+    r.macs = layer.macs();
+    Ok(r)
+}
+
+/// The im2col-equivalent pointwise layer for one group of a standard
+/// convolution.
+fn im2col_equivalent(layer: &ConvLayer) -> ConvLayer {
+    let cols = layer.k() * layer.k() * layer.in_channels() / layer.groups();
+    let cout_g = layer.out_channels() / layer.groups();
+    ConvLayer::pointwise(
+        &format!("{}.im2col", layer.name()),
+        cols,
+        cout_g,
+        layer.out_h(),
+        layer.out_w(),
+    )
+    .with_activation(layer.activation())
+}
+
+/// Run a standard convolution functionally: host-side im2col lowers each
+/// group to a pointwise layer which runs through the PWC mapping (§6.5).
+/// The im2col host time (default Ultra96 ARMv8 model) is charged to the
+/// report.
+///
+/// # Errors
+///
+/// As [`run_layer`].
+pub fn run_standard_via_im2col(
+    layer: &ConvLayer,
+    ifm: &Tensor,
+    weights: &Tensor,
+    spec: &CgraSpec,
+) -> Result<(Tensor, LayerReport), SimError> {
+    assert_eq!(
+        layer.kind(),
+        ConvKind::Standard,
+        "run_standard_via_im2col needs a standard layer"
+    );
+    let eq = im2col_equivalent(layer);
+    let (oh, ow) = (layer.out_h(), layer.out_w());
+    let cout_g = layer.out_channels() / layer.groups();
+    let mut ofm = Tensor::zeros(layer.out_channels(), oh, ow);
+    let mut reports = Vec::new();
+    for g in 0..layer.groups() {
+        let x = im2col::im2col_matrix(layer, ifm, g).map_err(|e| map_err_to_sim(layer, MapError::new(e.to_string())))?;
+        let wm = im2col::weight_matrix(layer, weights, g).map_err(|e| map_err_to_sim(layer, MapError::new(e.to_string())))?;
+        // Reshape to the tensor forms the PWC mapping consumes.
+        let x_t = Tensor::from_fn(eq.in_channels(), oh, ow, |col, y, xx| x.get(y * ow + xx, col));
+        let w_t = Tensor::from_fn(cout_g, 1, eq.in_channels(), |o, _, col| wm.get(col, o));
+        let (part, rep) = run_layer(&eq, &x_t, &w_t, spec)?;
+        for oc in 0..cout_g {
+            for y in 0..oh {
+                for xx in 0..ow {
+                    ofm.set(g * cout_g + oc, y, xx, part.get(oc, y, xx));
+                }
+            }
+        }
+        reports.push(rep);
+    }
+    let mut report = LayerReport::total(layer.name(), &reports);
+    report.name = layer.name().to_string();
+    report.macs = layer.macs();
+    report.host_seconds = Im2colCostModel::default().seconds(layer);
+    Ok((ofm, report))
+}
+
+fn time_standard_via_im2col(layer: &ConvLayer, spec: &CgraSpec) -> Result<LayerReport, SimError> {
+    let eq = im2col_equivalent(layer);
+    let per_group = time_layer(&eq, spec, MappingKind::Auto)?;
+    let groups = layer.groups() as u64;
+    let mut r = per_group.clone();
+    r.name = layer.name().to_string();
+    r.cycles *= groups;
+    r.compute_cycles *= groups;
+    r.dma_cycles *= groups;
+    r.macs = layer.macs();
+    r.host_seconds = Im2colCostModel::default().seconds(layer);
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npcgra_nn::reference;
+
+    fn spec4() -> CgraSpec {
+        CgraSpec::np_cgra(4, 4)
+    }
+
+    #[test]
+    fn pwc_layer_functional_matches_golden() {
+        let layer = ConvLayer::pointwise("pw", 12, 10, 6, 7);
+        let ifm = Tensor::random(12, 6, 7, 1);
+        let w = layer.random_weights(2);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (ofm, report) = run_layer(&layer, &ifm, &w, &spec4()).unwrap();
+        assert_eq!(ofm, golden);
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn dwc_s1_layer_functional_matches_golden() {
+        let layer = ConvLayer::depthwise("dw", 3, 11, 13, 3, 1, 1);
+        let ifm = Tensor::random(3, 11, 13, 5);
+        let w = layer.random_weights(6);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (ofm, _) = run_layer(&layer, &ifm, &w, &spec4()).unwrap();
+        assert_eq!(ofm, golden);
+    }
+
+    #[test]
+    fn dwc_s2_layer_functional_matches_golden() {
+        let layer = ConvLayer::depthwise("dw", 2, 12, 12, 3, 2, 1);
+        let ifm = Tensor::random(2, 12, 12, 7);
+        let w = layer.random_weights(8);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (ofm, _) = run_layer(&layer, &ifm, &w, &spec4()).unwrap();
+        assert_eq!(ofm, golden);
+    }
+
+    #[test]
+    fn matmul_dwc_functional_matches_golden() {
+        let layer = ConvLayer::depthwise("dw", 2, 9, 9, 3, 1, 1);
+        let ifm = Tensor::random(2, 9, 9, 9);
+        let w = layer.random_weights(10);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (ofm, _) = run_matmul_dwc(&layer, &ifm, &w, &spec4()).unwrap();
+        assert_eq!(ofm, golden);
+    }
+
+    #[test]
+    fn standard_conv_via_im2col_matches_golden() {
+        let layer = ConvLayer::standard("c", 3, 4, 8, 8, 3, 1, 1, 1);
+        let ifm = Tensor::random(3, 8, 8, 11);
+        let w = layer.random_weights(12);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (ofm, report) = run_standard_via_im2col(&layer, &ifm, &w, &spec4()).unwrap();
+        assert_eq!(ofm, golden);
+        assert!(report.host_seconds > 0.0);
+    }
+
+    #[test]
+    fn timing_equals_functional_cycles() {
+        for (layer, kind) in [
+            (ConvLayer::pointwise("pw", 12, 10, 6, 7), MappingKind::Auto),
+            (ConvLayer::depthwise("dw1", 3, 11, 13, 3, 1, 1), MappingKind::Auto),
+            (ConvLayer::depthwise("dw2", 2, 12, 12, 3, 2, 1), MappingKind::Auto),
+            (ConvLayer::depthwise("dwm", 2, 9, 9, 3, 1, 1), MappingKind::MatmulDwc),
+        ] {
+            let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), 1);
+            let w = layer.random_weights(2);
+            let (_, functional) = run_layer_with(&layer, &ifm, &w, &spec4(), kind).unwrap();
+            let timed = time_layer(&layer, &spec4(), kind).unwrap();
+            assert_eq!(functional.cycles, timed.cycles, "{}", layer.name());
+            assert_eq!(functional.compute_cycles, timed.compute_cycles, "{}", layer.name());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Cycle-accurate NP-CGRA simulator (§6.1).
+//!
+//! [`Machine`] wires together the component models — PEs with dual-mode MACs
+//! and the operand reuse network (`npcgra-arch`), banked H-MEM/V-MEM with
+//! crossbar and conflict checking (`npcgra-mem`), and the AGU address
+//! algorithms (`npcgra-agu`) — and executes the [`BlockProgram`]s produced
+//! by the kernel mappings one cycle at a time. Every load really flows
+//! H-MEM → bus → PE mux, every reuse really crosses the operand-reuse
+//! latches, and every result is stored back through the AGU-generated
+//! addresses, so a functional mismatch *anywhere* in the mapping stack
+//! surfaces as a wrong output word.
+//!
+//! [`layer`] runs whole layers: functionally (producing an OFM tensor to
+//! compare against the golden reference) or timing-only (same cycle
+//! accounting without data movement, for the large evaluation models), with
+//! the double-buffered DMA pipeline of Table 4's two memory sets.
+//!
+//! [`BlockProgram`]: npcgra_kernels::BlockProgram
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod layer;
+pub mod machine;
+pub mod report;
+pub mod trace;
+
+pub use error::SimError;
+pub use layer::{
+    estimate_layer_energy, run_batched_dwc, run_layer, run_layer_parallel, run_matmul_dwc, run_standard_via_im2col, time_layer,
+    time_layer_single_buffered, MappingKind,
+};
+pub use machine::{BlockResult, Machine};
+pub use report::LayerReport;
+pub use trace::{CycleTrace, Trace};

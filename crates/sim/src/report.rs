@@ -1,0 +1,173 @@
+//! Per-layer performance reports.
+
+use std::fmt;
+
+use npcgra_arch::CgraSpec;
+
+/// The measured performance of one layer on one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Total pipelined cycles (compute overlapped with double-buffered DMA).
+    pub cycles: u64,
+    /// Pure array-compute cycles.
+    pub compute_cycles: u64,
+    /// Total DMA-engine busy cycles.
+    pub dma_cycles: u64,
+    /// Useful MAC operations.
+    pub macs: u64,
+    /// PEs in the machine.
+    pub pes: usize,
+    /// Clock frequency used for time conversions.
+    pub clock_hz: f64,
+    /// Host-processor seconds (im2col for standard convolution), zero
+    /// otherwise.
+    pub host_seconds: f64,
+}
+
+impl LayerReport {
+    /// Wall-clock seconds: CGRA cycles at the clock plus host time.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / self.clock_hz + self.host_seconds
+    }
+
+    /// Milliseconds.
+    #[must_use]
+    pub fn ms(&self) -> f64 {
+        self.seconds() * 1e3
+    }
+
+    /// Inference throughput in frames per second — the paper's "main
+    /// comparison metric" — when this report covers one frame's work.
+    #[must_use]
+    pub fn fps(&self) -> f64 {
+        1.0 / self.seconds()
+    }
+
+    /// MAC utilization over the *pipelined* cycles, the paper's "util"
+    /// metric (one MAC per PE per cycle is 100 %).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.macs as f64 / (self.pes as f64 * self.cycles as f64)
+    }
+
+    /// Whether the layer was DMA-bound (pipelined cycles exceed compute).
+    #[must_use]
+    pub fn dma_bound(&self) -> bool {
+        self.cycles > self.compute_cycles + self.compute_cycles / 10
+    }
+
+    /// Sum a sequence of reports into a whole-model report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if reports disagree on machine parameters or the iterator is
+    /// empty.
+    #[must_use]
+    pub fn total(name: &str, reports: &[LayerReport]) -> LayerReport {
+        assert!(!reports.is_empty(), "cannot total zero reports");
+        let first = &reports[0];
+        for r in reports {
+            assert_eq!(r.pes, first.pes, "mixed machines in total");
+        }
+        LayerReport {
+            name: name.to_string(),
+            cycles: reports.iter().map(|r| r.cycles).sum(),
+            compute_cycles: reports.iter().map(|r| r.compute_cycles).sum(),
+            dma_cycles: reports.iter().map(|r| r.dma_cycles).sum(),
+            macs: reports.iter().map(|r| r.macs).sum(),
+            pes: first.pes,
+            clock_hz: first.clock_hz,
+            host_seconds: reports.iter().map(|r| r.host_seconds).sum(),
+        }
+    }
+
+    /// Construct with the machine parameters of `spec`.
+    #[must_use]
+    pub fn for_spec(name: &str, spec: &CgraSpec) -> LayerReport {
+        LayerReport {
+            name: name.to_string(),
+            cycles: 0,
+            compute_cycles: 0,
+            dma_cycles: 0,
+            macs: 0,
+            pes: spec.num_pes(),
+            clock_hz: spec.clock_hz,
+            host_seconds: 0.0,
+        }
+    }
+}
+
+impl fmt::Display for LayerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} ms ({} cycles, util {:.2} %{})",
+            self.name,
+            self.ms(),
+            self.cycles,
+            self.utilization() * 100.0,
+            if self.host_seconds > 0.0 { ", +host" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, macs: u64) -> LayerReport {
+        LayerReport {
+            name: "t".into(),
+            cycles,
+            compute_cycles: cycles,
+            dma_cycles: 0,
+            macs,
+            pes: 16,
+            clock_hz: 500e6,
+            host_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn time_conversion() {
+        let r = report(500_000, 0);
+        assert!((r.ms() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fps_inverts_seconds() {
+        let r = report(500_000, 0); // 1 ms
+        assert!((r.fps() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_definition() {
+        let r = report(100, 800);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let t = LayerReport::total("sum", &[report(100, 10), report(200, 20)]);
+        assert_eq!(t.cycles, 300);
+        assert_eq!(t.macs, 30);
+    }
+
+    #[test]
+    fn host_time_added() {
+        let mut r = report(500_000, 0);
+        r.host_seconds = 0.001;
+        assert!((r.ms() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_ms() {
+        assert!(report(500_000, 0).to_string().contains("ms"));
+    }
+}

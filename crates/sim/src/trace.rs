@@ -1,0 +1,195 @@
+//! Cycle-by-cycle execution tracing.
+//!
+//! A [`Trace`] records what the machine did each cycle — bus values, GRF
+//! broadcasts, per-PE operations and output registers, store writes — in a
+//! compact, greppable text form (one block per cycle, waveform-style). It
+//! is the debugging tool for mapping work: when an output word is wrong,
+//! the trace shows exactly which cycle loaded the wrong IFM element or
+//! reused the wrong latch.
+
+use std::fmt;
+
+use npcgra_arch::Instruction;
+use npcgra_nn::Word;
+
+/// One H- or V-bus event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusEvent {
+    /// Bus (= port/AGU) index.
+    pub lane: usize,
+    /// Bank accessed.
+    pub bank: usize,
+    /// In-bank offset.
+    pub offset: usize,
+    /// The word carried.
+    pub value: Word,
+}
+
+/// One store-port write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEvent {
+    /// Row port.
+    pub port: usize,
+    /// Bank written.
+    pub bank: usize,
+    /// In-bank offset.
+    pub offset: usize,
+    /// The word written.
+    pub value: Word,
+}
+
+/// Everything that happened in one cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleTrace {
+    /// Tile index within the block.
+    pub tile: usize,
+    /// Cycle within the tile.
+    pub cycle: u64,
+    /// H-bus loads this cycle.
+    pub h_loads: Vec<BusEvent>,
+    /// V-bus loads this cycle.
+    pub v_loads: Vec<BusEvent>,
+    /// The GRF broadcast value, if any.
+    pub grf: Option<Word>,
+    /// Per-PE `(instruction, new output)` in row-major order; `None` for
+    /// PEs that executed a pure NOP with unchanged output.
+    pub pes: Vec<Option<(Instruction, i32)>>,
+    /// Store-port writes this cycle.
+    pub stores: Vec<StoreEvent>,
+}
+
+/// A recorded block execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    cycles: Vec<CycleTrace>,
+    cols: usize,
+}
+
+impl Trace {
+    /// An empty trace for an array with `cols` columns.
+    #[must_use]
+    pub fn new(cols: usize) -> Self {
+        Trace {
+            cycles: Vec::new(),
+            cols,
+        }
+    }
+
+    pub(crate) fn push(&mut self, cycle: CycleTrace) {
+        self.cycles.push(cycle);
+    }
+
+    /// All recorded cycles.
+    #[must_use]
+    pub fn cycles(&self) -> &[CycleTrace] {
+        &self.cycles
+    }
+
+    /// Total cycles recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether anything was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Cycles in which at least one store happened.
+    pub fn store_cycles(&self) -> impl Iterator<Item = &CycleTrace> {
+        self.cycles.iter().filter(|c| !c.stores.is_empty())
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.cycles {
+            write!(f, "[t{}:{:>3}]", c.tile, c.cycle)?;
+            if let Some(g) = c.grf {
+                write!(f, " grf={g}")?;
+            }
+            for e in &c.h_loads {
+                write!(f, " H{}<-b{}+{:#x}={}", e.lane, e.bank, e.offset, e.value)?;
+            }
+            for e in &c.v_loads {
+                write!(f, " V{}<-b{}+{:#x}={}", e.lane, e.bank, e.offset, e.value)?;
+            }
+            let active: Vec<String> = c
+                .pes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| {
+                    p.as_ref()
+                        .map(|(ins, out)| format!("pe({},{})={}:{}", i / self.cols, i % self.cols, ins.op, out))
+                })
+                .collect();
+            if !active.is_empty() {
+                write!(f, " | {}", active.join(" "))?;
+            }
+            for s in &c.stores {
+                write!(f, " | st{}->b{}+{:#x}={}", s.port, s.bank, s.offset, s.value)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npcgra_arch::MuxSel;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(2);
+        t.push(CycleTrace {
+            tile: 0,
+            cycle: 0,
+            h_loads: vec![BusEvent {
+                lane: 0,
+                bank: 0,
+                offset: 4,
+                value: 7,
+            }],
+            v_loads: vec![],
+            grf: Some(3),
+            pes: vec![Some((Instruction::mac(MuxSel::HBus, MuxSel::Grf), 21)), None, None, None],
+            stores: vec![],
+        });
+        t.push(CycleTrace {
+            tile: 0,
+            cycle: 1,
+            h_loads: vec![],
+            v_loads: vec![],
+            grf: None,
+            pes: vec![None; 4],
+            stores: vec![StoreEvent {
+                port: 1,
+                bank: 1,
+                offset: 9,
+                value: -5,
+            }],
+        });
+        t
+    }
+
+    #[test]
+    fn display_is_one_line_per_cycle() {
+        let s = sample().to_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("H0<-b0+0x4=7"));
+        assert!(s.contains("grf=3"));
+        assert!(s.contains("pe(0,0)=mac:21"));
+        assert!(s.contains("st1->b1+0x9=-5"));
+    }
+
+    #[test]
+    fn store_cycles_filter() {
+        let t = sample();
+        assert_eq!(t.store_cycles().count(), 1);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! MobileNet on NP-CGRA: per-layer timing of the DSC stacks the paper
+//! evaluates (Table 6), on the 8×8 Table 4 machine.
+//!
+//! ```text
+//! cargo run --release --example mobilenet [-- <alpha> <resolution>]
+//! ```
+//!
+//! Defaults to the Eyeriss-v2 comparison point: width multiplier 0.5 at
+//! resolution 128 for V1, plus the full V2 (1.0/224) DSC stack.
+
+use npcgra::nn::models;
+use npcgra::NpCgra;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let alpha: f64 = args.get(1).map_or(0.5, |s| s.parse().expect("alpha"));
+    let res: usize = args.get(2).map_or(128, |s| s.parse().expect("resolution"));
+
+    let machine = NpCgra::table4();
+    let v1 = models::mobilenet_v1(alpha, res);
+
+    println!("== {} on the 8x8 NP-CGRA ==", v1.name());
+    println!("{:<14} {:>10} {:>9} {:>7}", "layer", "cycles", "ms", "util%");
+    for layer in v1.dsc_layers() {
+        let r = machine.time_layer(layer)?;
+        println!(
+            "{:<14} {:>10} {:>9.4} {:>7.2}",
+            r.name,
+            r.cycles,
+            r.ms(),
+            r.utilization() * 100.0
+        );
+    }
+    let total = machine.time_model_dsc(&v1)?;
+    let adp = machine.adp_of(&total);
+    println!("{:-<44}", "");
+    println!(
+        "V1 DSC total: {:.3} ms, ADP {:.2} mm^2*ms (paper: 4.01 ms, 8.60)",
+        total.ms(),
+        adp.value()
+    );
+
+    // Eyeriss v2 comparison (Table 6).
+    let v2comp = npcgra::area::comparators::eyeriss_v2();
+    println!(
+        "Eyeriss v2:   {:.2} ms, ADP {:.2} mm^2*ms -> NP-CGRA ADP gain {:.2}x (paper: 2.22x)",
+        v2comp.mobilenet_v1_dsc_ms.expect("reported"),
+        v2comp.mobilenet_v1_adp().expect("reported"),
+        v2comp.mobilenet_v1_adp().expect("reported") / adp.value(),
+    );
+
+    println!();
+    let v2 = models::mobilenet_v2(1.0, 224);
+    let total2 = machine.time_model_dsc(&v2)?;
+    println!("== {} ==", v2.name());
+    println!("V2 DSC total: {:.3} ms (paper: 18.06 ms)", total2.ms());
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: run one depthwise-separable block on NP-CGRA, check it
+//! against the golden reference, and print the performance reports.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use npcgra::{reference, ConvLayer, NpCgra, Tensor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Table 5 machine: a 4×4 NP-CGRA at 500 MHz.
+    let machine = NpCgra::new_4x4();
+    println!(
+        "machine: {}x{} NP-CGRA, {:.0} MHz",
+        machine.spec().rows,
+        machine.spec().cols,
+        machine.spec().clock_hz / 1e6
+    );
+    println!("area:    {:.3} mm^2 (65 nm, 16-bit)", machine.area().total());
+    println!();
+
+    // One DSC block: a 3×3 depthwise layer followed by a 1×1 pointwise
+    // layer, on a small 32×32 feature map.
+    let dw = ConvLayer::depthwise("dw", 8, 32, 32, 3, 1, 1);
+    let pw = ConvLayer::pointwise("pw", 8, 16, 32, 32);
+
+    let ifm = Tensor::random(8, 32, 32, 42);
+    let w_dw = dw.random_weights(1);
+    let w_pw = pw.random_weights(2);
+
+    // Depthwise through the stride-1 EE/SS/EW mapping.
+    let (mid, rep_dw) = machine.run_layer(&dw, &ifm, &w_dw)?;
+    assert_eq!(mid, reference::run_layer(&dw, &ifm, &w_dw)?, "DWC output is bit-exact");
+    println!("{rep_dw}");
+
+    // Pointwise through the output-stationary matmul mapping.
+    let (out, rep_pw) = machine.run_layer(&pw, &mid, &w_pw)?;
+    assert_eq!(out, reference::run_layer(&pw, &mid, &w_pw)?, "PWC output is bit-exact");
+    println!("{rep_pw}");
+
+    println!();
+    println!(
+        "DSC block total: {:.3} ms, ADP {:.3} mm^2*ms",
+        rep_dw.ms() + rep_pw.ms(),
+        machine.adp_of(&rep_dw).value() + machine.adp_of(&rep_pw).value()
+    );
+    Ok(())
+}

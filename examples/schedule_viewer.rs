@@ -1,0 +1,78 @@
+//! Render the paper's schedule figures as text: the PWC tile (Fig. 1), the
+//! general-stride DWC tile (Fig. 5b) and the stride-1 EE/SS/EW tile
+//! (Figs. 6/8) on a 2×2 array.
+//!
+//! ```text
+//! cargo run --example schedule_viewer
+//! ```
+
+use npcgra::agu::{TileClock, TilePos};
+use npcgra::kernels::{DwcGeneralMapping, DwcS1Mapping, PwcMapping, TileMapping};
+use npcgra::CgraSpec;
+
+fn render(name: &str, mapping: &dyn TileMapping, rows: usize, cols: usize) {
+    println!("== {name} (tile latency {} cycles) ==", mapping.tile_latency());
+    let pos = TilePos::first(1, 1);
+    let mut clock = TileClock::start();
+    let mut remaining = mapping.phase_len(0).expect("phase 0");
+    let mut cycle = 0u64;
+    loop {
+        let grf = mapping.grf_index(clock).map_or(String::new(), |i| format!(" grf[{i}]"));
+        let mut pes = String::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let ins = mapping.pe_instruction(clock, pos, r, c);
+                pes.push_str(&format!(" {:>14}", format!("({r},{c}) {}", short(&ins))));
+            }
+        }
+        let h: Vec<String> = (0..rows)
+            .map(|r| mapping.h_request(clock, pos, r).map_or("-".into(), |q| q.to_string()))
+            .collect();
+        let v: Vec<String> = (0..cols)
+            .map(|c| mapping.v_request(clock, pos, c).map_or("-".into(), |q| q.to_string()))
+            .collect();
+        println!("T={cycle:>2}{grf} |{pes} | H[{}] V[{}]", h.join(","), v.join(","));
+        cycle += 1;
+        remaining -= 1;
+        if remaining == 0 {
+            match mapping.phase_len(clock.t_wrap + 1) {
+                Some(len) => {
+                    clock.step(true);
+                    remaining = len;
+                }
+                None => break,
+            }
+        } else {
+            clock.step(false);
+        }
+    }
+    println!();
+}
+
+fn short(ins: &npcgra::arch::Instruction) -> String {
+    use npcgra::arch::MuxSel;
+    let src = |m: MuxSel| match m {
+        MuxSel::HBus => "H",
+        MuxSel::VBus => "V",
+        MuxSel::Grf => "G",
+        MuxSel::Orn => "O",
+        MuxSel::Zero => ".",
+        _ => "?",
+    };
+    format!("{}({},{})", ins.op, src(ins.mux_a), src(ins.mux_b))
+}
+
+fn main() {
+    let spec = CgraSpec::np_cgra(2, 2);
+    // Fig. 1: PWC / matmul with a reduction of 9 (the paper's 2×2 example).
+    render("PWC, N_i = 9 (Fig. 1)", &PwcMapping::new(9, &spec, 100), 2, 2);
+    // Fig. 5: DWC K=3, S=2.
+    render(
+        "DWC general, K = 3, S = 2 (Fig. 5)",
+        &DwcGeneralMapping::new(3, 2, &spec, 100),
+        2,
+        2,
+    );
+    // Figs. 6/8: DWC K=3, S=1 with EE/SS/EW phases.
+    render("DWC stride-1, K = 3 (Figs. 6-8)", &DwcS1Mapping::new(3, &spec, 100), 2, 2);
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full verification: format, lints, tests (incl. the heavy full-size ones),
+# examples, evaluation binaries and benches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== heavy tests (full-size Table 5 layers) =="
+cargo test --workspace --release -- --ignored
+
+echo "== examples =="
+for ex in quickstart schedule_viewer fir_filter; do
+  cargo run --release --example "$ex" >/dev/null
+done
+cargo run --release --example mobilenet >/dev/null
+cargo run --release --example alexnet >/dev/null
+
+echo "== evaluation binaries =="
+for b in table1 table3 table5 table6 fig12 fig_schedules fig_layouts \
+         batching_gain energy_table width_study mapping_gap ccf_check; do
+  cargo run --release -q -p npcgra-eval --bin "$b" >/dev/null
+done
+
+echo "== benches (quick pass) =="
+cargo bench -p npcgra-bench >/dev/null
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,120 @@
+//! Fused-activation integration: ReLU rides the pipeline bubble for free;
+//! leaky ReLU adds a two-cycle epilogue — both bit-exact against the golden
+//! reference on every mapping, including through the encoded-ISA path.
+
+use npcgra::nn::Activation;
+use npcgra::sim::{run_layer, run_matmul_dwc, time_layer, MappingKind};
+use npcgra::{reference, CgraSpec, ConvLayer, Tensor};
+
+fn activations() -> Vec<Activation> {
+    vec![Activation::None, Activation::Relu, Activation::LeakyRelu { shift: 3 }]
+}
+
+#[test]
+fn pwc_with_activations_matches_golden() {
+    for act in activations() {
+        let layer = ConvLayer::pointwise("pw", 10, 9, 7, 7).with_activation(act);
+        let ifm = Tensor::random(10, 7, 7, 1);
+        let w = layer.random_weights(2);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (ofm, _) = run_layer(&layer, &ifm, &w, &CgraSpec::np_cgra(4, 4)).unwrap();
+        assert_eq!(ofm, golden, "{act}");
+    }
+}
+
+#[test]
+fn dwc_s1_with_activations_matches_golden() {
+    for act in activations() {
+        let layer = ConvLayer::depthwise("dw", 3, 13, 11, 3, 1, 1).with_activation(act);
+        let ifm = Tensor::random(3, 13, 11, 3);
+        let w = layer.random_weights(4);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (ofm, _) = run_layer(&layer, &ifm, &w, &CgraSpec::np_cgra(4, 4)).unwrap();
+        assert_eq!(ofm, golden, "{act}");
+    }
+}
+
+#[test]
+fn dwc_s2_with_activations_matches_golden() {
+    for act in activations() {
+        let layer = ConvLayer::depthwise("dw", 2, 14, 14, 3, 2, 1).with_activation(act);
+        let ifm = Tensor::random(2, 14, 14, 5);
+        let w = layer.random_weights(6);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (ofm, _) = run_layer(&layer, &ifm, &w, &CgraSpec::np_cgra(4, 4)).unwrap();
+        assert_eq!(ofm, golden, "{act}");
+    }
+}
+
+#[test]
+fn matmul_dwc_with_activations_matches_golden() {
+    for act in activations() {
+        let layer = ConvLayer::depthwise("dw", 2, 10, 10, 3, 1, 1).with_activation(act);
+        let ifm = Tensor::random(2, 10, 10, 7);
+        let w = layer.random_weights(8);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (ofm, _) = run_matmul_dwc(&layer, &ifm, &w, &CgraSpec::np_cgra(4, 4)).unwrap();
+        assert_eq!(ofm, golden, "{act}");
+    }
+}
+
+#[test]
+fn relu_is_free_leaky_costs_two_cycles_per_tile() {
+    let spec = CgraSpec::np_cgra(4, 4);
+    let base = ConvLayer::depthwise("dw", 4, 16, 16, 3, 1, 1);
+    let relu = base.clone().with_activation(Activation::Relu);
+    let leaky = base.clone().with_activation(Activation::LeakyRelu { shift: 2 });
+
+    let t_base = time_layer(&base, &spec, MappingKind::Auto).unwrap();
+    let t_relu = time_layer(&relu, &spec, MappingKind::Auto).unwrap();
+    let t_leaky = time_layer(&leaky, &spec, MappingKind::Auto).unwrap();
+
+    assert_eq!(t_base.compute_cycles, t_relu.compute_cycles, "ReLU reuses the bubble");
+    assert!(
+        t_leaky.compute_cycles > t_base.compute_cycles,
+        "leaky ReLU costs extra cycles"
+    );
+    // Exactly 2 extra cycles per tile: 18 -> 20 on the 4x4 (K = 3).
+    let tiles = t_base.compute_cycles / 18;
+    assert_eq!(t_leaky.compute_cycles, t_base.compute_cycles + 2 * tiles);
+}
+
+#[test]
+fn encoded_configs_carry_the_activation() {
+    // The fused activation survives the encode/decode round trip through
+    // configuration memory.
+    use npcgra::kernels::dwc_s1::DwcS1LayerMap;
+    use npcgra::kernels::ConfigImage;
+    use npcgra::Machine;
+
+    let spec = CgraSpec::np_cgra(4, 4);
+    let layer = ConvLayer::depthwise("dw", 2, 12, 12, 3, 1, 1).with_activation(Activation::LeakyRelu { shift: 2 });
+    let map = DwcS1LayerMap::new(&layer, &spec).unwrap();
+    let ifm = Tensor::random(2, 12, 12, 9);
+    let padded = npcgra::kernels::dwc_general::padded_ifm(&layer, &ifm);
+    let w = layer.random_weights(10);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+
+    // Contexts still fit the Table 4 budget with the activation epilogue.
+    let prog0 = map.materialize(0, &padded, &w);
+    let img = ConfigImage::compile(prog0.mapping.as_ref(), &spec).unwrap();
+    assert!(img.num_contexts() <= spec.config_contexts);
+
+    let mut m = Machine::new(&spec);
+    for b in 0..map.num_blocks() {
+        let prog = map.materialize(b, &padded, &w);
+        for (c, y, x, v) in m.run_block_encoded(&prog).unwrap().ofm {
+            assert_eq!(v, golden.get(c, y, x), "({c},{y},{x})");
+        }
+    }
+}
+
+#[test]
+fn activation_in_standard_conv_via_im2col() {
+    let layer = ConvLayer::standard("c", 3, 4, 8, 8, 3, 1, 1, 1).with_activation(Activation::Relu);
+    let ifm = Tensor::random(3, 8, 8, 11);
+    let w = layer.random_weights(12);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+    let (ofm, _) = npcgra::sim::run_standard_via_im2col(&layer, &ifm, &w, &CgraSpec::np_cgra(4, 4)).unwrap();
+    assert_eq!(ofm, golden);
+}

@@ -1,0 +1,82 @@
+//! The §5.4 channel-batching extension: functional exactness and the
+//! DMA-amortization win on small-spatial-dimension DWC layers.
+
+use npcgra::sim::{run_batched_dwc, run_layer, time_layer, MappingKind};
+use npcgra::{reference, CgraSpec, ConvLayer, Tensor};
+
+#[test]
+fn batched_dwc_matches_golden() {
+    let spec = CgraSpec::np_cgra(4, 4);
+    let layer = ConvLayer::depthwise("dw", 12, 9, 9, 3, 1, 1);
+    let ifm = Tensor::random(12, 9, 9, 1);
+    let w = layer.random_weights(2);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+    let (ofm, _) = run_batched_dwc(&layer, &ifm, &w, &spec).unwrap();
+    assert_eq!(ofm, golden);
+}
+
+#[test]
+fn batched_dwc_matches_unbatched() {
+    let spec = CgraSpec::table4();
+    let layer = ConvLayer::depthwise("dw", 24, 14, 14, 3, 1, 1);
+    let ifm = Tensor::random(24, 14, 14, 3);
+    let w = layer.random_weights(4);
+    let (a, _) = run_layer(&layer, &ifm, &w, &spec).unwrap();
+    let (b, _) = run_batched_dwc(&layer, &ifm, &w, &spec).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn batched_dwc_with_relu_matches_golden() {
+    let spec = CgraSpec::np_cgra(4, 4);
+    let layer = ConvLayer::depthwise("dw", 8, 10, 10, 3, 1, 1).with_activation(npcgra::nn::Activation::Relu);
+    let ifm = Tensor::random(8, 10, 10, 5);
+    let w = layer.random_weights(6);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+    let (ofm, _) = run_batched_dwc(&layer, &ifm, &w, &spec).unwrap();
+    assert_eq!(ofm, golden);
+}
+
+#[test]
+fn batching_turns_dma_bound_layers_compute_bound() {
+    // MobileNet V2's last-stage DWC (960 channels at 7x7): per-channel
+    // blocks are DMA-latency-bound; batching amortizes the 200-cycle DMA
+    // latency across the channel group.
+    let spec = CgraSpec::table4();
+    let layer = ConvLayer::depthwise("s7.dw", 960, 7, 7, 3, 1, 1);
+    let plain = time_layer(&layer, &spec, MappingKind::Auto).unwrap();
+    let batched = time_layer(&layer, &spec, MappingKind::BatchedDwcS1).unwrap();
+    let speedup = plain.seconds() / batched.seconds();
+    assert!(speedup > 2.0, "batching speedup {speedup:.2}x on 7x7x960");
+    assert!(plain.dma_bound(), "the per-channel flow is DMA-bound here");
+    assert!(!batched.dma_bound(), "batching should hide the DMA latency");
+}
+
+#[test]
+fn batching_never_hurts_large_spatial_layers() {
+    // On 112x112 the per-channel flow is already compute-bound; batching
+    // (which degenerates to ~1 channel/block under the memory budget) may
+    // not help but must not be more than marginally worse.
+    let spec = CgraSpec::table4();
+    let layer = ConvLayer::depthwise("dw1", 32, 112, 112, 3, 1, 1);
+    let plain = time_layer(&layer, &spec, MappingKind::Auto).unwrap();
+    let batched = time_layer(&layer, &spec, MappingKind::BatchedDwcS1).unwrap();
+    assert!(
+        batched.seconds() <= plain.seconds() * 1.05,
+        "batched {} vs plain {}",
+        batched.ms(),
+        plain.ms()
+    );
+}
+
+#[test]
+fn timing_equals_functional_for_batched() {
+    let spec = CgraSpec::np_cgra(4, 4);
+    let layer = ConvLayer::depthwise("dw", 16, 8, 8, 3, 1, 1);
+    let ifm = Tensor::random(16, 8, 8, 7);
+    let w = layer.random_weights(8);
+    let (_, functional) = run_batched_dwc(&layer, &ifm, &w, &spec).unwrap();
+    let timed = time_layer(&layer, &spec, MappingKind::BatchedDwcS1).unwrap();
+    assert_eq!(functional.cycles, timed.cycles);
+    assert_eq!(functional.compute_cycles, timed.compute_cycles);
+}

@@ -1,0 +1,106 @@
+//! Property-based cross-mapping tests: for randomized layer geometries,
+//! every mapping must agree bit-for-bit with the golden reference and with
+//! each other, and the timing invariants must hold.
+
+use npcgra::sim::{run_layer, run_matmul_dwc, time_layer, MappingKind};
+use npcgra::{reference, CgraSpec, ConvLayer, Tensor};
+use proptest::prelude::*;
+
+fn small_dwc() -> impl Strategy<Value = ConvLayer> {
+    (
+        1usize..4,
+        1usize..3,
+        6usize..20,
+        6usize..20,
+        prop_oneof![Just(1usize), Just(2), Just(3)],
+        0usize..2,
+    )
+        .prop_filter_map("valid", |(c, k2, h, w, s, pad)| {
+            let k = 2 * k2 - 1; // odd kernels 1, 3
+            ConvLayer::new("p", npcgra::ConvKind::Depthwise, c, c, h, w, k, s, pad, c).ok()
+        })
+}
+
+fn small_pwc() -> impl Strategy<Value = ConvLayer> {
+    (1usize..24, 1usize..24, 2usize..12, 2usize..12).prop_map(|(ci, co, h, w)| ConvLayer::pointwise("p", ci, co, h, w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The NP-CGRA DWC mappings are exact for arbitrary geometry.
+    #[test]
+    fn dwc_mapping_is_exact(layer in small_dwc(), seed in 0u64..500) {
+        let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), seed);
+        let w = layer.random_weights(seed + 1);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        for spec in [CgraSpec::np_cgra(2, 2), CgraSpec::np_cgra(4, 4)] {
+            let (ofm, rep) = run_layer(&layer, &ifm, &w, &spec).unwrap();
+            prop_assert_eq!(&ofm, &golden);
+            prop_assert!(rep.utilization() <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Matmul-DWC agrees with the optimized mappings.
+    #[test]
+    fn matmul_dwc_agrees(layer in small_dwc(), seed in 0u64..500) {
+        let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), seed);
+        let w = layer.random_weights(seed + 2);
+        let spec = CgraSpec::np_cgra(4, 4);
+        let (a, _) = run_layer(&layer, &ifm, &w, &spec).unwrap();
+        let (b, _) = run_matmul_dwc(&layer, &ifm, &w, &spec).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The PWC mapping is exact for arbitrary geometry.
+    #[test]
+    fn pwc_mapping_is_exact(layer in small_pwc(), seed in 0u64..500) {
+        let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), seed);
+        let w = layer.random_weights(seed + 3);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (ofm, _) = run_layer(&layer, &ifm, &w, &CgraSpec::np_cgra(4, 4)).unwrap();
+        prop_assert_eq!(ofm, golden);
+    }
+
+    /// Timing-only estimates equal functional cycle counts for any layer.
+    #[test]
+    fn timing_matches_functional(layer in small_dwc(), seed in 0u64..200) {
+        let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), seed);
+        let w = layer.random_weights(seed + 4);
+        let spec = CgraSpec::np_cgra(4, 4);
+        let (_, functional) = run_layer(&layer, &ifm, &w, &spec).unwrap();
+        let timed = time_layer(&layer, &spec, MappingKind::Auto).unwrap();
+        prop_assert_eq!(functional.cycles, timed.cycles);
+        prop_assert_eq!(functional.compute_cycles, timed.compute_cycles);
+    }
+
+    /// The stride-1 optimized mapping never loses to the general mapping.
+    #[test]
+    fn s1_never_slower_than_general(c in 1usize..4, h in 8usize..24, w in 8usize..24) {
+        let layer = ConvLayer::depthwise("dw", c, h, w, 3, 1, 1);
+        let spec = CgraSpec::np_cgra(4, 4);
+        let opt = time_layer(&layer, &spec, MappingKind::Auto).unwrap();
+        // Force the general mapping by constructing it directly.
+        let cfg = npcgra::kernels::BlockCfg::choose_dwc(&spec, 3, 1, h, w);
+        let gen_cycles = npcgra::kernels::perf::dwc_general_layer_cycles(&layer, &spec, cfg);
+        prop_assert!(opt.compute_cycles <= gen_cycles);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The channel-batched mapping agrees with the golden reference for
+    /// arbitrary channel counts and spatial geometry (including short tail
+    /// groups when channels do not divide the batch).
+    #[test]
+    fn batched_dwc_is_exact(c in 1usize..40, h in 6usize..14, w in 6usize..14, seed in 0u64..200) {
+        let layer = ConvLayer::depthwise("dw", c, h, w, 3, 1, 1);
+        let ifm = Tensor::random(c, h, w, seed);
+        let weights = layer.random_weights(seed + 5);
+        let golden = reference::run_layer(&layer, &ifm, &weights).unwrap();
+        let spec = CgraSpec::np_cgra(4, 4);
+        let (ofm, _) = npcgra::sim::run_batched_dwc(&layer, &ifm, &weights, &spec).unwrap();
+        prop_assert_eq!(ofm, golden);
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end integration: every mapping, on several machine geometries,
+//! must be bit-exact against the golden reference convolutions.
+
+use npcgra::sim::{run_layer, run_matmul_dwc, run_standard_via_im2col};
+use npcgra::{reference, CgraSpec, ConvLayer, NpCgra, Tensor};
+
+fn machines() -> Vec<CgraSpec> {
+    vec![
+        CgraSpec::np_cgra(2, 2),
+        CgraSpec::np_cgra(4, 4),
+        CgraSpec::np_cgra(8, 8),
+        CgraSpec::np_cgra(4, 8),
+        CgraSpec::np_cgra(8, 4),
+    ]
+}
+
+#[test]
+fn pwc_exact_on_all_machines() {
+    let layer = ConvLayer::pointwise("pw", 10, 12, 9, 11);
+    let ifm = Tensor::random(10, 9, 11, 1);
+    let w = layer.random_weights(2);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+    for spec in machines() {
+        let (ofm, rep) = run_layer(&layer, &ifm, &w, &spec).unwrap();
+        assert_eq!(ofm, golden, "{}x{}", spec.rows, spec.cols);
+        assert!(rep.cycles >= rep.compute_cycles / 2);
+    }
+}
+
+#[test]
+fn dwc_s1_exact_on_all_machines() {
+    let layer = ConvLayer::depthwise("dw", 5, 17, 13, 3, 1, 1);
+    let ifm = Tensor::random(5, 17, 13, 3);
+    let w = layer.random_weights(4);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+    for spec in machines() {
+        let (ofm, _) = run_layer(&layer, &ifm, &w, &spec).unwrap();
+        assert_eq!(ofm, golden, "{}x{}", spec.rows, spec.cols);
+    }
+}
+
+#[test]
+fn dwc_s2_exact_on_all_machines() {
+    let layer = ConvLayer::depthwise("dw", 4, 18, 18, 3, 2, 1);
+    let ifm = Tensor::random(4, 18, 18, 5);
+    let w = layer.random_weights(6);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+    for spec in machines() {
+        let (ofm, _) = run_layer(&layer, &ifm, &w, &spec).unwrap();
+        assert_eq!(ofm, golden, "{}x{}", spec.rows, spec.cols);
+    }
+}
+
+#[test]
+fn dwc_stride3_uses_general_mapping() {
+    // The general mapping handles any stride, not just the MobileNet cases.
+    let layer = ConvLayer::depthwise("dw", 2, 20, 20, 3, 3, 1);
+    let ifm = Tensor::random(2, 20, 20, 7);
+    let w = layer.random_weights(8);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+    let (ofm, _) = run_layer(&layer, &ifm, &w, &CgraSpec::np_cgra(4, 4)).unwrap();
+    assert_eq!(ofm, golden);
+}
+
+#[test]
+fn dwc_5x5_kernel_exact() {
+    // K = 5 exercises longer EE/SS/EW walks and bigger V-MEM images.
+    let layer = ConvLayer::depthwise("dw", 3, 14, 14, 5, 1, 2);
+    let ifm = Tensor::random(3, 14, 14, 9);
+    let w = layer.random_weights(10);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+    for spec in [CgraSpec::np_cgra(4, 4), CgraSpec::np_cgra(8, 8)] {
+        let (ofm, _) = run_layer(&layer, &ifm, &w, &spec).unwrap();
+        assert_eq!(ofm, golden, "{}x{}", spec.rows, spec.cols);
+    }
+}
+
+#[test]
+fn matmul_dwc_exact_both_strides() {
+    for s in [1usize, 2] {
+        let layer = ConvLayer::depthwise("dw", 3, 12, 12, 3, s, 1);
+        let ifm = Tensor::random(3, 12, 12, 11);
+        let w = layer.random_weights(12);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let (ofm, _) = run_matmul_dwc(&layer, &ifm, &w, &CgraSpec::np_cgra(4, 4)).unwrap();
+        assert_eq!(ofm, golden, "stride {s}");
+    }
+}
+
+#[test]
+fn grouped_standard_conv_exact() {
+    // AlexNet-style grouped conv through im2col + PWC.
+    let layer = ConvLayer::standard("c", 8, 12, 10, 10, 5, 1, 2, 2);
+    let ifm = Tensor::random(8, 10, 10, 13);
+    let w = layer.random_weights(14);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+    let (ofm, rep) = run_standard_via_im2col(&layer, &ifm, &w, &CgraSpec::np_cgra(4, 4)).unwrap();
+    assert_eq!(ofm, golden);
+    assert!(rep.host_seconds > 0.0, "im2col host time is charged");
+}
+
+#[test]
+fn dsc_chain_through_the_facade() {
+    // A three-layer chain (dw-s1 -> pw -> dw-s2) run entirely on the
+    // machine, outputs feeding inputs.
+    let machine = NpCgra::new_4x4();
+    let dw1 = ConvLayer::depthwise("dw1", 6, 20, 20, 3, 1, 1);
+    let pw = ConvLayer::pointwise("pw", 6, 10, 20, 20);
+    let dw2 = ConvLayer::depthwise("dw2", 10, 20, 20, 3, 2, 1);
+
+    let ifm = Tensor::random(6, 20, 20, 21);
+    let (w1, w2, w3) = (dw1.random_weights(22), pw.random_weights(23), dw2.random_weights(24));
+
+    let (a, _) = machine.run_layer(&dw1, &ifm, &w1).unwrap();
+    let (b, _) = machine.run_layer(&pw, &a, &w2).unwrap();
+    let (c, _) = machine.run_layer(&dw2, &b, &w3).unwrap();
+
+    let ga = reference::run_layer(&dw1, &ifm, &w1).unwrap();
+    let gb = reference::run_layer(&pw, &ga, &w2).unwrap();
+    let gc = reference::run_layer(&dw2, &gb, &w3).unwrap();
+    assert_eq!(c, gc);
+}
+
+#[test]
+fn ablation_no_dual_mode_mac_fails_gracefully() {
+    // Without MAC chaining the NP mappings are illegal: the machine
+    // reports the violation instead of silently producing wrong cycles.
+    let mut spec = CgraSpec::np_cgra(4, 4);
+    spec.features.dual_mode_mac = false;
+    let layer = ConvLayer::pointwise("pw", 4, 4, 4, 4);
+    let ifm = Tensor::random(4, 4, 4, 1);
+    let w = layer.random_weights(2);
+    let err = run_layer(&layer, &ifm, &w, &spec).unwrap_err();
+    assert!(err.to_string().contains("MAC"), "{err}");
+}
+
+#[test]
+fn ablation_no_crossbar_breaks_dwc_layouts() {
+    // The Fig. 10/11 layouts require the AGU-bank crossbar; the baseline's
+    // parallel busses reject them (§5.2's correctness argument in reverse).
+    let mut spec = CgraSpec::np_cgra(4, 4);
+    spec.features.crossbar_vbus = false;
+    let layer = ConvLayer::depthwise("dw", 2, 16, 16, 3, 1, 1);
+    let ifm = Tensor::random(2, 16, 16, 1);
+    let w = layer.random_weights(2);
+    let err = run_layer(&layer, &ifm, &w, &spec).unwrap_err();
+    assert!(
+        err.to_string().contains("crossbar") || err.to_string().contains("MAC"),
+        "{err}"
+    );
+}
+
+#[test]
+fn unusual_kernel_sizes_exact() {
+    // K = 1 (pure per-pixel scale), K = 2 (even kernel; the boustrophedon
+    // walk has a single EW step) and K = 4 (even, GRF-resident at 16 taps)
+    // across both strides.
+    for (k, s, pad) in [(1usize, 1usize, 0usize), (2, 1, 0), (2, 2, 1), (4, 1, 1), (4, 2, 1)] {
+        let layer = ConvLayer::depthwise("dw", 3, 13, 15, k, s, pad);
+        let ifm = Tensor::random(3, 13, 15, (k * 10 + s) as u64);
+        let w = layer.random_weights(99);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        for spec in [CgraSpec::np_cgra(2, 3), CgraSpec::np_cgra(4, 4)] {
+            let (ofm, _) = run_layer(&layer, &ifm, &w, &spec).unwrap();
+            assert_eq!(ofm, golden, "K={k} S={s} pad={pad} on {}x{}", spec.rows, spec.cols);
+        }
+    }
+}
+
+#[test]
+fn wide_and_tall_feature_maps_exact() {
+    // Extreme aspect ratios stress the tiling/edge-block paths.
+    for (h, w) in [(1usize, 40usize), (40, 1), (2, 33), (33, 2)] {
+        let layer = ConvLayer::depthwise("dw", 2, h, w, 3, 1, 1);
+        let ifm = Tensor::random(2, h, w, 5);
+        let weights = layer.random_weights(6);
+        let golden = reference::run_layer(&layer, &ifm, &weights).unwrap();
+        let (ofm, _) = run_layer(&layer, &ifm, &weights, &CgraSpec::np_cgra(4, 4)).unwrap();
+        assert_eq!(ofm, golden, "{h}x{w}");
+    }
+}

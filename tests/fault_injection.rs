@@ -1,0 +1,90 @@
+//! Fault injection: deliberately break pieces of the mapping stack and
+//! verify the simulator *detects* the break (as a hardware-rule error or a
+//! functional mismatch) instead of silently producing plausible garbage.
+//! This is what gives the green test suite its teeth.
+
+use npcgra::kernels::dwc_general::padded_ifm;
+use npcgra::kernels::dwc_s1::DwcS1LayerMap;
+use npcgra::kernels::pwc::PwcLayerMap;
+use npcgra::{reference, CgraSpec, ConvLayer, Machine, Tensor};
+
+#[test]
+fn corrupted_h_bank_image_changes_the_output() {
+    // Flip one word in one bank image: some extracted output must differ
+    // from golden (the layouts carry no redundancy).
+    let spec = CgraSpec::np_cgra(4, 4);
+    let layer = ConvLayer::pointwise("pw", 8, 8, 4, 4);
+    let map = PwcLayerMap::new(&layer, &spec).unwrap();
+    let ifm = Tensor::random(8, 4, 4, 1);
+    let w = layer.random_weights(2);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+
+    let mut prog = map.materialize(0, &ifm, &w);
+    prog.h_banks[1][3] = prog.h_banks[1][3].wrapping_add(1);
+    let res = Machine::new(&spec).run_block(&prog).unwrap();
+    let mismatches = res.ofm.iter().filter(|&&(c, y, x, v)| v != golden.get(c, y, x)).count();
+    assert!(mismatches > 0, "a corrupted IFM word must surface in the output");
+}
+
+#[test]
+fn corrupted_grf_kernel_changes_dwc_output() {
+    let spec = CgraSpec::np_cgra(4, 4);
+    let layer = ConvLayer::depthwise("dw", 1, 8, 8, 3, 1, 1);
+    let map = DwcS1LayerMap::new(&layer, &spec).unwrap();
+    let ifm = Tensor::random(1, 8, 8, 3);
+    let padded = padded_ifm(&layer, &ifm);
+    let w = layer.random_weights(4);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+
+    let mut prog = map.materialize(0, &padded, &w);
+    prog.grf[4] = prog.grf[4].wrapping_add(7); // the centre tap
+    let res = Machine::new(&spec).run_block(&prog).unwrap();
+    let mismatches = res.ofm.iter().filter(|&&(c, y, x, v)| v != golden.get(c, y, x)).count();
+    assert!(mismatches > 0);
+}
+
+#[test]
+fn oversized_bank_image_is_rejected_not_truncated() {
+    let mut spec = CgraSpec::np_cgra(4, 4);
+    spec.hmem_bytes = 4 * 32 * 2; // 32 words per bank
+                                  // Plan against a machine with plenty of memory, run on the tiny one.
+    let big = CgraSpec::np_cgra(4, 4);
+    let layer = ConvLayer::pointwise("pw", 48, 8, 4, 4);
+    let map = PwcLayerMap::new(&layer, &big).unwrap();
+    let ifm = Tensor::random(48, 4, 4, 1);
+    let w = layer.random_weights(2);
+    let prog = map.materialize(0, &ifm, &w);
+    let err = Machine::new(&spec).run_block(&prog).unwrap_err();
+    assert!(err.to_string().contains("exceeds capacity"), "{err}");
+}
+
+#[test]
+fn truncated_grf_is_detected_at_the_broadcast_cycle() {
+    let spec = CgraSpec::np_cgra(4, 4);
+    let layer = ConvLayer::depthwise("dw", 1, 8, 8, 3, 1, 1);
+    let map = DwcS1LayerMap::new(&layer, &spec).unwrap();
+    let padded = padded_ifm(&layer, &Tensor::random(1, 8, 8, 5));
+    let w = layer.random_weights(6);
+    let mut prog = map.materialize(0, &padded, &w);
+    prog.grf.truncate(4); // kernel needs 9 entries
+    let err = Machine::new(&spec).run_block(&prog).unwrap_err();
+    assert!(err.to_string().contains("GRF index"), "{err}");
+}
+
+#[test]
+fn shifted_store_base_lands_outside_and_errors() {
+    // Point the OFM region past the bank: the store must fail loudly.
+    let spec = CgraSpec::np_cgra(4, 4);
+    let layer = ConvLayer::pointwise("pw", 8, 8, 4, 4);
+    let map = PwcLayerMap::new(&layer, &spec).unwrap();
+    let ifm = Tensor::random(8, 4, 4, 7);
+    let w = layer.random_weights(8);
+    let mut prog = map.materialize(0, &ifm, &w);
+    let words_per_bank = spec.hmem_bytes / spec.word_bytes / spec.rows;
+    prog.mapping = Box::new(npcgra::kernels::PwcMapping::new(8, &spec, words_per_bank));
+    let err = Machine::new(&spec).run_block(&prog).unwrap_err();
+    assert!(
+        err.to_string().contains("out of range") || err.to_string().contains("offset"),
+        "{err}"
+    );
+}

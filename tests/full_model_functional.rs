@@ -1,0 +1,97 @@
+//! Whole-model functional runs: every layer of a (scaled-down) MobileNet
+//! executes on the cycle-accurate machine, layer outputs feeding layer
+//! inputs, and the final tensor matches the golden reference computed
+//! entirely in software. This exercises the full mapping stack — im2col +
+//! PWC for the first standard conv, DWC-S1/DWC-general for the depthwise
+//! layers, PWC for the pointwise layers — across a realistic layer chain.
+
+use npcgra::nn::models;
+use npcgra::{reference, NpCgra, Tensor};
+
+fn run_model(machine: &NpCgra, model: &npcgra::Model, seed: u64) {
+    let first = &model.layers()[0];
+    let mut sim_t = Tensor::random(first.in_channels(), first.in_h(), first.in_w(), seed);
+    let mut gold_t = sim_t.clone();
+    for (i, layer) in model.layers().iter().enumerate() {
+        let w = layer.random_weights(seed + 100 + i as u64);
+        let (sim_out, report) = machine.run_layer(layer, &sim_t, &w).unwrap();
+        let gold_out = reference::run_layer(layer, &gold_t, &w).unwrap();
+        assert_eq!(sim_out, gold_out, "layer {} ({layer})", layer.name());
+        assert!(report.utilization() <= 1.0 + 1e-9, "{}", layer.name());
+        sim_t = sim_out;
+        gold_t = gold_out;
+    }
+}
+
+#[test]
+fn tiny_mobilenet_v1_end_to_end() {
+    // Width 0.25 at resolution 32: the full 27-layer V1 stack, cycle-
+    // accurately, in seconds.
+    let machine = NpCgra::new_4x4();
+    let model = models::mobilenet_v1(0.25, 32);
+    run_model(&machine, &model, 42);
+}
+
+#[test]
+fn tiny_mobilenet_v2_end_to_end_on_8x8() {
+    let machine = NpCgra::table4();
+    let model = models::mobilenet_v2(0.25, 32);
+    run_model(&machine, &model, 7);
+}
+
+#[test]
+fn parallel_execution_is_bit_identical() {
+    use npcgra::sim::{run_layer, run_layer_parallel};
+    let spec = *NpCgra::new_4x4().spec();
+    let layer = npcgra::ConvLayer::depthwise("dw", 16, 24, 24, 3, 1, 1);
+    let ifm = Tensor::random(16, 24, 24, 11);
+    let w = layer.random_weights(12);
+    let (seq, seq_rep) = run_layer(&layer, &ifm, &w, &spec).unwrap();
+    for threads in [1usize, 2, 4, 7] {
+        let (par, par_rep) = run_layer_parallel(&layer, &ifm, &w, &spec, threads).unwrap();
+        assert_eq!(par, seq, "{threads} threads");
+        assert_eq!(par_rep.cycles, seq_rep.cycles);
+        assert_eq!(par_rep.compute_cycles, seq_rep.compute_cycles);
+    }
+}
+
+/// The *actual* Table 5 layers (112×112 MobileNet V1 geometry), functionally
+/// bit-exact. ~40 M simulated PE-operations; ignored by default so the
+/// regular suite stays quick — run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "heavy: full-size Table 5 layers, run with --release -- --ignored"]
+fn table5_layers_full_size_functional() {
+    use npcgra::sim::run_layer_parallel;
+    let spec = *NpCgra::new_4x4().spec();
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let (pw, dw1, dw2) = models::table5_layers();
+    for layer in [&pw, &dw1, &dw2] {
+        let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), 99);
+        let w = layer.random_weights(100);
+        let (ofm, report) = run_layer_parallel(layer, &ifm, &w, &spec, threads).unwrap();
+        let golden = reference::run_layer(layer, &ifm, &w).unwrap();
+        assert_eq!(ofm, golden, "{}", layer.name());
+        // And the latency lands on the Table 5 value.
+        let paper_ms = match layer.name() {
+            "pw1" => 3.72,
+            "dw1" => 0.92,
+            _ => 0.81,
+        };
+        assert!(
+            (report.ms() - paper_ms).abs() / paper_ms < 0.10,
+            "{}: {:.3} ms",
+            layer.name(),
+            report.ms()
+        );
+    }
+}
+
+#[test]
+fn tiny_mobilenet_v3_small_end_to_end() {
+    // V3-Small brings 5x5 depthwise kernels: K*K = 25 exceeds the GRF, so
+    // Auto routes them through the general mapping — verified bit-exactly
+    // across the whole conv skeleton.
+    let machine = NpCgra::table4();
+    let model = models::mobilenet_v3_small(32);
+    run_model(&machine, &model, 13);
+}
