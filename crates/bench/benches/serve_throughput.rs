@@ -1,0 +1,86 @@
+//! Benchmarks of the batching inference server: request throughput and
+//! per-request latency as the worker-shard count and the maximum dynamic
+//! batch size vary.
+//!
+//! Each iteration starts a server, registers a small DSC model pair, pushes
+//! a fixed closed-loop workload through it and shuts down — so the numbers
+//! include batch formation and program-cache lookups, not just raw
+//! simulation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use npcgra::nn::{ConvLayer, Tensor};
+use npcgra::serve::{ServeConfig, Server};
+use npcgra_bench::spec_4x4;
+
+const REQUESTS: usize = 24;
+const CLIENTS: usize = 4;
+
+/// Run a fixed mixed dw/pw workload through a server; returns completed
+/// requests (asserted, so misconfigurations fail loudly).
+fn drive(config: ServeConfig) -> u64 {
+    let server = Server::start(config);
+    let dw = ConvLayer::depthwise("dw", 4, 16, 16, 3, 1, 1);
+    let pw = ConvLayer::pointwise("pw", 8, 8, 8, 8);
+    let dw_id = server.register("dw", dw.clone(), dw.random_weights(1)).expect("register dw");
+    let pw_id = server.register("pw", pw.clone(), pw.random_weights(2)).expect("register pw");
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let server = &server;
+            scope.spawn(move || {
+                for r in 0..REQUESTS / CLIENTS {
+                    let (id, input) = if r % 2 == 0 {
+                        (dw_id, Tensor::random(4, 16, 16, (c * 100 + r) as u64))
+                    } else {
+                        (pw_id, Tensor::random(8, 8, 8, (c * 100 + r) as u64))
+                    };
+                    let ticket = server.submit(id, input).expect("submit");
+                    ticket.wait().expect("response");
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, REQUESTS as u64);
+    stats.completed
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve/workers");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Elements(REQUESTS as u64));
+    for workers in [1usize, 2, 4] {
+        let config = ServeConfig::for_spec(&spec_4x4())
+            .with_workers(workers)
+            .with_max_batch(4)
+            .with_max_linger(Duration::from_micros(200));
+        g.bench_function(format!("w{workers}"), |b| {
+            b.iter(|| black_box(drive(config)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve/max_batch");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Elements(REQUESTS as u64));
+    for max_batch in [1usize, 2, 4] {
+        let config = ServeConfig::for_spec(&spec_4x4())
+            .with_workers(2)
+            .with_max_batch(max_batch)
+            .with_max_linger(Duration::from_micros(200));
+        g.bench_function(format!("b{max_batch}"), |b| {
+            b.iter(|| black_box(drive(config)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(serve_throughput, bench_worker_scaling, bench_batch_scaling);
+criterion_main!(serve_throughput);

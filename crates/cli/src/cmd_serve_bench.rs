@@ -1,0 +1,117 @@
+//! `serve-bench` — closed-loop load generator for the inference server.
+//!
+//! Registers the DSC layers of MobileNet V1 and/or V2 as models, then runs
+//! N closed-loop client threads (each waits for its reply before sending
+//! the next request) against a worker-shard server and prints the serving
+//! statistics: throughput, p50/p95/p99 latency, batch-size histogram,
+//! program-cache hit rate and per-worker utilization.
+
+use npcgra::nn::{models, Tensor};
+use npcgra::serve::{ModelId, ServeConfig, ServeError, Server};
+
+use crate::args::Flags;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let spec = flags.machine()?;
+    let workers: usize = parse_or(&flags, "workers", 4)?;
+    let clients: usize = parse_or(&flags, "clients", 8)?;
+    let requests: usize = parse_or(&flags, "requests", 160)?;
+    let max_batch: usize = parse_or(&flags, "max-batch", 4)?;
+    let linger_us: u64 = parse_or(&flags, "linger-us", 500)?;
+    let alpha: f64 = parse_or(&flags, "alpha", 0.25)?;
+    let res: usize = parse_or(&flags, "res", 32)?;
+    let deadline_ms: u64 = parse_or(&flags, "deadline-ms", 0)?;
+    let which = flags.get("model").unwrap_or("mixed");
+    if res == 0 || !res.is_multiple_of(32) {
+        return Err(format!("--res must be a positive multiple of 32, got {res}"));
+    }
+
+    let config = ServeConfig::for_spec(&spec)
+        .with_workers(workers)
+        .with_max_batch(max_batch)
+        .with_max_linger(std::time::Duration::from_micros(linger_us))
+        .with_default_deadline((deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)));
+
+    let mut model_tables = Vec::new();
+    match which {
+        "v1" => model_tables.push(models::mobilenet_v1(alpha, res)),
+        "v2" => model_tables.push(models::mobilenet_v2(alpha, res)),
+        "mixed" => {
+            model_tables.push(models::mobilenet_v1(alpha, res));
+            model_tables.push(models::mobilenet_v2(alpha, res));
+        }
+        other => return Err(format!("--model must be v1|v2|mixed, got '{other}'")),
+    }
+
+    let server = Server::start(config);
+    let mut endpoints: Vec<ModelId> = Vec::new();
+    for (mi, model) in model_tables.iter().enumerate() {
+        for layer in model.dsc_layers() {
+            let named = layer.renamed(&format!("{}.{}", model.name(), layer.name()));
+            let weights = named.random_weights(0xC0FFEE + mi as u64);
+            let id = server
+                .register(&format!("{}.{}", model.name(), layer.name()), named, weights)
+                .map_err(|e| format!("registering {}: {e}", layer.name()))?;
+            endpoints.push(id);
+        }
+    }
+    println!(
+        "serve-bench: {} models over {} worker shard(s) of a {}x{} machine, {} closed-loop clients, {} requests",
+        endpoints.len(),
+        workers,
+        spec.rows,
+        spec.cols,
+        clients,
+        requests
+    );
+
+    let server_ref = &server;
+    let endpoints_ref = &endpoints;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let per_client = requests / clients + usize::from(c < requests % clients);
+                for r in 0..per_client {
+                    // All clients target the same endpoint each round, so
+                    // same-model requests arrive close together and the
+                    // dynamic batcher has work to do.
+                    let id = endpoints_ref[r % endpoints_ref.len()];
+                    let seed = (c * 1_000 + r) as u64;
+                    loop {
+                        let input = input_for(server_ref, id, seed);
+                        match server_ref.submit(id, input) {
+                            Ok(ticket) => {
+                                // Closed loop: wait for the reply (shed
+                                // requests count in the stats, not here).
+                                let _ = ticket.wait();
+                                break;
+                            }
+                            Err(ServeError::QueueFull { .. }) => {
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("submit failed: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = server.shutdown();
+    println!("{stats}");
+    Ok(())
+}
+
+/// A deterministic random input matching the model's IFM shape.
+fn input_for(server: &Server, id: ModelId, seed: u64) -> Tensor {
+    let shape = server.model_shape(id).expect("registered model");
+    Tensor::random(shape.0, shape.1, shape.2, seed)
+}
+
+fn parse_or<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: bad value '{v}'")),
+    }
+}

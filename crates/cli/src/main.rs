@@ -6,12 +6,14 @@
 //! npcgra trace      --kind dw --channels 2 --size 8x8 [--machine 2x2] [--cycles 40]
 //! npcgra energy     --kind dw --channels 8 --size 24x24 [--mapping auto|matmul|batched]
 //! npcgra disasm     --kind dw --channels 1 --size 8x8 [--machine 2x2] [--relu]
+//! npcgra serve-bench [--workers 4] [--clients 8] [--requests 160] [--max-batch 4] [--model v1|v2|mixed]
 //! ```
 
 mod args;
 mod cmd_disasm;
 mod cmd_energy;
 mod cmd_run_layer;
+mod cmd_serve_bench;
 mod cmd_time_model;
 mod cmd_trace;
 
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace::run(rest),
         "energy" => cmd_energy::run(rest),
         "disasm" => cmd_disasm::run(rest),
+        "serve-bench" => cmd_serve_bench::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -54,6 +57,7 @@ commands:
   trace       dump a cycle-by-cycle execution trace of one block
   energy      first-order energy estimate of one layer
   disasm      disassemble a mapping's configuration memory (Fig. 3 view)
+  serve-bench closed-loop load test of the batching inference server
 
 common flags:
   --machine RxC       array size (default 8x8, the Table 4 machine)
@@ -66,4 +70,6 @@ common flags:
   --model v1|v2|alexnet, --alpha A, --res R (time-model)
   --batched           use §5.4 channel batching where it helps (time-model)
   --cycles N          max trace lines (trace)
+  --workers N, --clients N, --requests N, --max-batch N, --linger-us N,
+  --deadline-ms N     serve-bench load-generator knobs
 ";

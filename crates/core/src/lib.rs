@@ -42,6 +42,7 @@
 //! | [`sim`] | the cycle-accurate machine and layer runners |
 //! | [`baseline`] | CCF compiler model and the Table 1 analysis |
 //! | [`area`] | calibrated area model, scaling, ADP, Table 6 comparators |
+//! | [`serve`] | sharded, batching inference server over the simulator |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,12 +54,14 @@ pub use npcgra_baseline as baseline;
 pub use npcgra_kernels as kernels;
 pub use npcgra_mem as mem;
 pub use npcgra_nn as nn;
+pub use npcgra_serve as serve;
 pub use npcgra_sim as sim;
 
 pub use npcgra_arch::{CgraFeatures, CgraSpec};
 pub use npcgra_area::{adp, Adp, AreaBreakdown, AreaModel};
 pub use npcgra_nn::{reference, ConvKind, ConvLayer, Matrix, Model, Tensor};
-pub use npcgra_sim::{LayerReport, Machine, MappingKind, SimError};
+pub use npcgra_serve::{ServeConfig, ServeError, Server};
+pub use npcgra_sim::{CompiledLayer, LayerReport, Machine, MappingKind, SimError};
 
 use npcgra_nn::ConvKind as Kind;
 

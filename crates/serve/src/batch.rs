@@ -1,0 +1,165 @@
+//! Dynamic batch assembly: coalesce B same-model requests into one
+//! simulator run, bit-exactly.
+//!
+//! Depthwise convolution treats channels independently, so B requests
+//! concatenate along the channel axis into one C·B-channel layer with the
+//! kernel set tiled B times — exactly the workload shape the §5.4
+//! channel-batched mapping was designed for. Pointwise convolution treats
+//! pixels independently (k = 1, s = 1, no padding), so B requests
+//! concatenate along the row axis into one H·B-row layer sharing the
+//! original weights. Either way, every output word is computed from the
+//! same inputs and weights as in a solo run, so batching cannot change a
+//! single bit — the serving integration test asserts this against the
+//! golden reference.
+//!
+//! Standard convolution (im2col on the host) has no batched mapping and
+//! runs one request at a time.
+
+use npcgra_nn::{ConvKind, ConvLayer, Tensor};
+
+/// Whether the server may coalesce requests for this layer.
+pub(crate) fn batchable(layer: &ConvLayer) -> bool {
+    matches!(layer.kind(), ConvKind::Depthwise | ConvKind::Pointwise)
+}
+
+/// The combined layer descriptor for a batch of `b` requests.
+///
+/// The name encodes only the batch size — the program cache normalizes
+/// names away, so every model with this geometry and batch size shares one
+/// compiled program.
+pub(crate) fn combined_layer(layer: &ConvLayer, b: usize) -> ConvLayer {
+    assert!(b >= 1);
+    match layer.kind() {
+        ConvKind::Depthwise => ConvLayer::depthwise(
+            &format!("batch{b}"),
+            layer.in_channels() * b,
+            layer.in_h(),
+            layer.in_w(),
+            layer.k(),
+            layer.s(),
+            layer.pad(),
+        )
+        .with_activation(layer.activation()),
+        ConvKind::Pointwise => ConvLayer::pointwise(
+            &format!("batch{b}"),
+            layer.in_channels(),
+            layer.out_channels(),
+            layer.in_h() * b,
+            layer.in_w(),
+        )
+        .with_activation(layer.activation()),
+        ConvKind::Standard => unreachable!("standard convolution is never batched"),
+    }
+}
+
+/// Concatenate the batch's IFMs: channel-major for depthwise, row-major for
+/// pointwise.
+pub(crate) fn combined_ifm(layer: &ConvLayer, inputs: &[&Tensor]) -> Tensor {
+    let b = inputs.len();
+    match layer.kind() {
+        ConvKind::Depthwise => {
+            let c = layer.in_channels();
+            Tensor::from_fn(c * b, layer.in_h(), layer.in_w(), |ch, y, x| inputs[ch / c].get(ch % c, y, x))
+        }
+        ConvKind::Pointwise => {
+            let h = layer.in_h();
+            Tensor::from_fn(layer.in_channels(), h * b, layer.in_w(), |ch, y, x| {
+                inputs[y / h].get(ch, y % h, x)
+            })
+        }
+        ConvKind::Standard => unreachable!("standard convolution is never batched"),
+    }
+}
+
+/// The weight tensor for the combined layer: tiled B times for depthwise
+/// (one kernel set per request slot, all identical — requests share the
+/// model), unchanged for pointwise.
+pub(crate) fn combined_weights(layer: &ConvLayer, weights: &Tensor, b: usize) -> Tensor {
+    match layer.kind() {
+        ConvKind::Depthwise => {
+            let c = layer.in_channels();
+            Tensor::from_fn(c * b, weights.height(), weights.width(), |ch, y, x| weights.get(ch % c, y, x))
+        }
+        ConvKind::Pointwise => weights.clone(),
+        ConvKind::Standard => unreachable!("standard convolution is never batched"),
+    }
+}
+
+/// Split the combined OFM back into one tensor per request, inverting
+/// [`combined_ifm`]'s concatenation.
+pub(crate) fn split_ofm(layer: &ConvLayer, b: usize, combined: &Tensor) -> Vec<Tensor> {
+    match layer.kind() {
+        ConvKind::Depthwise => {
+            let c = layer.out_channels();
+            (0..b)
+                .map(|i| Tensor::from_fn(c, layer.out_h(), layer.out_w(), |ch, y, x| combined.get(i * c + ch, y, x)))
+                .collect()
+        }
+        ConvKind::Pointwise => {
+            let h = layer.out_h();
+            (0..b)
+                .map(|i| {
+                    Tensor::from_fn(layer.out_channels(), h, layer.out_w(), |ch, y, x| {
+                        combined.get(ch, i * h + y, x)
+                    })
+                })
+                .collect()
+        }
+        ConvKind::Standard => unreachable!("standard convolution is never batched"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npcgra_nn::reference;
+
+    /// Batched run through the *reference* model equals per-request runs —
+    /// the independence argument above, checked end to end.
+    #[test]
+    fn batch_roundtrip_is_bit_exact_on_reference() {
+        for layer in [
+            ConvLayer::depthwise("dw", 3, 8, 9, 3, 1, 1),
+            ConvLayer::depthwise("dw2", 2, 9, 9, 3, 2, 1),
+            ConvLayer::pointwise("pw", 6, 5, 4, 7),
+        ] {
+            let b = 3;
+            let w = layer.random_weights(7);
+            let inputs: Vec<Tensor> = (0..b)
+                .map(|i| Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), 100 + i as u64))
+                .collect();
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+
+            let big = combined_layer(&layer, b);
+            let big_ifm = combined_ifm(&layer, &refs);
+            let big_w = combined_weights(&layer, &w, b);
+            let big_ofm = reference::run_layer(&big, &big_ifm, &big_w).unwrap();
+            let outs = split_ofm(&layer, b, &big_ofm);
+
+            for (i, ifm) in inputs.iter().enumerate() {
+                let solo = reference::run_layer(&layer, ifm, &w).unwrap();
+                assert_eq!(outs[i], solo, "{} request {i}", layer.name());
+            }
+        }
+    }
+
+    #[test]
+    fn combined_geometry() {
+        let dw = ConvLayer::depthwise("dw", 4, 10, 10, 3, 1, 1);
+        let big = combined_layer(&dw, 3);
+        assert_eq!(big.in_channels(), 12);
+        assert_eq!(big.out_h(), dw.out_h());
+
+        let pw = ConvLayer::pointwise("pw", 4, 6, 10, 10);
+        let big = combined_layer(&pw, 3);
+        assert_eq!(big.in_h(), 30);
+        assert_eq!(big.out_channels(), 6);
+    }
+
+    #[test]
+    fn only_dsc_layers_are_batchable() {
+        assert!(batchable(&ConvLayer::depthwise("d", 2, 8, 8, 3, 1, 1)));
+        assert!(batchable(&ConvLayer::pointwise("p", 2, 2, 8, 8)));
+        assert!(!batchable(&ConvLayer::standard("s", 3, 4, 8, 8, 3, 1, 1, 1)));
+    }
+}

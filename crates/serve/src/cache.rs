@@ -1,0 +1,183 @@
+//! Compiled-program cache.
+//!
+//! Mapping a layer onto a machine spec — tiling, block geometry, AGU
+//! schedule — is pure and data-independent, so the server compiles each
+//! distinct configuration once and shares the [`CompiledLayer`] across all
+//! worker shards via `Arc`. The cache key is the *configuration*, not the
+//! request: the layer descriptor with its name normalized away (two models
+//! registering the same geometry share one program), the machine spec
+//! (with float fields keyed by their bit patterns, so distinct clocks or
+//! bandwidths never alias), and the requested [`MappingKind`].
+//!
+//! Dynamically-formed batch layers flow through the same cache: after the
+//! first batch of a given (model, batch-size) shape, its program is a hit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use npcgra_arch::CgraSpec;
+use npcgra_nn::ConvLayer;
+use npcgra_sim::{CompiledLayer, MappingKind, SimError};
+
+/// Hashable image of a [`CgraSpec`]: float fields by bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SpecKey {
+    rows: usize,
+    cols: usize,
+    word_bytes: usize,
+    clock_bits: u64,
+    features: npcgra_arch::CgraFeatures,
+    hmem_bytes: usize,
+    vmem_bytes: usize,
+    mem_sets: usize,
+    dram_bandwidth_bits: u64,
+    dma_latency_cycles: u64,
+    config_contexts: usize,
+}
+
+impl SpecKey {
+    fn of(spec: &CgraSpec) -> Self {
+        SpecKey {
+            rows: spec.rows,
+            cols: spec.cols,
+            word_bytes: spec.word_bytes,
+            clock_bits: spec.clock_hz.to_bits(),
+            features: spec.features,
+            hmem_bytes: spec.hmem_bytes,
+            vmem_bytes: spec.vmem_bytes,
+            mem_sets: spec.mem_sets,
+            dram_bandwidth_bits: spec.dram_bandwidth.to_bits(),
+            dma_latency_cycles: spec.dma_latency_cycles,
+            config_contexts: spec.config_contexts,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// The layer with its name normalized away — geometry, stride, padding
+    /// and activation are what determine the program.
+    layer: ConvLayer,
+    spec: SpecKey,
+    kind: MappingKind,
+}
+
+/// A shared, thread-safe cache of compiled layer programs.
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    map: RwLock<HashMap<CacheKey, Arc<CompiledLayer>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramCache::default()
+    }
+
+    /// Fetch the compiled program for `(layer, spec, kind)`, compiling and
+    /// inserting it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compile error if the layer cannot be mapped; failed
+    /// configurations are not cached (a later call retries).
+    pub fn get_or_compile(&self, layer: &ConvLayer, spec: &CgraSpec, kind: MappingKind) -> Result<Arc<CompiledLayer>, SimError> {
+        let key = CacheKey {
+            layer: layer.renamed(""),
+            spec: SpecKey::of(spec),
+            kind,
+        };
+        if let Some(hit) = self.map.read().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Compile outside the lock; racing threads may both compile, the
+        // first insert wins and the duplicate is dropped.
+        let compiled = Arc::new(CompiledLayer::compile(layer, spec, kind)?);
+        let mut map = self.map.write().expect("cache lock");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&compiled));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::clone(entry))
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (compilations) so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct configurations cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CgraSpec {
+        CgraSpec::np_cgra(4, 4)
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ProgramCache::new();
+        let layer = ConvLayer::pointwise("pw", 8, 8, 4, 4);
+        let a = cache.get_or_compile(&layer, &spec(), MappingKind::Auto).unwrap();
+        let b = cache.get_or_compile(&layer, &spec(), MappingKind::Auto).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn name_is_normalized_away() {
+        let cache = ProgramCache::new();
+        let a = ConvLayer::pointwise("model-a.pw3", 8, 8, 4, 4);
+        let b = ConvLayer::pointwise("model-b.expand", 8, 8, 4, 4);
+        cache.get_or_compile(&a, &spec(), MappingKind::Auto).unwrap();
+        cache.get_or_compile(&b, &spec(), MappingKind::Auto).unwrap();
+        assert_eq!(cache.len(), 1, "same geometry shares one program");
+    }
+
+    #[test]
+    fn distinct_specs_do_not_alias() {
+        let cache = ProgramCache::new();
+        let layer = ConvLayer::pointwise("pw", 8, 8, 4, 4);
+        let mut fast = spec();
+        fast.clock_hz *= 2.0;
+        cache.get_or_compile(&layer, &spec(), MappingKind::Auto).unwrap();
+        cache.get_or_compile(&layer, &fast, MappingKind::Auto).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn failed_compiles_are_not_cached() {
+        let cache = ProgramCache::new();
+        let std_layer = ConvLayer::standard("c", 3, 4, 8, 8, 3, 1, 1, 1);
+        assert!(cache.get_or_compile(&std_layer, &spec(), MappingKind::Auto).is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Server configuration.
+
+use std::time::Duration;
+
+use npcgra_arch::CgraSpec;
+
+/// Configuration for a [`Server`](crate::Server).
+///
+/// The defaults describe a small deployment: four worker shards of the
+/// paper's Table 4 NP-CGRA, batches of up to four same-model requests
+/// coalesced within a two-millisecond linger window, and a bounded queue
+/// of 256 requests with no default deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Machine spec each worker shard simulates.
+    pub spec: CgraSpec,
+    /// Number of worker shards, each owning one simulated machine.
+    ///
+    /// `0` is allowed and means "no drain": every accepted request stays
+    /// queued until [`shutdown`](crate::Server::shutdown) rejects it. Useful
+    /// for deterministic admission-control tests.
+    pub workers: usize,
+    /// Maximum requests queued (over all models) before admission control
+    /// sheds load with [`ServeError::QueueFull`](crate::ServeError::QueueFull).
+    pub queue_capacity: usize,
+    /// Maximum same-model requests coalesced into one batched simulator run.
+    pub max_batch: usize,
+    /// How long a request may linger at the head of its queue waiting for
+    /// batch-mates before a worker runs a partial batch.
+    pub max_linger: Duration,
+    /// Deadline applied to requests submitted without an explicit one.
+    /// `None` means such requests never expire.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            spec: CgraSpec::table4(),
+            workers: 4,
+            queue_capacity: 256,
+            max_batch: 4,
+            max_linger: Duration::from_millis(2),
+            default_deadline: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration over a given machine spec.
+    #[must_use]
+    pub fn for_spec(spec: &CgraSpec) -> Self {
+        ServeConfig {
+            spec: *spec,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Set the worker-shard count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the admission-control queue bound.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the maximum dynamic batch size.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Set the batching linger window.
+    #[must_use]
+    pub fn with_max_linger(mut self, linger: Duration) -> Self {
+        self.max_linger = linger;
+        self
+    }
+
+    /// Set the default per-request deadline.
+    #[must_use]
+    pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let c = ServeConfig::for_spec(&CgraSpec::np_cgra(4, 4))
+            .with_workers(2)
+            .with_queue_capacity(8)
+            .with_max_batch(3)
+            .with_max_linger(Duration::from_millis(5))
+            .with_default_deadline(Some(Duration::from_secs(1)));
+        assert_eq!(c.workers, 2);
+        assert_eq!(c.queue_capacity, 8);
+        assert_eq!(c.max_batch, 3);
+        assert_eq!(c.max_linger, Duration::from_millis(5));
+        assert_eq!(c.default_deadline, Some(Duration::from_secs(1)));
+        assert_eq!(c.spec.rows, 4);
+    }
+
+    #[test]
+    fn max_batch_is_at_least_one() {
+        assert_eq!(ServeConfig::default().with_max_batch(0).max_batch, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Typed serving errors.
+//!
+//! Admission control and load shedding surface as values, never panics: a
+//! closed-loop client can match on the variant to decide whether to retry
+//! (queue full), give up (deadline) or stop (shutting down).
+
+use std::fmt;
+
+use npcgra_sim::SimError;
+
+/// Why the server rejected (or failed) a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control: the bounded queue is at capacity; retry later.
+    QueueFull {
+        /// The configured capacity the queue was at.
+        capacity: usize,
+    },
+    /// The request's deadline passed before a worker started its batch.
+    DeadlineExceeded,
+    /// The server is shutting down and no longer accepts (or can run) work.
+    ShuttingDown,
+    /// The referenced model was never registered.
+    UnknownModel,
+    /// The input tensor does not match the model's IFM shape.
+    ShapeMismatch {
+        /// Shape the model expects, `(channels, height, width)`.
+        expected: (usize, usize, usize),
+        /// Shape the request carried.
+        got: (usize, usize, usize),
+    },
+    /// The simulator rejected the layer (mapping or hardware-rule failure).
+    Sim(SimError),
+    /// The worker shard died before replying (a bug — workers don't panic).
+    WorkerLost,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => write!(f, "queue full (capacity {capacity}); request shed"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::UnknownModel => write!(f, "unknown model id"),
+            ServeError::ShapeMismatch { expected, got } => {
+                write!(f, "input shape {got:?} does not match model IFM shape {expected:?}")
+            }
+            ServeError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ServeError::WorkerLost => write!(f, "worker shard lost before reply"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        assert!(ServeError::QueueFull { capacity: 8 }.to_string().contains("capacity 8"));
+        let e = ServeError::ShapeMismatch {
+            expected: (3, 8, 8),
+            got: (3, 4, 4),
+        };
+        assert!(e.to_string().contains("(3, 8, 8)"));
+        assert!(e.to_string().contains("(3, 4, 4)"));
+    }
+}

@@ -1,0 +1,57 @@
+//! `npcgra-serve` — a sharded, batching inference server over the
+//! cycle-accurate NP-CGRA simulator.
+//!
+//! The simulator executes one layer at a time; this crate turns it into a
+//! multi-tenant service the way a real accelerator deployment would:
+//!
+//! * **Worker shards** — each worker thread owns one simulated
+//!   [`Machine`](npcgra_sim::Machine) and drains a shared work queue, so
+//!   throughput scales with host cores exactly as a rack of NP-CGRA boards
+//!   would scale with devices.
+//! * **Dynamic batching** — same-model requests arriving within a linger
+//!   window coalesce into one simulator run: depthwise requests concatenate
+//!   along the channel axis (the §5.4 channel-batched DWC mapping's natural
+//!   shape), pointwise requests along the row axis. Batching is bit-exact
+//!   by construction — see [`crate::batch`]'s module docs for the argument.
+//! * **Compiled-program cache** — mapping a layer (tiling + AGU schedule)
+//!   is pure and data-independent, so it happens once per distinct
+//!   (layer geometry, machine spec, mapping) configuration and is shared
+//!   across shards as an [`Arc<CompiledLayer>`](npcgra_sim::CompiledLayer);
+//!   the cache hit rate is reported in the stats.
+//! * **Admission control** — a bounded queue sheds load with typed errors
+//!   ([`ServeError::QueueFull`]), per-request deadlines are enforced at
+//!   batch formation ([`ServeError::DeadlineExceeded`]), and shutdown
+//!   drains gracefully.
+//!
+//! Everything is std threads and channels — no async runtime.
+//!
+//! ```
+//! use npcgra_nn::{ConvLayer, Tensor};
+//! use npcgra_serve::{ServeConfig, Server};
+//!
+//! let server = Server::start(ServeConfig::default().with_workers(2));
+//! let layer = ConvLayer::depthwise("dw", 3, 16, 16, 3, 1, 1);
+//! let weights = layer.random_weights(1);
+//! let model = server.register("demo", layer, weights).unwrap();
+//! let ticket = server.submit(model, Tensor::random(3, 16, 16, 2)).unwrap();
+//! let response = ticket.wait().unwrap();
+//! assert_eq!(response.output.channels(), 3);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub(crate) mod batch;
+pub mod cache;
+pub mod config;
+pub mod error;
+pub mod server;
+pub mod stats;
+
+pub use cache::ProgramCache;
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use server::{ModelId, Response, Server, Ticket};
+pub use stats::StatsSnapshot;

@@ -1,0 +1,503 @@
+//! The worker-shard server: admission, queueing, batching, execution.
+//!
+//! Each worker thread owns one simulated [`Machine`] (a "shard") and drains
+//! a shared, bounded, per-model work queue. A worker forms a batch when a
+//! model's queue reaches `max_batch`, when its oldest request has lingered
+//! `max_linger`, or when the server is draining for shutdown — whichever
+//! comes first — then coalesces the requests with [`crate::batch`], fetches
+//! the compiled program from the shared [`ProgramCache`], and runs the
+//! batch on its own machine. Requests whose deadline passed while queued
+//! are shed at batch formation, before any simulation work is spent on
+//! them.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use npcgra_nn::{ConvKind, ConvLayer, Tensor};
+use npcgra_sim::{run_standard_via_im2col, LayerReport, Machine, MappingKind};
+
+use crate::batch;
+use crate::cache::ProgramCache;
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::stats::{Stats, StatsSnapshot};
+
+/// Handle to a registered model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelId(usize);
+
+/// A completed inference.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The output feature map, bit-exact with a solo run of the model.
+    pub output: Tensor,
+    /// Simulated-hardware performance report for the run that produced
+    /// this output (shared by all requests coalesced into the batch).
+    pub report: LayerReport,
+    /// How many requests the executing batch coalesced.
+    pub batch_size: usize,
+    /// Which worker shard ran the batch.
+    pub worker: usize,
+    /// Queue + execution time, from admission to reply.
+    pub latency: Duration,
+}
+
+/// The receive side of one request; redeemed with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response, ServeError>>,
+}
+
+impl Ticket {
+    /// Block until the request completes or is shed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed rejection ([`ServeError::DeadlineExceeded`],
+    /// [`ServeError::ShuttingDown`], …) or the simulation failure.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+}
+
+struct ModelEntry {
+    name: String,
+    layer: ConvLayer,
+    weights: Arc<Tensor>,
+}
+
+struct Pending {
+    input: Tensor,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Result<Response, ServeError>>,
+}
+
+struct QueueState {
+    /// One FIFO per registered model, indexed by [`ModelId`].
+    queues: Vec<VecDeque<Pending>>,
+    /// Total requests queued across all models (admission-control bound).
+    total: usize,
+    /// Cleared by shutdown; workers then drain and exit.
+    open: bool,
+}
+
+struct Shared {
+    config: ServeConfig,
+    models: RwLock<Vec<ModelEntry>>,
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    cache: ProgramCache,
+    stats: Stats,
+    started: Instant,
+}
+
+/// A sharded, batching inference server over the cycle-accurate simulator.
+///
+/// See the [crate docs](crate) for the architecture; see
+/// [`ServeConfig`] for tuning knobs.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start the server: spawns `config.workers` worker-shard threads.
+    #[must_use]
+    pub fn start(config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            stats: Stats::new(config.workers, config.max_batch),
+            config,
+            models: RwLock::new(Vec::new()),
+            queue: Mutex::new(QueueState {
+                queues: Vec::new(),
+                total: 0,
+                open: true,
+            }),
+            ready: Condvar::new(),
+            cache: ProgramCache::new(),
+            started: Instant::now(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("npcgra-serve-{i}"))
+                    .spawn(move || worker_main(&shared, i))
+                    .expect("spawn worker shard")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Register a model (one DSC or standard layer with its weights) and
+    /// eagerly compile its program into the shared cache, so no request
+    /// ever pays for mapping compilation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShapeMismatch`] if `weights` does not have the shape
+    /// [`ConvLayer::random_weights`] documents for the layer kind;
+    /// [`ServeError::Sim`] if the layer cannot be mapped onto the spec.
+    pub fn register(&self, name: &str, layer: ConvLayer, weights: Tensor) -> Result<ModelId, ServeError> {
+        let expected = expected_weight_shape(&layer);
+        let got = (weights.channels(), weights.height(), weights.width());
+        if got != expected {
+            return Err(ServeError::ShapeMismatch { expected, got });
+        }
+        if layer.kind() != ConvKind::Standard {
+            self.shared
+                .cache
+                .get_or_compile(&layer, &self.shared.config.spec, MappingKind::Auto)?;
+        }
+        let mut models = self.shared.models.write().expect("models lock");
+        let id = ModelId(models.len());
+        models.push(ModelEntry {
+            name: name.to_string(),
+            layer,
+            weights: Arc::new(weights),
+        });
+        drop(models);
+        self.shared.queue.lock().expect("queue lock").queues.push(VecDeque::new());
+        Ok(id)
+    }
+
+    /// Submit a request with the configured default deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit_with_deadline`].
+    pub fn submit(&self, model: ModelId, input: Tensor) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(model, input, self.shared.config.default_deadline)
+    }
+
+    /// Submit a request that must *start executing* within `deadline`
+    /// (`None` = never expires). Admission control applies here: a full
+    /// queue or a draining server rejects synchronously, typed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`], [`ServeError::ShapeMismatch`],
+    /// [`ServeError::QueueFull`] or [`ServeError::ShuttingDown`].
+    pub fn submit_with_deadline(&self, model: ModelId, input: Tensor, deadline: Option<Duration>) -> Result<Ticket, ServeError> {
+        let shared = &self.shared;
+        {
+            let models = shared.models.read().expect("models lock");
+            let entry = models.get(model.0).ok_or(ServeError::UnknownModel)?;
+            let expected = (entry.layer.in_channels(), entry.layer.in_h(), entry.layer.in_w());
+            let got = (input.channels(), input.height(), input.width());
+            if got != expected {
+                return Err(ServeError::ShapeMismatch { expected, got });
+            }
+        }
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel();
+        let mut q = shared.queue.lock().expect("queue lock");
+        if !q.open {
+            shared.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.total >= shared.config.queue_capacity {
+            shared.stats.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull {
+                capacity: shared.config.queue_capacity,
+            });
+        }
+        q.queues[model.0].push_back(Pending {
+            input,
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
+            reply: tx,
+        });
+        q.total += 1;
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.observe_queue_depth(q.total as u64);
+        drop(q);
+        shared.ready.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// A live statistics snapshot (cache counters included).
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        let depth = self.shared.queue.lock().expect("queue lock").total;
+        let mut snap = self.shared.stats.snapshot(self.shared.started.elapsed(), depth);
+        snap.cache_hits = self.shared.cache.hits();
+        snap.cache_misses = self.shared.cache.misses();
+        snap
+    }
+
+    /// The name a model was registered under.
+    #[must_use]
+    pub fn model_name(&self, model: ModelId) -> Option<String> {
+        self.shared
+            .models
+            .read()
+            .expect("models lock")
+            .get(model.0)
+            .map(|e| e.name.clone())
+    }
+
+    /// The IFM shape `(channels, height, width)` a model's requests must
+    /// carry.
+    #[must_use]
+    pub fn model_shape(&self, model: ModelId) -> Option<(usize, usize, usize)> {
+        self.shared
+            .models
+            .read()
+            .expect("models lock")
+            .get(model.0)
+            .map(|e| (e.layer.in_channels(), e.layer.in_h(), e.layer.in_w()))
+    }
+
+    /// Graceful shutdown: stop admitting, let the workers drain every
+    /// queued request (batching as usual), join them, and return the final
+    /// statistics. With zero workers the queue cannot drain, so remaining
+    /// requests are rejected with [`ServeError::ShuttingDown`].
+    #[must_use]
+    pub fn shutdown(self) -> StatsSnapshot {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.open = false;
+        }
+        self.shared.ready.notify_all();
+        for h in self.workers {
+            h.join().expect("worker shard panicked");
+        }
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        let mut shed = 0usize;
+        for queue in &mut q.queues {
+            while let Some(p) = queue.pop_front() {
+                shed += 1;
+                self.shared.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                let _ = p.reply.send(Err(ServeError::ShuttingDown));
+            }
+        }
+        q.total -= shed;
+        let depth = q.total;
+        drop(q);
+        let mut snap = self.shared.stats.snapshot(self.shared.started.elapsed(), depth);
+        snap.cache_hits = self.shared.cache.hits();
+        snap.cache_misses = self.shared.cache.misses();
+        snap
+    }
+}
+
+fn expected_weight_shape(layer: &ConvLayer) -> (usize, usize, usize) {
+    match layer.kind() {
+        ConvKind::Depthwise => (layer.in_channels(), layer.k(), layer.k()),
+        ConvKind::Pointwise => (layer.out_channels(), 1, layer.in_channels()),
+        ConvKind::Standard => (
+            layer.out_channels(),
+            layer.k(),
+            layer.k() * layer.in_channels() / layer.groups(),
+        ),
+    }
+}
+
+/// The batched mapping to prefer for a combined layer: the §5.4
+/// channel-batched DWC when it applies, the paper's per-kind best otherwise.
+fn preferred_kind(layer: &ConvLayer) -> MappingKind {
+    if layer.kind() == ConvKind::Depthwise && layer.s() == 1 && layer.k() * layer.k() <= npcgra_arch::grf::GRF_WORDS {
+        MappingKind::BatchedDwcS1
+    } else {
+        MappingKind::Auto
+    }
+}
+
+/// Pull the next batch off the shared queue, blocking until one is ready
+/// or the server drains empty during shutdown (→ `None`, worker exits).
+fn next_batch(shared: &Shared) -> Option<(ModelId, Vec<Pending>)> {
+    let config = &shared.config;
+    let mut q = shared.queue.lock().expect("queue lock");
+    loop {
+        // The model whose head request has waited longest: it is both the
+        // fairness choice and the first to hit its linger deadline.
+        let oldest = q
+            .queues
+            .iter()
+            .enumerate()
+            .filter_map(|(i, dq)| dq.front().map(|p| (i, p.enqueued)))
+            .min_by_key(|&(_, t)| t);
+        match oldest {
+            None => {
+                if !q.open {
+                    return None;
+                }
+                q = shared.ready.wait(q).expect("queue lock");
+            }
+            Some((m, head_enqueued)) => {
+                let now = Instant::now();
+                let len = q.queues[m].len();
+                let lingered = now.duration_since(head_enqueued) >= config.max_linger;
+                if len >= config.max_batch || lingered || !q.open {
+                    let take = len.min(config.max_batch);
+                    let items: Vec<Pending> = q.queues[m].drain(..take).collect();
+                    q.total -= take;
+                    return Some((ModelId(m), items));
+                }
+                let wait = config.max_linger - now.duration_since(head_enqueued);
+                q = shared.ready.wait_timeout(q, wait).expect("queue lock").0;
+            }
+        }
+    }
+}
+
+fn worker_main(shared: &Shared, worker: usize) {
+    let mut machine = Machine::new(&shared.config.spec);
+    while let Some((model, pendings)) = next_batch(shared) {
+        let busy_start = Instant::now();
+        run_batch(shared, worker, &mut machine, model, pendings);
+        shared.stats.observe_worker_busy(worker, busy_start.elapsed());
+    }
+}
+
+fn run_batch(shared: &Shared, worker: usize, machine: &mut Machine, model: ModelId, pendings: Vec<Pending>) {
+    // Shed requests whose deadline passed while queued — before spending
+    // any simulation time on them.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(pendings.len());
+    for p in pendings {
+        if p.deadline.is_some_and(|d| d < now) {
+            shared.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            let _ = p.reply.send(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(p);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let (layer, weights) = {
+        let models = shared.models.read().expect("models lock");
+        let entry = &models[model.0];
+        (entry.layer.clone(), Arc::clone(&entry.weights))
+    };
+    let spec = &shared.config.spec;
+
+    let outcome: Result<(Vec<Tensor>, LayerReport), ServeError> = if live.len() == 1 || !batch::batchable(&layer) {
+        // Solo path (also every standard-conv request): no coalescing.
+        let mut outputs = Vec::with_capacity(live.len());
+        let mut last_report = None;
+        let mut solo = || -> Result<(), ServeError> {
+            for p in &live {
+                let (ofm, report) = if layer.kind() == ConvKind::Standard {
+                    run_standard_via_im2col(&layer, &p.input, &weights, spec)?
+                } else {
+                    let compiled = shared.cache.get_or_compile(&layer, spec, MappingKind::Auto)?;
+                    compiled.run_on(machine, &p.input, &weights)?
+                };
+                outputs.push(ofm);
+                last_report = Some(report);
+            }
+            Ok(())
+        };
+        solo().map(|()| (outputs, last_report.expect("at least one request")))
+    } else {
+        let b = live.len();
+        let big = batch::combined_layer(&layer, b);
+        let inputs: Vec<&Tensor> = live.iter().map(|p| &p.input).collect();
+        let big_ifm = batch::combined_ifm(&layer, &inputs);
+        let big_w = batch::combined_weights(&layer, &weights, b);
+        shared
+            .cache
+            .get_or_compile(&big, spec, preferred_kind(&big))
+            .or_else(|_| shared.cache.get_or_compile(&big, spec, MappingKind::Auto))
+            .map_err(ServeError::from)
+            .and_then(|compiled| compiled.run_on(machine, &big_ifm, &big_w).map_err(ServeError::from))
+            .map(|(ofm, report)| (batch::split_ofm(&layer, b, &ofm), report))
+    };
+
+    let batch_size = live.len();
+    shared.stats.observe_batch(batch_size);
+    match outcome {
+        Ok((outputs, report)) => {
+            let done = Instant::now();
+            for (p, output) in live.into_iter().zip(outputs) {
+                let latency = done.duration_since(p.enqueued);
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                shared.stats.observe_latency(latency);
+                let _ = p.reply.send(Ok(Response {
+                    output,
+                    report: report.clone(),
+                    batch_size,
+                    worker,
+                    latency,
+                }));
+            }
+        }
+        Err(e) => {
+            for p in live {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = p.reply.send(Err(e.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npcgra_arch::CgraSpec;
+
+    fn config() -> ServeConfig {
+        ServeConfig::for_spec(&CgraSpec::np_cgra(4, 4))
+            .with_workers(2)
+            .with_max_batch(2)
+            .with_max_linger(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn serve_one_request_end_to_end() {
+        let server = Server::start(config());
+        let layer = ConvLayer::depthwise("dw", 3, 8, 8, 3, 1, 1);
+        let w = layer.random_weights(1);
+        let id = server.register("m", layer.clone(), w.clone()).unwrap();
+        let ifm = Tensor::random(3, 8, 8, 2);
+        let golden = npcgra_nn::reference::run_layer(&layer, &ifm, &w).unwrap();
+        let resp = server.submit(id, ifm).unwrap().wait().unwrap();
+        assert_eq!(resp.output, golden);
+        assert!(resp.report.cycles > 0);
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn unknown_model_and_bad_shape_are_rejected() {
+        let server = Server::start(config().with_workers(0));
+        assert_eq!(
+            server.submit(ModelId(7), Tensor::zeros(1, 1, 1)).unwrap_err(),
+            ServeError::UnknownModel
+        );
+        let layer = ConvLayer::pointwise("pw", 4, 4, 4, 4);
+        let id = server.register("m", layer.clone(), layer.random_weights(1)).unwrap();
+        let err = server.submit(id, Tensor::zeros(4, 2, 4)).unwrap_err();
+        assert!(matches!(err, ServeError::ShapeMismatch { .. }));
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn bad_weight_shape_is_rejected_at_registration() {
+        let server = Server::start(config().with_workers(0));
+        let layer = ConvLayer::depthwise("dw", 3, 8, 8, 3, 1, 1);
+        let err = server.register("m", layer, Tensor::zeros(3, 2, 2)).unwrap_err();
+        assert!(matches!(err, ServeError::ShapeMismatch { .. }));
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn model_name_round_trips() {
+        let server = Server::start(config().with_workers(0));
+        let layer = ConvLayer::pointwise("pw", 4, 4, 4, 4);
+        let id = server
+            .register("mobilenet.pw1", layer.clone(), layer.random_weights(1))
+            .unwrap();
+        assert_eq!(server.model_name(id).as_deref(), Some("mobilenet.pw1"));
+        assert_eq!(server.model_name(ModelId(9)), None);
+        let _ = server.shutdown();
+    }
+}

@@ -1,0 +1,309 @@
+//! Serving statistics: throughput, tail latency, queue depth, batch sizes
+//! and per-worker utilization.
+//!
+//! Everything on the hot path is a relaxed atomic update; latency
+//! percentiles come from a fixed log2-bucketed histogram (one bucket per
+//! power of two of nanoseconds), so p50/p95/p99 are accurate to within a
+//! factor of √2 with zero allocation per request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 latency buckets; bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds. 2^48 ns ≈ 78 hours, far beyond any request.
+const LATENCY_BUCKETS: usize = 48;
+
+/// Live counters, shared between the submission path and the workers.
+#[derive(Debug)]
+pub(crate) struct Stats {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub rejected_queue_full: AtomicU64,
+    pub rejected_deadline: AtomicU64,
+    pub rejected_shutdown: AtomicU64,
+    pub failed: AtomicU64,
+    pub max_queue_depth: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    /// `batch_hist[i]` counts batches of size `i`; index 0 is unused.
+    batch_hist: Vec<AtomicU64>,
+    worker_busy_ns: Vec<AtomicU64>,
+}
+
+impl Stats {
+    pub(crate) fn new(workers: usize, max_batch: usize) -> Self {
+        Stats {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            rejected_shutdown: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            batch_hist: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
+            worker_busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn observe_queue_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_latency(&self, latency: Duration) {
+        let ns = latency.as_nanos().max(1) as u64;
+        let bucket = (63 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_batch(&self, size: usize) {
+        let i = size.min(self.batch_hist.len() - 1);
+        self.batch_hist[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_worker_busy(&self, worker: usize, busy: Duration) {
+        self.worker_busy_ns[worker].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Latency at quantile `q` (0..1): geometric midpoint of the bucket the
+    /// quantile sample falls in.
+    fn latency_quantile(&self, q: f64) -> Duration {
+        let counts: Vec<u64> = self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let ns = 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+                return Duration::from_nanos(ns as u64);
+            }
+        }
+        Duration::ZERO
+    }
+
+    pub(crate) fn snapshot(&self, elapsed: Duration, queue_depth: usize) -> StatsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        StatsSnapshot {
+            elapsed,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+                completed as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            p50: self.latency_quantile(0.50),
+            p95: self.latency_quantile(0.95),
+            p99: self.latency_quantile(0.99),
+            queue_depth,
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            batch_histogram: self.batch_hist.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            worker_utilization: self
+                .worker_busy_ns
+                .iter()
+                .map(|b| {
+                    let wall = elapsed.as_nanos().max(1) as f64;
+                    (b.load(Ordering::Relaxed) as f64 / wall).min(1.0)
+                })
+                .collect(),
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+}
+
+/// A point-in-time view of the server's counters.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    /// Wall-clock time since the server started.
+    pub elapsed: Duration,
+    /// Requests accepted by admission control.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests shed because the queue was at capacity.
+    pub rejected_queue_full: u64,
+    /// Requests shed because their deadline passed before execution.
+    pub rejected_deadline: u64,
+    /// Requests rejected during shutdown.
+    pub rejected_shutdown: u64,
+    /// Requests that failed in the simulator.
+    pub failed: u64,
+    /// Completed requests per second of server lifetime.
+    pub throughput_rps: f64,
+    /// Median request latency (log2-bucket approximation).
+    pub p50: Duration,
+    /// 95th-percentile request latency.
+    pub p95: Duration,
+    /// 99th-percentile request latency.
+    pub p99: Duration,
+    /// Requests queued at snapshot time.
+    pub queue_depth: usize,
+    /// Largest queue depth observed.
+    pub max_queue_depth: u64,
+    /// `batch_histogram[i]` = number of batches run with exactly `i`
+    /// requests (index 0 unused).
+    pub batch_histogram: Vec<u64>,
+    /// Fraction of wall-clock time each worker shard spent executing.
+    pub worker_utilization: Vec<f64>,
+    /// Program-cache hits (filled in by the server).
+    pub cache_hits: u64,
+    /// Program-cache misses, i.e. compilations (filled in by the server).
+    pub cache_misses: u64,
+}
+
+impl StatsSnapshot {
+    /// Cache hit rate in `[0, 1]`; zero when the cache was never consulted.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean batch size over all batches run.
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches: u64 = self.batch_histogram.iter().sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        let requests: u64 = self.batch_histogram.iter().enumerate().map(|(i, c)| i as u64 * c).sum();
+        requests as f64 / batches as f64
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {} submitted, {} completed, {} failed ({:.1} req/s over {:.2}s)",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.throughput_rps,
+            self.elapsed.as_secs_f64(),
+        )?;
+        writeln!(
+            f,
+            "shed:     {} queue-full, {} deadline, {} shutdown",
+            self.rejected_queue_full, self.rejected_deadline, self.rejected_shutdown
+        )?;
+        writeln!(
+            f,
+            "latency:  p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+            self.p50.as_secs_f64() * 1e3,
+            self.p95.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+        )?;
+        writeln!(
+            f,
+            "queue:    {} now, {} peak (capacity bound applied at admission)",
+            self.queue_depth, self.max_queue_depth
+        )?;
+        let batches: Vec<String> = self
+            .batch_histogram
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, c)| format!("{i}:{c}"))
+            .collect();
+        writeln!(
+            f,
+            "batches:  sizes {{{}}} (mean {:.2})",
+            batches.join(" "),
+            self.mean_batch_size()
+        )?;
+        writeln!(
+            f,
+            "cache:    {} hits / {} misses (hit rate {:.1}%)",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0
+        )?;
+        let utils: Vec<String> = self
+            .worker_utilization
+            .iter()
+            .enumerate()
+            .map(|(i, u)| format!("w{i}:{:.0}%", u * 100.0))
+            .collect();
+        write!(
+            f,
+            "workers:  {}",
+            if utils.is_empty() {
+                "none".to_string()
+            } else {
+                utils.join(" ")
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_quantiles_order() {
+        let s = Stats::new(1, 4);
+        for us in [100u64, 200, 400, 800, 10_000] {
+            s.observe_latency(Duration::from_micros(us));
+        }
+        let snap = s.snapshot(Duration::from_secs(1), 0);
+        assert!(snap.p50 <= snap.p95);
+        assert!(snap.p95 <= snap.p99);
+        assert!(snap.p99 >= Duration::from_micros(5_000), "p99 lands in the top bucket");
+    }
+
+    #[test]
+    fn bucket_approximation_within_sqrt2() {
+        let s = Stats::new(1, 4);
+        s.observe_latency(Duration::from_micros(1000));
+        let p50 = s.snapshot(Duration::from_secs(1), 0).p50;
+        let ratio = p50.as_nanos() as f64 / 1_000_000.0;
+        assert!(
+            (1.0 / std::f64::consts::SQRT_2..=std::f64::consts::SQRT_2).contains(&ratio),
+            "ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn batch_histogram_and_mean() {
+        let s = Stats::new(2, 4);
+        s.observe_batch(1);
+        s.observe_batch(4);
+        s.observe_batch(4);
+        let snap = s.snapshot(Duration::from_secs(1), 0);
+        assert_eq!(snap.batch_histogram[1], 1);
+        assert_eq!(snap.batch_histogram[4], 2);
+        assert!((snap.mean_batch_size() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let s = Stats::new(1, 2);
+        s.observe_worker_busy(0, Duration::from_secs(10));
+        let snap = s.snapshot(Duration::from_secs(1), 0);
+        assert!((snap.worker_utilization[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = Stats::new(2, 4);
+        s.completed.fetch_add(3, Ordering::Relaxed);
+        let text = s.snapshot(Duration::from_secs(1), 1).to_string();
+        assert!(text.contains("p99"));
+        assert!(text.contains("hit rate"));
+        assert!(text.contains("w1:"));
+    }
+}

@@ -1,29 +1,25 @@
 //! Whole-layer execution: functional and timing-only.
 //!
-//! The functional path materializes every block, runs it on the [`Machine`]
-//! and assembles the OFM tensor; the timing path uses the same block
-//! geometry and DMA model without touching data (the two agree cycle-for-
-//! cycle by construction, which the test suite asserts). Both account the
-//! double-buffered block pipeline of Table 4's two memory sets via
-//! [`npcgra_mem::dma::double_buffered_cycles_exact`].
+//! Every entry point here is a thin wrapper over [`CompiledLayer`]: compile
+//! the layer onto the spec once, then run it functionally (materializing
+//! every block on the [`Machine`] and assembling the OFM tensor) or
+//! timing-only (same block geometry and DMA model without touching data —
+//! the two agree cycle-for-cycle by construction, which the test suite
+//! asserts). Both account the double-buffered block pipeline of Table 4's
+//! two memory sets via [`npcgra_mem::dma::double_buffered_cycles_exact`].
 
 use npcgra_arch::CgraSpec;
-use npcgra_kernels::dwc_batched::DwcS1BatchedLayerMap;
-use npcgra_kernels::dwc_general::{padded_ifm, DwcGeneralLayerMap};
-use npcgra_kernels::dwc_s1::DwcS1LayerMap;
-use npcgra_kernels::matmul_dwc::MatmulDwcLayerMap;
-use npcgra_kernels::pwc::{MapError, PwcLayerMap};
-use npcgra_kernels::BlockProgram;
-use npcgra_mem::dma::double_buffered_cycles_exact;
+use npcgra_kernels::pwc::MapError;
 use npcgra_mem::DmaEngine;
 use npcgra_nn::{im2col, ConvKind, ConvLayer, Im2colCostModel, Tensor};
 
+use crate::compiled::CompiledLayer;
 use crate::machine::Machine;
 use crate::report::LayerReport;
 use crate::SimError;
 
 /// Which mapping to use for a layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MappingKind {
     /// Pick the paper's best mapping for the layer kind (PWC for pointwise,
     /// DWC-S1 for stride-1 depthwise, DWC-general otherwise; standard
@@ -35,126 +31,6 @@ pub enum MappingKind {
     /// Channel-batched stride-1 DWC (the §5.4 "further optimization"):
     /// several channels per block, kernels switched from the Weight Buffer.
     BatchedDwcS1,
-}
-
-/// A planned layer: uniform block geometry + a materializer.
-struct Plan<'a> {
-    num_blocks: usize,
-    compute: u64,
-    dma_in: u64,
-    dma_out: u64,
-    materialize: Box<dyn Fn(usize) -> BlockProgram + Send + Sync + 'a>,
-}
-
-fn plan<'a>(
-    layer: &'a ConvLayer,
-    spec: &CgraSpec,
-    kind: MappingKind,
-    data: Option<(&'a Tensor, &'a Tensor)>,
-) -> Result<Plan<'a>, MapError> {
-    // The padded IFM is shared by the DWC materializers.
-    let padded = match (layer.kind(), data) {
-        (ConvKind::Depthwise, Some((ifm, _))) => Some(padded_ifm(layer, ifm)),
-        _ => None,
-    };
-    let weights = data.map(|(_, w)| w);
-    Ok(match (kind, layer.kind()) {
-        (MappingKind::BatchedDwcS1, ConvKind::Depthwise) => {
-            let map = DwcS1BatchedLayerMap::new(layer, spec)?;
-            Plan {
-                num_blocks: map.num_blocks(),
-                compute: map.block_compute_cycles(),
-                dma_in: map.block_input_words(),
-                dma_out: map.block_output_words(),
-                materialize: Box::new(move |i| {
-                    map.materialize(
-                        i,
-                        padded.as_ref().expect("functional run needs data"),
-                        weights.expect("functional run needs data"),
-                    )
-                }),
-            }
-        }
-        (MappingKind::MatmulDwc, ConvKind::Depthwise) => {
-            let map = MatmulDwcLayerMap::new(layer, spec)?;
-            Plan {
-                num_blocks: map.num_blocks(),
-                compute: map.block_compute_cycles(),
-                dma_in: map.block_input_words(),
-                dma_out: map.block_output_words(),
-                materialize: Box::new(move |i| {
-                    map.materialize(
-                        i,
-                        padded.as_ref().expect("functional run needs data"),
-                        weights.expect("functional run needs data"),
-                    )
-                }),
-            }
-        }
-        (_, ConvKind::Pointwise) => {
-            let map = PwcLayerMap::new(layer, spec)?;
-            Plan {
-                num_blocks: map.num_blocks(),
-                compute: map.block_compute_cycles(),
-                dma_in: map.block_input_words(),
-                dma_out: map.block_output_words(),
-                materialize: Box::new(move |i| {
-                    let (ifm, w) = data.expect("functional run needs data");
-                    map.materialize(i, ifm, w)
-                }),
-            }
-        }
-        // The stride-1 optimized mapping broadcasts the kernel from the
-        // GRF, whose 4-bit configuration index holds at most
-        // `GRF_WORDS = 16` taps; larger kernels fall back to the general
-        // mapping (weights via V-MEM).
-        (_, ConvKind::Depthwise) if layer.s() == 1 && layer.k() * layer.k() <= npcgra_arch::grf::GRF_WORDS => {
-            let map = DwcS1LayerMap::new(layer, spec)?;
-            Plan {
-                num_blocks: map.num_blocks(),
-                compute: map.block_compute_cycles(),
-                dma_in: map.block_input_words(),
-                dma_out: map.block_output_words(),
-                materialize: Box::new(move |i| {
-                    map.materialize(
-                        i,
-                        padded.as_ref().expect("functional run needs data"),
-                        weights.expect("functional run needs data"),
-                    )
-                }),
-            }
-        }
-        (_, ConvKind::Depthwise) => {
-            let map = DwcGeneralLayerMap::new(layer, spec)?;
-            Plan {
-                num_blocks: map.num_blocks(),
-                compute: map.block_compute_cycles(),
-                dma_in: map.block_input_words(),
-                dma_out: map.block_output_words(),
-                materialize: Box::new(move |i| {
-                    map.materialize(
-                        i,
-                        padded.as_ref().expect("functional run needs data"),
-                        weights.expect("functional run needs data"),
-                    )
-                }),
-            }
-        }
-        (_, ConvKind::Standard) => {
-            return Err(MapError::new("standard convolution runs through run_standard_via_im2col"));
-        }
-    })
-}
-
-fn pipeline_report(name: &str, spec: &CgraSpec, num_blocks: usize, compute: u64, dma_in: u64, dma_out: u64) -> LayerReport {
-    let engine = DmaEngine::new(spec);
-    let dma_cycles = engine.transfer_cycles(dma_in) + engine.transfer_cycles(dma_out);
-    let blocks: Vec<(u64, u64)> = (0..num_blocks).map(|_| (compute, dma_cycles)).collect();
-    let mut r = LayerReport::for_spec(name, spec);
-    r.cycles = double_buffered_cycles_exact(&blocks);
-    r.compute_cycles = compute * num_blocks as u64;
-    r.dma_cycles = dma_cycles * num_blocks as u64;
-    r
 }
 
 /// Run one DSC layer functionally on the cycle-accurate machine, returning
@@ -197,7 +73,7 @@ pub fn run_batched_dwc(
     run_layer_with(layer, ifm, weights, spec, MappingKind::BatchedDwcS1)
 }
 
-fn map_err_to_sim(layer: &ConvLayer, e: MapError) -> SimError {
+pub(crate) fn map_err_to_sim(layer: &ConvLayer, e: MapError) -> SimError {
     SimError::new(layer.name(), 0, 0, crate::error::SimCause::Map(e.to_string()))
 }
 
@@ -208,27 +84,7 @@ fn run_layer_with(
     spec: &CgraSpec,
     kind: MappingKind,
 ) -> Result<(Tensor, LayerReport), SimError> {
-    let plan = plan(layer, spec, kind, Some((ifm, weights))).map_err(|e| map_err_to_sim(layer, e))?;
-    let mut machine = Machine::new(spec);
-    let mut ofm = Tensor::zeros(layer.out_channels(), layer.out_h(), layer.out_w());
-    let mut compute = 0u64;
-    let mut blocks: Vec<(u64, u64)> = Vec::with_capacity(plan.num_blocks);
-    for i in 0..plan.num_blocks {
-        let prog = (plan.materialize)(i);
-        debug_assert_eq!(prog.compute_cycles(), plan.compute, "uniform block plan");
-        let res = machine.run_block(&prog)?;
-        compute += res.compute_cycles;
-        blocks.push((res.compute_cycles, res.dma_in_cycles + res.dma_out_cycles));
-        for (c, y, x, v) in res.ofm {
-            ofm.set(c, y, x, v);
-        }
-    }
-    let mut report = LayerReport::for_spec(layer.name(), spec);
-    report.cycles = double_buffered_cycles_exact(&blocks);
-    report.compute_cycles = compute;
-    report.dma_cycles = blocks.iter().map(|b| b.1).sum();
-    report.macs = layer.macs();
-    Ok((ofm, report))
+    CompiledLayer::compile(layer, spec, kind)?.run_on(&mut Machine::new(spec), ifm, weights)
 }
 
 /// Estimate a layer's energy by running one (representative) block
@@ -247,18 +103,19 @@ pub fn estimate_layer_energy(
     kind: MappingKind,
     model: &npcgra_area::EnergyModel,
 ) -> Result<npcgra_area::EnergyBreakdown, SimError> {
-    let plan = plan(layer, spec, kind, Some((ifm, weights))).map_err(|e| map_err_to_sim(layer, e))?;
+    let compiled = CompiledLayer::compile(layer, spec, kind)?;
     let mut machine = Machine::new(spec);
-    let prog = (plan.materialize)(0);
+    let prepared = compiled.prepare(ifm);
+    let prog = compiled.materialize(0, &prepared, weights);
     let res = machine.run_block(&prog)?;
-    let n = plan.num_blocks as u64;
+    let n = compiled.num_blocks() as u64;
     let pes = spec.num_pes() as u64;
     let counts = npcgra_area::AccessCounts {
         macs: res.mac_ops * n,
         idle_pe_cycles: (pes * res.compute_cycles).saturating_sub(res.mac_ops) * n,
         sram_accesses: (res.h_reads + res.h_writes + res.v_reads) * n,
         grf_reads: res.grf_reads * n,
-        dram_words: (plan.dma_in + plan.dma_out) * n,
+        dram_words: (compiled.block_input_words() + compiled.block_output_words()) * n,
     };
     Ok(model.estimate(&counts))
 }
@@ -279,53 +136,7 @@ pub fn run_layer_parallel(
     spec: &CgraSpec,
     threads: usize,
 ) -> Result<(Tensor, LayerReport), SimError> {
-    let plan = plan(layer, spec, MappingKind::Auto, Some((ifm, weights))).map_err(|e| map_err_to_sim(layer, e))?;
-    let threads = threads.clamp(1, plan.num_blocks.max(1));
-    let materialize = &plan.materialize;
-
-    // Each worker runs a disjoint, strided set of blocks on its own machine.
-    let results: Vec<Result<Vec<(usize, crate::machine::BlockResult)>, SimError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                scope.spawn(move || {
-                    let mut machine = Machine::new(spec);
-                    let mut out = Vec::new();
-                    let mut b = t;
-                    while b < plan.num_blocks {
-                        let prog = (materialize)(b);
-                        out.push((b, machine.run_block(&prog)?));
-                        b += threads;
-                    }
-                    Ok(out)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    });
-
-    let mut per_block: Vec<Option<crate::machine::BlockResult>> = (0..plan.num_blocks).map(|_| None).collect();
-    for r in results {
-        for (b, res) in r? {
-            per_block[b] = Some(res);
-        }
-    }
-
-    let mut ofm = Tensor::zeros(layer.out_channels(), layer.out_h(), layer.out_w());
-    let mut compute = 0u64;
-    let mut blocks: Vec<(u64, u64)> = Vec::with_capacity(plan.num_blocks);
-    for res in per_block.into_iter().map(|r| r.expect("all blocks ran")) {
-        compute += res.compute_cycles;
-        blocks.push((res.compute_cycles, res.dma_in_cycles + res.dma_out_cycles));
-        for (c, y, x, v) in res.ofm {
-            ofm.set(c, y, x, v);
-        }
-    }
-    let mut report = LayerReport::for_spec(layer.name(), spec);
-    report.cycles = double_buffered_cycles_exact(&blocks);
-    report.compute_cycles = compute;
-    report.dma_cycles = blocks.iter().map(|b| b.1).sum();
-    report.macs = layer.macs();
-    Ok((ofm, report))
+    CompiledLayer::compile(layer, spec, MappingKind::Auto)?.run_parallel(ifm, weights, threads)
 }
 
 /// Timing-only estimate with a *single* memory set (the Table 4 ablation):
@@ -337,10 +148,12 @@ pub fn run_layer_parallel(
 /// As [`time_layer`].
 pub fn time_layer_single_buffered(layer: &ConvLayer, spec: &CgraSpec, kind: MappingKind) -> Result<LayerReport, SimError> {
     let mut r = time_layer(layer, spec, kind)?;
-    let plan = plan(layer, spec, kind, None).map_err(|e| map_err_to_sim(layer, e))?;
+    let compiled = CompiledLayer::compile(layer, spec, kind)?;
     let engine = DmaEngine::new(spec);
-    let dma = engine.transfer_cycles(plan.dma_in) + engine.transfer_cycles(plan.dma_out);
-    let blocks: Vec<(u64, u64)> = (0..plan.num_blocks).map(|_| (plan.compute, dma)).collect();
+    let dma = engine.transfer_cycles(compiled.block_input_words()) + engine.transfer_cycles(compiled.block_output_words());
+    let blocks: Vec<(u64, u64)> = (0..compiled.num_blocks())
+        .map(|_| (compiled.block_compute_cycles(), dma))
+        .collect();
     r.cycles = npcgra_mem::dma::serialized_cycles(&blocks);
     Ok(r)
 }
@@ -355,10 +168,7 @@ pub fn time_layer(layer: &ConvLayer, spec: &CgraSpec, kind: MappingKind) -> Resu
     if layer.kind() == ConvKind::Standard {
         return time_standard_via_im2col(layer, spec);
     }
-    let plan = plan(layer, spec, kind, None).map_err(|e| map_err_to_sim(layer, e))?;
-    let mut r = pipeline_report(layer.name(), spec, plan.num_blocks, plan.compute, plan.dma_in, plan.dma_out);
-    r.macs = layer.macs();
-    Ok(r)
+    Ok(CompiledLayer::compile(layer, spec, kind)?.timing_report())
 }
 
 /// The im2col-equivalent pointwise layer for one group of a standard

@@ -20,12 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod error;
 pub mod layer;
 pub mod machine;
 pub mod report;
 pub mod trace;
 
+pub use compiled::{CompiledLayer, PreparedIfm, ResolvedMapping};
 pub use error::SimError;
 pub use layer::{
     estimate_layer_energy, run_batched_dwc, run_layer, run_layer_parallel, run_matmul_dwc, run_standard_via_im2col, time_layer,

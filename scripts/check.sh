@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Full verification: format, lints, tests (incl. the heavy full-size ones),
-# examples, evaluation binaries and benches.
+# examples, evaluation binaries, benches and a serving smoke run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== preflight (offline dependency resolution) =="
+# Every dependency is a path crate (see vendor/README.md); resolution must
+# never touch a registry. If this fails, a registry dependency crept back in
+# and the default registry (see ~/.cargo/config.toml) is unreachable from
+# this environment — vendor the crate under vendor/ instead.
+if ! cargo metadata --offline --format-version 1 >/dev/null 2>&1; then
+  echo "error: dependency resolution needs network access (registry unreachable)." >&2
+  echo "       All external crates must be vendored as path dependencies under vendor/ —" >&2
+  echo "       see vendor/README.md for the pattern." >&2
+  exit 1
+fi
 
 echo "== fmt =="
 cargo fmt --check
@@ -12,6 +24,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tests =="
 cargo test --workspace
+
+echo "== serving integration tests =="
+cargo test -p npcgra --test serving
 
 echo "== heavy tests (full-size Table 5 layers) =="
 cargo test --workspace --release -- --ignored
@@ -28,6 +43,10 @@ for b in table1 table3 table5 table6 fig12 fig_schedules fig_layouts \
          batching_gain energy_table width_study mapping_gap ccf_check; do
   cargo run --release -q -p npcgra-eval --bin "$b" >/dev/null
 done
+
+echo "== serve-bench smoke run =="
+cargo run --release -q -p npcgra-cli -- serve-bench \
+  --machine 4x4 --workers 4 --clients 8 --requests 80 >/dev/null
 
 echo "== benches (quick pass) =="
 cargo bench -p npcgra-bench >/dev/null

@@ -1,0 +1,260 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! Each benchmark is warmed up briefly, then measured in a short
+//! time-boxed window; the mean wall-clock time per iteration (and
+//! throughput, when configured) is printed in a `name  time: …` line
+//! loosely matching criterion's output. There is no statistical analysis,
+//! no HTML report and no baseline comparison — the goal is a fast,
+//! dependency-free `cargo bench` that still produces comparable numbers
+//! run-over-run.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Measurement window per benchmark.
+    measure_for: Duration,
+    /// Substring filter from the command line, if any.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; harness flags like `--bench` are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            measure_for: Duration::from_millis(120),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self {
+        run_one(self, id.as_ref(), None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted for API compatibility; the stand-in
+    /// is time-boxed rather than sample-counted).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure_for = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self {
+        let id = id.as_ref();
+        let full = format!("{}/{id}", self.name);
+        run_one(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    measure_for: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure a closure: brief warm-up, then as many timed iterations as
+    /// fit the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one iteration minimum, up to a quarter window.
+        let warm_deadline = Instant::now() + self.measure_for / 4;
+        loop {
+            std::hint::black_box(f());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let started = Instant::now();
+        let deadline = started + self.measure_for;
+        let mut iters: u64 = 0;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let elapsed = started.elapsed();
+        self.iters = iters;
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &mut Criterion, id: &str, throughput: Option<Throughput>, mut f: F) {
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        measure_for: c.measure_for,
+        mean_ns: f64::NAN,
+        iters: 0,
+    };
+    f(&mut b);
+    let mut line = format!("{id:<50} time: {:>12} ({} iters)", format_ns(b.mean_ns), b.iters);
+    match throughput {
+        Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / b.mean_ns;
+            line.push_str(&format!("  thrpt: {}/s", format_count(per_sec)));
+        }
+        Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / b.mean_ns;
+            line.push_str(&format!("  thrpt: {}B/s", format_count(per_sec)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "no b.iter() call".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_count(v: f64) -> String {
+    if v < 1e3 {
+        format!("{v:.1} ")
+    } else if v < 1e6 {
+        format!("{:.2} K", v / 1e3)
+    } else if v < 1e9 {
+        format!("{:.2} M", v / 1e6)
+    } else {
+        format!("{:.2} G", v / 1e9)
+    }
+}
+
+/// Define a benchmark group function from a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from one or more group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            measure_for: Duration::from_millis(5),
+            mean_ns: f64::NAN,
+            iters: 0,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.iters > 0);
+        assert!(b.mean_ns.is_finite() && b.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(1),
+            filter: None,
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .throughput(Throughput::Elements(100))
+            .bench_function("b", |b| {
+                b.iter(|| 2 * 2);
+            });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(50),
+            filter: Some("nomatch".into()),
+        };
+        let started = Instant::now();
+        c.bench_function("skipped/bench", |b| b.iter(|| 1));
+        assert!(started.elapsed() < Duration::from_millis(40), "filtered bench must not run");
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_count(5e6).contains('M'));
+    }
+}

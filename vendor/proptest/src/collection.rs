@@ -1,0 +1,53 @@
+//! Collection strategies (`collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy for `Vec<T>` with a length drawn from `size` and elements
+/// drawn from `element`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "cannot sample empty length range {size:?}");
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.clone().sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let strat = vec(any::<i16>(), 1..20);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((1..20).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_tuples_work() {
+        let strat = vec((1u64..1000, 1u64..1000), 1..20);
+        let mut rng = TestRng::from_seed(4);
+        let v = strat.sample(&mut rng);
+        assert!(v.iter().all(|(a, b)| (1..1000).contains(a) && (1..1000).contains(b)));
+    }
+}

@@ -1,0 +1,234 @@
+//! Sampling strategies: integer ranges, tuples, `Just`, combinators.
+
+use std::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test values.
+///
+/// Unlike the real proptest, a strategy is a plain sampler: no value
+/// trees, no shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Transform generated values, resampling when the closure declines.
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, f, reason }
+    }
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            sampler: Box::new(move |rng| self.sample(rng)),
+        }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map({:?}) rejected 10000 consecutive samples", self.reason);
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+/// A uniform choice among several strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the type-erased alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.index(self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range {self:?}");
+                let span = (self.end as i128) - (self.start as i128);
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((self.start as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range {self:?}");
+        let span = (self.end as u128) - (self.start as u128);
+        let off = (rng.next_u64() as u128) % span;
+        ((self.start as u128) + off) as u64
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3usize..9).sample(&mut r);
+            assert!((3..9).contains(&v));
+            let w = (0u64..(1u64 << 36)).sample(&mut r);
+            assert!(w < (1u64 << 36));
+            let x = (-5i16..5).sample(&mut r);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let strat = (0usize..3, 0usize..3).prop_map(|(a, b)| a * 10 + b);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = strat.sample(&mut r);
+            assert!(v % 10 < 3 && v / 10 < 3);
+        }
+    }
+
+    #[test]
+    fn filter_map_resamples() {
+        let strat = (0usize..10).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(strat.sample(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn union_uses_every_alternative() {
+        let u = Union::new(vec![Just(1usize).boxed(), Just(2).boxed(), Just(3).boxed()]);
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[u.sample(&mut r)] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

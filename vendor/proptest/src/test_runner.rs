@@ -1,0 +1,191 @@
+//! The deterministic case runner and its RNG.
+
+use std::fmt;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discarded case (unsatisfied precondition).
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+/// Deterministic xoshiro256** generator used for sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator derived from a seed (SplitMix64 expansion).
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty set");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// FNV-1a hash of the test path, so each test gets its own seed stream.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `config.cases` deterministic cases of a property, panicking on the
+/// first failure with enough context to reproduce it.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when `prop_assume!` rejects too large a
+/// fraction of generated cases.
+pub fn run_cases(config: &ProptestConfig, name: &str, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+    let seed_base = fnv1a(name);
+    let mut passed: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = u64::from(config.cases) * 64;
+    while passed < config.cases {
+        assert!(
+            attempt < max_attempts,
+            "{name}: too many rejected cases ({attempt} attempts for {passed}/{} passes)",
+            config.cases
+        );
+        let mut rng = TestRng::from_seed(seed_base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(message)) => {
+                panic!("{name}: case {passed} (attempt {attempt}) failed\n{message}")
+            }
+        }
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_configured_number_of_cases() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(17), "t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut n = 0u32;
+        run_cases(&ProptestConfig::with_cases(10), "t", |_| {
+            n += 1;
+            if n.is_multiple_of(2) {
+                Err(TestCaseError::reject("even"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(n >= 19, "10 passes need at least 19 attempts, got {n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run_cases(&ProptestConfig::default(), "t", |_| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn endless_rejection_is_detected() {
+        run_cases(&ProptestConfig::with_cases(4), "t", |_| Err(TestCaseError::reject("never")));
+    }
+
+    #[test]
+    fn rng_streams_differ_per_test_name() {
+        let a = TestRng::from_seed(fnv1a("a")).next_u64();
+        let b = TestRng::from_seed(fnv1a("b")).next_u64();
+        assert_ne!(a, b);
+    }
+}

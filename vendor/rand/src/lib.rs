@@ -1,0 +1,191 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over integer ranges.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — deterministic,
+//! high-quality, and dependency-free. The value stream differs from the
+//! real `rand::StdRng` (which is ChaCha-based); the workspace only relies
+//! on seed-determinism, never on specific values.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The raw generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// A uniform sample from an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer types with uniform inclusive-range sampling.
+pub trait SampleUniform: Copy {
+    /// A uniform draw from `low..=high`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as i128) - (low as i128) + 1;
+                // Modulo draw: bias is < 2^-64 · span, irrelevant for test data.
+                let off = (rng.next_u64() as i128).rem_euclid(span);
+                ((low as i128) + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl SampleUniform for u64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        assert!(low <= high, "cannot sample empty range");
+        let span = (high as u128) - (low as u128) + 1;
+        let off = (rng.next_u64() as u128) % span;
+        ((low as u128) + off) as u64
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + StepDown> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_inclusive(self.start, self.end.step_down(), rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Helper: the predecessor of a value (for half-open upper bounds).
+pub trait StepDown {
+    /// `self - 1`.
+    fn step_down(self) -> Self;
+}
+
+macro_rules! impl_step {
+    ($($t:ty),*) => {$(
+        impl StepDown for $t {
+            fn step_down(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_step!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for the real
+    /// ChaCha-based `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding for xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<i16> = (0..32).map(|_| a.gen_range(-64..=64)).collect();
+        let ys: Vec<i16> = (0..32).map(|_| b.gen_range(-64..=64)).collect();
+        let zs: Vec<i16> = (0..32).map(|_| c.gen_range(-64..=64)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i16 = rng.gen_range(-64..=64);
+            assert!((-64..=64).contains(&v));
+            let u: usize = rng.gen_range(3..7);
+            assert!((3..7).contains(&u));
+        }
+    }
+
+    #[test]
+    fn covers_full_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..=4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
