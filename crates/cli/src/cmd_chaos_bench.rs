@@ -1,0 +1,186 @@
+//! `chaos-bench` — fault-injection soak test for the inference server.
+//!
+//! Registers the MobileNet DSC layers like `serve-bench`, then runs
+//! closed-loop clients for a fixed wall-clock window while chaos is
+//! injected: a worker panic on its first batch (`--panic-worker`) and a
+//! deterministic Bernoulli hardware-fault plan (`--fault-seed` +
+//! `--fault-rate`) flipping bits in the simulated machines. The command
+//! *fails* unless the server survives: every ticket must resolve (no
+//! hangs — clients poll with [`Ticket::wait_timeout`]), no worker thread
+//! may end `panicked`, and an injected panic must show up as a supervised
+//! restart in the final statistics.
+//!
+//! [`Ticket::wait_timeout`]: npcgra::serve::Ticket::wait_timeout
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use npcgra::nn::{models, Tensor};
+use npcgra::serve::{ChaosConfig, ModelId, ServeConfig, ServeError, Server, WorkerExit};
+
+use crate::args::Flags;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let spec = flags.machine()?;
+    let workers: usize = parse_or(&flags, "workers", 4)?;
+    let clients: usize = parse_or(&flags, "clients", 8)?;
+    let seconds: f64 = parse_or(&flags, "seconds", 5.0)?;
+    let fault_rate: f64 = parse_or(&flags, "fault-rate", 1e-4)?;
+    let fault_seed: u64 = parse_or(&flags, "fault-seed", 0xC6A05)?;
+    let max_batch: usize = parse_or(&flags, "max-batch", 4)?;
+    let linger_us: u64 = parse_or(&flags, "linger-us", 500)?;
+    let alpha: f64 = parse_or(&flags, "alpha", 0.25)?;
+    let res: usize = parse_or(&flags, "res", 32)?;
+    let wait_ms: u64 = parse_or(&flags, "wait-ms", 250)?;
+    let which = flags.get("model").unwrap_or("mixed");
+    let panic_worker: Option<usize> = match flags.get("panic-worker") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("--panic-worker: bad value '{v}'"))?),
+    };
+    if res == 0 || !res.is_multiple_of(32) {
+        return Err(format!("--res must be a positive multiple of 32, got {res}"));
+    }
+    if workers == 0 {
+        return Err("chaos-bench needs at least one worker".to_string());
+    }
+
+    let chaos = ChaosConfig {
+        panic_on_first_batch: panic_worker,
+        poison_value: None,
+        fault_seed: (fault_rate > 0.0).then_some(fault_seed),
+        fault_rate,
+    };
+    let config = ServeConfig::for_spec(&spec)
+        .with_workers(workers)
+        .with_max_batch(max_batch)
+        .with_max_linger(Duration::from_micros(linger_us))
+        .with_chaos(chaos);
+
+    let mut model_tables = Vec::new();
+    match which {
+        "v1" => model_tables.push(models::mobilenet_v1(alpha, res)),
+        "v2" => model_tables.push(models::mobilenet_v2(alpha, res)),
+        "mixed" => {
+            model_tables.push(models::mobilenet_v1(alpha, res));
+            model_tables.push(models::mobilenet_v2(alpha, res));
+        }
+        other => return Err(format!("--model must be v1|v2|mixed, got '{other}'")),
+    }
+
+    // The injected panic is supervised, but the default hook would still
+    // print a scary backtrace for it; keep chaos quiet on worker threads.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let current = std::thread::current();
+        if current.name().is_some_and(|n| n.starts_with("npcgra-serve-")) {
+            return;
+        }
+        default_hook(info);
+    }));
+
+    let server = Server::start(config);
+    let mut endpoints: Vec<ModelId> = Vec::new();
+    for (mi, model) in model_tables.iter().enumerate() {
+        for layer in model.dsc_layers() {
+            let named = layer.renamed(&format!("{}.{}", model.name(), layer.name()));
+            let weights = named.random_weights(0xC0FFEE + mi as u64);
+            let id = server
+                .register(&format!("{}.{}", model.name(), layer.name()), named, weights)
+                .map_err(|e| format!("registering {}: {e}", layer.name()))?;
+            endpoints.push(id);
+        }
+    }
+    println!(
+        "chaos-bench: {} models, {} shard(s) of a {}x{} machine, {} clients for {seconds:.1}s, \
+         fault rate {fault_rate:e} (seed {fault_seed:#x}), panic worker {panic_worker:?}",
+        endpoints.len(),
+        workers,
+        spec.rows,
+        spec.cols,
+        clients,
+    );
+
+    let deadline = Instant::now() + Duration::from_secs_f64(seconds);
+    let hung = AtomicU64::new(0);
+    let answered = AtomicU64::new(0);
+    let server_ref = &server;
+    let endpoints_ref = &endpoints;
+    let hung_ref = &hung;
+    let answered_ref = &answered;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut r = 0usize;
+                while Instant::now() < deadline {
+                    let id = endpoints_ref[r % endpoints_ref.len()];
+                    let seed = (c * 1_000_000 + r) as u64;
+                    r += 1;
+                    let input = input_for(server_ref, id, seed);
+                    match server_ref.submit(id, input) {
+                        Ok(ticket) => {
+                            // Poll with a bounded wait so a stranded reply
+                            // channel shows up as a hang count, not a wedge.
+                            let mut waited = Duration::ZERO;
+                            let cap = Duration::from_millis(wait_ms) * 40;
+                            loop {
+                                match ticket.wait_timeout(Duration::from_millis(wait_ms)) {
+                                    Err(ServeError::ReplyTimeout { waited: w }) => {
+                                        waited += w;
+                                        if waited >= cap {
+                                            hung_ref.fetch_add(1, Ordering::Relaxed);
+                                            break;
+                                        }
+                                    }
+                                    _ => {
+                                        answered_ref.fetch_add(1, Ordering::Relaxed);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        Err(ServeError::QueueFull { .. } | ServeError::Degraded { .. }) => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(ServeError::ShuttingDown) => break,
+                        Err(e) => panic!("submit failed: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = server.shutdown();
+    println!("{stats}");
+
+    let hung = hung.load(Ordering::Relaxed);
+    let answered = answered.load(Ordering::Relaxed);
+    if hung > 0 {
+        return Err(format!("{hung} ticket(s) never resolved — a reply was lost"));
+    }
+    if stats.worker_exits.contains(&WorkerExit::Panicked) {
+        return Err(format!("a worker thread escaped supervision: exits {:?}", stats.worker_exits));
+    }
+    if panic_worker.is_some() && stats.restarts == 0 {
+        return Err("injected panic never surfaced as a supervised restart".to_string());
+    }
+    println!(
+        "chaos-bench PASS: {answered} tickets resolved, 0 hung; {} panic(s) caught, {} restart(s), \
+         {} retries, {} quarantined",
+        stats.panics_caught, stats.restarts, stats.retries, stats.quarantined
+    );
+    Ok(())
+}
+
+/// A deterministic random input matching the model's IFM shape.
+fn input_for(server: &Server, id: ModelId, seed: u64) -> Tensor {
+    let shape = server.model_shape(id).expect("registered model");
+    Tensor::random(shape.0, shape.1, shape.2, seed)
+}
+
+fn parse_or<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: bad value '{v}'")),
+    }
+}

@@ -7,9 +7,11 @@
 //! npcgra energy     --kind dw --channels 8 --size 24x24 [--mapping auto|matmul|batched]
 //! npcgra disasm     --kind dw --channels 1 --size 8x8 [--machine 2x2] [--relu]
 //! npcgra serve-bench [--workers 4] [--clients 8] [--requests 160] [--max-batch 4] [--model v1|v2|mixed]
+//! npcgra chaos-bench [--workers 4] [--clients 8] [--seconds 5] [--fault-rate 1e-4] [--panic-worker 0]
 //! ```
 
 mod args;
+mod cmd_chaos_bench;
 mod cmd_disasm;
 mod cmd_energy;
 mod cmd_run_layer;
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
         "energy" => cmd_energy::run(rest),
         "disasm" => cmd_disasm::run(rest),
         "serve-bench" => cmd_serve_bench::run(rest),
+        "chaos-bench" => cmd_chaos_bench::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -58,6 +61,8 @@ commands:
   energy      first-order energy estimate of one layer
   disasm      disassemble a mapping's configuration memory (Fig. 3 view)
   serve-bench closed-loop load test of the batching inference server
+  chaos-bench fault-injection soak: panics, poison and hardware bit flips
+              must all be survived (nonzero exit otherwise)
 
 common flags:
   --machine RxC       array size (default 8x8, the Table 4 machine)
@@ -72,4 +77,6 @@ common flags:
   --cycles N          max trace lines (trace)
   --workers N, --clients N, --requests N, --max-batch N, --linger-us N,
   --deadline-ms N     serve-bench load-generator knobs
+  --seconds S, --fault-rate P, --fault-seed N, --panic-worker W,
+  --wait-ms N         chaos-bench fault-injection knobs
 ";

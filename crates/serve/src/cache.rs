@@ -11,10 +11,18 @@
 //!
 //! Dynamically-formed batch layers flow through the same cache: after the
 //! first batch of a given (model, batch-size) shape, its program is a hit.
+//!
+//! The cache is bounded: past [`capacity`](ProgramCache::with_capacity)
+//! distinct configurations, the least-recently-used entry is evicted (a
+//! logical clock stamps every touch; eviction drops the minimum stamp).
+//! Eviction only drops the cache's own `Arc` — programs still executing on
+//! worker shards keep their references alive. Lock poisoning is recovered,
+//! not propagated: a panicking worker must never wedge compilation for the
+//! survivors.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use npcgra_arch::CgraSpec;
 use npcgra_nn::ConvLayer;
@@ -63,23 +71,65 @@ struct CacheKey {
     kind: MappingKind,
 }
 
-/// A shared, thread-safe cache of compiled layer programs.
+#[derive(Debug)]
+struct Entry {
+    program: Arc<CompiledLayer>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    /// Logical clock: bumped on every touch, stamped into the touched entry.
+    clock: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, key: &CacheKey) -> Option<Arc<CompiledLayer>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.program)
+        })
+    }
+}
+
+/// A shared, thread-safe, bounded LRU cache of compiled layer programs.
 #[derive(Debug, Default)]
 pub struct ProgramCache {
-    map: RwLock<HashMap<CacheKey, Arc<CompiledLayer>>>,
+    inner: Mutex<Inner>,
+    /// Entry bound; `0` means unbounded.
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ProgramCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     #[must_use]
     pub fn new() -> Self {
         ProgramCache::default()
     }
 
+    /// An empty cache bounded to `capacity` entries (`0` = unbounded).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        ProgramCache {
+            capacity,
+            ..ProgramCache::default()
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Fetch the compiled program for `(layer, spec, kind)`, compiling and
-    /// inserting it on first use.
+    /// inserting it on first use. Every fetch refreshes the entry's
+    /// recency; an insert past capacity evicts the least-recently-used
+    /// entry.
     ///
     /// # Errors
     ///
@@ -91,17 +141,41 @@ impl ProgramCache {
             spec: SpecKey::of(spec),
             kind,
         };
-        if let Some(hit) = self.map.read().expect("cache lock").get(&key) {
+        if let Some(hit) = self.lock().touch(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+            return Ok(hit);
         }
         // Compile outside the lock; racing threads may both compile, the
         // first insert wins and the duplicate is dropped.
         let compiled = Arc::new(CompiledLayer::compile(layer, spec, kind)?);
-        let mut map = self.map.write().expect("cache lock");
-        let entry = map.entry(key).or_insert_with(|| Arc::clone(&compiled));
         self.misses.fetch_add(1, Ordering::Relaxed);
-        Ok(Arc::clone(entry))
+        let mut inner = self.lock();
+        if let Some(won) = inner.touch(&key) {
+            // Lost the race: another thread inserted while we compiled.
+            return Ok(won);
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.map.insert(
+            key,
+            Entry {
+                program: Arc::clone(&compiled),
+                last_used: stamp,
+            },
+        );
+        if self.capacity > 0 {
+            while inner.map.len() > self.capacity {
+                let victim = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty map over capacity");
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(compiled)
     }
 
     /// Cache hits so far.
@@ -116,14 +190,16 @@ impl ProgramCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted to stay within the capacity bound.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct configurations cached.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the cache lock is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.read().expect("cache lock").len()
+        self.lock().map.len()
     }
 
     /// Whether the cache is empty.
@@ -179,5 +255,36 @@ mod tests {
         let std_layer = ConvLayer::standard("c", 3, 4, 8, 8, 3, 1, 1, 1);
         assert!(cache.get_or_compile(&std_layer, &spec(), MappingKind::Auto).is_err());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let cache = ProgramCache::with_capacity(2);
+        let a = ConvLayer::pointwise("a", 8, 8, 4, 4);
+        let b = ConvLayer::pointwise("b", 8, 8, 8, 8);
+        let c = ConvLayer::pointwise("c", 8, 8, 2, 2);
+        cache.get_or_compile(&a, &spec(), MappingKind::Auto).unwrap();
+        cache.get_or_compile(&b, &spec(), MappingKind::Auto).unwrap();
+        // Refresh `a`, so `b` is now the LRU victim.
+        cache.get_or_compile(&a, &spec(), MappingKind::Auto).unwrap();
+        cache.get_or_compile(&c, &spec(), MappingKind::Auto).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        let hits_before = cache.hits();
+        cache.get_or_compile(&a, &spec(), MappingKind::Auto).unwrap();
+        assert_eq!(cache.hits(), hits_before + 1, "refreshed entry survived");
+        cache.get_or_compile(&b, &spec(), MappingKind::Auto).unwrap();
+        assert_eq!(cache.misses(), 4, "evicted entry recompiles");
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let cache = ProgramCache::with_capacity(0);
+        for w in [2usize, 4, 8, 16] {
+            let layer = ConvLayer::pointwise("pw", 8, 8, w, 4);
+            cache.get_or_compile(&layer, &spec(), MappingKind::Auto).unwrap();
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 0);
     }
 }

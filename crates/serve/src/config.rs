@@ -3,6 +3,36 @@
 use std::time::Duration;
 
 use npcgra_arch::CgraSpec;
+use npcgra_nn::Word;
+
+/// Chaos-engineering knobs: deliberate failures injected into the serving
+/// path so the supervision, retry and quarantine machinery can be exercised
+/// deterministically. All knobs default to "off"; a production config never
+/// sets them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosConfig {
+    /// Make this worker shard panic on its first executed batch (the
+    /// supervisor must catch it, restart the shard and retry the batch).
+    pub panic_on_first_batch: Option<usize>,
+    /// Treat any request whose input word at `(0, 0, 0)` equals this
+    /// sentinel as poison: executing a batch containing it fails, driving
+    /// the bisect-and-quarantine path.
+    pub poison_value: Option<Word>,
+    /// Seed for the per-shard [`FaultPlan`](npcgra_sim::FaultPlan)
+    /// (deterministic transient bit flips in the simulated hardware).
+    /// `None` disables fault injection even when `fault_rate > 0`.
+    pub fault_seed: Option<u64>,
+    /// Per-`(tile, cycle)` fault probability for the Bernoulli plan.
+    pub fault_rate: f64,
+}
+
+impl ChaosConfig {
+    /// Whether any chaos knob is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.panic_on_first_batch.is_some() || self.poison_value.is_some() || (self.fault_seed.is_some() && self.fault_rate > 0.0)
+    }
+}
 
 /// Configuration for a [`Server`](crate::Server).
 ///
@@ -31,6 +61,24 @@ pub struct ServeConfig {
     /// Deadline applied to requests submitted without an explicit one.
     /// `None` means such requests never expire.
     pub default_deadline: Option<Duration>,
+    /// Bound on distinct compiled programs kept in the shared cache; the
+    /// least-recently-used entry is evicted past it. `0` means unbounded.
+    pub cache_capacity: usize,
+    /// Per-request execution-attempt cap: a request that has failed this
+    /// many re-executions (batch bisections included) is quarantined.
+    pub max_retries: u32,
+    /// Worker-shard panics survived before the supervisor gives the shard
+    /// up as unhealthy (each survived panic is one restart).
+    pub restart_budget: u32,
+    /// Base supervisor backoff after a caught panic; doubles per
+    /// consecutive restart of the shard, capped at 64× the base.
+    pub restart_backoff: Duration,
+    /// Degraded mode: when fewer than this many shards are healthy, the
+    /// admission queue bound scales down by `healthy / workers`, shedding
+    /// load early with [`ServeError::Degraded`](crate::ServeError::Degraded).
+    pub min_healthy_workers: usize,
+    /// Deliberate failure injection (off by default).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +90,12 @@ impl Default for ServeConfig {
             max_batch: 4,
             max_linger: Duration::from_millis(2),
             default_deadline: None,
+            cache_capacity: 512,
+            max_retries: 4,
+            restart_budget: 3,
+            restart_backoff: Duration::from_millis(1),
+            min_healthy_workers: 1,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -90,6 +144,48 @@ impl ServeConfig {
         self.default_deadline = deadline;
         self
     }
+
+    /// Set the program-cache capacity (`0` = unbounded).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Set the per-request execution-attempt cap.
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Set the per-shard restart budget.
+    #[must_use]
+    pub fn with_restart_budget(mut self, budget: u32) -> Self {
+        self.restart_budget = budget;
+        self
+    }
+
+    /// Set the base supervisor restart backoff.
+    #[must_use]
+    pub fn with_restart_backoff(mut self, backoff: Duration) -> Self {
+        self.restart_backoff = backoff;
+        self
+    }
+
+    /// Set the degraded-mode healthy-shard threshold.
+    #[must_use]
+    pub fn with_min_healthy_workers(mut self, min: usize) -> Self {
+        self.min_healthy_workers = min;
+        self
+    }
+
+    /// Set the chaos (failure-injection) knobs.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +211,38 @@ mod tests {
     #[test]
     fn max_batch_is_at_least_one() {
         assert_eq!(ServeConfig::default().with_max_batch(0).max_batch, 1);
+    }
+
+    #[test]
+    fn chaos_defaults_off() {
+        let c = ServeConfig::default();
+        assert!(!c.chaos.enabled());
+        // Rate alone (no seed) keeps injection off.
+        let chaos = ChaosConfig {
+            fault_rate: 0.5,
+            ..ChaosConfig::default()
+        };
+        assert!(!chaos.enabled());
+        let chaos = ChaosConfig {
+            fault_seed: Some(1),
+            fault_rate: 0.5,
+            ..ChaosConfig::default()
+        };
+        assert!(chaos.enabled());
+    }
+
+    #[test]
+    fn fault_tolerance_builders_compose() {
+        let c = ServeConfig::default()
+            .with_cache_capacity(16)
+            .with_max_retries(7)
+            .with_restart_budget(2)
+            .with_restart_backoff(Duration::ZERO)
+            .with_min_healthy_workers(3);
+        assert_eq!(c.cache_capacity, 16);
+        assert_eq!(c.max_retries, 7);
+        assert_eq!(c.restart_budget, 2);
+        assert_eq!(c.restart_backoff, Duration::ZERO);
+        assert_eq!(c.min_healthy_workers, 3);
     }
 }

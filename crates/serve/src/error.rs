@@ -1,10 +1,12 @@
 //! Typed serving errors.
 //!
-//! Admission control and load shedding surface as values, never panics: a
-//! closed-loop client can match on the variant to decide whether to retry
-//! (queue full), give up (deadline) or stop (shutting down).
+//! Admission control, load shedding and fault recovery surface as values,
+//! never panics: a closed-loop client can match on the variant to decide
+//! whether to retry (queue full, degraded), give up (deadline, quarantined)
+//! or stop (shutting down).
 
 use std::fmt;
+use std::time::Duration;
 
 use npcgra_sim::SimError;
 
@@ -31,8 +33,37 @@ pub enum ServeError {
     },
     /// The simulator rejected the layer (mapping or hardware-rule failure).
     Sim(SimError),
-    /// The worker shard died before replying (a bug — workers don't panic).
+    /// The worker shard died before replying.
     WorkerLost,
+    /// A worker shard panicked while executing this request's batch; the
+    /// supervisor caught the panic and restarted the shard.
+    WorkerPanic {
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
+    /// [`Ticket::wait_timeout`](crate::Ticket::wait_timeout): no reply
+    /// arrived within the wait bound. The request may still complete later.
+    ReplyTimeout {
+        /// How long the caller waited.
+        waited: Duration,
+    },
+    /// The request kept failing after the batch-retry policy bisected its
+    /// batch down to this request alone and exhausted the retry cap: it is
+    /// the poison, quarantined so batch-mates could complete.
+    Quarantined {
+        /// Execution attempts spent before giving up.
+        attempts: u32,
+        /// The failure observed on the final attempt.
+        cause: Box<ServeError>,
+    },
+    /// Degraded mode: too few healthy worker shards remain, so load is
+    /// shed early (or, at zero healthy shards, entirely).
+    Degraded {
+        /// Healthy worker shards at rejection time.
+        healthy: usize,
+        /// Worker shards the server was configured with.
+        workers: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -47,6 +78,16 @@ impl fmt::Display for ServeError {
             }
             ServeError::Sim(e) => write!(f, "simulation failed: {e}"),
             ServeError::WorkerLost => write!(f, "worker shard lost before reply"),
+            ServeError::WorkerPanic { message } => write!(f, "worker shard panicked: {message}"),
+            ServeError::ReplyTimeout { waited } => {
+                write!(f, "no reply within {:.3} s", waited.as_secs_f64())
+            }
+            ServeError::Quarantined { attempts, cause } => {
+                write!(f, "request quarantined after {attempts} attempts: {cause}")
+            }
+            ServeError::Degraded { healthy, workers } => {
+                write!(f, "degraded: only {healthy}/{workers} worker shards healthy; request shed")
+            }
         }
     }
 }
@@ -55,6 +96,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Sim(e) => Some(e),
+            ServeError::Quarantined { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
     }
@@ -63,6 +105,16 @@ impl std::error::Error for ServeError {
 impl From<SimError> for ServeError {
     fn from(e: SimError) -> Self {
         ServeError::Sim(e)
+    }
+}
+
+impl ServeError {
+    /// Whether the batch-retry policy may re-execute a request that failed
+    /// with this error (transient-fault-shaped failures), as opposed to
+    /// rejections that are final by construction.
+    #[must_use]
+    pub fn retryable(&self) -> bool {
+        matches!(self, ServeError::Sim(_) | ServeError::WorkerPanic { .. })
     }
 }
 
@@ -79,5 +131,21 @@ mod tests {
         };
         assert!(e.to_string().contains("(3, 8, 8)"));
         assert!(e.to_string().contains("(3, 4, 4)"));
+        let q = ServeError::Quarantined {
+            attempts: 3,
+            cause: Box::new(ServeError::WorkerPanic { message: "chaos".into() }),
+        };
+        assert!(q.to_string().contains("3 attempts"));
+        assert!(q.to_string().contains("chaos"));
+        let d = ServeError::Degraded { healthy: 1, workers: 4 };
+        assert!(d.to_string().contains("1/4"));
+    }
+
+    #[test]
+    fn only_transient_failures_are_retryable() {
+        assert!(ServeError::WorkerPanic { message: "p".into() }.retryable());
+        assert!(!ServeError::DeadlineExceeded.retryable());
+        assert!(!ServeError::ShuttingDown.retryable());
+        assert!(!ServeError::Degraded { healthy: 0, workers: 2 }.retryable());
     }
 }

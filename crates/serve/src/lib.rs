@@ -22,6 +22,13 @@
 //!   ([`ServeError::QueueFull`]), per-request deadlines are enforced at
 //!   batch formation ([`ServeError::DeadlineExceeded`]), and shutdown
 //!   drains gracefully.
+//! * **Fault tolerance** — worker panics are caught by a supervisor that
+//!   rebuilds the shard's machine under a restart budget with exponential
+//!   backoff; failed batches bisect to quarantine poison requests
+//!   ([`ServeError::Quarantined`]) while their batch-mates complete;
+//!   too few healthy shards sheds load early ([`ServeError::Degraded`]);
+//!   and [`ChaosConfig`] injects deterministic panics, poison and
+//!   simulated-hardware bit flips to drive all of it in tests.
 //!
 //! Everything is std threads and channels — no async runtime.
 //!
@@ -47,11 +54,13 @@ pub(crate) mod batch;
 pub mod cache;
 pub mod config;
 pub mod error;
+pub(crate) mod retry;
 pub mod server;
 pub mod stats;
+pub(crate) mod supervisor;
 
 pub use cache::ProgramCache;
-pub use config::ServeConfig;
+pub use config::{ChaosConfig, ServeConfig};
 pub use error::ServeError;
 pub use server::{ModelId, Response, Server, Ticket};
-pub use stats::StatsSnapshot;
+pub use stats::{StatsSnapshot, WorkerExit};

@@ -1,33 +1,39 @@
 //! The worker-shard server: admission, queueing, batching, execution.
 //!
-//! Each worker thread owns one simulated [`Machine`] (a "shard") and drains
-//! a shared, bounded, per-model work queue. A worker forms a batch when a
-//! model's queue reaches `max_batch`, when its oldest request has lingered
-//! `max_linger`, or when the server is draining for shutdown — whichever
-//! comes first — then coalesces the requests with [`crate::batch`], fetches
-//! the compiled program from the shared [`ProgramCache`], and runs the
-//! batch on its own machine. Requests whose deadline passed while queued
-//! are shed at batch formation, before any simulation work is spent on
-//! them.
+//! Each worker thread owns one simulated [`Machine`](npcgra_sim::Machine)
+//! (a "shard") and drains a shared, bounded, per-model work queue. A worker
+//! forms a batch when a model's queue reaches `max_batch`, when its oldest
+//! request has lingered `max_linger`, or when the server is draining for
+//! shutdown — whichever comes first — then coalesces the requests with
+//! [`crate::batch`], fetches the compiled program from the shared
+//! [`ProgramCache`], and runs the batch on its own machine. Requests whose
+//! deadline passed while queued are shed at batch formation, before any
+//! simulation work is spent on them.
+//!
+//! Execution is supervised ([`crate::supervisor`]): worker panics are
+//! caught, the shard's machine is rebuilt, and a restart budget bounds how
+//! many panics a shard survives before it is retired. Failed batches flow
+//! through the bisecting retry policy ([`crate::retry`]) that isolates
+//! poison requests so their batch-mates still complete.
 
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use npcgra_nn::{ConvKind, ConvLayer, Tensor};
-use npcgra_sim::{run_standard_via_im2col, LayerReport, Machine, MappingKind};
+use npcgra_sim::{LayerReport, MappingKind};
 
-use crate::batch;
 use crate::cache::ProgramCache;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
-use crate::stats::{Stats, StatsSnapshot};
+use crate::stats::{Stats, StatsSnapshot, WorkerExit};
+use crate::supervisor;
 
 /// Handle to a registered model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ModelId(usize);
+pub struct ModelId(pub(crate) usize);
 
 /// A completed inference.
 #[derive(Debug, Clone)]
@@ -45,7 +51,8 @@ pub struct Response {
     pub latency: Duration,
 }
 
-/// The receive side of one request; redeemed with [`Ticket::wait`].
+/// The receive side of one request; redeemed with [`Ticket::wait`] or
+/// polled with [`Ticket::wait_timeout`].
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<Result<Response, ServeError>>,
@@ -57,42 +64,73 @@ impl Ticket {
     /// # Errors
     ///
     /// Returns the typed rejection ([`ServeError::DeadlineExceeded`],
-    /// [`ServeError::ShuttingDown`], …) or the simulation failure.
+    /// [`ServeError::ShuttingDown`], …) or the simulation failure. If the
+    /// reply channel's send side was dropped without a reply — the worker
+    /// shard died outside the supervised region — this is
+    /// [`ServeError::WorkerLost`], never a hang.
     pub fn wait(self) -> Result<Response, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(mpsc::RecvError) => Err(ServeError::WorkerLost),
+        }
+    }
+
+    /// Block until the request completes, is shed, or `timeout` elapses.
+    ///
+    /// A timeout does not cancel the request: the ticket stays redeemable,
+    /// so the caller may keep polling (or switch to [`Ticket::wait`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ReplyTimeout`] when no reply arrived in time,
+    /// [`ServeError::WorkerLost`] when the reply channel was dropped,
+    /// otherwise exactly as [`Ticket::wait`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Response, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::ReplyTimeout { waited: timeout }),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::WorkerLost),
+        }
     }
 }
 
-struct ModelEntry {
-    name: String,
-    layer: ConvLayer,
-    weights: Arc<Tensor>,
+pub(crate) struct ModelEntry {
+    pub(crate) name: String,
+    pub(crate) layer: ConvLayer,
+    pub(crate) weights: Arc<Tensor>,
 }
 
-struct Pending {
-    input: Tensor,
-    enqueued: Instant,
-    deadline: Option<Instant>,
-    reply: mpsc::Sender<Result<Response, ServeError>>,
+pub(crate) struct Pending {
+    pub(crate) input: Tensor,
+    pub(crate) enqueued: Instant,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) reply: mpsc::Sender<Result<Response, ServeError>>,
+    /// Failed execution attempts so far (survives requeueing across
+    /// shards); the retry policy quarantines past `config.max_retries`.
+    pub(crate) attempts: u32,
 }
 
-struct QueueState {
+pub(crate) struct QueueState {
     /// One FIFO per registered model, indexed by [`ModelId`].
-    queues: Vec<VecDeque<Pending>>,
+    pub(crate) queues: Vec<VecDeque<Pending>>,
     /// Total requests queued across all models (admission-control bound).
-    total: usize,
+    pub(crate) total: usize,
     /// Cleared by shutdown; workers then drain and exit.
-    open: bool,
+    pub(crate) open: bool,
+    /// Worker shards still within their restart budget. Kept under the
+    /// queue lock so admission control and shard-death handling see a
+    /// consistent count.
+    pub(crate) healthy: usize,
 }
 
-struct Shared {
-    config: ServeConfig,
-    models: RwLock<Vec<ModelEntry>>,
-    queue: Mutex<QueueState>,
-    ready: Condvar,
-    cache: ProgramCache,
-    stats: Stats,
-    started: Instant,
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    pub(crate) models: RwLock<Vec<ModelEntry>>,
+    pub(crate) queue: Mutex<QueueState>,
+    pub(crate) ready: Condvar,
+    pub(crate) cache: ProgramCache,
+    pub(crate) stats: Stats,
+    pub(crate) started: Instant,
 }
 
 /// A sharded, batching inference server over the cycle-accurate simulator.
@@ -101,7 +139,7 @@ struct Shared {
 /// [`ServeConfig`] for tuning knobs.
 pub struct Server {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<WorkerExit>>,
 }
 
 impl Server {
@@ -110,23 +148,24 @@ impl Server {
     pub fn start(config: ServeConfig) -> Self {
         let shared = Arc::new(Shared {
             stats: Stats::new(config.workers, config.max_batch),
-            config,
             models: RwLock::new(Vec::new()),
             queue: Mutex::new(QueueState {
                 queues: Vec::new(),
                 total: 0,
                 open: true,
+                healthy: config.workers,
             }),
             ready: Condvar::new(),
-            cache: ProgramCache::new(),
+            cache: ProgramCache::with_capacity(config.cache_capacity),
             started: Instant::now(),
+            config,
         });
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("npcgra-serve-{i}"))
-                    .spawn(move || worker_main(&shared, i))
+                    .spawn(move || supervisor::run_worker(&shared, i))
                     .expect("spawn worker shard")
             })
             .collect();
@@ -153,7 +192,7 @@ impl Server {
                 .cache
                 .get_or_compile(&layer, &self.shared.config.spec, MappingKind::Auto)?;
         }
-        let mut models = self.shared.models.write().expect("models lock");
+        let mut models = self.shared.models.write().unwrap_or_else(PoisonError::into_inner);
         let id = ModelId(models.len());
         models.push(ModelEntry {
             name: name.to_string(),
@@ -161,7 +200,7 @@ impl Server {
             weights: Arc::new(weights),
         });
         drop(models);
-        self.shared.queue.lock().expect("queue lock").queues.push(VecDeque::new());
+        supervisor::lock_queue(&self.shared).queues.push(VecDeque::new());
         Ok(id)
     }
 
@@ -176,16 +215,18 @@ impl Server {
 
     /// Submit a request that must *start executing* within `deadline`
     /// (`None` = never expires). Admission control applies here: a full
-    /// queue or a draining server rejects synchronously, typed.
+    /// queue, a draining server, or a degraded one (too few healthy
+    /// shards) rejects synchronously, typed.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`], [`ServeError::ShapeMismatch`],
-    /// [`ServeError::QueueFull`] or [`ServeError::ShuttingDown`].
+    /// [`ServeError::QueueFull`], [`ServeError::ShuttingDown`] or
+    /// [`ServeError::Degraded`].
     pub fn submit_with_deadline(&self, model: ModelId, input: Tensor, deadline: Option<Duration>) -> Result<Ticket, ServeError> {
         let shared = &self.shared;
         {
-            let models = shared.models.read().expect("models lock");
+            let models = shared.models.read().unwrap_or_else(PoisonError::into_inner);
             let entry = models.get(model.0).ok_or(ServeError::UnknownModel)?;
             let expected = (entry.layer.in_channels(), entry.layer.in_h(), entry.layer.in_w());
             let got = (input.channels(), input.height(), input.width());
@@ -195,10 +236,33 @@ impl Server {
         }
         let now = Instant::now();
         let (tx, rx) = mpsc::channel();
-        let mut q = shared.queue.lock().expect("queue lock");
+        let mut q = supervisor::lock_queue(shared);
         if !q.open {
             shared.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::ShuttingDown);
+        }
+        // Degraded mode (only meaningful with workers configured): with no
+        // healthy shard left nothing will ever drain the queue, so shed
+        // everything; below the healthy threshold, scale the queue bound by
+        // the surviving fraction so backlog shrinks with capacity.
+        if shared.config.workers > 0 {
+            if q.healthy == 0 {
+                shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Degraded {
+                    healthy: 0,
+                    workers: shared.config.workers,
+                });
+            }
+            if q.healthy < shared.config.min_healthy_workers {
+                let scaled = (shared.config.queue_capacity * q.healthy / shared.config.workers).max(1);
+                if q.total >= scaled {
+                    shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Degraded {
+                        healthy: q.healthy,
+                        workers: shared.config.workers,
+                    });
+                }
+            }
         }
         if q.total >= shared.config.queue_capacity {
             shared.stats.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
@@ -211,6 +275,7 @@ impl Server {
             enqueued: now,
             deadline: deadline.map(|d| now + d),
             reply: tx,
+            attempts: 0,
         });
         q.total += 1;
         shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
@@ -220,13 +285,14 @@ impl Server {
         Ok(Ticket { rx })
     }
 
-    /// A live statistics snapshot (cache counters included).
+    /// A live statistics snapshot (cache and fault counters included).
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
-        let depth = self.shared.queue.lock().expect("queue lock").total;
+        let depth = supervisor::lock_queue(&self.shared).total;
         let mut snap = self.shared.stats.snapshot(self.shared.started.elapsed(), depth);
         snap.cache_hits = self.shared.cache.hits();
         snap.cache_misses = self.shared.cache.misses();
+        snap.cache_evictions = self.shared.cache.evictions();
         snap
     }
 
@@ -236,7 +302,7 @@ impl Server {
         self.shared
             .models
             .read()
-            .expect("models lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(model.0)
             .map(|e| e.name.clone())
     }
@@ -248,26 +314,30 @@ impl Server {
         self.shared
             .models
             .read()
-            .expect("models lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(model.0)
             .map(|e| (e.layer.in_channels(), e.layer.in_h(), e.layer.in_w()))
     }
 
     /// Graceful shutdown: stop admitting, let the workers drain every
     /// queued request (batching as usual), join them, and return the final
-    /// statistics. With zero workers the queue cannot drain, so remaining
-    /// requests are rejected with [`ServeError::ShuttingDown`].
+    /// statistics — including how each worker thread ended
+    /// ([`WorkerExit`]), instead of propagating worker panics as a panic
+    /// cascade here. With zero healthy workers the queue cannot drain, so
+    /// remaining requests are rejected with [`ServeError::ShuttingDown`].
     #[must_use]
     pub fn shutdown(self) -> StatsSnapshot {
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = supervisor::lock_queue(&self.shared);
             q.open = false;
         }
         self.shared.ready.notify_all();
-        for h in self.workers {
-            h.join().expect("worker shard panicked");
-        }
-        let mut q = self.shared.queue.lock().expect("queue lock");
+        let exits: Vec<WorkerExit> = self
+            .workers
+            .into_iter()
+            .map(|h| h.join().unwrap_or(WorkerExit::Panicked))
+            .collect();
+        let mut q = supervisor::lock_queue(&self.shared);
         let mut shed = 0usize;
         for queue in &mut q.queues {
             while let Some(p) = queue.pop_front() {
@@ -282,6 +352,8 @@ impl Server {
         let mut snap = self.shared.stats.snapshot(self.shared.started.elapsed(), depth);
         snap.cache_hits = self.shared.cache.hits();
         snap.cache_misses = self.shared.cache.misses();
+        snap.cache_evictions = self.shared.cache.evictions();
+        snap.worker_exits = exits;
         snap
     }
 }
@@ -298,21 +370,11 @@ fn expected_weight_shape(layer: &ConvLayer) -> (usize, usize, usize) {
     }
 }
 
-/// The batched mapping to prefer for a combined layer: the §5.4
-/// channel-batched DWC when it applies, the paper's per-kind best otherwise.
-fn preferred_kind(layer: &ConvLayer) -> MappingKind {
-    if layer.kind() == ConvKind::Depthwise && layer.s() == 1 && layer.k() * layer.k() <= npcgra_arch::grf::GRF_WORDS {
-        MappingKind::BatchedDwcS1
-    } else {
-        MappingKind::Auto
-    }
-}
-
 /// Pull the next batch off the shared queue, blocking until one is ready
 /// or the server drains empty during shutdown (→ `None`, worker exits).
-fn next_batch(shared: &Shared) -> Option<(ModelId, Vec<Pending>)> {
+pub(crate) fn next_batch(shared: &Shared) -> Option<(ModelId, Vec<Pending>)> {
     let config = &shared.config;
-    let mut q = shared.queue.lock().expect("queue lock");
+    let mut q = supervisor::lock_queue(shared);
     loop {
         // The model whose head request has waited longest: it is both the
         // fairness choice and the first to hit its linger deadline.
@@ -327,7 +389,7 @@ fn next_batch(shared: &Shared) -> Option<(ModelId, Vec<Pending>)> {
                 if !q.open {
                     return None;
                 }
-                q = shared.ready.wait(q).expect("queue lock");
+                q = shared.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
             Some((m, head_enqueued)) => {
                 let now = Instant::now();
@@ -340,100 +402,10 @@ fn next_batch(shared: &Shared) -> Option<(ModelId, Vec<Pending>)> {
                     return Some((ModelId(m), items));
                 }
                 let wait = config.max_linger - now.duration_since(head_enqueued);
-                q = shared.ready.wait_timeout(q, wait).expect("queue lock").0;
-            }
-        }
-    }
-}
-
-fn worker_main(shared: &Shared, worker: usize) {
-    let mut machine = Machine::new(&shared.config.spec);
-    while let Some((model, pendings)) = next_batch(shared) {
-        let busy_start = Instant::now();
-        run_batch(shared, worker, &mut machine, model, pendings);
-        shared.stats.observe_worker_busy(worker, busy_start.elapsed());
-    }
-}
-
-fn run_batch(shared: &Shared, worker: usize, machine: &mut Machine, model: ModelId, pendings: Vec<Pending>) {
-    // Shed requests whose deadline passed while queued — before spending
-    // any simulation time on them.
-    let now = Instant::now();
-    let mut live = Vec::with_capacity(pendings.len());
-    for p in pendings {
-        if p.deadline.is_some_and(|d| d < now) {
-            shared.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
-            let _ = p.reply.send(Err(ServeError::DeadlineExceeded));
-        } else {
-            live.push(p);
-        }
-    }
-    if live.is_empty() {
-        return;
-    }
-
-    let (layer, weights) = {
-        let models = shared.models.read().expect("models lock");
-        let entry = &models[model.0];
-        (entry.layer.clone(), Arc::clone(&entry.weights))
-    };
-    let spec = &shared.config.spec;
-
-    let outcome: Result<(Vec<Tensor>, LayerReport), ServeError> = if live.len() == 1 || !batch::batchable(&layer) {
-        // Solo path (also every standard-conv request): no coalescing.
-        let mut outputs = Vec::with_capacity(live.len());
-        let mut last_report = None;
-        let mut solo = || -> Result<(), ServeError> {
-            for p in &live {
-                let (ofm, report) = if layer.kind() == ConvKind::Standard {
-                    run_standard_via_im2col(&layer, &p.input, &weights, spec)?
-                } else {
-                    let compiled = shared.cache.get_or_compile(&layer, spec, MappingKind::Auto)?;
-                    compiled.run_on(machine, &p.input, &weights)?
+                q = match shared.ready.wait_timeout(q, wait) {
+                    Ok((guard, _)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
                 };
-                outputs.push(ofm);
-                last_report = Some(report);
-            }
-            Ok(())
-        };
-        solo().map(|()| (outputs, last_report.expect("at least one request")))
-    } else {
-        let b = live.len();
-        let big = batch::combined_layer(&layer, b);
-        let inputs: Vec<&Tensor> = live.iter().map(|p| &p.input).collect();
-        let big_ifm = batch::combined_ifm(&layer, &inputs);
-        let big_w = batch::combined_weights(&layer, &weights, b);
-        shared
-            .cache
-            .get_or_compile(&big, spec, preferred_kind(&big))
-            .or_else(|_| shared.cache.get_or_compile(&big, spec, MappingKind::Auto))
-            .map_err(ServeError::from)
-            .and_then(|compiled| compiled.run_on(machine, &big_ifm, &big_w).map_err(ServeError::from))
-            .map(|(ofm, report)| (batch::split_ofm(&layer, b, &ofm), report))
-    };
-
-    let batch_size = live.len();
-    shared.stats.observe_batch(batch_size);
-    match outcome {
-        Ok((outputs, report)) => {
-            let done = Instant::now();
-            for (p, output) in live.into_iter().zip(outputs) {
-                let latency = done.duration_since(p.enqueued);
-                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                shared.stats.observe_latency(latency);
-                let _ = p.reply.send(Ok(Response {
-                    output,
-                    report: report.clone(),
-                    batch_size,
-                    worker,
-                    latency,
-                }));
-            }
-        }
-        Err(e) => {
-            for p in live {
-                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = p.reply.send(Err(e.clone()));
             }
         }
     }
@@ -464,6 +436,7 @@ mod tests {
         assert!(resp.report.cycles > 0);
         let stats = server.shutdown();
         assert_eq!(stats.completed, 1);
+        assert_eq!(stats.worker_exits, vec![WorkerExit::Clean, WorkerExit::Clean]);
     }
 
     #[test]
@@ -499,5 +472,19 @@ mod tests {
         assert_eq!(server.model_name(id).as_deref(), Some("mobilenet.pw1"));
         assert_eq!(server.model_name(ModelId(9)), None);
         let _ = server.shutdown();
+    }
+
+    #[test]
+    fn wait_timeout_then_wait_still_redeems() {
+        // Zero workers: nothing drains, so the timeout path is exercised
+        // deterministically; shutdown then sheds with ShuttingDown.
+        let server = Server::start(config().with_workers(0));
+        let layer = ConvLayer::pointwise("pw", 4, 4, 4, 4);
+        let id = server.register("m", layer.clone(), layer.random_weights(1)).unwrap();
+        let ticket = server.submit(id, Tensor::random(4, 4, 4, 3)).unwrap();
+        let err = ticket.wait_timeout(Duration::from_millis(5)).unwrap_err();
+        assert!(matches!(err, ServeError::ReplyTimeout { .. }));
+        let _ = server.shutdown();
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::ShuttingDown);
     }
 }

@@ -6,8 +6,32 @@
 //! power of two of nanoseconds), so p50/p95/p99 are accurate to within a
 //! factor of √2 with zero allocation per request.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
+
+/// How a worker shard's thread ended, reported by
+/// [`Server::shutdown`](crate::Server::shutdown) instead of a panic
+/// cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// The shard drained the queue and exited normally.
+    Clean,
+    /// The supervisor exhausted the shard's restart budget and retired it.
+    Unhealthy,
+    /// The thread died outside the supervised execution region (a bug —
+    /// the supervisor is supposed to catch every batch-execution panic).
+    Panicked,
+}
+
+impl std::fmt::Display for WorkerExit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerExit::Clean => write!(f, "clean"),
+            WorkerExit::Unhealthy => write!(f, "unhealthy"),
+            WorkerExit::Panicked => write!(f, "panicked"),
+        }
+    }
+}
 
 /// Number of log2 latency buckets; bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` nanoseconds. 2^48 ns ≈ 78 hours, far beyond any request.
@@ -23,6 +47,19 @@ pub(crate) struct Stats {
     pub rejected_shutdown: AtomicU64,
     pub failed: AtomicU64,
     pub max_queue_depth: AtomicU64,
+    /// Panics caught by the shard supervisor.
+    pub panics_caught: AtomicU64,
+    /// Shard respawns (a caught panic followed by a machine rebuild).
+    pub restarts: AtomicU64,
+    /// Batch re-executions driven by the retry/bisect policy.
+    pub retries: AtomicU64,
+    /// Requests isolated as poison after bisection + retry-cap exhaustion.
+    pub quarantined: AtomicU64,
+    /// Requests shed because the server was degraded (too few healthy
+    /// shards) at admission or after a shard collapse.
+    pub degraded_sheds: AtomicU64,
+    /// Per-shard death flags, set once when the restart budget runs out.
+    shard_dead: Vec<AtomicBool>,
     latency: [AtomicU64; LATENCY_BUCKETS],
     /// `batch_hist[i]` counts batches of size `i`; index 0 is unused.
     batch_hist: Vec<AtomicU64>,
@@ -39,6 +76,12 @@ impl Stats {
             rejected_shutdown: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            degraded_sheds: AtomicU64::new(0),
+            shard_dead: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_hist: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
             worker_busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
@@ -62,6 +105,10 @@ impl Stats {
 
     pub(crate) fn observe_worker_busy(&self, worker: usize, busy: Duration) {
         self.worker_busy_ns[worker].fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn mark_shard_dead(&self, worker: usize) {
+        self.shard_dead[worker].store(true, Ordering::Relaxed);
     }
 
     /// Latency at quantile `q` (0..1): geometric midpoint of the bucket the
@@ -94,6 +141,13 @@ impl Stats {
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            degraded_sheds: self.degraded_sheds.load(Ordering::Relaxed),
+            shard_health: self.shard_dead.iter().map(|d| !d.load(Ordering::Relaxed)).collect(),
+            worker_exits: Vec::new(),
             throughput_rps: if elapsed.as_secs_f64() > 0.0 {
                 completed as f64 / elapsed.as_secs_f64()
             } else {
@@ -115,6 +169,7 @@ impl Stats {
                 .collect(),
             cache_hits: 0,
             cache_misses: 0,
+            cache_evictions: 0,
         }
     }
 }
@@ -136,6 +191,22 @@ pub struct StatsSnapshot {
     pub rejected_shutdown: u64,
     /// Requests that failed in the simulator.
     pub failed: u64,
+    /// Worker-shard panics caught by the supervisor.
+    pub panics_caught: u64,
+    /// Shard respawns performed by the supervisor.
+    pub restarts: u64,
+    /// Batch re-executions driven by the retry/bisect policy.
+    pub retries: u64,
+    /// Requests isolated as poison by bisection + retry-cap exhaustion.
+    pub quarantined: u64,
+    /// Requests shed in degraded mode (too few healthy shards).
+    pub degraded_sheds: u64,
+    /// `shard_health[w]` is `false` once worker `w` exhausted its restart
+    /// budget and was retired by the supervisor.
+    pub shard_health: Vec<bool>,
+    /// How each worker thread ended. Empty until
+    /// [`Server::shutdown`](crate::Server::shutdown) joins the workers.
+    pub worker_exits: Vec<WorkerExit>,
     /// Completed requests per second of server lifetime.
     pub throughput_rps: f64,
     /// Median request latency (log2-bucket approximation).
@@ -157,9 +228,17 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Program-cache misses, i.e. compilations (filled in by the server).
     pub cache_misses: u64,
+    /// Programs evicted from the bounded cache (filled in by the server).
+    pub cache_evictions: u64,
 }
 
 impl StatsSnapshot {
+    /// Number of worker shards still healthy (restart budget not exhausted).
+    #[must_use]
+    pub fn healthy_workers(&self) -> usize {
+        self.shard_health.iter().filter(|h| **h).count()
+    }
+
     /// Cache hit rate in `[0, 1]`; zero when the cache was never consulted.
     #[must_use]
     pub fn cache_hit_rate(&self) -> f64 {
@@ -226,11 +305,32 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
-            "cache:    {} hits / {} misses (hit rate {:.1}%)",
+            "cache:    {} hits / {} misses / {} evictions (hit rate {:.1}%)",
             self.cache_hits,
             self.cache_misses,
+            self.cache_evictions,
             self.cache_hit_rate() * 100.0
         )?;
+        writeln!(
+            f,
+            "faults:   {} panics caught, {} restarts, {} retries, {} quarantined, {} degraded sheds",
+            self.panics_caught, self.restarts, self.retries, self.quarantined, self.degraded_sheds
+        )?;
+        writeln!(
+            f,
+            "health:   {}/{} shards healthy",
+            self.healthy_workers(),
+            self.shard_health.len()
+        )?;
+        if !self.worker_exits.is_empty() {
+            let exits: Vec<String> = self
+                .worker_exits
+                .iter()
+                .enumerate()
+                .map(|(i, e)| format!("w{i}:{e}"))
+                .collect();
+            writeln!(f, "exits:    {}", exits.join(" "))?;
+        }
         let utils: Vec<String> = self
             .worker_utilization
             .iter()
@@ -305,5 +405,22 @@ mod tests {
         assert!(text.contains("p99"));
         assert!(text.contains("hit rate"));
         assert!(text.contains("w1:"));
+        assert!(text.contains("quarantined"));
+        assert!(text.contains("2/2 shards healthy"));
+    }
+
+    #[test]
+    fn shard_death_flips_health() {
+        let s = Stats::new(3, 4);
+        s.mark_shard_dead(1);
+        let snap = s.snapshot(Duration::from_secs(1), 0);
+        assert_eq!(snap.shard_health, vec![true, false, true]);
+        assert_eq!(snap.healthy_workers(), 2);
+        assert!(snap.to_string().contains("2/3 shards healthy"));
+        // Exits list is absent until shutdown fills it in.
+        assert!(snap.worker_exits.is_empty());
+        let mut snap = snap;
+        snap.worker_exits = vec![WorkerExit::Clean, WorkerExit::Unhealthy, WorkerExit::Clean];
+        assert!(snap.to_string().contains("w1:unhealthy"));
     }
 }

@@ -1,0 +1,277 @@
+//! Worker-shard supervision: panic containment, shard respawn, degraded
+//! mode.
+//!
+//! Every worker runs its batch executions inside
+//! [`catch_unwind`](std::panic::catch_unwind), with the requests' reply
+//! channels held *outside* the unwind boundary — a panicking execution can
+//! therefore never strand a [`Ticket`](crate::Ticket). After a caught
+//! panic the supervisor rebuilds the shard's [`Machine`] (simulator state
+//! mid-panic is unspecified), charges one unit of the shard's restart
+//! budget, and backs off exponentially before the next batch. A shard that
+//! exhausts its budget is retired: the healthy-shard count (kept under the
+//! queue lock, so admission control sees it consistently) drops, and at
+//! zero healthy shards the queue is drained with
+//! [`ServeError::Degraded`] — nothing would ever run those requests.
+//!
+//! Lock poisoning is recovered everywhere ([`PoisonError::into_inner`]):
+//! the queue's invariants are maintained by the panicking thread *before*
+//! any panic can propagate (executions never run under the queue lock), so
+//! the poisoned state is safe to adopt.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, MutexGuard, PoisonError, RwLockReadGuard};
+use std::time::Instant;
+
+use npcgra_nn::{ConvKind, ConvLayer, Tensor};
+use npcgra_sim::{run_standard_via_im2col, FaultPlan, LayerReport, Machine, MappingKind, SimCause, SimError};
+
+use crate::batch;
+use crate::error::ServeError;
+use crate::retry;
+use crate::server::{next_batch, ModelEntry, ModelId, Pending, QueueState, Shared};
+use crate::stats::WorkerExit;
+
+/// Lock the shared queue, adopting (not propagating) poisoned state.
+pub(crate) fn lock_queue(shared: &Shared) -> MutexGuard<'_, QueueState> {
+    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-lock the model registry, adopting poisoned state.
+pub(crate) fn read_models(shared: &Shared) -> RwLockReadGuard<'_, Vec<ModelEntry>> {
+    shared.models.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One worker's supervised execution state: its machine, its restart
+/// budget, and the armed chaos triggers.
+pub(crate) struct Shard {
+    pub(crate) worker: usize,
+    machine: Machine,
+    /// Restarts consumed so far (== caught panics survived).
+    restarts: u32,
+    /// One-shot chaos trigger: panic inside the next supervised execution.
+    panic_armed: bool,
+    /// Cleared when the restart budget runs out; the worker loop exits.
+    pub(crate) alive: bool,
+}
+
+impl Shard {
+    pub(crate) fn new(shared: &Shared, worker: usize) -> Self {
+        Shard {
+            worker,
+            machine: build_machine(shared, worker, 0),
+            restarts: 0,
+            panic_armed: shared.config.chaos.panic_on_first_batch == Some(worker),
+            alive: true,
+        }
+    }
+
+    /// Execute one request group under supervision. A caught panic is
+    /// converted to [`ServeError::WorkerPanic`] after the shard has been
+    /// restarted (or retired, if its budget ran out) — the caller checks
+    /// [`Shard::alive`] before dispatching more work.
+    pub(crate) fn execute(
+        &mut self,
+        shared: &Shared,
+        layer: &ConvLayer,
+        weights: &Tensor,
+        group: &[Pending],
+    ) -> Result<(Vec<Tensor>, LayerReport), ServeError> {
+        if let Some(poison) = shared.config.chaos.poison_value {
+            if group.iter().any(|p| p.input.get(0, 0, 0) == poison) {
+                return Err(poison_error());
+            }
+        }
+        let chaos_panic = self.panic_armed;
+        // Disarm before entering the unwind region: the retried batch must
+        // succeed, proving the restarted shard serves again.
+        self.panic_armed = false;
+        let machine = &mut self.machine;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            assert!(!chaos_panic, "chaos: injected worker panic");
+            run_group(shared, machine, layer, weights, group)
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                let message = panic_message(&payload);
+                self.note_panic(shared);
+                Err(ServeError::WorkerPanic { message })
+            }
+        }
+    }
+
+    /// Account a caught panic: restart the shard (rebuild the machine,
+    /// exponential backoff) while budget remains, retire it otherwise.
+    fn note_panic(&mut self, shared: &Shared) {
+        shared.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+        self.restarts += 1;
+        if self.restarts > shared.config.restart_budget {
+            self.alive = false;
+            mark_shard_dead(shared, self.worker);
+            return;
+        }
+        shared.stats.restarts.fetch_add(1, Ordering::Relaxed);
+        let backoff = shared.config.restart_backoff * (1u32 << (self.restarts - 1).min(6));
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        self.machine = build_machine(shared, self.worker, self.restarts);
+    }
+}
+
+/// A fresh simulated machine for `(worker, restart ordinal)`, carrying the
+/// chaos fault plan when one is configured. The plan's seed mixes in the
+/// worker index and restart ordinal (splitmix64-style odd constants) so
+/// shards draw independent fault streams, yet the whole fleet is
+/// reproducible from `ChaosConfig::fault_seed` alone.
+fn build_machine(shared: &Shared, worker: usize, restarts: u32) -> Machine {
+    let mut machine = Machine::new(&shared.config.spec);
+    let chaos = &shared.config.chaos;
+    if let Some(seed) = chaos.fault_seed {
+        if chaos.fault_rate > 0.0 {
+            let mix = seed
+                ^ (worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (u64::from(restarts)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            machine.set_fault_plan(Some(FaultPlan::bernoulli(mix, chaos.fault_rate)));
+        }
+    }
+    machine
+}
+
+/// The synthetic failure a poison request triggers (chaos only): shaped
+/// like a mapper rejection so it flows the same retry/bisect path a real
+/// data-dependent failure would.
+fn poison_error() -> ServeError {
+    ServeError::Sim(SimError {
+        block: "chaos.poison".to_string(),
+        tile: 0,
+        cycle: 0,
+        cause: SimCause::Map("chaos: poison request sentinel in batch".to_string()),
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Retire a shard: flip its health flag, decrement the healthy count, and
+/// — when no healthy shard remains — drain the queue with
+/// [`ServeError::Degraded`], because nothing will ever run those requests.
+pub(crate) fn mark_shard_dead(shared: &Shared, worker: usize) {
+    shared.stats.mark_shard_dead(worker);
+    let workers = shared.config.workers;
+    let mut q = lock_queue(shared);
+    q.healthy = q.healthy.saturating_sub(1);
+    if q.healthy == 0 {
+        let mut shed = 0usize;
+        for queue in &mut q.queues {
+            while let Some(p) = queue.pop_front() {
+                shed += 1;
+                shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
+                let _ = p.reply.send(Err(ServeError::Degraded { healthy: 0, workers }));
+            }
+        }
+        q.total -= shed;
+    }
+    drop(q);
+    shared.ready.notify_all();
+}
+
+/// Hand work a dying shard could not finish back to the surviving shards,
+/// or fail it with [`ServeError::Degraded`] when none survive. Attempt
+/// counts ride along, so the per-request retry cap holds across shards.
+pub(crate) fn requeue_or_fail(shared: &Shared, model: ModelId, pendings: Vec<Pending>) {
+    let workers = shared.config.workers;
+    let mut q = lock_queue(shared);
+    if q.healthy == 0 {
+        for p in pendings {
+            shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
+            let _ = p.reply.send(Err(ServeError::Degraded { healthy: 0, workers }));
+        }
+        return;
+    }
+    for p in pendings.into_iter().rev() {
+        q.queues[model.0].push_front(p);
+        q.total += 1;
+    }
+    drop(q);
+    shared.ready.notify_all();
+}
+
+/// Run one request group on the shard's machine: solo path per request
+/// when the group has one member (or the layer cannot batch — every
+/// standard conv), the coalesced batched path otherwise. This is the body
+/// the supervisor wraps in `catch_unwind`.
+fn run_group(
+    shared: &Shared,
+    machine: &mut Machine,
+    layer: &ConvLayer,
+    weights: &Tensor,
+    group: &[Pending],
+) -> Result<(Vec<Tensor>, LayerReport), ServeError> {
+    let spec = &shared.config.spec;
+    if group.len() == 1 || !batch::batchable(layer) {
+        let mut outputs = Vec::with_capacity(group.len());
+        let mut last_report = None;
+        for p in group {
+            let (ofm, report) = if layer.kind() == ConvKind::Standard {
+                run_standard_via_im2col(layer, &p.input, weights, spec)?
+            } else {
+                let compiled = shared.cache.get_or_compile(layer, spec, MappingKind::Auto)?;
+                compiled.run_on(machine, &p.input, weights)?
+            };
+            outputs.push(ofm);
+            last_report = Some(report);
+        }
+        Ok((outputs, last_report.expect("at least one request")))
+    } else {
+        let b = group.len();
+        let big = batch::combined_layer(layer, b);
+        let inputs: Vec<&Tensor> = group.iter().map(|p| &p.input).collect();
+        let big_ifm = batch::combined_ifm(layer, &inputs);
+        let big_w = batch::combined_weights(layer, weights, b);
+        shared
+            .cache
+            .get_or_compile(&big, spec, preferred_kind(&big))
+            .or_else(|_| shared.cache.get_or_compile(&big, spec, MappingKind::Auto))
+            .map_err(ServeError::from)
+            .and_then(|compiled| compiled.run_on(machine, &big_ifm, &big_w).map_err(ServeError::from))
+            .map(|(ofm, report)| (batch::split_ofm(layer, b, &ofm), report))
+    }
+}
+
+/// The batched mapping to prefer for a combined layer: the §5.4
+/// channel-batched DWC when it applies, the paper's per-kind best otherwise.
+fn preferred_kind(layer: &ConvLayer) -> MappingKind {
+    if layer.kind() == ConvKind::Depthwise && layer.s() == 1 && layer.k() * layer.k() <= npcgra_arch::grf::GRF_WORDS {
+        MappingKind::BatchedDwcS1
+    } else {
+        MappingKind::Auto
+    }
+}
+
+/// The worker-thread body: pull batches, run them through the retry
+/// policy, and report how the thread ended. Exits `Clean` when the queue
+/// drains for shutdown, `Unhealthy` when the shard's restart budget runs
+/// out mid-service.
+pub(crate) fn run_worker(shared: &Arc<Shared>, worker: usize) -> WorkerExit {
+    let mut shard = Shard::new(shared, worker);
+    while shard.alive {
+        match next_batch(shared) {
+            None => return WorkerExit::Clean,
+            Some((model, pendings)) => {
+                let busy_start = Instant::now();
+                retry::process(shared, &mut shard, model, pendings);
+                shared.stats.observe_worker_busy(worker, busy_start.elapsed());
+            }
+        }
+    }
+    WorkerExit::Unhealthy
+}

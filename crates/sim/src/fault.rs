@@ -1,0 +1,314 @@
+//! Deterministic hardware fault injection.
+//!
+//! A [`FaultPlan`] attached to a [`Machine`](crate::Machine) schedules
+//! transient bit flips at `(tile, cycle)` points of a block run: in the
+//! H-MEM/V-MEM bank arrays, in the GRF broadcast words, or in a PE's
+//! accumulator (output register). A fault either corrupts the output
+//! *silently* (data bit flips — the layouts carry no redundancy, so the
+//! flip propagates to some OFM word) or trips one of the existing
+//! [`SimError`](crate::SimError) hardware rules (e.g. a GRF validity fault
+//! surfaces as `GrfIndex` at the next broadcast). Both behaviours are the
+//! point: a serving stack above the simulator must survive each.
+//!
+//! Plans come in two flavours:
+//!
+//! * [`FaultPlan::explicit`] — a hand-written fault list, for tests that
+//!   need one precise flip at one precise point.
+//! * [`FaultPlan::bernoulli`] — a seeded per-cycle coin flip. The draw at
+//!   each `(run, tile, cycle)` point is a pure hash of the seed, so a
+//!   whole chaos run is **bit-identical across executions with the same
+//!   seed**, while a *retry* of a failed block (a later `run` ordinal on
+//!   the same machine) sees an independent draw — exactly how transient
+//!   faults behave in time.
+//!
+//! Nothing here costs anything when no plan is installed: the machine's
+//! per-cycle check is a single `Option` discriminant test.
+
+use npcgra_nn::Word;
+
+/// Where a scheduled fault lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Flip bit `bit` of the H-MEM word at `(bank, offset)`.
+    HBankBit {
+        /// H-MEM bank (row) index.
+        bank: usize,
+        /// Word offset within the bank.
+        offset: usize,
+        /// Bit position within the word.
+        bit: u32,
+    },
+    /// Flip bit `bit` of the V-MEM word at `(bank, offset)`.
+    VBankBit {
+        /// V-MEM bank (column) index.
+        bank: usize,
+        /// Word offset within the bank.
+        offset: usize,
+        /// Bit position within the word.
+        bit: u32,
+    },
+    /// Flip bit `bit` of loaded GRF word `index` (no-op past the valid
+    /// length — the flip lands in an unused register).
+    GrfBit {
+        /// GRF word index.
+        index: usize,
+        /// Bit position within the word.
+        bit: u32,
+    },
+    /// Clear the GRF valid length down to `keep` words: the next broadcast
+    /// of a higher index trips the `GrfIndex` hardware rule — the
+    /// *detected*-fault path.
+    GrfTrim {
+        /// Valid words to keep.
+        keep: usize,
+    },
+    /// Flip bit `bit` of the output register (MAC accumulator) of PE
+    /// `(r, c)`.
+    PeOutBit {
+        /// PE row.
+        r: usize,
+        /// PE column.
+        c: usize,
+        /// Bit position within the accumulator's low word.
+        bit: u32,
+    },
+}
+
+/// One scheduled fault: a [`FaultSite`] applied at the start of `cycle` of
+/// `tile`, on every block run of the machine it is installed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Tile index within the block.
+    pub tile: usize,
+    /// Cycle within the tile (the fault applies before the cycle executes).
+    pub cycle: u64,
+    /// Where the flip lands.
+    pub site: FaultSite,
+}
+
+/// Array/memory dimensions a plan draws random sites from.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultDims {
+    /// PE rows.
+    pub rows: usize,
+    /// PE columns.
+    pub cols: usize,
+    /// H-MEM banks.
+    pub h_banks: usize,
+    /// Words per H-MEM bank.
+    pub h_words: usize,
+    /// V-MEM banks.
+    pub v_banks: usize,
+    /// Words per V-MEM bank.
+    pub v_words: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    Explicit(Vec<Fault>),
+    Bernoulli {
+        seed: u64,
+        /// Fire when the (run, tile, cycle) hash falls below this.
+        threshold: u64,
+    },
+}
+
+/// A deterministic schedule of transient hardware faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    mode: Mode,
+}
+
+/// `splitmix64` — tiny, fast, well-mixed; the standard seeding PRNG.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// A plan that applies exactly the given faults, at their `(tile,
+    /// cycle)` points, on every block run.
+    #[must_use]
+    pub fn explicit(faults: Vec<Fault>) -> Self {
+        FaultPlan {
+            mode: Mode::Explicit(faults),
+        }
+    }
+
+    /// A seeded Bernoulli plan: each `(run, tile, cycle)` point of every
+    /// block run suffers one random-site fault with probability `rate`
+    /// (clamped to `[0, 1]`). Fully deterministic in `seed`.
+    #[must_use]
+    pub fn bernoulli(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let threshold = (rate * u64::MAX as f64) as u64;
+        FaultPlan {
+            mode: Mode::Bernoulli { seed, threshold },
+        }
+    }
+
+    /// The sites scheduled at `(run, tile, cycle)`. Empty in the (vastly
+    /// common) no-fault case; never allocates unless a fault fires.
+    #[must_use]
+    pub fn sites_at(&self, run: u64, tile: usize, cycle: u64, dims: &FaultDims) -> Vec<FaultSite> {
+        match &self.mode {
+            Mode::Explicit(faults) => {
+                if faults.is_empty() {
+                    return Vec::new();
+                }
+                faults
+                    .iter()
+                    .filter(|f| f.tile == tile && f.cycle == cycle)
+                    .map(|f| f.site)
+                    .collect()
+            }
+            Mode::Bernoulli { seed, threshold } => {
+                let mut x = *seed;
+                x = splitmix64(x ^ run);
+                x = splitmix64(x ^ tile as u64);
+                x = splitmix64(x ^ cycle);
+                if x >= *threshold {
+                    return Vec::new();
+                }
+                vec![random_site(splitmix64(x ^ 0xFA_0175), dims)]
+            }
+        }
+    }
+}
+
+/// Derive a random fault site from hash bits. Site kinds are weighted
+/// towards the data arrays (silent corruption), with a small share of GRF
+/// validity faults (the detected-error path).
+fn random_site(h: u64, dims: &FaultDims) -> FaultSite {
+    let bit = (h >> 8) as u32 % Word::BITS;
+    let a = splitmix64(h) as usize;
+    let b = splitmix64(h ^ 0xB00) as usize;
+    match h % 100 {
+        0..=34 => FaultSite::HBankBit {
+            bank: a % dims.h_banks,
+            offset: b % dims.h_words,
+            bit,
+        },
+        35..=59 => FaultSite::VBankBit {
+            bank: a % dims.v_banks,
+            offset: b % dims.v_words,
+            bit,
+        },
+        60..=74 => FaultSite::GrfBit {
+            index: a % npcgra_arch::grf::GRF_WORDS,
+            bit,
+        },
+        75..=79 => FaultSite::GrfTrim {
+            keep: a % npcgra_arch::grf::GRF_WORDS / 2,
+        },
+        _ => FaultSite::PeOutBit {
+            r: a % dims.rows,
+            c: b % dims.cols,
+            bit,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> FaultDims {
+        FaultDims {
+            rows: 4,
+            cols: 4,
+            h_banks: 4,
+            h_words: 64,
+            v_banks: 4,
+            v_words: 64,
+        }
+    }
+
+    #[test]
+    fn explicit_faults_fire_only_at_their_point() {
+        let site = FaultSite::GrfTrim { keep: 2 };
+        let plan = FaultPlan::explicit(vec![Fault {
+            tile: 3,
+            cycle: 17,
+            site,
+        }]);
+        assert_eq!(plan.sites_at(0, 3, 17, &dims()), vec![site]);
+        assert_eq!(
+            plan.sites_at(9, 3, 17, &dims()),
+            vec![site],
+            "explicit faults repeat every run"
+        );
+        assert!(plan.sites_at(0, 3, 16, &dims()).is_empty());
+        assert!(plan.sites_at(0, 2, 17, &dims()).is_empty());
+    }
+
+    #[test]
+    fn bernoulli_is_deterministic_in_the_seed() {
+        let a = FaultPlan::bernoulli(42, 0.05);
+        let b = FaultPlan::bernoulli(42, 0.05);
+        for tile in 0..8 {
+            for cycle in 0..64 {
+                assert_eq!(a.sites_at(1, tile, cycle, &dims()), b.sites_at(1, tile, cycle, &dims()));
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_zero_never_fires_and_rate_one_always_fires() {
+        let never = FaultPlan::bernoulli(7, 0.0);
+        let always = FaultPlan::bernoulli(7, 1.0);
+        for cycle in 0..256 {
+            assert!(never.sites_at(0, 0, cycle, &dims()).is_empty());
+            assert_eq!(always.sites_at(0, 0, cycle, &dims()).len(), 1);
+        }
+    }
+
+    #[test]
+    fn retries_see_an_independent_draw() {
+        // The run ordinal enters the hash: the same (tile, cycle) points
+        // cannot fault identically on every retry at any plausible rate.
+        let plan = FaultPlan::bernoulli(3, 0.1);
+        let fires = |run: u64| -> usize {
+            (0..400)
+                .filter(|&cyc| !plan.sites_at(run, 0, cyc, &dims()).is_empty())
+                .count()
+        };
+        let (first, second) = (fires(0), fires(1));
+        assert!(first > 0 && second > 0, "rate 0.1 over 400 cycles must fire");
+        let same: usize = (0..400)
+            .filter(|&cyc| {
+                let a = plan.sites_at(0, 0, cyc, &dims());
+                !a.is_empty() && a == plan.sites_at(1, 0, cyc, &dims())
+            })
+            .count();
+        assert!(same < first, "draws must differ between runs");
+    }
+
+    #[test]
+    fn random_sites_stay_in_range() {
+        let plan = FaultPlan::bernoulli(11, 1.0);
+        let d = dims();
+        for cycle in 0..512 {
+            for site in plan.sites_at(0, 0, cycle, &d) {
+                match site {
+                    FaultSite::HBankBit { bank, offset, bit } => {
+                        assert!(bank < d.h_banks && offset < d.h_words && bit < Word::BITS);
+                    }
+                    FaultSite::VBankBit { bank, offset, bit } => {
+                        assert!(bank < d.v_banks && offset < d.v_words && bit < Word::BITS);
+                    }
+                    FaultSite::GrfBit { index, bit } => {
+                        assert!(index < npcgra_arch::grf::GRF_WORDS && bit < Word::BITS);
+                    }
+                    FaultSite::GrfTrim { keep } => assert!(keep < npcgra_arch::grf::GRF_WORDS),
+                    FaultSite::PeOutBit { r, c, bit } => {
+                        assert!(r < d.rows && c < d.cols && bit < Word::BITS);
+                    }
+                }
+            }
+        }
+    }
+}

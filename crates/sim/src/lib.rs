@@ -22,13 +22,15 @@
 
 pub mod compiled;
 pub mod error;
+pub mod fault;
 pub mod layer;
 pub mod machine;
 pub mod report;
 pub mod trace;
 
 pub use compiled::{CompiledLayer, PreparedIfm, ResolvedMapping};
-pub use error::SimError;
+pub use error::{SimCause, SimError};
+pub use fault::{Fault, FaultDims, FaultPlan, FaultSite};
 pub use layer::{
     estimate_layer_energy, run_batched_dwc, run_layer, run_layer_parallel, run_matmul_dwc, run_standard_via_im2col, time_layer,
     time_layer_single_buffered, MappingKind,

@@ -7,6 +7,7 @@ use npcgra_mem::{BankedMemory, DmaEngine};
 use npcgra_nn::{truncate, Word};
 
 use crate::error::{SimCause, SimError};
+use crate::fault::{FaultDims, FaultPlan, FaultSite};
 use crate::trace::{BusEvent, CycleTrace, StoreEvent, Trace};
 
 /// What one block run produced.
@@ -53,6 +54,12 @@ pub struct Machine {
     grf: GlobalRegFile,
     dma: DmaEngine,
     mac: DualModeMac,
+    /// Optional transient-fault schedule (chaos testing / soak runs).
+    fault_plan: Option<FaultPlan>,
+    /// Block runs executed so far (the `run` ordinal fault plans hash).
+    runs: u64,
+    /// Faults actually applied so far.
+    faults_injected: u64,
 }
 
 impl Machine {
@@ -74,6 +81,9 @@ impl Machine {
             grf: GlobalRegFile::new(),
             dma: DmaEngine::new(spec),
             mac: DualModeMac::new(spec.mac_mode()),
+            fault_plan: None,
+            runs: 0,
+            faults_injected: 0,
         }
     }
 
@@ -81,6 +91,79 @@ impl Machine {
     #[must_use]
     pub fn spec(&self) -> &CgraSpec {
         &self.spec
+    }
+
+    /// Install (or clear) a transient-fault schedule. Subsequent block runs
+    /// suffer the plan's bit flips; `None` restores fault-free execution.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Faults actually applied so far (a scheduled fault that lands in an
+    /// out-of-range or unloaded resource is not counted).
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Apply every fault the plan schedules for this `(tile, cycle)` point.
+    fn inject_faults(&mut self, tile: usize, cycle: u64) {
+        let sites = match &self.fault_plan {
+            None => return,
+            Some(plan) => {
+                let dims = FaultDims {
+                    rows: self.spec.rows,
+                    cols: self.spec.cols,
+                    h_banks: self.hmem.num_banks(),
+                    h_words: self.hmem.words_per_bank(),
+                    v_banks: self.vmem.num_banks(),
+                    v_words: self.vmem.words_per_bank(),
+                };
+                plan.sites_at(self.runs, tile, cycle, &dims)
+            }
+        };
+        for site in sites {
+            if self.apply_fault(site) {
+                self.faults_injected += 1;
+            }
+        }
+    }
+
+    /// Flip the bits a fault site names. Returns whether anything changed.
+    fn apply_fault(&mut self, site: FaultSite) -> bool {
+        match site {
+            FaultSite::HBankBit { bank, offset, bit } => flip_mem_bit(&mut self.hmem, bank, offset, bit),
+            FaultSite::VBankBit { bank, offset, bit } => flip_mem_bit(&mut self.vmem, bank, offset, bit),
+            FaultSite::GrfBit { index, bit } => {
+                if index >= self.grf.len() {
+                    return false;
+                }
+                let mut image: Vec<Word> = (0..self.grf.len()).map(|i| self.grf.read(i).expect("valid index")).collect();
+                image[index] ^= (1 as Word) << (bit % Word::BITS);
+                self.grf.load(&image).is_ok()
+            }
+            FaultSite::GrfTrim { keep } => {
+                if keep >= self.grf.len() {
+                    return false;
+                }
+                let image: Vec<Word> = (0..keep).map(|i| self.grf.read(i).expect("valid index")).collect();
+                self.grf.load(&image).is_ok()
+            }
+            FaultSite::PeOutBit { r, c, bit } => {
+                if r >= self.spec.rows || c >= self.spec.cols {
+                    return false;
+                }
+                let pe = &mut self.pes[r * self.spec.cols + c];
+                pe.set_out(pe.out() ^ (1 << (bit % Word::BITS)));
+                true
+            }
+        }
     }
 
     /// Accumulated DMA traffic in bytes.
@@ -178,6 +261,7 @@ impl Machine {
         image: Option<&npcgra_kernels::ConfigImage>,
         mut trace: Option<&mut Trace>,
     ) -> Result<BlockResult, SimError> {
+        self.runs += 1;
         let dma_in_cycles = self.load_block(program)?;
         let (rows, cols) = (self.spec.rows, self.spec.cols);
         let mapping: &dyn TileMapping = program.mapping.as_ref();
@@ -211,6 +295,9 @@ impl Machine {
             let mut remaining = mapping.phase_len(0).expect("tile has at least one phase");
             let err = |cycle: u64, cause: SimCause| SimError::new(&program.label, tile_index, cycle, cause);
             loop {
+                if self.fault_plan.is_some() {
+                    self.inject_faults(tile_index, clock.t_cycle);
+                }
                 self.hmem.begin_cycle();
                 self.vmem.begin_cycle();
 
@@ -402,6 +489,19 @@ impl Machine {
             grf_reads,
             ofm,
         })
+    }
+}
+
+/// Flip one stored bit via the untimed access path (fault injection does
+/// not occupy a bus port or count as a timed access).
+fn flip_mem_bit(mem: &mut BankedMemory, bank: usize, offset: usize, bit: u32) -> bool {
+    if bank >= mem.num_banks() || offset >= mem.words_per_bank() {
+        return false;
+    }
+    let addr = mem.global_addr(bank, offset);
+    match mem.read_free(addr) {
+        Ok(w) => mem.write_free(addr, w ^ ((1 as Word) << (bit % Word::BITS))).is_ok(),
+        Err(_) => false,
     }
 }
 

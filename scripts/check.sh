@@ -48,6 +48,11 @@ echo "== serve-bench smoke run =="
 cargo run --release -q -p npcgra-cli -- serve-bench \
   --machine 4x4 --workers 4 --clients 8 --requests 80 >/dev/null
 
+echo "== chaos soak (fault injection + worker panic must be survived) =="
+cargo run --release -q -p npcgra-cli -- chaos-bench \
+  --machine 4x4 --workers 4 --clients 8 --seconds 10 \
+  --fault-rate 1e-4 --panic-worker 0 >/dev/null
+
 echo "== benches (quick pass) =="
 cargo bench -p npcgra-bench >/dev/null
 
