@@ -10,12 +10,20 @@
 //! may end `panicked`, and an injected panic must show up as a supervised
 //! restart in the final statistics.
 //!
+//! With `--assert-detection` the soak additionally audits the ABFT
+//! integrity layer: every successful reply is compared bit-exactly against
+//! the golden host reference, and the run fails unless ≥ 99 % of corrupted
+//! executions were *detected* (tripped an output checksum instead of
+//! replying silently wrong) and detected corruption was *healed* by retry
+//! (some request that failed a checksum later completed bit-exact).
+//! Shard canaries run every `--canary-every` batches in this mode.
+//!
 //! [`Ticket::wait_timeout`]: npcgra::serve::Ticket::wait_timeout
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use npcgra::nn::{models, Tensor};
+use npcgra::nn::{models, reference, ConvLayer, Tensor};
 use npcgra::serve::{ChaosConfig, ModelId, ServeConfig, ServeError, Server, WorkerExit};
 
 use crate::args::Flags;
@@ -33,6 +41,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let alpha: f64 = parse_or(&flags, "alpha", 0.25)?;
     let res: usize = parse_or(&flags, "res", 32)?;
     let wait_ms: u64 = parse_or(&flags, "wait-ms", 250)?;
+    let assert_detection = flags.has("assert-detection");
+    let canary_every: u64 = parse_or(&flags, "canary-every", if assert_detection { 32 } else { 0 })?;
     let which = flags.get("model").unwrap_or("mixed");
     let panic_worker: Option<usize> = match flags.get("panic-worker") {
         None => None,
@@ -55,6 +65,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .with_workers(workers)
         .with_max_batch(max_batch)
         .with_max_linger(Duration::from_micros(linger_us))
+        .with_canary_interval(canary_every)
         .with_chaos(chaos);
 
     let mut model_tables = Vec::new();
@@ -81,14 +92,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let server = Server::start(config);
     let mut endpoints: Vec<ModelId> = Vec::new();
+    // Layer + weights per endpoint, kept aligned with `endpoints` so the
+    // detection audit can recompute each reply's golden reference.
+    let mut goldens: Vec<(ConvLayer, Tensor)> = Vec::new();
     for (mi, model) in model_tables.iter().enumerate() {
         for layer in model.dsc_layers() {
             let named = layer.renamed(&format!("{}.{}", model.name(), layer.name()));
             let weights = named.random_weights(0xC0FFEE + mi as u64);
             let id = server
-                .register(&format!("{}.{}", model.name(), layer.name()), named, weights)
+                .register(&format!("{}.{}", model.name(), layer.name()), named.clone(), weights.clone())
                 .map_err(|e| format!("registering {}: {e}", layer.name()))?;
             endpoints.push(id);
+            goldens.push((named, weights));
         }
     }
     println!(
@@ -104,19 +119,31 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let deadline = Instant::now() + Duration::from_secs_f64(seconds);
     let hung = AtomicU64::new(0);
     let answered = AtomicU64::new(0);
+    let wrong = AtomicU64::new(0);
+    let quarantined_seen = AtomicU64::new(0);
     let server_ref = &server;
     let endpoints_ref = &endpoints;
+    let goldens_ref = &goldens;
     let hung_ref = &hung;
     let answered_ref = &answered;
+    let wrong_ref = &wrong;
+    let quarantined_ref = &quarantined_seen;
     std::thread::scope(|scope| {
         for c in 0..clients {
             scope.spawn(move || {
                 let mut r = 0usize;
                 while Instant::now() < deadline {
-                    let id = endpoints_ref[r % endpoints_ref.len()];
+                    let idx = r % endpoints_ref.len();
+                    let id = endpoints_ref[idx];
                     let seed = (c * 1_000_000 + r) as u64;
                     r += 1;
                     let input = input_for(server_ref, id, seed);
+                    // The detection audit needs the golden output; compute
+                    // it before the input moves into the request.
+                    let golden = assert_detection.then(|| {
+                        let (layer, w) = &goldens_ref[idx];
+                        reference::run_layer(layer, &input, w).expect("golden reference")
+                    });
                     match server_ref.submit(id, input) {
                         Ok(ticket) => {
                             // Poll with a bounded wait so a stranded reply
@@ -132,8 +159,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
                                             break;
                                         }
                                     }
-                                    _ => {
+                                    result => {
                                         answered_ref.fetch_add(1, Ordering::Relaxed);
+                                        match result {
+                                            Ok(resp) => {
+                                                if golden.as_ref().is_some_and(|g| resp.output != *g) {
+                                                    wrong_ref.fetch_add(1, Ordering::Relaxed);
+                                                }
+                                            }
+                                            Err(ServeError::Quarantined { .. }) => {
+                                                quarantined_ref.fetch_add(1, Ordering::Relaxed);
+                                            }
+                                            Err(_) => {}
+                                        }
                                         break;
                                     }
                                 }
@@ -163,6 +201,38 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     if panic_worker.is_some() && stats.restarts == 0 {
         return Err("injected panic never surfaced as a supervised restart".to_string());
+    }
+    if assert_detection {
+        let wrong = wrong.load(Ordering::Relaxed);
+        let detected = stats.integrity_failed;
+        println!(
+            "detection: {detected} checksum trips, {wrong} silently wrong replies, {} recovered, \
+             {} quarantined, {} canary runs ({} failed)",
+            stats.integrity_recovered,
+            quarantined_seen.load(Ordering::Relaxed),
+            stats.canary_runs,
+            stats.canary_failed,
+        );
+        if detected == 0 {
+            return Err(
+                "assert-detection: the fault plan never tripped the integrity layer — raise --fault-rate or --seconds"
+                    .to_string(),
+            );
+        }
+        // The checksum identities are exact mod 2^16, so an undetected
+        // corrupted reply means the flip's error coefficients cancelled in
+        // every checksum — bounded below one percent of corruption events.
+        let ratio = detected as f64 / (detected + wrong) as f64;
+        if ratio < 0.99 {
+            return Err(format!(
+                "assert-detection: only {:.2}% of corrupted executions were detected \
+                 ({wrong} silently wrong replies escaped the checksums)",
+                ratio * 100.0
+            ));
+        }
+        if stats.integrity_recovered == 0 {
+            return Err("assert-detection: detected corruption was never healed by retry".to_string());
+        }
     }
     println!(
         "chaos-bench PASS: {answered} tickets resolved, 0 hung; {} panic(s) caught, {} restart(s), \

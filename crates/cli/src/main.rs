@@ -7,7 +7,7 @@
 //! npcgra energy     --kind dw --channels 8 --size 24x24 [--mapping auto|matmul|batched]
 //! npcgra disasm     --kind dw --channels 1 --size 8x8 [--machine 2x2] [--relu]
 //! npcgra serve-bench [--workers 4] [--clients 8] [--requests 160] [--max-batch 4] [--model v1|v2|mixed]
-//! npcgra chaos-bench [--workers 4] [--clients 8] [--seconds 5] [--fault-rate 1e-4] [--panic-worker 0]
+//! npcgra chaos-bench [--workers 4] [--clients 8] [--seconds 5] [--fault-rate 1e-4] [--panic-worker 0] [--assert-detection]
 //! ```
 
 mod args;
@@ -62,7 +62,9 @@ commands:
   disasm      disassemble a mapping's configuration memory (Fig. 3 view)
   serve-bench closed-loop load test of the batching inference server
   chaos-bench fault-injection soak: panics, poison and hardware bit flips
-              must all be survived (nonzero exit otherwise)
+              must all be survived (nonzero exit otherwise); with
+              --assert-detection, silently corrupted outputs must also be
+              caught by the ABFT checksums and healed by retry
 
 common flags:
   --machine RxC       array size (default 8x8, the Table 4 machine)
@@ -79,4 +81,6 @@ common flags:
   --deadline-ms N     serve-bench load-generator knobs
   --seconds S, --fault-rate P, --fault-seed N, --panic-worker W,
   --wait-ms N         chaos-bench fault-injection knobs
+  --assert-detection, --canary-every N
+                      chaos-bench ABFT-integrity audit knobs
 ";

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use npcgra_arch::CgraSpec;
 use npcgra_nn::Word;
+use npcgra_sim::IntegrityMode;
 
 /// Chaos-engineering knobs: deliberate failures injected into the serving
 /// path so the supervision, retry and quarantine machinery can be exercised
@@ -77,6 +78,17 @@ pub struct ServeConfig {
     /// admission queue bound scales down by `healthy / workers`, shedding
     /// load early with [`ServeError::Degraded`](crate::ServeError::Degraded).
     pub min_healthy_workers: usize,
+    /// ABFT output verification applied on every shard machine
+    /// ([`IntegrityMode::Verify`] by default: silent corruption becomes a
+    /// typed, retryable [`ServeError::Integrity`](crate::ServeError::Integrity)
+    /// instead of a wrong reply; on fault-free hardware the checks always
+    /// pass and cost O(output) host work per block).
+    pub integrity: IntegrityMode,
+    /// Run a canary self-test (a small golden layer with known outputs) on
+    /// each shard every this-many batches; a shard failing it twice in a
+    /// row is retired as [`WorkerExit::Unhealthy`](crate::WorkerExit::Unhealthy).
+    /// `0` disables the canary.
+    pub canary_interval: u64,
     /// Deliberate failure injection (off by default).
     pub chaos: ChaosConfig,
 }
@@ -95,6 +107,8 @@ impl Default for ServeConfig {
             restart_budget: 3,
             restart_backoff: Duration::from_millis(1),
             min_healthy_workers: 1,
+            integrity: IntegrityMode::Verify,
+            canary_interval: 0,
             chaos: ChaosConfig::default(),
         }
     }
@@ -180,6 +194,20 @@ impl ServeConfig {
         self
     }
 
+    /// Set the ABFT output-verification mode.
+    #[must_use]
+    pub fn with_integrity(mut self, mode: IntegrityMode) -> Self {
+        self.integrity = mode;
+        self
+    }
+
+    /// Set the canary self-test interval in batches (`0` = off).
+    #[must_use]
+    pub fn with_canary_interval(mut self, interval: u64) -> Self {
+        self.canary_interval = interval;
+        self
+    }
+
     /// Set the chaos (failure-injection) knobs.
     #[must_use]
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
@@ -238,11 +266,22 @@ mod tests {
             .with_max_retries(7)
             .with_restart_budget(2)
             .with_restart_backoff(Duration::ZERO)
-            .with_min_healthy_workers(3);
+            .with_min_healthy_workers(3)
+            .with_integrity(IntegrityMode::VerifyAndRecompute)
+            .with_canary_interval(64);
         assert_eq!(c.cache_capacity, 16);
         assert_eq!(c.max_retries, 7);
         assert_eq!(c.restart_budget, 2);
         assert_eq!(c.restart_backoff, Duration::ZERO);
         assert_eq!(c.min_healthy_workers, 3);
+        assert_eq!(c.integrity, IntegrityMode::VerifyAndRecompute);
+        assert_eq!(c.canary_interval, 64);
+    }
+
+    #[test]
+    fn integrity_defaults_to_verify_with_no_canary() {
+        let c = ServeConfig::default();
+        assert_eq!(c.integrity, IntegrityMode::Verify);
+        assert_eq!(c.canary_interval, 0);
     }
 }

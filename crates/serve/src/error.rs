@@ -33,6 +33,10 @@ pub enum ServeError {
     },
     /// The simulator rejected the layer (mapping or hardware-rule failure).
     Sim(SimError),
+    /// An ABFT output checksum failed: the shard produced silently wrong
+    /// words (see [`npcgra_sim::integrity`]). Retryable — transient faults
+    /// draw independently per execution, so a re-run usually heals it.
+    Integrity(SimError),
     /// The worker shard died before replying.
     WorkerLost,
     /// A worker shard panicked while executing this request's batch; the
@@ -77,6 +81,7 @@ impl fmt::Display for ServeError {
                 write!(f, "input shape {got:?} does not match model IFM shape {expected:?}")
             }
             ServeError::Sim(e) => write!(f, "simulation failed: {e}"),
+            ServeError::Integrity(e) => write!(f, "output integrity check failed: {e}"),
             ServeError::WorkerLost => write!(f, "worker shard lost before reply"),
             ServeError::WorkerPanic { message } => write!(f, "worker shard panicked: {message}"),
             ServeError::ReplyTimeout { waited } => {
@@ -95,7 +100,7 @@ impl fmt::Display for ServeError {
 impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ServeError::Sim(e) => Some(e),
+            ServeError::Sim(e) | ServeError::Integrity(e) => Some(e),
             ServeError::Quarantined { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
@@ -104,7 +109,11 @@ impl std::error::Error for ServeError {
 
 impl From<SimError> for ServeError {
     fn from(e: SimError) -> Self {
-        ServeError::Sim(e)
+        if matches!(e.cause, npcgra_sim::SimCause::IntegrityViolation(_)) {
+            ServeError::Integrity(e)
+        } else {
+            ServeError::Sim(e)
+        }
     }
 }
 
@@ -114,7 +123,10 @@ impl ServeError {
     /// rejections that are final by construction.
     #[must_use]
     pub fn retryable(&self) -> bool {
-        matches!(self, ServeError::Sim(_) | ServeError::WorkerPanic { .. })
+        matches!(
+            self,
+            ServeError::Sim(_) | ServeError::Integrity(_) | ServeError::WorkerPanic { .. }
+        )
     }
 }
 
@@ -147,5 +159,32 @@ mod tests {
         assert!(!ServeError::DeadlineExceeded.retryable());
         assert!(!ServeError::ShuttingDown.retryable());
         assert!(!ServeError::Degraded { healthy: 0, workers: 2 }.retryable());
+    }
+
+    #[test]
+    fn integrity_violations_route_to_their_own_retryable_variant() {
+        use npcgra_sim::{CheckKind, SimCause, SimError, Violation};
+        let violation = SimError {
+            block: "pw".into(),
+            tile: 2,
+            cycle: 0,
+            cause: SimCause::IntegrityViolation(Violation {
+                kind: CheckKind::RowChecksum,
+                lane: 1,
+                expected: 7,
+                actual: 9,
+            }),
+        };
+        let e: ServeError = violation.into();
+        assert!(matches!(e, ServeError::Integrity(_)));
+        assert!(e.retryable());
+        assert!(e.to_string().contains("integrity"));
+        let plain = SimError {
+            block: "pw".into(),
+            tile: 0,
+            cycle: 0,
+            cause: SimCause::GrfIndex(5),
+        };
+        assert!(matches!(ServeError::from(plain), ServeError::Sim(_)));
     }
 }

@@ -62,5 +62,6 @@ pub(crate) mod supervisor;
 pub use cache::ProgramCache;
 pub use config::{ChaosConfig, ServeConfig};
 pub use error::ServeError;
+pub use npcgra_sim::IntegrityMode;
 pub use server::{ModelId, Response, Server, Ticket};
 pub use stats::{StatsSnapshot, WorkerExit};

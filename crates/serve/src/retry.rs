@@ -24,7 +24,7 @@ use npcgra_nn::{ConvLayer, Tensor};
 use std::sync::Arc;
 
 use crate::error::ServeError;
-use crate::server::{ModelId, Pending, Response, Shared};
+use crate::server::{send_reply, ModelId, Pending, Response, Shared};
 use crate::supervisor::{read_models, requeue_or_fail, Shard};
 
 /// Run one dequeued batch through deadline shedding, supervised execution
@@ -38,7 +38,7 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
     for p in pendings {
         if p.deadline.is_some_and(|d| d < now) {
             shared.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
-            let _ = p.reply.send(Err(ServeError::DeadlineExceeded));
+            send_reply(&shared.stats, &p.reply, Err(ServeError::DeadlineExceeded));
         } else {
             live.push(p);
         }
@@ -75,29 +75,57 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
         match shard.execute(shared, &layer, &weights, &group) {
             Ok((outputs, report)) => {
                 shared.stats.observe_batch(batch_size);
+                shared
+                    .stats
+                    .integrity_checked
+                    .fetch_add(report.integrity_checked, Ordering::Relaxed);
+                shared
+                    .stats
+                    .integrity_failed
+                    .fetch_add(report.integrity_failed, Ordering::Relaxed);
+                shared
+                    .stats
+                    .integrity_recovered
+                    .fetch_add(report.integrity_recovered, Ordering::Relaxed);
                 let done = Instant::now();
                 for (p, output) in group.into_iter().zip(outputs) {
                     let latency = done.duration_since(p.enqueued);
                     shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    if p.integrity_hit {
+                        // An earlier attempt failed its output checksum;
+                        // this completion is corruption caught and healed.
+                        shared.stats.integrity_recovered.fetch_add(1, Ordering::Relaxed);
+                    }
                     shared.stats.observe_latency(latency);
-                    let _ = p.reply.send(Ok(Response {
-                        output,
-                        report: report.clone(),
-                        batch_size,
-                        worker: shard.worker,
-                        latency,
-                    }));
+                    send_reply(
+                        &shared.stats,
+                        &p.reply,
+                        Ok(Response {
+                            output,
+                            report: report.clone(),
+                            batch_size,
+                            worker: shard.worker,
+                            latency,
+                        }),
+                    );
                 }
             }
             Err(e) => {
                 let mut group = group;
+                let integrity = matches!(e, ServeError::Integrity(_));
+                if integrity {
+                    shared.stats.integrity_failed.fetch_add(1, Ordering::Relaxed);
+                }
                 for p in &mut group {
                     p.attempts += 1;
+                    if integrity {
+                        p.integrity_hit = true;
+                    }
                 }
                 if !e.retryable() {
                     for p in group {
                         shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                        let _ = p.reply.send(Err(e.clone()));
+                        send_reply(&shared.stats, &p.reply, Err(e.clone()));
                     }
                 } else if group.len() > 1 {
                     // Bisect: the failure could be one poison member.
@@ -110,10 +138,14 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                     let p = group.pop().expect("solo group");
                     shared.stats.quarantined.fetch_add(1, Ordering::Relaxed);
                     shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = p.reply.send(Err(ServeError::Quarantined {
-                        attempts: p.attempts,
-                        cause: Box::new(e),
-                    }));
+                    send_reply(
+                        &shared.stats,
+                        &p.reply,
+                        Err(ServeError::Quarantined {
+                            attempts: p.attempts,
+                            cause: Box::new(e),
+                        }),
+                    );
                 } else {
                     work.push_front((group, generation + 1));
                 }

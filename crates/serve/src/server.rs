@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -51,11 +51,89 @@ pub struct Response {
     pub latency: Duration,
 }
 
+/// The reply slot backing one request: a one-shot rendezvous between the
+/// worker that eventually replies and the [`Ticket`] that redeems it.
+/// Unlike a channel, the slot has an explicit *tombstoned* state: a
+/// dropped (abandoned) ticket marks it, so a late worker reply is dropped
+/// and counted (`late_replies`) instead of leaking into a buffer nobody
+/// will ever read.
+#[derive(Debug)]
+struct ReplySlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    /// No reply yet; the ticket is still live.
+    Waiting,
+    /// The reply landed and awaits redemption.
+    Ready(Box<Result<Response, ServeError>>),
+    /// The reply was redeemed.
+    Taken,
+    /// The ticket was dropped before a reply arrived; any reply is late.
+    Tombstoned,
+    /// The send side was dropped without ever replying (a worker died
+    /// outside the supervised region).
+    Lost,
+}
+
+/// The send side of one request's reply slot, held by `Pending` as the
+/// request moves through queues, batches and retries.
+#[derive(Debug)]
+pub(crate) struct ReplySender {
+    slot: Arc<ReplySlot>,
+}
+
+impl ReplySender {
+    /// Deliver the reply. Returns `false` when the ticket was already
+    /// abandoned — the reply is dropped (the caller counts it late).
+    pub(crate) fn send(&self, result: Result<Response, ServeError>) -> bool {
+        let mut s = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if matches!(*s, SlotState::Waiting) {
+            *s = SlotState::Ready(Box::new(result));
+            self.slot.ready.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Drop for ReplySender {
+    fn drop(&mut self) {
+        let mut s = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if matches!(*s, SlotState::Waiting) {
+            *s = SlotState::Lost;
+            self.slot.ready.notify_all();
+        }
+    }
+}
+
+/// Build one request's reply-slot pair.
+pub(crate) fn reply_pair() -> (ReplySender, Ticket) {
+    let slot = Arc::new(ReplySlot {
+        state: Mutex::new(SlotState::Waiting),
+        ready: Condvar::new(),
+    });
+    (ReplySender { slot: Arc::clone(&slot) }, Ticket { slot })
+}
+
+/// Deliver a reply, counting it under `late_replies` when the ticket was
+/// already abandoned. Every worker-side reply goes through here.
+pub(crate) fn send_reply(stats: &Stats, reply: &ReplySender, result: Result<Response, ServeError>) {
+    if !reply.send(result) {
+        stats.late_replies.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// The receive side of one request; redeemed with [`Ticket::wait`] or
-/// polled with [`Ticket::wait_timeout`].
+/// polled with [`Ticket::wait_timeout`]. Dropping an unredeemed ticket
+/// tombstones its reply slot: a reply arriving afterwards is dropped and
+/// counted (`late_replies`) rather than left behind unread.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<Result<Response, ServeError>>,
+    slot: Arc<ReplySlot>,
 }
 
 impl Ticket {
@@ -65,13 +143,22 @@ impl Ticket {
     ///
     /// Returns the typed rejection ([`ServeError::DeadlineExceeded`],
     /// [`ServeError::ShuttingDown`], …) or the simulation failure. If the
-    /// reply channel's send side was dropped without a reply — the worker
+    /// reply slot's send side was dropped without a reply — the worker
     /// shard died outside the supervised region — this is
     /// [`ServeError::WorkerLost`], never a hang.
     pub fn wait(self) -> Result<Response, ServeError> {
-        match self.rx.recv() {
-            Ok(result) => result,
-            Err(mpsc::RecvError) => Err(ServeError::WorkerLost),
+        let mut s = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*s {
+                SlotState::Ready(_) => match std::mem::replace(&mut *s, SlotState::Taken) {
+                    SlotState::Ready(r) => return *r,
+                    _ => unreachable!("state checked under the lock"),
+                },
+                SlotState::Lost | SlotState::Taken => return Err(ServeError::WorkerLost),
+                SlotState::Waiting | SlotState::Tombstoned => {
+                    s = self.slot.ready.wait(s).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
         }
     }
 
@@ -79,17 +166,44 @@ impl Ticket {
     ///
     /// A timeout does not cancel the request: the ticket stays redeemable,
     /// so the caller may keep polling (or switch to [`Ticket::wait`]).
+    /// Only *dropping* the ticket gives up on the reply (tombstoning the
+    /// slot).
     ///
     /// # Errors
     ///
     /// [`ServeError::ReplyTimeout`] when no reply arrived in time,
-    /// [`ServeError::WorkerLost`] when the reply channel was dropped,
+    /// [`ServeError::WorkerLost`] when the send side was dropped,
     /// otherwise exactly as [`Ticket::wait`].
     pub fn wait_timeout(&self, timeout: Duration) -> Result<Response, ServeError> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(result) => result,
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::ReplyTimeout { waited: timeout }),
-            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::WorkerLost),
+        let deadline = Instant::now() + timeout;
+        let mut s = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*s {
+                SlotState::Ready(_) => match std::mem::replace(&mut *s, SlotState::Taken) {
+                    SlotState::Ready(r) => return *r,
+                    _ => unreachable!("state checked under the lock"),
+                },
+                SlotState::Lost | SlotState::Taken => return Err(ServeError::WorkerLost),
+                SlotState::Waiting | SlotState::Tombstoned => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(ServeError::ReplyTimeout { waited: timeout });
+                    }
+                    s = match self.slot.ready.wait_timeout(s, deadline - now) {
+                        Ok((guard, _)) => guard,
+                        Err(poisoned) => poisoned.into_inner().0,
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        let mut s = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if matches!(*s, SlotState::Waiting) {
+            *s = SlotState::Tombstoned;
         }
     }
 }
@@ -104,10 +218,14 @@ pub(crate) struct Pending {
     pub(crate) input: Tensor,
     pub(crate) enqueued: Instant,
     pub(crate) deadline: Option<Instant>,
-    pub(crate) reply: mpsc::Sender<Result<Response, ServeError>>,
+    pub(crate) reply: ReplySender,
     /// Failed execution attempts so far (survives requeueing across
     /// shards); the retry policy quarantines past `config.max_retries`.
     pub(crate) attempts: u32,
+    /// Whether any attempt failed an ABFT output check: a completion after
+    /// that counts as an integrity *recovery* (the corruption was caught
+    /// and healed by retry).
+    pub(crate) integrity_hit: bool,
 }
 
 pub(crate) struct QueueState {
@@ -221,8 +339,9 @@ impl Server {
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`], [`ServeError::ShapeMismatch`],
-    /// [`ServeError::QueueFull`], [`ServeError::ShuttingDown`] or
-    /// [`ServeError::Degraded`].
+    /// [`ServeError::DeadlineExceeded`] (a zero deadline has already
+    /// expired and is rejected here, not queued), [`ServeError::QueueFull`],
+    /// [`ServeError::ShuttingDown`] or [`ServeError::Degraded`].
     pub fn submit_with_deadline(&self, model: ModelId, input: Tensor, deadline: Option<Duration>) -> Result<Ticket, ServeError> {
         let shared = &self.shared;
         {
@@ -234,8 +353,14 @@ impl Server {
                 return Err(ServeError::ShapeMismatch { expected, got });
             }
         }
+        // A zero deadline has already expired: reject synchronously rather
+        // than queue work that batch formation must shed anyway.
+        if deadline.is_some_and(|d| d.is_zero()) {
+            shared.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::DeadlineExceeded);
+        }
         let now = Instant::now();
-        let (tx, rx) = mpsc::channel();
+        let (tx, ticket) = reply_pair();
         let mut q = supervisor::lock_queue(shared);
         if !q.open {
             shared.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
@@ -276,13 +401,14 @@ impl Server {
             deadline: deadline.map(|d| now + d),
             reply: tx,
             attempts: 0,
+            integrity_hit: false,
         });
         q.total += 1;
         shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
         shared.stats.observe_queue_depth(q.total as u64);
         drop(q);
         shared.ready.notify_one();
-        Ok(Ticket { rx })
+        Ok(ticket)
     }
 
     /// A live statistics snapshot (cache and fault counters included).
@@ -343,7 +469,7 @@ impl Server {
             while let Some(p) = queue.pop_front() {
                 shed += 1;
                 self.shared.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
-                let _ = p.reply.send(Err(ServeError::ShuttingDown));
+                send_reply(&self.shared.stats, &p.reply, Err(ServeError::ShuttingDown));
             }
         }
         q.total -= shed;
@@ -472,6 +598,51 @@ mod tests {
         assert_eq!(server.model_name(id).as_deref(), Some("mobilenet.pw1"));
         assert_eq!(server.model_name(ModelId(9)), None);
         let _ = server.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected_at_submit() {
+        let server = Server::start(config().with_workers(0));
+        let layer = ConvLayer::pointwise("pw", 4, 4, 4, 4);
+        let id = server.register("m", layer.clone(), layer.random_weights(1)).unwrap();
+        let err = server
+            .submit_with_deadline(id, Tensor::random(4, 4, 4, 1), Some(Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.submitted, 0, "a rejected request never counts as submitted");
+    }
+
+    #[test]
+    fn dropped_ticket_tombstones_its_slot() {
+        let (tx, ticket) = reply_pair();
+        drop(ticket);
+        assert!(
+            !tx.send(Err(ServeError::WorkerLost)),
+            "a reply to an abandoned ticket must be dropped"
+        );
+    }
+
+    #[test]
+    fn dropped_sender_surfaces_as_worker_lost() {
+        let (tx, ticket) = reply_pair();
+        drop(tx);
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::WorkerLost);
+    }
+
+    #[test]
+    fn late_reply_to_abandoned_ticket_is_counted() {
+        // Zero workers: the request sits queued; dropping its ticket
+        // abandons it, so the shutdown shed becomes a late reply.
+        let server = Server::start(config().with_workers(0));
+        let layer = ConvLayer::pointwise("pw", 4, 4, 4, 4);
+        let id = server.register("m", layer.clone(), layer.random_weights(1)).unwrap();
+        let ticket = server.submit(id, Tensor::random(4, 4, 4, 2)).unwrap();
+        drop(ticket);
+        let stats = server.shutdown();
+        assert_eq!(stats.late_replies, 1);
+        assert_eq!(stats.rejected_shutdown, 1);
     }
 
     #[test]

@@ -58,6 +58,19 @@ pub(crate) struct Stats {
     /// Requests shed because the server was degraded (too few healthy
     /// shards) at admission or after a shard collapse.
     pub degraded_sheds: AtomicU64,
+    /// Blocks whose outputs passed an ABFT integrity check.
+    pub integrity_checked: AtomicU64,
+    /// Batch executions that failed an ABFT integrity check.
+    pub integrity_failed: AtomicU64,
+    /// Requests that hit an integrity failure and still completed
+    /// bit-exact on a later attempt (corruption caught and healed).
+    pub integrity_recovered: AtomicU64,
+    /// Replies dropped because the ticket was abandoned before they landed.
+    pub late_replies: AtomicU64,
+    /// Canary self-tests run by shards.
+    pub canary_runs: AtomicU64,
+    /// Canary self-tests that failed (wrong output, error or panic).
+    pub canary_failed: AtomicU64,
     /// Per-shard death flags, set once when the restart budget runs out.
     shard_dead: Vec<AtomicBool>,
     latency: [AtomicU64; LATENCY_BUCKETS],
@@ -81,6 +94,12 @@ impl Stats {
             retries: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
             degraded_sheds: AtomicU64::new(0),
+            integrity_checked: AtomicU64::new(0),
+            integrity_failed: AtomicU64::new(0),
+            integrity_recovered: AtomicU64::new(0),
+            late_replies: AtomicU64::new(0),
+            canary_runs: AtomicU64::new(0),
+            canary_failed: AtomicU64::new(0),
             shard_dead: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_hist: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
@@ -146,6 +165,12 @@ impl Stats {
             retries: self.retries.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
             degraded_sheds: self.degraded_sheds.load(Ordering::Relaxed),
+            integrity_checked: self.integrity_checked.load(Ordering::Relaxed),
+            integrity_failed: self.integrity_failed.load(Ordering::Relaxed),
+            integrity_recovered: self.integrity_recovered.load(Ordering::Relaxed),
+            late_replies: self.late_replies.load(Ordering::Relaxed),
+            canary_runs: self.canary_runs.load(Ordering::Relaxed),
+            canary_failed: self.canary_failed.load(Ordering::Relaxed),
             shard_health: self.shard_dead.iter().map(|d| !d.load(Ordering::Relaxed)).collect(),
             worker_exits: Vec::new(),
             throughput_rps: if elapsed.as_secs_f64() > 0.0 {
@@ -201,6 +226,21 @@ pub struct StatsSnapshot {
     pub quarantined: u64,
     /// Requests shed in degraded mode (too few healthy shards).
     pub degraded_sheds: u64,
+    /// Blocks whose outputs passed an ABFT integrity check.
+    pub integrity_checked: u64,
+    /// Batch executions that failed an ABFT integrity check (each feeds
+    /// the retry/bisect policy as a retryable failure).
+    pub integrity_failed: u64,
+    /// Requests that hit an integrity failure and still completed
+    /// bit-exact on a later attempt.
+    pub integrity_recovered: u64,
+    /// Replies dropped because their ticket was abandoned first.
+    pub late_replies: u64,
+    /// Canary self-tests run by shards.
+    pub canary_runs: u64,
+    /// Canary self-tests failed (a failing shard is retired
+    /// [`WorkerExit::Unhealthy`] after two consecutive strikes).
+    pub canary_failed: u64,
     /// `shard_health[w]` is `false` once worker `w` exhausted its restart
     /// budget and was retired by the supervisor.
     pub shard_health: Vec<bool>,
@@ -318,6 +358,17 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
+            "abft:     {} blocks checked, {} failures detected, {} requests recovered; \
+             {} canary runs ({} failed); {} late replies",
+            self.integrity_checked,
+            self.integrity_failed,
+            self.integrity_recovered,
+            self.canary_runs,
+            self.canary_failed,
+            self.late_replies
+        )?;
+        writeln!(
+            f,
             "health:   {}/{} shards healthy",
             self.healthy_workers(),
             self.shard_health.len()
@@ -407,6 +458,8 @@ mod tests {
         assert!(text.contains("w1:"));
         assert!(text.contains("quarantined"));
         assert!(text.contains("2/2 shards healthy"));
+        assert!(text.contains("abft:"));
+        assert!(text.contains("late replies"));
     }
 
     #[test]

@@ -24,12 +24,12 @@ use std::sync::{Arc, MutexGuard, PoisonError, RwLockReadGuard};
 use std::time::Instant;
 
 use npcgra_nn::{ConvKind, ConvLayer, Tensor};
-use npcgra_sim::{run_standard_via_im2col, FaultPlan, LayerReport, Machine, MappingKind, SimCause, SimError};
+use npcgra_sim::{run_standard_via_im2col, CompiledLayer, FaultPlan, LayerReport, Machine, MappingKind, SimCause, SimError};
 
 use crate::batch;
 use crate::error::ServeError;
 use crate::retry;
-use crate::server::{next_batch, ModelEntry, ModelId, Pending, QueueState, Shared};
+use crate::server::{next_batch, send_reply, ModelEntry, ModelId, Pending, QueueState, Shared};
 use crate::stats::WorkerExit;
 
 /// Lock the shared queue, adopting (not propagating) poisoned state.
@@ -51,8 +51,40 @@ pub(crate) struct Shard {
     restarts: u32,
     /// One-shot chaos trigger: panic inside the next supervised execution.
     panic_armed: bool,
+    /// The shard's canary self-test, when `canary_interval > 0`.
+    canary: Option<CanaryProbe>,
+    /// Consecutive canary failures; two retire the shard (one may be a
+    /// transient fault that an immediate re-probe would clear).
+    canary_strikes: u32,
     /// Cleared when the restart budget runs out; the worker loop exits.
     pub(crate) alive: bool,
+}
+
+/// A small golden layer with precomputed reference outputs, run
+/// periodically on the shard's own machine to catch *sticky* corruption
+/// (a machine that keeps producing wrong words) that per-request retry
+/// cannot heal.
+struct CanaryProbe {
+    compiled: CompiledLayer,
+    ifm: Tensor,
+    weights: Tensor,
+    golden: Tensor,
+}
+
+impl CanaryProbe {
+    fn build(shared: &Shared) -> Option<CanaryProbe> {
+        let layer = ConvLayer::pointwise("canary.pw", 4, 4, 2, 2);
+        let compiled = CompiledLayer::compile(&layer, &shared.config.spec, MappingKind::Auto).ok()?;
+        let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), 0xCA_11A5);
+        let weights = layer.random_weights(0xCA_11A6);
+        let golden = npcgra_nn::reference::run_layer(&layer, &ifm, &weights).ok()?;
+        Some(CanaryProbe {
+            compiled,
+            ifm,
+            weights,
+            golden,
+        })
+    }
 }
 
 impl Shard {
@@ -62,7 +94,34 @@ impl Shard {
             machine: build_machine(shared, worker, 0),
             restarts: 0,
             panic_armed: shared.config.chaos.panic_on_first_batch == Some(worker),
+            canary: (shared.config.canary_interval > 0)
+                .then(|| CanaryProbe::build(shared))
+                .flatten(),
+            canary_strikes: 0,
             alive: true,
+        }
+    }
+
+    /// Run the canary self-test on this shard's machine: any wrong word,
+    /// error or panic is a strike; two consecutive strikes retire the
+    /// shard ([`WorkerExit::Unhealthy`]).
+    fn run_canary(&mut self, shared: &Shared) {
+        let Some(probe) = &self.canary else { return };
+        shared.stats.canary_runs.fetch_add(1, Ordering::Relaxed);
+        let machine = &mut self.machine;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            probe.compiled.run_on(machine, &probe.ifm, &probe.weights)
+        }));
+        let passed = matches!(outcome, Ok(Ok((ofm, _))) if ofm == probe.golden);
+        if passed {
+            self.canary_strikes = 0;
+            return;
+        }
+        shared.stats.canary_failed.fetch_add(1, Ordering::Relaxed);
+        self.canary_strikes += 1;
+        if self.canary_strikes >= 2 {
+            self.alive = false;
+            mark_shard_dead(shared, self.worker);
         }
     }
 
@@ -127,6 +186,7 @@ impl Shard {
 /// reproducible from `ChaosConfig::fault_seed` alone.
 fn build_machine(shared: &Shared, worker: usize, restarts: u32) -> Machine {
     let mut machine = Machine::new(&shared.config.spec);
+    machine.set_integrity_mode(shared.config.integrity);
     let chaos = &shared.config.chaos;
     if let Some(seed) = chaos.fault_seed {
         if chaos.fault_rate > 0.0 {
@@ -175,7 +235,7 @@ pub(crate) fn mark_shard_dead(shared: &Shared, worker: usize) {
             while let Some(p) = queue.pop_front() {
                 shed += 1;
                 shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
-                let _ = p.reply.send(Err(ServeError::Degraded { healthy: 0, workers }));
+                send_reply(&shared.stats, &p.reply, Err(ServeError::Degraded { healthy: 0, workers }));
             }
         }
         q.total -= shed;
@@ -193,7 +253,7 @@ pub(crate) fn requeue_or_fail(shared: &Shared, model: ModelId, pendings: Vec<Pen
     if q.healthy == 0 {
         for p in pendings {
             shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
-            let _ = p.reply.send(Err(ServeError::Degraded { healthy: 0, workers }));
+            send_reply(&shared.stats, &p.reply, Err(ServeError::Degraded { healthy: 0, workers }));
         }
         return;
     }
@@ -219,7 +279,8 @@ fn run_group(
     let spec = &shared.config.spec;
     if group.len() == 1 || !batch::batchable(layer) {
         let mut outputs = Vec::with_capacity(group.len());
-        let mut last_report = None;
+        let mut last_report: Option<LayerReport> = None;
+        let (mut checked, mut failed, mut recovered) = (0u64, 0u64, 0u64);
         for p in group {
             let (ofm, report) = if layer.kind() == ConvKind::Standard {
                 run_standard_via_im2col(layer, &p.input, weights, spec)?
@@ -228,9 +289,18 @@ fn run_group(
                 compiled.run_on(machine, &p.input, weights)?
             };
             outputs.push(ofm);
+            checked += report.integrity_checked;
+            failed += report.integrity_failed;
+            recovered += report.integrity_recovered;
             last_report = Some(report);
         }
-        Ok((outputs, last_report.expect("at least one request")))
+        // The group shares one report; fold the per-request integrity
+        // counters into it so none are lost.
+        let mut report = last_report.expect("at least one request");
+        report.integrity_checked = checked;
+        report.integrity_failed = failed;
+        report.integrity_recovered = recovered;
+        Ok((outputs, report))
     } else {
         let b = group.len();
         let big = batch::combined_layer(layer, b);
@@ -260,9 +330,11 @@ fn preferred_kind(layer: &ConvLayer) -> MappingKind {
 /// The worker-thread body: pull batches, run them through the retry
 /// policy, and report how the thread ended. Exits `Clean` when the queue
 /// drains for shutdown, `Unhealthy` when the shard's restart budget runs
-/// out mid-service.
+/// out mid-service or the canary self-test retires it.
 pub(crate) fn run_worker(shared: &Arc<Shared>, worker: usize) -> WorkerExit {
     let mut shard = Shard::new(shared, worker);
+    let canary_interval = shared.config.canary_interval;
+    let mut batches = 0u64;
     while shard.alive {
         match next_batch(shared) {
             None => return WorkerExit::Clean,
@@ -270,6 +342,10 @@ pub(crate) fn run_worker(shared: &Arc<Shared>, worker: usize) -> WorkerExit {
                 let busy_start = Instant::now();
                 retry::process(shared, &mut shard, model, pendings);
                 shared.stats.observe_worker_busy(worker, busy_start.elapsed());
+                batches += 1;
+                if canary_interval > 0 && batches.is_multiple_of(canary_interval) {
+                    shard.run_canary(shared);
+                }
             }
         }
     }

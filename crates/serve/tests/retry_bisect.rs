@@ -1,0 +1,114 @@
+//! Bisection edge cases for the batch retry policy.
+//!
+//! The poison sentinel ([`ChaosConfig::poison_value`]) fails any batch that
+//! contains it, so the shapes below drive `retry::process`'s bisection
+//! through its corners: a batch of one (no bisection possible), every
+//! member poisoned (nothing to save), odd sizes (uneven halves), and
+//! poison at both ends (both halves keep failing). The invariant under
+//! test never changes: every clean request completes **bit-exactly** and
+//! every poisoned request is quarantined — regardless of how the batch
+//! splits.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use npcgra_arch::CgraSpec;
+use npcgra_nn::{reference, ConvLayer, Tensor, Word};
+use npcgra_serve::{ChaosConfig, ServeConfig, ServeError, Server, WorkerExit};
+use proptest::prelude::*;
+
+const POISON: Word = 0x7A5A;
+
+/// Serve `n` requests, poisoning the ones at `poison_idx`; assert every
+/// clean reply is bit-exact and every poisoned one is quarantined, then
+/// return the final stats snapshot.
+fn run_case(n: usize, poison_idx: &[usize]) -> npcgra_serve::StatsSnapshot {
+    let poisoned: HashSet<usize> = poison_idx.iter().copied().collect();
+    let chaos = ChaosConfig {
+        poison_value: Some(POISON),
+        ..ChaosConfig::default()
+    };
+    let config = ServeConfig::for_spec(&CgraSpec::np_cgra(4, 4))
+        .with_workers(1)
+        .with_max_batch(n.max(1))
+        .with_max_linger(Duration::from_millis(40))
+        .with_max_retries(1)
+        .with_chaos(chaos);
+    let server = Server::start(config);
+    let layer = ConvLayer::depthwise("dw", 2, 8, 8, 3, 1, 1);
+    let w = layer.random_weights(1);
+    let id = server.register("m", layer.clone(), w.clone()).unwrap();
+
+    let mut tickets = Vec::new();
+    let mut goldens = Vec::new();
+    for i in 0..n {
+        let mut ifm = Tensor::random(2, 8, 8, i as u64 + 100);
+        if poisoned.contains(&i) {
+            ifm.set(0, 0, 0, POISON);
+            goldens.push(None);
+        } else {
+            if ifm.get(0, 0, 0) == POISON {
+                ifm.set(0, 0, 0, 0);
+            }
+            goldens.push(Some(reference::run_layer(&layer, &ifm, &w).unwrap()));
+        }
+        tickets.push(server.submit(id, ifm).unwrap());
+    }
+
+    let mut quarantined = 0usize;
+    for (i, (ticket, golden)) in tickets.into_iter().zip(goldens).enumerate() {
+        match (ticket.wait(), golden) {
+            (Ok(resp), Some(g)) => assert_eq!(resp.output, g, "clean request {i} must stay bit-exact"),
+            (Err(ServeError::Quarantined { .. }), None) => quarantined += 1,
+            (outcome, golden) => {
+                panic!("request {i}: unexpected outcome {outcome:?} (clean: {})", golden.is_some())
+            }
+        }
+    }
+    assert_eq!(quarantined, poisoned.len(), "exactly the poisoned requests are quarantined");
+    let stats = server.shutdown();
+    assert_eq!(stats.quarantined, poisoned.len() as u64);
+    assert_eq!(stats.completed, (n - poisoned.len()) as u64);
+    assert_eq!(stats.worker_exits, vec![WorkerExit::Clean]);
+    stats
+}
+
+#[test]
+fn a_single_poisoned_request_is_quarantined_without_bisection() {
+    let stats = run_case(1, &[0]);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn an_all_poison_batch_quarantines_every_member() {
+    let stats = run_case(4, &[0, 1, 2, 3]);
+    assert_eq!(stats.failed, 4);
+    assert!(
+        stats.retries >= 3,
+        "isolating four poisons takes at least the bisection rounds"
+    );
+}
+
+#[test]
+fn an_odd_batch_with_a_middle_poison_saves_the_rest() {
+    let stats = run_case(5, &[2]);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn poison_at_both_ends_is_isolated_from_the_clean_middle() {
+    let stats = run_case(4, &[0, 3]);
+    assert_eq!(stats.failed, 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any batch size and any poison mask: clean requests complete
+    /// bit-exactly, poisoned ones are quarantined, nothing hangs.
+    #[test]
+    fn any_poison_mask_resolves_every_request(n in 1usize..7, mask in 0u64..64) {
+        let poison_idx: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        run_case(n, &poison_idx);
+    }
+}

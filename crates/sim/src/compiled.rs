@@ -25,6 +25,7 @@ use npcgra_mem::DmaEngine;
 use npcgra_nn::{ConvKind, ConvLayer, Tensor};
 
 use crate::error::{SimCause, SimError};
+use crate::integrity::{self, IntegrityMode};
 use crate::layer::MappingKind;
 use crate::machine::Machine;
 use crate::report::LayerReport;
@@ -225,28 +226,57 @@ impl CompiledLayer {
     /// OFM and performance report. The machine must have been built from
     /// the same spec the layer was compiled for.
     ///
+    /// If the machine has an [`IntegrityMode`] other than `Off` installed
+    /// ([`Machine::set_integrity_mode`]), every block's extracted outputs
+    /// are verified on the host against the layer's ABFT checksum identity
+    /// (see [`crate::integrity`]): `Verify` fails the run with
+    /// [`SimCause::IntegrityViolation`] (the error's `tile` field carries
+    /// the block index), `VerifyAndRecompute` heals the block in place.
+    /// Checked/failed/recovered block counts land in the report.
+    ///
     /// # Errors
     ///
-    /// Returns [`SimError`] on any hardware-rule violation.
+    /// Returns [`SimError`] on any hardware-rule violation, or — under
+    /// `IntegrityMode::Verify` — when a block fails its output checksum.
     ///
     /// # Panics
     ///
     /// Panics if `machine` was built from a different spec.
     pub fn run_on(&self, machine: &mut Machine, ifm: &Tensor, weights: &Tensor) -> Result<(Tensor, LayerReport), SimError> {
         assert_eq!(*machine.spec(), self.spec, "machine/compiled-layer spec mismatch");
+        let mode = machine.integrity_mode();
         let prepared = self.prepare(ifm);
         let mut ofm = Tensor::zeros(self.layer.out_channels(), self.layer.out_h(), self.layer.out_w());
         let mut blocks: Vec<(u64, u64)> = Vec::with_capacity(self.num_blocks());
+        let (mut checked, mut failed, mut recovered) = (0u64, 0u64, 0u64);
         for i in 0..self.num_blocks() {
             let prog = self.materialize(i, &prepared, weights);
             debug_assert_eq!(prog.compute_cycles(), self.block_compute_cycles(), "uniform block plan");
-            let res = machine.run_block(&prog)?;
+            let mut res = machine.run_block(&prog)?;
+            if mode != IntegrityMode::Off {
+                checked += 1;
+                match integrity::verify_block(&self.layer, ifm, weights, &res.ofm) {
+                    Ok(()) => {}
+                    Err(v) => {
+                        failed += 1;
+                        if mode == IntegrityMode::Verify {
+                            return Err(SimError::new(self.layer.name(), i, 0, SimCause::IntegrityViolation(v)));
+                        }
+                        integrity::heal_block(&self.layer, ifm, weights, &mut res.ofm);
+                        recovered += 1;
+                    }
+                }
+            }
             blocks.push((res.compute_cycles, res.dma_in_cycles + res.dma_out_cycles));
             for (c, y, x, v) in res.ofm {
                 ofm.set(c, y, x, v);
             }
         }
-        Ok((ofm, self.report_from_blocks(&blocks)))
+        let mut report = self.report_from_blocks(&blocks);
+        report.integrity_checked = checked;
+        report.integrity_failed = failed;
+        report.integrity_recovered = recovered;
+        Ok((ofm, report))
     }
 
     /// Run the layer functionally with blocks distributed over `threads`
@@ -254,7 +284,10 @@ impl CompiledLayer {
     /// Blocks are architecturally independent (each begins with a DMA fill
     /// and ends with a drain), so the result is bit-identical to
     /// [`CompiledLayer::run_on`] — while large layers simulate several
-    /// times faster on a multicore host.
+    /// times faster on a multicore host. The scratch machines are built
+    /// fresh, so no fault plan is active and integrity checking stays
+    /// [`IntegrityMode::Off`]; use [`CompiledLayer::run_on`] with a
+    /// configured machine for chaos or verified runs.
     ///
     /// # Errors
     ///

@@ -5,6 +5,8 @@ use std::fmt;
 use npcgra_arch::pe::PeError;
 use npcgra_mem::MemError;
 
+use crate::integrity::Violation;
+
 /// An error raised while executing a block, annotated with where it
 /// happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +39,11 @@ pub enum SimCause {
     GrfIndex(usize),
     /// The layer could not be mapped at all (planner error).
     Map(String),
+    /// A host-side output checksum check failed: the block's extracted
+    /// words do not satisfy the layer's integrity identity (silent
+    /// datapath corruption). The `tile` field of the carrying
+    /// [`SimError`] holds the *block index* the violation localized to.
+    IntegrityViolation(Violation),
     /// A bank image exceeded the configured bank capacity.
     BankOverflow {
         /// Which memory.
@@ -73,6 +80,7 @@ impl fmt::Display for SimError {
             SimCause::Mem(e) => write!(f, "{e}"),
             SimCause::GrfIndex(i) => write!(f, "GRF index {i} not loaded"),
             SimCause::Map(m) => write!(f, "{m}"),
+            SimCause::IntegrityViolation(v) => write!(f, "output integrity violation: {v}"),
             SimCause::BankOverflow {
                 vmem,
                 bank,

@@ -1,0 +1,444 @@
+//! Algorithm-based fault tolerance (ABFT): host-side output verification.
+//!
+//! The fault model ([`crate::fault`]) is explicit that data bit flips in
+//! H-MEM/V-MEM, the GRF and the PE accumulators corrupt block outputs
+//! *silently* — the memory layouts carry no redundancy. This module closes
+//! that hole on the host side: after each block run, the extracted OFM
+//! words are checked against a checksum identity computed directly from
+//! the layer's inputs and weights, in O(output) extra host work.
+//!
+//! The identities exploit that the whole datapath is *linear arithmetic
+//! mod 2¹⁶*: the 32-bit accumulator wraps, and [`truncate`] (the 16-bit
+//! store) is a ring homomorphism onto wrapping [`Word`] arithmetic, so
+//! sums of outputs can be predicted exactly with wrapping 16-bit adds and
+//! multiplies — no tolerance thresholds, a mismatch is corruption.
+//!
+//! * **Pointwise / matmul** (the paper's output-stationary PWC mapping is
+//!   a tiled matmul, the textbook ABFT target): Huang–Abraham row and
+//!   column checksums. Per output channel `o` over the block's pixel set
+//!   `P`: `Σ_{p∈P} out(o,p) = Σ_i w(o,i) · Σ_{p∈P} ifm(i,p)`; dually, per
+//!   pixel `p` over the block's channel set `O`:
+//!   `Σ_{o∈O} out(o,p) = Σ_i (Σ_{o∈O} w(o,i)) · ifm(i,p)`. The row check
+//!   localizes a mismatch to an output channel, the column dual to a pixel.
+//! * **Depthwise** (any stride, every DWC mapping — §5.2/§5.3/§5.4 and the
+//!   matmul lowering): per-channel output sums.
+//!   `Σ out_c = Σ_taps w_c[k] · Σ ifm_c over the positions tap k touches`.
+//!
+//! Activated layers (ReLU / leaky ReLU) are not linear, so the checksum
+//! identities do not apply; they fall back to an exact per-element golden
+//! recompute of the block's own outputs — same asymptotic cost for
+//! depthwise, and still a per-block (not per-layer) cost for pointwise.
+//!
+//! [`truncate`]: npcgra_nn::truncate
+
+use npcgra_nn::{truncate, Acc, Activation, ConvKind, ConvLayer, Tensor, Word};
+
+/// One extracted output word: `(channel, y, x, value)`, exactly as
+/// [`BlockResult::ofm`](crate::BlockResult) carries them.
+pub type OfmEntry = (usize, usize, usize, Word);
+
+/// How (and whether) block outputs are verified after execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrityMode {
+    /// No verification (the pre-ABFT behaviour): silent corruption stays
+    /// silent.
+    #[default]
+    Off,
+    /// Verify every block; a mismatch fails the run with
+    /// [`SimCause::IntegrityViolation`](crate::SimCause::IntegrityViolation)
+    /// so callers can retry (transient faults draw independently per run).
+    Verify,
+    /// Verify every block; a mismatch is healed in place by recomputing
+    /// the block's outputs on the host (golden arithmetic) and counted in
+    /// the report instead of failing the run.
+    VerifyAndRecompute,
+}
+
+/// Which checksum identity a violation tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// Depthwise per-channel output sum (`lane` = channel).
+    ChannelSum,
+    /// Pointwise row checksum (`lane` = output channel).
+    RowChecksum,
+    /// Pointwise column checksum (`lane` = pixel index `y·W + x`).
+    ColumnChecksum,
+    /// Exact per-element recompute, used for activated (non-linear) layers
+    /// (`lane` = flat output index).
+    Element,
+}
+
+impl std::fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckKind::ChannelSum => f.write_str("channel-sum"),
+            CheckKind::RowChecksum => f.write_str("row-checksum"),
+            CheckKind::ColumnChecksum => f.write_str("column-checksum"),
+            CheckKind::Element => f.write_str("element"),
+        }
+    }
+}
+
+/// A failed output-integrity check: which identity, where, and the two
+/// checksum values that disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The identity that tripped.
+    pub kind: CheckKind,
+    /// Channel or pixel the mismatch localizes to (see [`CheckKind`]).
+    pub lane: usize,
+    /// Checksum predicted from inputs and weights.
+    pub expected: Word,
+    /// Checksum of the words the machine actually produced.
+    pub actual: Word,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} mismatch on lane {}: expected {:#06x}, got {:#06x}",
+            self.kind, self.lane, self.expected as u16, self.actual as u16
+        )
+    }
+}
+
+/// Verify one block's extracted outputs against the layer's checksum
+/// identity (or, for activated layers, an exact per-element recompute).
+///
+/// `ifm` is the layer's *raw* input (zero padding is applied here, exactly
+/// as the golden reference does); `entries` are the block's OFM words as
+/// the machine extracted them. The check costs O(`entries`) host work
+/// (times the constant kernel size for depthwise).
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found. The identities are exact mod
+/// 2¹⁶, so a violation is always real corruption; a passing check bounds
+/// undetected corruption to errors that cancel in every checksum.
+pub fn verify_block(layer: &ConvLayer, ifm: &Tensor, weights: &Tensor, entries: &[OfmEntry]) -> Result<(), Violation> {
+    if entries.is_empty() {
+        return Ok(());
+    }
+    if layer.activation() != Activation::None {
+        return verify_elements(layer, ifm, weights, entries);
+    }
+    match layer.kind() {
+        ConvKind::Depthwise => verify_depthwise(layer, ifm, weights, entries),
+        ConvKind::Pointwise => verify_pointwise(layer, ifm, weights, entries),
+        // Standard convolution never reaches the block path directly (it is
+        // lowered through im2col), but stay total for robustness.
+        ConvKind::Standard => verify_elements(layer, ifm, weights, entries),
+    }
+}
+
+/// Recompute every entry of a failed block on the host (golden arithmetic)
+/// and patch the extracted words in place — the recovery half of
+/// [`IntegrityMode::VerifyAndRecompute`].
+pub fn heal_block(layer: &ConvLayer, ifm: &Tensor, weights: &Tensor, entries: &mut [OfmEntry]) {
+    for e in entries.iter_mut() {
+        e.3 = golden_element(layer, ifm, weights, e.0, e.1, e.2);
+    }
+}
+
+/// Depthwise: per-channel output sums against
+/// `Σ out_c = Σ_taps w_c[k] · Σ ifm_c over the positions tap k touches`.
+fn verify_depthwise(layer: &ConvLayer, ifm: &Tensor, weights: &Tensor, entries: &[OfmEntry]) -> Result<(), Violation> {
+    let (k, s) = (layer.k(), layer.s());
+    let pad = layer.pad() as isize;
+    let mut by_channel: std::collections::BTreeMap<usize, (Vec<(usize, usize)>, Word)> = std::collections::BTreeMap::new();
+    for &(c, y, x, v) in entries {
+        let slot = by_channel.entry(c).or_default();
+        slot.0.push((y, x));
+        slot.1 = slot.1.wrapping_add(v);
+    }
+    for (c, (positions, actual)) in by_channel {
+        let mut expected: Word = 0;
+        for ky in 0..k {
+            for kx in 0..k {
+                let mut tap_sum: Word = 0;
+                for &(oy, ox) in &positions {
+                    let iy = (oy * s + ky) as isize - pad;
+                    let ix = (ox * s + kx) as isize - pad;
+                    tap_sum = tap_sum.wrapping_add(ifm.get_padded(c, iy, ix));
+                }
+                expected = expected.wrapping_add(weights.get(c, ky, kx).wrapping_mul(tap_sum));
+            }
+        }
+        if expected != actual {
+            return Err(Violation {
+                kind: CheckKind::ChannelSum,
+                lane: c,
+                expected,
+                actual,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Pointwise: Huang–Abraham row checksums (per output channel, localizing
+/// to a channel) and column checksums (per pixel, localizing to a pixel).
+///
+/// Input-side sums are memoized per distinct pixel/channel *set*, so a
+/// rectangular block pays each input word once, not once per output row.
+fn verify_pointwise(layer: &ConvLayer, ifm: &Tensor, weights: &Tensor, entries: &[OfmEntry]) -> Result<(), Violation> {
+    use std::collections::BTreeMap;
+    let n_i = layer.in_channels();
+
+    // Row checksums: per output channel over its pixel set.
+    let mut by_out: BTreeMap<usize, (Vec<(usize, usize)>, Word)> = BTreeMap::new();
+    for &(o, y, x, v) in entries {
+        let slot = by_out.entry(o).or_default();
+        slot.0.push((y, x));
+        slot.1 = slot.1.wrapping_add(v);
+    }
+    // Per-input-channel pixel sums, memoized by pixel set (blocks are
+    // rectangular, so usually one distinct set).
+    let mut pixel_sums: BTreeMap<Vec<(usize, usize)>, Vec<Word>> = BTreeMap::new();
+    for (o, (mut pixels, actual)) in by_out {
+        pixels.sort_unstable();
+        let sums = pixel_sums.entry(pixels).or_insert_with_key(|pixels| {
+            (0..n_i)
+                .map(|i| {
+                    pixels
+                        .iter()
+                        .fold(0 as Word, |acc, &(y, x)| acc.wrapping_add(ifm.get(i, y, x)))
+                })
+                .collect()
+        });
+        let mut expected: Word = 0;
+        for (i, &sum) in sums.iter().enumerate() {
+            expected = expected.wrapping_add(weights.get(o, 0, i).wrapping_mul(sum));
+        }
+        if expected != actual {
+            return Err(Violation {
+                kind: CheckKind::RowChecksum,
+                lane: o,
+                expected,
+                actual,
+            });
+        }
+    }
+
+    // Column checksums: per pixel over its output-channel set.
+    let mut by_pixel: BTreeMap<(usize, usize), (Vec<usize>, Word)> = BTreeMap::new();
+    for &(o, y, x, v) in entries {
+        let slot = by_pixel.entry((y, x)).or_default();
+        slot.0.push(o);
+        slot.1 = slot.1.wrapping_add(v);
+    }
+    // Weight column sums, memoized by output-channel set.
+    let mut col_weights: BTreeMap<Vec<usize>, Vec<Word>> = BTreeMap::new();
+    for ((y, x), (mut outs, actual)) in by_pixel {
+        outs.sort_unstable();
+        let cols = col_weights.entry(outs).or_insert_with_key(|outs| {
+            (0..n_i)
+                .map(|i| outs.iter().fold(0 as Word, |acc, &o| acc.wrapping_add(weights.get(o, 0, i))))
+                .collect()
+        });
+        let mut expected: Word = 0;
+        for (i, &wsum) in cols.iter().enumerate() {
+            expected = expected.wrapping_add(wsum.wrapping_mul(ifm.get(i, y, x)));
+        }
+        if expected != actual {
+            return Err(Violation {
+                kind: CheckKind::ColumnChecksum,
+                lane: y * layer.out_w() + x,
+                expected,
+                actual,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exact per-element golden recompute of the block's own outputs — the
+/// fallback for activated (non-linear) layers, where the checksum
+/// identities do not hold.
+fn verify_elements(layer: &ConvLayer, ifm: &Tensor, weights: &Tensor, entries: &[OfmEntry]) -> Result<(), Violation> {
+    for &(c, y, x, v) in entries {
+        let expected = golden_element(layer, ifm, weights, c, y, x);
+        if expected != v {
+            return Err(Violation {
+                kind: CheckKind::Element,
+                lane: (c * layer.out_h() + y) * layer.out_w() + x,
+                expected,
+                actual: v,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One output element via the golden reference arithmetic (wrapping 32-bit
+/// accumulation, activation at accumulator level, 16-bit truncation) —
+/// bit-identical to [`npcgra_nn::reference::run_layer`].
+fn golden_element(layer: &ConvLayer, ifm: &Tensor, weights: &Tensor, c: usize, oy: usize, ox: usize) -> Word {
+    let mut acc: Acc = 0;
+    match layer.kind() {
+        ConvKind::Depthwise => {
+            let (k, s) = (layer.k(), layer.s());
+            let pad = layer.pad() as isize;
+            for ky in 0..k {
+                for kx in 0..k {
+                    let iy = (oy * s + ky) as isize - pad;
+                    let ix = (ox * s + kx) as isize - pad;
+                    let x = ifm.get_padded(c, iy, ix);
+                    acc = acc.wrapping_add(Acc::from(x).wrapping_mul(Acc::from(weights.get(c, ky, kx))));
+                }
+            }
+        }
+        ConvKind::Pointwise => {
+            for i in 0..layer.in_channels() {
+                acc = acc.wrapping_add(Acc::from(ifm.get(i, oy, ox)).wrapping_mul(Acc::from(weights.get(c, 0, i))));
+            }
+        }
+        ConvKind::Standard => {
+            let (k, s) = (layer.k(), layer.s());
+            let pad = layer.pad() as isize;
+            let g = layer.groups();
+            let cin_per_g = layer.in_channels() / g;
+            let cout_per_g = layer.out_channels() / g;
+            let grp = c / cout_per_g;
+            for ci in 0..cin_per_g {
+                let ch = grp * cin_per_g + ci;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let iy = (oy * s + ky) as isize - pad;
+                        let ix = (ox * s + kx) as isize - pad;
+                        let x = ifm.get_padded(ch, iy, ix);
+                        let wv = weights.get(c, ky, kx * cin_per_g + ci);
+                        acc = acc.wrapping_add(Acc::from(x).wrapping_mul(Acc::from(wv)));
+                    }
+                }
+            }
+        }
+    }
+    truncate(layer.activation().apply_acc(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npcgra_nn::reference;
+
+    /// Turn a golden OFM tensor into the entry list a block would extract.
+    fn entries_of(ofm: &Tensor) -> Vec<OfmEntry> {
+        let (c, h, w) = ofm.shape();
+        let mut out = Vec::with_capacity(c * h * w);
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    out.push((ci, y, x, ofm.get(ci, y, x)));
+                }
+            }
+        }
+        out
+    }
+
+    fn layers() -> Vec<ConvLayer> {
+        vec![
+            ConvLayer::pointwise("pw", 9, 7, 5, 6),
+            ConvLayer::depthwise("dw1", 3, 11, 9, 3, 1, 1),
+            ConvLayer::depthwise("dw2", 2, 12, 12, 3, 2, 1),
+            ConvLayer::depthwise("dw5", 2, 13, 13, 5, 1, 2),
+            ConvLayer::standard("st", 4, 4, 6, 6, 3, 1, 1, 2),
+        ]
+    }
+
+    #[test]
+    fn correct_outputs_satisfy_every_identity() {
+        for layer in layers() {
+            let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), 7);
+            let w = layer.random_weights(8);
+            let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+            verify_block(&layer, &ifm, &w, &entries_of(&golden)).unwrap_or_else(|v| panic!("{}: {v}", layer.name()));
+        }
+    }
+
+    #[test]
+    fn a_single_flipped_word_is_detected() {
+        for layer in layers() {
+            let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), 17);
+            let w = layer.random_weights(18);
+            let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+            let mut entries = entries_of(&golden);
+            entries[3].3 ^= 1 << 5;
+            let v = verify_block(&layer, &ifm, &w, &entries).expect_err(layer.name());
+            assert_ne!(v.expected, v.actual);
+        }
+    }
+
+    #[test]
+    fn partial_blocks_verify_too() {
+        // Blocks cover subsets of the OFM; the identities must hold over
+        // any entry subset, not just whole layers.
+        let layer = ConvLayer::pointwise("pw", 8, 6, 4, 4);
+        let ifm = Tensor::random(8, 4, 4, 3);
+        let w = layer.random_weights(4);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let entries = entries_of(&golden);
+        for chunk in entries.chunks(5) {
+            verify_block(&layer, &ifm, &w, chunk).unwrap();
+        }
+        let dw = ConvLayer::depthwise("dw", 2, 9, 9, 3, 2, 1);
+        let ifm = Tensor::random(2, 9, 9, 5);
+        let w = dw.random_weights(6);
+        let golden = reference::run_layer(&dw, &ifm, &w).unwrap();
+        for chunk in entries_of(&golden).chunks(7) {
+            verify_block(&dw, &ifm, &w, chunk).unwrap();
+        }
+    }
+
+    #[test]
+    fn pointwise_row_check_localizes_the_output_channel() {
+        let layer = ConvLayer::pointwise("pw", 6, 5, 3, 3);
+        let ifm = Tensor::random(6, 3, 3, 9);
+        let w = layer.random_weights(10);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let mut entries = entries_of(&golden);
+        // Corrupt an output of channel 4.
+        let idx = entries.iter().position(|e| e.0 == 4).unwrap();
+        entries[idx].3 = entries[idx].3.wrapping_add(1);
+        let v = verify_block(&layer, &ifm, &w, &entries).unwrap_err();
+        assert_eq!(v.kind, CheckKind::RowChecksum);
+        assert_eq!(v.lane, 4);
+    }
+
+    #[test]
+    fn activated_layers_use_the_exact_element_path() {
+        let layer = ConvLayer::depthwise("dw", 2, 8, 8, 3, 1, 1).with_activation(Activation::Relu);
+        let ifm = Tensor::random(2, 8, 8, 11);
+        let w = layer.random_weights(12);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let mut entries = entries_of(&golden);
+        verify_block(&layer, &ifm, &w, &entries).unwrap();
+        entries[9].3 = entries[9].3.wrapping_add(2);
+        let v = verify_block(&layer, &ifm, &w, &entries).unwrap_err();
+        assert_eq!(v.kind, CheckKind::Element);
+    }
+
+    #[test]
+    fn heal_restores_golden_values() {
+        for layer in layers() {
+            let ifm = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), 21);
+            let w = layer.random_weights(22);
+            let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+            let mut entries = entries_of(&golden);
+            entries[0].3 ^= 0x40;
+            entries[5].3 = entries[5].3.wrapping_sub(3);
+            heal_block(&layer, &ifm, &w, &mut entries);
+            assert_eq!(entries, entries_of(&golden), "{}", layer.name());
+            verify_block(&layer, &ifm, &w, &entries).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_entry_lists_are_trivially_valid() {
+        let layer = ConvLayer::pointwise("pw", 4, 4, 2, 2);
+        let ifm = Tensor::zeros(4, 2, 2);
+        let w = layer.random_weights(1);
+        verify_block(&layer, &ifm, &w, &[]).unwrap();
+    }
+}

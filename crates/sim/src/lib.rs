@@ -23,6 +23,7 @@
 pub mod compiled;
 pub mod error;
 pub mod fault;
+pub mod integrity;
 pub mod layer;
 pub mod machine;
 pub mod report;
@@ -31,6 +32,7 @@ pub mod trace;
 pub use compiled::{CompiledLayer, PreparedIfm, ResolvedMapping};
 pub use error::{SimCause, SimError};
 pub use fault::{Fault, FaultDims, FaultPlan, FaultSite};
+pub use integrity::{CheckKind, IntegrityMode, Violation};
 pub use layer::{
     estimate_layer_energy, run_batched_dwc, run_layer, run_layer_parallel, run_matmul_dwc, run_standard_via_im2col, time_layer,
     time_layer_single_buffered, MappingKind,

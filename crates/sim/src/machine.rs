@@ -8,6 +8,7 @@ use npcgra_nn::{truncate, Word};
 
 use crate::error::{SimCause, SimError};
 use crate::fault::{FaultDims, FaultPlan, FaultSite};
+use crate::integrity::IntegrityMode;
 use crate::trace::{BusEvent, CycleTrace, StoreEvent, Trace};
 
 /// What one block run produced.
@@ -56,6 +57,9 @@ pub struct Machine {
     mac: DualModeMac,
     /// Optional transient-fault schedule (chaos testing / soak runs).
     fault_plan: Option<FaultPlan>,
+    /// Host-side output verification mode applied by block-running layer
+    /// entry points ([`CompiledLayer::run_on`](crate::CompiledLayer::run_on)).
+    integrity: IntegrityMode,
     /// Block runs executed so far (the `run` ordinal fault plans hash).
     runs: u64,
     /// Faults actually applied so far.
@@ -82,6 +86,7 @@ impl Machine {
             dma: DmaEngine::new(spec),
             mac: DualModeMac::new(spec.mac_mode()),
             fault_plan: None,
+            integrity: IntegrityMode::Off,
             runs: 0,
             faults_injected: 0,
         }
@@ -103,6 +108,19 @@ impl Machine {
     #[must_use]
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault_plan.as_ref()
+    }
+
+    /// Set the ABFT output-verification mode. Block-running layer entry
+    /// points ([`CompiledLayer::run_on`](crate::CompiledLayer::run_on))
+    /// consult this after every block; the machine itself only stores it.
+    pub fn set_integrity_mode(&mut self, mode: IntegrityMode) {
+        self.integrity = mode;
+    }
+
+    /// The ABFT output-verification mode in effect.
+    #[must_use]
+    pub fn integrity_mode(&self) -> IntegrityMode {
+        self.integrity
     }
 
     /// Faults actually applied so far (a scheduled fault that lands in an

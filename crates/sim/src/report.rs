@@ -24,6 +24,14 @@ pub struct LayerReport {
     /// Host-processor seconds (im2col for standard convolution), zero
     /// otherwise.
     pub host_seconds: f64,
+    /// Blocks whose outputs went through an ABFT integrity check, pass or
+    /// fail (zero when [`IntegrityMode::Off`](crate::IntegrityMode::Off)).
+    pub integrity_checked: u64,
+    /// Blocks whose outputs failed an integrity check.
+    pub integrity_failed: u64,
+    /// Failed blocks healed in place by host recompute
+    /// ([`IntegrityMode::VerifyAndRecompute`](crate::IntegrityMode::VerifyAndRecompute)).
+    pub integrity_recovered: u64,
 }
 
 impl LayerReport {
@@ -84,6 +92,9 @@ impl LayerReport {
             pes: first.pes,
             clock_hz: first.clock_hz,
             host_seconds: reports.iter().map(|r| r.host_seconds).sum(),
+            integrity_checked: reports.iter().map(|r| r.integrity_checked).sum(),
+            integrity_failed: reports.iter().map(|r| r.integrity_failed).sum(),
+            integrity_recovered: reports.iter().map(|r| r.integrity_recovered).sum(),
         }
     }
 
@@ -99,6 +110,9 @@ impl LayerReport {
             pes: spec.num_pes(),
             clock_hz: spec.clock_hz,
             host_seconds: 0.0,
+            integrity_checked: 0,
+            integrity_failed: 0,
+            integrity_recovered: 0,
         }
     }
 }
@@ -131,6 +145,9 @@ mod tests {
             pes: 16,
             clock_hz: 500e6,
             host_seconds: 0.0,
+            integrity_checked: 0,
+            integrity_failed: 0,
+            integrity_recovered: 0,
         }
     }
 

@@ -53,6 +53,11 @@ cargo run --release -q -p npcgra-cli -- chaos-bench \
   --machine 4x4 --workers 4 --clients 8 --seconds 10 \
   --fault-rate 1e-4 --panic-worker 0 >/dev/null
 
+echo "== detection soak (silent corruption must be caught and healed) =="
+cargo run --release -q -p npcgra-cli -- chaos-bench \
+  --machine 4x4 --workers 4 --clients 8 --seconds 8 \
+  --fault-rate 5e-4 --assert-detection >/dev/null
+
 echo "== benches (quick pass) =="
 cargo bench -p npcgra-bench >/dev/null
 

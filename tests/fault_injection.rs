@@ -15,7 +15,7 @@ use npcgra::kernels::dwc_s1::DwcS1LayerMap;
 use npcgra::kernels::pwc::PwcLayerMap;
 use npcgra::nn::Word;
 use npcgra::serve::{ChaosConfig, ServeConfig, ServeError, Server, WorkerExit};
-use npcgra::sim::{Fault, FaultPlan, FaultSite};
+use npcgra::sim::{Fault, FaultPlan, FaultSite, IntegrityMode};
 use npcgra::{reference, CgraSpec, CompiledLayer, ConvLayer, Machine, MappingKind, Tensor};
 
 #[test]
@@ -176,6 +176,71 @@ fn injected_fault_plan_is_deterministic_per_seed() {
     assert_eq!(clean.unwrap(), golden, "rate zero leaves the run golden");
 }
 
+// ---- ABFT output-integrity checks ------------------------------------------
+
+/// The `explicit_h_bank_flip_silently_corrupts_the_output` setup, but with
+/// a machine whose integrity mode is configurable.
+fn pwc_with_flip(mode: IntegrityMode) -> (CompiledLayer, Machine, Tensor, Tensor, Tensor) {
+    let spec = CgraSpec::np_cgra(4, 4);
+    let layer = ConvLayer::pointwise("pw", 8, 8, 4, 4);
+    let compiled = CompiledLayer::compile(&layer, &spec, MappingKind::Auto).unwrap();
+    let ifm = Tensor::random(8, 4, 4, 1);
+    let w = layer.random_weights(2);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+    let mut machine = Machine::new(&spec);
+    machine.set_fault_plan(Some(FaultPlan::explicit(vec![Fault {
+        tile: 0,
+        cycle: 0,
+        site: FaultSite::HBankBit {
+            bank: 1,
+            offset: 3,
+            bit: 0,
+        },
+    }])));
+    machine.set_integrity_mode(mode);
+    (compiled, machine, ifm, w, golden)
+}
+
+#[test]
+fn pwc_checksum_detects_the_injected_silent_flip() {
+    // The exact flip that `explicit_h_bank_flip_silently_corrupts_the_output`
+    // proves is silent becomes a typed error once verification is on.
+    let (compiled, mut machine, ifm, w, _) = pwc_with_flip(IntegrityMode::Verify);
+    let err = compiled.run_on(&mut machine, &ifm, &w).unwrap_err();
+    assert!(err.to_string().contains("integrity"), "{err}");
+    assert_eq!(machine.faults_injected(), 1);
+}
+
+#[test]
+fn verify_and_recompute_heals_the_flip_to_golden() {
+    let (compiled, mut machine, ifm, w, golden) = pwc_with_flip(IntegrityMode::VerifyAndRecompute);
+    let (ofm, report) = compiled.run_on(&mut machine, &ifm, &w).unwrap();
+    assert_eq!(ofm, golden, "recompute mode must hand back the golden output");
+    assert!(report.integrity_failed >= 1, "the flip must trip a checksum");
+    assert!(report.integrity_recovered >= 1, "the tripped block must be healed");
+    assert!(report.integrity_checked >= report.integrity_failed);
+}
+
+#[test]
+fn dwc_channel_sum_detects_a_grf_kernel_bit_flip() {
+    // A flipped kernel tap corrupts every output of its channel by the same
+    // systematic bias — exactly what the per-channel sum identity catches.
+    let spec = CgraSpec::np_cgra(4, 4);
+    let layer = ConvLayer::depthwise("dw", 2, 8, 8, 3, 1, 1);
+    let compiled = CompiledLayer::compile(&layer, &spec, MappingKind::Auto).unwrap();
+    let ifm = Tensor::random(2, 8, 8, 3);
+    let w = layer.random_weights(4);
+    let mut machine = Machine::new(&spec);
+    machine.set_fault_plan(Some(FaultPlan::explicit(vec![Fault {
+        tile: 0,
+        cycle: 0,
+        site: FaultSite::GrfBit { index: 4, bit: 3 },
+    }])));
+    machine.set_integrity_mode(IntegrityMode::Verify);
+    let err = compiled.run_on(&mut machine, &ifm, &w).unwrap_err();
+    assert!(err.to_string().contains("integrity"), "{err}");
+}
+
 // ---- served-path chaos -----------------------------------------------------
 
 #[test]
@@ -317,4 +382,94 @@ fn served_chaos_is_deterministic_in_the_fault_seed() {
         outcomes
     };
     assert_eq!(run_once(), run_once(), "same fault seed, same requests: bit-identical");
+}
+
+/// The PR's acceptance bar: under a seeded silent-corruption fault plan
+/// with verification on (the serving default), every request either
+/// completes **bit-exactly** (corruption detected, healed by retry) or is
+/// quarantined with a typed error — never answered silently wrong.
+#[test]
+fn integrity_layer_survives_seeded_data_corruption_when_served() {
+    const TOTAL: u64 = 120;
+    let chaos = ChaosConfig {
+        fault_seed: Some(0xAB_F7),
+        fault_rate: 0.004,
+        ..ChaosConfig::default()
+    };
+    let config = ServeConfig::for_spec(&CgraSpec::np_cgra(4, 4))
+        .with_workers(1)
+        .with_max_batch(1)
+        .with_chaos(chaos);
+    let server = Server::start(config);
+    let layer = ConvLayer::pointwise("pw", 8, 8, 8, 8);
+    let w = layer.random_weights(7);
+    let id = server.register("m", layer.clone(), w.clone()).unwrap();
+    let mut quarantined = 0u64;
+    for seed in 0..TOTAL {
+        // Closed loop on one worker: fully deterministic in the fault seed.
+        let ifm = Tensor::random(8, 8, 8, seed);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        match server.submit(id, ifm).unwrap().wait() {
+            Ok(resp) => assert_eq!(resp.output, golden, "request {seed} was answered silently wrong"),
+            Err(ServeError::Quarantined { .. }) => quarantined += 1,
+            Err(e) => panic!("request {seed}: unexpected outcome {e:?}"),
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed + stats.quarantined, TOTAL, "every request resolved");
+    assert_eq!(stats.quarantined, quarantined);
+    assert!(stats.integrity_checked > 0, "verification must actually run");
+    assert!(stats.integrity_failed > 0, "the fault plan must actually trip checksums");
+    assert!(
+        stats.integrity_recovered > 0,
+        "some corrupted request must be healed by retry"
+    );
+    assert_eq!(stats.worker_exits, vec![WorkerExit::Clean]);
+}
+
+/// A machine faulting on *every* cycle defeats per-request retry; the
+/// periodic canary self-test must notice and retire the shard instead of
+/// letting it grind requests forever.
+#[test]
+fn canary_failure_retires_a_sticky_shard() {
+    let chaos = ChaosConfig {
+        fault_seed: Some(0x5711C),
+        fault_rate: 1.0,
+        ..ChaosConfig::default()
+    };
+    let config = ServeConfig::for_spec(&CgraSpec::np_cgra(4, 4))
+        .with_workers(1)
+        .with_max_batch(1)
+        .with_max_retries(0)
+        .with_restart_backoff(Duration::ZERO)
+        .with_canary_interval(1)
+        .with_chaos(chaos);
+    let server = Server::start(config);
+    let layer = ConvLayer::pointwise("pw", 4, 4, 4, 4);
+    let id = server.register("m", layer.clone(), layer.random_weights(1)).unwrap();
+    let mut degraded = false;
+    for seed in 0..50u64 {
+        match server.submit(id, Tensor::random(4, 4, 4, seed)) {
+            Ok(ticket) => match ticket.wait() {
+                Err(ServeError::Quarantined { .. }) => {}
+                Err(ServeError::Degraded { .. }) => {
+                    degraded = true;
+                    break;
+                }
+                other => panic!("sticky faults must quarantine or degrade, got {other:?}"),
+            },
+            Err(ServeError::Degraded { .. }) => {
+                degraded = true;
+                break;
+            }
+            Err(e) => panic!("submit failed: {e:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(degraded, "two canary strikes must retire the only shard");
+    let stats = server.shutdown();
+    assert_eq!(stats.worker_exits, vec![WorkerExit::Unhealthy]);
+    assert!(stats.canary_runs >= 2);
+    assert!(stats.canary_failed >= 2, "retirement takes two consecutive strikes");
+    assert_eq!(stats.shard_health, vec![false]);
 }
