@@ -18,18 +18,35 @@
 //! (some request that failed a checksum later completed bit-exact).
 //! Shard canaries run every `--canary-every` batches in this mode.
 //!
+//! With `--overload` the command instead runs the overload-control soak:
+//! it first *calibrates* the server's closed-loop capacity, then drives it
+//! open-loop at `--overload-factor` times that rate (default 2×) with a
+//! mixed-priority workload (30 % Interactive carrying a `--slo-ms`
+//! deadline, 40 % Batch, 30 % BestEffort) while CoDel admission, weighted
+//! fair dequeue, hedged execution and circuit breakers are all enabled.
+//! With `--assert-slo` the run fails unless ≥ 99 % of *admitted*
+//! Interactive requests complete within the SLO, every ticket resolves
+//! (no silent drops), and every reply — hedge winners included — is
+//! bit-exact against the golden host reference.
+//!
 //! [`Ticket::wait_timeout`]: npcgra::serve::Ticket::wait_timeout
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use npcgra::nn::{models, reference, ConvLayer, Tensor};
-use npcgra::serve::{ChaosConfig, ModelId, ServeConfig, ServeError, Server, WorkerExit};
+use npcgra::serve::{ChaosConfig, ModelId, OverloadConfig, Priority, ServeConfig, ServeError, Server, Ticket, WorkerExit};
 
 use crate::args::Flags;
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    if flags.has("overload") {
+        return run_overload(&flags);
+    }
+    if flags.has("assert-slo") {
+        return Err("--assert-slo needs --overload".to_string());
+    }
     let spec = flags.machine()?;
     let workers: usize = parse_or(&flags, "workers", 4)?;
     let clients: usize = parse_or(&flags, "clients", 8)?;
@@ -68,44 +85,12 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .with_canary_interval(canary_every)
         .with_chaos(chaos);
 
-    let mut model_tables = Vec::new();
-    match which {
-        "v1" => model_tables.push(models::mobilenet_v1(alpha, res)),
-        "v2" => model_tables.push(models::mobilenet_v2(alpha, res)),
-        "mixed" => {
-            model_tables.push(models::mobilenet_v1(alpha, res));
-            model_tables.push(models::mobilenet_v2(alpha, res));
-        }
-        other => return Err(format!("--model must be v1|v2|mixed, got '{other}'")),
-    }
+    let model_tables = build_models(which, alpha, res)?;
 
-    // The injected panic is supervised, but the default hook would still
-    // print a scary backtrace for it; keep chaos quiet on worker threads.
-    let default_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(move |info| {
-        let current = std::thread::current();
-        if current.name().is_some_and(|n| n.starts_with("npcgra-serve-")) {
-            return;
-        }
-        default_hook(info);
-    }));
+    quiet_worker_panics();
 
     let server = Server::start(config);
-    let mut endpoints: Vec<ModelId> = Vec::new();
-    // Layer + weights per endpoint, kept aligned with `endpoints` so the
-    // detection audit can recompute each reply's golden reference.
-    let mut goldens: Vec<(ConvLayer, Tensor)> = Vec::new();
-    for (mi, model) in model_tables.iter().enumerate() {
-        for layer in model.dsc_layers() {
-            let named = layer.renamed(&format!("{}.{}", model.name(), layer.name()));
-            let weights = named.random_weights(0xC0FFEE + mi as u64);
-            let id = server
-                .register(&format!("{}.{}", model.name(), layer.name()), named.clone(), weights.clone())
-                .map_err(|e| format!("registering {}: {e}", layer.name()))?;
-            endpoints.push(id);
-            goldens.push((named, weights));
-        }
-    }
+    let (endpoints, goldens) = register_endpoints(&server, &model_tables)?;
     println!(
         "chaos-bench: {} models, {} shard(s) of a {}x{} machine, {} clients for {seconds:.1}s, \
          fault rate {fault_rate:e} (seed {fault_seed:#x}), panic worker {panic_worker:?}",
@@ -240,6 +225,322 @@ pub fn run(args: &[String]) -> Result<(), String> {
         stats.panics_caught, stats.restarts, stats.retries, stats.quarantined
     );
     Ok(())
+}
+
+/// The `--overload` soak: calibrate the server's closed-loop capacity, then
+/// drive it open-loop past that rate with a mixed-priority workload while
+/// every overload control (priority WFQ, CoDel admission, hedging, circuit
+/// breakers) is enabled. With `--assert-slo` the run fails unless admitted
+/// Interactive traffic holds its latency SLO and no reply is lost or wrong.
+fn run_overload(flags: &Flags) -> Result<(), String> {
+    let spec = flags.machine()?;
+    let workers: usize = parse_or(flags, "workers", 4)?;
+    let clients: usize = parse_or(flags, "clients", 8)?;
+    let seconds: f64 = parse_or(flags, "seconds", 4.0)?;
+    let calib_seconds: f64 = parse_or(flags, "calib-seconds", 1.0)?;
+    let factor: f64 = parse_or(flags, "overload-factor", 2.0)?;
+    let slo_ms: u64 = parse_or(flags, "slo-ms", 250)?;
+    let delay_target_us: u64 = parse_or(flags, "delay-target-us", 2_000)?;
+    let hedge_quantile: f64 = parse_or(flags, "hedge-quantile", 0.9)?;
+    let max_batch: usize = parse_or(flags, "max-batch", 4)?;
+    let linger_us: u64 = parse_or(flags, "linger-us", 500)?;
+    let alpha: f64 = parse_or(flags, "alpha", 0.25)?;
+    let res: usize = parse_or(flags, "res", 32)?;
+    let wait_ms: u64 = parse_or(flags, "wait-ms", 250)?;
+    let assert_slo = flags.has("assert-slo");
+    let which = flags.get("model").unwrap_or("mixed");
+    if workers == 0 || clients == 0 {
+        return Err("--overload needs at least one worker and one client".to_string());
+    }
+    if res == 0 || !res.is_multiple_of(32) {
+        return Err(format!("--res must be a positive multiple of 32, got {res}"));
+    }
+    if !(1.0..=100.0).contains(&factor) {
+        return Err(format!("--overload-factor must be in [1, 100], got {factor}"));
+    }
+
+    let overload = OverloadConfig {
+        delay_target: Some(Duration::from_micros(delay_target_us)),
+        hedge_quantile,
+        hedge_floor: Duration::from_micros(200),
+        hedge_min_samples: 16,
+        ..OverloadConfig::default()
+    };
+    let config = ServeConfig::for_spec(&spec)
+        .with_workers(workers)
+        .with_max_batch(max_batch)
+        .with_max_linger(Duration::from_micros(linger_us))
+        .with_overload(overload);
+
+    let server = Server::start(config);
+    let tables = build_models(which, alpha, res)?;
+    let (endpoints, goldens) = register_endpoints(&server, &tables)?;
+    println!(
+        "chaos-bench --overload: {} models, {} shard(s) of a {}x{} machine; calibrating capacity \
+         closed-loop with {clients} clients for {calib_seconds:.1}s",
+        endpoints.len(),
+        workers,
+        spec.rows,
+        spec.cols,
+    );
+
+    let server_ref = &server;
+    let endpoints_ref = &endpoints;
+
+    // Phase 1 — closed-loop calibration: each client keeps exactly one
+    // request in flight, so completions/second is the service capacity.
+    let calib_start = Instant::now();
+    let calib_end = calib_start + Duration::from_secs_f64(calib_seconds);
+    let calibrated = AtomicU64::new(0);
+    let calibrated_ref = &calibrated;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut r = 0usize;
+                while Instant::now() < calib_end {
+                    let id = endpoints_ref[(c + r * clients) % endpoints_ref.len()];
+                    let input = input_for(server_ref, id, (c * 1_000_000 + r) as u64);
+                    r += 1;
+                    match server_ref.submit(id, input) {
+                        Ok(ticket) => {
+                            if ticket.wait_timeout(Duration::from_secs(10)).is_ok() {
+                                calibrated_ref.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_micros(200)),
+                    }
+                }
+            });
+        }
+    });
+    let calibrated = calibrated.load(Ordering::Relaxed);
+    let capacity_rps = calibrated as f64 / calib_start.elapsed().as_secs_f64();
+    if calibrated == 0 || capacity_rps <= 0.0 {
+        return Err("overload calibration completed no requests — the server is wedged".to_string());
+    }
+    let offered_rps = capacity_rps * factor;
+    println!(
+        "calibrated capacity ≈ {capacity_rps:.0} req/s; driving open-loop at {offered_rps:.0} req/s \
+         ({factor:.1}x) for {seconds:.1}s — 30% Interactive (SLO {slo_ms}ms) / 40% Batch / 30% BestEffort"
+    );
+
+    // Phase 2 — open-loop drive at `factor` times capacity. Submissions
+    // follow the wall-clock schedule regardless of replies; tickets are
+    // resolved after the window (the server stamps each reply with its own
+    // admission-to-reply latency, so late redemption skews nothing).
+    let slo = Duration::from_millis(slo_ms);
+    let start = Instant::now();
+    let drive_end = start + Duration::from_secs_f64(seconds);
+    let (recs, rejected) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut recs: Vec<(Priority, usize, u64, Ticket)> = Vec::new();
+                    let mut rejected = [0u64; 3];
+                    let interval = Duration::from_secs_f64(clients as f64 / offered_rps);
+                    let t0 = start + Duration::from_secs_f64(c as f64 / offered_rps);
+                    let mut i: u32 = 0;
+                    loop {
+                        let due = t0 + interval * i;
+                        if due >= drive_end {
+                            break;
+                        }
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let g = i as usize * clients + c;
+                        let class = match g % 10 {
+                            0..=2 => Priority::Interactive,
+                            3..=6 => Priority::Batch,
+                            _ => Priority::BestEffort,
+                        };
+                        let deadline = (class == Priority::Interactive).then_some(slo);
+                        let ei = g % endpoints_ref.len();
+                        let id = endpoints_ref[ei];
+                        let seed = 0x5EED_0000_0000 + g as u64;
+                        let input = input_for(server_ref, id, seed);
+                        match server_ref.submit_with_priority(id, input, deadline, class) {
+                            Ok(ticket) => recs.push((class, ei, seed, ticket)),
+                            Err(ServeError::ShuttingDown) => break,
+                            Err(_) => rejected[class.index()] += 1,
+                        }
+                        i += 1;
+                    }
+                    (recs, rejected)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        let mut rej = [0u64; 3];
+        for h in handles {
+            let (r, rj) = h.join().expect("client thread");
+            all.extend(r);
+            for (total, part) in rej.iter_mut().zip(rj) {
+                *total += part;
+            }
+        }
+        (all, rej)
+    });
+
+    // Phase 3 — redeem every admitted ticket (the server keeps draining),
+    // auditing each successful reply bit-exactly against the host golden
+    // reference: a hedge winner must be indistinguishable from a solo run.
+    let wait_cap = Duration::from_millis(wait_ms) * 40;
+    let mut hung = 0u64;
+    let mut wrong = 0u64;
+    let mut admitted = [0u64; 3];
+    let mut served = [0u64; 3];
+    let mut interactive_in_slo = 0u64;
+    for (class, ei, seed, ticket) in recs {
+        admitted[class.index()] += 1;
+        let mut waited = Duration::ZERO;
+        let outcome = loop {
+            match ticket.wait_timeout(Duration::from_millis(wait_ms)) {
+                Err(ServeError::ReplyTimeout { waited: w }) => {
+                    waited += w;
+                    if waited >= wait_cap {
+                        break None;
+                    }
+                }
+                other => break Some(other),
+            }
+        };
+        match outcome {
+            None => hung += 1,
+            Some(Ok(resp)) => {
+                served[class.index()] += 1;
+                let (layer, w) = &goldens[ei];
+                let input = input_for(&server, endpoints[ei], seed);
+                let golden = reference::run_layer(layer, &input, w).expect("golden reference");
+                if resp.output != golden {
+                    wrong += 1;
+                }
+                if class == Priority::Interactive && resp.latency <= slo {
+                    interactive_in_slo += 1;
+                }
+            }
+            // A typed shed (DeadlineExceeded, eviction, …) after admission:
+            // the ticket resolved, it just carries an error. For Interactive
+            // that is an SLO miss; for the others it is expected shedding.
+            Some(Err(_)) => {}
+        }
+    }
+
+    let stats = server.shutdown();
+    println!("{stats}");
+
+    let offered: u64 = admitted.iter().sum::<u64>() + rejected.iter().sum::<u64>();
+    let shed = stats.overload_sheds.iter().sum::<u64>() + stats.rejected_queue_full + stats.degraded_sheds;
+    println!(
+        "overload: offered {offered}, admitted I/B/E {}/{}/{}, rejected at admission I/B/E {}/{}/{}",
+        admitted[0], admitted[1], admitted[2], rejected[0], rejected[1], rejected[2],
+    );
+    let attainment = if admitted[0] > 0 {
+        interactive_in_slo as f64 / admitted[0] as f64
+    } else {
+        0.0
+    };
+    println!(
+        "overload: interactive SLO {interactive_in_slo}/{} within {slo_ms}ms ({:.2}%); served I/B/E \
+         {}/{}/{}; {} brownout escalation(s), {} hedge(s) ({} won, {} lost), {} breaker open(s)",
+        admitted[0],
+        attainment * 100.0,
+        served[0],
+        served[1],
+        served[2],
+        stats.brownout_escalations,
+        stats.hedges_dispatched,
+        stats.hedge_wins,
+        stats.hedge_losses,
+        stats.breaker_opens,
+    );
+
+    if hung > 0 {
+        return Err(format!("{hung} ticket(s) never resolved — a reply was silently dropped"));
+    }
+    if stats.worker_exits.contains(&WorkerExit::Panicked) {
+        return Err(format!("a worker thread escaped supervision: exits {:?}", stats.worker_exits));
+    }
+    if wrong > 0 {
+        return Err(format!(
+            "{wrong} reply(s) diverged from the golden reference — hedged execution broke bit-exactness"
+        ));
+    }
+    if assert_slo {
+        if shed == 0 {
+            return Err(
+                "assert-slo: the drive never pushed the server into shedding — raise --overload-factor or --seconds".to_string(),
+            );
+        }
+        if admitted[0] < 50 {
+            return Err(format!(
+                "assert-slo: only {} Interactive request(s) admitted — too few for a meaningful \
+                 99% assertion; raise --seconds",
+                admitted[0]
+            ));
+        }
+        if attainment < 0.99 {
+            return Err(format!(
+                "assert-slo: only {:.2}% of admitted Interactive requests met the {slo_ms}ms SLO \
+                 (need 99%)",
+                attainment * 100.0
+            ));
+        }
+    }
+    println!(
+        "chaos-bench --overload PASS: {offered} offered at {factor:.1}x capacity, 0 hung, 0 wrong; \
+         interactive SLO attainment {:.2}%",
+        attainment * 100.0
+    );
+    Ok(())
+}
+
+/// The MobileNet tables named by `--model`.
+fn build_models(which: &str, alpha: f64, res: usize) -> Result<Vec<models::Model>, String> {
+    match which {
+        "v1" => Ok(vec![models::mobilenet_v1(alpha, res)]),
+        "v2" => Ok(vec![models::mobilenet_v2(alpha, res)]),
+        "mixed" => Ok(vec![models::mobilenet_v1(alpha, res), models::mobilenet_v2(alpha, res)]),
+        other => Err(format!("--model must be v1|v2|mixed, got '{other}'")),
+    }
+}
+
+/// Layer + weights backing one endpoint, kept aligned with the endpoint
+/// ids so an audit can recompute any reply's golden host reference.
+type Goldens = Vec<(ConvLayer, Tensor)>;
+
+/// Register every DSC layer of each table as a serving endpoint, returning
+/// the endpoint ids alongside the layer + weights needed to recompute each
+/// reply's golden host reference.
+fn register_endpoints(server: &Server, tables: &[models::Model]) -> Result<(Vec<ModelId>, Goldens), String> {
+    let mut endpoints = Vec::new();
+    let mut goldens = Vec::new();
+    for (mi, model) in tables.iter().enumerate() {
+        for layer in model.dsc_layers() {
+            let named = layer.renamed(&format!("{}.{}", model.name(), layer.name()));
+            let weights = named.random_weights(0xC0FFEE + mi as u64);
+            let id = server
+                .register(&format!("{}.{}", model.name(), layer.name()), named.clone(), weights.clone())
+                .map_err(|e| format!("registering {}: {e}", layer.name()))?;
+            endpoints.push(id);
+            goldens.push((named, weights));
+        }
+    }
+    Ok((endpoints, goldens))
+}
+
+/// The injected panic is supervised, but the default hook would still
+/// print a scary backtrace for it; keep chaos quiet on worker threads.
+fn quiet_worker_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let current = std::thread::current();
+        if current.name().is_some_and(|n| n.starts_with("npcgra-serve-")) {
+            return;
+        }
+        default_hook(info);
+    }));
 }
 
 /// A deterministic random input matching the model's IFM shape.

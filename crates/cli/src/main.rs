@@ -8,6 +8,7 @@
 //! npcgra disasm     --kind dw --channels 1 --size 8x8 [--machine 2x2] [--relu]
 //! npcgra serve-bench [--workers 4] [--clients 8] [--requests 160] [--max-batch 4] [--model v1|v2|mixed]
 //! npcgra chaos-bench [--workers 4] [--clients 8] [--seconds 5] [--fault-rate 1e-4] [--panic-worker 0] [--assert-detection]
+//! npcgra chaos-bench --overload [--overload-factor 2] [--slo-ms 250] [--assert-slo]
 //! ```
 
 mod args;
@@ -64,7 +65,11 @@ commands:
   chaos-bench fault-injection soak: panics, poison and hardware bit flips
               must all be survived (nonzero exit otherwise); with
               --assert-detection, silently corrupted outputs must also be
-              caught by the ABFT checksums and healed by retry
+              caught by the ABFT checksums and healed by retry; with
+              --overload, the server is instead driven open-loop past its
+              calibrated capacity with mixed priorities (--assert-slo
+              fails the run unless admitted Interactive traffic holds its
+              latency SLO with no lost and no wrong replies)
 
 common flags:
   --machine RxC       array size (default 8x8, the Table 4 machine)
@@ -83,4 +88,7 @@ common flags:
   --wait-ms N         chaos-bench fault-injection knobs
   --assert-detection, --canary-every N
                       chaos-bench ABFT-integrity audit knobs
+  --overload, --overload-factor F, --calib-seconds S, --slo-ms N,
+  --delay-target-us N, --hedge-quantile Q, --assert-slo
+                      chaos-bench overload-control soak knobs
 ";

@@ -178,6 +178,20 @@ impl ProgramCache {
         Ok(compiled)
     }
 
+    /// Whether `(layer, spec, kind)` is already compiled, without touching
+    /// recency or counters — the brownout ladder's `RejectUncached` rung
+    /// asks this at admission, and a policy probe must not perturb LRU
+    /// order or the hit-rate statistics.
+    #[must_use]
+    pub fn contains(&self, layer: &ConvLayer, spec: &CgraSpec, kind: MappingKind) -> bool {
+        let key = CacheKey {
+            layer: layer.renamed(""),
+            spec: SpecKey::of(spec),
+            kind,
+        };
+        self.lock().map.contains_key(&key)
+    }
+
     /// Cache hits so far.
     #[must_use]
     pub fn hits(&self) -> u64 {
@@ -275,6 +289,24 @@ mod tests {
         assert_eq!(cache.hits(), hits_before + 1, "refreshed entry survived");
         cache.get_or_compile(&b, &spec(), MappingKind::Auto).unwrap();
         assert_eq!(cache.misses(), 4, "evicted entry recompiles");
+    }
+
+    #[test]
+    fn contains_probe_leaves_recency_and_counters_alone() {
+        let cache = ProgramCache::with_capacity(2);
+        let a = ConvLayer::pointwise("a", 8, 8, 4, 4);
+        let b = ConvLayer::pointwise("b", 8, 8, 8, 8);
+        assert!(!cache.contains(&a, &spec(), MappingKind::Auto));
+        cache.get_or_compile(&a, &spec(), MappingKind::Auto).unwrap();
+        cache.get_or_compile(&b, &spec(), MappingKind::Auto).unwrap();
+        let hits = cache.hits();
+        // Probing `a` must not refresh it: `a` is still the LRU victim.
+        assert!(cache.contains(&a, &spec(), MappingKind::Auto));
+        assert_eq!(cache.hits(), hits, "a probe is not a hit");
+        let c = ConvLayer::pointwise("c", 8, 8, 2, 2);
+        cache.get_or_compile(&c, &spec(), MappingKind::Auto).unwrap();
+        assert!(!cache.contains(&a, &spec(), MappingKind::Auto), "a was evicted as LRU");
+        assert!(cache.contains(&b, &spec(), MappingKind::Auto));
     }
 
     #[test]

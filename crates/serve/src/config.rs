@@ -6,6 +6,8 @@ use npcgra_arch::CgraSpec;
 use npcgra_nn::Word;
 use npcgra_sim::IntegrityMode;
 
+use crate::overload::CLASSES;
+
 /// Chaos-engineering knobs: deliberate failures injected into the serving
 /// path so the supervision, retry and quarantine machinery can be exercised
 /// deterministically. All knobs default to "off"; a production config never
@@ -32,6 +34,59 @@ impl ChaosConfig {
     #[must_use]
     pub fn enabled(&self) -> bool {
         self.panic_on_first_batch.is_some() || self.poison_value.is_some() || (self.fault_seed.is_some() && self.fault_rate > 0.0)
+    }
+}
+
+/// Overload-control knobs: priority scheduling, CoDel admission, hedged
+/// execution and per-shard circuit breakers. Each knob maps to one failure
+/// mode (see the README's overload table); the defaults keep the adaptive
+/// machinery *off* except the breaker, so a config that never touches this
+/// struct serves exactly as before.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Weighted-fair dequeue weights per priority class
+    /// (`[interactive, batch, best-effort]`); zero weights are treated
+    /// as 1 — every class must stay schedulable (starvation-freedom).
+    pub weights: [u64; CLASSES],
+    /// CoDel delay target: when the sliding-window *minimum* queue sojourn
+    /// stays above this, the brownout ladder climbs one rung per window.
+    /// `None` disables adaptive admission (the ladder stays at Normal).
+    pub delay_target: Option<Duration>,
+    /// The CoDel sliding window over which the minimum sojourn is tracked.
+    pub delay_window: Duration,
+    /// Hedge when a dispatched batch exceeds this observed execution-latency
+    /// quantile (e.g. `0.95`). `0.0` disables hedging.
+    pub hedge_quantile: f64,
+    /// Floor under the hedge threshold — hedging microsecond batches only
+    /// doubles load.
+    pub hedge_floor: Duration,
+    /// Batch executions observed before the hedge threshold is trusted.
+    pub hedge_min_samples: u64,
+    /// Circuit-breaker sliding outcome window per shard; `0` disables the
+    /// breaker.
+    pub breaker_window: usize,
+    /// Failure fraction over the window that trips a shard's breaker.
+    pub breaker_threshold: f64,
+    /// Minimum outcomes in the window before the breaker may trip.
+    pub breaker_min_samples: usize,
+    /// Base open-state cooldown; doubles per consecutive re-open (cap 64×).
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            weights: [16, 4, 1],
+            delay_target: None,
+            delay_window: Duration::from_millis(10),
+            hedge_quantile: 0.0,
+            hedge_floor: Duration::from_micros(500),
+            hedge_min_samples: 32,
+            breaker_window: 16,
+            breaker_threshold: 0.5,
+            breaker_min_samples: 8,
+            breaker_cooldown: Duration::from_millis(10),
+        }
     }
 }
 
@@ -89,6 +144,9 @@ pub struct ServeConfig {
     /// row is retired as [`WorkerExit::Unhealthy`](crate::WorkerExit::Unhealthy).
     /// `0` disables the canary.
     pub canary_interval: u64,
+    /// Overload control: priority weights, CoDel admission, hedging and
+    /// circuit breakers (see [`OverloadConfig`]).
+    pub overload: OverloadConfig,
     /// Deliberate failure injection (off by default).
     pub chaos: ChaosConfig,
 }
@@ -109,6 +167,7 @@ impl Default for ServeConfig {
             min_healthy_workers: 1,
             integrity: IntegrityMode::Verify,
             canary_interval: 0,
+            overload: OverloadConfig::default(),
             chaos: ChaosConfig::default(),
         }
     }
@@ -208,6 +267,21 @@ impl ServeConfig {
         self
     }
 
+    /// Set the overload-control knobs.
+    #[must_use]
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// Enable CoDel adaptive admission with this delay target (convenience
+    /// over [`with_overload`](ServeConfig::with_overload)).
+    #[must_use]
+    pub fn with_delay_target(mut self, target: Option<Duration>) -> Self {
+        self.overload.delay_target = target;
+        self
+    }
+
     /// Set the chaos (failure-injection) knobs.
     #[must_use]
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
@@ -283,5 +357,25 @@ mod tests {
         let c = ServeConfig::default();
         assert_eq!(c.integrity, IntegrityMode::Verify);
         assert_eq!(c.canary_interval, 0);
+    }
+
+    #[test]
+    fn overload_defaults_keep_adaptive_machinery_off() {
+        let c = ServeConfig::default();
+        assert_eq!(c.overload.delay_target, None, "CoDel admission defaults off");
+        assert_eq!(c.overload.hedge_quantile, 0.0, "hedging defaults off");
+        assert!(c.overload.breaker_window > 0, "the breaker defaults on");
+        assert_eq!(c.overload.weights, [16, 4, 1]);
+        let c = c
+            .with_delay_target(Some(Duration::from_millis(5)))
+            .with_overload(OverloadConfig {
+                hedge_quantile: 0.95,
+                ..c.overload
+            });
+        // with_overload replaces the whole struct, so the later call wins.
+        assert_eq!(c.overload.hedge_quantile, 0.95);
+        let c = c.with_delay_target(Some(Duration::from_millis(7)));
+        assert_eq!(c.overload.delay_target, Some(Duration::from_millis(7)));
+        assert_eq!(c.overload.hedge_quantile, 0.95, "delay builder only touches its knob");
     }
 }

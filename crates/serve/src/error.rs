@@ -10,6 +10,8 @@ use std::time::Duration;
 
 use npcgra_sim::SimError;
 
+use crate::overload::{BrownoutLevel, Priority};
+
 /// Why the server rejected (or failed) a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
@@ -68,6 +70,16 @@ pub enum ServeError {
         /// Worker shards the server was configured with.
         workers: usize,
     },
+    /// Shed by the overload-control layer: either the brownout ladder
+    /// rejected this class at admission (standing queue delay above the
+    /// CoDel target), or a queued lower-priority request was evicted to
+    /// make room for a higher-priority arrival.
+    Overloaded {
+        /// The brownout rung in force when the request was shed.
+        level: BrownoutLevel,
+        /// The shed request's priority class.
+        class: Priority,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -92,6 +104,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::Degraded { healthy, workers } => {
                 write!(f, "degraded: only {healthy}/{workers} worker shards healthy; request shed")
+            }
+            ServeError::Overloaded { level, class } => {
+                write!(f, "overloaded (brownout {level}): {class} request shed at admission")
             }
         }
     }
@@ -159,6 +174,13 @@ mod tests {
         assert!(!ServeError::DeadlineExceeded.retryable());
         assert!(!ServeError::ShuttingDown.retryable());
         assert!(!ServeError::Degraded { healthy: 0, workers: 2 }.retryable());
+        let shed = ServeError::Overloaded {
+            level: BrownoutLevel::ShedBestEffort,
+            class: Priority::BestEffort,
+        };
+        assert!(!shed.retryable(), "an admission shed is final, not retryable");
+        assert!(shed.to_string().contains("shed-best-effort"));
+        assert!(shed.to_string().contains("best-effort"));
     }
 
     #[test]

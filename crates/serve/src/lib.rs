@@ -29,6 +29,13 @@
 //!   too few healthy shards sheds load early ([`ServeError::Degraded`]);
 //!   and [`ChaosConfig`] injects deterministic panics, poison and
 //!   simulated-hardware bit flips to drive all of it in tests.
+//! * **Overload control** ([`crate::overload`]) — requests carry a
+//!   [`Priority`] class; weighted-fair dequeue keeps every class moving
+//!   while CoDel-style adaptive admission climbs a staged brownout ladder
+//!   ([`BrownoutLevel`]) under standing queue delay, shedding lowest class
+//!   first ([`ServeError::Overloaded`]); per-shard circuit breakers keep
+//!   batches away from flapping shards; and slow batches hedge to a second
+//!   shard, first bit-exact reply winning.
 //!
 //! Everything is std threads and channels — no async runtime.
 //!
@@ -54,14 +61,16 @@ pub(crate) mod batch;
 pub mod cache;
 pub mod config;
 pub mod error;
+pub mod overload;
 pub(crate) mod retry;
 pub mod server;
 pub mod stats;
 pub(crate) mod supervisor;
 
 pub use cache::ProgramCache;
-pub use config::{ChaosConfig, ServeConfig};
+pub use config::{ChaosConfig, OverloadConfig, ServeConfig};
 pub use error::ServeError;
 pub use npcgra_sim::IntegrityMode;
+pub use overload::{BreakerState, BrownoutLevel, Priority};
 pub use server::{ModelId, Response, Server, Ticket};
 pub use stats::{StatsSnapshot, WorkerExit};

@@ -24,27 +24,45 @@ use npcgra_nn::{ConvLayer, Tensor};
 use std::sync::Arc;
 
 use crate::error::ServeError;
-use crate::server::{send_reply, ModelId, Pending, Response, Shared};
+use crate::server::{send_reply, Delivery, ModelId, Pending, Response, Shared};
 use crate::supervisor::{read_models, requeue_or_fail, Shard};
+
+/// What [`process`] did with its batch — the circuit breaker's sample.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ProcessOutcome {
+    /// Whether the shard actually executed anything (an all-expired batch
+    /// is shed without touching the simulator and is not a breaker sample).
+    pub(crate) executed: bool,
+    /// Whether any execution attempt failed (including attempts that later
+    /// succeeded on retry) — the breaker tracks shard flakiness, not
+    /// request outcomes.
+    pub(crate) any_failed: bool,
+}
 
 /// Run one dequeued batch through deadline shedding, supervised execution
 /// and the bisect/retry policy, replying to every request exactly once
 /// (or handing unfinished work back to the queue if the shard dies).
-pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendings: Vec<Pending>) {
+///
+/// A request whose reply comes back [`Delivery::Duplicate`] was already
+/// answered by a hedge racer: its outcome counters are skipped here so
+/// completed/failed/quarantined stay exactly-once per request.
+pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendings: Vec<Pending>) -> ProcessOutcome {
+    let mut outcome = ProcessOutcome::default();
     // Shed requests whose deadline passed while queued — before spending
     // any simulation time on them.
     let now = Instant::now();
     let mut live = Vec::with_capacity(pendings.len());
     for p in pendings {
         if p.deadline.is_some_and(|d| d < now) {
-            shared.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
-            send_reply(&shared.stats, &p.reply, Err(ServeError::DeadlineExceeded));
+            if send_reply(&shared.stats, &p.reply, Err(ServeError::DeadlineExceeded)) != Delivery::Duplicate {
+                shared.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
             live.push(p);
         }
     }
     if live.is_empty() {
-        return;
+        return outcome;
     }
 
     let (layer, weights): (ConvLayer, Arc<Tensor>) = {
@@ -66,12 +84,13 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                 rest.extend(g);
             }
             requeue_or_fail(shared, model, rest);
-            return;
+            return outcome;
         }
         if generation > 0 {
             shared.stats.retries.fetch_add(1, Ordering::Relaxed);
         }
         let batch_size = group.len();
+        outcome.executed = true;
         match shard.execute(shared, &layer, &weights, &group) {
             Ok((outputs, report)) => {
                 shared.stats.observe_batch(batch_size);
@@ -90,14 +109,7 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                 let done = Instant::now();
                 for (p, output) in group.into_iter().zip(outputs) {
                     let latency = done.duration_since(p.enqueued);
-                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                    if p.integrity_hit {
-                        // An earlier attempt failed its output checksum;
-                        // this completion is corruption caught and healed.
-                        shared.stats.integrity_recovered.fetch_add(1, Ordering::Relaxed);
-                    }
-                    shared.stats.observe_latency(latency);
-                    send_reply(
+                    let delivery = send_reply(
                         &shared.stats,
                         &p.reply,
                         Ok(Response {
@@ -108,9 +120,20 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                             latency,
                         }),
                     );
+                    if delivery == Delivery::Duplicate {
+                        continue;
+                    }
+                    shared.stats.completed.fetch_add(1, Ordering::Release);
+                    if p.integrity_hit {
+                        // An earlier attempt failed its output checksum;
+                        // this completion is corruption caught and healed.
+                        shared.stats.integrity_recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    shared.stats.observe_latency(latency);
                 }
             }
             Err(e) => {
+                outcome.any_failed = true;
                 let mut group = group;
                 let integrity = matches!(e, ServeError::Integrity(_));
                 if integrity {
@@ -124,8 +147,9 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                 }
                 if !e.retryable() {
                     for p in group {
-                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                        send_reply(&shared.stats, &p.reply, Err(e.clone()));
+                        if send_reply(&shared.stats, &p.reply, Err(e.clone())) != Delivery::Duplicate {
+                            shared.stats.failed.fetch_add(1, Ordering::Release);
+                        }
                     }
                 } else if group.len() > 1 {
                     // Bisect: the failure could be one poison member.
@@ -136,9 +160,7 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                     work.push_front((group, generation + 1));
                 } else if group[0].attempts > shared.config.max_retries {
                     let p = group.pop().expect("solo group");
-                    shared.stats.quarantined.fetch_add(1, Ordering::Relaxed);
-                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                    send_reply(
+                    let delivery = send_reply(
                         &shared.stats,
                         &p.reply,
                         Err(ServeError::Quarantined {
@@ -146,10 +168,15 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                             cause: Box::new(e),
                         }),
                     );
+                    if delivery != Delivery::Duplicate {
+                        shared.stats.quarantined.fetch_add(1, Ordering::Release);
+                        shared.stats.failed.fetch_add(1, Ordering::Release);
+                    }
                 } else {
                     work.push_front((group, generation + 1));
                 }
             }
         }
     }
+    outcome
 }

@@ -17,7 +17,7 @@
 //! poison requests so their batch-mates still complete.
 
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -28,6 +28,7 @@ use npcgra_sim::{LayerReport, MappingKind};
 use crate::cache::ProgramCache;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
+use crate::overload::{BrownoutLevel, LevelChange, OverloadController, Priority, WfqScheduler, CLASSES};
 use crate::stats::{Stats, StatsSnapshot, WorkerExit};
 use crate::supervisor;
 
@@ -61,6 +62,10 @@ pub struct Response {
 struct ReplySlot {
     state: Mutex<SlotState>,
     ready: Condvar,
+    /// Live [`ReplySender`] clones. Hedged execution holds one sender per
+    /// racer; the slot is `Lost` only when the *last* sender drops without
+    /// a reply — a hedge loser's drop must not strand the ticket.
+    senders: AtomicUsize,
 }
 
 #[derive(Debug)]
@@ -78,30 +83,59 @@ enum SlotState {
     Lost,
 }
 
+/// How one attempted reply landed, from [`ReplySender::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Delivery {
+    /// The reply landed in a waiting slot: this sender won.
+    Delivered,
+    /// The ticket was abandoned (or its senders all died) before any reply
+    /// arrived; the reply is dropped and counted late.
+    Abandoned,
+    /// Another sender already replied — this is a hedge race's losing
+    /// reply, dropped without touching the outcome counters.
+    Duplicate,
+}
+
 /// The send side of one request's reply slot, held by `Pending` as the
-/// request moves through queues, batches and retries.
+/// request moves through queues, batches and retries. Cloning produces a
+/// second racer for the same slot (hedged execution); the first
+/// [`send`](ReplySender::send) wins.
 #[derive(Debug)]
 pub(crate) struct ReplySender {
     slot: Arc<ReplySlot>,
 }
 
 impl ReplySender {
-    /// Deliver the reply. Returns `false` when the ticket was already
-    /// abandoned — the reply is dropped (the caller counts it late).
-    pub(crate) fn send(&self, result: Result<Response, ServeError>) -> bool {
+    /// Deliver the reply, reporting how it landed.
+    pub(crate) fn send(&self, result: Result<Response, ServeError>) -> Delivery {
         let mut s = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
-        if matches!(*s, SlotState::Waiting) {
-            *s = SlotState::Ready(Box::new(result));
-            self.slot.ready.notify_all();
-            true
-        } else {
-            false
+        match *s {
+            SlotState::Waiting => {
+                *s = SlotState::Ready(Box::new(result));
+                self.slot.ready.notify_all();
+                Delivery::Delivered
+            }
+            SlotState::Tombstoned | SlotState::Lost => Delivery::Abandoned,
+            SlotState::Ready(_) | SlotState::Taken => Delivery::Duplicate,
+        }
+    }
+}
+
+impl Clone for ReplySender {
+    fn clone(&self) -> Self {
+        self.slot.senders.fetch_add(1, Ordering::Relaxed);
+        ReplySender {
+            slot: Arc::clone(&self.slot),
         }
     }
 }
 
 impl Drop for ReplySender {
     fn drop(&mut self) {
+        if self.slot.senders.fetch_sub(1, Ordering::AcqRel) != 1 {
+            // Another racer (hedge) still holds the slot; it will reply.
+            return;
+        }
         let mut s = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
         if matches!(*s, SlotState::Waiting) {
             *s = SlotState::Lost;
@@ -115,16 +149,21 @@ pub(crate) fn reply_pair() -> (ReplySender, Ticket) {
     let slot = Arc::new(ReplySlot {
         state: Mutex::new(SlotState::Waiting),
         ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
     });
     (ReplySender { slot: Arc::clone(&slot) }, Ticket { slot })
 }
 
 /// Deliver a reply, counting it under `late_replies` when the ticket was
-/// already abandoned. Every worker-side reply goes through here.
-pub(crate) fn send_reply(stats: &Stats, reply: &ReplySender, result: Result<Response, ServeError>) {
-    if !reply.send(result) {
+/// already abandoned. Every worker-side reply goes through here; callers
+/// that count outcomes (completed, failed, quarantined) must skip the
+/// count on [`Delivery::Duplicate`] — the hedge winner already counted it.
+pub(crate) fn send_reply(stats: &Stats, reply: &ReplySender, result: Result<Response, ServeError>) -> Delivery {
+    let delivery = reply.send(result);
+    if delivery == Delivery::Abandoned {
         stats.late_replies.fetch_add(1, Ordering::Relaxed);
     }
+    delivery
 }
 
 /// The receive side of one request; redeemed with [`Ticket::wait`] or
@@ -226,11 +265,64 @@ pub(crate) struct Pending {
     /// that counts as an integrity *recovery* (the corruption was caught
     /// and healed by retry).
     pub(crate) integrity_hit: bool,
+    /// Admission priority class; decides shed order and dequeue weight.
+    pub(crate) class: Priority,
+}
+
+impl Pending {
+    /// A second racer for hedged execution: same reply slot (the clone
+    /// bumps the sender count, so the loser's drop cannot strand the
+    /// ticket), same deadline and provenance, fresh copy of the input.
+    fn clone_for_hedge(&self) -> Pending {
+        Pending {
+            input: self.input.clone(),
+            enqueued: self.enqueued,
+            deadline: self.deadline,
+            reply: self.reply.clone(),
+            attempts: self.attempts,
+            integrity_hit: self.integrity_hit,
+            class: self.class,
+        }
+    }
+}
+
+/// A batch currently executing on some shard, published so an idle shard
+/// can hedge it once it exceeds the observed-latency hedge threshold.
+pub(crate) struct InflightEntry {
+    id: u64,
+    model: ModelId,
+    /// The worker executing the primary; a shard never hedges itself.
+    owner: usize,
+    started: Instant,
+    /// The cloned request group; `take`n by at most one hedging shard.
+    group: Option<Vec<Pending>>,
+}
+
+/// What [`next_work`] hands a worker shard.
+pub(crate) enum Work {
+    /// A fresh batch pulled off the queue (all one model, one class).
+    Batch {
+        /// The batch's model.
+        model: ModelId,
+        /// The requests, dequeue order.
+        pendings: Vec<Pending>,
+    },
+    /// A hedge: re-execution of another shard's slow in-flight batch;
+    /// first bit-exact reply per request wins.
+    Hedge {
+        /// The hedged batch's model.
+        model: ModelId,
+        /// Cloned requests racing the primary.
+        pendings: Vec<Pending>,
+    },
 }
 
 pub(crate) struct QueueState {
-    /// One FIFO per registered model, indexed by [`ModelId`].
-    pub(crate) queues: Vec<VecDeque<Pending>>,
+    /// One FIFO per (registered model, priority class), indexed by
+    /// [`ModelId`] then [`Priority::index`].
+    pub(crate) queues: Vec<[VecDeque<Pending>; CLASSES]>,
+    /// Queued requests per class across all models (WFQ backlog view).
+    pub(crate) class_totals: [usize; CLASSES],
     /// Total requests queued across all models (admission-control bound).
     pub(crate) total: usize,
     /// Cleared by shutdown; workers then drain and exit.
@@ -239,6 +331,79 @@ pub(crate) struct QueueState {
     /// queue lock so admission control and shard-death handling see a
     /// consistent count.
     pub(crate) healthy: usize,
+    /// CoDel-style brownout controller; `None` when no delay target is
+    /// configured (the ladder stays at [`BrownoutLevel::Normal`]).
+    pub(crate) controller: Option<OverloadController>,
+    /// Weighted-fair scheduler arbitrating classes at batch formation.
+    pub(crate) wfq: WfqScheduler,
+    /// Hedging board: batches currently executing on shards.
+    pub(crate) inflight: Vec<InflightEntry>,
+    /// Monotonic id source for [`InflightEntry`].
+    next_inflight_id: u64,
+}
+
+impl QueueState {
+    /// Admit one request: the capacity check (done by the caller), the
+    /// push, the class/total accounting, the scheduler activation and the
+    /// admission counters all happen atomically under the queue lock —
+    /// concurrent submits can never over-admit past `capacity` or skew the
+    /// depth gauge.
+    fn admit(&mut self, stats: &Stats, capacity: usize, model: ModelId, p: Pending) {
+        let c = p.class.index();
+        if self.class_totals[c] == 0 {
+            // Rebase the class's virtual time so an idle class cannot bank
+            // credit (see WfqScheduler::activate).
+            let backlogged = std::array::from_fn(|i| self.class_totals[i] > 0);
+            self.wfq.activate(p.class, backlogged);
+        }
+        self.queues[model.0][c].push_back(p);
+        self.class_totals[c] += 1;
+        self.total += 1;
+        debug_assert!(
+            self.total <= capacity,
+            "admission raced past capacity: {} > {}",
+            self.total,
+            capacity
+        );
+        stats.submitted.fetch_add(1, Ordering::Relaxed);
+        stats.admitted_by_class[c].fetch_add(1, Ordering::Release);
+        stats.observe_queue_depth(self.total as u64);
+    }
+
+    /// Remove `taken` requests of `class`, keeping totals consistent.
+    fn debit(&mut self, class: usize, taken: usize) {
+        self.class_totals[class] -= taken;
+        self.total -= taken;
+    }
+
+    /// The enqueue time of the oldest queued request, if any.
+    fn oldest_enqueued(&self) -> Option<Instant> {
+        self.queues
+            .iter()
+            .flat_map(|per| per.iter())
+            .filter_map(|dq| dq.front().map(|p| p.enqueued))
+            .min()
+    }
+
+    /// Evict the oldest queued request of the lowest-priority backlogged
+    /// class *strictly below* `incoming`, making room under a full queue.
+    fn evict_below(&mut self, incoming: Priority) -> Option<Pending> {
+        for c in (incoming.index() + 1..CLASSES).rev() {
+            if self.class_totals[c] == 0 {
+                continue;
+            }
+            let (m, _) = self
+                .queues
+                .iter()
+                .enumerate()
+                .filter_map(|(m, per)| per[c].front().map(|p| (m, p.enqueued)))
+                .min_by_key(|&(_, t)| t)?;
+            let p = self.queues[m][c].pop_front()?;
+            self.debit(c, 1);
+            return Some(p);
+        }
+        None
+    }
 }
 
 pub(crate) struct Shared {
@@ -269,9 +434,17 @@ impl Server {
             models: RwLock::new(Vec::new()),
             queue: Mutex::new(QueueState {
                 queues: Vec::new(),
+                class_totals: [0; CLASSES],
                 total: 0,
                 open: true,
                 healthy: config.workers,
+                controller: config
+                    .overload
+                    .delay_target
+                    .map(|target| OverloadController::new(target, config.overload.delay_window, Instant::now())),
+                wfq: WfqScheduler::new(config.overload.weights),
+                inflight: Vec::new(),
+                next_inflight_id: 0,
             }),
             ready: Condvar::new(),
             cache: ProgramCache::with_capacity(config.cache_capacity),
@@ -318,33 +491,56 @@ impl Server {
             weights: Arc::new(weights),
         });
         drop(models);
-        supervisor::lock_queue(&self.shared).queues.push(VecDeque::new());
+        supervisor::lock_queue(&self.shared)
+            .queues
+            .push(std::array::from_fn(|_| VecDeque::new()));
         Ok(id)
     }
 
-    /// Submit a request with the configured default deadline.
+    /// Submit a request with the configured default deadline, at
+    /// [`Priority::Interactive`].
     ///
     /// # Errors
     ///
-    /// As [`Server::submit_with_deadline`].
+    /// As [`Server::submit_with_priority`].
     pub fn submit(&self, model: ModelId, input: Tensor) -> Result<Ticket, ServeError> {
         self.submit_with_deadline(model, input, self.shared.config.default_deadline)
     }
 
-    /// Submit a request that must *start executing* within `deadline`
-    /// (`None` = never expires). Admission control applies here: a full
-    /// queue, a draining server, or a degraded one (too few healthy
-    /// shards) rejects synchronously, typed.
+    /// Submit a request at [`Priority::Interactive`] that must *start
+    /// executing* within `deadline` (`None` = never expires).
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit_with_priority`].
+    pub fn submit_with_deadline(&self, model: ModelId, input: Tensor, deadline: Option<Duration>) -> Result<Ticket, ServeError> {
+        self.submit_with_priority(model, input, deadline, Priority::Interactive)
+    }
+
+    /// Submit a request in an explicit [`Priority`] class. Admission
+    /// control applies here: a full queue, a draining server, a degraded
+    /// one (too few healthy shards), or an overloaded one (the brownout
+    /// ladder sheds this class, or this non-cached model, at admission)
+    /// rejects synchronously, typed. A full queue with lower-priority
+    /// requests queued evicts the oldest of the lowest backlogged class
+    /// instead of rejecting the newcomer.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`], [`ServeError::ShapeMismatch`],
     /// [`ServeError::DeadlineExceeded`] (a zero deadline has already
     /// expired and is rejected here, not queued), [`ServeError::QueueFull`],
-    /// [`ServeError::ShuttingDown`] or [`ServeError::Degraded`].
-    pub fn submit_with_deadline(&self, model: ModelId, input: Tensor, deadline: Option<Duration>) -> Result<Ticket, ServeError> {
+    /// [`ServeError::ShuttingDown`], [`ServeError::Degraded`] or
+    /// [`ServeError::Overloaded`].
+    pub fn submit_with_priority(
+        &self,
+        model: ModelId,
+        input: Tensor,
+        deadline: Option<Duration>,
+        class: Priority,
+    ) -> Result<Ticket, ServeError> {
         let shared = &self.shared;
-        {
+        let uncached = {
             let models = shared.models.read().unwrap_or_else(PoisonError::into_inner);
             let entry = models.get(model.0).ok_or(ServeError::UnknownModel)?;
             let expected = (entry.layer.in_channels(), entry.layer.in_h(), entry.layer.in_w());
@@ -352,7 +548,12 @@ impl Server {
             if got != expected {
                 return Err(ServeError::ShapeMismatch { expected, got });
             }
-        }
+            // Probed up front (outside the queue lock) for the ladder's
+            // RejectUncached rung; standard layers never precompile, so
+            // they are exempt rather than permanently rejected.
+            entry.layer.kind() != ConvKind::Standard
+                && !shared.cache.contains(&entry.layer, &shared.config.spec, MappingKind::Auto)
+        };
         // A zero deadline has already expired: reject synchronously rather
         // than queue work that batch formation must shed anyway.
         if deadline.is_some_and(|d| d.is_zero()) {
@@ -389,23 +590,69 @@ impl Server {
                 }
             }
         }
-        if q.total >= shared.config.queue_capacity {
-            shared.stats.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
-            return Err(ServeError::QueueFull {
-                capacity: shared.config.queue_capacity,
-            });
+        // CoDel admission: sample the live sojourn of the oldest queued
+        // request (queue delay as the arriving request would see it), let
+        // the controller close out elapsed windows, then apply whatever
+        // rung of the brownout ladder is in force.
+        let oldest = q.oldest_enqueued();
+        let level = match q.controller.as_mut() {
+            Some(ctrl) => {
+                let mut changes = Vec::new();
+                match oldest {
+                    Some(oldest) => ctrl.observe(now, now.duration_since(oldest), &mut changes),
+                    None => ctrl.tick(now, &mut changes),
+                }
+                apply_level_changes(&shared.stats, &changes);
+                ctrl.level()
+            }
+            None => BrownoutLevel::Normal,
+        };
+        if level.sheds(class) {
+            shared.stats.overload_sheds[class.index()].fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded { level, class });
         }
-        q.queues[model.0].push_back(Pending {
-            input,
-            enqueued: now,
-            deadline: deadline.map(|d| now + d),
-            reply: tx,
-            attempts: 0,
-            integrity_hit: false,
-        });
-        q.total += 1;
-        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        shared.stats.observe_queue_depth(q.total as u64);
+        if level.rejects_uncached() && uncached {
+            shared.stats.overload_sheds[class.index()].fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded { level, class });
+        }
+        if q.total >= shared.config.queue_capacity {
+            // Full: a higher-priority arrival evicts the oldest request of
+            // the lowest backlogged class below it rather than bouncing.
+            match q.evict_below(class) {
+                Some(victim) => {
+                    shared.stats.priority_evictions.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.overload_sheds[victim.class.index()].fetch_add(1, Ordering::Relaxed);
+                    send_reply(
+                        &shared.stats,
+                        &victim.reply,
+                        Err(ServeError::Overloaded {
+                            level,
+                            class: victim.class,
+                        }),
+                    );
+                }
+                None => {
+                    shared.stats.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::QueueFull {
+                        capacity: shared.config.queue_capacity,
+                    });
+                }
+            }
+        }
+        q.admit(
+            &shared.stats,
+            shared.config.queue_capacity,
+            model,
+            Pending {
+                input,
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
+                reply: tx,
+                attempts: 0,
+                integrity_hit: false,
+                class,
+            },
+        );
         drop(q);
         shared.ready.notify_one();
         Ok(ticket)
@@ -464,15 +711,19 @@ impl Server {
             .map(|h| h.join().unwrap_or(WorkerExit::Panicked))
             .collect();
         let mut q = supervisor::lock_queue(&self.shared);
-        let mut shed = 0usize;
-        for queue in &mut q.queues {
-            while let Some(p) = queue.pop_front() {
-                shed += 1;
-                self.shared.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
-                send_reply(&self.shared.stats, &p.reply, Err(ServeError::ShuttingDown));
+        for per_model in &mut q.queues {
+            for queue in per_model.iter_mut() {
+                while let Some(p) = queue.pop_front() {
+                    self.shared.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                    send_reply(&self.shared.stats, &p.reply, Err(ServeError::ShuttingDown));
+                }
             }
         }
-        q.total -= shed;
+        q.class_totals = [0; CLASSES];
+        q.total = 0;
+        // Workers are joined; dropping any un-taken hedge clones releases
+        // their extra senders (the primaries already replied or were shed).
+        q.inflight.clear();
         let depth = q.total;
         drop(q);
         let mut snap = self.shared.stats.snapshot(self.shared.started.elapsed(), depth);
@@ -496,44 +747,174 @@ fn expected_weight_shape(layer: &ConvLayer) -> (usize, usize, usize) {
     }
 }
 
-/// Pull the next batch off the shared queue, blocking until one is ready
-/// or the server drains empty during shutdown (→ `None`, worker exits).
-pub(crate) fn next_batch(shared: &Shared) -> Option<(ModelId, Vec<Pending>)> {
+/// Fold brownout-level transitions into the stats counters and gauge.
+pub(crate) fn apply_level_changes(stats: &Stats, changes: &[LevelChange]) {
+    for change in changes {
+        let level = match change {
+            LevelChange::Escalated(level) => {
+                stats.brownout_escalations.fetch_add(1, Ordering::Relaxed);
+                *level
+            }
+            LevelChange::Deescalated(level) => {
+                stats.brownout_deescalations.fetch_add(1, Ordering::Relaxed);
+                *level
+            }
+        };
+        stats.set_brownout_level(level);
+    }
+}
+
+/// Publish a batch on the hedging board before its primary executes, so an
+/// idle shard can race it if it runs long. Returns the entry's id for
+/// [`remove_inflight`]. Wakes waiting shards: a hedge-eligible entry is a
+/// new reason to stop sleeping.
+pub(crate) fn register_inflight(shared: &Shared, worker: usize, model: ModelId, pendings: &[Pending]) -> u64 {
+    let group: Vec<Pending> = pendings.iter().map(Pending::clone_for_hedge).collect();
+    let mut q = supervisor::lock_queue(shared);
+    let id = q.next_inflight_id;
+    q.next_inflight_id += 1;
+    q.inflight.push(InflightEntry {
+        id,
+        model,
+        owner: worker,
+        started: Instant::now(),
+        group: Some(group),
+    });
+    drop(q);
+    shared.ready.notify_all();
+    id
+}
+
+/// Retire a hedging-board entry once its primary finished. An un-taken
+/// clone group is simply dropped (the sender count keeps the tickets
+/// live); a taken one is already racing and owns its own replies.
+pub(crate) fn remove_inflight(shared: &Shared, id: u64) {
+    let mut q = supervisor::lock_queue(shared);
+    if let Some(i) = q.inflight.iter().position(|e| e.id == id) {
+        q.inflight.swap_remove(i);
+    }
+}
+
+/// Pull the next unit of work off the shared queue, blocking until one is
+/// ready or the server drains empty during shutdown (→ `None`, worker
+/// exits).
+///
+/// In order of preference: a hedge (another shard's in-flight batch past
+/// `hedge_threshold`), then a fresh batch — the class picked by the
+/// weighted-fair scheduler among *ready* classes (a class is ready when
+/// some model queue holds a brownout-capped batch, its head has lingered
+/// `max_linger`, or the server is draining), the model within the class by
+/// oldest head. Under brownout's adaptive-LIFO rungs the newest requests
+/// are served first and the expired stale tail is shed at formation.
+pub(crate) fn next_work(shared: &Shared, worker: usize, hedge_threshold: Option<Duration>) -> Option<Work> {
     let config = &shared.config;
     let mut q = supervisor::lock_queue(shared);
     loop {
-        // The model whose head request has waited longest: it is both the
-        // fairness choice and the first to hit its linger deadline.
-        let oldest = q
-            .queues
-            .iter()
-            .enumerate()
-            .filter_map(|(i, dq)| dq.front().map(|p| (i, p.enqueued)))
-            .min_by_key(|&(_, t)| t);
-        match oldest {
-            None => {
-                if !q.open {
-                    return None;
-                }
-                q = shared.ready.wait(q).unwrap_or_else(PoisonError::into_inner);
-            }
-            Some((m, head_enqueued)) => {
-                let now = Instant::now();
-                let len = q.queues[m].len();
-                let lingered = now.duration_since(head_enqueued) >= config.max_linger;
-                if len >= config.max_batch || lingered || !q.open {
-                    let take = len.min(config.max_batch);
-                    let items: Vec<Pending> = q.queues[m].drain(..take).collect();
-                    q.total -= take;
-                    return Some((ModelId(m), items));
-                }
-                let wait = config.max_linger - now.duration_since(head_enqueued);
-                q = match shared.ready.wait_timeout(q, wait) {
-                    Ok((guard, _)) => guard,
-                    Err(poisoned) => poisoned.into_inner().0,
-                };
+        let now = Instant::now();
+        // 1. Hedge scan: adopt another shard's slow in-flight batch.
+        if let Some(threshold) = hedge_threshold {
+            if let Some(entry) = q
+                .inflight
+                .iter_mut()
+                .find(|e| e.owner != worker && e.group.is_some() && now.duration_since(e.started) >= threshold)
+            {
+                let pendings = entry.group.take().expect("group presence checked");
+                let model = entry.model;
+                shared.stats.hedges_dispatched.fetch_add(1, Ordering::Relaxed);
+                return Some(Work::Hedge { model, pendings });
             }
         }
+        // 2. Let the brownout controller close out elapsed windows even
+        // when no submissions are arriving to drive it.
+        let level = match q.controller.as_mut() {
+            Some(ctrl) => {
+                let mut changes = Vec::new();
+                ctrl.tick(now, &mut changes);
+                apply_level_changes(&shared.stats, &changes);
+                ctrl.level()
+            }
+            None => BrownoutLevel::Normal,
+        };
+        let cap = level.batch_cap(config.max_batch);
+        let lifo = level.lifo();
+        let batch_ready = |dq: &VecDeque<Pending>| -> bool {
+            dq.front()
+                .is_some_and(|head| dq.len() >= cap || now.duration_since(head.enqueued) >= config.max_linger || !q.open)
+        };
+        // 3. Ready classes → weighted-fair pick → oldest-head model.
+        let mut ready = [false; CLASSES];
+        for per_model in &q.queues {
+            for (c, dq) in per_model.iter().enumerate() {
+                ready[c] = ready[c] || batch_ready(dq);
+            }
+        }
+        if let Some(class) = q.wfq.pick(ready) {
+            let c = class.index();
+            let m = q
+                .queues
+                .iter()
+                .enumerate()
+                .filter(|(_, per)| batch_ready(&per[c]))
+                .map(|(m, per)| (m, per[c].front().expect("ready is non-empty").enqueued))
+                .min_by_key(|&(_, t)| t)
+                .map(|(m, _)| m)
+                .expect("a ready class has a ready queue");
+            if lifo {
+                // Adaptive LIFO: shed the expired stale tail at the front
+                // before serving newest-first — those requests' deadlines
+                // have passed, they will be shed at execution anyway.
+                while q.queues[m][c].front().is_some_and(|p| p.deadline.is_some_and(|d| now >= d)) {
+                    let p = q.queues[m][c].pop_front().expect("front checked");
+                    q.debit(c, 1);
+                    shared.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                    send_reply(&shared.stats, &p.reply, Err(ServeError::DeadlineExceeded));
+                }
+                if q.queues[m][c].is_empty() {
+                    continue;
+                }
+            }
+            let len = q.queues[m][c].len();
+            let take = len.min(cap);
+            let items: Vec<Pending> = if lifo {
+                q.queues[m][c].split_off(len - take).into()
+            } else {
+                q.queues[m][c].drain(..take).collect()
+            };
+            q.debit(c, take);
+            q.wfq.charge(class, take);
+            if let Some(ctrl) = q.controller.as_mut() {
+                // Dequeue-side CoDel sample: the batch's *minimum* sojourn
+                // (the standing-delay signal CoDel keys on).
+                if let Some(min_wait) = items.iter().map(|p| now.duration_since(p.enqueued)).min() {
+                    let mut changes = Vec::new();
+                    ctrl.observe(now, min_wait, &mut changes);
+                    apply_level_changes(&shared.stats, &changes);
+                }
+            }
+            return Some(Work::Batch {
+                model: ModelId(m),
+                pendings: items,
+            });
+        }
+        // 4. Nothing ready. Exit when drained for shutdown; otherwise wait
+        // for the earliest linger expiry, capped short while a hedge could
+        // ripen on the board.
+        let oldest = q.oldest_enqueued();
+        if !q.open && oldest.is_none() {
+            return None;
+        }
+        let hedge_wake = hedge_threshold.is_some() && !q.inflight.is_empty();
+        let mut wait = oldest.map(|t| config.max_linger.saturating_sub(now.duration_since(t)));
+        if hedge_wake {
+            wait = Some(wait.unwrap_or(Duration::MAX).min(Duration::from_millis(1)));
+        }
+        q = match wait {
+            Some(timeout) => match shared.ready.wait_timeout(q, timeout.max(Duration::from_micros(50))) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            },
+            None => shared.ready.wait(q).unwrap_or_else(PoisonError::into_inner),
+        };
     }
 }
 
@@ -618,10 +999,33 @@ mod tests {
     fn dropped_ticket_tombstones_its_slot() {
         let (tx, ticket) = reply_pair();
         drop(ticket);
-        assert!(
-            !tx.send(Err(ServeError::WorkerLost)),
+        assert_eq!(
+            tx.send(Err(ServeError::WorkerLost)),
+            Delivery::Abandoned,
             "a reply to an abandoned ticket must be dropped"
         );
+    }
+
+    #[test]
+    fn hedge_race_first_reply_wins_loser_is_duplicate() {
+        let (tx, ticket) = reply_pair();
+        let hedge_tx = tx.clone();
+        assert_eq!(hedge_tx.send(Err(ServeError::WorkerLost)), Delivery::Delivered);
+        assert_eq!(tx.send(Err(ServeError::UnknownModel)), Delivery::Duplicate);
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::WorkerLost, "first reply won");
+    }
+
+    #[test]
+    fn hedge_clone_drop_does_not_strand_the_ticket() {
+        let (tx, ticket) = reply_pair();
+        let hedge_tx = tx.clone();
+        drop(hedge_tx);
+        assert_eq!(
+            tx.send(Err(ServeError::UnknownModel)),
+            Delivery::Delivered,
+            "surviving sender still owns the slot"
+        );
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::UnknownModel);
     }
 
     #[test]

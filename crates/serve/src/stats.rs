@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::overload::{BreakerState, BrownoutLevel, CLASSES};
+
 /// How a worker shard's thread ended, reported by
 /// [`Server::shutdown`](crate::Server::shutdown) instead of a panic
 /// cascade.
@@ -71,9 +73,38 @@ pub(crate) struct Stats {
     pub canary_runs: AtomicU64,
     /// Canary self-tests that failed (wrong output, error or panic).
     pub canary_failed: AtomicU64,
+    /// Requests admitted, by priority class.
+    pub admitted_by_class: [AtomicU64; CLASSES],
+    /// Requests shed at admission by the brownout ladder, by class.
+    pub overload_sheds: [AtomicU64; CLASSES],
+    /// Queued lower-priority requests evicted to admit a higher class.
+    pub priority_evictions: AtomicU64,
+    /// Brownout-ladder climbs (one per sustained-overload window).
+    pub brownout_escalations: AtomicU64,
+    /// Brownout-ladder descents (one per quiet window).
+    pub brownout_deescalations: AtomicU64,
+    /// Current brownout rung, as [`BrownoutLevel`]'s dense step.
+    brownout_gauge: AtomicU64,
+    /// Circuit-breaker trips across all shards.
+    pub breaker_opens: AtomicU64,
+    /// Breaker recoveries (a probe batch succeeded).
+    pub breaker_closes: AtomicU64,
+    /// Probe batches dispatched by half-open breakers.
+    pub breaker_probes: AtomicU64,
+    /// Hedge batches dispatched to a second shard.
+    pub hedges_dispatched: AtomicU64,
+    /// Hedge batches that delivered at least one winning (first) reply.
+    pub hedge_wins: AtomicU64,
+    /// Hedge batches whose every reply lost the race (or that failed).
+    pub hedge_losses: AtomicU64,
     /// Per-shard death flags, set once when the restart budget runs out.
     shard_dead: Vec<AtomicBool>,
+    /// Per-shard breaker state gauge (the [`BreakerState`] dense index).
+    breaker_state: Vec<AtomicU64>,
     latency: [AtomicU64; LATENCY_BUCKETS],
+    /// Batch *execution* times (dequeue to reply), feeding the hedge
+    /// threshold quantile — distinct from `latency`, which includes queueing.
+    exec_latency: [AtomicU64; LATENCY_BUCKETS],
     /// `batch_hist[i]` counts batches of size `i`; index 0 is unused.
     batch_hist: Vec<AtomicU64>,
     worker_busy_ns: Vec<AtomicU64>,
@@ -100,8 +131,22 @@ impl Stats {
             late_replies: AtomicU64::new(0),
             canary_runs: AtomicU64::new(0),
             canary_failed: AtomicU64::new(0),
+            admitted_by_class: std::array::from_fn(|_| AtomicU64::new(0)),
+            overload_sheds: std::array::from_fn(|_| AtomicU64::new(0)),
+            priority_evictions: AtomicU64::new(0),
+            brownout_escalations: AtomicU64::new(0),
+            brownout_deescalations: AtomicU64::new(0),
+            brownout_gauge: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            breaker_closes: AtomicU64::new(0),
+            breaker_probes: AtomicU64::new(0),
+            hedges_dispatched: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            hedge_losses: AtomicU64::new(0),
             shard_dead: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            breaker_state: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            exec_latency: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_hist: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
             worker_busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -115,6 +160,48 @@ impl Stats {
         let ns = latency.as_nanos().max(1) as u64;
         let bucket = (63 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_exec_latency(&self, latency: Duration) {
+        let ns = latency.as_nanos().max(1) as u64;
+        let bucket = (63 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.exec_latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Batch execution time at quantile `q`, once at least `min_samples`
+    /// executions were observed — the hedge threshold's input. `None` until
+    /// the estimate is trustworthy (hedging on noise doubles load for
+    /// nothing).
+    pub(crate) fn exec_latency_quantile(&self, q: f64, min_samples: u64) -> Option<Duration> {
+        let counts: Vec<u64> = self.exec_latency.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total < min_samples.max(1) {
+            return None;
+        }
+        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let ns = 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+                return Some(Duration::from_nanos(ns as u64));
+            }
+        }
+        None
+    }
+
+    pub(crate) fn set_brownout_level(&self, level: BrownoutLevel) {
+        let step = BrownoutLevel::ALL.iter().position(|&l| l == level).unwrap_or(0);
+        self.brownout_gauge.store(step as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_breaker_state(&self, worker: usize, state: BreakerState) {
+        let code = match state {
+            BreakerState::Closed => 0u64,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        };
+        self.breaker_state[worker].store(code, Ordering::Relaxed);
     }
 
     pub(crate) fn observe_batch(&self, size: usize) {
@@ -151,20 +238,54 @@ impl Stats {
     }
 
     pub(crate) fn snapshot(&self, elapsed: Duration, queue_depth: usize) -> StatsSnapshot {
-        let completed = self.completed.load(Ordering::Relaxed);
-        StatsSnapshot {
+        // Capture order matters for self-consistency: load the *sink*
+        // counters (completed/failed/quarantined — written with `Release`
+        // after the request was admitted) with `Acquire` first, then the
+        // source counter (`submitted`) last. Any admission that
+        // happened-before a captured completion is then guaranteed visible,
+        // so derived ratios and the debug invariants below never see
+        // `completed > submitted` mid-flight.
+        let completed = self.completed.load(Ordering::Acquire);
+        let failed = self.failed.load(Ordering::Acquire);
+        let quarantined = self.quarantined.load(Ordering::Acquire);
+        let hedge_wins = self.hedge_wins.load(Ordering::Acquire);
+        let hedge_losses = self.hedge_losses.load(Ordering::Acquire);
+        let hedges_dispatched = self.hedges_dispatched.load(Ordering::Relaxed);
+        let admitted_by_class = std::array::from_fn(|c| self.admitted_by_class[c].load(Ordering::Acquire));
+        let mut snap = StatsSnapshot {
             elapsed,
-            submitted: self.submitted.load(Ordering::Relaxed),
             completed,
+            failed,
+            quarantined,
+            hedges_dispatched,
+            hedge_wins,
+            hedge_losses,
+            admitted_by_class,
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
             restarts: self.restarts.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
             degraded_sheds: self.degraded_sheds.load(Ordering::Relaxed),
+            overload_sheds: std::array::from_fn(|c| self.overload_sheds[c].load(Ordering::Relaxed)),
+            priority_evictions: self.priority_evictions.load(Ordering::Relaxed),
+            brownout_escalations: self.brownout_escalations.load(Ordering::Relaxed),
+            brownout_deescalations: self.brownout_deescalations.load(Ordering::Relaxed),
+            brownout_level: BrownoutLevel::ALL
+                [(self.brownout_gauge.load(Ordering::Relaxed) as usize).min(BrownoutLevel::ALL.len() - 1)],
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_closes: self.breaker_closes.load(Ordering::Relaxed),
+            breaker_probes: self.breaker_probes.load(Ordering::Relaxed),
+            breaker_states: self
+                .breaker_state
+                .iter()
+                .map(|s| match s.load(Ordering::Relaxed) {
+                    1 => BreakerState::Open,
+                    2 => BreakerState::HalfOpen,
+                    _ => BreakerState::Closed,
+                })
+                .collect(),
             integrity_checked: self.integrity_checked.load(Ordering::Relaxed),
             integrity_failed: self.integrity_failed.load(Ordering::Relaxed),
             integrity_recovered: self.integrity_recovered.load(Ordering::Relaxed),
@@ -195,7 +316,12 @@ impl Stats {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
-        }
+            // Loaded last; see the capture-order note above.
+            submitted: 0,
+        };
+        snap.submitted = self.submitted.load(Ordering::Relaxed);
+        snap.debug_assert_consistent();
+        snap
     }
 }
 
@@ -241,6 +367,34 @@ pub struct StatsSnapshot {
     /// Canary self-tests failed (a failing shard is retired
     /// [`WorkerExit::Unhealthy`] after two consecutive strikes).
     pub canary_failed: u64,
+    /// Requests admitted, indexed by [`Priority`](crate::Priority) class
+    /// (`[interactive, batch, best-effort]`).
+    pub admitted_by_class: [u64; CLASSES],
+    /// Requests shed at admission by the brownout ladder, by class.
+    pub overload_sheds: [u64; CLASSES],
+    /// Queued lower-priority requests evicted to admit a higher class
+    /// through a full queue.
+    pub priority_evictions: u64,
+    /// Brownout-ladder climbs (one per sustained-overload window).
+    pub brownout_escalations: u64,
+    /// Brownout-ladder descents (one per quiet window).
+    pub brownout_deescalations: u64,
+    /// The brownout rung in force at snapshot time.
+    pub brownout_level: BrownoutLevel,
+    /// Circuit-breaker trips across all shards.
+    pub breaker_opens: u64,
+    /// Breaker recoveries (a probe batch succeeded).
+    pub breaker_closes: u64,
+    /// Probe batches dispatched by half-open breakers.
+    pub breaker_probes: u64,
+    /// Each shard's breaker state at snapshot time.
+    pub breaker_states: Vec<BreakerState>,
+    /// Hedge batches dispatched to a second shard.
+    pub hedges_dispatched: u64,
+    /// Hedge batches that delivered at least one winning (first) reply.
+    pub hedge_wins: u64,
+    /// Hedge batches whose every reply lost the race (or that failed).
+    pub hedge_losses: u64,
     /// `shard_health[w]` is `false` once worker `w` exhausted its restart
     /// budget and was retired by the supervisor.
     pub shard_health: Vec<bool>,
@@ -287,6 +441,39 @@ impl StatsSnapshot {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Debug-only self-consistency check on the captured counters. The
+    /// capture order in `Stats::snapshot` makes these monotonic invariants
+    /// hold even mid-flight; release builds skip the check.
+    pub(crate) fn debug_assert_consistent(&self) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.completed + self.failed <= self.submitted,
+                "resolved ({} + {}) exceeds submitted ({})",
+                self.completed,
+                self.failed,
+                self.submitted
+            );
+            debug_assert!(
+                self.quarantined <= self.failed,
+                "quarantined ({}) exceeds failed ({})",
+                self.quarantined,
+                self.failed
+            );
+            debug_assert!(
+                self.admitted_by_class.iter().sum::<u64>() <= self.submitted,
+                "per-class admissions exceed submitted"
+            );
+            debug_assert!(
+                self.hedge_wins + self.hedge_losses <= self.hedges_dispatched,
+                "hedge outcomes ({} + {}) exceed dispatches ({})",
+                self.hedge_wins,
+                self.hedge_losses,
+                self.hedges_dispatched
+            );
         }
     }
 
@@ -355,6 +542,43 @@ impl std::fmt::Display for StatsSnapshot {
             f,
             "faults:   {} panics caught, {} restarts, {} retries, {} quarantined, {} degraded sheds",
             self.panics_caught, self.restarts, self.retries, self.quarantined, self.degraded_sheds
+        )?;
+        writeln!(
+            f,
+            "overload: level {} ({}↑ {}↓); admitted i:{} b:{} be:{}; shed i:{} b:{} be:{}; {} evictions",
+            self.brownout_level,
+            self.brownout_escalations,
+            self.brownout_deescalations,
+            self.admitted_by_class[0],
+            self.admitted_by_class[1],
+            self.admitted_by_class[2],
+            self.overload_sheds[0],
+            self.overload_sheds[1],
+            self.overload_sheds[2],
+            self.priority_evictions,
+        )?;
+        let breakers: Vec<String> = self
+            .breaker_states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("w{i}:{s}"))
+            .collect();
+        writeln!(
+            f,
+            "breaker:  {} opens, {} closes, {} probes ({})",
+            self.breaker_opens,
+            self.breaker_closes,
+            self.breaker_probes,
+            if breakers.is_empty() {
+                "no shards".to_string()
+            } else {
+                breakers.join(" ")
+            }
+        )?;
+        writeln!(
+            f,
+            "hedges:   {} dispatched, {} wins, {} losses",
+            self.hedges_dispatched, self.hedge_wins, self.hedge_losses
         )?;
         writeln!(
             f,
@@ -451,6 +675,7 @@ mod tests {
     #[test]
     fn display_mentions_key_fields() {
         let s = Stats::new(2, 4);
+        s.submitted.fetch_add(3, Ordering::Relaxed);
         s.completed.fetch_add(3, Ordering::Relaxed);
         let text = s.snapshot(Duration::from_secs(1), 1).to_string();
         assert!(text.contains("p99"));
@@ -460,6 +685,41 @@ mod tests {
         assert!(text.contains("2/2 shards healthy"));
         assert!(text.contains("abft:"));
         assert!(text.contains("late replies"));
+    }
+
+    #[test]
+    fn exec_quantile_needs_min_samples() {
+        let s = Stats::new(1, 4);
+        assert_eq!(s.exec_latency_quantile(0.95, 4), None);
+        for _ in 0..3 {
+            s.observe_exec_latency(Duration::from_micros(100));
+        }
+        assert_eq!(s.exec_latency_quantile(0.95, 4), None, "3 < 4 samples");
+        s.observe_exec_latency(Duration::from_micros(800));
+        let q = s.exec_latency_quantile(0.95, 4).expect("estimate ready");
+        assert!(q >= Duration::from_micros(500), "p95 lands in the slow bucket, got {q:?}");
+    }
+
+    #[test]
+    fn display_mentions_overload_fields() {
+        let s = Stats::new(2, 4);
+        s.submitted.fetch_add(5, Ordering::Relaxed);
+        s.admitted_by_class[0].fetch_add(5, Ordering::Relaxed);
+        s.overload_sheds[2].fetch_add(2, Ordering::Relaxed);
+        s.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        s.set_breaker_state(1, BreakerState::Open);
+        s.hedges_dispatched.fetch_add(3, Ordering::Relaxed);
+        s.set_brownout_level(BrownoutLevel::CapBatch);
+        let snap = s.snapshot(Duration::from_secs(1), 0);
+        assert_eq!(snap.admitted_by_class, [5, 0, 0]);
+        assert_eq!(snap.overload_sheds, [0, 0, 2]);
+        assert_eq!(snap.brownout_level, BrownoutLevel::CapBatch);
+        assert_eq!(snap.breaker_states, vec![BreakerState::Closed, BreakerState::Open]);
+        let text = snap.to_string();
+        assert!(text.contains("overload: level cap-batch"));
+        assert!(text.contains("breaker:  1 opens"));
+        assert!(text.contains("w1:open"));
+        assert!(text.contains("hedges:   3 dispatched"));
     }
 
     #[test]

@@ -21,15 +21,19 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, MutexGuard, PoisonError, RwLockReadGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use npcgra_nn::{ConvKind, ConvLayer, Tensor};
 use npcgra_sim::{run_standard_via_im2col, CompiledLayer, FaultPlan, LayerReport, Machine, MappingKind, SimCause, SimError};
 
 use crate::batch;
 use crate::error::ServeError;
+use crate::overload::{self, BreakerDecision, BreakerEvent, CircuitBreaker};
 use crate::retry;
-use crate::server::{next_batch, send_reply, ModelEntry, ModelId, Pending, QueueState, Shared};
+use crate::server::{
+    next_work, register_inflight, remove_inflight, send_reply, Delivery, ModelEntry, ModelId, Pending, QueueState, Response,
+    Shared, Work,
+};
 use crate::stats::WorkerExit;
 
 /// Lock the shared queue, adopting (not propagating) poisoned state.
@@ -230,15 +234,16 @@ pub(crate) fn mark_shard_dead(shared: &Shared, worker: usize) {
     let mut q = lock_queue(shared);
     q.healthy = q.healthy.saturating_sub(1);
     if q.healthy == 0 {
-        let mut shed = 0usize;
-        for queue in &mut q.queues {
-            while let Some(p) = queue.pop_front() {
-                shed += 1;
-                shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
-                send_reply(&shared.stats, &p.reply, Err(ServeError::Degraded { healthy: 0, workers }));
+        for per_model in &mut q.queues {
+            for queue in per_model.iter_mut() {
+                while let Some(p) = queue.pop_front() {
+                    shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
+                    send_reply(&shared.stats, &p.reply, Err(ServeError::Degraded { healthy: 0, workers }));
+                }
             }
         }
-        q.total -= shed;
+        q.class_totals = [0; crate::overload::CLASSES];
+        q.total = 0;
     }
     drop(q);
     shared.ready.notify_all();
@@ -258,7 +263,9 @@ pub(crate) fn requeue_or_fail(shared: &Shared, model: ModelId, pendings: Vec<Pen
         return;
     }
     for p in pendings.into_iter().rev() {
-        q.queues[model.0].push_front(p);
+        let c = p.class.index();
+        q.queues[model.0][c].push_front(p);
+        q.class_totals[c] += 1;
         q.total += 1;
     }
     drop(q);
@@ -327,25 +334,157 @@ fn preferred_kind(layer: &ConvLayer) -> MappingKind {
     }
 }
 
-/// The worker-thread body: pull batches, run them through the retry
-/// policy, and report how the thread ended. Exits `Clean` when the queue
-/// drains for shutdown, `Unhealthy` when the shard's restart budget runs
-/// out mid-service or the canary self-test retires it.
+/// Feed one batch outcome to the shard's circuit breaker and mirror the
+/// resulting state (and any open/close transition) into the stats.
+fn record_breaker(shared: &Shared, worker: usize, breaker: &mut CircuitBreaker, failed: bool) {
+    match breaker.record(Instant::now(), failed) {
+        Some(BreakerEvent::Opened) => {
+            shared.stats.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(BreakerEvent::Closed) => {
+            shared.stats.breaker_closes.fetch_add(1, Ordering::Relaxed);
+        }
+        None => {}
+    }
+    shared.stats.set_breaker_state(worker, breaker.state());
+}
+
+/// Re-execute another shard's slow in-flight batch (hedged execution).
+/// Replies race the primary per request: [`Delivery::Delivered`] means
+/// this hedge won that request (count it — the primary will see
+/// `Duplicate` and skip its own counting); `Duplicate` means the primary
+/// beat us. Failures send nothing — the primary owns the error/retry
+/// path, so a broken hedge shard can never fail a request the primary
+/// would have completed. Returns whether execution failed (the hedging
+/// shard's own breaker sample).
+fn run_hedge(shared: &Shared, shard: &mut Shard, model: ModelId, pendings: Vec<Pending>) -> bool {
+    let now = Instant::now();
+    let live: Vec<Pending> = pendings.into_iter().filter(|p| p.deadline.is_none_or(|d| d >= now)).collect();
+    if live.is_empty() {
+        // Nothing worth racing; the primary handles the expiries.
+        shared.stats.hedge_losses.fetch_add(1, Ordering::Release);
+        return false;
+    }
+    let (layer, weights): (ConvLayer, Arc<Tensor>) = {
+        let models = read_models(shared);
+        let entry = &models[model.0];
+        (entry.layer.clone(), Arc::clone(&entry.weights))
+    };
+    let batch_size = live.len();
+    match shard.execute(shared, &layer, &weights, &live) {
+        Ok((outputs, report)) => {
+            let done = Instant::now();
+            let mut delivered_any = false;
+            for (p, output) in live.into_iter().zip(outputs) {
+                let latency = done.duration_since(p.enqueued);
+                let delivery = send_reply(
+                    &shared.stats,
+                    &p.reply,
+                    Ok(Response {
+                        output,
+                        report: report.clone(),
+                        batch_size,
+                        worker: shard.worker,
+                        latency,
+                    }),
+                );
+                if delivery == Delivery::Delivered {
+                    delivered_any = true;
+                    shared.stats.completed.fetch_add(1, Ordering::Release);
+                    shared.stats.observe_latency(latency);
+                    if p.integrity_hit {
+                        shared.stats.integrity_recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if delivered_any {
+                shared.stats.hedge_wins.fetch_add(1, Ordering::Release);
+            } else {
+                shared.stats.hedge_losses.fetch_add(1, Ordering::Release);
+            }
+            false
+        }
+        Err(_) => {
+            shared.stats.hedge_losses.fetch_add(1, Ordering::Release);
+            true
+        }
+    }
+}
+
+/// The worker-thread body: pull work (fresh batches or hedges of other
+/// shards' slow batches), run it through the retry policy, and report how
+/// the thread ended. Exits `Clean` when the queue drains for shutdown,
+/// `Unhealthy` when the shard's restart budget runs out mid-service or the
+/// canary self-test retires it.
+///
+/// A per-shard circuit breaker samples batch outcomes: a shard whose
+/// recent window is mostly failures stops pulling work for a cooldown,
+/// then re-enters via a single probe batch. The gate is bypassed while the
+/// server drains for shutdown — every queued request must still resolve.
 pub(crate) fn run_worker(shared: &Arc<Shared>, worker: usize) -> WorkerExit {
     let mut shard = Shard::new(shared, worker);
+    let ov = &shared.config.overload;
+    let mut breaker = CircuitBreaker::new(
+        ov.breaker_window,
+        ov.breaker_threshold,
+        ov.breaker_min_samples,
+        ov.breaker_cooldown,
+    );
     let canary_interval = shared.config.canary_interval;
     let mut batches = 0u64;
     while shard.alive {
-        match next_batch(shared) {
+        match breaker.poll(Instant::now()) {
+            BreakerDecision::Allow => {}
+            BreakerDecision::Probe => {
+                shared.stats.breaker_probes.fetch_add(1, Ordering::Relaxed);
+            }
+            BreakerDecision::Wait(cooldown) => {
+                if lock_queue(shared).open {
+                    shared.stats.set_breaker_state(worker, breaker.state());
+                    std::thread::sleep(cooldown.min(Duration::from_millis(5)));
+                    continue;
+                }
+                // Draining: serve regardless, shutdown must complete.
+            }
+        }
+        shared.stats.set_breaker_state(worker, breaker.state());
+        // Hedge only when the latency estimate has matured and another
+        // shard exists to race against.
+        let hedge_threshold = if ov.hedge_quantile > 0.0 && shared.config.workers > 1 {
+            overload::hedge_threshold(
+                shared.stats.exec_latency_quantile(ov.hedge_quantile, ov.hedge_min_samples),
+                ov.hedge_floor,
+            )
+        } else {
+            None
+        };
+        match next_work(shared, worker, hedge_threshold) {
             None => return WorkerExit::Clean,
-            Some((model, pendings)) => {
+            Some(Work::Batch { model, pendings }) => {
                 let busy_start = Instant::now();
-                retry::process(shared, &mut shard, model, pendings);
-                shared.stats.observe_worker_busy(worker, busy_start.elapsed());
+                let inflight = hedge_threshold
+                    .is_some()
+                    .then(|| register_inflight(shared, worker, model, &pendings));
+                let outcome = retry::process(shared, &mut shard, model, pendings);
+                if let Some(id) = inflight {
+                    remove_inflight(shared, id);
+                }
+                let busy = busy_start.elapsed();
+                shared.stats.observe_worker_busy(worker, busy);
+                if outcome.executed {
+                    shared.stats.observe_exec_latency(busy);
+                    record_breaker(shared, worker, &mut breaker, outcome.any_failed);
+                }
                 batches += 1;
                 if canary_interval > 0 && batches.is_multiple_of(canary_interval) {
                     shard.run_canary(shared);
                 }
+            }
+            Some(Work::Hedge { model, pendings }) => {
+                let busy_start = Instant::now();
+                let failed = run_hedge(shared, &mut shard, model, pendings);
+                shared.stats.observe_worker_busy(worker, busy_start.elapsed());
+                record_breaker(shared, worker, &mut breaker, failed);
             }
         }
     }

@@ -1,0 +1,144 @@
+//! Property tests for the weighted-fair scheduler's fairness guarantees.
+//!
+//! The starvation-freedom bound under test: with stride scheduling, while
+//! a class `c` stays backlogged, any other class `j` can be served at most
+//! `1 + ceil(w_j / w_c)` times (plus integer-division slack) before `c`
+//! runs again — so `c`'s inter-service gap is bounded by a function of the
+//! weights alone, never by load or by how long the others' queues are.
+
+use npcgra_serve::overload::{Priority, WfqScheduler, CLASSES};
+use proptest::prelude::*;
+
+/// Upper bound on consecutive picks that exclude `c` while every class is
+/// backlogged: each other class `j` fits at most `1 + ceil(w_j / w_c)`
+/// services into `c`'s stride, plus one per class of integer-division
+/// slack.
+fn gap_bound(weights: [u64; CLASSES], c: usize) -> usize {
+    let wc = weights[c].max(1);
+    let mut bound = 1; // the pick that serves `c` itself
+    for (j, &w) in weights.iter().enumerate() {
+        if j != c {
+            let wj = w.max(1);
+            bound += 2 + wj.div_ceil(wc) as usize;
+        }
+    }
+    bound
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All classes permanently backlogged: no class's inter-service gap
+    /// ever exceeds the weight-derived bound, whatever the weights.
+    #[test]
+    fn no_backlogged_class_starves(
+        weights in (1u64..65, 1u64..65, 1u64..65).prop_map(|(a, b, c)| [a, b, c]),
+        picks in 64usize..513,
+    ) {
+        let mut s = WfqScheduler::new(weights);
+        let mut since_served = [0usize; CLASSES];
+        for _ in 0..picks {
+            let c = s.pick([true; CLASSES]).expect("backlog everywhere");
+            s.charge(c, 1);
+            for (i, gap) in since_served.iter_mut().enumerate() {
+                if i == c.index() {
+                    *gap = 0;
+                } else {
+                    *gap += 1;
+                    prop_assert!(
+                        *gap <= gap_bound(weights, i),
+                        "class {i} starved: gap {} > bound {} with weights {weights:?}",
+                        *gap,
+                        gap_bound(weights, i)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Service shares converge to the weight ratios: over `n` picks each
+    /// class receives its proportional share within a per-class slack of
+    /// one full gap bound.
+    #[test]
+    fn service_shares_track_weights(
+        weights in (1u64..33, 1u64..33, 1u64..33).prop_map(|(a, b, c)| [a, b, c]),
+        picks in 256usize..1025,
+    ) {
+        let mut s = WfqScheduler::new(weights);
+        let mut served = [0usize; CLASSES];
+        for _ in 0..picks {
+            let c = s.pick([true; CLASSES]).expect("backlog everywhere");
+            served[c.index()] += 1;
+            s.charge(c, 1);
+        }
+        let total_w: u64 = weights.iter().sum();
+        for i in 0..CLASSES {
+            let expected = picks as u64 * weights[i] / total_w;
+            let slack = gap_bound(weights, i) as u64 + 1;
+            prop_assert!(
+                (served[i] as u64).abs_diff(expected) <= slack,
+                "class {i}: served {} vs expected {expected} ± {slack} with weights {weights:?}",
+                served[i]
+            );
+        }
+    }
+
+    /// The scheduler only ever picks a backlogged class, and picks `None`
+    /// exactly when nothing is backlogged — under arbitrary backlog
+    /// fluctuation with `activate` driven on every idle→backlogged edge.
+    #[test]
+    fn picks_respect_the_backlog_mask(
+        weights in (1u64..65, 1u64..65, 1u64..65).prop_map(|(a, b, c)| [a, b, c]),
+        masks in proptest::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(a, b, c)| [a, b, c]), 1..256),
+    ) {
+        let mut s = WfqScheduler::new(weights);
+        let mut prev = [false; CLASSES];
+        for mask in masks {
+            for i in 0..CLASSES {
+                if mask[i] && !prev[i] {
+                    s.activate(Priority::from_index(i), prev);
+                }
+            }
+            match s.pick(mask) {
+                Some(c) => {
+                    prop_assert!(mask[c.index()], "picked idle class {c:?} under mask {mask:?}");
+                    s.charge(c, 1);
+                }
+                None => prop_assert_eq!(mask, [false; CLASSES]),
+            }
+            prev = mask;
+        }
+    }
+
+    /// A class that sat idle while another was served gets no banked
+    /// credit: once re-activated it cannot monopolize the scheduler — the
+    /// previously-active class is served again within its gap bound.
+    #[test]
+    fn idle_classes_bank_no_credit(
+        weights in (1u64..65, 1u64..65, 1u64..65).prop_map(|(a, b, c)| [a, b, c]),
+        solo_runs in 1usize..513,
+    ) {
+        let mut s = WfqScheduler::new(weights);
+        s.activate(Priority::Interactive, [false; CLASSES]);
+        for _ in 0..solo_runs {
+            prop_assert_eq!(s.pick([true, false, false]), Some(Priority::Interactive));
+            s.charge(Priority::Interactive, 1);
+        }
+        // BestEffort wakes up after a long idle stretch.
+        s.activate(Priority::BestEffort, [true, false, false]);
+        let bound = gap_bound(weights, 0);
+        let mut interactive_served = false;
+        for _ in 0..bound {
+            let c = s.pick([true, false, true]).expect("two classes backlogged");
+            s.charge(c, 1);
+            if c == Priority::Interactive {
+                interactive_served = true;
+                break;
+            }
+        }
+        prop_assert!(
+            interactive_served,
+            "re-activated idle class locked out the active one past its bound {bound} (weights {weights:?})"
+        );
+    }
+}

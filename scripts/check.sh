@@ -58,6 +58,10 @@ cargo run --release -q -p npcgra-cli -- chaos-bench \
   --machine 4x4 --workers 4 --clients 8 --seconds 8 \
   --fault-rate 5e-4 --assert-detection >/dev/null
 
+echo "== overload soak (2x capacity; admitted Interactive must hold its SLO) =="
+cargo run --release -q -p npcgra-cli -- chaos-bench --overload \
+  --machine 4x4 --workers 4 --clients 8 --seconds 4 --assert-slo >/dev/null
+
 echo "== benches (quick pass) =="
 cargo bench -p npcgra-bench >/dev/null
 
