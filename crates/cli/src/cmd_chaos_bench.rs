@@ -18,6 +18,21 @@
 //! (some request that failed a checksum later completed bit-exact).
 //! Shard canaries run every `--canary-every` batches in this mode.
 //!
+//! With `--gray` the command instead runs the gray-failure soak: the fault
+//! plan injects *temporal* faults — wedges (the machine stops advancing),
+//! stalls (a huge burst of dead cycles) and slowdowns (every op takes
+//! `--slowdown-factor`× longer) — at `--gray-rate`, while the liveness
+//! layer hunts them: the per-run cycle budget (`--cycle-budget`×
+//! predicted cycles) catches host-fast runaways deterministically, and the
+//! batch watchdog (`--watchdog-slack`× the calibrated wall estimate)
+//! cancels wall-clock wedges via cooperative [`CancelToken`] polling.
+//! Bernoulli bit flips stay off, so every delivered reply is audited
+//! bit-exact against the golden host reference. With `--assert-liveness`
+//! the run fails unless every ticket resolves, no reply is wrong, at least
+//! one batch was preempted and the preempted shard recovered (a supervised
+//! restart); with `--gray-rate 0` it instead fails if the armed watchdog
+//! ever preempts a healthy batch (false-positive check).
+//!
 //! With `--overload` the command instead runs the overload-control soak:
 //! it first *calibrates* the server's closed-loop capacity, then drives it
 //! open-loop at `--overload-factor` times that rate (default 2×) with a
@@ -30,6 +45,7 @@
 //! bit-exact against the golden host reference.
 //!
 //! [`Ticket::wait_timeout`]: npcgra::serve::Ticket::wait_timeout
+//! [`CancelToken`]: npcgra::sim::CancelToken
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -44,8 +60,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if flags.has("overload") {
         return run_overload(&flags);
     }
+    if flags.has("gray") {
+        return run_gray(&flags);
+    }
     if flags.has("assert-slo") {
         return Err("--assert-slo needs --overload".to_string());
+    }
+    if flags.has("assert-liveness") {
+        return Err("--assert-liveness needs --gray".to_string());
     }
     let spec = flags.machine()?;
     let workers: usize = parse_or(&flags, "workers", 4)?;
@@ -77,6 +99,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         poison_value: None,
         fault_seed: (fault_rate > 0.0).then_some(fault_seed),
         fault_rate,
+        ..ChaosConfig::default()
     };
     let config = ServeConfig::for_spec(&spec)
         .with_workers(workers)
@@ -223,6 +246,197 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "chaos-bench PASS: {answered} tickets resolved, 0 hung; {} panic(s) caught, {} restart(s), \
          {} retries, {} quarantined",
         stats.panics_caught, stats.restarts, stats.retries, stats.quarantined
+    );
+    Ok(())
+}
+
+/// The `--gray` soak: inject temporal faults (wedges, stalls, slowdowns)
+/// into the simulated machines and fail unless the liveness layer —
+/// cycle budgets plus the calibrated batch watchdog — preempts every
+/// stuck run, the preempted shards recover, every ticket resolves, and
+/// every delivered reply stays bit-exact. With `--gray-rate 0` the soak
+/// inverts into a false-positive check: the watchdog stays armed but must
+/// never preempt a healthy batch.
+fn run_gray(flags: &Flags) -> Result<(), String> {
+    let spec = flags.machine()?;
+    let workers: usize = parse_or(flags, "workers", 4)?;
+    let clients: usize = parse_or(flags, "clients", 8)?;
+    let seconds: f64 = parse_or(flags, "seconds", 4.0)?;
+    // Like --fault-rate, --gray-rate is per (run, tile, cycle) point: a
+    // layer spans thousands of points, so per-cycle 2e-5 means a few
+    // percent of runs draw a temporal fault — most batches stay healthy
+    // (calibrating the watchdog), a steady minority wedge/stall/crawl.
+    let gray_rate: f64 = parse_or(flags, "gray-rate", 2e-5)?;
+    let fault_seed: u64 = parse_or(flags, "fault-seed", 0x6EA417)?;
+    let stall_cycles: u64 = parse_or(flags, "stall-cycles", 100_000)?;
+    let slowdown_factor: u32 = parse_or(flags, "slowdown-factor", 16)?;
+    let watchdog_slack: f64 = parse_or(flags, "watchdog-slack", 4.0)?;
+    let cycle_budget: f64 = parse_or(flags, "cycle-budget", 8.0)?;
+    let max_batch: usize = parse_or(flags, "max-batch", 4)?;
+    let linger_us: u64 = parse_or(flags, "linger-us", 500)?;
+    let alpha: f64 = parse_or(flags, "alpha", 0.25)?;
+    let res: usize = parse_or(flags, "res", 32)?;
+    let wait_ms: u64 = parse_or(flags, "wait-ms", 250)?;
+    let assert_liveness = flags.has("assert-liveness");
+    let which = flags.get("model").unwrap_or("mixed");
+    if workers == 0 {
+        return Err("--gray needs at least one worker".to_string());
+    }
+    if res == 0 || !res.is_multiple_of(32) {
+        return Err(format!("--res must be a positive multiple of 32, got {res}"));
+    }
+    if !(0.0..=1.0).contains(&gray_rate) {
+        return Err(format!("--gray-rate must be in [0, 1], got {gray_rate}"));
+    }
+
+    // Bernoulli bit flips stay off: every run that completes is then
+    // bit-exact by construction, so the golden audit separates "slow but
+    // correct" (fine) from "wrong" (always a failure) cleanly.
+    let chaos = ChaosConfig {
+        panic_on_first_batch: None,
+        poison_value: None,
+        fault_seed: Some(fault_seed),
+        fault_rate: 0.0,
+        gray_rate,
+        gray_stall_cycles: stall_cycles,
+        gray_slowdown_factor: slowdown_factor,
+    };
+    // Preemption walks the same restart ladder as a panic; a soak-length
+    // run preempts many times, so the budget is raised accordingly — the
+    // point here is recovery, not retirement.
+    let config = ServeConfig::for_spec(&spec)
+        .with_workers(workers)
+        .with_max_batch(max_batch)
+        .with_max_linger(Duration::from_micros(linger_us))
+        .with_restart_budget(200)
+        .with_restart_backoff(Duration::from_micros(100))
+        .with_watchdog_slack(watchdog_slack)
+        .with_cycle_budget(cycle_budget)
+        .with_chaos(chaos);
+
+    let model_tables = build_models(which, alpha, res)?;
+    quiet_worker_panics();
+    let server = Server::start(config);
+    let (endpoints, goldens) = register_endpoints(&server, &model_tables)?;
+    println!(
+        "chaos-bench --gray: {} models, {} shard(s) of a {}x{} machine, {} clients for {seconds:.1}s; \
+         gray rate {gray_rate} (seed {fault_seed:#x}), stall {stall_cycles} cycles, slowdown {slowdown_factor}x, \
+         watchdog slack {watchdog_slack}x, cycle budget {cycle_budget}x",
+        endpoints.len(),
+        workers,
+        spec.rows,
+        spec.cols,
+        clients,
+    );
+
+    let deadline = Instant::now() + Duration::from_secs_f64(seconds);
+    let hung = AtomicU64::new(0);
+    let answered = AtomicU64::new(0);
+    let delivered = AtomicU64::new(0);
+    let wrong = AtomicU64::new(0);
+    let server_ref = &server;
+    let endpoints_ref = &endpoints;
+    let goldens_ref = &goldens;
+    let (hung_ref, answered_ref, delivered_ref, wrong_ref) = (&hung, &answered, &delivered, &wrong);
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut r = 0usize;
+                while Instant::now() < deadline {
+                    let idx = r % endpoints_ref.len();
+                    let id = endpoints_ref[idx];
+                    let seed = (c * 1_000_000 + r) as u64;
+                    r += 1;
+                    let input = input_for(server_ref, id, seed);
+                    let (layer, w) = &goldens_ref[idx];
+                    let golden = reference::run_layer(layer, &input, w).expect("golden reference");
+                    match server_ref.submit(id, input) {
+                        Ok(ticket) => {
+                            // A wedge can hold a batch for its whole watchdog
+                            // deadline; the hang cap must dominate that, so a
+                            // counted hang means liveness truly failed.
+                            let mut waited = Duration::ZERO;
+                            let cap = Duration::from_millis(wait_ms) * 120;
+                            loop {
+                                match ticket.wait_timeout(Duration::from_millis(wait_ms)) {
+                                    Err(ServeError::ReplyTimeout { waited: w }) => {
+                                        waited += w;
+                                        if waited >= cap {
+                                            hung_ref.fetch_add(1, Ordering::Relaxed);
+                                            break;
+                                        }
+                                    }
+                                    result => {
+                                        answered_ref.fetch_add(1, Ordering::Relaxed);
+                                        if let Ok(resp) = result {
+                                            delivered_ref.fetch_add(1, Ordering::Relaxed);
+                                            if resp.output != golden {
+                                                wrong_ref.fetch_add(1, Ordering::Relaxed);
+                                            }
+                                        }
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        Err(ServeError::QueueFull { .. } | ServeError::Degraded { .. }) => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(ServeError::ShuttingDown) => break,
+                        Err(e) => panic!("submit failed: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = server.shutdown();
+    println!("{stats}");
+
+    let hung = hung.load(Ordering::Relaxed);
+    let answered = answered.load(Ordering::Relaxed);
+    let delivered = delivered.load(Ordering::Relaxed);
+    let wrong = wrong.load(Ordering::Relaxed);
+    if hung > 0 {
+        return Err(format!(
+            "{hung} ticket(s) never resolved — a gray-failed batch escaped the liveness layer"
+        ));
+    }
+    if stats.worker_exits.contains(&WorkerExit::Panicked) {
+        return Err(format!("a worker thread escaped supervision: exits {:?}", stats.worker_exits));
+    }
+    if wrong > 0 {
+        return Err(format!(
+            "{wrong} delivered reply(s) diverged from the golden reference under temporal faults"
+        ));
+    }
+    if answered == 0 {
+        return Err("the soak resolved no tickets at all — too short a window?".to_string());
+    }
+    if assert_liveness {
+        if gray_rate > 0.0 {
+            if stats.watchdog_preemptions == 0 {
+                return Err("assert-liveness: no batch was ever preempted — raise --gray-rate or --seconds".to_string());
+            }
+            if stats.restarts == 0 {
+                return Err("assert-liveness: preempted shards never recovered via restart".to_string());
+            }
+            if delivered == 0 {
+                return Err("assert-liveness: no reply was ever delivered under gray faults".to_string());
+            }
+        } else if stats.watchdog_preemptions > 0 {
+            // The false-positive check: an armed watchdog over a healthy
+            // fleet must never fire.
+            return Err(format!(
+                "assert-liveness: {} preemption(s) with no faults injected — the watchdog misfires on healthy batches",
+                stats.watchdog_preemptions
+            ));
+        }
+    }
+    println!(
+        "chaos-bench --gray PASS: {answered} tickets resolved ({delivered} delivered bit-exact), 0 hung, 0 wrong; \
+         {} watchdog preemption(s), {} restart(s), {} retries, {} quarantined",
+        stats.watchdog_preemptions, stats.restarts, stats.retries, stats.quarantined
     );
     Ok(())
 }

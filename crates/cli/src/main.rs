@@ -8,6 +8,7 @@
 //! npcgra disasm     --kind dw --channels 1 --size 8x8 [--machine 2x2] [--relu]
 //! npcgra serve-bench [--workers 4] [--clients 8] [--requests 160] [--max-batch 4] [--model v1|v2|mixed]
 //! npcgra chaos-bench [--workers 4] [--clients 8] [--seconds 5] [--fault-rate 1e-4] [--panic-worker 0] [--assert-detection]
+//! npcgra chaos-bench --gray [--gray-rate 0.02] [--watchdog-slack 4] [--cycle-budget 8] [--assert-liveness]
 //! npcgra chaos-bench --overload [--overload-factor 2] [--slo-ms 250] [--assert-slo]
 //! ```
 
@@ -66,6 +67,11 @@ commands:
               must all be survived (nonzero exit otherwise); with
               --assert-detection, silently corrupted outputs must also be
               caught by the ABFT checksums and healed by retry; with
+              --gray, temporal faults (wedges, stalls, slowdowns) are
+              injected instead and the batch watchdog + cycle budgets must
+              preempt every stuck run (--assert-liveness fails the run
+              unless all tickets resolve bit-exact, something was
+              preempted, and the preempted shard recovered); with
               --overload, the server is instead driven open-loop past its
               calibrated capacity with mixed priorities (--assert-slo
               fails the run unless admitted Interactive traffic holds its
@@ -88,6 +94,9 @@ common flags:
   --wait-ms N         chaos-bench fault-injection knobs
   --assert-detection, --canary-every N
                       chaos-bench ABFT-integrity audit knobs
+  --gray, --gray-rate P, --stall-cycles N, --slowdown-factor F,
+  --watchdog-slack S, --cycle-budget B, --assert-liveness
+                      chaos-bench gray-failure liveness soak knobs
   --overload, --overload-factor F, --calib-seconds S, --slo-ms N,
   --delay-target-us N, --hedge-quantile Q, --assert-slo
                       chaos-bench overload-control soak knobs

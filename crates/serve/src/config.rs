@@ -27,13 +27,27 @@ pub struct ChaosConfig {
     pub fault_seed: Option<u64>,
     /// Per-`(tile, cycle)` fault probability for the Bernoulli plan.
     pub fault_rate: f64,
+    /// Per-`(tile, cycle)` probability of a *temporal* (gray) fault —
+    /// a stall, slowdown or wedge drawn from the same seeded plan
+    /// ([`FaultPlan::gray`](npcgra_sim::FaultPlan::gray)). `0.0` disables
+    /// gray injection; like `fault_rate`, it needs `fault_seed`.
+    pub gray_rate: f64,
+    /// Cycles a drawn [`TemporalFault::Stall`](npcgra_sim::TemporalFault)
+    /// burns before the tile resumes.
+    pub gray_stall_cycles: u64,
+    /// Cycle-cost multiplier a drawn
+    /// [`TemporalFault::Slowdown`](npcgra_sim::TemporalFault) applies to
+    /// the rest of its tile.
+    pub gray_slowdown_factor: u32,
 }
 
 impl ChaosConfig {
     /// Whether any chaos knob is active.
     #[must_use]
     pub fn enabled(&self) -> bool {
-        self.panic_on_first_batch.is_some() || self.poison_value.is_some() || (self.fault_seed.is_some() && self.fault_rate > 0.0)
+        self.panic_on_first_batch.is_some()
+            || self.poison_value.is_some()
+            || (self.fault_seed.is_some() && (self.fault_rate > 0.0 || self.gray_rate > 0.0))
     }
 }
 
@@ -147,6 +161,23 @@ pub struct ServeConfig {
     /// Overload control: priority weights, CoDel admission, hedging and
     /// circuit breakers (see [`OverloadConfig`]).
     pub overload: OverloadConfig,
+    /// Batch-watchdog slack: a running batch is preempted (its shard's
+    /// [`CancelToken`](npcgra_sim::CancelToken) cancelled) once its wall
+    /// time exceeds `predicted cycles × observed ns-per-cycle × slack`.
+    /// The wall deadline only arms after the ns-per-cycle estimate has
+    /// calibrated on a few healthy batches. `0.0` disables the watchdog
+    /// thread entirely (the default).
+    pub watchdog_slack: f64,
+    /// Deterministic liveness backstop: each simulator block run gets a
+    /// cycle budget of `block compute cycles × cycle_budget`; exceeding it
+    /// fails the run with a typed, retryable error. Unlike the wall-clock
+    /// watchdog it needs no calibration and is immune to host scheduling
+    /// noise. `0.0` disables it (the default).
+    pub cycle_budget: f64,
+    /// Smoothing factor for the per-shard health EWMA (latency vs
+    /// predicted cycles, preemptions, canary/breaker state) that steers
+    /// hedge-target selection toward the healthiest shard.
+    pub health_ewma_alpha: f64,
     /// Deliberate failure injection (off by default).
     pub chaos: ChaosConfig,
 }
@@ -168,6 +199,9 @@ impl Default for ServeConfig {
             integrity: IntegrityMode::Verify,
             canary_interval: 0,
             overload: OverloadConfig::default(),
+            watchdog_slack: 0.0,
+            cycle_budget: 0.0,
+            health_ewma_alpha: 0.2,
             chaos: ChaosConfig::default(),
         }
     }
@@ -282,6 +316,27 @@ impl ServeConfig {
         self
     }
 
+    /// Set the batch-watchdog wall-clock slack (`0.0` = no watchdog).
+    #[must_use]
+    pub fn with_watchdog_slack(mut self, slack: f64) -> Self {
+        self.watchdog_slack = slack;
+        self
+    }
+
+    /// Set the per-block cycle-budget multiplier (`0.0` = no budget).
+    #[must_use]
+    pub fn with_cycle_budget(mut self, budget: f64) -> Self {
+        self.cycle_budget = budget;
+        self
+    }
+
+    /// Set the shard-health EWMA smoothing factor (clamped to `(0, 1]`).
+    #[must_use]
+    pub fn with_health_ewma_alpha(mut self, alpha: f64) -> Self {
+        self.health_ewma_alpha = if alpha > 0.0 { alpha.min(1.0) } else { 0.2 };
+        self
+    }
+
     /// Set the chaos (failure-injection) knobs.
     #[must_use]
     pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
@@ -350,6 +405,36 @@ mod tests {
         assert_eq!(c.min_healthy_workers, 3);
         assert_eq!(c.integrity, IntegrityMode::VerifyAndRecompute);
         assert_eq!(c.canary_interval, 64);
+    }
+
+    #[test]
+    fn liveness_knobs_default_off_and_compose() {
+        let c = ServeConfig::default();
+        assert_eq!(c.watchdog_slack, 0.0, "watchdog defaults off");
+        assert_eq!(c.cycle_budget, 0.0, "cycle budget defaults off");
+        assert!(c.health_ewma_alpha > 0.0 && c.health_ewma_alpha <= 1.0);
+        let c = c.with_watchdog_slack(6.0).with_cycle_budget(8.0).with_health_ewma_alpha(0.5);
+        assert_eq!(c.watchdog_slack, 6.0);
+        assert_eq!(c.cycle_budget, 8.0);
+        assert_eq!(c.health_ewma_alpha, 0.5);
+        // A nonsense alpha falls back to the default rather than freezing
+        // or inverting the EWMA.
+        assert_eq!(ServeConfig::default().with_health_ewma_alpha(-3.0).health_ewma_alpha, 0.2);
+    }
+
+    #[test]
+    fn gray_chaos_counts_as_enabled_only_with_a_seed() {
+        let gray = ChaosConfig {
+            gray_rate: 0.1,
+            ..ChaosConfig::default()
+        };
+        assert!(!gray.enabled(), "gray rate without a seed stays off");
+        let gray = ChaosConfig {
+            fault_seed: Some(7),
+            gray_rate: 0.1,
+            ..ChaosConfig::default()
+        };
+        assert!(gray.enabled());
     }
 
     #[test]

@@ -39,6 +39,12 @@ pub enum ServeError {
     /// words (see [`npcgra_sim::integrity`]). Retryable — transient faults
     /// draw independently per execution, so a re-run usually heals it.
     Integrity(SimError),
+    /// The liveness layer preempted this request's batch: the watchdog
+    /// cancelled a stuck (gray-failed) run via its
+    /// [`CancelToken`](npcgra_sim::CancelToken), or the run exceeded its
+    /// cycle budget. Retryable — the shard is rebuilt and the batch
+    /// re-executes (faults draw independently per run ordinal).
+    Preempted(SimError),
     /// The worker shard died before replying.
     WorkerLost,
     /// A worker shard panicked while executing this request's batch; the
@@ -94,6 +100,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Sim(e) => write!(f, "simulation failed: {e}"),
             ServeError::Integrity(e) => write!(f, "output integrity check failed: {e}"),
+            ServeError::Preempted(e) => write!(f, "batch preempted by the liveness watchdog: {e}"),
             ServeError::WorkerLost => write!(f, "worker shard lost before reply"),
             ServeError::WorkerPanic { message } => write!(f, "worker shard panicked: {message}"),
             ServeError::ReplyTimeout { waited } => {
@@ -115,7 +122,7 @@ impl fmt::Display for ServeError {
 impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ServeError::Sim(e) | ServeError::Integrity(e) => Some(e),
+            ServeError::Sim(e) | ServeError::Integrity(e) | ServeError::Preempted(e) => Some(e),
             ServeError::Quarantined { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
@@ -124,10 +131,11 @@ impl std::error::Error for ServeError {
 
 impl From<SimError> for ServeError {
     fn from(e: SimError) -> Self {
-        if matches!(e.cause, npcgra_sim::SimCause::IntegrityViolation(_)) {
-            ServeError::Integrity(e)
-        } else {
-            ServeError::Sim(e)
+        use npcgra_sim::SimCause;
+        match e.cause {
+            SimCause::IntegrityViolation(_) => ServeError::Integrity(e),
+            SimCause::Cancelled | SimCause::CycleBudgetExceeded { .. } => ServeError::Preempted(e),
+            _ => ServeError::Sim(e),
         }
     }
 }
@@ -140,8 +148,16 @@ impl ServeError {
     pub fn retryable(&self) -> bool {
         matches!(
             self,
-            ServeError::Sim(_) | ServeError::Integrity(_) | ServeError::WorkerPanic { .. }
+            ServeError::Sim(_) | ServeError::Integrity(_) | ServeError::Preempted(_) | ServeError::WorkerPanic { .. }
         )
+    }
+
+    /// Whether this failure is a liveness preemption (watchdog cancel or
+    /// cycle-budget exhaustion) — the supervisor rebuilds the shard's
+    /// machine on these, a wedged simulator's state being unrecoverable.
+    #[must_use]
+    pub fn is_preemption(&self) -> bool {
+        matches!(self, ServeError::Preempted(_))
     }
 }
 
@@ -208,5 +224,30 @@ mod tests {
             cause: SimCause::GrfIndex(5),
         };
         assert!(matches!(ServeError::from(plain), ServeError::Sim(_)));
+    }
+
+    #[test]
+    fn preemptions_route_to_their_own_retryable_variant() {
+        use npcgra_sim::{SimCause, SimError};
+        let cancelled = SimError {
+            block: "dw".into(),
+            tile: 1,
+            cycle: 42,
+            cause: SimCause::Cancelled,
+        };
+        let e: ServeError = cancelled.into();
+        assert!(e.is_preemption());
+        assert!(e.retryable(), "a preempted batch re-executes on a rebuilt shard");
+        assert!(e.to_string().contains("preempted"));
+        let blown = SimError {
+            block: "dw".into(),
+            tile: 0,
+            cycle: 9,
+            cause: SimCause::CycleBudgetExceeded { budget: 512 },
+        };
+        let e: ServeError = blown.into();
+        assert!(e.is_preemption());
+        assert!(e.to_string().contains("512"));
+        assert!(!ServeError::DeadlineExceeded.is_preemption());
     }
 }

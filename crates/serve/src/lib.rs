@@ -29,6 +29,16 @@
 //!   too few healthy shards sheds load early ([`ServeError::Degraded`]);
 //!   and [`ChaosConfig`] injects deterministic panics, poison and
 //!   simulated-hardware bit flips to drive all of it in tests.
+//! * **Gray-failure resilience** ([`crate::watchdog`]) — temporal chaos
+//!   faults (wedges, stalls, slowdowns) model shards that go *slow or
+//!   stuck* rather than dead; a deterministic per-run cycle budget
+//!   ([`ServeConfig::cycle_budget`](crate::ServeConfig)) and a batch
+//!   watchdog arming `predicted cycles × calibrated ns-per-cycle ×`
+//!   [`watchdog_slack`](crate::ServeConfig) wall deadlines cancel stuck
+//!   runs cooperatively ([`ServeError::Preempted`], retryable); the
+//!   supervisor rebuilds preempted shards under the restart budget with
+//!   decorrelated-jitter backoff, and a per-shard health EWMA steers
+//!   hedge claims to the healthiest shard.
 //! * **Overload control** ([`crate::overload`]) — requests carry a
 //!   [`Priority`] class; weighted-fair dequeue keeps every class moving
 //!   while CoDel-style adaptive admission climbs a staged brownout ladder
@@ -66,6 +76,7 @@ pub(crate) mod retry;
 pub mod server;
 pub mod stats;
 pub(crate) mod supervisor;
+pub(crate) mod watchdog;
 
 pub use cache::ProgramCache;
 pub use config::{ChaosConfig, OverloadConfig, ServeConfig};

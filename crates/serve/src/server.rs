@@ -31,6 +31,7 @@ use crate::error::ServeError;
 use crate::overload::{BrownoutLevel, LevelChange, OverloadController, Priority, WfqScheduler, CLASSES};
 use crate::stats::{Stats, StatsSnapshot, WorkerExit};
 use crate::supervisor;
+use crate::watchdog::Watchdog;
 
 /// Handle to a registered model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -413,6 +414,7 @@ pub(crate) struct Shared {
     pub(crate) ready: Condvar,
     pub(crate) cache: ProgramCache,
     pub(crate) stats: Stats,
+    pub(crate) watchdog: Watchdog,
     pub(crate) started: Instant,
 }
 
@@ -423,10 +425,14 @@ pub(crate) struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<WorkerExit>>,
+    /// The liveness watchdog thread, spawned only when
+    /// [`ServeConfig::watchdog_slack`] is on; joined at shutdown.
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Start the server: spawns `config.workers` worker-shard threads.
+    /// Start the server: spawns `config.workers` worker-shard threads,
+    /// plus the batch watchdog thread when `watchdog_slack` is enabled.
     #[must_use]
     pub fn start(config: ServeConfig) -> Self {
         let shared = Arc::new(Shared {
@@ -448,6 +454,7 @@ impl Server {
             }),
             ready: Condvar::new(),
             cache: ProgramCache::with_capacity(config.cache_capacity),
+            watchdog: Watchdog::new(config.workers),
             started: Instant::now(),
             config,
         });
@@ -460,7 +467,20 @@ impl Server {
                     .expect("spawn worker shard")
             })
             .collect();
-        Server { shared, workers }
+        let watchdog = (config.watchdog_slack > 0.0 && config.workers > 0).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("npcgra-serve-watchdog".into())
+                .spawn(move || {
+                    shared.watchdog.run(&shared.stats, shared.config.health_ewma_alpha);
+                })
+                .expect("spawn watchdog")
+        });
+        Server {
+            shared,
+            workers,
+            watchdog,
+        }
     }
 
     /// Register a model (one DSC or standard layer with its weights) and
@@ -710,6 +730,12 @@ impl Server {
             .into_iter()
             .map(|h| h.join().unwrap_or(WorkerExit::Panicked))
             .collect();
+        // Workers are gone, so nothing can re-arm; stop the watchdog after
+        // they drain so a wedged final batch is still preemptible.
+        self.shared.watchdog.shutdown();
+        if let Some(handle) = self.watchdog {
+            let _ = handle.join();
+        }
         let mut q = supervisor::lock_queue(&self.shared);
         for per_model in &mut q.queues {
             for queue in per_model.iter_mut() {
@@ -795,6 +821,19 @@ pub(crate) fn remove_inflight(shared: &Shared, id: u64) {
     }
 }
 
+/// Whether `worker` is the healthiest candidate (by effective health — the
+/// liveness EWMA, zeroed for dead shards and open breakers) to hedge a
+/// batch owned by `owner`. Ties go to whichever shard scans first: with
+/// every score at its initial 1.0 (healthy), any candidate qualifies, so
+/// configs that never diverge health behave exactly as before this check
+/// existed.
+fn healthiest_candidate(shared: &Shared, worker: usize, owner: usize) -> bool {
+    let mine = shared.stats.effective_health(worker);
+    (0..shared.config.workers)
+        .filter(|&w| w != owner && w != worker)
+        .all(|w| shared.stats.effective_health(w) <= mine + 1e-9)
+}
+
 /// Pull the next unit of work off the shared queue, blocking until one is
 /// ready or the server drains empty during shutdown (→ `None`, worker
 /// exits).
@@ -811,13 +850,19 @@ pub(crate) fn next_work(shared: &Shared, worker: usize, hedge_threshold: Option<
     let mut q = supervisor::lock_queue(shared);
     loop {
         let now = Instant::now();
-        // 1. Hedge scan: adopt another shard's slow in-flight batch.
+        // 1. Hedge scan: adopt another shard's slow in-flight batch — but
+        // only if this shard is the healthiest candidate (by liveness EWMA),
+        // so hedges route away from gray-degraded shards. A ripe entry that
+        // has waited past 2× the threshold waives the health check: a better
+        // shard that is busy must not strand the hedge forever.
         if let Some(threshold) = hedge_threshold {
-            if let Some(entry) = q
-                .inflight
-                .iter_mut()
-                .find(|e| e.owner != worker && e.group.is_some() && now.duration_since(e.started) >= threshold)
-            {
+            if let Some(entry) = q.inflight.iter_mut().find(|e| {
+                let waited = now.duration_since(e.started);
+                e.owner != worker
+                    && e.group.is_some()
+                    && waited >= threshold
+                    && (healthiest_candidate(shared, worker, e.owner) || waited >= threshold * 2)
+            }) {
                 let pendings = entry.group.take().expect("group presence checked");
                 let model = entry.model;
                 shared.stats.hedges_dispatched.fetch_add(1, Ordering::Relaxed);
@@ -1047,6 +1092,61 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.late_replies, 1);
         assert_eq!(stats.rejected_shutdown, 1);
+    }
+
+    #[test]
+    fn wait_timeout_races_preemption_to_a_terminal_outcome() {
+        // Satellite: a ticket polled with `wait_timeout` while the liveness
+        // layer preempts its gray-failed batch must converge — either a
+        // retried bit-exact reply or a typed terminal error — never
+        // `ReplyTimeout` forever. Budget-only preemption (watchdog_slack 0)
+        // keeps the test free of wall-clock calibration flake: every run
+        // draws a temporal fault (rate 1.0) sized to blow a 1.2× cycle
+        // budget, so every attempt surfaces `Preempted` deterministically.
+        use crate::config::ChaosConfig;
+        let chaos = ChaosConfig {
+            fault_seed: Some(0xC0FFEE),
+            gray_rate: 1.0,
+            gray_stall_cycles: 50_000,
+            gray_slowdown_factor: 4,
+            ..ChaosConfig::default()
+        };
+        let server = Server::start(
+            config()
+                .with_workers(1)
+                .with_max_retries(2)
+                .with_restart_budget(100)
+                .with_restart_backoff(Duration::ZERO)
+                .with_cycle_budget(1.2)
+                .with_chaos(chaos),
+        );
+        let layer = ConvLayer::pointwise("pw", 4, 4, 4, 4);
+        let w = layer.random_weights(1);
+        let id = server.register("m", layer.clone(), w.clone()).unwrap();
+        let ifm = Tensor::random(4, 4, 4, 5);
+        let golden = npcgra_nn::reference::run_layer(&layer, &ifm, &w).unwrap();
+        let ticket = server.submit(id, ifm).unwrap();
+        let cap = Instant::now() + Duration::from_secs(60);
+        let outcome = loop {
+            assert!(Instant::now() < cap, "ticket never resolved: liveness hole");
+            match ticket.wait_timeout(Duration::from_millis(10)) {
+                Err(ServeError::ReplyTimeout { .. }) => continue,
+                other => break other,
+            }
+        };
+        match outcome {
+            // A retry squeaked through (stall/slowdown under budget):
+            // delivered replies must still be bit-exact.
+            Ok(resp) => assert_eq!(resp.output, golden),
+            // Terminal and typed: the preemption surfaced through the
+            // retry ladder, it did not strand the ticket.
+            Err(e) => assert!(
+                !matches!(e, ServeError::ReplyTimeout { .. }),
+                "terminal outcome must be typed, got {e}"
+            ),
+        }
+        let stats = server.shutdown();
+        assert!(stats.watchdog_preemptions > 0, "cycle-budget preemptions must be counted");
     }
 
     #[test]

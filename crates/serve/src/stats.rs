@@ -39,6 +39,13 @@ impl std::fmt::Display for WorkerExit {
 /// `[2^i, 2^(i+1))` nanoseconds. 2^48 ns ≈ 78 hours, far beyond any request.
 const LATENCY_BUCKETS: usize = 48;
 
+/// Fixed-point scale for the per-shard health EWMA (six decimal digits).
+const HEALTH_SCALE: f64 = 1e6;
+
+/// Healthy batch timings required before the ns-per-cycle estimate (and
+/// therefore the watchdog's wall deadline) is trusted.
+const CALIBRATION_MIN_SAMPLES: u64 = 4;
+
 /// Live counters, shared between the submission path and the workers.
 #[derive(Debug)]
 pub(crate) struct Stats {
@@ -97,6 +104,18 @@ pub(crate) struct Stats {
     pub hedge_wins: AtomicU64,
     /// Hedge batches whose every reply lost the race (or that failed).
     pub hedge_losses: AtomicU64,
+    /// Batches preempted by the liveness layer — the watchdog cancelling a
+    /// stuck run's token, or a run blowing its cycle budget.
+    pub watchdog_preemptions: AtomicU64,
+    /// Per-shard health EWMA in `[0, 1]` (scaled by [`HEALTH_SCALE`]):
+    /// 1.0 = every batch lands within its predicted time; preemptions and
+    /// gross slowdowns pull it toward 0.
+    health_score: Vec<AtomicU64>,
+    /// Observed wall nanoseconds per predicted compute cycle, as `f64`
+    /// bits — the watchdog's cycles→wall conversion factor.
+    ns_per_cycle_bits: AtomicU64,
+    /// Batch timings folded into the ns-per-cycle estimate so far.
+    calibration_samples: AtomicU64,
     /// Per-shard death flags, set once when the restart budget runs out.
     shard_dead: Vec<AtomicBool>,
     /// Per-shard breaker state gauge (the [`BreakerState`] dense index).
@@ -143,6 +162,10 @@ impl Stats {
             hedges_dispatched: AtomicU64::new(0),
             hedge_wins: AtomicU64::new(0),
             hedge_losses: AtomicU64::new(0),
+            watchdog_preemptions: AtomicU64::new(0),
+            health_score: (0..workers).map(|_| AtomicU64::new(HEALTH_SCALE as u64)).collect(),
+            ns_per_cycle_bits: AtomicU64::new(0f64.to_bits()),
+            calibration_samples: AtomicU64::new(0),
             shard_dead: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             breaker_state: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -215,6 +238,60 @@ impl Stats {
 
     pub(crate) fn mark_shard_dead(&self, worker: usize) {
         self.shard_dead[worker].store(true, Ordering::Relaxed);
+    }
+
+    /// Fold one executed batch's timing into the global ns-per-cycle EWMA
+    /// that converts predicted compute cycles into a wall-clock deadline.
+    /// The update is load-then-store (a lost race drops one sample, which
+    /// the EWMA absorbs).
+    pub(crate) fn observe_run_timing(&self, predicted_cycles: u64, wall: Duration, alpha: f64) {
+        if predicted_cycles == 0 {
+            return;
+        }
+        let obs = wall.as_nanos() as f64 / predicted_cycles as f64;
+        let old = f64::from_bits(self.ns_per_cycle_bits.load(Ordering::Relaxed));
+        let new = if self.calibration_samples.fetch_add(1, Ordering::Relaxed) == 0 {
+            obs
+        } else {
+            old + alpha * (obs - old)
+        };
+        self.ns_per_cycle_bits.store(new.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The calibrated ns-per-cycle estimate, or `None` until enough healthy
+    /// batches have been timed — an unarmed watchdog beats a trigger-happy
+    /// one.
+    pub(crate) fn ns_per_cycle(&self) -> Option<f64> {
+        if self.calibration_samples.load(Ordering::Relaxed) < CALIBRATION_MIN_SAMPLES {
+            return None;
+        }
+        let v = f64::from_bits(self.ns_per_cycle_bits.load(Ordering::Relaxed));
+        (v > 0.0).then_some(v)
+    }
+
+    /// Fold one health observation (`[0, 1]`: 1.0 = on-time batch, 0.0 =
+    /// preemption/canary strike) into a shard's EWMA.
+    pub(crate) fn observe_health_sample(&self, worker: usize, obs: f64, alpha: f64) {
+        let obs = obs.clamp(0.0, 1.0);
+        let cell = &self.health_score[worker];
+        let old = cell.load(Ordering::Relaxed) as f64 / HEALTH_SCALE;
+        let new = old + alpha * (obs - old);
+        cell.store((new * HEALTH_SCALE) as u64, Ordering::Relaxed);
+    }
+
+    /// A shard's raw health EWMA in `[0, 1]`.
+    pub(crate) fn health_score(&self, worker: usize) -> f64 {
+        self.health_score[worker].load(Ordering::Relaxed) as f64 / HEALTH_SCALE
+    }
+
+    /// A shard's health as seen by hedge routing: the EWMA, zeroed while
+    /// the shard is dead or its circuit breaker is open (routing a hedge
+    /// at either is wasted work by construction).
+    pub(crate) fn effective_health(&self, worker: usize) -> f64 {
+        if self.shard_dead[worker].load(Ordering::Relaxed) || self.breaker_state[worker].load(Ordering::Relaxed) == 1 {
+            return 0.0;
+        }
+        self.health_score(worker)
     }
 
     /// Latency at quantile `q` (0..1): geometric midpoint of the bucket the
@@ -292,6 +369,9 @@ impl Stats {
             late_replies: self.late_replies.load(Ordering::Relaxed),
             canary_runs: self.canary_runs.load(Ordering::Relaxed),
             canary_failed: self.canary_failed.load(Ordering::Relaxed),
+            watchdog_preemptions: self.watchdog_preemptions.load(Ordering::Relaxed),
+            shard_health_score: (0..self.health_score.len()).map(|w| self.health_score(w)).collect(),
+            ns_per_cycle: self.ns_per_cycle().unwrap_or(0.0),
             shard_health: self.shard_dead.iter().map(|d| !d.load(Ordering::Relaxed)).collect(),
             worker_exits: Vec::new(),
             throughput_rps: if elapsed.as_secs_f64() > 0.0 {
@@ -395,6 +475,15 @@ pub struct StatsSnapshot {
     pub hedge_wins: u64,
     /// Hedge batches whose every reply lost the race (or that failed).
     pub hedge_losses: u64,
+    /// Batches preempted by the liveness layer (the watchdog cancelling a
+    /// stuck run, or a run exceeding its cycle budget).
+    pub watchdog_preemptions: u64,
+    /// Each shard's health EWMA in `[0, 1]` (1.0 = every batch on time;
+    /// preemptions and gross slowdowns pull it down).
+    pub shard_health_score: Vec<f64>,
+    /// Calibrated wall nanoseconds per predicted compute cycle, `0.0`
+    /// until enough batches were timed.
+    pub ns_per_cycle: f64,
     /// `shard_health[w]` is `false` once worker `w` exhausted its restart
     /// budget and was retired by the supervisor.
     pub shard_health: Vec<bool>,
@@ -591,11 +680,32 @@ impl std::fmt::Display for StatsSnapshot {
             self.canary_failed,
             self.late_replies
         )?;
+        let scores: Vec<String> = self
+            .shard_health_score
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("w{i}:{h:.2}"))
+            .collect();
         writeln!(
             f,
-            "health:   {}/{} shards healthy",
+            "health:   {}/{} shards healthy; scores {}",
             self.healthy_workers(),
-            self.shard_health.len()
+            self.shard_health.len(),
+            if scores.is_empty() {
+                "none".to_string()
+            } else {
+                scores.join(" ")
+            }
+        )?;
+        writeln!(
+            f,
+            "liveness: {} watchdog preemption(s); {} ns/cycle calibrated",
+            self.watchdog_preemptions,
+            if self.ns_per_cycle > 0.0 {
+                format!("{:.2}", self.ns_per_cycle)
+            } else {
+                "not yet".to_string()
+            }
         )?;
         if !self.worker_exits.is_empty() {
             let exits: Vec<String> = self
@@ -720,6 +830,57 @@ mod tests {
         assert!(text.contains("breaker:  1 opens"));
         assert!(text.contains("w1:open"));
         assert!(text.contains("hedges:   3 dispatched"));
+    }
+
+    #[test]
+    fn health_ewma_tracks_observations_and_breaker_state() {
+        let s = Stats::new(2, 4);
+        assert!((s.health_score(0) - 1.0).abs() < 1e-6, "shards start healthy");
+        // A preemption (0.0 sample) pulls the EWMA down; on-time batches
+        // pull it back up.
+        s.observe_health_sample(0, 0.0, 0.5);
+        assert!((s.health_score(0) - 0.5).abs() < 1e-6);
+        s.observe_health_sample(0, 1.0, 0.5);
+        assert!((s.health_score(0) - 0.75).abs() < 1e-6);
+        // Effective health is zeroed by an open breaker and by shard death,
+        // without touching the underlying EWMA.
+        s.set_breaker_state(0, BreakerState::Open);
+        assert_eq!(s.effective_health(0), 0.0);
+        assert!((s.health_score(0) - 0.75).abs() < 1e-6);
+        s.set_breaker_state(0, BreakerState::Closed);
+        assert!((s.effective_health(0) - 0.75).abs() < 1e-6);
+        s.mark_shard_dead(1);
+        assert_eq!(s.effective_health(1), 0.0);
+        let snap = s.snapshot(Duration::from_secs(1), 0);
+        assert!((snap.shard_health_score[0] - 0.75).abs() < 1e-6);
+        assert!(snap.to_string().contains("scores w0:0.75"));
+    }
+
+    #[test]
+    fn ns_per_cycle_calibrates_after_min_samples() {
+        let s = Stats::new(1, 4);
+        assert_eq!(s.ns_per_cycle(), None);
+        // 1000 predicted cycles in 2 µs → 2 ns/cycle, four times over.
+        for _ in 0..4 {
+            s.observe_run_timing(1000, Duration::from_micros(2), 0.2);
+        }
+        let v = s.ns_per_cycle().expect("calibrated after 4 samples");
+        assert!((v - 2.0).abs() < 1e-9, "steady input converges exactly, got {v}");
+        // Zero predicted cycles is ignored rather than dividing by zero.
+        s.observe_run_timing(0, Duration::from_secs(1), 0.2);
+        assert!((s.ns_per_cycle().unwrap() - 2.0).abs() < 1e-9);
+        let snap = s.snapshot(Duration::from_secs(1), 0);
+        assert!((snap.ns_per_cycle - 2.0).abs() < 1e-9);
+        assert!(snap.to_string().contains("liveness:"));
+    }
+
+    #[test]
+    fn watchdog_preemptions_surface_in_snapshot_and_display() {
+        let s = Stats::new(1, 4);
+        s.watchdog_preemptions.fetch_add(3, Ordering::Relaxed);
+        let snap = s.snapshot(Duration::from_secs(1), 0);
+        assert_eq!(snap.watchdog_preemptions, 3);
+        assert!(snap.to_string().contains("3 watchdog preemption(s)"));
     }
 
     #[test]

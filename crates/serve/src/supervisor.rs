@@ -24,7 +24,10 @@ use std::sync::{Arc, MutexGuard, PoisonError, RwLockReadGuard};
 use std::time::{Duration, Instant};
 
 use npcgra_nn::{ConvKind, ConvLayer, Tensor};
-use npcgra_sim::{run_standard_via_im2col, CompiledLayer, FaultPlan, LayerReport, Machine, MappingKind, SimCause, SimError};
+use npcgra_sim::{
+    run_standard_via_im2col, CancelToken, CompiledLayer, FaultPlan, GrayRates, LayerReport, Machine, MappingKind, SimCause,
+    SimError,
+};
 
 use crate::batch;
 use crate::error::ServeError;
@@ -60,6 +63,11 @@ pub(crate) struct Shard {
     /// Consecutive canary failures; two retire the shard (one may be a
     /// transient fault that an immediate re-probe would clear).
     canary_strikes: u32,
+    /// Deterministic per-shard jitter stream for restart backoff (seeded
+    /// from the shard id, so shards never synchronize their retries).
+    backoff_rng: u64,
+    /// Previous restart backoff — the decorrelated-jitter recurrence input.
+    prev_backoff: Duration,
     /// Cleared when the restart budget runs out; the worker loop exits.
     pub(crate) alive: bool,
 }
@@ -102,6 +110,8 @@ impl Shard {
                 .then(|| CanaryProbe::build(shared))
                 .flatten(),
             canary_strikes: 0,
+            backoff_rng: backoff_seed(worker),
+            prev_backoff: shared.config.restart_backoff,
             alive: true,
         }
     }
@@ -113,6 +123,10 @@ impl Shard {
         let Some(probe) = &self.canary else { return };
         shared.stats.canary_runs.fetch_add(1, Ordering::Relaxed);
         let machine = &mut self.machine;
+        // The probe measures the machine, not the last batch's liveness
+        // leftovers: a stale cancelled token must not fail it.
+        machine.set_cancel_token(None);
+        machine.set_cycle_budget(None);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             probe.compiled.run_on(machine, &probe.ifm, &probe.weights)
         }));
@@ -149,13 +163,23 @@ impl Shard {
         // Disarm before entering the unwind region: the retried batch must
         // succeed, proving the restarted shard serves again.
         self.panic_armed = false;
+        let worker = self.worker;
         let machine = &mut self.machine;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             assert!(!chaos_panic, "chaos: injected worker panic");
-            run_group(shared, machine, layer, weights, group)
+            run_group(shared, worker, machine, layer, weights, group)
         }));
         match outcome {
-            Ok(result) => result,
+            Ok(result) => {
+                if result.as_ref().is_err_and(ServeError::is_preemption) {
+                    // The watchdog cancelled a stuck run (or it blew its
+                    // cycle budget): a wedged simulator's state is as
+                    // unspecified as a panicked one's, so the shard walks
+                    // the same restart-budget ladder.
+                    self.note_preemption(shared);
+                }
+                result
+            }
             Err(payload) => {
                 let message = panic_message(&payload);
                 self.note_panic(shared);
@@ -165,9 +189,25 @@ impl Shard {
     }
 
     /// Account a caught panic: restart the shard (rebuild the machine,
-    /// exponential backoff) while budget remains, retire it otherwise.
+    /// jittered backoff) while budget remains, retire it otherwise.
     fn note_panic(&mut self, shared: &Shared) {
         shared.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+        self.restart_or_retire(shared);
+    }
+
+    /// Account a liveness preemption: count it, penalize the shard's
+    /// health score, and walk the same restart ladder as a panic.
+    fn note_preemption(&mut self, shared: &Shared) {
+        shared.stats.watchdog_preemptions.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .observe_health_sample(self.worker, 0.0, shared.config.health_ewma_alpha);
+        self.restart_or_retire(shared);
+    }
+
+    /// Charge one restart: rebuild the machine after a decorrelated-jitter
+    /// backoff while budget remains, retire the shard otherwise.
+    fn restart_or_retire(&mut self, shared: &Shared) {
         self.restarts += 1;
         if self.restarts > shared.config.restart_budget {
             self.alive = false;
@@ -175,12 +215,42 @@ impl Shard {
             return;
         }
         shared.stats.restarts.fetch_add(1, Ordering::Relaxed);
-        let backoff = shared.config.restart_backoff * (1u32 << (self.restarts - 1).min(6));
-        if !backoff.is_zero() {
+        let base = shared.config.restart_backoff;
+        if !base.is_zero() {
+            self.backoff_rng = splitmix64(self.backoff_rng);
+            let backoff = decorrelated_backoff(base, base * 64, self.prev_backoff, self.backoff_rng);
+            self.prev_backoff = backoff;
             std::thread::sleep(backoff);
         }
         self.machine = build_machine(shared, self.worker, self.restarts);
     }
+}
+
+/// SplitMix64's finalizer — the repo's standard cheap deterministic hash.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shard's deterministic jitter-stream seed: a function of the shard
+/// id alone, so a restarted fleet replays the same (decorrelated) backoff
+/// schedule run after run.
+fn backoff_seed(worker: usize) -> u64 {
+    splitmix64(0xB0_FF ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Decorrelated-jitter backoff (the classic "full jitter, previous-sleep
+/// coupled" recurrence): uniform in `[base, prev × 3]`, capped. Unlike
+/// plain exponential backoff it never synchronizes a fleet of restarting
+/// shards into retry convoys — each shard's draw decorrelates from both
+/// its own history and its peers'.
+fn decorrelated_backoff(base: Duration, cap: Duration, prev: Duration, draw: u64) -> Duration {
+    let lo = base.as_nanos() as u64;
+    let hi = (prev.as_nanos() as u64).saturating_mul(3).max(lo.saturating_add(1));
+    let span = hi - lo;
+    Duration::from_nanos(lo + draw % span).min(cap)
 }
 
 /// A fresh simulated machine for `(worker, restart ordinal)`, carrying the
@@ -193,11 +263,26 @@ fn build_machine(shared: &Shared, worker: usize, restarts: u32) -> Machine {
     machine.set_integrity_mode(shared.config.integrity);
     let chaos = &shared.config.chaos;
     if let Some(seed) = chaos.fault_seed {
-        if chaos.fault_rate > 0.0 {
+        if chaos.fault_rate > 0.0 || chaos.gray_rate > 0.0 {
             let mix = seed
                 ^ (worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ (u64::from(restarts)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            machine.set_fault_plan(Some(FaultPlan::bernoulli(mix, chaos.fault_rate)));
+            let plan = if chaos.gray_rate > 0.0 {
+                // Gray chaos: temporal faults (stalls, slowdowns, wedges)
+                // alongside any configured bit-flip rate, one seeded plan.
+                FaultPlan::gray(
+                    mix,
+                    chaos.fault_rate,
+                    GrayRates {
+                        rate: chaos.gray_rate,
+                        stall_cycles: chaos.gray_stall_cycles,
+                        slowdown_factor: chaos.gray_slowdown_factor,
+                    },
+                )
+            } else {
+                FaultPlan::bernoulli(mix, chaos.fault_rate)
+            };
+            machine.set_fault_plan(Some(plan));
         }
     }
     machine
@@ -278,6 +363,7 @@ pub(crate) fn requeue_or_fail(shared: &Shared, model: ModelId, pendings: Vec<Pen
 /// the supervisor wraps in `catch_unwind`.
 fn run_group(
     shared: &Shared,
+    worker: usize,
     machine: &mut Machine,
     layer: &ConvLayer,
     weights: &Tensor,
@@ -293,7 +379,7 @@ fn run_group(
                 run_standard_via_im2col(layer, &p.input, weights, spec)?
             } else {
                 let compiled = shared.cache.get_or_compile(layer, spec, MappingKind::Auto)?;
-                compiled.run_on(machine, &p.input, weights)?
+                run_with_liveness(shared, worker, machine, &compiled, &p.input, weights)?
             };
             outputs.push(ofm);
             checked += report.integrity_checked;
@@ -319,9 +405,67 @@ fn run_group(
             .get_or_compile(&big, spec, preferred_kind(&big))
             .or_else(|_| shared.cache.get_or_compile(&big, spec, MappingKind::Auto))
             .map_err(ServeError::from)
-            .and_then(|compiled| compiled.run_on(machine, &big_ifm, &big_w).map_err(ServeError::from))
+            .and_then(|compiled| run_with_liveness(shared, worker, machine, &compiled, &big_ifm, &big_w))
             .map(|(ofm, report)| (batch::split_ofm(layer, b, &ofm), report))
     }
+}
+
+/// The watchdog's wall-deadline floor: below this, host scheduling noise
+/// (a descheduled core, a page fault, a GC of the box's other tenants)
+/// would masquerade as a gray failure. 25 ms dominates OS jitter on a
+/// loaded host while a true wedge — pacing one simulated cycle per 100 µs
+/// — still overshoots it within a few hundred wedge cycles.
+const WATCHDOG_FLOOR: Duration = Duration::from_millis(25);
+
+/// Run one compiled program under the liveness layer: a fresh
+/// [`CancelToken`] and per-block cycle budget on the machine, the
+/// watchdog's wall deadline armed when calibrated, and — on success — the
+/// run's timing folded into the ns-per-cycle calibration and the shard's
+/// health EWMA.
+fn run_with_liveness(
+    shared: &Shared,
+    worker: usize,
+    machine: &mut Machine,
+    compiled: &CompiledLayer,
+    ifm: &Tensor,
+    weights: &Tensor,
+) -> Result<(Tensor, LayerReport), ServeError> {
+    let cfg = &shared.config;
+    let block_cycles = compiled.block_compute_cycles();
+    let predicted = block_cycles.saturating_mul(compiled.num_blocks() as u64);
+    machine.set_cycle_budget((cfg.cycle_budget > 0.0 && block_cycles > 0).then(|| {
+        // Per run_block call, so the budget scales with the block, not the
+        // whole layer; +1 keeps a healthy exact-cost run strictly inside.
+        ((block_cycles as f64 * cfg.cycle_budget).ceil() as u64).max(block_cycles + 1)
+    }));
+    let token = CancelToken::new();
+    machine.set_cancel_token(Some(token.clone()));
+    let mut armed = false;
+    if cfg.watchdog_slack > 0.0 && predicted > 0 {
+        if let Some(ns) = shared.stats.ns_per_cycle() {
+            let wall = Duration::from_nanos((predicted as f64 * ns * cfg.watchdog_slack) as u64).max(WATCHDOG_FLOOR);
+            shared.watchdog.arm(worker, Instant::now() + wall, token.clone());
+            armed = true;
+        }
+    }
+    let started = Instant::now();
+    let result = compiled.run_on(machine, ifm, weights);
+    let wall = started.elapsed();
+    if armed {
+        shared.watchdog.disarm(worker);
+    }
+    if result.is_ok() {
+        let alpha = cfg.health_ewma_alpha;
+        shared.stats.observe_run_timing(predicted, wall, alpha);
+        if let Some(ns) = shared.stats.ns_per_cycle() {
+            // Health observation: 1.0 when the run landed at (or under)
+            // its predicted wall time, shrinking toward 0 as it overruns.
+            let predicted_ns = predicted as f64 * ns;
+            let obs = (predicted_ns / (wall.as_nanos() as f64).max(1.0)).min(1.0);
+            shared.stats.observe_health_sample(worker, obs, alpha);
+        }
+    }
+    result.map_err(ServeError::from)
 }
 
 /// The batched mapping to prefer for a combined layer: the §5.4
@@ -439,9 +583,14 @@ pub(crate) fn run_worker(shared: &Arc<Shared>, worker: usize) -> WorkerExit {
                 shared.stats.breaker_probes.fetch_add(1, Ordering::Relaxed);
             }
             BreakerDecision::Wait(cooldown) => {
-                if lock_queue(shared).open {
+                let q = lock_queue(shared);
+                if q.open {
                     shared.stats.set_breaker_state(worker, breaker.state());
-                    std::thread::sleep(cooldown.min(Duration::from_millis(5)));
+                    // Park on the shared work condvar instead of
+                    // sleep-polling: cooldown expiry wakes us via the
+                    // timeout, shutdown (and queue churn) via the bell —
+                    // an open breaker costs zero wakeups on an idle server.
+                    drop(shared.ready.wait_timeout(q, cooldown).unwrap_or_else(PoisonError::into_inner));
                     continue;
                 }
                 // Draining: serve regardless, shutdown must complete.
@@ -489,4 +638,70 @@ pub(crate) fn run_worker(shared: &Arc<Shared>, worker: usize) -> WorkerExit {
         }
     }
     WorkerExit::Unhealthy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The backoff sequence a shard would sleep through `n` consecutive
+    /// restarts, reproduced from the pure recurrence.
+    fn backoff_sequence(worker: usize, base: Duration, n: usize) -> Vec<Duration> {
+        let cap = base * 64;
+        let mut rng = backoff_seed(worker);
+        let mut prev = base;
+        (0..n)
+            .map(|_| {
+                rng = splitmix64(rng);
+                prev = decorrelated_backoff(base, cap, prev, rng);
+                prev
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_shard() {
+        let base = Duration::from_millis(1);
+        assert_eq!(
+            backoff_sequence(0, base, 8),
+            backoff_sequence(0, base, 8),
+            "same shard, same schedule — the fleet replays from seeds alone"
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_diverges_across_shards() {
+        // Two shards restarting in lockstep must not sleep in lockstep:
+        // their jitter streams are seeded from distinct shard ids.
+        let base = Duration::from_millis(1);
+        let a = backoff_sequence(0, base, 8);
+        let b = backoff_sequence(1, base, 8);
+        assert_ne!(a, b, "shards 0 and 1 drew identical backoff schedules");
+        let differing = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert!(differing >= 6, "schedules nearly synchronized: {a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn backoff_respects_base_and_cap() {
+        let base = Duration::from_millis(1);
+        let cap = base * 64;
+        for worker in 0..4 {
+            for d in backoff_sequence(worker, base, 32) {
+                assert!(d >= base, "below base: {d:?}");
+                assert!(d <= cap, "above cap: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_handles_degenerate_inputs() {
+        // prev = 0 (first restart with a zero-history shard) still yields
+        // something in [base, cap]; a zero base collapses to zero-ish
+        // waits without dividing by zero.
+        let base = Duration::from_micros(100);
+        let d = decorrelated_backoff(base, base * 64, Duration::ZERO, 0xDEAD_BEEF);
+        assert!(d >= base);
+        let z = decorrelated_backoff(Duration::ZERO, Duration::ZERO, Duration::ZERO, 7);
+        assert_eq!(z, Duration::ZERO);
+    }
 }

@@ -1,0 +1,152 @@
+//! The batch watchdog: wall-clock liveness enforcement for gray-failed
+//! shards.
+//!
+//! A crashed shard is loud — the supervisor catches the panic. A *gray*
+//! failure is quiet: the simulated machine wedges or crawls, the batch
+//! never returns, and its tickets would wait forever. The watchdog closes
+//! that gap. Before each simulator run the worker *arms* a per-batch wall
+//! deadline — `predicted compute cycles × calibrated ns-per-cycle ×`
+//! [`watchdog_slack`](crate::ServeConfig::watchdog_slack) — together with
+//! the run's [`CancelToken`]. One watchdog thread per server sleeps until
+//! the nearest armed deadline; a run still armed past its deadline gets
+//! its token cancelled, which the machine notices at the next simulated
+//! cycle and returns [`SimCause::Cancelled`](npcgra_sim::SimCause) — a
+//! typed, retryable error the normal retry/bisect/quarantine ladder
+//! already knows how to route.
+//!
+//! The wall deadline only arms once the ns-per-cycle estimate has
+//! calibrated on healthy batches, so a cold server never preempts on
+//! noise; until then the deterministic cycle budget
+//! ([`cycle_budget`](crate::ServeConfig::cycle_budget)) is the backstop.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+use npcgra_sim::CancelToken;
+
+use crate::stats::Stats;
+
+/// One armed batch: when to fire, and whose run to cancel.
+struct Armed {
+    deadline: Instant,
+    token: CancelToken,
+}
+
+/// Per-server watchdog state: one arming slot per worker shard (a shard
+/// runs at most one batch at a time), a bell to wake the watchdog thread
+/// when a nearer deadline is armed, and a shutdown latch.
+pub(crate) struct Watchdog {
+    slots: Mutex<Vec<Option<Armed>>>,
+    bell: Condvar,
+    stop: AtomicBool,
+}
+
+impl Watchdog {
+    pub(crate) fn new(workers: usize) -> Self {
+        Watchdog {
+            slots: Mutex::new((0..workers).map(|_| None).collect()),
+            bell: Condvar::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Arm `worker`'s slot: cancel `token` if the run is still armed at
+    /// `deadline`. Overwrites any previous arming for the slot.
+    pub(crate) fn arm(&self, worker: usize, deadline: Instant, token: CancelToken) {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        slots[worker] = Some(Armed { deadline, token });
+        drop(slots);
+        // The thread may be parked on a farther (or no) deadline.
+        self.bell.notify_all();
+    }
+
+    /// Disarm `worker`'s slot — the run returned (either way) in time.
+    pub(crate) fn disarm(&self, worker: usize) {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        slots[worker] = None;
+    }
+
+    /// Stop the watchdog thread (idempotent).
+    pub(crate) fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.bell.notify_all();
+    }
+
+    /// The watchdog thread body: sleep until the nearest armed deadline
+    /// (or the bell), cancel every run past its deadline, repeat.
+    /// Preemption *counting* happens in the supervisor when the cancelled
+    /// run surfaces — this thread only fires tokens and records the health
+    /// penalty against the stuck shard.
+    pub(crate) fn run(&self, stats: &Stats, health_alpha: f64) {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let now = Instant::now();
+            for (worker, slot) in slots.iter_mut().enumerate() {
+                if slot.as_ref().is_some_and(|armed| armed.deadline <= now) {
+                    let armed = slot.take().expect("checked above");
+                    armed.token.cancel();
+                    stats.observe_health_sample(worker, 0.0, health_alpha);
+                }
+            }
+            let nearest = slots.iter().flatten().map(|armed| armed.deadline).min();
+            slots = match nearest {
+                Some(deadline) => {
+                    let wait = deadline.saturating_duration_since(Instant::now());
+                    self.bell.wait_timeout(slots, wait).unwrap_or_else(PoisonError::into_inner).0
+                }
+                // Nothing armed: park until an arm or shutdown rings the bell.
+                None => self.bell.wait(slots).unwrap_or_else(PoisonError::into_inner),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn expired_arming_cancels_the_token() {
+        let wd = Arc::new(Watchdog::new(2));
+        let stats = Arc::new(Stats::new(2, 4));
+        let thread = {
+            let (wd, stats) = (Arc::clone(&wd), Arc::clone(&stats));
+            std::thread::spawn(move || wd.run(&stats, 0.5))
+        };
+        let token = CancelToken::new();
+        wd.arm(0, Instant::now() + Duration::from_millis(5), token.clone());
+        let fired = Instant::now();
+        while !token.is_cancelled() {
+            assert!(fired.elapsed() < Duration::from_secs(5), "watchdog never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(stats.health_score(0) < 1.0, "a preempted shard pays a health penalty");
+        assert!((stats.health_score(1) - 1.0).abs() < 1e-6, "the other shard is untouched");
+        wd.shutdown();
+        thread.join().expect("watchdog thread");
+    }
+
+    #[test]
+    fn disarmed_runs_are_never_cancelled() {
+        let wd = Arc::new(Watchdog::new(1));
+        let stats = Arc::new(Stats::new(1, 4));
+        let thread = {
+            let (wd, stats) = (Arc::clone(&wd), Arc::clone(&stats));
+            std::thread::spawn(move || wd.run(&stats, 0.5))
+        };
+        let token = CancelToken::new();
+        wd.arm(0, Instant::now() + Duration::from_millis(30), token.clone());
+        wd.disarm(0);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(!token.is_cancelled(), "the run completed and disarmed in time");
+        assert!((stats.health_score(0) - 1.0).abs() < 1e-6);
+        wd.shutdown();
+        thread.join().expect("watchdog thread");
+    }
+}

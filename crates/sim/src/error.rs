@@ -55,6 +55,17 @@ pub enum SimCause {
         /// Bank capacity in words.
         capacity: usize,
     },
+    /// Execution was cooperatively cancelled through the installed
+    /// [`CancelToken`](crate::CancelToken) — typically a watchdog
+    /// preempting a stuck (gray-failed) run. The carrying
+    /// [`SimError`]'s `(tile, cycle)` locate where the run noticed.
+    Cancelled,
+    /// The run consumed its installed cycle budget without finishing —
+    /// the deterministic, wall-clock-free liveness backstop.
+    CycleBudgetExceeded {
+        /// The budget that was exceeded, in cycles.
+        budget: u64,
+    },
 }
 
 impl SimError {
@@ -89,6 +100,10 @@ impl fmt::Display for SimError {
             } => {
                 let which = if *vmem { "V-MEM" } else { "H-MEM" };
                 write!(f, "{which} bank {bank} image of {need} words exceeds capacity {capacity}")
+            }
+            SimCause::Cancelled => write!(f, "cancelled by cooperative token (preempted)"),
+            SimCause::CycleBudgetExceeded { budget } => {
+                write!(f, "cycle budget of {budget} cycles exceeded")
             }
         }
     }

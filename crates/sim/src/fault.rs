@@ -10,7 +10,7 @@
 //! surfaces as `GrfIndex` at the next broadcast). Both behaviours are the
 //! point: a serving stack above the simulator must survive each.
 //!
-//! Plans come in two flavours:
+//! Plans come in three flavours:
 //!
 //! * [`FaultPlan::explicit`] — a hand-written fault list, for tests that
 //!   need one precise flip at one precise point.
@@ -20,11 +20,41 @@
 //!   seed**, while a *retry* of a failed block (a later `run` ordinal on
 //!   the same machine) sees an independent draw — exactly how transient
 //!   faults behave in time.
+//! * [`FaultPlan::gray`] — Bernoulli bit flips plus an independent seeded
+//!   draw of *temporal* faults ([`TemporalFault`]): stalls, slowdowns and
+//!   wedges that lose **time** instead of corrupting **values** — the
+//!   gray-failure class. The same purity holds: every draw is a hash of
+//!   `(seed, run, tile, cycle)`.
 //!
 //! Nothing here costs anything when no plan is installed: the machine's
 //! per-cycle check is a single `Option` discriminant test.
 
 use npcgra_nn::Word;
+
+/// A temporal (gray) fault: the tile loses time instead of corrupting
+/// data. Values stay bit-exact; *liveness* is what breaks. The machine
+/// escapes these only through its cooperative
+/// [`CancelToken`](crate::CancelToken) or cycle budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalFault {
+    /// The tile stalls for `cycles` extra cycles before this cycle
+    /// executes; the stall cycles are charged to the run's cycle budget.
+    Stall {
+        /// Extra cycles burned.
+        cycles: u64,
+    },
+    /// The tile wedges: no forward progress until cancelled or the cycle
+    /// budget runs out. Without either installed the run never returns —
+    /// exactly the hazard the serving watchdog exists to break.
+    Wedge,
+    /// Every remaining cycle of the current tile costs `factor` cycles.
+    /// Factors from concurrent slowdown faults do not stack; the largest
+    /// wins until the tile ends.
+    Slowdown {
+        /// Cycle-cost multiplier (values below 2 are inert).
+        factor: u32,
+    },
+}
 
 /// Where a scheduled fault lands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +102,8 @@ pub enum FaultSite {
         /// Bit position within the accumulator's low word.
         bit: u32,
     },
+    /// A temporal fault: the site loses time, not data.
+    Temporal(TemporalFault),
 }
 
 /// One scheduled fault: a [`FaultSite`] applied at the start of `cycle` of
@@ -103,6 +135,18 @@ pub struct FaultDims {
     pub v_words: usize,
 }
 
+/// Shape of the temporal faults a [`FaultPlan::gray`] plan draws.
+#[derive(Debug, Clone, Copy)]
+pub struct GrayRates {
+    /// Per-`(run, tile, cycle)` probability of a temporal fault
+    /// (clamped to `[0, 1]`).
+    pub rate: f64,
+    /// Stall length for [`TemporalFault::Stall`] draws.
+    pub stall_cycles: u64,
+    /// Cycle-cost multiplier for [`TemporalFault::Slowdown`] draws.
+    pub slowdown_factor: u32,
+}
+
 #[derive(Debug, Clone)]
 enum Mode {
     Explicit(Vec<Fault>),
@@ -110,6 +154,15 @@ enum Mode {
         seed: u64,
         /// Fire when the (run, tile, cycle) hash falls below this.
         threshold: u64,
+    },
+    Gray {
+        seed: u64,
+        /// Bit-flip threshold (as in `Bernoulli`).
+        flip_threshold: u64,
+        /// Temporal-fault threshold for an independent salted draw.
+        temporal_threshold: u64,
+        stall_cycles: u64,
+        slowdown_factor: u32,
     },
 }
 
@@ -127,7 +180,28 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Salt separating the temporal draw from the bit-flip draw at the same
+/// `(run, tile, cycle)` point.
+const TEMPORAL_SALT: u64 = 0x6E_A4_17;
+
+fn rate_to_threshold(rate: f64) -> u64 {
+    let rate = rate.clamp(0.0, 1.0);
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let threshold = (rate * u64::MAX as f64) as u64;
+    threshold
+}
+
 impl FaultPlan {
+    /// A plan that schedules nothing: every query returns no sites. The
+    /// explicit fault-free control for chaos runs that arm the watchdog
+    /// but must observe zero preemptions.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan {
+            mode: Mode::Explicit(Vec::new()),
+        }
+    }
+
     /// A plan that applies exactly the given faults, at their `(tile,
     /// cycle)` points, on every block run.
     #[must_use]
@@ -142,16 +216,47 @@ impl FaultPlan {
     /// (clamped to `[0, 1]`). Fully deterministic in `seed`.
     #[must_use]
     pub fn bernoulli(seed: u64, rate: f64) -> Self {
-        let rate = rate.clamp(0.0, 1.0);
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let threshold = (rate * u64::MAX as f64) as u64;
         FaultPlan {
-            mode: Mode::Bernoulli { seed, threshold },
+            mode: Mode::Bernoulli {
+                seed,
+                threshold: rate_to_threshold(rate),
+            },
+        }
+    }
+
+    /// A gray-failure plan: Bernoulli bit flips at `flip_rate` plus an
+    /// independent salted draw of temporal faults at `gray.rate`. A
+    /// temporal draw picks its kind from the same hash — mostly stalls,
+    /// some slowdowns, rare wedges — so one seed reproduces the whole
+    /// mixed soak.
+    #[must_use]
+    pub fn gray(seed: u64, flip_rate: f64, gray: GrayRates) -> Self {
+        FaultPlan {
+            mode: Mode::Gray {
+                seed,
+                flip_threshold: rate_to_threshold(flip_rate),
+                temporal_threshold: rate_to_threshold(gray.rate),
+                stall_cycles: gray.stall_cycles.max(1),
+                slowdown_factor: gray.slowdown_factor.max(2),
+            },
+        }
+    }
+
+    /// Whether this plan can ever schedule a [`FaultSite::Temporal`] site
+    /// (used by runners to decide if liveness machinery must be armed).
+    #[must_use]
+    pub fn has_temporal(&self) -> bool {
+        match &self.mode {
+            Mode::Explicit(faults) => faults.iter().any(|f| matches!(f.site, FaultSite::Temporal(_))),
+            Mode::Bernoulli { .. } => false,
+            Mode::Gray { temporal_threshold, .. } => *temporal_threshold > 0,
         }
     }
 
     /// The sites scheduled at `(run, tile, cycle)`. Empty in the (vastly
-    /// common) no-fault case; never allocates unless a fault fires.
+    /// common) no-fault case; never allocates unless a fault fires. A pure
+    /// function of `(plan, run, tile, cycle, dims)`: repeated calls and
+    /// plan clones agree bit-for-bit.
     #[must_use]
     pub fn sites_at(&self, run: u64, tile: usize, cycle: u64, dims: &FaultDims) -> Vec<FaultSite> {
         match &self.mode {
@@ -166,16 +271,56 @@ impl FaultPlan {
                     .collect()
             }
             Mode::Bernoulli { seed, threshold } => {
-                let mut x = *seed;
-                x = splitmix64(x ^ run);
-                x = splitmix64(x ^ tile as u64);
-                x = splitmix64(x ^ cycle);
+                let x = point_hash(*seed, run, tile, cycle);
                 if x >= *threshold {
                     return Vec::new();
                 }
                 vec![random_site(splitmix64(x ^ 0xFA_0175), dims)]
             }
+            Mode::Gray {
+                seed,
+                flip_threshold,
+                temporal_threshold,
+                stall_cycles,
+                slowdown_factor,
+            } => {
+                let x = point_hash(*seed, run, tile, cycle);
+                let mut sites = Vec::new();
+                if x < *flip_threshold {
+                    sites.push(random_site(splitmix64(x ^ 0xFA_0175), dims));
+                }
+                let t = splitmix64(x ^ TEMPORAL_SALT);
+                if t < *temporal_threshold {
+                    sites.push(FaultSite::Temporal(random_temporal(
+                        splitmix64(t ^ 0x7E3),
+                        *stall_cycles,
+                        *slowdown_factor,
+                    )));
+                }
+                sites
+            }
         }
+    }
+}
+
+/// The shared `(seed, run, tile, cycle)` point hash every stochastic mode
+/// draws from.
+fn point_hash(seed: u64, run: u64, tile: usize, cycle: u64) -> u64 {
+    let mut x = seed;
+    x = splitmix64(x ^ run);
+    x = splitmix64(x ^ tile as u64);
+    x = splitmix64(x ^ cycle);
+    x
+}
+
+/// Derive a temporal fault kind from hash bits: mostly stalls, some
+/// slowdowns, rare wedges — wedges are the expensive recovery path, so
+/// they stay the minority of a soak the way genuinely hung devices do.
+fn random_temporal(h: u64, stall_cycles: u64, slowdown_factor: u32) -> TemporalFault {
+    match h % 10 {
+        0..=5 => TemporalFault::Stall { cycles: stall_cycles },
+        6..=8 => TemporalFault::Slowdown { factor: slowdown_factor },
+        _ => TemporalFault::Wedge,
     }
 }
 
@@ -307,8 +452,87 @@ mod tests {
                     FaultSite::PeOutBit { r, c, bit } => {
                         assert!(r < d.rows && c < d.cols && bit < Word::BITS);
                     }
+                    FaultSite::Temporal(_) => panic!("bernoulli plans never draw temporal faults"),
                 }
             }
         }
+    }
+
+    #[test]
+    fn none_plan_schedules_nothing_and_has_no_temporal() {
+        let plan = FaultPlan::none();
+        assert!(!plan.has_temporal());
+        for cycle in 0..256 {
+            assert!(plan.sites_at(0, 0, cycle, &dims()).is_empty());
+        }
+    }
+
+    #[test]
+    fn gray_plan_is_deterministic_and_draws_all_three_kinds() {
+        let rates = GrayRates {
+            rate: 0.05,
+            stall_cycles: 64,
+            slowdown_factor: 8,
+        };
+        let a = FaultPlan::gray(99, 0.01, rates);
+        let b = a.clone();
+        assert!(a.has_temporal());
+        let (mut stalls, mut slows, mut wedges, mut flips) = (0, 0, 0, 0);
+        for tile in 0..16 {
+            for cycle in 0..512 {
+                let sa = a.sites_at(2, tile, cycle, &dims());
+                assert_eq!(sa, b.sites_at(2, tile, cycle, &dims()), "clone agrees");
+                assert_eq!(sa, a.sites_at(2, tile, cycle, &dims()), "repeat call agrees");
+                for site in sa {
+                    match site {
+                        FaultSite::Temporal(TemporalFault::Stall { cycles }) => {
+                            assert_eq!(cycles, 64);
+                            stalls += 1;
+                        }
+                        FaultSite::Temporal(TemporalFault::Slowdown { factor }) => {
+                            assert_eq!(factor, 8);
+                            slows += 1;
+                        }
+                        FaultSite::Temporal(TemporalFault::Wedge) => wedges += 1,
+                        _ => flips += 1,
+                    }
+                }
+            }
+        }
+        assert!(
+            stalls > 0 && slows > 0 && wedges > 0,
+            "mix covers all kinds: {stalls}/{slows}/{wedges}"
+        );
+        assert!(flips > 0, "gray plans still flip bits");
+    }
+
+    #[test]
+    fn gray_temporal_rate_zero_never_draws_temporal() {
+        let rates = GrayRates {
+            rate: 0.0,
+            stall_cycles: 8,
+            slowdown_factor: 4,
+        };
+        let plan = FaultPlan::gray(5, 0.5, rates);
+        assert!(!plan.has_temporal());
+        for cycle in 0..512 {
+            for site in plan.sites_at(0, 0, cycle, &dims()) {
+                assert!(!matches!(site, FaultSite::Temporal(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_temporal_faults_report_has_temporal() {
+        let plan = FaultPlan::explicit(vec![Fault {
+            tile: 0,
+            cycle: 3,
+            site: FaultSite::Temporal(TemporalFault::Wedge),
+        }]);
+        assert!(plan.has_temporal());
+        assert_eq!(
+            plan.sites_at(0, 0, 3, &dims()),
+            vec![FaultSite::Temporal(TemporalFault::Wedge)]
+        );
     }
 }

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod compiled;
 pub mod error;
 pub mod fault;
@@ -29,9 +30,10 @@ pub mod machine;
 pub mod report;
 pub mod trace;
 
+pub use cancel::CancelToken;
 pub use compiled::{CompiledLayer, PreparedIfm, ResolvedMapping};
 pub use error::{SimCause, SimError};
-pub use fault::{Fault, FaultDims, FaultPlan, FaultSite};
+pub use fault::{Fault, FaultDims, FaultPlan, FaultSite, GrayRates, TemporalFault};
 pub use integrity::{CheckKind, IntegrityMode, Violation};
 pub use layer::{
     estimate_layer_energy, run_batched_dwc, run_layer, run_layer_parallel, run_matmul_dwc, run_standard_via_im2col, time_layer,

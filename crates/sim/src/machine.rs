@@ -6,10 +6,17 @@ use npcgra_kernels::{BlockProgram, TileMapping};
 use npcgra_mem::{BankedMemory, DmaEngine};
 use npcgra_nn::{truncate, Word};
 
+use crate::cancel::CancelToken;
 use crate::error::{SimCause, SimError};
-use crate::fault::{FaultDims, FaultPlan, FaultSite};
+use crate::fault::{FaultDims, FaultPlan, FaultSite, TemporalFault};
 use crate::integrity::IntegrityMode;
 use crate::trace::{BusEvent, CycleTrace, StoreEvent, Trace};
+
+/// Wall-clock pace of a wedged run: a [`TemporalFault::Wedge`] makes no
+/// simulated progress, so the machine parks between cancellation checks
+/// instead of burning a host core. Short enough that a watchdog cancel is
+/// observed within a fraction of any realistic deadline.
+const WEDGE_PACE: std::time::Duration = std::time::Duration::from_micros(100);
 
 /// What one block run produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,10 +67,16 @@ pub struct Machine {
     /// Host-side output verification mode applied by block-running layer
     /// entry points ([`CompiledLayer::run_on`](crate::CompiledLayer::run_on)).
     integrity: IntegrityMode,
+    /// Cooperative cancellation flag checked once per simulated cycle.
+    cancel: Option<CancelToken>,
+    /// Per-block-run compute-cycle cap; exceeding it is a typed error.
+    cycle_budget: Option<u64>,
     /// Block runs executed so far (the `run` ordinal fault plans hash).
     runs: u64,
     /// Faults actually applied so far.
     faults_injected: u64,
+    /// Temporal (gray) faults executed so far.
+    temporal_injected: u64,
 }
 
 impl Machine {
@@ -87,8 +100,11 @@ impl Machine {
             mac: DualModeMac::new(spec.mac_mode()),
             fault_plan: None,
             integrity: IntegrityMode::Off,
+            cancel: None,
+            cycle_budget: None,
             runs: 0,
             faults_injected: 0,
+            temporal_injected: 0,
         }
     }
 
@@ -123,6 +139,36 @@ impl Machine {
         self.integrity
     }
 
+    /// Install (or clear) a cooperative cancellation token. Every block
+    /// run checks it once per simulated cycle — including while stalled or
+    /// wedged by a [`TemporalFault`] — and returns
+    /// [`SimCause::Cancelled`] at the first raised check. One relaxed
+    /// atomic load per cycle; `None` costs a discriminant test.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The installed cancellation token, if any.
+    #[must_use]
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Install (or clear) a per-block-run compute-cycle budget. A run
+    /// whose compute cycles (including temporal-fault stall/slowdown
+    /// cycles) exceed the budget returns
+    /// [`SimCause::CycleBudgetExceeded`] — the deterministic,
+    /// wall-clock-free liveness backstop.
+    pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.cycle_budget = budget;
+    }
+
+    /// The installed per-run cycle budget, if any.
+    #[must_use]
+    pub fn cycle_budget(&self) -> Option<u64> {
+        self.cycle_budget
+    }
+
     /// Faults actually applied so far (a scheduled fault that lands in an
     /// out-of-range or unloaded resource is not counted).
     #[must_use]
@@ -130,10 +176,19 @@ impl Machine {
         self.faults_injected
     }
 
-    /// Apply every fault the plan schedules for this `(tile, cycle)` point.
-    fn inject_faults(&mut self, tile: usize, cycle: u64) {
+    /// Temporal (gray) faults executed so far: stalls served, slowdowns
+    /// applied, wedges entered.
+    #[must_use]
+    pub fn temporal_injected(&self) -> u64 {
+        self.temporal_injected
+    }
+
+    /// Apply every structural fault the plan schedules for this `(tile,
+    /// cycle)` point; temporal faults are returned for the cycle loop to
+    /// execute (they alter control flow, not state).
+    fn inject_faults(&mut self, tile: usize, cycle: u64) -> Vec<TemporalFault> {
         let sites = match &self.fault_plan {
-            None => return,
+            None => return Vec::new(),
             Some(plan) => {
                 let dims = FaultDims {
                     rows: self.spec.rows,
@@ -146,11 +201,15 @@ impl Machine {
                 plan.sites_at(self.runs, tile, cycle, &dims)
             }
         };
+        let mut temporal = Vec::new();
         for site in sites {
-            if self.apply_fault(site) {
+            if let FaultSite::Temporal(t) = site {
+                temporal.push(t);
+            } else if self.apply_fault(site) {
                 self.faults_injected += 1;
             }
         }
+        temporal
     }
 
     /// Flip the bits a fault site names. Returns whether anything changed.
@@ -181,6 +240,9 @@ impl Machine {
                 pe.set_out(pe.out() ^ (1 << (bit % Word::BITS)));
                 true
             }
+            // Temporal faults never reach here — `inject_faults` routes
+            // them to the cycle loop.
+            FaultSite::Temporal(_) => false,
         }
     }
 
@@ -280,6 +342,9 @@ impl Machine {
         mut trace: Option<&mut Trace>,
     ) -> Result<BlockResult, SimError> {
         self.runs += 1;
+        // Block-boundary cancellation check: a run cancelled before it
+        // starts never touches the memories.
+        check_liveness(self.cancel.as_ref(), None, 0).map_err(|cause| SimError::new(&program.label, 0, 0, cause))?;
         let dma_in_cycles = self.load_block(program)?;
         let (rows, cols) = (self.spec.rows, self.spec.cols);
         let mapping: &dyn TileMapping = program.mapping.as_ref();
@@ -311,10 +376,42 @@ impl Machine {
             // Run one tile.
             let mut clock = TileClock::start();
             let mut remaining = mapping.phase_len(0).expect("tile has at least one phase");
+            // Cycle-cost multiplier from slowdown faults; the largest
+            // concurrent factor wins and it clears at the tile boundary.
+            let mut slow_factor: u64 = 1;
             let err = |cycle: u64, cause: SimCause| SimError::new(&program.label, tile_index, cycle, cause);
             loop {
+                check_liveness(self.cancel.as_ref(), self.cycle_budget, compute_cycles)
+                    .map_err(|cause| err(clock.t_cycle, cause))?;
                 if self.fault_plan.is_some() {
-                    self.inject_faults(tile_index, clock.t_cycle);
+                    for fault in self.inject_faults(tile_index, clock.t_cycle) {
+                        self.temporal_injected += 1;
+                        match fault {
+                            TemporalFault::Stall { cycles } => {
+                                for burned in 0..cycles {
+                                    compute_cycles += 1;
+                                    check_liveness(self.cancel.as_ref(), self.cycle_budget, compute_cycles)
+                                        .map_err(|cause| err(clock.t_cycle, cause))?;
+                                    if burned % 1024 == 1023 {
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                            TemporalFault::Slowdown { factor } => {
+                                slow_factor = slow_factor.max(u64::from(factor));
+                            }
+                            TemporalFault::Wedge => loop {
+                                // No simulated progress: only cancellation
+                                // or the cycle budget breaks a wedge. With
+                                // neither installed this parks forever —
+                                // precisely the gray failure being modelled.
+                                compute_cycles += 1;
+                                check_liveness(self.cancel.as_ref(), self.cycle_budget, compute_cycles)
+                                    .map_err(|cause| err(clock.t_cycle, cause))?;
+                                std::thread::sleep(WEDGE_PACE);
+                            },
+                        }
+                    }
                 }
                 self.hmem.begin_cycle();
                 self.vmem.begin_cycle();
@@ -461,7 +558,7 @@ impl Machine {
                     });
                 }
 
-                compute_cycles += 1;
+                compute_cycles += slow_factor;
 
                 // Advance the controller counters.
                 remaining -= 1;
@@ -508,6 +605,24 @@ impl Machine {
             ofm,
         })
     }
+}
+
+/// The per-cycle liveness gate: cancelled token first (a preempted run
+/// must report `Cancelled` even if it also blew its budget), then the
+/// compute-cycle budget.
+#[inline]
+fn check_liveness(cancel: Option<&CancelToken>, budget: Option<u64>, spent: u64) -> Result<(), SimCause> {
+    if let Some(token) = cancel {
+        if token.is_cancelled() {
+            return Err(SimCause::Cancelled);
+        }
+    }
+    if let Some(budget) = budget {
+        if spent > budget {
+            return Err(SimCause::CycleBudgetExceeded { budget });
+        }
+    }
+    Ok(())
 }
 
 /// Flip one stored bit via the untimed access path (fault injection does
@@ -595,6 +710,136 @@ mod tests {
             assert_eq!(oracle.compute_cycles, encoded.compute_cycles);
             assert_eq!(oracle.mac_ops, encoded.mac_ops);
         }
+    }
+
+    #[test]
+    fn stall_fault_inflates_cycles_but_not_values() {
+        let spec = CgraSpec::np_cgra(4, 4);
+        let layer = ConvLayer::pointwise("pw", 8, 8, 4, 4);
+        let map = PwcLayerMap::new(&layer, &spec).unwrap();
+        let ifm = Tensor::random(8, 4, 4, 1);
+        let w = layer.random_weights(2);
+        let prog = map.materialize(0, &ifm, &w);
+        let clean = Machine::new(&spec).run_block(&prog).unwrap();
+
+        let prog2 = map.materialize(0, &ifm, &w);
+        let mut m = Machine::new(&spec);
+        m.set_fault_plan(Some(FaultPlan::explicit(vec![crate::fault::Fault {
+            tile: 0,
+            cycle: 2,
+            site: FaultSite::Temporal(TemporalFault::Stall { cycles: 37 }),
+        }])));
+        let stalled = m.run_block(&prog2).unwrap();
+        assert_eq!(stalled.ofm, clean.ofm, "a stall loses time, not data");
+        assert_eq!(stalled.compute_cycles, clean.compute_cycles + 37);
+        assert_eq!(m.temporal_injected(), 1);
+        assert_eq!(m.faults_injected(), 0, "temporal faults are not value faults");
+    }
+
+    #[test]
+    fn slowdown_fault_multiplies_remaining_tile_cycles() {
+        let spec = CgraSpec::np_cgra(4, 4);
+        let layer = ConvLayer::pointwise("pw", 8, 8, 1, 4);
+        let map = PwcLayerMap::new(&layer, &spec).unwrap();
+        let ifm = Tensor::random(8, 1, 4, 1);
+        let w = layer.random_weights(2);
+        let prog = map.materialize(0, &ifm, &w);
+        let clean = Machine::new(&spec).run_block(&prog).unwrap();
+
+        let prog2 = map.materialize(0, &ifm, &w);
+        let mut m = Machine::new(&spec);
+        m.set_fault_plan(Some(FaultPlan::explicit(vec![crate::fault::Fault {
+            tile: 0,
+            cycle: 0,
+            site: FaultSite::Temporal(TemporalFault::Slowdown { factor: 3 }),
+        }])));
+        let slowed = m.run_block(&prog2).unwrap();
+        assert_eq!(slowed.ofm, clean.ofm, "a slowdown loses time, not data");
+        assert!(
+            slowed.compute_cycles > clean.compute_cycles,
+            "slowdown must inflate cycles ({} vs {})",
+            slowed.compute_cycles,
+            clean.compute_cycles
+        );
+    }
+
+    #[test]
+    fn cycle_budget_breaks_a_wedge_with_a_typed_error() {
+        let spec = CgraSpec::np_cgra(4, 4);
+        let layer = ConvLayer::pointwise("pw", 8, 8, 4, 4);
+        let map = PwcLayerMap::new(&layer, &spec).unwrap();
+        let ifm = Tensor::random(8, 4, 4, 1);
+        let w = layer.random_weights(2);
+        let prog = map.materialize(0, &ifm, &w);
+        let mut m = Machine::new(&spec);
+        m.set_fault_plan(Some(FaultPlan::explicit(vec![crate::fault::Fault {
+            tile: 0,
+            cycle: 1,
+            site: FaultSite::Temporal(TemporalFault::Wedge),
+        }])));
+        m.set_cycle_budget(Some(64));
+        let err = m.run_block(&prog).unwrap_err();
+        assert_eq!(err.cause, SimCause::CycleBudgetExceeded { budget: 64 });
+    }
+
+    #[test]
+    fn cancel_token_breaks_a_wedge() {
+        let spec = CgraSpec::np_cgra(4, 4);
+        let layer = ConvLayer::pointwise("pw", 8, 8, 4, 4);
+        let map = PwcLayerMap::new(&layer, &spec).unwrap();
+        let ifm = Tensor::random(8, 4, 4, 1);
+        let w = layer.random_weights(2);
+        let prog = map.materialize(0, &ifm, &w);
+        let mut m = Machine::new(&spec);
+        m.set_fault_plan(Some(FaultPlan::explicit(vec![crate::fault::Fault {
+            tile: 0,
+            cycle: 1,
+            site: FaultSite::Temporal(TemporalFault::Wedge),
+        }])));
+        let token = crate::CancelToken::new();
+        m.set_cancel_token(Some(token.clone()));
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            token.cancel();
+        });
+        let err = m.run_block(&prog).unwrap_err();
+        canceller.join().unwrap();
+        assert_eq!(err.cause, SimCause::Cancelled);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_run_at_the_block_boundary() {
+        let spec = CgraSpec::np_cgra(4, 4);
+        let layer = ConvLayer::pointwise("pw", 8, 8, 4, 4);
+        let map = PwcLayerMap::new(&layer, &spec).unwrap();
+        let ifm = Tensor::random(8, 4, 4, 1);
+        let w = layer.random_weights(2);
+        let prog = map.materialize(0, &ifm, &w);
+        let mut m = Machine::new(&spec);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        m.set_cancel_token(Some(token));
+        let err = m.run_block(&prog).unwrap_err();
+        assert_eq!(err.cause, SimCause::Cancelled);
+        assert_eq!(err.cycle, 0, "rejected before any cycle executed");
+    }
+
+    #[test]
+    fn ample_budget_and_fresh_token_change_nothing() {
+        let spec = CgraSpec::np_cgra(4, 4);
+        let layer = ConvLayer::pointwise("pw", 8, 8, 4, 4);
+        let map = PwcLayerMap::new(&layer, &spec).unwrap();
+        let ifm = Tensor::random(8, 4, 4, 1);
+        let w = layer.random_weights(2);
+        let prog = map.materialize(0, &ifm, &w);
+        let clean = Machine::new(&spec).run_block(&prog).unwrap();
+        let prog2 = map.materialize(0, &ifm, &w);
+        let mut m = Machine::new(&spec);
+        m.set_cancel_token(Some(crate::CancelToken::new()));
+        m.set_cycle_budget(Some(clean.compute_cycles));
+        let guarded = m.run_block(&prog2).unwrap();
+        assert_eq!(guarded.ofm, clean.ofm);
+        assert_eq!(guarded.compute_cycles, clean.compute_cycles);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Property tests for [`FaultPlan`]: the fault schedule — bit flips *and*
+//! temporal (gray) faults — must be a pure function of
+//! `(seed, run, tile, cycle, dims)`. Purity is what makes a whole chaos
+//! soak reproducible from one seed, and what lets a *retry* of a
+//! preempted batch trust that it sees the plan, not leftover state.
+
+use npcgra_sim::{FaultDims, FaultPlan, FaultSite, GrayRates, TemporalFault};
+use proptest::prelude::*;
+
+fn dims_strategy() -> impl Strategy<Value = FaultDims> {
+    (1usize..8, 1usize..8, 1usize..8, 1usize..128, 1usize..8, 1usize..128).prop_map(
+        |(rows, cols, h_banks, h_words, v_banks, v_words)| FaultDims {
+            rows,
+            cols,
+            h_banks,
+            h_words,
+            v_banks,
+            v_words,
+        },
+    )
+}
+
+/// The vendored proptest has no `f64` range strategy; sample per-mille.
+fn rate_strategy() -> impl Strategy<Value = f64> {
+    #[allow(clippy::cast_precision_loss)]
+    (0u32..500).prop_map(|p| f64::from(p) / 1000.0)
+}
+
+fn gray_rates() -> impl Strategy<Value = GrayRates> {
+    (rate_strategy(), 1u64..512, 2u32..32).prop_map(|(rate, stall_cycles, slowdown_factor)| GrayRates {
+        rate,
+        stall_cycles,
+        slowdown_factor,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same `(seed, run, tile, cycle, dims)`, same sites — across repeated
+    /// calls, plan clones, and a freshly constructed identical plan.
+    #[test]
+    fn bernoulli_sites_are_pure(
+        seed in any::<u64>(),
+        rate in rate_strategy(),
+        run in 0u64..64,
+        tile in 0usize..64,
+        cycle in 0u64..4096,
+        dims in dims_strategy(),
+    ) {
+        let plan = FaultPlan::bernoulli(seed, rate);
+        let first = plan.sites_at(run, tile, cycle, &dims);
+        prop_assert_eq!(&first, &plan.sites_at(run, tile, cycle, &dims), "repeat call");
+        prop_assert_eq!(&first, &plan.clone().sites_at(run, tile, cycle, &dims), "clone");
+        let rebuilt = FaultPlan::bernoulli(seed, rate);
+        prop_assert_eq!(&first, &rebuilt.sites_at(run, tile, cycle, &dims), "rebuilt plan");
+    }
+
+    /// Gray plans (temporal faults included) are equally pure, and every
+    /// drawn temporal fault carries exactly the configured parameters.
+    #[test]
+    fn gray_sites_are_pure_and_well_formed(
+        seed in any::<u64>(),
+        flip_rate in rate_strategy(),
+        rates in gray_rates(),
+        run in 0u64..64,
+        tile in 0usize..64,
+        cycle in 0u64..4096,
+        dims in dims_strategy(),
+    ) {
+        let plan = FaultPlan::gray(seed, flip_rate, rates);
+        let first = plan.sites_at(run, tile, cycle, &dims);
+        prop_assert_eq!(&first, &plan.sites_at(run, tile, cycle, &dims), "repeat call");
+        prop_assert_eq!(&first, &plan.clone().sites_at(run, tile, cycle, &dims), "clone");
+        let rebuilt = FaultPlan::gray(seed, flip_rate, rates);
+        prop_assert_eq!(&first, &rebuilt.sites_at(run, tile, cycle, &dims), "rebuilt plan");
+        for site in first {
+            if let FaultSite::Temporal(t) = site {
+                match t {
+                    TemporalFault::Stall { cycles } => prop_assert_eq!(cycles, rates.stall_cycles.max(1)),
+                    TemporalFault::Slowdown { factor } => prop_assert_eq!(factor, rates.slowdown_factor.max(2)),
+                    TemporalFault::Wedge => {}
+                }
+            }
+        }
+    }
+
+    /// Any single coordinate change is an independent draw: purity means
+    /// determinism in the inputs, not a constant schedule. (Statistical:
+    /// at a high temporal rate, *some* nearby point must differ.)
+    #[test]
+    fn gray_draws_depend_on_the_point(
+        seed in any::<u64>(),
+        run in 0u64..16,
+        tile in 0usize..16,
+    ) {
+        let rates = GrayRates { rate: 0.9, stall_cycles: 7, slowdown_factor: 3 };
+        let plan = FaultPlan::gray(seed, 0.0, rates);
+        let d = FaultDims { rows: 4, cols: 4, h_banks: 4, h_words: 64, v_banks: 4, v_words: 64 };
+        let base: Vec<_> = (0..64).map(|c| plan.sites_at(run, tile, c, &d)).collect();
+        let other_run: Vec<_> = (0..64).map(|c| plan.sites_at(run + 1, tile, c, &d)).collect();
+        // The run ordinal must enter the hash: a retry sees a fresh draw.
+        prop_assert_ne!(base, other_run);
+    }
+
+    /// `FaultPlan::none` is the identity schedule everywhere.
+    #[test]
+    fn none_plan_is_empty_everywhere(
+        run in 0u64..256,
+        tile in 0usize..256,
+        cycle in 0u64..65536,
+        dims in dims_strategy(),
+    ) {
+        prop_assert!(FaultPlan::none().sites_at(run, tile, cycle, &dims).is_empty());
+    }
+}

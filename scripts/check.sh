@@ -58,6 +58,14 @@ cargo run --release -q -p npcgra-cli -- chaos-bench \
   --machine 4x4 --workers 4 --clients 8 --seconds 8 \
   --fault-rate 5e-4 --assert-detection >/dev/null
 
+echo "== gray soak (wedges/stalls/slowdowns must be preempted and recovered) =="
+cargo run --release -q -p npcgra-cli -- chaos-bench --gray \
+  --workers 4 --clients 6 --seconds 4 --assert-liveness >/dev/null
+
+echo "== gray control (armed watchdog must never preempt a healthy fleet) =="
+cargo run --release -q -p npcgra-cli -- chaos-bench --gray \
+  --gray-rate 0 --workers 4 --clients 6 --seconds 2 --assert-liveness >/dev/null
+
 echo "== overload soak (2x capacity; admitted Interactive must hold its SLO) =="
 cargo run --release -q -p npcgra-cli -- chaos-bench --overload \
   --machine 4x4 --workers 4 --clients 8 --seconds 4 --assert-slo >/dev/null
