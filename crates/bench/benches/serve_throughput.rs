@@ -12,8 +12,8 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use npcgra::nn::{ConvLayer, Tensor};
-use npcgra::serve::{ServeConfig, Server};
+use npcgra::nn::{mobilenet_v1, ConvKind, ConvLayer, Tensor};
+use npcgra::serve::{BackendTier, ServeConfig, Server};
 use npcgra_bench::spec_4x4;
 
 const REQUESTS: usize = 24;
@@ -82,5 +82,79 @@ fn bench_batch_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(serve_throughput, bench_worker_scaling, bench_batch_scaling);
+/// Push a fixed closed-loop workload of MobileNet V1 DWC + PWC requests
+/// through a server on the given tier; returns completed requests.
+fn drive_tiered(config: ServeConfig, dw: &ConvLayer, pw: &ConvLayer, requests: usize) -> u64 {
+    let server = Server::start(config);
+    let dw_id = server
+        .register("mbv1.dw", dw.clone(), dw.random_weights(1))
+        .expect("register dw");
+    let pw_id = server
+        .register("mbv1.pw", pw.clone(), pw.random_weights(2))
+        .expect("register pw");
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let server = &server;
+            scope.spawn(move || {
+                for r in 0..requests / CLIENTS {
+                    let (id, layer) = if r % 2 == 0 { (dw_id, dw) } else { (pw_id, pw) };
+                    let input = Tensor::random(layer.in_channels(), layer.in_h(), layer.in_w(), (c * 100 + r) as u64);
+                    let ticket = server.submit(id, input).expect("submit");
+                    ticket.wait().expect("response");
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, requests as u64);
+    stats.completed
+}
+
+/// The tiered-execution headline: the same MobileNet V1 depthwise and
+/// pointwise workload on the cycle-accurate tier versus the functional
+/// fast tier. The fast tier charges cycles from the closed-form latency
+/// models instead of stepping the machine, so its inferences/sec should be
+/// an order of magnitude higher while every reply stays bit-exact.
+fn bench_tier_comparison(c: &mut Criterion) {
+    // Full-width MobileNet V1; the heaviest DWC and PWC layers, so the
+    // cycle-accurate tier's cost is dominated by simulation rather than by
+    // batching overhead (which both tiers pay identically).
+    let model = mobilenet_v1(1.0, 32);
+    let dw = model
+        .dsc_layers()
+        .filter(|l| l.kind() == ConvKind::Depthwise)
+        .max_by_key(|l| l.macs())
+        .expect("MobileNet V1 has a depthwise layer")
+        .clone();
+    let pw = model
+        .dsc_layers()
+        .filter(|l| l.kind() == ConvKind::Pointwise)
+        .max_by_key(|l| l.macs())
+        .expect("MobileNet V1 has a pointwise layer")
+        .clone();
+    let requests = 16;
+    let mut g = c.benchmark_group("serve/tier");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.throughput(Throughput::Elements(requests as u64));
+    for tier in BackendTier::ALL {
+        let config = ServeConfig::for_spec(&spec_4x4())
+            .with_workers(2)
+            .with_max_batch(4)
+            .with_max_linger(Duration::from_micros(200))
+            .with_backend_tier(tier)
+            .with_cross_check_interval(8);
+        g.bench_function(tier.as_str(), |b| {
+            b.iter(|| black_box(drive_tiered(config, &dw, &pw, requests)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    serve_throughput,
+    bench_worker_scaling,
+    bench_batch_scaling,
+    bench_tier_comparison
+);
 criterion_main!(serve_throughput);

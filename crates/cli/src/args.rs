@@ -1,7 +1,7 @@
 //! Tiny flag parser shared by the subcommands (no external dependencies).
 
 use npcgra::nn::Activation;
-use npcgra::sim::MappingKind;
+use npcgra::sim::{BackendTier, MappingKind};
 use npcgra::{CgraSpec, ConvLayer};
 
 /// Parsed `--flag value` pairs.
@@ -83,6 +83,15 @@ impl Flags {
             Ok(Activation::LeakyRelu { shift })
         } else {
             Ok(Activation::None)
+        }
+    }
+
+    /// The execution tier from `--tier` (default: the cycle-accurate
+    /// golden tier, so untouched invocations behave exactly as before).
+    pub fn tier(&self) -> Result<BackendTier, String> {
+        match self.get("tier") {
+            None => Ok(BackendTier::CycleAccurate),
+            Some(v) => v.parse().map_err(|e: String| format!("--tier: {e}")),
         }
     }
 
@@ -171,6 +180,14 @@ mod tests {
         assert_eq!(flags("--mapping batched").mapping().unwrap(), MappingKind::BatchedDwcS1);
         assert_eq!(flags("").mapping().unwrap(), MappingKind::Auto);
         assert!(flags("--mapping bogus").mapping().is_err());
+    }
+
+    #[test]
+    fn tier_flag() {
+        assert_eq!(flags("").tier().unwrap(), BackendTier::CycleAccurate);
+        assert_eq!(flags("--tier fast").tier().unwrap(), BackendTier::Fast);
+        assert_eq!(flags("--tier cycle-accurate").tier().unwrap(), BackendTier::CycleAccurate);
+        assert!(flags("--tier warp").tier().is_err());
     }
 
     #[test]

@@ -44,6 +44,14 @@
 //! (no silent drops), and every reply — hedge winners included — is
 //! bit-exact against the golden host reference.
 //!
+//! Every soak accepts `--tier cycle-accurate|fast` selecting the shards'
+//! execution backend. On the fast tier the same fault plans flip bits in
+//! (and wedge/stall/slow) the functional executor, so `--assert-detection`
+//! additionally proves the ABFT layer catches corruption without the
+//! cycle-accurate machinery underneath — and the per-shard golden
+//! cross-check replays served batches on a scratch cycle-accurate machine
+//! as a second line of defense.
+//!
 //! [`Ticket::wait_timeout`]: npcgra::serve::Ticket::wait_timeout
 //! [`CancelToken`]: npcgra::sim::CancelToken
 
@@ -82,6 +90,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let wait_ms: u64 = parse_or(&flags, "wait-ms", 250)?;
     let assert_detection = flags.has("assert-detection");
     let canary_every: u64 = parse_or(&flags, "canary-every", if assert_detection { 32 } else { 0 })?;
+    let tier = flags.tier()?;
     let which = flags.get("model").unwrap_or("mixed");
     let panic_worker: Option<usize> = match flags.get("panic-worker") {
         None => None,
@@ -106,6 +115,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         .with_max_batch(max_batch)
         .with_max_linger(Duration::from_micros(linger_us))
         .with_canary_interval(canary_every)
+        .with_backend_tier(tier)
         .with_chaos(chaos);
 
     let model_tables = build_models(which, alpha, res)?;
@@ -115,7 +125,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let server = Server::start(config);
     let (endpoints, goldens) = register_endpoints(&server, &model_tables)?;
     println!(
-        "chaos-bench: {} models, {} shard(s) of a {}x{} machine, {} clients for {seconds:.1}s, \
+        "chaos-bench [{tier}]: {} models, {} shard(s) of a {}x{} machine, {} clients for {seconds:.1}s, \
          fault rate {fault_rate:e} (seed {fault_seed:#x}), panic worker {panic_worker:?}",
         endpoints.len(),
         workers,
@@ -278,6 +288,7 @@ fn run_gray(flags: &Flags) -> Result<(), String> {
     let res: usize = parse_or(flags, "res", 32)?;
     let wait_ms: u64 = parse_or(flags, "wait-ms", 250)?;
     let assert_liveness = flags.has("assert-liveness");
+    let tier = flags.tier()?;
     let which = flags.get("model").unwrap_or("mixed");
     if workers == 0 {
         return Err("--gray needs at least one worker".to_string());
@@ -312,6 +323,7 @@ fn run_gray(flags: &Flags) -> Result<(), String> {
         .with_restart_backoff(Duration::from_micros(100))
         .with_watchdog_slack(watchdog_slack)
         .with_cycle_budget(cycle_budget)
+        .with_backend_tier(tier)
         .with_chaos(chaos);
 
     let model_tables = build_models(which, alpha, res)?;
@@ -319,7 +331,7 @@ fn run_gray(flags: &Flags) -> Result<(), String> {
     let server = Server::start(config);
     let (endpoints, goldens) = register_endpoints(&server, &model_tables)?;
     println!(
-        "chaos-bench --gray: {} models, {} shard(s) of a {}x{} machine, {} clients for {seconds:.1}s; \
+        "chaos-bench --gray [{tier}]: {} models, {} shard(s) of a {}x{} machine, {} clients for {seconds:.1}s; \
          gray rate {gray_rate} (seed {fault_seed:#x}), stall {stall_cycles} cycles, slowdown {slowdown_factor}x, \
          watchdog slack {watchdog_slack}x, cycle budget {cycle_budget}x",
         endpoints.len(),
@@ -462,6 +474,7 @@ fn run_overload(flags: &Flags) -> Result<(), String> {
     let res: usize = parse_or(flags, "res", 32)?;
     let wait_ms: u64 = parse_or(flags, "wait-ms", 250)?;
     let assert_slo = flags.has("assert-slo");
+    let tier = flags.tier()?;
     let which = flags.get("model").unwrap_or("mixed");
     if workers == 0 || clients == 0 {
         return Err("--overload needs at least one worker and one client".to_string());
@@ -484,13 +497,14 @@ fn run_overload(flags: &Flags) -> Result<(), String> {
         .with_workers(workers)
         .with_max_batch(max_batch)
         .with_max_linger(Duration::from_micros(linger_us))
+        .with_backend_tier(tier)
         .with_overload(overload);
 
     let server = Server::start(config);
     let tables = build_models(which, alpha, res)?;
     let (endpoints, goldens) = register_endpoints(&server, &tables)?;
     println!(
-        "chaos-bench --overload: {} models, {} shard(s) of a {}x{} machine; calibrating capacity \
+        "chaos-bench --overload [{tier}]: {} models, {} shard(s) of a {}x{} machine; calibrating capacity \
          closed-loop with {clients} clients for {calib_seconds:.1}s",
         endpoints.len(),
         workers,

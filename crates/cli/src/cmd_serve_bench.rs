@@ -5,9 +5,16 @@
 //! the next request) against a worker-shard server and prints the serving
 //! statistics: throughput, p50/p95/p99 latency, batch-size histogram,
 //! program-cache hit rate and per-worker utilization.
+//!
+//! `--tier cycle-accurate|fast|both` selects the execution backend; `both`
+//! drives the identical workload once per tier so the tiers' throughput
+//! can be compared directly. `--emit-json <path>` writes the results as a
+//! machine-readable benchmark record (inferences/sec, p50/p99 latency,
+//! per-tier cycle totals, and the fast-over-cycle speedup when both tiers
+//! ran).
 
 use npcgra::nn::{models, Tensor};
-use npcgra::serve::{ModelId, ServeConfig, ServeError, Server};
+use npcgra::serve::{BackendTier, ModelId, ServeConfig, ServeError, Server, StatsSnapshot};
 
 use crate::args::Flags;
 
@@ -22,16 +29,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let alpha: f64 = parse_or(&flags, "alpha", 0.25)?;
     let res: usize = parse_or(&flags, "res", 32)?;
     let deadline_ms: u64 = parse_or(&flags, "deadline-ms", 0)?;
+    // Much tighter than the serving default (32): bench runs are a few
+    // dozen batches per shard, and the record should prove the fast tier
+    // survived real cross-checks.
+    let cross_check_every: u64 = parse_or(&flags, "cross-check-every", 4)?;
     let which = flags.get("model").unwrap_or("mixed");
+    let tiers: Vec<BackendTier> = match flags.get("tier").unwrap_or("cycle-accurate") {
+        "both" => BackendTier::ALL.to_vec(),
+        one => vec![one.parse().map_err(|e: String| format!("--tier: {e} (or 'both')"))?],
+    };
+    let emit_json = flags.get("emit-json").map(String::from);
     if res == 0 || !res.is_multiple_of(32) {
         return Err(format!("--res must be a positive multiple of 32, got {res}"));
     }
-
-    let config = ServeConfig::for_spec(&spec)
-        .with_workers(workers)
-        .with_max_batch(max_batch)
-        .with_max_linger(std::time::Duration::from_micros(linger_us))
-        .with_default_deadline((deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)));
 
     let mut model_tables = Vec::new();
     match which {
@@ -44,7 +54,51 @@ pub fn run(args: &[String]) -> Result<(), String> {
         other => return Err(format!("--model must be v1|v2|mixed, got '{other}'")),
     }
 
-    let server = Server::start(config);
+    let mut results: Vec<(BackendTier, StatsSnapshot)> = Vec::new();
+    for &tier in &tiers {
+        let config = ServeConfig::for_spec(&spec)
+            .with_workers(workers)
+            .with_max_batch(max_batch)
+            .with_max_linger(std::time::Duration::from_micros(linger_us))
+            .with_default_deadline((deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)))
+            .with_backend_tier(tier)
+            .with_cross_check_interval(cross_check_every);
+        let stats = drive_workload(&config, &model_tables, &spec, tier, workers, clients, requests)?;
+        println!("{stats}");
+        results.push((tier, stats));
+    }
+
+    if let [(_, cycle), (_, fast)] = &results[..] {
+        if cycle.throughput_rps > 0.0 {
+            println!(
+                "tier speedup: fast serves {:.1} inf/s vs cycle-accurate {:.1} inf/s ({:.1}x)",
+                fast.throughput_rps,
+                cycle.throughput_rps,
+                fast.throughput_rps / cycle.throughput_rps,
+            );
+        }
+    }
+
+    if let Some(path) = emit_json {
+        let json = render_json(&spec, workers, clients, requests, &results);
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("serve-bench: wrote {path}");
+    }
+    Ok(())
+}
+
+/// Run the closed-loop workload against one freshly started server and
+/// return its final statistics.
+fn drive_workload(
+    config: &ServeConfig,
+    model_tables: &[models::Model],
+    spec: &npcgra::CgraSpec,
+    tier: BackendTier,
+    workers: usize,
+    clients: usize,
+    requests: usize,
+) -> Result<StatsSnapshot, String> {
+    let server = Server::start(*config);
     let mut endpoints: Vec<ModelId> = Vec::new();
     for (mi, model) in model_tables.iter().enumerate() {
         for layer in model.dsc_layers() {
@@ -57,7 +111,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
     }
     println!(
-        "serve-bench: {} models over {} worker shard(s) of a {}x{} machine, {} closed-loop clients, {} requests",
+        "serve-bench [{tier}]: {} models over {} worker shard(s) of a {}x{} machine, {} closed-loop clients, {} requests",
         endpoints.len(),
         workers,
         spec.rows,
@@ -98,9 +152,78 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
     });
 
-    let stats = server.shutdown();
-    println!("{stats}");
-    Ok(())
+    Ok(server.shutdown())
+}
+
+/// Hand-rendered benchmark record (the workspace carries no JSON
+/// dependency): one entry per tier driven, plus the speedup when both ran.
+fn render_json(
+    spec: &npcgra::CgraSpec,
+    workers: usize,
+    clients: usize,
+    requests: usize,
+    results: &[(BackendTier, StatsSnapshot)],
+) -> String {
+    let tiers: Vec<String> = results
+        .iter()
+        .map(|(tier, s)| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"tier\": \"{}\",\n",
+                    "      \"inferences_per_sec\": {:.3},\n",
+                    "      \"p50_ms\": {:.6},\n",
+                    "      \"p99_ms\": {:.6},\n",
+                    "      \"completed\": {},\n",
+                    "      \"failed\": {},\n",
+                    "      \"elapsed_sec\": {:.6},\n",
+                    "      \"cycles_charged\": {{ \"cycle_accurate\": {}, \"fast\": {} }},\n",
+                    "      \"cross_checks\": {},\n",
+                    "      \"cross_check_divergences\": {}\n",
+                    "    }}"
+                ),
+                tier,
+                s.throughput_rps,
+                s.p50.as_secs_f64() * 1e3,
+                s.p99.as_secs_f64() * 1e3,
+                s.completed,
+                s.failed,
+                s.elapsed.as_secs_f64(),
+                s.cycles_charged[BackendTier::CycleAccurate.index()],
+                s.cycles_charged[BackendTier::Fast.index()],
+                s.cross_checks,
+                s.cross_check_failed,
+            )
+        })
+        .collect();
+    let speedup = match results {
+        [(_, cycle), (_, fast)] if cycle.throughput_rps > 0.0 => {
+            format!(
+                ",\n  \"speedup_fast_over_cycle\": {:.3}",
+                fast.throughput_rps / cycle.throughput_rps
+            )
+        }
+        _ => String::new(),
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"machine\": \"{}x{}\",\n",
+            "  \"workers\": {},\n",
+            "  \"clients\": {},\n",
+            "  \"requests_per_tier\": {},\n",
+            "  \"tiers\": [\n{}\n  ]{}\n",
+            "}}\n"
+        ),
+        spec.rows,
+        spec.cols,
+        workers,
+        clients,
+        requests,
+        tiers.join(",\n"),
+        speedup,
+    )
 }
 
 /// A deterministic random input matching the model's IFM shape.

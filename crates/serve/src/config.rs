@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use npcgra_arch::CgraSpec;
 use npcgra_nn::Word;
-use npcgra_sim::IntegrityMode;
+use npcgra_sim::{BackendTier, IntegrityMode};
 
 use crate::overload::CLASSES;
 
@@ -178,6 +178,18 @@ pub struct ServeConfig {
     /// predicted cycles, preemptions, canary/breaker state) that steers
     /// hedge-target selection toward the healthiest shard.
     pub health_ewma_alpha: f64,
+    /// Which execution tier each worker shard runs
+    /// ([`BackendTier::CycleAccurate`] by default, so untouched
+    /// configurations behave exactly as before tiers existed;
+    /// [`BackendTier::Fast`] charges cycles from the closed-form latency
+    /// models instead of simulating them — see
+    /// [`npcgra_sim::exec`]).
+    pub backend_tier: BackendTier,
+    /// Under [`BackendTier::Fast`], replay one recent fast-tier batch on a
+    /// scratch cycle-accurate machine every this-many batches per shard;
+    /// *any* divergence (output bits or charged cycles) quarantines the
+    /// shard. `0` disables cross-checking. Ignored on the cycle tier.
+    pub cross_check_interval: u64,
     /// Deliberate failure injection (off by default).
     pub chaos: ChaosConfig,
 }
@@ -202,6 +214,8 @@ impl Default for ServeConfig {
             watchdog_slack: 0.0,
             cycle_budget: 0.0,
             health_ewma_alpha: 0.2,
+            backend_tier: BackendTier::CycleAccurate,
+            cross_check_interval: 32,
             chaos: ChaosConfig::default(),
         }
     }
@@ -343,6 +357,20 @@ impl ServeConfig {
         self.chaos = chaos;
         self
     }
+
+    /// Select the execution tier worker shards run on.
+    #[must_use]
+    pub fn with_backend_tier(mut self, tier: BackendTier) -> Self {
+        self.backend_tier = tier;
+        self
+    }
+
+    /// Set the fast-tier cross-check interval in batches (`0` = off).
+    #[must_use]
+    pub fn with_cross_check_interval(mut self, interval: u64) -> Self {
+        self.cross_check_interval = interval;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +470,19 @@ mod tests {
         let c = ServeConfig::default();
         assert_eq!(c.integrity, IntegrityMode::Verify);
         assert_eq!(c.canary_interval, 0);
+    }
+
+    #[test]
+    fn backend_tier_defaults_to_cycle_accurate_and_composes() {
+        let c = ServeConfig::default();
+        assert_eq!(c.backend_tier, BackendTier::CycleAccurate, "untouched configs stay golden");
+        assert!(
+            c.cross_check_interval > 0,
+            "cross-checking defaults armed for fast-tier users"
+        );
+        let c = c.with_backend_tier(BackendTier::Fast).with_cross_check_interval(7);
+        assert_eq!(c.backend_tier, BackendTier::Fast);
+        assert_eq!(c.cross_check_interval, 7);
     }
 
     #[test]

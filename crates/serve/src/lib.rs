@@ -81,7 +81,7 @@ pub(crate) mod watchdog;
 pub use cache::ProgramCache;
 pub use config::{ChaosConfig, OverloadConfig, ServeConfig};
 pub use error::ServeError;
-pub use npcgra_sim::IntegrityMode;
+pub use npcgra_sim::{BackendTier, IntegrityMode};
 pub use overload::{BreakerState, BrownoutLevel, Priority};
 pub use server::{ModelId, Response, Server, Ticket};
 pub use stats::{StatsSnapshot, WorkerExit};

@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
+use npcgra_sim::BackendTier;
+
 use crate::overload::{BreakerState, BrownoutLevel, CLASSES};
 
 /// How a worker shard's thread ended, reported by
@@ -112,10 +114,21 @@ pub(crate) struct Stats {
     /// gross slowdowns pull it toward 0.
     health_score: Vec<AtomicU64>,
     /// Observed wall nanoseconds per predicted compute cycle, as `f64`
-    /// bits — the watchdog's cycles→wall conversion factor.
-    ns_per_cycle_bits: AtomicU64,
-    /// Batch timings folded into the ns-per-cycle estimate so far.
-    calibration_samples: AtomicU64,
+    /// bits — the watchdog's cycles→wall conversion factor. One EWMA per
+    /// backend tier (indexed by [`BackendTier::index`]): the fast tier runs
+    /// orders of magnitude more cycles per wall second, so sharing one
+    /// estimate across a tier switch would arm absurd deadlines and
+    /// preempt honest batches.
+    ns_per_cycle_bits: [AtomicU64; BackendTier::COUNT],
+    /// Batch timings folded into each tier's ns-per-cycle estimate so far.
+    calibration_samples: [AtomicU64; BackendTier::COUNT],
+    /// Compute+DMA cycles charged by successful runs, per backend tier.
+    cycles_charged: [AtomicU64; BackendTier::COUNT],
+    /// Fast-tier batches replayed on a scratch cycle-accurate machine.
+    pub cross_checks: AtomicU64,
+    /// Cross-check replays that diverged (output bits or charged cycles) —
+    /// each retires the shard that produced the fast-tier result.
+    pub cross_check_failed: AtomicU64,
     /// Per-shard death flags, set once when the restart budget runs out.
     shard_dead: Vec<AtomicBool>,
     /// Per-shard breaker state gauge (the [`BreakerState`] dense index).
@@ -164,8 +177,11 @@ impl Stats {
             hedge_losses: AtomicU64::new(0),
             watchdog_preemptions: AtomicU64::new(0),
             health_score: (0..workers).map(|_| AtomicU64::new(HEALTH_SCALE as u64)).collect(),
-            ns_per_cycle_bits: AtomicU64::new(0f64.to_bits()),
-            calibration_samples: AtomicU64::new(0),
+            ns_per_cycle_bits: std::array::from_fn(|_| AtomicU64::new(0f64.to_bits())),
+            calibration_samples: std::array::from_fn(|_| AtomicU64::new(0)),
+            cycles_charged: std::array::from_fn(|_| AtomicU64::new(0)),
+            cross_checks: AtomicU64::new(0),
+            cross_check_failed: AtomicU64::new(0),
             shard_dead: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             breaker_state: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -240,33 +256,41 @@ impl Stats {
         self.shard_dead[worker].store(true, Ordering::Relaxed);
     }
 
-    /// Fold one executed batch's timing into the global ns-per-cycle EWMA
+    /// Fold one executed batch's timing into `tier`'s ns-per-cycle EWMA
     /// that converts predicted compute cycles into a wall-clock deadline.
     /// The update is load-then-store (a lost race drops one sample, which
     /// the EWMA absorbs).
-    pub(crate) fn observe_run_timing(&self, predicted_cycles: u64, wall: Duration, alpha: f64) {
+    pub(crate) fn observe_run_timing(&self, tier: BackendTier, predicted_cycles: u64, wall: Duration, alpha: f64) {
         if predicted_cycles == 0 {
             return;
         }
+        let t = tier.index();
         let obs = wall.as_nanos() as f64 / predicted_cycles as f64;
-        let old = f64::from_bits(self.ns_per_cycle_bits.load(Ordering::Relaxed));
-        let new = if self.calibration_samples.fetch_add(1, Ordering::Relaxed) == 0 {
+        let old = f64::from_bits(self.ns_per_cycle_bits[t].load(Ordering::Relaxed));
+        let new = if self.calibration_samples[t].fetch_add(1, Ordering::Relaxed) == 0 {
             obs
         } else {
             old + alpha * (obs - old)
         };
-        self.ns_per_cycle_bits.store(new.to_bits(), Ordering::Relaxed);
+        self.ns_per_cycle_bits[t].store(new.to_bits(), Ordering::Relaxed);
     }
 
-    /// The calibrated ns-per-cycle estimate, or `None` until enough healthy
-    /// batches have been timed — an unarmed watchdog beats a trigger-happy
-    /// one.
-    pub(crate) fn ns_per_cycle(&self) -> Option<f64> {
-        if self.calibration_samples.load(Ordering::Relaxed) < CALIBRATION_MIN_SAMPLES {
+    /// The calibrated ns-per-cycle estimate for `tier`, or `None` until
+    /// enough healthy batches have been timed on that tier — an unarmed
+    /// watchdog beats a trigger-happy one, and a freshly switched tier
+    /// starts uncalibrated rather than inheriting the other tier's slope.
+    pub(crate) fn ns_per_cycle(&self, tier: BackendTier) -> Option<f64> {
+        let t = tier.index();
+        if self.calibration_samples[t].load(Ordering::Relaxed) < CALIBRATION_MIN_SAMPLES {
             return None;
         }
-        let v = f64::from_bits(self.ns_per_cycle_bits.load(Ordering::Relaxed));
+        let v = f64::from_bits(self.ns_per_cycle_bits[t].load(Ordering::Relaxed));
         (v > 0.0).then_some(v)
+    }
+
+    /// Account the cycles a successful run charged against its tier.
+    pub(crate) fn observe_cycles_charged(&self, tier: BackendTier, cycles: u64) {
+        self.cycles_charged[tier.index()].fetch_add(cycles, Ordering::Relaxed);
     }
 
     /// Fold one health observation (`[0, 1]`: 1.0 = on-time batch, 0.0 =
@@ -371,7 +395,10 @@ impl Stats {
             canary_failed: self.canary_failed.load(Ordering::Relaxed),
             watchdog_preemptions: self.watchdog_preemptions.load(Ordering::Relaxed),
             shard_health_score: (0..self.health_score.len()).map(|w| self.health_score(w)).collect(),
-            ns_per_cycle: self.ns_per_cycle().unwrap_or(0.0),
+            ns_per_cycle: std::array::from_fn(|t| self.ns_per_cycle(BackendTier::ALL[t]).unwrap_or(0.0)),
+            cycles_charged: std::array::from_fn(|t| self.cycles_charged[t].load(Ordering::Relaxed)),
+            cross_checks: self.cross_checks.load(Ordering::Relaxed),
+            cross_check_failed: self.cross_check_failed.load(Ordering::Relaxed),
             shard_health: self.shard_dead.iter().map(|d| !d.load(Ordering::Relaxed)).collect(),
             worker_exits: Vec::new(),
             throughput_rps: if elapsed.as_secs_f64() > 0.0 {
@@ -481,9 +508,18 @@ pub struct StatsSnapshot {
     /// Each shard's health EWMA in `[0, 1]` (1.0 = every batch on time;
     /// preemptions and gross slowdowns pull it down).
     pub shard_health_score: Vec<f64>,
-    /// Calibrated wall nanoseconds per predicted compute cycle, `0.0`
-    /// until enough batches were timed.
-    pub ns_per_cycle: f64,
+    /// Calibrated wall nanoseconds per predicted compute cycle, one slot
+    /// per backend tier (indexed by [`BackendTier::index`]); `0.0` until
+    /// enough batches were timed on that tier.
+    pub ns_per_cycle: [f64; BackendTier::COUNT],
+    /// Compute+DMA cycles charged by successful runs, per backend tier
+    /// (indexed by [`BackendTier::index`]).
+    pub cycles_charged: [u64; BackendTier::COUNT],
+    /// Fast-tier batches replayed on a scratch cycle-accurate machine.
+    pub cross_checks: u64,
+    /// Cross-check replays that diverged in output bits or charged cycles
+    /// (each one retired the shard that produced the fast-tier result).
+    pub cross_check_failed: u64,
     /// `shard_health[w]` is `false` once worker `w` exhausted its restart
     /// budget and was retired by the supervisor.
     pub shard_health: Vec<bool>,
@@ -697,15 +733,28 @@ impl std::fmt::Display for StatsSnapshot {
                 scores.join(" ")
             }
         )?;
+        let calibrated: Vec<String> = BackendTier::ALL
+            .iter()
+            .filter(|t| self.ns_per_cycle[t.index()] > 0.0)
+            .map(|t| format!("{t} {:.2}", self.ns_per_cycle[t.index()]))
+            .collect();
         writeln!(
             f,
             "liveness: {} watchdog preemption(s); {} ns/cycle calibrated",
             self.watchdog_preemptions,
-            if self.ns_per_cycle > 0.0 {
-                format!("{:.2}", self.ns_per_cycle)
-            } else {
+            if calibrated.is_empty() {
                 "not yet".to_string()
+            } else {
+                calibrated.join(", ")
             }
+        )?;
+        writeln!(
+            f,
+            "tiers:    cycles charged cycle-accurate:{} fast:{}; {} cross-check(s), {} divergence(s)",
+            self.cycles_charged[BackendTier::CycleAccurate.index()],
+            self.cycles_charged[BackendTier::Fast.index()],
+            self.cross_checks,
+            self.cross_check_failed,
         )?;
         if !self.worker_exits.is_empty() {
             let exits: Vec<String> = self
@@ -859,19 +908,60 @@ mod tests {
     #[test]
     fn ns_per_cycle_calibrates_after_min_samples() {
         let s = Stats::new(1, 4);
-        assert_eq!(s.ns_per_cycle(), None);
+        let tier = BackendTier::CycleAccurate;
+        assert_eq!(s.ns_per_cycle(tier), None);
         // 1000 predicted cycles in 2 µs → 2 ns/cycle, four times over.
         for _ in 0..4 {
-            s.observe_run_timing(1000, Duration::from_micros(2), 0.2);
+            s.observe_run_timing(tier, 1000, Duration::from_micros(2), 0.2);
         }
-        let v = s.ns_per_cycle().expect("calibrated after 4 samples");
+        let v = s.ns_per_cycle(tier).expect("calibrated after 4 samples");
         assert!((v - 2.0).abs() < 1e-9, "steady input converges exactly, got {v}");
         // Zero predicted cycles is ignored rather than dividing by zero.
-        s.observe_run_timing(0, Duration::from_secs(1), 0.2);
-        assert!((s.ns_per_cycle().unwrap() - 2.0).abs() < 1e-9);
+        s.observe_run_timing(tier, 0, Duration::from_secs(1), 0.2);
+        assert!((s.ns_per_cycle(tier).unwrap() - 2.0).abs() < 1e-9);
         let snap = s.snapshot(Duration::from_secs(1), 0);
-        assert!((snap.ns_per_cycle - 2.0).abs() < 1e-9);
+        assert!((snap.ns_per_cycle[tier.index()] - 2.0).abs() < 1e-9);
         assert!(snap.to_string().contains("liveness:"));
+    }
+
+    #[test]
+    fn ns_per_cycle_is_calibrated_per_tier() {
+        // The fast tier charges the same cycles in far less wall time; its
+        // EWMA must neither see nor pollute the cycle tier's estimate, or a
+        // tier switch would arm watchdog deadlines off by orders of
+        // magnitude and preempt honest batches.
+        let s = Stats::new(1, 4);
+        for _ in 0..4 {
+            s.observe_run_timing(BackendTier::CycleAccurate, 1000, Duration::from_micros(2), 0.2);
+        }
+        assert_eq!(s.ns_per_cycle(BackendTier::Fast), None, "fast tier starts uncalibrated");
+        for _ in 0..4 {
+            s.observe_run_timing(BackendTier::Fast, 1000, Duration::from_nanos(20), 0.2);
+        }
+        assert!((s.ns_per_cycle(BackendTier::CycleAccurate).unwrap() - 2.0).abs() < 1e-9);
+        assert!((s.ns_per_cycle(BackendTier::Fast).unwrap() - 0.02).abs() < 1e-9);
+        let snap = s.snapshot(Duration::from_secs(1), 0);
+        assert!((snap.ns_per_cycle[0] - 2.0).abs() < 1e-9);
+        assert!((snap.ns_per_cycle[1] - 0.02).abs() < 1e-9);
+        assert!(snap.to_string().contains("cycle-accurate 2.00"));
+        assert!(snap.to_string().contains("fast 0.02"));
+    }
+
+    #[test]
+    fn tier_cycle_totals_and_cross_checks_surface() {
+        let s = Stats::new(1, 4);
+        s.observe_cycles_charged(BackendTier::CycleAccurate, 100);
+        s.observe_cycles_charged(BackendTier::Fast, 2500);
+        s.observe_cycles_charged(BackendTier::Fast, 500);
+        s.cross_checks.fetch_add(3, Ordering::Relaxed);
+        s.cross_check_failed.fetch_add(1, Ordering::Relaxed);
+        let snap = s.snapshot(Duration::from_secs(1), 0);
+        assert_eq!(snap.cycles_charged, [100, 3000]);
+        assert_eq!(snap.cross_checks, 3);
+        assert_eq!(snap.cross_check_failed, 1);
+        let text = snap.to_string();
+        assert!(text.contains("cycles charged cycle-accurate:100 fast:3000"));
+        assert!(text.contains("3 cross-check(s), 1 divergence(s)"));
     }
 
     #[test]

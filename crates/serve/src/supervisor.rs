@@ -5,8 +5,8 @@
 //! [`catch_unwind`](std::panic::catch_unwind), with the requests' reply
 //! channels held *outside* the unwind boundary — a panicking execution can
 //! therefore never strand a [`Ticket`](crate::Ticket). After a caught
-//! panic the supervisor rebuilds the shard's [`Machine`] (simulator state
-//! mid-panic is unspecified), charges one unit of the shard's restart
+//! panic the supervisor rebuilds the shard's execution backend (simulator
+//! state mid-panic is unspecified), charges one unit of the shard's restart
 //! budget, and backs off exponentially before the next batch. A shard that
 //! exhausts its budget is retired: the healthy-shard count (kept under the
 //! queue lock, so admission control sees it consistently) drops, and at
@@ -25,8 +25,8 @@ use std::time::{Duration, Instant};
 
 use npcgra_nn::{ConvKind, ConvLayer, Tensor};
 use npcgra_sim::{
-    run_standard_via_im2col, CancelToken, CompiledLayer, FaultPlan, GrayRates, LayerReport, Machine, MappingKind, SimCause,
-    SimError,
+    backend_for, run_standard_via_im2col, BackendTier, CancelToken, CompiledLayer, ExecutionBackend, FaultPlan, GrayRates,
+    LayerReport, Machine, MappingKind, SimCause, SimError,
 };
 
 use crate::batch;
@@ -49,11 +49,16 @@ pub(crate) fn read_models(shared: &Shared) -> RwLockReadGuard<'_, Vec<ModelEntry
     shared.models.read().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// One worker's supervised execution state: its machine, its restart
-/// budget, and the armed chaos triggers.
+/// One worker's supervised execution state: its execution backend, its
+/// restart budget, and the armed chaos triggers.
 pub(crate) struct Shard {
     pub(crate) worker: usize,
-    machine: Machine,
+    /// The tiered execution backend — the cycle-accurate [`Machine`] or the
+    /// functional fast tier, per [`ServeConfig::backend_tier`](crate::ServeConfig).
+    backend: Box<dyn ExecutionBackend>,
+    /// The most recent clean fast-tier batch, held for the periodic
+    /// cycle-accurate cross-check replay (fast tier only).
+    last_fast_sample: Option<FastSample>,
     /// Restarts consumed so far (== caught panics survived).
     restarts: u32,
     /// One-shot chaos trigger: panic inside the next supervised execution.
@@ -83,6 +88,20 @@ struct CanaryProbe {
     golden: Tensor,
 }
 
+/// One successful fast-tier batch, captured for the periodic golden
+/// cross-check: the exact inputs that ran, the outputs the fast tier
+/// produced, and the cycles it charged. Only batches whose run injected no
+/// chaos faults are recorded — replaying a fault-bearing batch on a clean
+/// machine would quarantine a healthy shard for chaos the operator asked
+/// for.
+struct FastSample {
+    compiled: Arc<CompiledLayer>,
+    ifm: Tensor,
+    weights: Tensor,
+    ofm: Tensor,
+    cycles: u64,
+}
+
 impl CanaryProbe {
     fn build(shared: &Shared) -> Option<CanaryProbe> {
         let layer = ConvLayer::pointwise("canary.pw", 4, 4, 2, 2);
@@ -103,7 +122,8 @@ impl Shard {
     pub(crate) fn new(shared: &Shared, worker: usize) -> Self {
         Shard {
             worker,
-            machine: build_machine(shared, worker, 0),
+            backend: build_backend(shared, worker, 0),
+            last_fast_sample: None,
             restarts: 0,
             panic_armed: shared.config.chaos.panic_on_first_batch == Some(worker),
             canary: (shared.config.canary_interval > 0)
@@ -116,19 +136,19 @@ impl Shard {
         }
     }
 
-    /// Run the canary self-test on this shard's machine: any wrong word,
+    /// Run the canary self-test on this shard's backend: any wrong word,
     /// error or panic is a strike; two consecutive strikes retire the
     /// shard ([`WorkerExit::Unhealthy`]).
     fn run_canary(&mut self, shared: &Shared) {
         let Some(probe) = &self.canary else { return };
         shared.stats.canary_runs.fetch_add(1, Ordering::Relaxed);
-        let machine = &mut self.machine;
-        // The probe measures the machine, not the last batch's liveness
+        let backend = self.backend.as_mut();
+        // The probe measures the backend, not the last batch's liveness
         // leftovers: a stale cancelled token must not fail it.
-        machine.set_cancel_token(None);
-        machine.set_cycle_budget(None);
+        backend.set_cancel_token(None);
+        backend.set_cycle_budget(None);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            probe.compiled.run_on(machine, &probe.ifm, &probe.weights)
+            backend.run_layer(&probe.compiled, &probe.ifm, &probe.weights)
         }));
         let passed = matches!(outcome, Ok(Ok((ofm, _))) if ofm == probe.golden);
         if passed {
@@ -141,6 +161,32 @@ impl Shard {
             self.alive = false;
             mark_shard_dead(shared, self.worker);
         }
+    }
+
+    /// Replay the shard's most recent clean fast-tier batch on a scratch
+    /// cycle-accurate machine (no fault plan, default integrity — the
+    /// golden reference, not the chaos subject). ANY divergence — a single
+    /// output bit or one charged cycle — means the fast tier mis-executed
+    /// or mis-charged that batch, and the shard is quarantined on the
+    /// spot: unlike a canary strike there is no benign explanation, so no
+    /// second strike is granted.
+    fn run_cross_check(&mut self, shared: &Shared) {
+        let Some(sample) = self.last_fast_sample.take() else { return };
+        shared.stats.cross_checks.fetch_add(1, Ordering::Relaxed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut golden = Machine::new(&shared.config.spec);
+            sample.compiled.run_on(&mut golden, &sample.ifm, &sample.weights)
+        }));
+        let agrees = matches!(
+            &outcome,
+            Ok(Ok((ofm, report))) if *ofm == sample.ofm && report.cycles == sample.cycles
+        );
+        if agrees {
+            return;
+        }
+        shared.stats.cross_check_failed.fetch_add(1, Ordering::Relaxed);
+        self.alive = false;
+        mark_shard_dead(shared, self.worker);
     }
 
     /// Execute one request group under supervision. A caught panic is
@@ -164,10 +210,11 @@ impl Shard {
         // succeed, proving the restarted shard serves again.
         self.panic_armed = false;
         let worker = self.worker;
-        let machine = &mut self.machine;
+        let backend = self.backend.as_mut();
+        let sample_slot = &mut self.last_fast_sample;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             assert!(!chaos_panic, "chaos: injected worker panic");
-            run_group(shared, worker, machine, layer, weights, group)
+            run_group(shared, worker, backend, sample_slot, layer, weights, group)
         }));
         match outcome {
             Ok(result) => {
@@ -205,7 +252,7 @@ impl Shard {
         self.restart_or_retire(shared);
     }
 
-    /// Charge one restart: rebuild the machine after a decorrelated-jitter
+    /// Charge one restart: rebuild the backend after a decorrelated-jitter
     /// backoff while budget remains, retire the shard otherwise.
     fn restart_or_retire(&mut self, shared: &Shared) {
         self.restarts += 1;
@@ -222,7 +269,10 @@ impl Shard {
             self.prev_backoff = backoff;
             std::thread::sleep(backoff);
         }
-        self.machine = build_machine(shared, self.worker, self.restarts);
+        self.backend = build_backend(shared, self.worker, self.restarts);
+        // The captured fast sample predates the restart; drop it rather
+        // than judge the fresh backend by its predecessor's work.
+        self.last_fast_sample = None;
     }
 }
 
@@ -253,14 +303,16 @@ fn decorrelated_backoff(base: Duration, cap: Duration, prev: Duration, draw: u64
     Duration::from_nanos(lo + draw % span).min(cap)
 }
 
-/// A fresh simulated machine for `(worker, restart ordinal)`, carrying the
-/// chaos fault plan when one is configured. The plan's seed mixes in the
-/// worker index and restart ordinal (splitmix64-style odd constants) so
-/// shards draw independent fault streams, yet the whole fleet is
-/// reproducible from `ChaosConfig::fault_seed` alone.
-fn build_machine(shared: &Shared, worker: usize, restarts: u32) -> Machine {
-    let mut machine = Machine::new(&shared.config.spec);
-    machine.set_integrity_mode(shared.config.integrity);
+/// A fresh execution backend of the configured tier for `(worker, restart
+/// ordinal)`, carrying the chaos fault plan when one is configured. The
+/// plan's seed mixes in the worker index and restart ordinal
+/// (splitmix64-style odd constants) so shards draw independent fault
+/// streams, yet the whole fleet is reproducible from
+/// `ChaosConfig::fault_seed` alone — on either tier, which speak the same
+/// fault-plan dialect.
+fn build_backend(shared: &Shared, worker: usize, restarts: u32) -> Box<dyn ExecutionBackend> {
+    let mut backend = backend_for(shared.config.backend_tier, &shared.config.spec);
+    backend.set_integrity_mode(shared.config.integrity);
     let chaos = &shared.config.chaos;
     if let Some(seed) = chaos.fault_seed {
         if chaos.fault_rate > 0.0 || chaos.gray_rate > 0.0 {
@@ -282,10 +334,10 @@ fn build_machine(shared: &Shared, worker: usize, restarts: u32) -> Machine {
             } else {
                 FaultPlan::bernoulli(mix, chaos.fault_rate)
             };
-            machine.set_fault_plan(Some(plan));
+            backend.set_fault_plan(Some(plan));
         }
     }
-    machine
+    backend
 }
 
 /// The synthetic failure a poison request triggers (chaos only): shaped
@@ -357,14 +409,20 @@ pub(crate) fn requeue_or_fail(shared: &Shared, model: ModelId, pendings: Vec<Pen
     shared.ready.notify_all();
 }
 
-/// Run one request group on the shard's machine: solo path per request
+/// Run one request group on the shard's backend: solo path per request
 /// when the group has one member (or the layer cannot batch — every
 /// standard conv), the coalesced batched path otherwise. This is the body
 /// the supervisor wraps in `catch_unwind`.
+///
+/// Standard convolutions lower through [`run_standard_via_im2col`], which
+/// owns its own cycle-accurate machine — they stay on the golden tier
+/// regardless of `backend_tier` (they cannot compile to a `CompiledLayer`,
+/// so the fast tier has no schedule to replay).
 fn run_group(
     shared: &Shared,
     worker: usize,
-    machine: &mut Machine,
+    backend: &mut dyn ExecutionBackend,
+    sample_slot: &mut Option<FastSample>,
     layer: &ConvLayer,
     weights: &Tensor,
     group: &[Pending],
@@ -379,7 +437,7 @@ fn run_group(
                 run_standard_via_im2col(layer, &p.input, weights, spec)?
             } else {
                 let compiled = shared.cache.get_or_compile(layer, spec, MappingKind::Auto)?;
-                run_with_liveness(shared, worker, machine, &compiled, &p.input, weights)?
+                run_with_liveness(shared, worker, backend, sample_slot, &compiled, &p.input, weights)?
             };
             outputs.push(ofm);
             checked += report.integrity_checked;
@@ -405,7 +463,7 @@ fn run_group(
             .get_or_compile(&big, spec, preferred_kind(&big))
             .or_else(|_| shared.cache.get_or_compile(&big, spec, MappingKind::Auto))
             .map_err(ServeError::from)
-            .and_then(|compiled| run_with_liveness(shared, worker, machine, &compiled, &big_ifm, &big_w))
+            .and_then(|compiled| run_with_liveness(shared, worker, backend, sample_slot, &compiled, &big_ifm, &big_w))
             .map(|(ofm, report)| (batch::split_ofm(layer, b, &ofm), report))
     }
 }
@@ -418,51 +476,76 @@ fn run_group(
 const WATCHDOG_FLOOR: Duration = Duration::from_millis(25);
 
 /// Run one compiled program under the liveness layer: a fresh
-/// [`CancelToken`] and per-block cycle budget on the machine, the
-/// watchdog's wall deadline armed when calibrated, and — on success — the
-/// run's timing folded into the ns-per-cycle calibration and the shard's
-/// health EWMA.
+/// [`CancelToken`] and per-block cycle budget on the backend, the
+/// watchdog's wall deadline armed when the backend's *own tier* is
+/// calibrated (the fast tier burns wall time orders of magnitude slower
+/// per charged cycle, so tiers never share an ns-per-cycle estimate), and
+/// — on success — the run's timing folded into that tier's calibration and
+/// the shard's health EWMA.
+///
+/// On the fast tier, a successful run that injected no chaos faults is
+/// captured into `sample_slot` (first one per cross-check window) for the
+/// periodic golden replay.
 fn run_with_liveness(
     shared: &Shared,
     worker: usize,
-    machine: &mut Machine,
-    compiled: &CompiledLayer,
+    backend: &mut dyn ExecutionBackend,
+    sample_slot: &mut Option<FastSample>,
+    compiled: &Arc<CompiledLayer>,
     ifm: &Tensor,
     weights: &Tensor,
 ) -> Result<(Tensor, LayerReport), ServeError> {
     let cfg = &shared.config;
+    let tier = backend.tier();
     let block_cycles = compiled.block_compute_cycles();
     let predicted = block_cycles.saturating_mul(compiled.num_blocks() as u64);
-    machine.set_cycle_budget((cfg.cycle_budget > 0.0 && block_cycles > 0).then(|| {
+    backend.set_cycle_budget((cfg.cycle_budget > 0.0 && block_cycles > 0).then(|| {
         // Per run_block call, so the budget scales with the block, not the
         // whole layer; +1 keeps a healthy exact-cost run strictly inside.
         ((block_cycles as f64 * cfg.cycle_budget).ceil() as u64).max(block_cycles + 1)
     }));
     let token = CancelToken::new();
-    machine.set_cancel_token(Some(token.clone()));
+    backend.set_cancel_token(Some(token.clone()));
     let mut armed = false;
     if cfg.watchdog_slack > 0.0 && predicted > 0 {
-        if let Some(ns) = shared.stats.ns_per_cycle() {
+        if let Some(ns) = shared.stats.ns_per_cycle(tier) {
             let wall = Duration::from_nanos((predicted as f64 * ns * cfg.watchdog_slack) as u64).max(WATCHDOG_FLOOR);
             shared.watchdog.arm(worker, Instant::now() + wall, token.clone());
             armed = true;
         }
     }
+    let faults_before = backend.faults_injected();
+    let temporal_before = backend.temporal_injected();
     let started = Instant::now();
-    let result = compiled.run_on(machine, ifm, weights);
+    let result = backend.run_layer(compiled, ifm, weights);
     let wall = started.elapsed();
     if armed {
         shared.watchdog.disarm(worker);
     }
-    if result.is_ok() {
+    if let Ok((ofm, report)) = &result {
         let alpha = cfg.health_ewma_alpha;
-        shared.stats.observe_run_timing(predicted, wall, alpha);
-        if let Some(ns) = shared.stats.ns_per_cycle() {
+        shared.stats.observe_run_timing(tier, predicted, wall, alpha);
+        shared.stats.observe_cycles_charged(tier, report.cycles);
+        if let Some(ns) = shared.stats.ns_per_cycle(tier) {
             // Health observation: 1.0 when the run landed at (or under)
             // its predicted wall time, shrinking toward 0 as it overruns.
             let predicted_ns = predicted as f64 * ns;
             let obs = (predicted_ns / (wall.as_nanos() as f64).max(1.0)).min(1.0);
             shared.stats.observe_health_sample(worker, obs, alpha);
+        }
+        if tier == BackendTier::Fast
+            && cfg.cross_check_interval > 0
+            && sample_slot.is_none()
+            && backend.faults_injected() == faults_before
+            && backend.temporal_injected() == temporal_before
+        {
+            *sample_slot = Some(FastSample {
+                compiled: Arc::clone(compiled),
+                ifm: ifm.clone(),
+                weights: weights.clone(),
+                ofm: ofm.clone(),
+                cycles: report.cycles,
+            });
         }
     }
     result.map_err(ServeError::from)
@@ -575,6 +658,13 @@ pub(crate) fn run_worker(shared: &Arc<Shared>, worker: usize) -> WorkerExit {
         ov.breaker_cooldown,
     );
     let canary_interval = shared.config.canary_interval;
+    // The golden cross-check only exists on the fast tier: the cycle tier
+    // IS the golden reference, replaying it against itself proves nothing.
+    let cross_interval = if shared.config.backend_tier == BackendTier::Fast {
+        shared.config.cross_check_interval
+    } else {
+        0
+    };
     let mut batches = 0u64;
     while shard.alive {
         match breaker.poll(Instant::now()) {
@@ -627,6 +717,9 @@ pub(crate) fn run_worker(shared: &Arc<Shared>, worker: usize) -> WorkerExit {
                 batches += 1;
                 if canary_interval > 0 && batches.is_multiple_of(canary_interval) {
                     shard.run_canary(shared);
+                }
+                if cross_interval > 0 && batches.is_multiple_of(cross_interval) {
+                    shard.run_cross_check(shared);
                 }
             }
             Some(Work::Hedge { model, pendings }) => {

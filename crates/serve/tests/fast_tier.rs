@@ -1,0 +1,126 @@
+//! End-to-end serving on the functional fast tier.
+//!
+//! The fast tier must be invisible to callers except in speed: every reply
+//! bit-exact against the golden reference, every charged cycle equal to
+//! the closed-form model (the periodic cross-check replays a served batch
+//! on a scratch cycle-accurate machine and quarantines the shard on ANY
+//! divergence), and the whole ABFT/retry ladder still catching injected
+//! corruption. These tests drive a real server through all three claims.
+
+use std::time::Duration;
+
+use npcgra_arch::CgraSpec;
+use npcgra_nn::{reference, ConvLayer, Tensor};
+use npcgra_serve::{BackendTier, ChaosConfig, ServeConfig, Server};
+
+fn fast_config(spec: &CgraSpec) -> ServeConfig {
+    ServeConfig::for_spec(spec)
+        .with_workers(2)
+        .with_max_linger(Duration::from_millis(5))
+        .with_backend_tier(BackendTier::Fast)
+}
+
+#[test]
+fn fast_tier_serves_bit_exact_and_cross_checks_stay_clean() {
+    let spec = CgraSpec::np_cgra(4, 4);
+    // Cross-check every batch: a healthy fast tier must survive the
+    // harshest replay cadence with zero divergences.
+    let server = Server::start(fast_config(&spec).with_cross_check_interval(1));
+    let dw = ConvLayer::depthwise("dw", 2, 8, 8, 3, 1, 1);
+    let pw = ConvLayer::pointwise("pw", 3, 4, 6, 6);
+    let dw_w = dw.random_weights(11);
+    let pw_w = pw.random_weights(12);
+    let dw_id = server.register("dw", dw.clone(), dw_w.clone()).unwrap();
+    let pw_id = server.register("pw", pw.clone(), pw_w.clone()).unwrap();
+
+    let mut cases = Vec::new();
+    for i in 0..12u64 {
+        let dw_ifm = Tensor::random(2, 8, 8, 100 + i);
+        let pw_ifm = Tensor::random(3, 6, 6, 200 + i);
+        let dw_gold = reference::run_layer(&dw, &dw_ifm, &dw_w).unwrap();
+        let pw_gold = reference::run_layer(&pw, &pw_ifm, &pw_w).unwrap();
+        cases.push((server.submit(dw_id, dw_ifm).unwrap(), dw_gold));
+        cases.push((server.submit(pw_id, pw_ifm).unwrap(), pw_gold));
+    }
+    for (ticket, golden) in cases {
+        let response = ticket.wait().expect("fast tier serves every request");
+        assert_eq!(response.output, golden, "fast-tier reply diverged from the reference");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 24);
+    assert!(stats.cross_checks > 0, "fast tier never ran its golden cross-check");
+    assert_eq!(stats.cross_check_failed, 0, "healthy fast tier diverged from the cycle tier");
+    assert!(
+        stats.cycles_charged[BackendTier::Fast.index()] > 0,
+        "fast tier charged no cycles"
+    );
+    assert!(stats.healthy_workers() == 2, "a healthy shard was quarantined");
+}
+
+#[test]
+fn cycle_tier_default_never_cross_checks() {
+    // An untouched config stays on the cycle-accurate tier: no fast cycles
+    // charged, and the golden cross-check (a fast-tier-only honesty
+    // mechanism) never runs.
+    let spec = CgraSpec::np_cgra(4, 4);
+    let server = Server::start(ServeConfig::for_spec(&spec).with_workers(1));
+    let layer = ConvLayer::depthwise("dw", 2, 8, 8, 3, 1, 1);
+    let w = layer.random_weights(3);
+    let id = server.register("m", layer.clone(), w.clone()).unwrap();
+    let ifm = Tensor::random(2, 8, 8, 42);
+    let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+    let response = server.submit(id, ifm).unwrap().wait().unwrap();
+    assert_eq!(response.output, golden);
+    let stats = server.shutdown();
+    assert_eq!(stats.cross_checks, 0);
+    assert_eq!(stats.cycles_charged[BackendTier::Fast.index()], 0);
+    assert!(stats.cycles_charged[BackendTier::CycleAccurate.index()] > 0);
+}
+
+#[test]
+fn fast_tier_abft_catches_and_heals_injected_flips() {
+    // Bernoulli bit-flip chaos on the fast tier: every structural fault
+    // lands in an output entry, so ABFT must detect each one and the
+    // retry ladder (independent fault draws per attempt) must heal it.
+    let spec = CgraSpec::np_cgra(4, 4);
+    let chaos = ChaosConfig {
+        fault_seed: Some(0xFA57),
+        fault_rate: 3e-3,
+        ..ChaosConfig::default()
+    };
+    let server = Server::start(
+        fast_config(&spec)
+            .with_max_retries(6)
+            .with_cross_check_interval(4)
+            .with_chaos(chaos),
+    );
+    let layer = ConvLayer::depthwise("dw", 2, 8, 8, 3, 1, 1);
+    let w = layer.random_weights(7);
+    let id = server.register("m", layer.clone(), w.clone()).unwrap();
+    let n = 32u64;
+    let mut cases = Vec::new();
+    for i in 0..n {
+        let ifm = Tensor::random(2, 8, 8, 1000 + i);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        cases.push((server.submit(id, ifm).unwrap(), golden));
+    }
+    let mut completed = 0u64;
+    for (ticket, golden) in cases {
+        if let Ok(response) = ticket.wait() {
+            assert_eq!(response.output, golden, "a corrupted reply escaped ABFT");
+            completed += 1;
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, completed);
+    assert!(completed >= n - 2, "chaos overwhelmed the retry ladder: {completed}/{n}");
+    assert!(
+        stats.integrity_failed > 0,
+        "chaos injected no detectable faults — raise the rate"
+    );
+    assert!(stats.integrity_recovered > 0, "detected corruption was never healed");
+    assert_eq!(
+        stats.cross_check_failed, 0,
+        "clean-run sampling let a faulty batch into the cross-check"
+    );
+}

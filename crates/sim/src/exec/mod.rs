@@ -1,0 +1,232 @@
+//! Tiered execution backends.
+//!
+//! The repro has two ways to run a [`CompiledLayer`]:
+//!
+//! * the **cycle-accurate tier** — the existing [`Machine`], where every
+//!   load crosses a bus and every cycle is arbitrated. This is the golden
+//!   tier: it validates the mapping stack and calibrates everything else.
+//! * the **functional fast tier** — [`FastMachine`], which replays the
+//!   compiled schedule as straight-line tensor arithmetic (bit-exact
+//!   outputs) and *charges* cycles from the paper's closed-form latency
+//!   models (`N_i + λ` for DWC, `K² + N_c − 1 + λ` for PWC) instead of
+//!   simulating them. [`CompiledLayer::timing_report`] proves the two
+//!   charges agree exactly on fault-free runs, so `LayerReport` stays
+//!   meaningful for watchdogs, cost models and stats.
+//!
+//! [`ExecutionBackend`] is the common face: the serving stack holds a
+//! `Box<dyn ExecutionBackend>` per shard and selects the tier from
+//! configuration ([`backend_for`]). Both tiers speak the same chaos
+//! dialect — fault plans, integrity modes, cancel tokens, cycle budgets —
+//! so every resilience mechanism above them keeps working unchanged.
+
+use std::fmt;
+use std::str::FromStr;
+
+use npcgra_arch::CgraSpec;
+use npcgra_nn::Tensor;
+
+use crate::cancel::CancelToken;
+use crate::compiled::CompiledLayer;
+use crate::error::SimError;
+use crate::fault::FaultPlan;
+use crate::integrity::IntegrityMode;
+use crate::machine::Machine;
+use crate::report::LayerReport;
+
+mod fast;
+
+pub use fast::{functional_ofm, FastMachine};
+
+/// Which execution tier backs a shard or a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BackendTier {
+    /// The cycle-accurate [`Machine`]: every cycle simulated. The default —
+    /// untouched configurations behave exactly as before the tiers existed.
+    #[default]
+    CycleAccurate,
+    /// The functional [`FastMachine`]: bit-exact outputs, analytically
+    /// charged cycles.
+    Fast,
+}
+
+impl BackendTier {
+    /// Number of tiers (for per-tier arrays indexed by [`BackendTier::index`]).
+    pub const COUNT: usize = 2;
+
+    /// Every tier, in [`BackendTier::index`] order.
+    pub const ALL: [BackendTier; Self::COUNT] = [BackendTier::CycleAccurate, BackendTier::Fast];
+
+    /// A dense index for per-tier tables: `CycleAccurate` = 0, `Fast` = 1.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            BackendTier::CycleAccurate => 0,
+            BackendTier::Fast => 1,
+        }
+    }
+
+    /// Stable lower-case name (the CLI flag vocabulary).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendTier::CycleAccurate => "cycle-accurate",
+            BackendTier::Fast => "fast",
+        }
+    }
+}
+
+impl fmt::Display for BackendTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for BackendTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cycle" | "cycle-accurate" | "accurate" | "golden" => Ok(BackendTier::CycleAccurate),
+            "fast" | "functional" => Ok(BackendTier::Fast),
+            other => Err(format!(
+                "unknown backend tier '{other}' (expected 'cycle-accurate' or 'fast')"
+            )),
+        }
+    }
+}
+
+/// A machine-shaped thing that can run compiled layers.
+///
+/// Both tiers implement this; the serving stack programs them identically
+/// (fault plans, integrity mode, cancellation, cycle budgets) and reads the
+/// same counters back, so tier selection is invisible to everything above
+/// the shard.
+pub trait ExecutionBackend: Send {
+    /// Which tier this backend is.
+    fn tier(&self) -> BackendTier;
+
+    /// The machine specification this backend was built from.
+    fn spec(&self) -> &CgraSpec;
+
+    /// Install (or clear) a transient-fault schedule (see
+    /// [`Machine::set_fault_plan`]).
+    fn set_fault_plan(&mut self, plan: Option<FaultPlan>);
+
+    /// Set the ABFT output-verification mode (see
+    /// [`Machine::set_integrity_mode`]).
+    fn set_integrity_mode(&mut self, mode: IntegrityMode);
+
+    /// The ABFT output-verification mode in effect.
+    fn integrity_mode(&self) -> IntegrityMode;
+
+    /// Install (or clear) a cooperative cancellation token (see
+    /// [`Machine::set_cancel_token`]).
+    fn set_cancel_token(&mut self, token: Option<CancelToken>);
+
+    /// Install (or clear) a per-block-run compute-cycle budget (see
+    /// [`Machine::set_cycle_budget`]).
+    fn set_cycle_budget(&mut self, budget: Option<u64>);
+
+    /// Structural faults actually applied so far.
+    fn faults_injected(&self) -> u64;
+
+    /// Temporal (gray) faults executed so far.
+    fn temporal_injected(&self) -> u64;
+
+    /// Run a compiled layer functionally, returning the OFM and report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] exactly as [`CompiledLayer::run_on`] does:
+    /// hardware-rule violations (cycle tier), integrity violations under
+    /// [`IntegrityMode::Verify`], cancellation, and cycle-budget overruns.
+    fn run_layer(&mut self, compiled: &CompiledLayer, ifm: &Tensor, weights: &Tensor) -> Result<(Tensor, LayerReport), SimError>;
+}
+
+impl ExecutionBackend for Machine {
+    fn tier(&self) -> BackendTier {
+        BackendTier::CycleAccurate
+    }
+
+    fn spec(&self) -> &CgraSpec {
+        self.spec()
+    }
+
+    fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        Machine::set_fault_plan(self, plan);
+    }
+
+    fn set_integrity_mode(&mut self, mode: IntegrityMode) {
+        Machine::set_integrity_mode(self, mode);
+    }
+
+    fn integrity_mode(&self) -> IntegrityMode {
+        Machine::integrity_mode(self)
+    }
+
+    fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        Machine::set_cancel_token(self, token);
+    }
+
+    fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        Machine::set_cycle_budget(self, budget);
+    }
+
+    fn faults_injected(&self) -> u64 {
+        Machine::faults_injected(self)
+    }
+
+    fn temporal_injected(&self) -> u64 {
+        Machine::temporal_injected(self)
+    }
+
+    fn run_layer(&mut self, compiled: &CompiledLayer, ifm: &Tensor, weights: &Tensor) -> Result<(Tensor, LayerReport), SimError> {
+        compiled.run_on(self, ifm, weights)
+    }
+}
+
+/// Build a boxed backend of the requested tier for `spec`.
+#[must_use]
+pub fn backend_for(tier: BackendTier, spec: &CgraSpec) -> Box<dyn ExecutionBackend> {
+    match tier {
+        BackendTier::CycleAccurate => Box::new(Machine::new(spec)),
+        BackendTier::Fast => Box::new(FastMachine::new(spec)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_parses_both_vocabularies() {
+        assert_eq!("cycle-accurate".parse::<BackendTier>().unwrap(), BackendTier::CycleAccurate);
+        assert_eq!("cycle".parse::<BackendTier>().unwrap(), BackendTier::CycleAccurate);
+        assert_eq!("fast".parse::<BackendTier>().unwrap(), BackendTier::Fast);
+        assert_eq!("FUNCTIONAL".parse::<BackendTier>().unwrap(), BackendTier::Fast);
+        assert!("warp-speed".parse::<BackendTier>().is_err());
+    }
+
+    #[test]
+    fn tier_display_round_trips() {
+        for tier in [BackendTier::CycleAccurate, BackendTier::Fast] {
+            assert_eq!(tier.to_string().parse::<BackendTier>().unwrap(), tier);
+        }
+    }
+
+    #[test]
+    fn default_tier_is_cycle_accurate() {
+        assert_eq!(BackendTier::default(), BackendTier::CycleAccurate);
+        assert_eq!(BackendTier::default().index(), 0);
+    }
+
+    #[test]
+    fn backend_for_builds_the_requested_tier() {
+        let spec = CgraSpec::np_cgra(4, 4);
+        assert_eq!(
+            backend_for(BackendTier::CycleAccurate, &spec).tier(),
+            BackendTier::CycleAccurate
+        );
+        assert_eq!(backend_for(BackendTier::Fast, &spec).tier(), BackendTier::Fast);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod cancel;
 pub mod compiled;
 pub mod error;
+pub mod exec;
 pub mod fault;
 pub mod integrity;
 pub mod layer;
@@ -33,6 +34,7 @@ pub mod trace;
 pub use cancel::CancelToken;
 pub use compiled::{CompiledLayer, PreparedIfm, ResolvedMapping};
 pub use error::{SimCause, SimError};
+pub use exec::{backend_for, functional_ofm, BackendTier, ExecutionBackend, FastMachine};
 pub use fault::{Fault, FaultDims, FaultPlan, FaultSite, GrayRates, TemporalFault};
 pub use integrity::{CheckKind, IntegrityMode, Violation};
 pub use layer::{

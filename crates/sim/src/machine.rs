@@ -609,9 +609,11 @@ impl Machine {
 
 /// The per-cycle liveness gate: cancelled token first (a preempted run
 /// must report `Cancelled` even if it also blew its budget), then the
-/// compute-cycle budget.
+/// compute-cycle budget. Shared with the functional fast tier
+/// ([`crate::exec::FastMachine`]) so both backends agree on the exact
+/// semantics.
 #[inline]
-fn check_liveness(cancel: Option<&CancelToken>, budget: Option<u64>, spent: u64) -> Result<(), SimCause> {
+pub(crate) fn check_liveness(cancel: Option<&CancelToken>, budget: Option<u64>, spent: u64) -> Result<(), SimCause> {
     if let Some(token) = cancel {
         if token.is_cancelled() {
             return Err(SimCause::Cancelled);

@@ -44,9 +44,10 @@ for b in table1 table3 table5 table6 fig12 fig_schedules fig_layouts \
   cargo run --release -q -p npcgra-eval --bin "$b" >/dev/null
 done
 
-echo "== serve-bench smoke run =="
+echo "== serve-bench smoke run (both tiers, archived to BENCH_serve.json) =="
 cargo run --release -q -p npcgra-cli -- serve-bench \
-  --machine 4x4 --workers 4 --clients 8 --requests 80 >/dev/null
+  --machine 4x4 --workers 4 --clients 8 --requests 80 \
+  --tier both --emit-json BENCH_serve.json >/dev/null
 
 echo "== chaos soak (fault injection + worker panic must be survived) =="
 cargo run --release -q -p npcgra-cli -- chaos-bench \
@@ -57,6 +58,11 @@ echo "== detection soak (silent corruption must be caught and healed) =="
 cargo run --release -q -p npcgra-cli -- chaos-bench \
   --machine 4x4 --workers 4 --clients 8 --seconds 8 \
   --fault-rate 5e-4 --assert-detection >/dev/null
+
+echo "== fast-tier detection soak (ABFT must catch corruption on the fast tier too) =="
+cargo run --release -q -p npcgra-cli -- chaos-bench \
+  --machine 4x4 --workers 4 --clients 8 --seconds 8 \
+  --fault-rate 5e-4 --tier fast --assert-detection >/dev/null
 
 echo "== gray soak (wedges/stalls/slowdowns must be preempted and recovered) =="
 cargo run --release -q -p npcgra-cli -- chaos-bench --gray \
