@@ -13,7 +13,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use npcgra::nn::{mobilenet_v1, ConvKind, ConvLayer, Tensor};
-use npcgra::serve::{BackendTier, ServeConfig, Server};
+use npcgra::serve::{BackendTier, Pipeline, ServeConfig, Server};
+use npcgra::sim::CompiledModel;
 use npcgra_bench::spec_4x4;
 
 const REQUESTS: usize = 24;
@@ -151,10 +152,60 @@ fn bench_tier_comparison(c: &mut Criterion) {
     g.finish();
 }
 
+/// Push a closed-loop whole-model workload through a stage pipeline;
+/// returns completed inferences.
+fn drive_pipeline(config: ServeConfig, model: &CompiledModel, weights: &[Tensor], requests: usize) -> u64 {
+    let pipe = Pipeline::start(config, model.clone(), weights.to_vec()).expect("start pipeline");
+    let shape = model.input_shape();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let pipe = &pipe;
+            scope.spawn(move || {
+                for r in 0..requests / CLIENTS {
+                    let input = Tensor::random(shape.0, shape.1, shape.2, (c * 100 + r) as u64);
+                    let ticket = pipe.submit(input).expect("submit");
+                    ticket.wait().expect("response");
+                }
+            });
+        }
+    });
+    let stats = pipe.shutdown();
+    assert_eq!(stats.completed, requests as u64);
+    stats.completed
+}
+
+/// Whole-model pipeline serving as the stage count varies: one stage is a
+/// sequential baseline (every layer on one shard); more stages overlap
+/// different inferences' layers at the cost of checkpointing and DMA
+/// handoffs between stages.
+fn bench_pipeline_stage_scaling(c: &mut Criterion) {
+    let chain: Vec<ConvLayer> = mobilenet_v1(0.25, 32).dsc_layers().cloned().collect();
+    let spec = spec_4x4();
+    let weights: Vec<Tensor> = chain
+        .iter()
+        .enumerate()
+        .map(|(i, l)| l.random_weights(10 + i as u64))
+        .collect();
+    let requests = 8;
+    let mut g = c.benchmark_group("serve/pipeline_stages");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(Throughput::Elements(requests as u64));
+    for stages in [1usize, 2, 4] {
+        let model = CompiledModel::compile("mbv1", &chain, &spec, stages).expect("compile chain");
+        let config = ServeConfig::for_spec(&spec).with_pipeline_stages(stages);
+        g.bench_function(format!("s{stages}"), |b| {
+            b.iter(|| black_box(drive_pipeline(config, &model, &weights, requests)));
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     serve_throughput,
     bench_worker_scaling,
     bench_batch_scaling,
-    bench_tier_comparison
+    bench_tier_comparison,
+    bench_pipeline_stage_scaling
 );
 criterion_main!(serve_throughput);

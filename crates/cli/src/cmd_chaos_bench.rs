@@ -33,6 +33,20 @@
 //! restart); with `--gray-rate 0` it instead fails if the armed watchdog
 //! ever preempts a healthy batch (false-positive check).
 //!
+//! With `--pipeline` the command instead runs the whole-model pipeline
+//! soak: the MobileNetV1 DSC chain is compiled into `--stages` balanced
+//! stages and served through the stage-level fault-domain [`Pipeline`],
+//! first as a zero-fault control run and then with one fault of each class
+//! injected at distinct soak points — a stage kill (panic), a stage wedge
+//! (temporal fault preempted by the cycle budget) and a handoff corruption
+//! (caught by the forwarded checksum). Every reply is audited bit-exactly
+//! against the single-machine golden reference. With `--assert-liveness`
+//! the run fails unless 100 % of in-flight inferences complete bit-exact,
+//! the kill and the wedge each fail over to a stage spare (exactly two
+//! failovers under a zero restart budget), healing replays only from the
+//! last checkpoint (stage 0 never replays), and the control phase shows
+//! zero failovers, zero replays and zero restores.
+//!
 //! With `--overload` the command instead runs the overload-control soak:
 //! it first *calibrates* the server's closed-loop capacity, then drives it
 //! open-loop at `--overload-factor` times that rate (default 2×) with a
@@ -54,6 +68,7 @@
 //!
 //! [`Ticket::wait_timeout`]: npcgra::serve::Ticket::wait_timeout
 //! [`CancelToken`]: npcgra::sim::CancelToken
+//! [`Pipeline`]: npcgra::serve::Pipeline
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -65,6 +80,9 @@ use crate::args::Flags;
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    if flags.has("pipeline") {
+        return run_pipeline(&flags);
+    }
     if flags.has("overload") {
         return run_overload(&flags);
     }
@@ -75,7 +93,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Err("--assert-slo needs --overload".to_string());
     }
     if flags.has("assert-liveness") {
-        return Err("--assert-liveness needs --gray".to_string());
+        return Err("--assert-liveness needs --gray or --pipeline".to_string());
     }
     let spec = flags.machine()?;
     let workers: usize = parse_or(&flags, "workers", 4)?;
@@ -260,6 +278,208 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--pipeline` soak: compile the MobileNetV1 DSC chain into balanced
+/// stages, serve it through the stage-level fault-domain [`Pipeline`], and
+/// prove checkpointed failover — a zero-fault control phase, then a
+/// faulted phase with one stage kill, one stage wedge and one handoff
+/// corruption at distinct soak points. Every reply is audited bit-exactly
+/// against the single-machine golden reference; `--assert-liveness` turns
+/// the audit into a hard gate.
+///
+/// [`Pipeline`]: npcgra::serve::Pipeline
+fn run_pipeline(flags: &Flags) -> Result<(), String> {
+    use npcgra::serve::{Pipeline, StageFault};
+    use npcgra::sim::CompiledModel;
+
+    let spec = flags.machine()?;
+    let stages: usize = parse_or(flags, "stages", 4)?;
+    let spares: usize = parse_or(flags, "spares", 1)?;
+    let checkpoint_every: usize = parse_or(flags, "checkpoint-every", 1)?;
+    let requests: u64 = parse_or(flags, "requests", 24)?;
+    let alpha: f64 = parse_or(flags, "alpha", 0.25)?;
+    let res: usize = parse_or(flags, "res", 32)?;
+    let cycle_budget: f64 = parse_or(flags, "cycle-budget", 8.0)?;
+    let wait_ms: u64 = parse_or(flags, "wait-ms", 250)?;
+    let assert_liveness = flags.has("assert-liveness");
+    if res == 0 || !res.is_multiple_of(32) {
+        return Err(format!("--res must be a positive multiple of 32, got {res}"));
+    }
+    if stages < 2 {
+        return Err(format!("--pipeline needs --stages >= 2, got {stages}"));
+    }
+    if requests < 4 {
+        return Err(format!("--pipeline needs --requests >= 4, got {requests}"));
+    }
+
+    let layers: Vec<ConvLayer> = models::mobilenet_v1(alpha, res).dsc_layers().cloned().collect();
+    let model = CompiledModel::compile("mobilenet_v1", &layers, &spec, stages)
+        .map_err(|e| format!("compiling the pipeline model: {e}"))?;
+    let stages = model.num_stages(); // the chain's unit count may cap it
+    if stages < 2 {
+        return Err(format!("the chain only supports {stages} stage(s) — too short for the soak"));
+    }
+    let weights: Vec<Tensor> = layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| l.random_weights(0xC0FFEE + i as u64))
+        .collect();
+    let base = ServeConfig::for_spec(&spec)
+        .with_pipeline_stages(stages)
+        .with_stage_spares(spares)
+        .with_checkpoint_every(checkpoint_every)
+        .with_restart_budget(0)
+        .with_restart_backoff(Duration::from_micros(100))
+        .with_cycle_budget(cycle_budget)
+        .with_max_retries(4)
+        .with_queue_capacity(requests as usize + 8);
+
+    // One fault of each class, in distinct stages at distinct soak points.
+    let kill = StageFault {
+        stage: 1,
+        job: requests / 4,
+    };
+    let wedge = StageFault {
+        stage: (stages / 2).max(1),
+        job: requests / 2,
+    };
+    let corrupt = StageFault {
+        stage: stages - 1,
+        job: requests * 3 / 4,
+    };
+    let mut faulted = base;
+    faulted.chaos.stage_kill = Some(kill);
+    faulted.chaos.stage_wedge = Some(wedge);
+    faulted.chaos.stage_corrupt = Some(corrupt);
+
+    println!(
+        "chaos-bench --pipeline: {} layers in {stages} stage(s) over a {}x{} machine, {requests} inferences \
+         per phase, {spares} spare(s)/stage, checkpoint every {checkpoint_every}, cycle budget {cycle_budget}x",
+        model.num_layers(),
+        spec.rows,
+        spec.cols,
+    );
+    println!(
+        "  faults: kill stage {} @ job {}, wedge stage {} @ job {}, corrupt handoff into stage {} @ job {}",
+        kill.stage, kill.job, wedge.stage, wedge.job, corrupt.stage, corrupt.job,
+    );
+
+    quiet_worker_panics();
+
+    let shape = model.input_shape();
+    let inputs: Vec<Tensor> = (0..requests)
+        .map(|i| Tensor::random(shape.0, shape.1, shape.2, 0x717E + i))
+        .collect();
+    let goldens: Vec<Tensor> = inputs
+        .iter()
+        .map(|input| {
+            layers.iter().zip(&weights).fold(input.clone(), |act, (l, w)| {
+                reference::run_layer(l, &act, w).expect("golden reference")
+            })
+        })
+        .collect();
+
+    let mut phase_stats = Vec::new();
+    for (phase, cfg) in [("control", base), ("faulted", faulted)] {
+        let pipe = Pipeline::start(cfg, model.clone(), weights.clone()).map_err(|e| format!("{phase}: start: {e}"))?;
+        let tickets: Vec<_> = inputs
+            .iter()
+            .map(|input| pipe.submit(input.clone()).map_err(|e| format!("{phase}: submit: {e}")))
+            .collect::<Result<_, _>>()?;
+        let mut wrong = 0u64;
+        let mut unresolved = 0u64;
+        let mut completed = 0u64;
+        let cap = Duration::from_millis(wait_ms) * 120;
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let mut waited = Duration::ZERO;
+            loop {
+                match ticket.wait_timeout(Duration::from_millis(wait_ms)) {
+                    Err(ServeError::ReplyTimeout { waited: w }) => {
+                        waited += w;
+                        if waited >= cap {
+                            unresolved += 1;
+                            break;
+                        }
+                    }
+                    Ok(resp) => {
+                        completed += 1;
+                        if resp.output != goldens[i] {
+                            wrong += 1;
+                        }
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        let stats = pipe.shutdown();
+        println!("--- {phase} phase ---\n{stats}");
+        if unresolved > 0 {
+            return Err(format!(
+                "{phase}: {unresolved} inference(s) never resolved — a stage wedged silently"
+            ));
+        }
+        if wrong > 0 {
+            return Err(format!(
+                "{phase}: {wrong} reply(s) diverged from the golden run — healing broke bit-exactness"
+            ));
+        }
+        if completed != requests {
+            return Err(format!(
+                "{phase}: only {completed}/{requests} inference(s) completed — in-flight work was lost"
+            ));
+        }
+        phase_stats.push(stats);
+    }
+
+    let (control, chaos) = (&phase_stats[0], &phase_stats[1]);
+    if assert_liveness {
+        if control.total_failovers() != 0 || control.total_replays() != 0 || control.checkpoint_restores != 0 {
+            return Err(format!(
+                "assert-liveness: the zero-fault control phase touched the healing machinery \
+                 ({} failover(s), {} replay(s), {} restore(s))",
+                control.total_failovers(),
+                control.total_replays(),
+                control.checkpoint_restores
+            ));
+        }
+        if chaos.panics_caught != 1 || chaos.preemptions < 1 || chaos.handoff_corruptions != 1 {
+            return Err(format!(
+                "assert-liveness: not every fault class landed ({} panic(s), {} preemption(s), \
+                 {} handoff corruption(s))",
+                chaos.panics_caught, chaos.preemptions, chaos.handoff_corruptions
+            ));
+        }
+        if chaos.total_failovers() != 2 {
+            return Err(format!(
+                "assert-liveness: the kill and the wedge must each fail over once under a zero \
+                 restart budget, got {:?}",
+                chaos.stage_failovers
+            ));
+        }
+        if chaos.stage_replays.first().copied().unwrap_or(0) != 0 {
+            return Err(format!(
+                "assert-liveness: stage 0 replayed — healing did not start from the last checkpoint \
+                 (replays {:?})",
+                chaos.stage_replays
+            ));
+        }
+        if chaos.checkpoint_restores < 3 {
+            return Err(format!(
+                "assert-liveness: expected one restore per injected fault, got {}",
+                chaos.checkpoint_restores
+            ));
+        }
+    }
+    println!(
+        "chaos-bench --pipeline PASS: {requests}+{requests} inferences bit-exact, 0 unresolved; faulted phase: \
+         {} failover(s), replays/stage {:?}, {} restore(s)",
+        chaos.total_failovers(),
+        chaos.stage_replays,
+        chaos.checkpoint_restores
+    );
+    Ok(())
+}
+
 /// The `--gray` soak: inject temporal faults (wedges, stalls, slowdowns)
 /// into the simulated machines and fail unless the liveness layer —
 /// cycle budgets plus the calibrated batch watchdog — preempts every
@@ -311,6 +531,7 @@ fn run_gray(flags: &Flags) -> Result<(), String> {
         gray_rate,
         gray_stall_cycles: stall_cycles,
         gray_slowdown_factor: slowdown_factor,
+        ..ChaosConfig::default()
     };
     // Preemption walks the same restart ladder as a panic; a soak-length
     // run preempts many times, so the budget is raised accordingly — the

@@ -8,10 +8,12 @@
 //!
 //! `--tier cycle-accurate|fast|both` selects the execution backend; `both`
 //! drives the identical workload once per tier so the tiers' throughput
-//! can be compared directly. `--emit-json <path>` writes the results as a
-//! machine-readable benchmark record (inferences/sec, p50/p99 latency,
-//! per-tier cycle totals, and the fast-over-cycle speedup when both tiers
-//! ran).
+//! can be compared directly. `--emit-json <path>` **appends** a
+//! timestamped machine-readable run record (inferences/sec, p50/p99
+//! latency, per-tier cycle totals, and the fast-over-cycle speedup when
+//! both tiers ran) to a JSON array at `path`, so repeated runs accumulate
+//! a comparable history; a legacy single-object file is wrapped into an
+//! array on first append.
 
 use npcgra::nn::{models, Tensor};
 use npcgra::serve::{BackendTier, ModelId, ServeConfig, ServeError, Server, StatsSnapshot};
@@ -80,11 +82,39 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = emit_json {
-        let json = render_json(&spec, workers, clients, requests, &results);
-        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
-        println!("serve-bench: wrote {path}");
+        let record = render_json(&spec, workers, clients, requests, &results);
+        let merged = append_record(std::fs::read_to_string(&path).ok().as_deref(), &record);
+        std::fs::write(&path, merged).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("serve-bench: appended run record to {path}");
     }
     Ok(())
+}
+
+/// Merge a freshly rendered run record into whatever `--emit-json`'s target
+/// already holds, yielding a JSON **array of run records** so successive
+/// bench runs accumulate a history instead of clobbering each other:
+///
+/// * existing array → the record is appended;
+/// * legacy single-object file (the pre-append format) → wrapped into an
+///   array of `[old, new]`;
+/// * missing, empty or unrecognized → a fresh one-element array.
+fn append_record(existing: Option<&str>, record: &str) -> String {
+    let record = record.trim_end();
+    match existing.map(str::trim) {
+        Some(prior) if prior.starts_with('[') && prior.ends_with(']') => {
+            let body = prior[..prior.len() - 1].trim_end();
+            if body == "[" {
+                format!("[\n{record}\n]\n")
+            } else {
+                let body = body.strip_suffix(',').unwrap_or(body);
+                format!("{body},\n{record}\n]\n")
+            }
+        }
+        Some(prior) if prior.starts_with('{') && prior.ends_with('}') => {
+            format!("[\n{prior},\n{record}\n]\n")
+        }
+        _ => format!("[\n{record}\n]\n"),
+    }
 }
 
 /// Run the closed-loop workload against one freshly started server and
@@ -205,10 +235,14 @@ fn render_json(
         }
         _ => String::new(),
     };
+    let timestamp_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
     format!(
         concat!(
             "{{\n",
             "  \"bench\": \"serve\",\n",
+            "  \"timestamp_unix\": {},\n",
             "  \"machine\": \"{}x{}\",\n",
             "  \"workers\": {},\n",
             "  \"clients\": {},\n",
@@ -216,6 +250,7 @@ fn render_json(
             "  \"tiers\": [\n{}\n  ]{}\n",
             "}}\n"
         ),
+        timestamp_unix,
         spec.rows,
         spec.cols,
         workers,
@@ -236,5 +271,34 @@ fn parse_or<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Resu
     match flags.get(name) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{name}: bad value '{v}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::append_record;
+
+    #[test]
+    fn emit_json_accumulates_an_array_of_run_records() {
+        let first = append_record(None, "{ \"run\": 1 }\n");
+        assert_eq!(first, "[\n{ \"run\": 1 }\n]\n");
+        let second = append_record(Some(&first), "{ \"run\": 2 }");
+        assert_eq!(second, "[\n{ \"run\": 1 },\n{ \"run\": 2 }\n]\n");
+        let third = append_record(Some(&second), "{ \"run\": 3 }");
+        assert_eq!(third, "[\n{ \"run\": 1 },\n{ \"run\": 2 },\n{ \"run\": 3 }\n]\n");
+    }
+
+    #[test]
+    fn emit_json_wraps_a_legacy_single_object_file() {
+        let legacy = "{\n  \"bench\": \"serve\"\n}\n";
+        let merged = append_record(Some(legacy), "{ \"run\": 2 }");
+        assert_eq!(merged, "[\n{\n  \"bench\": \"serve\"\n},\n{ \"run\": 2 }\n]\n");
+    }
+
+    #[test]
+    fn emit_json_recovers_from_empty_or_garbage_targets() {
+        assert_eq!(append_record(Some(""), "{}"), "[\n{}\n]\n");
+        assert_eq!(append_record(Some("not json"), "{}"), "[\n{}\n]\n");
+        assert_eq!(append_record(Some("[]"), "{}"), "[\n{}\n]\n");
     }
 }

@@ -10,6 +10,7 @@
 //! npcgra chaos-bench [--workers 4] [--clients 8] [--seconds 5] [--fault-rate 1e-4] [--panic-worker 0] [--assert-detection]
 //! npcgra chaos-bench --gray [--gray-rate 0.02] [--watchdog-slack 4] [--cycle-budget 8] [--assert-liveness]
 //! npcgra chaos-bench --overload [--overload-factor 2] [--slo-ms 250] [--assert-slo]
+//! npcgra chaos-bench --pipeline [--stages 4] [--spares 1] [--checkpoint-every 1] [--assert-liveness]
 //! ```
 
 mod args;
@@ -75,7 +76,13 @@ commands:
               --overload, the server is instead driven open-loop past its
               calibrated capacity with mixed priorities (--assert-slo
               fails the run unless admitted Interactive traffic holds its
-              latency SLO with no lost and no wrong replies)
+              latency SLO with no lost and no wrong replies); with
+              --pipeline, the whole MobileNetV1 DSC chain is served as a
+              stage pipeline while one stage is killed, one wedged and one
+              handoff corrupted (--assert-liveness fails the run unless
+              every inference completes bit-exact, healing replays only
+              from the last checkpoint, and the kill and wedge each fail
+              over to a stage spare)
 
 common flags:
   --machine RxC       array size (default 8x8, the Table 4 machine)
@@ -100,4 +107,6 @@ common flags:
   --overload, --overload-factor F, --calib-seconds S, --slo-ms N,
   --delay-target-us N, --hedge-quantile Q, --assert-slo
                       chaos-bench overload-control soak knobs
+  --pipeline, --stages N, --spares N, --checkpoint-every N
+                      chaos-bench whole-model pipeline failover soak knobs
 ";

@@ -8,6 +8,29 @@ use npcgra_sim::{BackendTier, IntegrityMode};
 
 use crate::overload::CLASSES;
 
+/// A one-shot, deterministic pipeline-stage fault trigger: when the named
+/// stage picks up the job with this submit ordinal, the configured failure
+/// fires exactly once. Keying on the ordinal (not time) makes chaos soaks
+/// reproducible: the same trigger hits the same inference every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageFault {
+    /// Which pipeline stage the fault fires in.
+    pub stage: usize,
+    /// The submit ordinal (0-based) of the job that trips it.
+    pub job: u64,
+}
+
+/// Which side of the fast-tier cross-check to corrupt (chaos knob): the
+/// supervisor replays a sampled fast-tier batch on a scratch cycle-accurate
+/// machine and quarantines the shard on *any* divergence — these inject one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossCheckCorruption {
+    /// Flip one bit of the sampled output before the replay compares it.
+    OutputBit,
+    /// Skew the sampled charged-cycle count by one.
+    ChargedCycles,
+}
+
 /// Chaos-engineering knobs: deliberate failures injected into the serving
 /// path so the supervision, retry and quarantine machinery can be exercised
 /// deterministically. All knobs default to "off"; a production config never
@@ -39,6 +62,21 @@ pub struct ChaosConfig {
     /// [`TemporalFault::Slowdown`](npcgra_sim::TemporalFault) applies to
     /// the rest of its tile.
     pub gray_slowdown_factor: u32,
+    /// Pipeline chaos: panic the stage shard while it executes the
+    /// triggering job (the stage supervisor must catch it and heal from
+    /// the last checkpoint on a rebuilt or spare shard).
+    pub stage_kill: Option<StageFault>,
+    /// Pipeline chaos: wedge the stage shard on the triggering job (a
+    /// [`TemporalFault::Wedge`](npcgra_sim::TemporalFault) that the armed
+    /// cycle budget converts into a typed preemption).
+    pub stage_wedge: Option<StageFault>,
+    /// Pipeline chaos: flip one bit of the triggering job's inter-stage
+    /// activation before the stage's entry checksum verifies it (exercises
+    /// the checksum-forwarding handoff-integrity path).
+    pub stage_corrupt: Option<StageFault>,
+    /// Fast-tier chaos: corrupt one side of a sampled cross-check so the
+    /// divergence→quarantine path can be exercised deterministically.
+    pub cross_check_corrupt: Option<CrossCheckCorruption>,
 }
 
 impl ChaosConfig {
@@ -48,6 +86,10 @@ impl ChaosConfig {
         self.panic_on_first_batch.is_some()
             || self.poison_value.is_some()
             || (self.fault_seed.is_some() && (self.fault_rate > 0.0 || self.gray_rate > 0.0))
+            || self.stage_kill.is_some()
+            || self.stage_wedge.is_some()
+            || self.stage_corrupt.is_some()
+            || self.cross_check_corrupt.is_some()
     }
 }
 
@@ -190,6 +232,20 @@ pub struct ServeConfig {
     /// *any* divergence (output bits or charged cycles) quarantines the
     /// shard. `0` disables cross-checking. Ignored on the cycle tier.
     pub cross_check_interval: u64,
+    /// Whole-model pipeline serving ([`Pipeline`](crate::Pipeline)): how
+    /// many balanced stages a [`CompiledModel`](npcgra_sim::CompiledModel)
+    /// is partitioned into (each stage is its own fault domain with its own
+    /// shard). Clamped to the model's fused-unit count at compile time.
+    pub pipeline_stages: usize,
+    /// Spare shards each pipeline stage may fail over to after exhausting
+    /// its restart budget; with all spares consumed the stage goes dead and
+    /// whole-model traffic is shed (before any single-layer traffic).
+    pub stage_spares: usize,
+    /// Checkpoint every Nth inter-stage boundary (the verified activation
+    /// plus its checksum ride with the job): `1` checkpoints every handoff,
+    /// larger values trade replay distance for copy overhead. The pipeline
+    /// input (boundary 0) is always checkpointed, so `0` means "input only".
+    pub checkpoint_every: usize,
     /// Deliberate failure injection (off by default).
     pub chaos: ChaosConfig,
 }
@@ -216,6 +272,9 @@ impl Default for ServeConfig {
             health_ewma_alpha: 0.2,
             backend_tier: BackendTier::CycleAccurate,
             cross_check_interval: 32,
+            pipeline_stages: 4,
+            stage_spares: 1,
+            checkpoint_every: 1,
             chaos: ChaosConfig::default(),
         }
     }
@@ -371,6 +430,28 @@ impl ServeConfig {
         self.cross_check_interval = interval;
         self
     }
+
+    /// Set the pipeline stage count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_pipeline_stages(mut self, stages: usize) -> Self {
+        self.pipeline_stages = stages.max(1);
+        self
+    }
+
+    /// Set the per-stage spare-shard budget.
+    #[must_use]
+    pub fn with_stage_spares(mut self, spares: usize) -> Self {
+        self.stage_spares = spares;
+        self
+    }
+
+    /// Set the checkpoint stride over inter-stage boundaries (`0` =
+    /// checkpoint only the pipeline input).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -483,6 +564,43 @@ mod tests {
         let c = c.with_backend_tier(BackendTier::Fast).with_cross_check_interval(7);
         assert_eq!(c.backend_tier, BackendTier::Fast);
         assert_eq!(c.cross_check_interval, 7);
+    }
+
+    #[test]
+    fn pipeline_knobs_default_sane_and_compose() {
+        let c = ServeConfig::default();
+        assert_eq!(c.pipeline_stages, 4);
+        assert_eq!(c.stage_spares, 1);
+        assert_eq!(c.checkpoint_every, 1, "every boundary checkpointed by default");
+        let c = c.with_pipeline_stages(6).with_stage_spares(2).with_checkpoint_every(3);
+        assert_eq!(c.pipeline_stages, 6);
+        assert_eq!(c.stage_spares, 2);
+        assert_eq!(c.checkpoint_every, 3);
+        assert_eq!(ServeConfig::default().with_pipeline_stages(0).pipeline_stages, 1);
+    }
+
+    #[test]
+    fn stage_and_cross_check_chaos_count_as_enabled() {
+        let kill = ChaosConfig {
+            stage_kill: Some(StageFault { stage: 1, job: 3 }),
+            ..ChaosConfig::default()
+        };
+        assert!(kill.enabled());
+        let wedge = ChaosConfig {
+            stage_wedge: Some(StageFault { stage: 0, job: 0 }),
+            ..ChaosConfig::default()
+        };
+        assert!(wedge.enabled());
+        let corrupt = ChaosConfig {
+            stage_corrupt: Some(StageFault { stage: 2, job: 9 }),
+            ..ChaosConfig::default()
+        };
+        assert!(corrupt.enabled());
+        let cc = ChaosConfig {
+            cross_check_corrupt: Some(CrossCheckCorruption::OutputBit),
+            ..ChaosConfig::default()
+        };
+        assert!(cc.enabled());
     }
 
     #[test]

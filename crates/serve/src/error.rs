@@ -140,16 +140,55 @@ impl From<SimError> for ServeError {
     }
 }
 
+/// What a failure entitles the recovery machinery to do — the single
+/// error→retryability table shared by the batch-retry policy, the shard
+/// supervisor's rebuild path, and the pipeline's stage fault domains, so
+/// those paths cannot silently diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// Final by construction (admission sheds, shutdown, bad requests,
+    /// exhausted retries): never re-executed.
+    Final,
+    /// Transient-fault-shaped (simulation faults, ABFT integrity trips):
+    /// re-execute on the same shard — faults draw independently per run.
+    Retry,
+    /// The shard itself is suspect (liveness preemption, caught panic): the
+    /// executing machine must be rebuilt (or failed over to a spare) before
+    /// the work re-executes — a wedged simulator's state is unrecoverable.
+    RebuildAndRetry,
+}
+
+impl RetryClass {
+    /// Classify `e`. The match is exhaustive by variant (no wildcard arm),
+    /// so adding a [`ServeError`] variant forces a decision here — and the
+    /// exhaustive-match test below forces that decision to be deliberate.
+    #[must_use]
+    pub fn of(e: &ServeError) -> RetryClass {
+        match e {
+            ServeError::Sim(_) | ServeError::Integrity(_) => RetryClass::Retry,
+            ServeError::Preempted(_) | ServeError::WorkerPanic { .. } => RetryClass::RebuildAndRetry,
+            ServeError::QueueFull { .. }
+            | ServeError::DeadlineExceeded
+            | ServeError::ShuttingDown
+            | ServeError::UnknownModel
+            | ServeError::ShapeMismatch { .. }
+            | ServeError::WorkerLost
+            | ServeError::ReplyTimeout { .. }
+            | ServeError::Quarantined { .. }
+            | ServeError::Degraded { .. }
+            | ServeError::Overloaded { .. } => RetryClass::Final,
+        }
+    }
+}
+
 impl ServeError {
     /// Whether the batch-retry policy may re-execute a request that failed
     /// with this error (transient-fault-shaped failures), as opposed to
-    /// rejections that are final by construction.
+    /// rejections that are final by construction. Shorthand for
+    /// `RetryClass::of(self) != RetryClass::Final`.
     #[must_use]
     pub fn retryable(&self) -> bool {
-        matches!(
-            self,
-            ServeError::Sim(_) | ServeError::Integrity(_) | ServeError::Preempted(_) | ServeError::WorkerPanic { .. }
-        )
+        RetryClass::of(self) != RetryClass::Final
     }
 
     /// Whether this failure is a liveness preemption (watchdog cancel or
@@ -224,6 +263,97 @@ mod tests {
             cause: SimCause::GrfIndex(5),
         };
         assert!(matches!(ServeError::from(plain), ServeError::Sim(_)));
+    }
+
+    /// Every variant's class, asserted one by one over an exhaustive (no
+    /// wildcard) constructor list: a new [`ServeError`] variant breaks the
+    /// `RetryClass::of` match at compile time, and a changed classification
+    /// breaks this test — either way the decision is deliberate.
+    #[test]
+    fn retry_class_table_is_exhaustive_and_deliberate() {
+        use npcgra_sim::{SimCause, SimError};
+        let sim = |cause: SimCause| SimError {
+            block: "pw".into(),
+            tile: 0,
+            cycle: 0,
+            cause,
+        };
+        let every: Vec<(ServeError, RetryClass)> = vec![
+            (ServeError::QueueFull { capacity: 4 }, RetryClass::Final),
+            (ServeError::DeadlineExceeded, RetryClass::Final),
+            (ServeError::ShuttingDown, RetryClass::Final),
+            (ServeError::UnknownModel, RetryClass::Final),
+            (
+                ServeError::ShapeMismatch {
+                    expected: (1, 2, 3),
+                    got: (3, 2, 1),
+                },
+                RetryClass::Final,
+            ),
+            (ServeError::Sim(sim(SimCause::GrfIndex(1))), RetryClass::Retry),
+            (
+                ServeError::Integrity(sim(SimCause::IntegrityViolation(npcgra_sim::Violation {
+                    kind: npcgra_sim::CheckKind::ChannelSum,
+                    lane: 0,
+                    expected: 1,
+                    actual: 2,
+                }))),
+                RetryClass::Retry,
+            ),
+            (ServeError::Preempted(sim(SimCause::Cancelled)), RetryClass::RebuildAndRetry),
+            (ServeError::WorkerLost, RetryClass::Final),
+            (ServeError::WorkerPanic { message: "p".into() }, RetryClass::RebuildAndRetry),
+            (
+                ServeError::ReplyTimeout {
+                    waited: Duration::from_millis(1),
+                },
+                RetryClass::Final,
+            ),
+            (
+                ServeError::Quarantined {
+                    attempts: 2,
+                    cause: Box::new(ServeError::DeadlineExceeded),
+                },
+                RetryClass::Final,
+            ),
+            (ServeError::Degraded { healthy: 0, workers: 2 }, RetryClass::Final),
+            (
+                ServeError::Overloaded {
+                    level: BrownoutLevel::ShedBestEffort,
+                    class: Priority::BestEffort,
+                },
+                RetryClass::Final,
+            ),
+        ];
+        for (e, want) in &every {
+            assert_eq!(RetryClass::of(e), *want, "{e}");
+            assert_eq!(e.retryable(), *want != RetryClass::Final, "{e}");
+            // Only rebuild-class failures justify tearing a machine down.
+            assert_eq!(
+                RetryClass::of(e) == RetryClass::RebuildAndRetry,
+                e.is_preemption() || matches!(e, ServeError::WorkerPanic { .. }),
+                "{e}"
+            );
+            // The coverage guard: consume each variant through a wildcard-free
+            // match so this list must grow with the enum.
+            match e {
+                ServeError::QueueFull { .. }
+                | ServeError::DeadlineExceeded
+                | ServeError::ShuttingDown
+                | ServeError::UnknownModel
+                | ServeError::ShapeMismatch { .. }
+                | ServeError::Sim(_)
+                | ServeError::Integrity(_)
+                | ServeError::Preempted(_)
+                | ServeError::WorkerLost
+                | ServeError::WorkerPanic { .. }
+                | ServeError::ReplyTimeout { .. }
+                | ServeError::Quarantined { .. }
+                | ServeError::Degraded { .. }
+                | ServeError::Overloaded { .. } => {}
+            }
+        }
+        assert_eq!(every.len(), 14, "one row per ServeError variant");
     }
 
     #[test]

@@ -46,6 +46,14 @@
 //!   first ([`ServeError::Overloaded`]); per-shard circuit breakers keep
 //!   batches away from flapping shards; and slow batches hedge to a second
 //!   shard, first bit-exact reply winning.
+//! * **Whole-model pipeline serving** ([`crate::pipeline`]) — a
+//!   [`CompiledModel`](npcgra_sim::CompiledModel) partitioned into
+//!   cycle-balanced stages runs as a [`Pipeline`] of stage-level fault
+//!   domains: inter-stage activations carry forwarded checksums, verified
+//!   boundaries are checkpointed per job, and a failed stage heals by
+//!   replaying only from the last checkpoint — failing over to spare
+//!   shards under the restart-budget ladder, and shedding whole-model
+//!   traffic ([`ServeError::Degraded`]) before single-layer traffic.
 //!
 //! Everything is std threads and channels — no async runtime.
 //!
@@ -72,6 +80,7 @@ pub mod cache;
 pub mod config;
 pub mod error;
 pub mod overload;
+pub mod pipeline;
 pub(crate) mod retry;
 pub mod server;
 pub mod stats;
@@ -79,9 +88,10 @@ pub(crate) mod supervisor;
 pub(crate) mod watchdog;
 
 pub use cache::ProgramCache;
-pub use config::{ChaosConfig, OverloadConfig, ServeConfig};
-pub use error::ServeError;
+pub use config::{ChaosConfig, CrossCheckCorruption, OverloadConfig, ServeConfig, StageFault};
+pub use error::{RetryClass, ServeError};
 pub use npcgra_sim::{BackendTier, IntegrityMode};
 pub use overload::{BreakerState, BrownoutLevel, Priority};
+pub use pipeline::{Pipeline, PipelineStatsSnapshot};
 pub use server::{ModelId, Response, Server, Ticket};
 pub use stats::{StatsSnapshot, WorkerExit};

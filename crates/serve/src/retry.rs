@@ -23,7 +23,7 @@ use std::time::Instant;
 use npcgra_nn::{ConvLayer, Tensor};
 use std::sync::Arc;
 
-use crate::error::ServeError;
+use crate::error::{RetryClass, ServeError};
 use crate::server::{send_reply, Delivery, ModelId, Pending, Response, Shared};
 use crate::supervisor::{read_models, requeue_or_fail, Shard};
 
@@ -145,7 +145,7 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                         p.integrity_hit = true;
                     }
                 }
-                if !e.retryable() {
+                if RetryClass::of(&e) == RetryClass::Final {
                     for p in group {
                         if send_reply(&shared.stats, &p.reply, Err(e.clone())) != Delivery::Duplicate {
                             shared.stats.failed.fetch_add(1, Ordering::Release);

@@ -761,7 +761,7 @@ impl Server {
     }
 }
 
-fn expected_weight_shape(layer: &ConvLayer) -> (usize, usize, usize) {
+pub(crate) fn expected_weight_shape(layer: &ConvLayer) -> (usize, usize, usize) {
     match layer.kind() {
         ConvKind::Depthwise => (layer.in_channels(), layer.k(), layer.k()),
         ConvKind::Pointwise => (layer.out_channels(), 1, layer.in_channels()),

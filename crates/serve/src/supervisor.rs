@@ -30,7 +30,8 @@ use npcgra_sim::{
 };
 
 use crate::batch;
-use crate::error::ServeError;
+use crate::config::CrossCheckCorruption;
+use crate::error::{RetryClass, ServeError};
 use crate::overload::{self, BreakerDecision, BreakerEvent, CircuitBreaker};
 use crate::retry;
 use crate::server::{
@@ -218,11 +219,16 @@ impl Shard {
         }));
         match outcome {
             Ok(result) => {
-                if result.as_ref().is_err_and(ServeError::is_preemption) {
-                    // The watchdog cancelled a stuck run (or it blew its
-                    // cycle budget): a wedged simulator's state is as
-                    // unspecified as a panicked one's, so the shard walks
-                    // the same restart-budget ladder.
+                if result
+                    .as_ref()
+                    .is_err_and(|e| RetryClass::of(e) == RetryClass::RebuildAndRetry)
+                {
+                    // The shard itself is suspect (the watchdog cancelled a
+                    // stuck run, or it blew its cycle budget): a wedged
+                    // simulator's state is as unspecified as a panicked
+                    // one's, so the shard walks the same restart-budget
+                    // ladder. (Caught panics arrive on the `Err` arm below,
+                    // so rebuild-class errors here are always preemptions.)
                     self.note_preemption(shared);
                 }
                 result
@@ -277,7 +283,7 @@ impl Shard {
 }
 
 /// SplitMix64's finalizer — the repo's standard cheap deterministic hash.
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -287,7 +293,7 @@ fn splitmix64(x: u64) -> u64 {
 /// The shard's deterministic jitter-stream seed: a function of the shard
 /// id alone, so a restarted fleet replays the same (decorrelated) backoff
 /// schedule run after run.
-fn backoff_seed(worker: usize) -> u64 {
+pub(crate) fn backoff_seed(worker: usize) -> u64 {
     splitmix64(0xB0_FF ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
@@ -296,7 +302,7 @@ fn backoff_seed(worker: usize) -> u64 {
 /// plain exponential backoff it never synchronizes a fleet of restarting
 /// shards into retry convoys — each shard's draw decorrelates from both
 /// its own history and its peers'.
-fn decorrelated_backoff(base: Duration, cap: Duration, prev: Duration, draw: u64) -> Duration {
+pub(crate) fn decorrelated_backoff(base: Duration, cap: Duration, prev: Duration, draw: u64) -> Duration {
     let lo = base.as_nanos() as u64;
     let hi = (prev.as_nanos() as u64).saturating_mul(3).max(lo.saturating_add(1));
     let span = hi - lo;
@@ -539,13 +545,30 @@ fn run_with_liveness(
             && backend.faults_injected() == faults_before
             && backend.temporal_injected() == temporal_before
         {
-            *sample_slot = Some(FastSample {
+            let mut sample = FastSample {
                 compiled: Arc::clone(compiled),
                 ifm: ifm.clone(),
                 weights: weights.clone(),
                 ofm: ofm.clone(),
                 cycles: report.cycles,
-            });
+            };
+            // Chaos: corrupt one side of the captured sample so the
+            // cross-check replay diverges and must quarantine the shard.
+            // The *reply* stays untouched — only the audit record lies,
+            // which is exactly the failure mode the cross-check exists to
+            // catch (a fast tier that mis-reports what it executed).
+            match cfg.chaos.cross_check_corrupt {
+                Some(CrossCheckCorruption::OutputBit) => {
+                    if let Some(w) = sample.ofm.as_mut_slice().first_mut() {
+                        *w ^= 1;
+                    }
+                }
+                Some(CrossCheckCorruption::ChargedCycles) => {
+                    sample.cycles = sample.cycles.wrapping_add(1);
+                }
+                None => {}
+            }
+            *sample_slot = Some(sample);
         }
     }
     result.map_err(ServeError::from)

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use npcgra_arch::CgraSpec;
 use npcgra_nn::{reference, ConvLayer, Tensor};
-use npcgra_serve::{BackendTier, ChaosConfig, ServeConfig, Server};
+use npcgra_serve::{BackendTier, ChaosConfig, CrossCheckCorruption, ServeConfig, Server, WorkerExit};
 
 fn fast_config(spec: &CgraSpec) -> ServeConfig {
     ServeConfig::for_spec(spec)
@@ -123,4 +123,60 @@ fn fast_tier_abft_catches_and_heals_injected_flips() {
         stats.cross_check_failed, 0,
         "clean-run sampling let a faulty batch into the cross-check"
     );
+}
+
+/// Drive a fast-tier server whose captured cross-check samples are
+/// chaos-corrupted, and assert the honesty mechanism fires: replies stay
+/// bit-exact (the corruption touches only the audit record), the replay
+/// diverges, and the shard is quarantined with no second strike.
+fn divergence_drill(corruption: CrossCheckCorruption) {
+    let spec = CgraSpec::np_cgra(4, 4);
+    let chaos = ChaosConfig {
+        cross_check_corrupt: Some(corruption),
+        ..ChaosConfig::default()
+    };
+    let server = Server::start(fast_config(&spec).with_cross_check_interval(1).with_chaos(chaos));
+    let layer = ConvLayer::depthwise("dw", 2, 8, 8, 3, 1, 1);
+    let w = layer.random_weights(21);
+    let id = server.register("m", layer.clone(), w.clone()).unwrap();
+    // Sequential submits: each served batch feeds the per-batch
+    // cross-check, which must catch the lie and kill the serving shard.
+    // Once every shard is quarantined, submits shed — stop there.
+    let mut served = 0u64;
+    for i in 0..8u64 {
+        let ifm = Tensor::random(2, 8, 8, 300 + i);
+        let golden = reference::run_layer(&layer, &ifm, &w).unwrap();
+        let Ok(ticket) = server.submit(id, ifm) else { break };
+        match ticket.wait() {
+            Ok(response) => {
+                assert_eq!(response.output, golden, "cross-check corruption leaked into a reply");
+                served += 1;
+            }
+            // The quarantine can race the queue: a request caught on a
+            // dying shard sheds instead of serving.
+            Err(_) => break,
+        }
+    }
+    let stats = server.shutdown();
+    assert!(served >= 1, "no request was ever served");
+    assert!(
+        stats.cross_check_failed >= 1,
+        "the cross-check never caught the divergence: {stats:?}"
+    );
+    assert!(stats.healthy_workers() < 2, "a shard caught lying was left in rotation");
+    assert!(
+        stats.worker_exits.contains(&WorkerExit::Unhealthy),
+        "the diverging shard did not exit unhealthy: {:?}",
+        stats.worker_exits
+    );
+}
+
+#[test]
+fn cross_check_quarantines_a_shard_with_diverging_outputs() {
+    divergence_drill(CrossCheckCorruption::OutputBit);
+}
+
+#[test]
+fn cross_check_quarantines_a_shard_with_diverging_cycle_charges() {
+    divergence_drill(CrossCheckCorruption::ChargedCycles);
 }

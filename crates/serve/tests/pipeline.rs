@@ -1,0 +1,152 @@
+//! Whole-model pipeline serving: the failover acceptance gate.
+//!
+//! A real MobileNetV1 depthwise-separable chain (α = 0.25, 32×32) is
+//! compiled into balanced stages and served through the [`Pipeline`] while
+//! chaos injects one of each stage-fault class at a distinct soak point:
+//! a stage **kill** (panic), a stage **wedge** (temporal fault preempted
+//! by the cycle budget), and a **handoff corruption** (caught by the
+//! forwarded checksum). The gate:
+//!
+//! * 100% of in-flight inferences complete **bit-exact** against the
+//!   single-machine golden reference — no fault is allowed to surface to
+//!   a caller.
+//! * Healing replays **only from the last checkpoint**: the per-stage
+//!   replay counters identify exactly which stages re-ran.
+//! * Kill and wedge exhaust a zero restart budget and **fail over** to the
+//!   stage's spare shard; the corruption heals by replay alone.
+//! * A zero-fault control run shows zero failovers, zero replays and zero
+//!   checkpoint restores — the machinery is inert when nothing breaks.
+
+use std::time::Duration;
+
+use npcgra_nn::{models, reference, ConvLayer, Tensor};
+use npcgra_serve::{Pipeline, ServeConfig, StageFault, Ticket};
+use npcgra_sim::CompiledModel;
+
+const STAGES: usize = 4;
+
+fn mobilenet_chain() -> Vec<ConvLayer> {
+    models::mobilenet_v1(0.25, 32).dsc_layers().cloned().collect()
+}
+
+fn pipeline_config(model: &CompiledModel) -> ServeConfig {
+    ServeConfig::for_spec(model.spec())
+        .with_pipeline_stages(STAGES)
+        .with_restart_budget(0)
+        .with_stage_spares(1)
+        .with_checkpoint_every(1)
+        .with_cycle_budget(8.0)
+        .with_max_retries(4)
+        .with_restart_backoff(Duration::ZERO)
+}
+
+fn compile(layers: &[ConvLayer]) -> (CompiledModel, Vec<Tensor>) {
+    let spec = npcgra_arch::CgraSpec::np_cgra(4, 4);
+    let model = CompiledModel::compile("mobilenet_v1_0.25_32", layers, &spec, STAGES).unwrap();
+    let weights = layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| l.random_weights(0xC0FFEE + i as u64))
+        .collect();
+    (model, weights)
+}
+
+fn golden(layers: &[ConvLayer], weights: &[Tensor], input: &Tensor) -> Tensor {
+    layers
+        .iter()
+        .zip(weights)
+        .fold(input.clone(), |act, (l, w)| reference::run_layer(l, &act, w).unwrap())
+}
+
+#[test]
+fn mobilenet_pipeline_heals_kill_wedge_and_corruption_bit_exact() {
+    let layers = mobilenet_chain();
+    let (model, weights) = compile(&layers);
+    assert_eq!(model.num_stages(), STAGES);
+    let mut cfg = pipeline_config(&model);
+    // One fault of each class, at distinct soak points in distinct stages.
+    cfg.chaos.stage_kill = Some(StageFault { stage: 1, job: 2 });
+    cfg.chaos.stage_wedge = Some(StageFault { stage: 2, job: 5 });
+    cfg.chaos.stage_corrupt = Some(StageFault { stage: 3, job: 8 });
+
+    let n = 10u64;
+    let input_shape = model.input_shape();
+    let inputs: Vec<Tensor> = (0..n)
+        .map(|i| Tensor::random(input_shape.0, input_shape.1, input_shape.2, 0x5eed + i))
+        .collect();
+    let goldens: Vec<Tensor> = inputs.iter().map(|i| golden(&layers, &weights, i)).collect();
+
+    let pipe = Pipeline::start(cfg, model, weights).unwrap();
+    let tickets: Vec<Ticket> = inputs.into_iter().map(|i| pipe.submit(i).unwrap()).collect();
+    for (i, (ticket, gold)) in tickets.into_iter().zip(&goldens).enumerate() {
+        let response = ticket.wait().unwrap_or_else(|e| panic!("inference {i} failed: {e}"));
+        assert_eq!(&response.output, gold, "inference {i} diverged from the golden run");
+    }
+
+    let stats = pipe.shutdown();
+    assert_eq!(stats.completed, n, "every in-flight inference must complete");
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.shed, 0);
+
+    // Each fault class fired exactly once and was caught as its own type.
+    assert_eq!(stats.panics_caught, 1, "the stage kill was not caught as a panic");
+    assert_eq!(stats.preemptions, 1, "the wedge was not preempted by the cycle budget");
+    assert_eq!(
+        stats.handoff_corruptions, 1,
+        "the checksum never caught the corrupted handoff"
+    );
+
+    // Healing replayed only from the last checkpoint. With every boundary
+    // checkpointed: the kill at stage 1 and the wedge at stage 2 each
+    // replay just their own stage; the corruption — caught at stage 3
+    // *entry*, before boundary 3 is checkpointed — rolls back to boundary
+    // 2 and replays stages 2 and 3. Stage 0 never replays.
+    assert_eq!(
+        stats.stage_replays,
+        vec![0, 1, 2, 1],
+        "healing replayed more (or less) than the checkpoints dictate"
+    );
+    assert_eq!(stats.checkpoint_restores, 3);
+
+    // Kill and wedge exhaust the zero restart budget and fail over to the
+    // stage spare; corruption heals by replay with no failover.
+    assert_eq!(stats.stage_failovers, vec![0, 1, 1, 0]);
+    assert_eq!(stats.total_failovers(), 2);
+    assert_eq!(
+        stats.stage_restarts,
+        vec![0, 0, 0, 0],
+        "budget 0 leaves no room for in-place restarts"
+    );
+}
+
+#[test]
+fn zero_fault_control_run_never_touches_the_healing_machinery() {
+    let layers = mobilenet_chain();
+    let (model, weights) = compile(&layers);
+    let cfg = pipeline_config(&model);
+
+    let n = 4u64;
+    let input_shape = model.input_shape();
+    let inputs: Vec<Tensor> = (0..n)
+        .map(|i| Tensor::random(input_shape.0, input_shape.1, input_shape.2, 0xC0 + i))
+        .collect();
+    let goldens: Vec<Tensor> = inputs.iter().map(|i| golden(&layers, &weights, i)).collect();
+
+    let pipe = Pipeline::start(cfg, model, weights).unwrap();
+    let tickets: Vec<Ticket> = inputs.into_iter().map(|i| pipe.submit(i).unwrap()).collect();
+    for (ticket, gold) in tickets.into_iter().zip(&goldens) {
+        assert_eq!(&ticket.wait().unwrap().output, gold);
+    }
+    let stats = pipe.shutdown();
+    assert_eq!(stats.completed, n);
+    assert_eq!(stats.total_failovers(), 0, "control run failed over");
+    assert_eq!(stats.total_replays(), 0, "control run replayed a stage");
+    assert_eq!(stats.checkpoint_restores, 0);
+    assert_eq!(stats.handoff_corruptions, 0);
+    assert_eq!(stats.preemptions, 0);
+    assert_eq!(stats.panics_caught, 0);
+    // Checkpoints are still *stored* (that is the premium paid for fast
+    // healing): one per configured boundary per inference.
+    assert!(stats.checkpoints_stored >= n);
+    assert!(stats.handoff_cycles > 0, "inter-stage handoffs must charge DMA cycles");
+}

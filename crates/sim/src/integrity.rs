@@ -318,6 +318,31 @@ fn golden_element(layer: &ConvLayer, ifm: &Tensor, weights: &Tensor, c: usize, o
     truncate(layer.activation().apply_acc(acc))
 }
 
+/// A positional checksum of a whole tensor, for verifying inter-stage
+/// activation handoffs in pipelined whole-model serving.
+///
+/// Unlike the per-block ABFT identities above (which predict outputs from
+/// inputs), this is a plain content hash: each word is mixed with its flat
+/// index through splitmix64 and the mixes are wrapping-summed, so any
+/// single-bit flip — and any transposition of two unequal words — changes
+/// the result. It costs O(len) and is a pure function of the tensor's
+/// shape and contents.
+#[must_use]
+pub fn tensor_checksum(t: &Tensor) -> u64 {
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+    let (c, h, w) = t.shape();
+    let mut sum = splitmix64((c as u64) << 42 ^ (h as u64) << 21 ^ w as u64);
+    for (i, &v) in t.as_slice().iter().enumerate() {
+        sum = sum.wrapping_add(splitmix64((i as u64) << 16 ^ u64::from(v as u16)));
+    }
+    sum
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,5 +465,30 @@ mod tests {
         let ifm = Tensor::zeros(4, 2, 2);
         let w = layer.random_weights(1);
         verify_block(&layer, &ifm, &w, &[]).unwrap();
+    }
+
+    #[test]
+    fn tensor_checksum_catches_flips_and_swaps() {
+        let t = Tensor::random(3, 5, 7, 9);
+        let base = tensor_checksum(&t);
+        assert_eq!(base, tensor_checksum(&t.clone()), "checksum is a pure function");
+
+        let mut flipped = t.clone();
+        let v = flipped.get(1, 2, 3);
+        flipped.set(1, 2, 3, v ^ 1);
+        assert_ne!(base, tensor_checksum(&flipped), "a single bit flip must change the sum");
+
+        // Transposing two unequal words changes the sum (a plain word-sum
+        // would miss this; the positional mix does not).
+        let mut swapped = t.clone();
+        let (a, b) = (t.get(0, 0, 0), t.get(2, 4, 6));
+        assert_ne!(a, b, "test fixture needs distinct words");
+        swapped.set(0, 0, 0, b);
+        swapped.set(2, 4, 6, a);
+        assert_ne!(base, tensor_checksum(&swapped));
+
+        // Same contents, different shape: the shape is part of the sum.
+        let reshaped = Tensor::from_fn(5, 3, 7, |c, y, x| t.get(y, c, x));
+        assert_ne!(base, tensor_checksum(&reshaped));
     }
 }

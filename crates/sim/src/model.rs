@@ -1,0 +1,470 @@
+//! Whole-model compilation: an ordered chain of [`CompiledLayer`]s
+//! partitioned into balanced pipeline stages.
+//!
+//! The paper maps one DWC or PWC layer onto one NP-CGRA array; serving a
+//! whole MobileNet chains layers across shards. [`CompiledModel`] is the
+//! compile-once product of that chaining:
+//!
+//! * **Chain validation** — each layer's IFM shape must equal its
+//!   predecessor's OFM shape, so the model is runnable end-to-end by
+//!   construction.
+//! * **DWC→PWC fusion** — a depthwise layer immediately followed by its
+//!   pointwise companion (the depthwise-separable block) becomes one
+//!   *scheduling unit*: a stage boundary never separates the pair, so the
+//!   DSC block's intermediate activation stays on-shard and is never
+//!   forwarded through external memory.
+//! * **Balanced partition** — units are split into `num_stages` contiguous
+//!   stages minimizing the maximum per-stage predicted cycles, where each
+//!   unit's cost comes from the §5 closed-form latency models
+//!   ([`CompiledLayer::timing_report`] — proven equal to the functional
+//!   charge). The bottleneck stage sets pipeline throughput, so minimizing
+//!   the max is minimizing the initiation interval.
+//! * **Handoff accounting** — inter-stage activations travel through the
+//!   external-memory/DMA model: the producing stage writes its OFM words
+//!   out and the consuming stage reads them back, each priced by
+//!   [`DmaEngine::transfer_cycles`].
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use npcgra_arch::CgraSpec;
+use npcgra_mem::DmaEngine;
+use npcgra_nn::{ConvKind, ConvLayer};
+
+use crate::compiled::CompiledLayer;
+use crate::error::{SimCause, SimError};
+use crate::layer::MappingKind;
+
+/// One pipeline stage of a [`CompiledModel`]: a contiguous run of layers,
+/// its predicted cost, and the words it forwards to the next stage.
+#[derive(Debug, Clone)]
+pub struct StagePlan {
+    layers: Range<usize>,
+    predicted_cycles: u64,
+    handoff_words: u64,
+}
+
+impl StagePlan {
+    /// The layer indices `[start, end)` this stage executes, in order.
+    #[must_use]
+    pub fn layers(&self) -> Range<usize> {
+        self.layers.clone()
+    }
+
+    /// Predicted pipelined cycles for the stage (sum of its layers'
+    /// closed-form [`CompiledLayer::timing_report`] cycles).
+    #[must_use]
+    pub fn predicted_cycles(&self) -> u64 {
+        self.predicted_cycles
+    }
+
+    /// Activation words this stage forwards to its successor through
+    /// external memory (zero for the final stage).
+    #[must_use]
+    pub fn handoff_words(&self) -> u64 {
+        self.handoff_words
+    }
+}
+
+/// A whole model compiled for pipelined execution: an ordered, chain-valid
+/// sequence of [`CompiledLayer`]s, DWC→PWC pairs fused into indivisible
+/// scheduling units, partitioned into balanced stages.
+///
+/// Cloning is cheap: the compiled layers are shared behind [`Arc`]s.
+#[derive(Clone)]
+pub struct CompiledModel {
+    name: String,
+    spec: CgraSpec,
+    layers: Vec<Arc<CompiledLayer>>,
+    /// Fused scheduling units as contiguous layer ranges (stage boundaries
+    /// are chosen between units, never inside one).
+    units: Vec<Range<usize>>,
+    stages: Vec<StagePlan>,
+}
+
+fn chain_err(name: &str, index: usize, msg: String) -> SimError {
+    SimError::new(&format!("{name}[{index}]"), 0, 0, SimCause::Map(msg))
+}
+
+impl CompiledModel {
+    /// Compile `layers` as a pipeline over `spec`, partitioned into (at
+    /// most) `num_stages` balanced stages.
+    ///
+    /// `num_stages` is clamped to `[1, number of fused units]` — a stage
+    /// must hold at least one whole unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when `layers` is empty, when a layer's input
+    /// shape does not match its predecessor's output shape, or when any
+    /// layer fails to compile (standard convolutions have no direct
+    /// mapping and are rejected, exactly as [`CompiledLayer::compile`]
+    /// rejects them).
+    pub fn compile(name: &str, layers: &[ConvLayer], spec: &CgraSpec, num_stages: usize) -> Result<Self, SimError> {
+        if layers.is_empty() {
+            return Err(chain_err(name, 0, "a model needs at least one layer".to_string()));
+        }
+        for (i, pair) in layers.windows(2).enumerate() {
+            let produced = (pair[0].out_channels(), pair[0].out_h(), pair[0].out_w());
+            let consumed = (pair[1].in_channels(), pair[1].in_h(), pair[1].in_w());
+            if produced != consumed {
+                return Err(chain_err(
+                    name,
+                    i + 1,
+                    format!(
+                        "layer '{}' consumes {consumed:?} but '{}' produces {produced:?}",
+                        pair[1].name(),
+                        pair[0].name()
+                    ),
+                ));
+            }
+        }
+        let compiled: Vec<Arc<CompiledLayer>> = layers
+            .iter()
+            .map(|l| CompiledLayer::compile(l, spec, MappingKind::Auto).map(Arc::new))
+            .collect::<Result<_, _>>()?;
+
+        // DWC→PWC fusion: a depthwise layer immediately followed by a
+        // pointwise one forms one indivisible unit (the DSC block).
+        let mut units: Vec<Range<usize>> = Vec::new();
+        let mut i = 0;
+        while i < layers.len() {
+            let fused =
+                layers[i].kind() == ConvKind::Depthwise && layers.get(i + 1).is_some_and(|n| n.kind() == ConvKind::Pointwise);
+            let end = if fused { i + 2 } else { i + 1 };
+            units.push(i..end);
+            i = end;
+        }
+
+        let unit_cycles: Vec<u64> = units
+            .iter()
+            .map(|u| u.clone().map(|l| compiled[l].timing_report().cycles).sum())
+            .collect();
+        let cuts = balanced_partition(&unit_cycles, num_stages.clamp(1, units.len()));
+
+        let stages: Vec<StagePlan> = cuts
+            .iter()
+            .map(|unit_range| {
+                let first_layer = units[unit_range.start].start;
+                let last_layer = units[unit_range.end - 1].end;
+                let last = &layers[last_layer - 1];
+                StagePlan {
+                    layers: first_layer..last_layer,
+                    predicted_cycles: unit_cycles[unit_range.clone()].iter().sum(),
+                    handoff_words: if last_layer == layers.len() {
+                        0
+                    } else {
+                        (last.out_channels() * last.out_h() * last.out_w()) as u64
+                    },
+                }
+            })
+            .collect();
+
+        Ok(CompiledModel {
+            name: name.to_string(),
+            spec: *spec,
+            layers: compiled,
+            units,
+            stages,
+        })
+    }
+
+    /// The model's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The machine spec every stage shard must be built from.
+    #[must_use]
+    pub fn spec(&self) -> &CgraSpec {
+        &self.spec
+    }
+
+    /// Number of layers in the chain.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of fused scheduling units.
+    #[must_use]
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Number of pipeline stages the model was partitioned into.
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The compiled program of layer `i`.
+    #[must_use]
+    pub fn layer(&self, i: usize) -> &Arc<CompiledLayer> {
+        &self.layers[i]
+    }
+
+    /// The stage plans, in pipeline order.
+    #[must_use]
+    pub fn stages(&self) -> &[StagePlan] {
+        &self.stages
+    }
+
+    /// The fused scheduling units as contiguous layer ranges.
+    #[must_use]
+    pub fn units(&self) -> &[Range<usize>] {
+        &self.units
+    }
+
+    /// The model's IFM shape `(channels, height, width)`.
+    #[must_use]
+    pub fn input_shape(&self) -> (usize, usize, usize) {
+        let first = self.layers[0].layer();
+        (first.in_channels(), first.in_h(), first.in_w())
+    }
+
+    /// The model's final OFM shape `(channels, height, width)`.
+    #[must_use]
+    pub fn output_shape(&self) -> (usize, usize, usize) {
+        let last = self.layers[self.layers.len() - 1].layer();
+        (last.out_channels(), last.out_h(), last.out_w())
+    }
+
+    /// Predicted cycles of the whole chain (sum over stages).
+    #[must_use]
+    pub fn predicted_cycles(&self) -> u64 {
+        self.stages.iter().map(StagePlan::predicted_cycles).sum()
+    }
+
+    /// DMA cycles to forward stage `s`'s output activation to stage `s+1`
+    /// through external memory: the producer writes the words out, the
+    /// consumer reads them back — two [`DmaEngine::transfer_cycles`]
+    /// passes. Zero for the final stage (the reply leaves the pipeline).
+    #[must_use]
+    pub fn handoff_cycles(&self, s: usize) -> u64 {
+        let words = self.stages[s].handoff_words;
+        if words == 0 {
+            return 0;
+        }
+        let engine = DmaEngine::new(&self.spec);
+        2 * engine.transfer_cycles(words)
+    }
+}
+
+impl std::fmt::Debug for CompiledModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledModel")
+            .field("name", &self.name)
+            .field("layers", &self.layers.len())
+            .field("units", &self.units.len())
+            .field("stages", &self.stages.len())
+            .field("predicted_cycles", &self.predicted_cycles())
+            .finish()
+    }
+}
+
+/// Partition `costs` into `parts` contiguous ranges minimizing the maximum
+/// range sum (the classic linear-partition DP): `best[k][i]` is the
+/// minimal achievable bottleneck for the first `i` items in `k` parts.
+/// Returns the ranges in order; every range is non-empty.
+fn balanced_partition(costs: &[u64], parts: usize) -> Vec<Range<usize>> {
+    let n = costs.len();
+    let parts = parts.clamp(1, n);
+    let mut prefix = vec![0u64; n + 1];
+    for (i, &c) in costs.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + c;
+    }
+    let sum = |a: usize, b: usize| prefix[b] - prefix[a];
+
+    // best[k][i]: minimal bottleneck splitting costs[..i] into k parts;
+    // cut[k][i]: the start of the last part in that optimum.
+    let mut best = vec![vec![u64::MAX; n + 1]; parts + 1];
+    let mut cut = vec![vec![0usize; n + 1]; parts + 1];
+    best[0][0] = 0;
+    for k in 1..=parts {
+        for i in k..=n {
+            for j in (k - 1)..i {
+                if best[k - 1][j] == u64::MAX {
+                    continue;
+                }
+                let bottleneck = best[k - 1][j].max(sum(j, i));
+                if bottleneck < best[k][i] {
+                    best[k][i] = bottleneck;
+                    cut[k][i] = j;
+                }
+            }
+        }
+    }
+
+    let mut ranges = Vec::with_capacity(parts);
+    let mut end = n;
+    for k in (1..=parts).rev() {
+        let start = cut[k][end];
+        ranges.push(start..end);
+        end = start;
+    }
+    ranges.reverse();
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npcgra_nn::{models, reference, Tensor};
+
+    fn spec4() -> CgraSpec {
+        CgraSpec::np_cgra(4, 4)
+    }
+
+    /// A small hand-built DSC chain: dw→pw, dw→pw, pw.
+    fn chain() -> Vec<ConvLayer> {
+        vec![
+            ConvLayer::depthwise("dw1", 4, 8, 8, 3, 1, 1),
+            ConvLayer::pointwise("pw1", 4, 6, 8, 8),
+            ConvLayer::depthwise("dw2", 6, 8, 8, 3, 2, 1),
+            ConvLayer::pointwise("pw2", 6, 8, 4, 4),
+            ConvLayer::pointwise("pw3", 8, 8, 4, 4),
+        ]
+    }
+
+    #[test]
+    fn balanced_partition_minimizes_the_bottleneck() {
+        assert_eq!(balanced_partition(&[1, 1, 1, 1], 2), vec![0..2, 2..4]);
+        // The optimal 2-split of [9, 1, 1, 1] is [9] | [1, 1, 1].
+        assert_eq!(balanced_partition(&[9, 1, 1, 1], 2), vec![0..1, 1..4]);
+        // More parts than items clamps: each item its own part.
+        assert_eq!(balanced_partition(&[5, 7], 4), vec![0..1, 1..2]);
+        // One part swallows everything.
+        assert_eq!(balanced_partition(&[3, 1, 4], 1), vec![0..3]);
+    }
+
+    #[test]
+    fn compile_validates_the_chain() {
+        let spec = spec4();
+        let model = CompiledModel::compile("m", &chain(), &spec, 3).unwrap();
+        assert_eq!(model.num_layers(), 5);
+        assert_eq!(model.num_units(), 3, "two DSC pairs plus one lone pw");
+        assert_eq!(model.input_shape(), (4, 8, 8));
+        assert_eq!(model.output_shape(), (8, 4, 4));
+
+        // A broken chain is rejected with the offending layer named.
+        let mut bad = chain();
+        bad[2] = ConvLayer::depthwise("dw2", 7, 8, 8, 3, 2, 1);
+        let err = CompiledModel::compile("m", &bad, &spec, 2).unwrap_err();
+        assert!(err.to_string().contains("dw2"), "{err}");
+
+        // Empty models and standard convolutions are rejected.
+        assert!(CompiledModel::compile("m", &[], &spec, 1).is_err());
+        let std_conv = vec![ConvLayer::standard("c", 3, 4, 8, 8, 3, 1, 1, 1)];
+        assert!(CompiledModel::compile("m", &std_conv, &spec, 1).is_err());
+    }
+
+    #[test]
+    fn fusion_never_splits_a_dsc_pair() {
+        let spec = spec4();
+        for stages in 1..=3 {
+            let model = CompiledModel::compile("m", &chain(), &spec, stages).unwrap();
+            for plan in model.stages() {
+                let r = plan.layers();
+                // Boundaries land on unit edges: some unit starts exactly at
+                // r.start and some unit ends exactly at r.end.
+                assert!(model.units().iter().any(|u| u.start == r.start), "{stages} stages: {r:?}");
+                assert!(model.units().iter().any(|u| u.end == r.end), "{stages} stages: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stages_cover_the_chain_in_order() {
+        let spec = spec4();
+        let model = CompiledModel::compile("m", &chain(), &spec, 2).unwrap();
+        let mut next = 0;
+        for plan in model.stages() {
+            assert_eq!(plan.layers().start, next, "stages are contiguous and ordered");
+            assert!(!plan.layers().is_empty());
+            next = plan.layers().end;
+        }
+        assert_eq!(next, model.num_layers());
+        assert_eq!(
+            model.predicted_cycles(),
+            model.stages().iter().map(StagePlan::predicted_cycles).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn partition_is_balanced_by_predicted_cycles() {
+        let spec = spec4();
+        let model = CompiledModel::compile("m", &chain(), &spec, 2).unwrap();
+        let max = model.stages().iter().map(StagePlan::predicted_cycles).max().unwrap();
+        // The bottleneck stage must beat the degenerate everything-in-one
+        // partition; with balanced costs it sits well under the total.
+        assert!(max < model.predicted_cycles(), "partition left one stage with all the work");
+    }
+
+    #[test]
+    fn handoff_cycles_price_the_boundary_tensors() {
+        let spec = spec4();
+        let model = CompiledModel::compile("m", &chain(), &spec, 3).unwrap();
+        let engine = DmaEngine::new(&spec);
+        for (s, plan) in model.stages().iter().enumerate() {
+            if s + 1 == model.num_stages() {
+                assert_eq!(plan.handoff_words(), 0, "the last stage forwards nothing");
+                assert_eq!(model.handoff_cycles(s), 0);
+            } else {
+                let last = model.layer(plan.layers().end - 1).layer();
+                let words = (last.out_channels() * last.out_h() * last.out_w()) as u64;
+                assert_eq!(plan.handoff_words(), words);
+                assert_eq!(
+                    model.handoff_cycles(s),
+                    2 * engine.transfer_cycles(words),
+                    "write + read back"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mobilenet_v1_dsc_chain_compiles_and_partitions() {
+        let table = models::mobilenet_v1(0.25, 32);
+        let layers: Vec<ConvLayer> = table.dsc_layers().cloned().collect();
+        let model = CompiledModel::compile("mobilenet_v1", &layers, &spec4(), 4).unwrap();
+        assert_eq!(model.num_stages(), 4);
+        assert_eq!(model.num_layers(), layers.len());
+        // Every unit is a fused dw→pw pair in v1's DSC chain.
+        assert!(model.units().iter().all(|u| u.len() == 2));
+        let max = model.stages().iter().map(StagePlan::predicted_cycles).max().unwrap();
+        assert!(
+            (max as f64) < model.predicted_cycles() as f64 * 0.6,
+            "4-way partition should cut the bottleneck well below the serial total \
+             (bottleneck {max}, total {})",
+            model.predicted_cycles()
+        );
+    }
+
+    #[test]
+    fn chained_execution_matches_the_golden_reference() {
+        let spec = spec4();
+        let layers = chain();
+        let model = CompiledModel::compile("m", &layers, &spec, 2).unwrap();
+        let weights: Vec<Tensor> = layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l.random_weights(40 + i as u64))
+            .collect();
+        let input = Tensor::random(4, 8, 8, 99);
+
+        let mut machine = crate::machine::Machine::new(&spec);
+        let mut activation = input.clone();
+        for (i, compiled) in (0..model.num_layers()).map(|i| (i, model.layer(i))) {
+            let (out, _) = compiled.run_on(&mut machine, &activation, &weights[i]).unwrap();
+            activation = out;
+        }
+
+        let mut golden = input;
+        for (layer, w) in layers.iter().zip(&weights) {
+            golden = reference::run_layer(layer, &golden, w).unwrap();
+        }
+        assert_eq!(activation, golden, "chained compiled execution diverged from the reference");
+    }
+}

@@ -76,6 +76,10 @@ echo "== overload soak (2x capacity; admitted Interactive must hold its SLO) =="
 cargo run --release -q -p npcgra-cli -- chaos-bench --overload \
   --machine 4x4 --workers 4 --clients 8 --seconds 4 --assert-slo >/dev/null
 
+echo "== pipeline soak (stage kill/wedge/corruption must heal from checkpoints, bit-exact) =="
+cargo run --release -q -p npcgra-cli -- chaos-bench --pipeline \
+  --stages 4 --spares 1 --checkpoint-every 1 --requests 24 --assert-liveness >/dev/null
+
 echo "== benches (quick pass) =="
 cargo bench -p npcgra-bench >/dev/null
 
