@@ -47,6 +47,21 @@
 //! last checkpoint (stage 0 never replays), and the control phase shows
 //! zero failovers, zero replays and zero restores.
 //!
+//! With `--pipeline --overload` the two umbrellas combine into the
+//! whole-model overload/liveness soak: a control phase proves the armed
+//! stage watchdogs and pipeline brownout ladder are inert on a healthy,
+//! unloaded pipeline (no false preemptions, no ladder transitions); a
+//! calibration phase measures closed-loop capacity; then one pipeline —
+//! with stage watchdogs armed as the *only* preemption path (no cycle
+//! budget), a stage wedge and a stage kill injected, and CoDel-driven
+//! priority admission on stage 0 — absorbs a sequential fault warm-up
+//! followed by an open-loop mixed-priority drive at `--overload-factor`
+//! times capacity. With `--assert-slo` the run fails unless every ticket
+//! resolves, every delivered reply is bit-exact, ≥ 99 % of admitted
+//! Interactive whole-model inferences meet `--slo-ms`, the wedge was
+//! preempted by the stage watchdog (and recovered via failover), and the
+//! brownout ladder actually engaged.
+//!
 //! With `--overload` the command instead runs the overload-control soak:
 //! it first *calibrates* the server's closed-loop capacity, then drives it
 //! open-loop at `--overload-factor` times that rate (default 2×) with a
@@ -74,13 +89,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use npcgra::nn::{models, reference, ConvLayer, Tensor};
-use npcgra::serve::{ChaosConfig, ModelId, OverloadConfig, Priority, ServeConfig, ServeError, Server, Ticket, WorkerExit};
+use npcgra::serve::{
+    BackendTier, ChaosConfig, ModelId, OverloadConfig, Priority, ServeConfig, ServeError, Server, Ticket, WorkerExit,
+};
 
 use crate::args::Flags;
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
     if flags.has("pipeline") {
+        if flags.has("overload") {
+            return run_pipeline_overload(&flags);
+        }
         return run_pipeline(&flags);
     }
     if flags.has("overload") {
@@ -476,6 +496,424 @@ fn run_pipeline(flags: &Flags) -> Result<(), String> {
         chaos.total_failovers(),
         chaos.stage_replays,
         chaos.checkpoint_restores
+    );
+    Ok(())
+}
+
+/// The `--pipeline --overload` combined soak: whole-model serving under
+/// the full overload/liveness umbrella. Three phases on the MobileNetV1
+/// DSC chain:
+///
+/// 1. **Control** — sequential zero-fault, zero-overload traffic through a
+///    pipeline with stage watchdogs and the brownout controller *armed*:
+///    proves no false preemptions and no ladder transitions.
+/// 2. **Calibration** — closed-loop clients measure pipelined capacity.
+/// 3. **Soak** — one pipeline with a stage wedge and a stage kill injected
+///    (watchdog wall deadlines the only preemption path — no cycle
+///    budget) absorbs a sequential warm-up that calibrates the per-stage
+///    ns-per-cycle estimates and lands both faults, then an open-loop
+///    mixed-priority drive at `--overload-factor`× capacity with
+///    Interactive traffic carrying `--slo-ms` deadlines.
+///
+/// `--assert-slo` gates: every ticket resolves, delivered replies are
+/// bit-exact, ≥ 99 % of admitted Interactive inferences meet the SLO, the
+/// stage watchdog preempted the wedge, the kill was contained, both healed
+/// via failover, and the brownout ladder engaged.
+///
+/// [`Pipeline`]: npcgra::serve::Pipeline
+fn run_pipeline_overload(flags: &Flags) -> Result<(), String> {
+    use npcgra::serve::{Pipeline, PipelineConfig, StageFault};
+    use npcgra::sim::CompiledModel;
+
+    let spec = flags.machine()?;
+    let stages: usize = parse_or(flags, "stages", 4)?;
+    let spares: usize = parse_or(flags, "spares", 1)?;
+    let requests: u64 = parse_or(flags, "requests", 16)?;
+    let clients: usize = parse_or(flags, "clients", 4)?;
+    let seconds: f64 = parse_or(flags, "seconds", 4.0)?;
+    let calib_seconds: f64 = parse_or(flags, "calib-seconds", 1.0)?;
+    let factor: f64 = parse_or(flags, "overload-factor", 2.0)?;
+    let slo_ms: u64 = parse_or(flags, "slo-ms", 1_000)?;
+    let delay_target_us: u64 = parse_or(flags, "delay-target-us", 2_000)?;
+    let delay_window_ms: u64 = parse_or(flags, "delay-window-ms", 50)?;
+    let inflight_cap: usize = parse_or(flags, "inflight-cap", 2)?;
+    let watchdog_slack: f64 = parse_or(flags, "watchdog-slack", 4.0)?;
+    let alpha: f64 = parse_or(flags, "alpha", 0.25)?;
+    let res: usize = parse_or(flags, "res", 32)?;
+    let wait_ms: u64 = parse_or(flags, "wait-ms", 250)?;
+    let assert_slo = flags.has("assert-slo");
+    // This soak validates overload/liveness *policy* — admission, deadlines,
+    // watchdog preemption — not cycle timing, so it defaults to the fast
+    // tier: whole-model capacity is orders of magnitude higher, which both
+    // gives the 99% SLO assertion statistical volume and keeps CoDel's
+    // sliding windows densely sampled. `--tier cycle-accurate` still works
+    // (lengthen --seconds to regain volume).
+    let tier = match flags.get("tier") {
+        None => BackendTier::Fast,
+        Some(v) => v.parse().map_err(|e: String| format!("--tier: {e}"))?,
+    };
+    if res == 0 || !res.is_multiple_of(32) {
+        return Err(format!("--res must be a positive multiple of 32, got {res}"));
+    }
+    if stages < 2 {
+        return Err(format!("--pipeline needs --stages >= 2, got {stages}"));
+    }
+    if requests < 12 {
+        return Err(format!("--pipeline --overload needs --requests >= 12, got {requests}"));
+    }
+    if clients == 0 {
+        return Err("--pipeline --overload needs at least one client".to_string());
+    }
+    if !(1.0..=100.0).contains(&factor) {
+        return Err(format!("--overload-factor must be in [1, 100], got {factor}"));
+    }
+
+    let layers: Vec<ConvLayer> = models::mobilenet_v1(alpha, res).dsc_layers().cloned().collect();
+    let model = CompiledModel::compile("mobilenet_v1", &layers, &spec, stages)
+        .map_err(|e| format!("compiling the pipeline model: {e}"))?;
+    let stages = model.num_stages();
+    if stages < 2 {
+        return Err(format!("the chain only supports {stages} stage(s) — too short for the soak"));
+    }
+    let weights: Vec<Tensor> = layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| l.random_weights(0xC0FFEE + i as u64))
+        .collect();
+    let golden_of = |input: &Tensor| -> Tensor {
+        layers.iter().zip(&weights).fold(input.clone(), |act, (l, w)| {
+            reference::run_layer(l, &act, w).expect("golden reference")
+        })
+    };
+
+    // The armed umbrella: stage watchdogs (the ONLY preemption path — no
+    // cycle budget) plus CoDel-driven brownout over stage-queue sojourns.
+    let armed = PipelineConfig {
+        delay_target: Some(Duration::from_micros(delay_target_us)),
+        delay_window: Duration::from_millis(delay_window_ms),
+        watchdog_slack,
+        stage_inflight_cap: inflight_cap,
+        ..PipelineConfig::default()
+    };
+    let base = ServeConfig::for_spec(&spec)
+        .with_backend_tier(tier)
+        .with_pipeline_stages(stages)
+        .with_stage_spares(spares)
+        .with_checkpoint_every(1)
+        .with_restart_budget(0)
+        .with_restart_backoff(Duration::from_micros(100))
+        .with_max_retries(4)
+        .with_queue_capacity(1024)
+        .with_pipeline(armed);
+    // One gray fault and one crash fault, in distinct stages, landing
+    // after the sequential warm-up has calibrated every stage's wall
+    // estimate (4 healthy passes arm the watchdog).
+    let wedge = StageFault {
+        stage: (stages / 2).max(1),
+        job: 8,
+    };
+    let kill = StageFault { stage: 1, job: 10 };
+    let mut faulted = base;
+    faulted.chaos.stage_wedge = Some(wedge);
+    faulted.chaos.stage_kill = Some(kill);
+
+    println!(
+        "chaos-bench --pipeline --overload: {} layers in {stages} stage(s) over a {}x{} machine ({tier} tier); \
+         watchdog slack {watchdog_slack}x (no cycle budget), CoDel target {delay_target_us}us window {delay_window_ms}ms, \
+         wedge stage {} @ job {}, kill stage {} @ job {}",
+        model.num_layers(),
+        spec.rows,
+        spec.cols,
+        wedge.stage,
+        wedge.job,
+        kill.stage,
+        kill.job,
+    );
+
+    quiet_worker_panics();
+    let shape = model.input_shape();
+
+    // Phase 1 — control: sequential healthy traffic with everything armed.
+    // One job in flight at a time means no standing queue and no wedges, so
+    // any preemption or ladder transition here is a false positive.
+    let control_pipe = Pipeline::start(base, model.clone(), weights.clone()).map_err(|e| format!("control: start: {e}"))?;
+    for i in 0..requests {
+        let input = Tensor::random(shape.0, shape.1, shape.2, 0xA11CE + i);
+        let golden = golden_of(&input);
+        let out = control_pipe
+            .submit(input)
+            .and_then(Ticket::wait)
+            .map_err(|e| format!("control: inference {i}: {e}"))?;
+        if out.output != golden {
+            return Err(format!("control: inference {i} diverged from the golden run"));
+        }
+    }
+    let control = control_pipe.shutdown();
+    println!("--- control phase ---\n{control}");
+    if control.watchdog_preemptions > 0 {
+        return Err(format!(
+            "control: {} stage-watchdog preemption(s) on healthy sequential traffic — the watchdog misfires",
+            control.watchdog_preemptions
+        ));
+    }
+    if control.brownout_escalations > 0 || control.overload_sheds.iter().sum::<u64>() > 0 {
+        return Err(format!(
+            "control: the brownout ladder engaged with no overload ({} escalation(s), {:?} shed(s))",
+            control.brownout_escalations, control.overload_sheds
+        ));
+    }
+    if control.total_failovers() != 0 || control.total_replays() != 0 || control.deadline_sheds != 0 {
+        return Err("control: healing/deadline machinery engaged on a healthy unloaded pipeline".to_string());
+    }
+
+    // Phase 2 — closed-loop capacity calibration on a plain pipeline (no
+    // overload knobs: measure the service rate, not the brownout policy).
+    let calib_pipe = Pipeline::start(base.with_pipeline(PipelineConfig::default()), model.clone(), weights.clone())
+        .map_err(|e| format!("calibration: start: {e}"))?;
+    let calib_start = Instant::now();
+    let calib_end = calib_start + Duration::from_secs_f64(calib_seconds);
+    let calibrated = AtomicU64::new(0);
+    let (calib_ref, calibrated_ref) = (&calib_pipe, &calibrated);
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut r = 0u64;
+                while Instant::now() < calib_end {
+                    let input = Tensor::random(shape.0, shape.1, shape.2, 0xCA1B + c as u64 * 1_000_000 + r);
+                    r += 1;
+                    match calib_ref.submit(input) {
+                        Ok(t) => {
+                            let _ = t.wait_timeout(Duration::from_secs(10));
+                            calibrated_ref.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_micros(200)),
+                    }
+                }
+            });
+        }
+    });
+    let calibrated = calibrated.load(Ordering::Relaxed);
+    let capacity_rps = calibrated as f64 / calib_start.elapsed().as_secs_f64();
+    let _ = calib_pipe.shutdown();
+    if calibrated == 0 || capacity_rps <= 0.0 {
+        return Err("calibration completed no inferences — the pipeline is wedged".to_string());
+    }
+    let offered_rps = capacity_rps * factor;
+    println!(
+        "calibrated pipeline capacity ≈ {capacity_rps:.0} inf/s; driving open-loop at {offered_rps:.0} inf/s \
+         ({factor:.1}x) for {seconds:.1}s — 30% Interactive (SLO {slo_ms}ms) / 40% Batch / 30% BestEffort"
+    );
+
+    // Phase 3 — the soak pipeline. First a sequential warm-up: jobs 0..=7
+    // calibrate every stage's ns-per-cycle estimate, job 8 wedges (stage
+    // watchdog preempts on the wall clock), job 10 is killed (supervised
+    // panic) — both heal via the stage spare, audited bit-exact.
+    let pipe = Pipeline::start(faulted, model.clone(), weights.clone()).map_err(|e| format!("soak: start: {e}"))?;
+    let warmup = 12u64;
+    let warmup_cap = Duration::from_millis(wait_ms) * 120;
+    for i in 0..warmup {
+        let input = Tensor::random(shape.0, shape.1, shape.2, 0x3A7 + i);
+        let golden = golden_of(&input);
+        let ticket = pipe
+            .submit_with_priority(input, None, Priority::Batch)
+            .map_err(|e| format!("warm-up: submit {i}: {e}"))?;
+        let mut waited = Duration::ZERO;
+        let out = loop {
+            match ticket.wait_timeout(Duration::from_millis(wait_ms)) {
+                Err(ServeError::ReplyTimeout { waited: w }) => {
+                    waited += w;
+                    if waited >= warmup_cap {
+                        return Err(format!("warm-up: inference {i} never resolved — a stage wedged silently"));
+                    }
+                }
+                Ok(resp) => break resp,
+                Err(e) => return Err(format!("warm-up: inference {i}: {e}")),
+            }
+        };
+        if out.output != golden {
+            return Err(format!("warm-up: inference {i} diverged from the golden run"));
+        }
+    }
+
+    // Open-loop mixed-priority drive on the same (healed) pipeline. The
+    // drive cycles a fixed pool of distinct inputs whose goldens are
+    // precomputed once, so the bit-exact audit of every delivered reply
+    // stays O(1) per reply at fast-tier request volumes.
+    let pool: Vec<(Tensor, Tensor)> = (0..16u64)
+        .map(|k| {
+            let input = Tensor::random(shape.0, shape.1, shape.2, 0x000D_21FE_0000 + k);
+            let golden = golden_of(&input);
+            (input, golden)
+        })
+        .collect();
+    let slo = Duration::from_millis(slo_ms);
+    let start = Instant::now();
+    let drive_end = start + Duration::from_secs_f64(seconds);
+    let (pipe_ref, pool_ref) = (&pipe, &pool);
+    let (recs, rejected) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut recs: Vec<(Priority, usize, Ticket)> = Vec::new();
+                    let mut rejected = [0u64; 3];
+                    let interval = Duration::from_secs_f64(clients as f64 / offered_rps);
+                    let t0 = start + Duration::from_secs_f64(c as f64 / offered_rps);
+                    let mut i: u32 = 0;
+                    loop {
+                        let due = t0 + interval * i;
+                        if due >= drive_end {
+                            break;
+                        }
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let g = i as usize * clients + c;
+                        let class = match g % 10 {
+                            0..=2 => Priority::Interactive,
+                            3..=6 => Priority::Batch,
+                            _ => Priority::BestEffort,
+                        };
+                        let deadline = (class == Priority::Interactive).then_some(slo);
+                        let k = g % pool_ref.len();
+                        let input = pool_ref[k].0.clone();
+                        match pipe_ref.submit_with_priority(input, deadline, class) {
+                            Ok(ticket) => recs.push((class, k, ticket)),
+                            Err(ServeError::ShuttingDown) => break,
+                            Err(_) => rejected[class.index()] += 1,
+                        }
+                        i += 1;
+                    }
+                    (recs, rejected)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        let mut rej = [0u64; 3];
+        for h in handles {
+            let (r, rj) = h.join().expect("client thread");
+            all.extend(r);
+            for (total, part) in rej.iter_mut().zip(rj) {
+                *total += part;
+            }
+        }
+        (all, rej)
+    });
+
+    // Redeem every admitted ticket, auditing delivered outputs bit-exactly.
+    let wait_cap = Duration::from_millis(wait_ms) * 120;
+    let mut hung = 0u64;
+    let mut wrong = 0u64;
+    let mut admitted = [0u64; 3];
+    let mut served = [0u64; 3];
+    let mut interactive_in_slo = 0u64;
+    for (class, k, ticket) in recs {
+        admitted[class.index()] += 1;
+        let mut waited = Duration::ZERO;
+        let outcome = loop {
+            match ticket.wait_timeout(Duration::from_millis(wait_ms)) {
+                Err(ServeError::ReplyTimeout { waited: w }) => {
+                    waited += w;
+                    if waited >= wait_cap {
+                        break None;
+                    }
+                }
+                other => break Some(other),
+            }
+        };
+        match outcome {
+            None => hung += 1,
+            Some(Ok(resp)) => {
+                served[class.index()] += 1;
+                if resp.output != pool[k].1 {
+                    wrong += 1;
+                }
+                if class == Priority::Interactive && resp.latency <= slo {
+                    interactive_in_slo += 1;
+                }
+            }
+            // A typed shed after admission (deadline, brownout, …): the
+            // ticket resolved; for Interactive it is an SLO miss.
+            Some(Err(_)) => {}
+        }
+    }
+
+    let stats = pipe.shutdown();
+    println!("--- soak phase ---\n{stats}");
+    let offered: u64 = admitted.iter().sum::<u64>() + rejected.iter().sum::<u64>();
+    let attainment = if admitted[0] > 0 {
+        interactive_in_slo as f64 / admitted[0] as f64
+    } else {
+        0.0
+    };
+    println!(
+        "pipeline overload: offered {offered}, admitted I/B/E {}/{}/{}, rejected I/B/E {}/{}/{}; \
+         interactive SLO {interactive_in_slo}/{} within {slo_ms}ms ({:.2}%)",
+        admitted[0],
+        admitted[1],
+        admitted[2],
+        rejected[0],
+        rejected[1],
+        rejected[2],
+        admitted[0],
+        attainment * 100.0,
+    );
+
+    if hung > 0 {
+        return Err(format!("{hung} ticket(s) never resolved — a reply was silently dropped"));
+    }
+    if wrong > 0 {
+        return Err(format!(
+            "{wrong} delivered reply(s) diverged from the golden reference under overload and faults"
+        ));
+    }
+    if assert_slo {
+        if stats.watchdog_preemptions == 0 {
+            return Err("assert-slo: the stage watchdog never preempted the injected wedge".to_string());
+        }
+        if stats.panics_caught != 1 {
+            return Err(format!(
+                "assert-slo: the injected stage kill was not contained (panics caught: {})",
+                stats.panics_caught
+            ));
+        }
+        if stats.total_failovers() < 2 {
+            return Err(format!(
+                "assert-slo: the wedge and the kill must each fail over to a spare, got {:?}",
+                stats.stage_failovers
+            ));
+        }
+        if stats.brownout_escalations == 0 {
+            return Err(
+                "assert-slo: the drive never pushed the pipeline into brownout — raise --overload-factor or --seconds"
+                    .to_string(),
+            );
+        }
+        if stats.overload_sheds.iter().sum::<u64>() == 0 {
+            return Err("assert-slo: the brownout ladder escalated but never shed anything".to_string());
+        }
+        if admitted[0] < 50 {
+            return Err(format!(
+                "assert-slo: only {} Interactive inference(s) admitted — too few for a meaningful \
+                 99% assertion; raise --seconds",
+                admitted[0]
+            ));
+        }
+        if attainment < 0.99 {
+            return Err(format!(
+                "assert-slo: only {:.2}% of admitted Interactive inferences met the {slo_ms}ms SLO (need 99%)",
+                attainment * 100.0
+            ));
+        }
+    }
+    println!(
+        "chaos-bench --pipeline --overload PASS: {offered} offered at {factor:.1}x capacity, 0 hung, 0 wrong; \
+         interactive SLO attainment {:.2}%; {} watchdog preemption(s), {} failover(s), brownout {} up / {} down",
+        attainment * 100.0,
+        stats.watchdog_preemptions,
+        stats.total_failovers(),
+        stats.brownout_escalations,
+        stats.brownout_deescalations,
     );
     Ok(())
 }

@@ -14,9 +14,22 @@
 //! both tiers ran) to a JSON array at `path`, so repeated runs accumulate
 //! a comparable history; a legacy single-object file is wrapped into an
 //! array on first append.
+//!
+//! After the per-layer run, each selected model whose DSC chain compiles
+//! into a [`CompiledModel`](npcgra::sim::CompiledModel) is also served
+//! *whole* through the stage-parallel [`Pipeline`](npcgra::serve::Pipeline)
+//! (`--stages` balanced stages, `--pipeline-requests` closed-loop
+//! end-to-end inferences), and the end-to-end pipelined inferences/sec is
+//! reported alongside the per-layer numbers — the run record gains a
+//! matching `pipeline` array.
+
+use std::time::{Duration, Instant};
 
 use npcgra::nn::{models, Tensor};
-use npcgra::serve::{BackendTier, ModelId, ServeConfig, ServeError, Server, StatsSnapshot};
+use npcgra::serve::{
+    BackendTier, ModelId, Pipeline, PipelineStatsSnapshot, ServeConfig, ServeError, Server, StatsSnapshot, Ticket,
+};
+use npcgra::sim::CompiledModel;
 
 use crate::args::Flags;
 
@@ -31,6 +44,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let alpha: f64 = parse_or(&flags, "alpha", 0.25)?;
     let res: usize = parse_or(&flags, "res", 32)?;
     let deadline_ms: u64 = parse_or(&flags, "deadline-ms", 0)?;
+    let stages: usize = parse_or(&flags, "stages", 4)?;
+    let pipeline_requests: usize = parse_or(&flags, "pipeline-requests", 24)?;
     // Much tighter than the serving default (32): bench runs are a few
     // dozen batches per shard, and the record should prove the fast tier
     // survived real cross-checks.
@@ -57,6 +72,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 
     let mut results: Vec<(BackendTier, StatsSnapshot)> = Vec::new();
+    let mut pipeline_results: Vec<PipelineBench> = Vec::new();
     for &tier in &tiers {
         let config = ServeConfig::for_spec(&spec)
             .with_workers(workers)
@@ -68,6 +84,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
         let stats = drive_workload(&config, &model_tables, &spec, tier, workers, clients, requests)?;
         println!("{stats}");
         results.push((tier, stats));
+
+        // End-to-end whole-model serving: the same chains through the
+        // stage-parallel pipeline (models that don't compile — e.g. chains
+        // with residual shapes — are reported and skipped).
+        if pipeline_requests > 0 {
+            for model in &model_tables {
+                match drive_pipeline(&config, model, &spec, tier, stages, clients, pipeline_requests) {
+                    Ok(bench) => pipeline_results.push(bench),
+                    Err(e) => println!("serve-bench [{tier}]: pipeline bench skipped for {}: {e}", model.name()),
+                }
+            }
+        }
     }
 
     if let [(_, cycle), (_, fast)] = &results[..] {
@@ -82,7 +110,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = emit_json {
-        let record = render_json(&spec, workers, clients, requests, &results);
+        let record = render_json(&spec, workers, clients, requests, &results, &pipeline_results);
         let merged = append_record(std::fs::read_to_string(&path).ok().as_deref(), &record);
         std::fs::write(&path, merged).map_err(|e| format!("writing {path}: {e}"))?;
         println!("serve-bench: appended run record to {path}");
@@ -115,6 +143,92 @@ fn append_record(existing: Option<&str>, record: &str) -> String {
         }
         _ => format!("[\n{record}\n]\n"),
     }
+}
+
+/// One end-to-end whole-model pipeline bench result.
+struct PipelineBench {
+    tier: BackendTier,
+    model: String,
+    stages: usize,
+    throughput_rps: f64,
+    p50: Duration,
+    p99: Duration,
+    stats: PipelineStatsSnapshot,
+}
+
+/// Serve `requests` whole-model inferences closed-loop through a
+/// stage-parallel [`Pipeline`] and measure end-to-end throughput: the
+/// model's DSC chain compiles into `stages` cycle-balanced stages, each
+/// running on its own shard, so throughput is set by the bottleneck stage
+/// rather than the chain total.
+fn drive_pipeline(
+    config: &ServeConfig,
+    model: &models::Model,
+    spec: &npcgra::CgraSpec,
+    tier: BackendTier,
+    stages: usize,
+    clients: usize,
+    requests: usize,
+) -> Result<PipelineBench, String> {
+    let layers: Vec<_> = model.dsc_layers().cloned().collect();
+    let compiled = CompiledModel::compile(model.name(), &layers, spec, stages).map_err(|e| e.to_string())?;
+    let stages = compiled.num_stages();
+    let weights: Vec<Tensor> = layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| l.random_weights(0xC0FFEE + i as u64))
+        .collect();
+    let shape = compiled.input_shape();
+    let num_layers = compiled.num_layers();
+    let pipe = Pipeline::start((*config).with_pipeline_stages(stages), compiled, weights).map_err(|e| e.to_string())?;
+
+    let start = Instant::now();
+    let pipe_ref = &pipe;
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let per_client = requests / clients + usize::from(c < requests % clients);
+                    let mut lats = Vec::with_capacity(per_client);
+                    for r in 0..per_client {
+                        let input = Tensor::random(shape.0, shape.1, shape.2, (c * 1_000 + r) as u64);
+                        match pipe_ref.submit(input).and_then(Ticket::wait) {
+                            Ok(resp) => lats.push(resp.latency),
+                            Err(e) => panic!("pipeline inference failed: {e}"),
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        let mut all: Vec<Duration> = handles.into_iter().flat_map(|h| h.join().expect("bench client")).collect();
+        all.sort();
+        all
+    });
+    let elapsed = start.elapsed();
+    let stats = pipe.shutdown();
+    let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    let throughput_rps = latencies.len() as f64 / elapsed.as_secs_f64();
+    println!(
+        "serve-bench [{tier}] pipeline {}: {} layers in {} stage(s), {} end-to-end inferences — \
+         {:.1} inf/s, p50 {:.3}ms, p99 {:.3}ms",
+        model.name(),
+        num_layers,
+        stages,
+        latencies.len(),
+        throughput_rps,
+        pct(0.50).as_secs_f64() * 1e3,
+        pct(0.99).as_secs_f64() * 1e3,
+    );
+    Ok(PipelineBench {
+        tier,
+        model: model.name().to_string(),
+        stages,
+        throughput_rps,
+        p50: pct(0.50),
+        p99: pct(0.99),
+        stats,
+    })
 }
 
 /// Run the closed-loop workload against one freshly started server and
@@ -186,13 +300,15 @@ fn drive_workload(
 }
 
 /// Hand-rendered benchmark record (the workspace carries no JSON
-/// dependency): one entry per tier driven, plus the speedup when both ran.
+/// dependency): one entry per tier driven, plus the speedup when both ran
+/// and one `pipeline` entry per whole-model pipelined bench.
 fn render_json(
     spec: &npcgra::CgraSpec,
     workers: usize,
     clients: usize,
     requests: usize,
     results: &[(BackendTier, StatsSnapshot)],
+    pipeline_results: &[PipelineBench],
 ) -> String {
     let tiers: Vec<String> = results
         .iter()
@@ -235,6 +351,36 @@ fn render_json(
         }
         _ => String::new(),
     };
+    let pipeline = if pipeline_results.is_empty() {
+        String::new()
+    } else {
+        let entries: Vec<String> = pipeline_results
+            .iter()
+            .map(|b| {
+                format!(
+                    concat!(
+                        "    {{\n",
+                        "      \"model\": \"{}\",\n",
+                        "      \"tier\": \"{}\",\n",
+                        "      \"stages\": {},\n",
+                        "      \"inferences_per_sec\": {:.3},\n",
+                        "      \"p50_ms\": {:.6},\n",
+                        "      \"p99_ms\": {:.6},\n",
+                        "      \"completed\": {}\n",
+                        "    }}"
+                    ),
+                    b.model,
+                    b.tier,
+                    b.stages,
+                    b.throughput_rps,
+                    b.p50.as_secs_f64() * 1e3,
+                    b.p99.as_secs_f64() * 1e3,
+                    b.stats.completed,
+                )
+            })
+            .collect();
+        format!(",\n  \"pipeline\": [\n{}\n  ]", entries.join(",\n"))
+    };
     let timestamp_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -247,7 +393,7 @@ fn render_json(
             "  \"workers\": {},\n",
             "  \"clients\": {},\n",
             "  \"requests_per_tier\": {},\n",
-            "  \"tiers\": [\n{}\n  ]{}\n",
+            "  \"tiers\": [\n{}\n  ]{}{}\n",
             "}}\n"
         ),
         timestamp_unix,
@@ -258,6 +404,7 @@ fn render_json(
         requests,
         tiers.join(",\n"),
         speedup,
+        pipeline,
     )
 }
 

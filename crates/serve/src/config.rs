@@ -146,6 +146,54 @@ impl Default for OverloadConfig {
     }
 }
 
+/// Pipeline overload/liveness knobs: deadlines, priority admission and the
+/// stage watchdog for whole-model serving ([`Pipeline`](crate::Pipeline)).
+/// Every default keeps the machinery *off*, so a config that never touches
+/// this struct serves pipelines exactly as before these knobs existed.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Deadline applied to pipeline jobs submitted without an explicit one
+    /// (wall time from submit to final-stage reply). `None` means such jobs
+    /// never expire.
+    pub default_deadline: Option<Duration>,
+    /// CoDel delay target over *stage-queue* sojourn times: when the
+    /// sliding-window minimum residence time stays above this, the pipeline
+    /// brownout ladder ([`BrownoutLevel`](crate::BrownoutLevel)) climbs one
+    /// rung per window. `None` disables adaptive admission (the ladder
+    /// stays at Normal).
+    pub delay_target: Option<Duration>,
+    /// The CoDel sliding window over which the minimum sojourn is tracked.
+    pub delay_window: Duration,
+    /// Weighted-fair dequeue weights per priority class on stage 0
+    /// (`[interactive, batch, best-effort]`); zero weights are treated as 1.
+    pub weights: [u64; CLASSES],
+    /// Stage-watchdog slack: a stage run is preempted (its backend's
+    /// [`CancelToken`](npcgra_sim::CancelToken) cancelled) once its wall
+    /// time exceeds `stage predicted cycles × observed ns-per-cycle ×
+    /// slack`. Arms only after the stage's ns-per-cycle estimate has
+    /// calibrated on a few healthy passes. `0.0` disables the stage
+    /// watchdog thread entirely (the default).
+    pub watchdog_slack: f64,
+    /// Per-stage in-flight cap enforced at admission while the brownout
+    /// ladder sits at [`BrownoutLevel::CapBatch`](crate::BrownoutLevel) or
+    /// above: a new job is rejected while any stage queue holds this many
+    /// jobs. `0` derives a cap from `queue_capacity / (2 × stages)`.
+    pub stage_inflight_cap: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            default_deadline: None,
+            delay_target: None,
+            delay_window: Duration::from_millis(10),
+            weights: [16, 4, 1],
+            watchdog_slack: 0.0,
+            stage_inflight_cap: 0,
+        }
+    }
+}
+
 /// Configuration for a [`Server`](crate::Server).
 ///
 /// The defaults describe a small deployment: four worker shards of the
@@ -246,6 +294,10 @@ pub struct ServeConfig {
     /// larger values trade replay distance for copy overhead. The pipeline
     /// input (boundary 0) is always checkpointed, so `0` means "input only".
     pub checkpoint_every: usize,
+    /// Pipeline overload/liveness: deadlines, priority admission, the
+    /// brownout ladder and the stage watchdog (see [`PipelineConfig`];
+    /// everything defaults off).
+    pub pipeline: PipelineConfig,
     /// Deliberate failure injection (off by default).
     pub chaos: ChaosConfig,
 }
@@ -275,6 +327,7 @@ impl Default for ServeConfig {
             pipeline_stages: 4,
             stage_spares: 1,
             checkpoint_every: 1,
+            pipeline: PipelineConfig::default(),
             chaos: ChaosConfig::default(),
         }
     }
@@ -452,6 +505,35 @@ impl ServeConfig {
         self.checkpoint_every = every;
         self
     }
+
+    /// Set all pipeline overload/liveness knobs at once.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Enable pipeline CoDel adaptive admission with this delay target
+    /// (convenience over [`with_pipeline`](ServeConfig::with_pipeline)).
+    #[must_use]
+    pub fn with_pipeline_delay_target(mut self, target: Option<Duration>) -> Self {
+        self.pipeline.delay_target = target;
+        self
+    }
+
+    /// Set the stage-watchdog wall-clock slack (`0.0` = no stage watchdog).
+    #[must_use]
+    pub fn with_pipeline_watchdog_slack(mut self, slack: f64) -> Self {
+        self.pipeline.watchdog_slack = slack;
+        self
+    }
+
+    /// Set the default pipeline-job deadline (`None` = jobs never expire).
+    #[must_use]
+    pub fn with_pipeline_default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.pipeline.default_deadline = deadline;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -601,6 +683,31 @@ mod tests {
             ..ChaosConfig::default()
         };
         assert!(cc.enabled());
+    }
+
+    #[test]
+    fn pipeline_overload_knobs_default_off_and_compose() {
+        let c = ServeConfig::default();
+        assert_eq!(c.pipeline.default_deadline, None, "pipeline jobs never expire by default");
+        assert_eq!(c.pipeline.delay_target, None, "pipeline CoDel admission defaults off");
+        assert_eq!(c.pipeline.watchdog_slack, 0.0, "stage watchdog defaults off");
+        assert_eq!(c.pipeline.weights, [16, 4, 1]);
+        assert_eq!(c.pipeline.stage_inflight_cap, 0, "inflight cap derives from queue capacity");
+        let c = c
+            .with_pipeline_delay_target(Some(Duration::from_millis(3)))
+            .with_pipeline_watchdog_slack(6.0)
+            .with_pipeline_default_deadline(Some(Duration::from_millis(250)));
+        assert_eq!(c.pipeline.delay_target, Some(Duration::from_millis(3)));
+        assert_eq!(c.pipeline.watchdog_slack, 6.0);
+        assert_eq!(c.pipeline.default_deadline, Some(Duration::from_millis(250)));
+        let c = c.with_pipeline(PipelineConfig {
+            weights: [8, 2, 1],
+            stage_inflight_cap: 4,
+            ..c.pipeline
+        });
+        assert_eq!(c.pipeline.weights, [8, 2, 1]);
+        assert_eq!(c.pipeline.stage_inflight_cap, 4);
+        assert_eq!(c.pipeline.watchdog_slack, 6.0, "struct builder keeps prior knobs");
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum ServeError {
         capacity: usize,
     },
     /// The request's deadline passed before a worker started its batch.
+    /// Pipeline jobs also surface this when a stage boundary finds the
+    /// job's remaining deadline budget (split across stages proportionally
+    /// to predicted cycles) already spent — shed there instead of burning
+    /// downstream stages — and at submit for zero/expired deadlines.
     DeadlineExceeded,
     /// The server is shutting down and no longer accepts (or can run) work.
     ShuttingDown,

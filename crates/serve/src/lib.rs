@@ -54,6 +54,12 @@
 //!   replaying only from the last checkpoint — failing over to spare
 //!   shards under the restart-budget ladder, and shedding whole-model
 //!   traffic ([`ServeError::Degraded`]) before single-layer traffic.
+//!   Pipelines ride the same overload/liveness umbrella
+//!   ([`PipelineConfig`]): wall deadlines split across stages
+//!   proportionally to predicted work (doomed jobs shed at stage
+//!   boundaries), per-stage calibrated watchdogs cancel wedged stage runs,
+//!   and stage-0 admission runs priority WFQ under a CoDel-driven
+//!   pipeline brownout ladder.
 //!
 //! Everything is std threads and channels — no async runtime.
 //!
@@ -88,7 +94,7 @@ pub(crate) mod supervisor;
 pub(crate) mod watchdog;
 
 pub use cache::ProgramCache;
-pub use config::{ChaosConfig, CrossCheckCorruption, OverloadConfig, ServeConfig, StageFault};
+pub use config::{ChaosConfig, CrossCheckCorruption, OverloadConfig, PipelineConfig, ServeConfig, StageFault};
 pub use error::{RetryClass, ServeError};
 pub use npcgra_sim::{BackendTier, IntegrityMode};
 pub use overload::{BreakerState, BrownoutLevel, Priority};

@@ -151,6 +151,16 @@ impl BrownoutLevel {
         }
     }
 
+    /// Whether this rung caps in-flight work per execution unit. The
+    /// single-layer server halves its batch cap here
+    /// ([`batch_cap`](BrownoutLevel::batch_cap)); the pipeline — which has
+    /// no batches — bounds each stage queue's depth instead, the analogous
+    /// trade of throughput for queue-drain latency.
+    #[must_use]
+    pub fn caps_inflight(self) -> bool {
+        self >= BrownoutLevel::CapBatch
+    }
+
     /// Whether dequeue should switch to adaptive LIFO (serve the newest
     /// request of a class first): under sustained overload the oldest
     /// queued requests are the ones most likely already doomed to miss
@@ -551,6 +561,9 @@ mod tests {
         assert!(CapBatch.lifo());
         assert!(RejectUncached.rejects_uncached());
         assert!(!CapBatch.rejects_uncached());
+        assert!(!ShedBestEffort.caps_inflight());
+        assert!(CapBatch.caps_inflight());
+        assert!(Drain.caps_inflight());
     }
 
     #[test]

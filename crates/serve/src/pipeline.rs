@@ -36,6 +36,40 @@
 //! ([`ServeError::Degraded`]) — in a mixed deployment the single-layer
 //! [`Server`](crate::Server) keeps serving, honoring the brownout rule of
 //! shedding pipeline traffic before single-layer traffic.
+//!
+//! # Overload and liveness
+//!
+//! Whole-model jobs ride the same hardening as single-layer traffic:
+//!
+//! * **Deadline propagation** — a job's wall deadline
+//!   ([`Pipeline::submit_with_priority`]) is split across stages
+//!   proportionally to each stage's [`StagePlan`](npcgra_sim::StagePlan)
+//!   predicted cycles plus its DMA handoff cycles. Entry to stage `s` is
+//!   shed ([`ServeError::DeadlineExceeded`]) once the wall clock passes
+//!   `deadline − budget × frac_after(s)` — the proportional share of the
+//!   budget that stages *after* `s` still need — so an already-doomed job
+//!   never burns downstream stages. Zero deadlines are rejected at submit,
+//!   matching [`Server`](crate::Server) semantics.
+//! * **Stage watchdogs** — each stage calibrates its own ns-per-cycle EWMA
+//!   on healthy passes; with
+//!   [`pipeline.watchdog_slack`](crate::config::PipelineConfig) armed, a
+//!   stage pass gets a wall deadline of `predicted cycles × ns-per-cycle ×
+//!   slack` enforced by a watchdog thread that cancels the in-hand run's
+//!   [`CancelToken`] — the typed [`ServeError::Preempted`] walks the same
+//!   restart→spare ladder as a caught panic, so a wedged stage cannot
+//!   stall the pipeline until the chaos soak notices.
+//! * **Priority admission + brownout** — stage 0 holds one FIFO per
+//!   [`Priority`] class, dequeued by stride WFQ
+//!   ([`pipeline.weights`](crate::config::PipelineConfig)); a CoDel
+//!   controller over *stage-queue* sojourn times climbs the
+//!   [`BrownoutLevel`] ladder under standing delay, shedding best-effort
+//!   first, then capping per-stage in-flight depth, then draining —
+//!   lower-priority whole-model traffic degrades before any single-layer
+//!   traffic is touched.
+//!
+//! Every knob defaults off
+//! ([`PipelineConfig`](crate::config::PipelineConfig)): untouched configs
+//! serve exactly as before these layers existed.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -46,19 +80,29 @@ use std::time::{Duration, Instant};
 
 use npcgra_nn::{Tensor, Word};
 use npcgra_sim::{
-    backend_for, tensor_checksum, CheckKind, CompiledModel, ExecutionBackend, Fault, FaultPlan, FaultSite, GrayRates,
-    LayerReport, SimCause, SimError, TemporalFault, Violation,
+    backend_for, tensor_checksum, CancelToken, CheckKind, CompiledModel, ExecutionBackend, Fault, FaultPlan, FaultSite,
+    GrayRates, LayerReport, SimCause, SimError, TemporalFault, Violation,
 };
 
 use crate::config::{ServeConfig, StageFault};
 use crate::error::{RetryClass, ServeError};
-use crate::server::{expected_weight_shape, reply_pair, ReplySender, Response, Ticket};
+use crate::overload::{BrownoutLevel, LevelChange, OverloadController, Priority, WfqScheduler, CLASSES};
+use crate::server::{expected_weight_shape, reply_pair, Delivery, ReplySender, Response, Ticket};
+use crate::stats::CALIBRATION_MIN_SAMPLES;
 use crate::supervisor::{backoff_seed, decorrelated_backoff, splitmix64};
+use crate::watchdog::Watchdog;
 
-/// When a wedge is chaos-injected but no cycle budget is configured, arm
-/// this fallback multiplier so the wedge surfaces as a typed preemption
-/// instead of hanging the stage forever.
+/// When a wedge is chaos-injected but no cycle budget is configured (and
+/// the stage watchdog is not armed), arm this fallback multiplier so the
+/// wedge surfaces as a typed preemption instead of hanging the stage
+/// forever.
 const WEDGE_FALLBACK_BUDGET: f64 = 8.0;
+
+/// The stage watchdog's wall-deadline floor, for the same reason as the
+/// batch watchdog's: below this, host scheduling noise masquerades as a
+/// gray failure, while a true wedge (pacing 100 µs per simulated cycle)
+/// still overshoots it within a few hundred cycles.
+const WATCHDOG_FLOOR: Duration = Duration::from_millis(25);
 
 /// One inference moving through the pipeline: the current activation, its
 /// handoff checksum, the checkpoints it can heal from, and the per-layer
@@ -81,13 +125,31 @@ struct StageJob {
     /// a replayed stage really does re-forward its output).
     handoff_cycles: u64,
     enqueued: Instant,
+    /// When the job entered its *current* stage queue — the CoDel sojourn
+    /// sample taken at dequeue.
+    stage_enqueued: Instant,
+    /// Priority class (stage-0 WFQ dequeue and brownout shedding order).
+    class: Priority,
+    /// Absolute wall deadline for the final-stage reply (`None` = never
+    /// expires).
+    deadline: Option<Instant>,
+    /// The original deadline budget, split across stages proportionally to
+    /// predicted work for the boundary shed rule. Zero when no deadline.
+    budget: Duration,
     reply: ReplySender,
 }
 
 /// Queue-side pipeline state, under one mutex with one condvar.
 struct PipeState {
-    /// One FIFO of jobs awaiting each stage.
+    /// Per-class FIFOs feeding stage 0, dequeued by stride WFQ.
+    entry: Vec<VecDeque<StageJob>>,
+    /// One FIFO of jobs awaiting each stage past the first (index 0 is
+    /// kept for symmetry but stays empty — stage 0 pulls from `entry`).
     queues: Vec<VecDeque<StageJob>>,
+    /// Stage-0 weighted-fair scheduler over the priority classes.
+    wfq: WfqScheduler,
+    /// CoDel controller over stage-queue sojourns; `None` = ladder off.
+    controller: Option<OverloadController>,
     /// Accepting submits; cleared by [`Pipeline::shutdown`].
     open: bool,
     /// Jobs admitted but not yet concluded (replied or shed).
@@ -95,6 +157,66 @@ struct PipeState {
     /// Stages that exhausted restarts *and* spares; flagged dead.
     dead: Vec<bool>,
     next_id: u64,
+}
+
+impl PipeState {
+    fn backlogged(&self) -> [bool; CLASSES] {
+        std::array::from_fn(|c| !self.entry[c].is_empty())
+    }
+
+    /// Jobs queued before stage `s` (stage 0 sums the per-class FIFOs).
+    fn stage_depth(&self, s: usize) -> usize {
+        if s == 0 {
+            self.entry.iter().map(VecDeque::len).sum()
+        } else {
+            self.queues[s].len()
+        }
+    }
+
+    /// The deepest stage queue — the bound the brownout in-flight cap
+    /// enforces at admission.
+    fn max_stage_depth(&self) -> usize {
+        (0..self.queues.len()).map(|s| self.stage_depth(s)).max().unwrap_or(0)
+    }
+
+    /// The stage-0 dequeue: WFQ-pick among backlogged classes, charge the
+    /// dispatch.
+    fn pop_entry(&mut self) -> Option<StageJob> {
+        let class = self.wfq.pick(self.backlogged())?;
+        let job = self.entry[class.index()].pop_front()?;
+        self.wfq.charge(class, 1);
+        Some(job)
+    }
+
+    /// Enqueue a job for stage 0, activating its class in the WFQ when the
+    /// class was idle (so it cannot bank credit). Healed jobs re-enter at
+    /// the front so recovery preempts fresh work.
+    fn push_entry(&mut self, job: StageJob, front: bool) {
+        let c = job.class.index();
+        if self.entry[c].is_empty() {
+            let backlogged = self.backlogged();
+            self.wfq.activate(job.class, backlogged);
+        }
+        if front {
+            self.entry[c].push_front(job);
+        } else {
+            self.entry[c].push_back(job);
+        }
+    }
+
+    /// The oldest stage-queue head's residence start across the whole
+    /// pipeline — the CoDel controller's standing-delay signal. It must
+    /// span *every* stage queue, not just entry: when a downstream stage
+    /// is the bottleneck the entry queue drains instantly, and a stage-0
+    /// signal alone would read a drowning pipeline as healthy.
+    fn oldest_head(&self) -> Option<Instant> {
+        self.entry
+            .iter()
+            .chain(self.queues.iter())
+            .filter_map(|q| q.front())
+            .map(|j| j.stage_enqueued)
+            .min()
+    }
 }
 
 /// Pipeline counters (all relaxed atomics; exactness is per-counter, not
@@ -112,6 +234,14 @@ struct PipeStats {
     preemptions: AtomicU64,
     cycles_charged: AtomicU64,
     handoff_cycles: AtomicU64,
+    rejected_deadline: AtomicU64,
+    deadline_sheds: AtomicU64,
+    late_replies: AtomicU64,
+    watchdog_preemptions: AtomicU64,
+    brownout_escalations: AtomicU64,
+    brownout_deescalations: AtomicU64,
+    admitted_by_class: Vec<AtomicU64>,
+    overload_sheds: Vec<AtomicU64>,
     stage_replays: Vec<AtomicU64>,
     stage_restarts: Vec<AtomicU64>,
     stage_failovers: Vec<AtomicU64>,
@@ -119,7 +249,7 @@ struct PipeStats {
 
 impl PipeStats {
     fn new(stages: usize) -> Self {
-        let zeros = || (0..stages).map(|_| AtomicU64::new(0)).collect();
+        let zeros = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
         PipeStats {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -133,9 +263,17 @@ impl PipeStats {
             preemptions: AtomicU64::new(0),
             cycles_charged: AtomicU64::new(0),
             handoff_cycles: AtomicU64::new(0),
-            stage_replays: zeros(),
-            stage_restarts: zeros(),
-            stage_failovers: zeros(),
+            rejected_deadline: AtomicU64::new(0),
+            deadline_sheds: AtomicU64::new(0),
+            late_replies: AtomicU64::new(0),
+            watchdog_preemptions: AtomicU64::new(0),
+            brownout_escalations: AtomicU64::new(0),
+            brownout_deescalations: AtomicU64::new(0),
+            admitted_by_class: zeros(CLASSES),
+            overload_sheds: zeros(CLASSES),
+            stage_replays: zeros(stages),
+            stage_restarts: zeros(stages),
+            stage_failovers: zeros(stages),
         }
     }
 
@@ -154,6 +292,14 @@ impl PipeStats {
             preemptions: self.preemptions.load(Ordering::Relaxed),
             cycles_charged: self.cycles_charged.load(Ordering::Relaxed),
             handoff_cycles: self.handoff_cycles.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            deadline_sheds: self.deadline_sheds.load(Ordering::Relaxed),
+            late_replies: self.late_replies.load(Ordering::Relaxed),
+            watchdog_preemptions: self.watchdog_preemptions.load(Ordering::Relaxed),
+            brownout_escalations: self.brownout_escalations.load(Ordering::Relaxed),
+            brownout_deescalations: self.brownout_deescalations.load(Ordering::Relaxed),
+            admitted_by_class: vec(&self.admitted_by_class),
+            overload_sheds: vec(&self.overload_sheds),
             stage_replays: vec(&self.stage_replays),
             stage_restarts: vec(&self.stage_restarts),
             stage_failovers: vec(&self.stage_failovers),
@@ -189,6 +335,27 @@ pub struct PipelineStatsSnapshot {
     pub cycles_charged: u64,
     /// DMA cycles charged for inter-stage activation handoffs.
     pub handoff_cycles: u64,
+    /// Jobs rejected at submit for a zero (already-expired) deadline.
+    pub rejected_deadline: u64,
+    /// Jobs shed at a stage boundary because their proportional deadline
+    /// share was already spent ([`ServeError::DeadlineExceeded`]).
+    pub deadline_sheds: u64,
+    /// Replies delivered after their ticket was dropped (tombstoned slots;
+    /// the reply is dropped and counted instead of leaking).
+    pub late_replies: u64,
+    /// Stage-watchdog firings: wall-deadline preemptions of in-hand stage
+    /// runs (a subset of `preemptions`, which also counts cycle-budget
+    /// trips).
+    pub watchdog_preemptions: u64,
+    /// Brownout-ladder escalations (one per overloaded CoDel window).
+    pub brownout_escalations: u64,
+    /// Brownout-ladder de-escalations (one per quiet CoDel window).
+    pub brownout_deescalations: u64,
+    /// Jobs admitted per priority class (`[interactive, batch,
+    /// best-effort]`).
+    pub admitted_by_class: Vec<u64>,
+    /// Jobs shed at admission by the brownout ladder, per class.
+    pub overload_sheds: Vec<u64>,
     /// Per-stage count of replays: how many times each stage re-executed a
     /// healed job. A heal from the checkpoint at boundary `b` after a
     /// failure at stage `s` increments exactly `b..=s` — the proof that
@@ -228,8 +395,18 @@ impl std::fmt::Display for PipelineStatsSnapshot {
         )?;
         writeln!(
             f,
-            "  faults: {} panics caught, {} preemptions; cycles {} ({} handoff)",
-            self.panics_caught, self.preemptions, self.cycles_charged, self.handoff_cycles
+            "  faults: {} panics caught, {} preemptions ({} by watchdog); cycles {} ({} handoff)",
+            self.panics_caught, self.preemptions, self.watchdog_preemptions, self.cycles_charged, self.handoff_cycles
+        )?;
+        writeln!(
+            f,
+            "  admission: {:?} admitted by class, {:?} overload sheds, {} deadline-rejected",
+            self.admitted_by_class, self.overload_sheds, self.rejected_deadline
+        )?;
+        writeln!(
+            f,
+            "  deadlines: {} boundary sheds; late replies {}; brownout {} up / {} down",
+            self.deadline_sheds, self.late_replies, self.brownout_escalations, self.brownout_deescalations
         )?;
         writeln!(f, "  replays/stage:   {:?}", self.stage_replays)?;
         writeln!(f, "  restarts/stage:  {:?}", self.stage_restarts)?;
@@ -245,6 +422,18 @@ struct PipeShared {
     state: Mutex<PipeState>,
     ready: Condvar,
     stats: PipeStats,
+    /// One arming slot per stage (a stage runs one job at a time); the
+    /// watchdog thread is only spawned when `pipeline.watchdog_slack > 0`.
+    watchdog: Watchdog,
+    /// `frac_after[s]`: the fraction of the whole model's predicted work
+    /// (stage cycles + handoff cycles) that lies in stages *after* `s`.
+    /// `frac_after[last] == 0`. Precomputed once — the deadline split.
+    frac_after: Vec<f64>,
+    /// Per-stage ns-per-cycle EWMA (f64 bits; written only by the stage's
+    /// own worker) and its healthy-sample count — the stage watchdog's
+    /// calibration, mirroring the server's per-tier estimate.
+    calib_ns_bits: Vec<AtomicU64>,
+    calib_samples: Vec<AtomicU64>,
 }
 
 impl PipeShared {
@@ -252,14 +441,19 @@ impl PipeShared {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Reply, count the outcome, and release the job's inflight slot.
+    /// Reply, count the outcome (late replies included), and release the
+    /// job's inflight slot.
     fn conclude(&self, reply: &ReplySender, result: Result<Response, ServeError>) {
         match &result {
             Ok(_) => self.stats.completed.fetch_add(1, Ordering::Relaxed),
-            Err(ServeError::Degraded { .. }) => self.stats.shed.fetch_add(1, Ordering::Relaxed),
+            Err(ServeError::Degraded { .. } | ServeError::DeadlineExceeded) => self.stats.shed.fetch_add(1, Ordering::Relaxed),
             Err(_) => self.stats.failed.fetch_add(1, Ordering::Relaxed),
         };
-        let _ = reply.send(result);
+        if reply.send(result) == Delivery::Abandoned {
+            // The ticket was dropped before the reply: tombstoned slot,
+            // counted instead of leaking (the server's accounting, ported).
+            self.stats.late_replies.fetch_add(1, Ordering::Relaxed);
+        }
         let mut st = self.lock();
         st.inflight -= 1;
         drop(st);
@@ -271,6 +465,39 @@ impl PipeShared {
             healthy: dead.iter().filter(|d| !**d).count(),
             workers: dead.len(),
         }
+    }
+
+    /// Count CoDel ladder transitions.
+    fn apply_level_changes(&self, changes: &[LevelChange]) {
+        for change in changes {
+            match change {
+                LevelChange::Escalated(_) => self.stats.brownout_escalations.fetch_add(1, Ordering::Relaxed),
+                LevelChange::Deescalated(_) => self.stats.brownout_deescalations.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+    }
+
+    /// Fold a healthy stage pass into the stage's ns-per-cycle EWMA.
+    /// Single-writer (each stage's own worker), so load-modify-store is
+    /// race-free.
+    fn observe_stage_timing(&self, stage: usize, predicted: u64, wall: Duration) {
+        if predicted == 0 {
+            return;
+        }
+        let obs = wall.as_nanos() as f64 / predicted as f64;
+        let alpha = self.config.health_ewma_alpha;
+        let n = self.calib_samples[stage].fetch_add(1, Ordering::Relaxed);
+        let bits = &self.calib_ns_bits[stage];
+        let old = f64::from_bits(bits.load(Ordering::Relaxed));
+        let new = if n == 0 { obs } else { old + alpha * (obs - old) };
+        bits.store(new.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The stage's calibrated ns-per-cycle estimate; `None` until enough
+    /// healthy passes accumulated (the watchdog never arms on noise).
+    fn stage_ns_per_cycle(&self, stage: usize) -> Option<f64> {
+        (self.calib_samples[stage].load(Ordering::Relaxed) >= CALIBRATION_MIN_SAMPLES)
+            .then(|| f64::from_bits(self.calib_ns_bits[stage].load(Ordering::Relaxed)))
     }
 }
 
@@ -299,6 +526,9 @@ impl PipeShared {
 pub struct Pipeline {
     shared: Arc<PipeShared>,
     handles: Vec<JoinHandle<()>>,
+    /// The stage-watchdog thread; only spawned when
+    /// `pipeline.watchdog_slack > 0`.
+    watchdog_handle: Option<JoinHandle<()>>,
 }
 
 impl Pipeline {
@@ -327,11 +557,33 @@ impl Pipeline {
             }
         }
         let stages = model.num_stages();
+        // The deadline split: weight each stage by its predicted compute
+        // plus its outbound handoff, then precompute the fraction of total
+        // work remaining *after* each stage.
+        let stage_work: Vec<u64> = (0..stages)
+            .map(|s| model.stages()[s].predicted_cycles() + model.handoff_cycles(s))
+            .collect();
+        let total_work: u64 = stage_work.iter().sum();
+        let frac_after: Vec<f64> = (0..stages)
+            .map(|s| {
+                if total_work == 0 {
+                    0.0
+                } else {
+                    stage_work[s + 1..].iter().sum::<u64>() as f64 / total_work as f64
+                }
+            })
+            .collect();
+        let controller = config
+            .pipeline
+            .delay_target
+            .map(|target| OverloadController::new(target, config.pipeline.delay_window, Instant::now()));
         let shared = Arc::new(PipeShared {
-            config,
             stats: PipeStats::new(stages),
             state: Mutex::new(PipeState {
+                entry: (0..CLASSES).map(|_| VecDeque::new()).collect(),
                 queues: (0..stages).map(|_| VecDeque::new()).collect(),
+                wfq: WfqScheduler::new(config.pipeline.weights),
+                controller,
                 open: true,
                 inflight: 0,
                 dead: vec![false; stages],
@@ -340,6 +592,11 @@ impl Pipeline {
             ready: Condvar::new(),
             model,
             weights,
+            watchdog: Watchdog::new(stages),
+            frac_after,
+            calib_ns_bits: (0..stages).map(|_| AtomicU64::new(0)).collect(),
+            calib_samples: (0..stages).map(|_| AtomicU64::new(0)).collect(),
+            config,
         });
         let handles = (0..stages)
             .map(|s| {
@@ -352,18 +609,61 @@ impl Pipeline {
                     .expect("spawn stage worker")
             })
             .collect();
-        Ok(Pipeline { shared, handles })
+        let watchdog_handle = (shared.config.pipeline.watchdog_slack > 0.0).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("npcgra-serve-pipe-watchdog".to_string())
+                .spawn(move || {
+                    shared.watchdog.run(|_stage| {
+                        shared.stats.watchdog_preemptions.fetch_add(1, Ordering::Relaxed);
+                    });
+                })
+                .expect("spawn pipeline watchdog")
+        });
+        Ok(Pipeline {
+            shared,
+            handles,
+            watchdog_handle,
+        })
     }
 
     /// Submit one inference; the [`Ticket`] redeems the final-stage output.
+    ///
+    /// Interactive class, with the configured
+    /// [`pipeline.default_deadline`](crate::config::PipelineConfig) (none
+    /// by default) — the same convenience contract as
+    /// [`Server::submit`](crate::Server::submit).
     ///
     /// # Errors
     ///
     /// [`ServeError::ShuttingDown`] after [`Pipeline::shutdown`] began,
     /// [`ServeError::Degraded`] while any stage is dead (whole-model
-    /// traffic sheds first), [`ServeError::QueueFull`] at capacity, and
+    /// traffic sheds first), [`ServeError::Overloaded`] when the brownout
+    /// ladder sheds this class, [`ServeError::QueueFull`] at capacity,
+    /// [`ServeError::DeadlineExceeded`] for a zero deadline, and
     /// [`ServeError::ShapeMismatch`] for a wrong input shape.
     pub fn submit(&self, input: Tensor) -> Result<Ticket, ServeError> {
+        self.submit_with_priority(input, self.shared.config.pipeline.default_deadline, Priority::Interactive)
+    }
+
+    /// [`Pipeline::submit`] with an explicit wall deadline for the final
+    /// reply (`None` = never expires).
+    pub fn submit_with_deadline(&self, input: Tensor, deadline: Option<Duration>) -> Result<Ticket, ServeError> {
+        self.submit_with_priority(input, deadline, Priority::Interactive)
+    }
+
+    /// The full-control submit: explicit deadline and priority class.
+    ///
+    /// The deadline is split across stages proportionally to predicted
+    /// work; a job that can no longer make it is shed at the next stage
+    /// boundary instead of burning downstream stages. Zero (already
+    /// expired) deadlines are rejected here, before queueing, matching
+    /// [`Server`](crate::Server) semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::submit`].
+    pub fn submit_with_priority(&self, input: Tensor, deadline: Option<Duration>, class: Priority) -> Result<Ticket, ServeError> {
         let shared = &self.shared;
         let expected = shared.model.input_shape();
         if input.shape() != expected {
@@ -372,6 +672,13 @@ impl Pipeline {
                 got: input.shape(),
             });
         }
+        // An already-expired deadline is rejected before it queues: the
+        // caller finds out now, not after the pipeline burned stages on it.
+        if deadline.is_some_and(|d| d.is_zero()) {
+            shared.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::DeadlineExceeded);
+        }
+        let now = Instant::now();
         let mut st = shared.lock();
         if !st.open {
             return Err(ServeError::ShuttingDown);
@@ -382,6 +689,39 @@ impl Pipeline {
             shared.stats.shed.fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
+        // Feed the CoDel controller the pipeline's standing delay (the
+        // oldest stage-queue head's residence time, any stage), or just
+        // let its window tick over. Admission is the only sampling site:
+        // per-stage dequeue sojourns would poison the window minimum,
+        // because every stage that is *not* the bottleneck pops its jobs
+        // near-instantly.
+        let oldest = st.oldest_head();
+        let level = if let Some(ctrl) = st.controller.as_mut() {
+            let mut changes = Vec::new();
+            match oldest {
+                Some(oldest) => ctrl.observe(now, now.duration_since(oldest), &mut changes),
+                None => ctrl.tick(now, &mut changes),
+            }
+            let level = ctrl.level();
+            shared.apply_level_changes(&changes);
+            level
+        } else {
+            BrownoutLevel::Normal
+        };
+        if level.sheds(class) {
+            drop(st);
+            shared.stats.overload_sheds[class.index()].fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded { level, class });
+        }
+        // NOTE: `level.rejects_uncached()` is inert here by construction —
+        // the pipeline serves exactly one model, compiled at start, so
+        // every submit is a cache hit. The in-flight cap is the pipeline's
+        // analogue: under deep brownout, bound the deepest stage queue.
+        if level.caps_inflight() && st.max_stage_depth() >= self.stage_inflight_cap() {
+            drop(st);
+            shared.stats.overload_sheds[class.index()].fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded { level, class });
+        }
         if st.inflight >= shared.config.queue_capacity {
             return Err(ServeError::QueueFull {
                 capacity: shared.config.queue_capacity,
@@ -391,23 +731,43 @@ impl Pipeline {
         st.next_id += 1;
         let checksum = tensor_checksum(&input);
         let (reply, ticket) = reply_pair();
-        st.queues[0].push_back(StageJob {
-            id,
-            checkpoints: vec![(0, input.clone(), checksum)],
-            activation: input,
-            checksum,
-            attempts: 0,
-            reports: Vec::new(),
-            handoff_cycles: 0,
-            enqueued: Instant::now(),
-            reply,
-        });
+        st.push_entry(
+            StageJob {
+                id,
+                checkpoints: vec![(0, input.clone(), checksum)],
+                activation: input,
+                checksum,
+                attempts: 0,
+                reports: Vec::new(),
+                handoff_cycles: 0,
+                enqueued: now,
+                stage_enqueued: now,
+                class,
+                deadline: deadline.map(|d| now + d),
+                budget: deadline.unwrap_or(Duration::ZERO),
+                reply,
+            },
+            false,
+        );
         shared.stats.checkpoints_stored.fetch_add(1, Ordering::Relaxed);
         shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.admitted_by_class[class.index()].fetch_add(1, Ordering::Relaxed);
         st.inflight += 1;
         drop(st);
         shared.ready.notify_all();
         Ok(ticket)
+    }
+
+    /// The brownout in-flight cap: the configured
+    /// [`stage_inflight_cap`](crate::config::PipelineConfig), or a derived
+    /// per-stage share of the queue capacity when left at 0.
+    fn stage_inflight_cap(&self) -> usize {
+        let cfg = &self.shared.config;
+        if cfg.pipeline.stage_inflight_cap > 0 {
+            cfg.pipeline.stage_inflight_cap
+        } else {
+            (cfg.queue_capacity / (2 * self.shared.model.num_stages())).max(1)
+        }
     }
 
     /// A point-in-time copy of the pipeline's counters.
@@ -431,6 +791,11 @@ impl Pipeline {
         }
         self.shared.ready.notify_all();
         for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        // Stage workers are drained; nothing is (or can become) armed.
+        self.shared.watchdog.shutdown();
+        if let Some(h) = self.watchdog_handle.take() {
             let _ = h.join();
         }
     }
@@ -558,7 +923,12 @@ impl<'a> StageWorker<'a> {
                 if st.dead[self.stage] {
                     return;
                 }
-                if let Some(job) = st.queues[self.stage].pop_front() {
+                let popped = if self.stage == 0 {
+                    st.pop_entry()
+                } else {
+                    st.queues[self.stage].pop_front()
+                };
+                if let Some(job) = popped {
                     break job;
                 }
                 if !st.open && st.inflight == 0 {
@@ -579,6 +949,21 @@ impl<'a> StageWorker<'a> {
         let shared = self.shared;
         let cfg = &shared.config;
         let s = self.stage;
+
+        // Deadline propagation: shed at this boundary if the remaining
+        // budget can no longer cover this stage and everything after it.
+        // `frac_after[s]` is the share of predicted work in stages *after*
+        // `s`, so the cut-off at stage `s` is the final deadline minus the
+        // downstream stages' proportional slice — a job past it would burn
+        // this stage and still miss.
+        if let Some(final_deadline) = job.deadline {
+            let downstream = job.budget.mul_f64(shared.frac_after[s]);
+            if Instant::now() + downstream >= final_deadline {
+                shared.stats.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+                shared.conclude(&job.reply, Err(ServeError::DeadlineExceeded));
+                return true;
+            }
+        }
 
         // Chaos: corrupt the handoff before entry verification sees it.
         if fires(cfg.chaos.stage_corrupt, s, job.id, &mut self.corrupt_fired) {
@@ -613,15 +998,36 @@ impl<'a> StageWorker<'a> {
                 site: FaultSite::Temporal(TemporalFault::Wedge),
             }])));
         }
+        // Stage watchdog: once this stage's ns-per-cycle estimate has
+        // calibrated, arm a wall deadline over the whole stage pass. The
+        // watchdog thread cancels the run's token past it; the run surfaces
+        // [`ServeError::Preempted`] and walks the restart→spare ladder.
+        let predicted = shared.model.stages()[s].predicted_cycles();
+        let slack = cfg.pipeline.watchdog_slack;
+        let armed = if slack > 0.0 && predicted > 0 {
+            shared.stage_ns_per_cycle(s).map(|ns| {
+                let wall = Duration::from_nanos((predicted as f64 * ns * slack) as u64).max(WATCHDOG_FLOOR);
+                let token = CancelToken::new();
+                self.backend.set_cancel_token(Some(token.clone()));
+                shared.watchdog.arm(s, Instant::now() + wall, token);
+            })
+        } else {
+            None
+        };
         let budget_mult = if cfg.cycle_budget > 0.0 {
             cfg.cycle_budget
-        } else if wedge {
+        } else if wedge && armed.is_none() {
+            // No budget and no armed watchdog: fall back so the injected
+            // wedge still surfaces as a typed preemption. With the watchdog
+            // armed the wedge is caught on the wall clock instead — the
+            // path the combined soak gate exercises.
             WEDGE_FALLBACK_BUDGET
         } else {
             0.0
         };
 
         // Run the stage's layers under supervision.
+        let started = Instant::now();
         let layers = shared.model.stages()[s].layers();
         let backend = self.backend.as_mut();
         let activation = &job.activation;
@@ -642,6 +1048,10 @@ impl<'a> StageWorker<'a> {
             }
             Ok((act, reports))
         }));
+        if armed.is_some() {
+            shared.watchdog.disarm(s);
+            self.backend.set_cancel_token(None);
+        }
         if wedge {
             // Put the configured (non-wedge) plan back for later passes.
             self.backend.set_fault_plan(stage_fault_plan(cfg, s, self.rebuilds));
@@ -649,6 +1059,9 @@ impl<'a> StageWorker<'a> {
 
         match outcome {
             Ok(Ok((out, reports))) => {
+                // A healthy pass is a calibration sample for the stage's
+                // ns-per-cycle estimate.
+                shared.observe_stage_timing(s, predicted, started.elapsed());
                 self.forward(job, out, reports);
                 true
             }
@@ -704,6 +1117,7 @@ impl<'a> StageWorker<'a> {
             shared.conclude(&job.reply, Err(e));
             return;
         }
+        job.stage_enqueued = Instant::now();
         st.queues[s + 1].push_back(job);
         drop(st);
         shared.ready.notify_all();
@@ -741,7 +1155,12 @@ impl<'a> StageWorker<'a> {
                 // Healing may target an earlier stage; hand the job to that
                 // queue's front so recovery preempts fresh work.
                 let b = job.checkpoints.last().map_or(0, |(b, _, _)| *b);
-                st.queues[b].push_front(job);
+                job.stage_enqueued = Instant::now();
+                if b == 0 {
+                    st.push_entry(job, true);
+                } else {
+                    st.queues[b].push_front(job);
+                }
                 drop(st);
                 shared.ready.notify_all();
                 true
@@ -812,7 +1231,13 @@ impl<'a> StageWorker<'a> {
         let mut st = shared.lock();
         st.dead[s] = true;
         let e = shared.degraded(&st.dead);
-        let drained: Vec<StageJob> = st.queues[s].drain(..).collect();
+        let mut drained: Vec<StageJob> = st.queues[s].drain(..).collect();
+        if s == 0 {
+            // Stage 0 also owns the per-class entry FIFOs.
+            for q in &mut st.entry {
+                drained.extend(q.drain(..));
+            }
+        }
         drop(st);
         shared.conclude(&job.reply, Err(e.clone()));
         for j in drained {

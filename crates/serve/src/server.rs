@@ -472,7 +472,12 @@ impl Server {
             std::thread::Builder::new()
                 .name("npcgra-serve-watchdog".into())
                 .spawn(move || {
-                    shared.watchdog.run(&shared.stats, shared.config.health_ewma_alpha);
+                    // A fired slot is a preempted shard: charge its health
+                    // EWMA so hedge claims steer away from it.
+                    let alpha = shared.config.health_ewma_alpha;
+                    shared
+                        .watchdog
+                        .run(|worker| shared.stats.observe_health_sample(worker, 0.0, alpha));
                 })
                 .expect("spawn watchdog")
         });

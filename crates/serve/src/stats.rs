@@ -45,8 +45,10 @@ const LATENCY_BUCKETS: usize = 48;
 const HEALTH_SCALE: f64 = 1e6;
 
 /// Healthy batch timings required before the ns-per-cycle estimate (and
-/// therefore the watchdog's wall deadline) is trusted.
-const CALIBRATION_MIN_SAMPLES: u64 = 4;
+/// therefore the watchdog's wall deadline) is trusted. Shared with the
+/// pipeline's per-stage calibration so both watchdogs arm on the same
+/// evidence bar.
+pub(crate) const CALIBRATION_MIN_SAMPLES: u64 = 4;
 
 /// Live counters, shared between the submission path and the workers.
 #[derive(Debug)]

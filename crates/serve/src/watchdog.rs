@@ -25,8 +25,6 @@ use std::time::Instant;
 
 use npcgra_sim::CancelToken;
 
-use crate::stats::Stats;
-
 /// One armed batch: when to fire, and whose run to cancel.
 struct Armed {
     deadline: Instant,
@@ -75,10 +73,11 @@ impl Watchdog {
 
     /// The watchdog thread body: sleep until the nearest armed deadline
     /// (or the bell), cancel every run past its deadline, repeat.
-    /// Preemption *counting* happens in the supervisor when the cancelled
-    /// run surfaces — this thread only fires tokens and records the health
-    /// penalty against the stuck shard.
-    pub(crate) fn run(&self, stats: &Stats, health_alpha: f64) {
+    /// Preemption *counting* happens where the cancelled run surfaces —
+    /// this thread only fires tokens and invokes `on_fire(slot)` so its
+    /// owner can record the penalty (the server charges the shard's health
+    /// EWMA; the pipeline counts the stuck stage).
+    pub(crate) fn run(&self, on_fire: impl Fn(usize)) {
         let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if self.stop.load(Ordering::Acquire) {
@@ -89,7 +88,7 @@ impl Watchdog {
                 if slot.as_ref().is_some_and(|armed| armed.deadline <= now) {
                     let armed = slot.take().expect("checked above");
                     armed.token.cancel();
-                    stats.observe_health_sample(worker, 0.0, health_alpha);
+                    on_fire(worker);
                 }
             }
             let nearest = slots.iter().flatten().map(|armed| armed.deadline).min();
@@ -111,13 +110,19 @@ mod tests {
     use std::sync::Arc;
     use std::time::Duration;
 
+    use std::sync::atomic::AtomicU64;
+
     #[test]
-    fn expired_arming_cancels_the_token() {
+    fn expired_arming_cancels_the_token_and_reports_the_slot() {
         let wd = Arc::new(Watchdog::new(2));
-        let stats = Arc::new(Stats::new(2, 4));
+        let fires: Arc<Vec<AtomicU64>> = Arc::new((0..2).map(|_| AtomicU64::new(0)).collect());
         let thread = {
-            let (wd, stats) = (Arc::clone(&wd), Arc::clone(&stats));
-            std::thread::spawn(move || wd.run(&stats, 0.5))
+            let (wd, fires) = (Arc::clone(&wd), Arc::clone(&fires));
+            std::thread::spawn(move || {
+                wd.run(|slot| {
+                    fires[slot].fetch_add(1, Ordering::Relaxed);
+                })
+            })
         };
         let token = CancelToken::new();
         wd.arm(0, Instant::now() + Duration::from_millis(5), token.clone());
@@ -126,8 +131,8 @@ mod tests {
             assert!(fired.elapsed() < Duration::from_secs(5), "watchdog never fired");
             std::thread::sleep(Duration::from_millis(1));
         }
-        assert!(stats.health_score(0) < 1.0, "a preempted shard pays a health penalty");
-        assert!((stats.health_score(1) - 1.0).abs() < 1e-6, "the other shard is untouched");
+        assert_eq!(fires[0].load(Ordering::Relaxed), 1, "the preempted slot is reported");
+        assert_eq!(fires[1].load(Ordering::Relaxed), 0, "the other slot is untouched");
         wd.shutdown();
         thread.join().expect("watchdog thread");
     }
@@ -135,17 +140,21 @@ mod tests {
     #[test]
     fn disarmed_runs_are_never_cancelled() {
         let wd = Arc::new(Watchdog::new(1));
-        let stats = Arc::new(Stats::new(1, 4));
+        let fires = Arc::new(AtomicU64::new(0));
         let thread = {
-            let (wd, stats) = (Arc::clone(&wd), Arc::clone(&stats));
-            std::thread::spawn(move || wd.run(&stats, 0.5))
+            let (wd, fires) = (Arc::clone(&wd), Arc::clone(&fires));
+            std::thread::spawn(move || {
+                wd.run(|_| {
+                    fires.fetch_add(1, Ordering::Relaxed);
+                })
+            })
         };
         let token = CancelToken::new();
         wd.arm(0, Instant::now() + Duration::from_millis(30), token.clone());
         wd.disarm(0);
         std::thread::sleep(Duration::from_millis(60));
         assert!(!token.is_cancelled(), "the run completed and disarmed in time");
-        assert!((stats.health_score(0) - 1.0).abs() < 1e-6);
+        assert_eq!(fires.load(Ordering::Relaxed), 0);
         wd.shutdown();
         thread.join().expect("watchdog thread");
     }

@@ -20,7 +20,7 @@
 use std::time::Duration;
 
 use npcgra_nn::{models, reference, ConvLayer, Tensor};
-use npcgra_serve::{Pipeline, ServeConfig, StageFault, Ticket};
+use npcgra_serve::{Pipeline, Priority, ServeConfig, ServeError, StageFault, Ticket};
 use npcgra_sim::CompiledModel;
 
 const STAGES: usize = 4;
@@ -149,4 +149,162 @@ fn zero_fault_control_run_never_touches_the_healing_machinery() {
     // healing): one per configured boundary per inference.
     assert!(stats.checkpoints_stored >= n);
     assert!(stats.handoff_cycles > 0, "inter-stage handoffs must charge DMA cycles");
+    // The overload/liveness machinery is equally inert by default.
+    assert_eq!(stats.rejected_deadline, 0);
+    assert_eq!(stats.deadline_sheds, 0);
+    assert_eq!(stats.watchdog_preemptions, 0);
+    assert_eq!(stats.brownout_escalations, 0);
+    assert_eq!(stats.overload_sheds, vec![0, 0, 0]);
+}
+
+/// Satellite regression: a zero (already-expired) deadline is rejected at
+/// submit with the same typed error the single-layer [`Server`] uses —
+/// before the job ever queues.
+#[test]
+fn zero_deadline_is_rejected_at_submit_like_the_server() {
+    let layers = mobilenet_chain();
+    let (model, weights) = compile(&layers);
+    let cfg = pipeline_config(&model);
+    let shape = model.input_shape();
+    let pipe = Pipeline::start(cfg, model, weights).unwrap();
+
+    let input = Tensor::random(shape.0, shape.1, shape.2, 0xDEAD);
+    let err = pipe.submit_with_deadline(input, Some(Duration::ZERO)).unwrap_err();
+    assert!(matches!(err, ServeError::DeadlineExceeded), "got {err}");
+
+    let stats = pipe.shutdown();
+    assert_eq!(stats.rejected_deadline, 1);
+    assert_eq!(stats.submitted, 0, "a rejected deadline must never queue");
+    assert_eq!(stats.deadline_sheds, 0, "rejected at submit, not at a boundary");
+}
+
+/// Tentpole: a job whose deadline is already unmeetable is shed at a stage
+/// boundary ([`ServeError::DeadlineExceeded`]) instead of burning stages,
+/// while jobs without deadlines keep completing bit-exact alongside it.
+#[test]
+fn expired_deadline_sheds_at_the_stage_boundary() {
+    let layers = mobilenet_chain();
+    let (model, weights) = compile(&layers);
+    let cfg = pipeline_config(&model);
+    let shape = model.input_shape();
+    let golden_weights = weights.clone();
+    let pipe = Pipeline::start(cfg, model, weights).unwrap();
+
+    // 1 ns is nonzero (admitted) but long expired by the time stage 0
+    // dequeues it.
+    let doomed = pipe
+        .submit_with_deadline(Tensor::random(shape.0, shape.1, shape.2, 1), Some(Duration::from_nanos(1)))
+        .unwrap();
+    let healthy_input = Tensor::random(shape.0, shape.1, shape.2, 2);
+    let healthy_golden = golden(&layers, &golden_weights, &healthy_input);
+    let healthy = pipe.submit(healthy_input).unwrap();
+
+    let err = doomed.wait().unwrap_err();
+    assert!(matches!(err, ServeError::DeadlineExceeded), "got {err}");
+    assert_eq!(healthy.wait().unwrap().output, healthy_golden);
+
+    let stats = pipe.shutdown();
+    assert_eq!(stats.deadline_sheds, 1);
+    assert_eq!(stats.shed, 1, "a deadline shed is a shed, not a failure");
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
+}
+
+/// Satellite: the server's tombstone accounting, ported — a reply whose
+/// ticket was dropped is counted as a late reply instead of leaking.
+#[test]
+fn dropped_tickets_surface_as_late_replies() {
+    let layers = mobilenet_chain();
+    let (model, weights) = compile(&layers);
+    let cfg = pipeline_config(&model);
+    let shape = model.input_shape();
+    let pipe = Pipeline::start(cfg, model, weights).unwrap();
+
+    let n = 3u64;
+    for i in 0..n {
+        // Drop the ticket immediately: the caller walked away.
+        let _ = pipe.submit(Tensor::random(shape.0, shape.1, shape.2, 0xAB + i)).unwrap();
+    }
+    let stats = pipe.shutdown();
+    assert_eq!(stats.completed, n, "abandoned work still runs to completion");
+    assert_eq!(stats.late_replies, n, "every abandoned reply is accounted");
+}
+
+/// Tentpole: with `watchdog_slack` armed and *no* cycle budget, a wedged
+/// stage run is cancelled on the wall clock by the stage watchdog, walks
+/// the failover ladder, and the inference still completes bit-exact.
+#[test]
+fn stage_watchdog_preempts_a_wedged_stage_and_heals() {
+    let layers = vec![ConvLayer::pointwise("a", 3, 3, 8, 8), ConvLayer::pointwise("b", 3, 3, 8, 8)];
+    let spec = npcgra_arch::CgraSpec::np_cgra(4, 4);
+    let model = CompiledModel::compile("wedgy", &layers, &spec, 2).unwrap();
+    assert_eq!(model.num_stages(), 2);
+    let weights: Vec<Tensor> = layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| l.random_weights(50 + i as u64))
+        .collect();
+    let mut cfg = ServeConfig::for_spec(model.spec())
+        .with_pipeline_stages(2)
+        .with_restart_budget(0)
+        .with_stage_spares(1)
+        .with_checkpoint_every(1)
+        .with_restart_backoff(Duration::ZERO)
+        .with_pipeline_watchdog_slack(4.0);
+    assert_eq!(cfg.cycle_budget, 0.0, "the wall watchdog must be the only preemption path");
+    // Jobs 0..=3 calibrate each stage's ns-per-cycle estimate (4 healthy
+    // passes); job 4 wedges stage 1 with the watchdog armed.
+    cfg.chaos.stage_wedge = Some(StageFault { stage: 1, job: 4 });
+
+    let pipe = Pipeline::start(cfg, model, weights.clone()).unwrap();
+    for i in 0..5u64 {
+        let input = Tensor::random(3, 8, 8, 400 + i);
+        let gold = golden(&layers, &weights, &input);
+        let out = pipe.submit(input).unwrap().wait().unwrap().output;
+        assert_eq!(out, gold, "inference {i} diverged");
+    }
+    let stats = pipe.shutdown();
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.watchdog_preemptions, 1, "the wedge must be caught on the wall clock");
+    assert_eq!(stats.preemptions, 1, "the cancel surfaced as a typed preemption");
+    assert_eq!(stats.stage_failovers, vec![0, 1], "budget 0 fails straight over to the spare");
+    assert_eq!(stats.stage_replays, vec![0, 1], "healing replayed only the wedged stage");
+    assert_eq!(stats.panics_caught, 0);
+}
+
+/// Priority admission: mixed-class whole-model traffic all completes under
+/// the stage-0 WFQ, and per-class admission is accounted.
+#[test]
+fn mixed_priority_classes_all_complete_under_wfq() {
+    let layers = mobilenet_chain();
+    let (model, weights) = compile(&layers);
+    let cfg = pipeline_config(&model);
+    let shape = model.input_shape();
+    let golden_weights = weights.clone();
+    let pipe = Pipeline::start(cfg, model, weights).unwrap();
+
+    let classes = [
+        Priority::Interactive,
+        Priority::Batch,
+        Priority::BestEffort,
+        Priority::Batch,
+        Priority::Interactive,
+        Priority::BestEffort,
+    ];
+    let jobs: Vec<(Ticket, Tensor)> = classes
+        .iter()
+        .enumerate()
+        .map(|(i, &class)| {
+            let input = Tensor::random(shape.0, shape.1, shape.2, 0x700 + i as u64);
+            let gold = golden(&layers, &golden_weights, &input);
+            (pipe.submit_with_priority(input, None, class).unwrap(), gold)
+        })
+        .collect();
+    for (i, (ticket, gold)) in jobs.into_iter().enumerate() {
+        assert_eq!(ticket.wait().unwrap().output, gold, "inference {i} diverged");
+    }
+    let stats = pipe.shutdown();
+    assert_eq!(stats.completed, classes.len() as u64);
+    assert_eq!(stats.admitted_by_class, vec![2, 2, 2]);
+    assert_eq!(stats.overload_sheds, vec![0, 0, 0], "no brownout: nothing sheds");
 }

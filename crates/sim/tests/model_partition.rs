@@ -1,0 +1,135 @@
+//! Property tests for the [`CompiledModel`] linear-partition DP.
+//!
+//! Random valid DSC chains (fused depthwise→pointwise pairs and lone
+//! pointwise blocks, shapes chained) are compiled into every feasible
+//! stage count, and the partition must always:
+//!
+//! * cover the chain contiguously, with every stage boundary on a fused
+//!   unit edge — a DWC→PWC pair is never split across stages;
+//! * be cycle-balanced within the classic linear-partition bound
+//!   (`max stage ≤ total/stages + max unit cost`);
+//! * conserve work and handoffs: per-stage predicted cycles sum to the
+//!   chain total, and each boundary's DMA price is exactly two
+//!   [`DmaEngine::transfer_cycles`] passes over the producer's output.
+
+use npcgra_arch::CgraSpec;
+use npcgra_mem::DmaEngine;
+use npcgra_nn::ConvLayer;
+use npcgra_sim::CompiledModel;
+use proptest::prelude::*;
+
+/// One chain block: a fused dw→pw pair or a lone pw, with its output
+/// channel count. Spatial size is preserved (k=3, stride 1, pad 1 for the
+/// depthwise) so blocks chain without shape bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    fused: bool,
+    out_c: usize,
+}
+
+fn blocks_strategy() -> impl Strategy<Value = (usize, Vec<Block>)> {
+    let block = (any::<bool>(), 1usize..6).prop_map(|(fused, out_c)| Block { fused, out_c });
+    (1usize..6, proptest::collection::vec(block, 1..6))
+}
+
+/// Materialize a block list into a valid layer chain starting at `c0`
+/// input channels on an 8×8 feature map.
+fn chain(c0: usize, blocks: &[Block]) -> Vec<ConvLayer> {
+    let mut layers = Vec::new();
+    let mut c = c0;
+    for (i, b) in blocks.iter().enumerate() {
+        if b.fused {
+            layers.push(ConvLayer::depthwise(&format!("dw{i}"), c, 8, 8, 3, 1, 1));
+        }
+        layers.push(ConvLayer::pointwise(&format!("pw{i}"), c, b.out_c, 8, 8));
+        c = b.out_c;
+    }
+    layers
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The partition covers the chain contiguously and never splits a
+    /// fused DWC→PWC unit: every stage boundary lands on a unit edge.
+    #[test]
+    fn stages_cover_contiguously_on_unit_boundaries((c0, blocks) in blocks_strategy(), stages in 1usize..8) {
+        let layers = chain(c0, &blocks);
+        let spec = CgraSpec::np_cgra(4, 4);
+        let model = CompiledModel::compile("prop", &layers, &spec, stages).unwrap();
+
+        prop_assert_eq!(model.num_units(), blocks.len(), "one unit per block");
+        prop_assert_eq!(model.num_stages(), stages.clamp(1, model.num_units()));
+
+        let mut next = 0usize;
+        for plan in model.stages() {
+            let r = plan.layers();
+            prop_assert_eq!(r.start, next, "stages must tile the chain in order");
+            prop_assert!(r.end > r.start);
+            prop_assert!(
+                model.units().iter().any(|u| u.start == r.start),
+                "stage start {} is not a unit edge", r.start
+            );
+            prop_assert!(
+                model.units().iter().any(|u| u.end == r.end),
+                "stage end {} is not a unit edge (a fused pair was split)", r.end
+            );
+            next = r.end;
+        }
+        prop_assert_eq!(next, model.num_layers(), "the last stage must end the chain");
+    }
+
+    /// Cycle balance: the DP's bottleneck stage is within the linear-
+    /// partition bound, and per-stage predicted cycles conserve the
+    /// chain's total (which is the sum of the unit costs).
+    #[test]
+    fn partition_is_balanced_and_conserves_cycles((c0, blocks) in blocks_strategy(), stages in 1usize..8) {
+        let layers = chain(c0, &blocks);
+        let spec = CgraSpec::np_cgra(4, 4);
+        let model = CompiledModel::compile("prop", &layers, &spec, stages).unwrap();
+
+        let unit_costs: Vec<u64> = model
+            .units()
+            .iter()
+            .map(|u| u.clone().map(|l| model.layer(l).timing_report().cycles).sum())
+            .collect();
+        let total: u64 = unit_costs.iter().sum();
+        prop_assert_eq!(model.predicted_cycles(), total, "stage cycles must conserve the chain total");
+
+        let per_stage: u64 = model.stages().iter().map(|p| p.predicted_cycles()).sum();
+        prop_assert_eq!(per_stage, total);
+
+        let bottleneck = model.stages().iter().map(|p| p.predicted_cycles()).max().unwrap();
+        let max_unit = unit_costs.iter().copied().max().unwrap();
+        let bound = total / model.num_stages() as u64 + max_unit;
+        prop_assert!(
+            bottleneck <= bound,
+            "bottleneck {} exceeds the linear-partition bound {} (total {}, stages {}, max unit {})",
+            bottleneck, bound, total, model.num_stages(), max_unit
+        );
+    }
+
+    /// Handoff conservation: every non-final boundary prices its tensor at
+    /// exactly two DMA passes over the producer's output words; the final
+    /// stage hands off nothing.
+    #[test]
+    fn handoffs_price_boundary_tensors_exactly((c0, blocks) in blocks_strategy(), stages in 1usize..8) {
+        let layers = chain(c0, &blocks);
+        let spec = CgraSpec::np_cgra(4, 4);
+        let model = CompiledModel::compile("prop", &layers, &spec, stages).unwrap();
+        let engine = DmaEngine::new(&spec);
+
+        for (s, plan) in model.stages().iter().enumerate() {
+            if s + 1 == model.num_stages() {
+                prop_assert_eq!(plan.handoff_words(), 0, "the final stage hands off nothing");
+                prop_assert_eq!(model.handoff_cycles(s), 0);
+            } else {
+                let last = &layers[plan.layers().end - 1];
+                let words = (last.out_channels() * last.out_h() * last.out_w()) as u64;
+                prop_assert_eq!(plan.handoff_words(), words, "handoff words must match the boundary tensor");
+                prop_assert!(words > 0);
+                prop_assert_eq!(model.handoff_cycles(s), 2 * engine.transfer_cycles(words));
+            }
+        }
+    }
+}

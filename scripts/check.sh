@@ -77,8 +77,14 @@ cargo run --release -q -p npcgra-cli -- chaos-bench --overload \
   --machine 4x4 --workers 4 --clients 8 --seconds 4 --assert-slo >/dev/null
 
 echo "== pipeline soak (stage kill/wedge/corruption must heal from checkpoints, bit-exact) =="
+# Zero-overload control for the combined gate below: no deadlines, no
+# brownout, no watchdog — healing alone must carry the soak.
 cargo run --release -q -p npcgra-cli -- chaos-bench --pipeline \
   --stages 4 --spares 1 --checkpoint-every 1 --requests 24 --assert-liveness >/dev/null
+
+echo "== pipeline overload soak (2x capacity + stage wedge/kill; SLO, watchdog and brownout must hold) =="
+cargo run --release -q -p npcgra-cli -- chaos-bench --pipeline --overload \
+  --assert-slo >/dev/null
 
 echo "== benches (quick pass) =="
 cargo bench -p npcgra-bench >/dev/null
