@@ -85,9 +85,12 @@
 //! [`CancelToken`]: npcgra::sim::CancelToken
 //! [`Pipeline`]: npcgra::serve::Pipeline
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use npcgra::net::frame::code as wire_code;
+use npcgra::net::{ClientError, NetChaos, NetChaosConfig, NetClient, NetConfig, NetServer, TenantSpec};
 use npcgra::nn::{models, reference, ConvLayer, Tensor};
 use npcgra::serve::{
     BackendTier, ChaosConfig, ModelId, OverloadConfig, Priority, ServeConfig, ServeError, Server, Ticket, WorkerExit,
@@ -97,6 +100,9 @@ use crate::args::Flags;
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args)?;
+    if flags.has("net") {
+        return run_net(&flags);
+    }
     if flags.has("pipeline") {
         if flags.has("overload") {
             return run_pipeline_overload(&flags);
@@ -110,7 +116,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return run_gray(&flags);
     }
     if flags.has("assert-slo") {
-        return Err("--assert-slo needs --overload".to_string());
+        return Err("--assert-slo needs --overload or --net".to_string());
     }
     if flags.has("assert-liveness") {
         return Err("--assert-liveness needs --gray or --pipeline".to_string());
@@ -1302,6 +1308,7 @@ fn run_overload(flags: &Flags) -> Result<(), String> {
                 let golden = reference::run_layer(layer, &input, w).expect("golden reference");
                 if resp.output != golden {
                     wrong += 1;
+                    eprintln!("audit: request {} diverged from the golden reference", resp.request_id);
                 }
                 if class == Priority::Interactive && resp.latency <= slo {
                     interactive_in_slo += 1;
@@ -1378,6 +1385,522 @@ fn run_overload(flags: &Flags) -> Result<(), String> {
     println!(
         "chaos-bench --overload PASS: {offered} offered at {factor:.1}x capacity, 0 hung, 0 wrong; \
          interactive SLO attainment {:.2}%",
+        attainment * 100.0
+    );
+    Ok(())
+}
+
+/// Per-driver tallies from the `--net` soak's redemption phase.
+#[derive(Default)]
+struct NetAgg {
+    /// Requests that reached the serving core, by priority class.
+    admitted: [u64; 3],
+    /// Typed rejections before admission (backpressure, rate, quota, shed).
+    rejected: [u64; 3],
+    /// Successful replies, by priority class.
+    served: [u64; 3],
+    /// Interactive replies within the SLO.
+    in_slo: u64,
+    /// Admitted requests that resolved to a typed serve error.
+    admitted_failed: u64,
+    /// Submitted tags that never got any reply (the cardinal sin).
+    unresolved: u64,
+    /// Healthy connections that broke (io/wire/close) — must be zero.
+    broken: u64,
+    /// Healthy submits the socket refused — must be zero.
+    submit_failed: u64,
+    /// Request ids whose reply diverged from the golden reference.
+    wrong: Vec<u64>,
+    /// A few admitted-failure messages (each carries its request id).
+    sample_failures: Vec<String>,
+}
+
+impl NetAgg {
+    fn merge(&mut self, other: NetAgg) {
+        for k in 0..3 {
+            self.admitted[k] += other.admitted[k];
+            self.rejected[k] += other.rejected[k];
+            self.served[k] += other.served[k];
+        }
+        self.in_slo += other.in_slo;
+        self.admitted_failed += other.admitted_failed;
+        self.unresolved += other.unresolved;
+        self.broken += other.broken;
+        self.submit_failed += other.submit_failed;
+        self.wrong.extend(other.wrong);
+        if self.sample_failures.len() < 3 {
+            self.sample_failures.extend(other.sample_failures);
+            self.sample_failures.truncate(3);
+        }
+    }
+}
+
+/// A well-formed 17-byte request header declaring a 64 KiB payload that a
+/// slow-loris connection then trickles at ~10 bytes/second: the decoder
+/// stays mid-frame forever, which is exactly the window the read timeout
+/// guards. (The checksum field is garbage, but it is never reached.)
+const LORIS_PREFIX: [u8; 17] = [b'N', b'P', b'C', b'1', 1, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+
+/// The `--net` soak: the whole overload story, but through the socket
+/// front-end. A zero-chaos control phase first proves wire replies are
+/// bit-exact with in-process submits; then closed-loop calibration over
+/// loopback finds the wire capacity; then an open-loop drive at
+/// `--overload-factor`x runs alongside hostile populations — slow-loris
+/// connections trickling half-frames, malformed-frame clients, chaos
+/// clients corrupting/resetting mid-flight — while the healthy tenant's
+/// every request must still resolve, bit-exactly, within the SLO.
+#[allow(clippy::too_many_lines)]
+fn run_net(flags: &Flags) -> Result<(), String> {
+    let spec = flags.machine()?;
+    let workers: usize = parse_or(flags, "workers", 4)?;
+    let drivers: usize = parse_or(flags, "drivers", 8)?;
+    let conns: usize = parse_or(flags, "conns", 560)?;
+    let healthy_conns: usize = parse_or(flags, "healthy-conns", 64)?;
+    let hostile: usize = parse_or(flags, "hostile", 8)?;
+    let seconds: f64 = parse_or(flags, "seconds", 4.0)?;
+    let calib_seconds: f64 = parse_or(flags, "calib-seconds", 1.0)?;
+    let factor: f64 = parse_or(flags, "overload-factor", 2.0)?;
+    let slo_ms: u64 = parse_or(flags, "slo-ms", 250)?;
+    let delay_target_us: u64 = parse_or(flags, "delay-target-us", 2_000)?;
+    let max_batch: usize = parse_or(flags, "max-batch", 4)?;
+    let linger_us: u64 = parse_or(flags, "linger-us", 500)?;
+    let alpha: f64 = parse_or(flags, "alpha", 0.25)?;
+    let res: usize = parse_or(flags, "res", 32)?;
+    let wait_ms: u64 = parse_or(flags, "wait-ms", 250)?;
+    let chaos_seed: u64 = parse_or(flags, "chaos-seed", 0xC4A05)?;
+    let assert_slo = flags.has("assert-slo");
+    let tier = flags.tier()?;
+    let which = flags.get("model").unwrap_or("v1");
+    if workers == 0 || drivers == 0 || healthy_conns == 0 {
+        return Err("--net needs at least one worker, one driver and one healthy connection".to_string());
+    }
+    if res == 0 || !res.is_multiple_of(32) {
+        return Err(format!("--res must be a positive multiple of 32, got {res}"));
+    }
+    if !(1.0..=100.0).contains(&factor) {
+        return Err(format!("--overload-factor must be in [1, 100], got {factor}"));
+    }
+    let per = healthy_conns.div_ceil(drivers);
+    let healthy_conns = per * drivers;
+    let loris = conns.saturating_sub(healthy_conns + hostile);
+
+    let overload = OverloadConfig {
+        delay_target: Some(Duration::from_micros(delay_target_us)),
+        ..OverloadConfig::default()
+    };
+    let config = ServeConfig::for_spec(&spec)
+        .with_workers(workers)
+        .with_max_batch(max_batch)
+        .with_max_linger(Duration::from_micros(linger_us))
+        .with_backend_tier(tier)
+        .with_overload(overload);
+    let server = Arc::new(Server::start(config));
+    let tables = build_models(which, alpha, res)?;
+    let (endpoints, goldens) = register_endpoints(&server, &tables)?;
+    let server_ref: &Server = &server;
+    let endpoints_ref = &endpoints;
+
+    let net_config = NetConfig::default()
+        .with_max_conns(conns * 2)
+        .with_read_timeout(Some(Duration::from_millis(500)))
+        .with_idle_timeout(Some(Duration::from_secs(30)))
+        .with_write_backlog_limit(1 << 20)
+        .with_tick(Duration::from_millis(2))
+        .with_tenant(TenantSpec::open("fleet", b"tok-fleet"))
+        .with_tenant(TenantSpec::open("gremlin", b"tok-gremlin").with_rate(400.0, 64));
+    let net = NetServer::start(Arc::clone(&server), net_config).map_err(|e| format!("starting front-end: {e}"))?;
+    let addr = net.local_addr();
+    println!(
+        "chaos-bench --net [{tier}]: {} models behind {addr}, {} worker(s); control parity, then \
+         {healthy_conns} healthy + {loris} slow-loris + {hostile} hostile connection(s)",
+        endpoints.len(),
+        workers,
+    );
+
+    // Phase 0 — zero-chaos control: the same inputs through the wire and
+    // through in-process submit must produce bit-identical tensors.
+    let mut control = NetClient::connect(addr, b"tok-fleet").map_err(|e| format!("control connect: {e}"))?;
+    for (ei, &id) in endpoints.iter().enumerate().take(4) {
+        let input = input_for(server_ref, id, 0xC0_0000 + ei as u64);
+        let reply = control
+            .call(
+                id.index() as u32,
+                &input,
+                Priority::Interactive,
+                None,
+                Duration::from_secs(30),
+            )
+            .map_err(|e| format!("control call {ei}: {e}"))?;
+        let resp = match reply.result {
+            Ok(r) => r,
+            Err((code, msg)) => return Err(format!("control request {} refused (code {code}): {msg}", reply.request_id)),
+        };
+        let local = server_ref
+            .submit(id, input)
+            .map_err(|e| format!("control in-process submit {ei}: {e}"))?
+            .wait_timeout(Duration::from_secs(30))
+            .map_err(|e| format!("control in-process wait {ei}: {e}"))?;
+        if resp.tensor() != Some(local.output) {
+            return Err(format!(
+                "control: wire reply for request {} diverged from the in-process submit — \
+                 the wire path is not bit-exact",
+                reply.request_id
+            ));
+        }
+    }
+    let _ = control.bye();
+    drop(control);
+    println!(
+        "control: wire replies bit-exact with in-process submits on {} endpoint(s)",
+        endpoints.len().min(4)
+    );
+
+    // Phase 1 — closed-loop calibration over loopback: one in-flight
+    // request per driver connection measures the wire-path capacity.
+    let calib_start = Instant::now();
+    let calib_end = calib_start + Duration::from_secs_f64(calib_seconds);
+    let calibrated = AtomicU64::new(0);
+    let calibrated_ref = &calibrated;
+    std::thread::scope(|scope| {
+        for c in 0..drivers {
+            scope.spawn(move || {
+                let Ok(mut client) = NetClient::connect(addr, b"tok-fleet") else {
+                    return;
+                };
+                let mut r = 0usize;
+                while Instant::now() < calib_end {
+                    let ei = (c + r * drivers) % endpoints_ref.len();
+                    let id = endpoints_ref[ei];
+                    let input = input_for(server_ref, id, (c * 1_000_000 + r) as u64);
+                    r += 1;
+                    match client.call(id.index() as u32, &input, Priority::Batch, None, Duration::from_secs(10)) {
+                        Ok(reply) if reply.result.is_ok() => {
+                            calibrated_ref.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => std::thread::sleep(Duration::from_micros(200)),
+                        Err(_) => return,
+                    }
+                }
+                let _ = client.bye();
+            });
+        }
+    });
+    let calibrated = calibrated.load(Ordering::Relaxed);
+    let capacity_rps = calibrated as f64 / calib_start.elapsed().as_secs_f64();
+    if calibrated == 0 || capacity_rps <= 0.0 {
+        return Err("net calibration completed no requests — the front-end is wedged".to_string());
+    }
+    let offered_rps = capacity_rps * factor;
+    println!(
+        "calibrated wire capacity ≈ {capacity_rps:.0} req/s; driving open-loop at {offered_rps:.0} req/s \
+         ({factor:.1}x) for {seconds:.1}s — 30% Interactive (SLO {slo_ms}ms) / 40% Batch / 30% BestEffort"
+    );
+
+    // Phase 2 — the soak: hostile populations come up, then the healthy
+    // drivers run the open-loop schedule and redeem every tag.
+    let slo = Duration::from_millis(slo_ms);
+    let wait_cap = Duration::from_millis(wait_ms) * 40;
+    let stop = AtomicBool::new(false);
+    let peak_conns = AtomicU64::new(0);
+    let stop_ref = &stop;
+    let peak_ref = &peak_conns;
+    let goldens_ref = &goldens;
+    let net_ref = &net;
+    let drive_start = Instant::now() + Duration::from_millis(500);
+    let drive_end = drive_start + Duration::from_secs_f64(seconds);
+    let agg = std::thread::scope(|scope| {
+        // Slow-loris population: sockets that send a believable request
+        // header and then trickle the payload one byte per 100ms, staying
+        // mid-frame forever. The reactor must evict each within the read
+        // timeout; the manager reconnects to hold the population steady.
+        scope.spawn(move || {
+            use std::io::Write;
+            let mut socks: Vec<Option<std::net::TcpStream>> = (0..loris).map(|_| None).collect();
+            while !stop_ref.load(Ordering::Relaxed) {
+                for slot in &mut socks {
+                    match slot {
+                        None => {
+                            if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+                                if s.write_all(&LORIS_PREFIX).is_ok() {
+                                    *slot = Some(s);
+                                }
+                            }
+                        }
+                        Some(s) => {
+                            if s.write_all(&[0u8]).is_err() {
+                                *slot = None; // evicted — reconnect next pass
+                            }
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        // Concurrency monitor: samples the live connection count so the
+        // soak can prove the population target was actually reached.
+        scope.spawn(move || {
+            while !stop_ref.load(Ordering::Relaxed) && Instant::now() < drive_end {
+                let active = net_ref.stats().active_conns;
+                peak_ref.fetch_max(active, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
+        // Hostile clients: a rotating cast of disconnectors (submit, then
+        // hang up with work in flight), malformed-frame speakers, and
+        // seeded chaos connections that corrupt/split/reset their writes.
+        for h in 0..hostile {
+            scope.spawn(move || {
+                let chaos_cfg = NetChaosConfig {
+                    seed: chaos_seed,
+                    corrupt_rate: 0.15,
+                    partial_rate: 0.10,
+                    stall_read_rate: 0.05,
+                    reset_rate: 0.15,
+                    stall: Duration::from_millis(20),
+                };
+                let mut ord = h as u64 * 10_000;
+                while !stop_ref.load(Ordering::Relaxed) && Instant::now() < drive_end {
+                    let Ok(client) = NetClient::connect(addr, b"tok-gremlin") else {
+                        std::thread::sleep(Duration::from_millis(50));
+                        continue;
+                    };
+                    let mut client = client;
+                    let ei = (ord as usize) % endpoints_ref.len();
+                    let id = endpoints_ref[ei];
+                    let input = input_for(server_ref, id, 0xBAD_0000 + ord);
+                    match ord % 3 {
+                        0 => {
+                            // Mid-flight disconnect: admit work, vanish.
+                            let _ = client.submit(id.index() as u32, &input, Priority::Interactive, None);
+                            client.hangup();
+                        }
+                        1 => {
+                            // Malformed: speak HTTP at a frame decoder.
+                            let _ = client.send_raw(b"GET /v1/infer HTTP/1.1\r\nHost: npcgra\r\n\r\n");
+                            let _ = client.recv_tag(0, Duration::from_millis(200));
+                        }
+                        _ => {
+                            let mut client = client.with_chaos(NetChaos::for_conn(chaos_cfg, ord));
+                            for k in 0..12u64 {
+                                if stop_ref.load(Ordering::Relaxed) || Instant::now() >= drive_end {
+                                    break;
+                                }
+                                let input = input_for(server_ref, id, 0xBAD_1000 + ord + k);
+                                match client.call(id.index() as u32, &input, Priority::Batch, None, Duration::from_millis(500)) {
+                                    Ok(_) | Err(ClientError::Timeout) => {}
+                                    Err(_) => break, // reset/evicted: reconnect
+                                }
+                            }
+                        }
+                    }
+                    ord += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            });
+        }
+        // Healthy drivers: each owns `per` connections, paces the global
+        // open-loop schedule across them, then redeems every tag and
+        // audits every successful reply against the host golden.
+        let handles: Vec<_> = (0..drivers)
+            .map(|d| {
+                scope.spawn(move || -> Result<NetAgg, String> {
+                    let mut clients = Vec::with_capacity(per);
+                    for k in 0..per {
+                        clients.push(NetClient::connect(addr, b"tok-fleet").map_err(|e| format!("driver {d} conn {k}: {e}"))?);
+                    }
+                    let mut agg = NetAgg::default();
+                    let mut recs: Vec<(usize, u64, Priority, usize, u64)> = Vec::new();
+                    let interval = Duration::from_secs_f64(drivers as f64 / offered_rps);
+                    let t0 = drive_start + Duration::from_secs_f64(d as f64 / offered_rps);
+                    let mut i: u32 = 0;
+                    loop {
+                        let due = t0 + interval * i;
+                        if due >= drive_end {
+                            break;
+                        }
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let g = i as usize * drivers + d;
+                        let class = match g % 10 {
+                            0..=2 => Priority::Interactive,
+                            3..=6 => Priority::Batch,
+                            _ => Priority::BestEffort,
+                        };
+                        let deadline = (class == Priority::Interactive).then_some(slo);
+                        let ei = g % endpoints_ref.len();
+                        let seed = 0x6EED_0000_0000 + g as u64;
+                        let input = input_for(server_ref, endpoints_ref[ei], seed);
+                        let conn = g % per;
+                        match clients[conn].submit(endpoints_ref[ei].index() as u32, &input, class, deadline) {
+                            Ok(tag) => recs.push((conn, tag, class, ei, seed)),
+                            Err(_) => agg.submit_failed += 1,
+                        }
+                        i += 1;
+                    }
+                    for (conn, tag, class, ei, seed) in recs {
+                        match clients[conn].recv_tag(tag, wait_cap) {
+                            Ok(reply) => match reply.result {
+                                Ok(resp) => {
+                                    agg.admitted[class.index()] += 1;
+                                    agg.served[class.index()] += 1;
+                                    let (layer, w) = &goldens_ref[ei];
+                                    let input = input_for(server_ref, endpoints_ref[ei], seed);
+                                    let golden = reference::run_layer(layer, &input, w).expect("golden reference");
+                                    if resp.tensor() != Some(golden) {
+                                        agg.wrong.push(reply.request_id);
+                                    }
+                                    if class == Priority::Interactive && Duration::from_micros(resp.latency_us) <= slo {
+                                        agg.in_slo += 1;
+                                    }
+                                }
+                                Err((code, message)) => {
+                                    if code == wire_code::SERVE && reply.request_id > 0 {
+                                        // Admitted, then typed failure
+                                        // (deadline, shed): an SLO miss for
+                                        // Interactive, expected elsewhere.
+                                        agg.admitted[class.index()] += 1;
+                                        agg.admitted_failed += 1;
+                                        if agg.sample_failures.len() < 3 {
+                                            agg.sample_failures.push(message);
+                                        }
+                                    } else {
+                                        agg.rejected[class.index()] += 1;
+                                    }
+                                }
+                            },
+                            Err(ClientError::Timeout) => agg.unresolved += 1,
+                            Err(_) => agg.broken += 1,
+                        }
+                    }
+                    for c in &mut clients {
+                        let _ = c.bye();
+                    }
+                    Ok(agg)
+                })
+            })
+            .collect();
+        let mut agg = NetAgg::default();
+        let mut failure = None;
+        for h in handles {
+            match h.join().expect("driver thread") {
+                Ok(part) => agg.merge(part),
+                Err(e) => failure = Some(e),
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        failure.map_or(Ok(agg), Err)
+    })?;
+
+    // Phase 3 — teardown and the gates.
+    let net_stats = net.shutdown();
+    let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("net front-end still holds the server"));
+    let stats = server.shutdown();
+    println!("{net_stats}");
+    println!("{stats}");
+
+    let peak = peak_conns.load(Ordering::Relaxed);
+    let offered: u64 = agg.admitted.iter().sum::<u64>() + agg.rejected.iter().sum::<u64>();
+    let shed = stats.overload_sheds.iter().sum::<u64>()
+        + stats.rejected_queue_full
+        + stats.degraded_sheds
+        + net_stats.rejected_backpressure;
+    println!(
+        "net: offered {offered} over {healthy_conns} healthy conn(s) (peak {peak} live), admitted I/B/E \
+         {}/{}/{}, rejected at admission I/B/E {}/{}/{}, {} admitted-then-failed",
+        agg.admitted[0], agg.admitted[1], agg.admitted[2], agg.rejected[0], agg.rejected[1], agg.rejected[2], agg.admitted_failed,
+    );
+    for msg in &agg.sample_failures {
+        println!("net: sample admitted failure: {msg}");
+    }
+    let attainment = if agg.admitted[0] > 0 {
+        agg.in_slo as f64 / agg.admitted[0] as f64
+    } else {
+        0.0
+    };
+    println!(
+        "net: interactive SLO {}/{} within {slo_ms}ms ({:.2}%); served I/B/E {}/{}/{}; \
+         {} slow-loris + {} idle evictions, {} malformed, {} mid-flight disconnects ({} tombstoned)",
+        agg.in_slo,
+        agg.admitted[0],
+        attainment * 100.0,
+        agg.served[0],
+        agg.served[1],
+        agg.served[2],
+        net_stats.evicted_slow_loris,
+        net_stats.evicted_idle,
+        net_stats.rejected_malformed,
+        net_stats.midflight_disconnects,
+        net_stats.tombstoned_inflight,
+    );
+
+    if agg.submit_failed > 0 || agg.broken > 0 {
+        return Err(format!(
+            "{} healthy submit(s) failed and {} healthy connection(s) broke — the front-end must never \
+             damage a well-behaved tenant's connection",
+            agg.submit_failed, agg.broken
+        ));
+    }
+    if agg.unresolved > 0 {
+        return Err(format!(
+            "{} healthy request(s) never resolved — a reply was silently dropped on the wire",
+            agg.unresolved
+        ));
+    }
+    if stats.worker_exits.contains(&WorkerExit::Panicked) {
+        return Err(format!("a worker thread escaped supervision: exits {:?}", stats.worker_exits));
+    }
+    if !agg.wrong.is_empty() {
+        let ids: Vec<String> = agg.wrong.iter().take(5).map(|id| format!("request {id}")).collect();
+        return Err(format!(
+            "{} reply(s) diverged from the golden reference ({}{}) — the wire path broke bit-exactness",
+            agg.wrong.len(),
+            ids.join(", "),
+            if agg.wrong.len() > 5 { ", …" } else { "" },
+        ));
+    }
+    if net_stats.active_conns != 0 {
+        return Err(format!("{} connection(s) leaked past shutdown", net_stats.active_conns));
+    }
+    if assert_slo {
+        let required_peak = (conns as u64 * 9) / 10;
+        if peak < required_peak {
+            return Err(format!(
+                "assert-slo: peak concurrency {peak} never reached {required_peak} (90% of --conns {conns})"
+            ));
+        }
+        if net_stats.evicted_slow_loris == 0 {
+            return Err("assert-slo: no slow-loris eviction fired — the read timeout is not biting".to_string());
+        }
+        if net_stats.rejected_malformed == 0 {
+            return Err("assert-slo: no malformed frame was rejected — the hostile population is broken".to_string());
+        }
+        if net_stats.midflight_disconnects == 0 {
+            return Err("assert-slo: no mid-flight disconnect was observed — the tombstone path went untested".to_string());
+        }
+        if shed == 0 {
+            return Err(
+                "assert-slo: the drive never pushed the server into shedding — raise --overload-factor or --seconds".to_string(),
+            );
+        }
+        if agg.admitted[0] < 50 {
+            return Err(format!(
+                "assert-slo: only {} Interactive request(s) admitted — too few for a meaningful 99% \
+                 assertion; raise --seconds",
+                agg.admitted[0]
+            ));
+        }
+        if attainment < 0.99 {
+            return Err(format!(
+                "assert-slo: only {:.2}% of admitted Interactive requests met the {slo_ms}ms SLO (need 99%)",
+                attainment * 100.0
+            ));
+        }
+    }
+    println!(
+        "chaos-bench --net PASS: {offered} offered at {factor:.1}x wire capacity over peak {peak} \
+         connection(s), 0 hung, 0 wrong, 0 broken healthy conns; interactive SLO attainment {:.2}%",
         attainment * 100.0
     );
     Ok(())

@@ -22,12 +22,20 @@
 //! end-to-end inferences), and the end-to-end pipelined inferences/sec is
 //! reported alongside the per-layer numbers — the run record gains a
 //! matching `pipeline` array.
+//!
+//! `--net` adds a socket-path phase: the same workload driven through the
+//! `npcgra-net` TCP front-end over `--net-conns` concurrent loopback
+//! connections (closed-loop, one in flight per connection), reporting the
+//! end-to-end wire inferences/sec and latency percentiles — the run
+//! record gains a `net` entry.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use npcgra::net::{NetClient, NetConfig, NetServer, NetStats};
 use npcgra::nn::{models, Tensor};
 use npcgra::serve::{
-    BackendTier, ModelId, Pipeline, PipelineStatsSnapshot, ServeConfig, ServeError, Server, StatsSnapshot, Ticket,
+    BackendTier, ModelId, Pipeline, PipelineStatsSnapshot, Priority, ServeConfig, ServeError, Server, StatsSnapshot, Ticket,
 };
 use npcgra::sim::CompiledModel;
 
@@ -50,6 +58,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
     // dozen batches per shard, and the record should prove the fast tier
     // survived real cross-checks.
     let cross_check_every: u64 = parse_or(&flags, "cross-check-every", 4)?;
+    let net_mode = flags.has("net");
+    let net_conns: usize = parse_or(&flags, "net-conns", 8)?;
     let which = flags.get("model").unwrap_or("mixed");
     let tiers: Vec<BackendTier> = match flags.get("tier").unwrap_or("cycle-accurate") {
         "both" => BackendTier::ALL.to_vec(),
@@ -98,6 +108,20 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // Socket-path phase: the same closed-loop workload, but through the
+    // TCP front-end. Runs once, on the first selected tier — the point is
+    // the wire overhead, not another tier comparison.
+    let net_result = if net_mode {
+        let config = ServeConfig::for_spec(&spec)
+            .with_workers(workers)
+            .with_max_batch(max_batch)
+            .with_max_linger(std::time::Duration::from_micros(linger_us))
+            .with_backend_tier(tiers[0]);
+        Some(drive_net(&config, &model_tables, net_conns, requests)?)
+    } else {
+        None
+    };
+
     if let [(_, cycle), (_, fast)] = &results[..] {
         if cycle.throughput_rps > 0.0 {
             println!(
@@ -110,7 +134,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = emit_json {
-        let record = render_json(&spec, workers, clients, requests, &results, &pipeline_results);
+        let record = render_json(
+            &spec,
+            workers,
+            clients,
+            requests,
+            &results,
+            &pipeline_results,
+            net_result.as_ref(),
+        );
         let merged = append_record(std::fs::read_to_string(&path).ok().as_deref(), &record);
         std::fs::write(&path, merged).map_err(|e| format!("writing {path}: {e}"))?;
         println!("serve-bench: appended run record to {path}");
@@ -231,6 +263,111 @@ fn drive_pipeline(
     })
 }
 
+/// One socket-path bench result.
+struct NetBench {
+    connections: usize,
+    completed: usize,
+    throughput_rps: f64,
+    p50: Duration,
+    p99: Duration,
+    stats: NetStats,
+}
+
+/// The same closed-loop workload, but over the TCP front-end: one
+/// loopback connection per client thread, one request in flight per
+/// connection, end-to-end latency measured at the socket.
+fn drive_net(
+    config: &ServeConfig,
+    model_tables: &[models::Model],
+    connections: usize,
+    requests: usize,
+) -> Result<NetBench, String> {
+    let server = Arc::new(Server::start(*config));
+    let mut endpoints: Vec<u32> = Vec::new();
+    let mut shapes: Vec<(usize, usize, usize)> = Vec::new();
+    for (mi, model) in model_tables.iter().enumerate() {
+        for layer in model.dsc_layers() {
+            let named = layer.renamed(&format!("{}.{}", model.name(), layer.name()));
+            let weights = named.random_weights(0xC0FFEE + mi as u64);
+            let id = server
+                .register(&format!("{}.{}", model.name(), layer.name()), named, weights)
+                .map_err(|e| format!("registering {}: {e}", layer.name()))?;
+            shapes.push(server.model_shape(id).expect("registered"));
+            endpoints.push(id.index() as u32);
+        }
+    }
+    let net = NetServer::start(Arc::clone(&server), NetConfig::default()).map_err(|e| format!("bind front-end: {e}"))?;
+    let addr = net.local_addr();
+    println!(
+        "serve-bench [net]: {} models behind {addr}, {} loopback connections, {} requests",
+        endpoints.len(),
+        connections,
+        requests
+    );
+
+    let endpoints_ref = &endpoints;
+    let shapes_ref = &shapes;
+    let start = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr, b"").expect("connect to front-end");
+                    let per_conn = requests / connections + usize::from(c < requests % connections);
+                    let mut lats = Vec::with_capacity(per_conn);
+                    for r in 0..per_conn {
+                        let at = r % endpoints_ref.len();
+                        let (ch, h, w) = shapes_ref[at];
+                        let input = Tensor::random(ch, h, w, (c * 1_000 + r) as u64);
+                        let sent = Instant::now();
+                        let reply = client
+                            .call(
+                                endpoints_ref[at],
+                                &input,
+                                Priority::Interactive,
+                                None,
+                                Duration::from_secs(120),
+                            )
+                            .expect("wire reply");
+                        if reply.result.is_ok() {
+                            lats.push(sent.elapsed());
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        let mut all: Vec<Duration> = handles.into_iter().flat_map(|h| h.join().expect("net client")).collect();
+        all.sort();
+        all
+    });
+    let elapsed = start.elapsed();
+    let stats = net.shutdown();
+    let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("front-end still holds the server"));
+    let _ = server.shutdown();
+    if latencies.is_empty() {
+        return Err("net bench completed zero requests".into());
+    }
+    let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    let throughput_rps = latencies.len() as f64 / elapsed.as_secs_f64();
+    println!(
+        "serve-bench [net]: {} wire inferences over {} connection(s) — {:.1} inf/s, p50 {:.3}ms, p99 {:.3}ms",
+        latencies.len(),
+        connections,
+        throughput_rps,
+        pct(0.50).as_secs_f64() * 1e3,
+        pct(0.99).as_secs_f64() * 1e3,
+    );
+    Ok(NetBench {
+        connections,
+        completed: latencies.len(),
+        throughput_rps,
+        p50: pct(0.50),
+        p99: pct(0.99),
+        stats,
+    })
+}
+
 /// Run the closed-loop workload against one freshly started server and
 /// return its final statistics.
 fn drive_workload(
@@ -309,6 +446,7 @@ fn render_json(
     requests: usize,
     results: &[(BackendTier, StatsSnapshot)],
     pipeline_results: &[PipelineBench],
+    net_result: Option<&NetBench>,
 ) -> String {
     let tiers: Vec<String> = results
         .iter()
@@ -381,6 +519,30 @@ fn render_json(
             .collect();
         format!(",\n  \"pipeline\": [\n{}\n  ]", entries.join(",\n"))
     };
+    let net = net_result.map_or(String::new(), |b| {
+        format!(
+            concat!(
+                ",\n  \"net\": {{\n",
+                "    \"connections\": {},\n",
+                "    \"inferences_per_sec\": {:.3},\n",
+                "    \"p50_ms\": {:.6},\n",
+                "    \"p99_ms\": {:.6},\n",
+                "    \"completed\": {},\n",
+                "    \"admitted\": {},\n",
+                "    \"bytes_rx\": {},\n",
+                "    \"bytes_tx\": {}\n",
+                "  }}"
+            ),
+            b.connections,
+            b.throughput_rps,
+            b.p50.as_secs_f64() * 1e3,
+            b.p99.as_secs_f64() * 1e3,
+            b.completed,
+            b.stats.admitted,
+            b.stats.bytes_rx,
+            b.stats.bytes_tx,
+        )
+    });
     let timestamp_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -393,7 +555,7 @@ fn render_json(
             "  \"workers\": {},\n",
             "  \"clients\": {},\n",
             "  \"requests_per_tier\": {},\n",
-            "  \"tiers\": [\n{}\n  ]{}{}\n",
+            "  \"tiers\": [\n{}\n  ]{}{}{}\n",
             "}}\n"
         ),
         timestamp_unix,
@@ -405,6 +567,7 @@ fn render_json(
         tiers.join(",\n"),
         speedup,
         pipeline,
+        net,
     )
 }
 

@@ -1,0 +1,180 @@
+//! `serve-net` — run the socket front-end as a standalone server.
+//!
+//! Registers the DSC layers of the selected models as endpoints, starts
+//! the `npcgra-net` reactor on `--addr`, prints the model table (wire
+//! model id → layer name → input shape) and serves until `--seconds`
+//! elapses (`0` = forever, until the process is killed). Shutdown drains
+//! admitted work and prints the final serving statistics.
+//!
+//! Tenants are optional (`--tenants name:token[:rate[:burst[:quota]]]`,
+//! comma-separated); with none configured the front-end runs open, the
+//! defaults-off posture. Clients speak the DESIGN §17 wire protocol —
+//! `NetClient` in `npcgra::net` is the reference implementation.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use npcgra::net::{NetConfig, NetServer, TenantSpec};
+use npcgra::nn::models;
+use npcgra::serve::{ServeConfig, Server};
+
+use crate::args::Flags;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let spec = flags.machine()?;
+    let workers: usize = parse_or(&flags, "workers", 4)?;
+    let max_batch: usize = parse_or(&flags, "max-batch", 4)?;
+    let linger_us: u64 = parse_or(&flags, "linger-us", 500)?;
+    let alpha: f64 = parse_or(&flags, "alpha", 0.25)?;
+    let res: usize = parse_or(&flags, "res", 32)?;
+    let seconds: f64 = parse_or(&flags, "seconds", 0.0)?;
+    let max_conns: usize = parse_or(&flags, "max-conns", 0)?;
+    let read_timeout_ms: u64 = parse_or(&flags, "read-timeout-ms", 0)?;
+    let write_timeout_ms: u64 = parse_or(&flags, "write-timeout-ms", 0)?;
+    let idle_timeout_ms: u64 = parse_or(&flags, "idle-timeout-ms", 0)?;
+    let backlog_limit: usize = parse_or(&flags, "backlog-limit", 0)?;
+    let tier = flags.tier()?;
+    let which = flags.get("model").unwrap_or("v1");
+    let addr: SocketAddr = flags
+        .get("addr")
+        .unwrap_or("127.0.0.1:0")
+        .parse()
+        .map_err(|e| format!("--addr: {e}"))?;
+    if !addr.ip().is_loopback() {
+        return Err("--addr must be a loopback address (the wire protocol carries no transport security)".to_string());
+    }
+    if res == 0 || !res.is_multiple_of(32) {
+        return Err(format!("--res must be a positive multiple of 32, got {res}"));
+    }
+
+    let mut tables = Vec::new();
+    match which {
+        "v1" => tables.push(models::mobilenet_v1(alpha, res)),
+        "v2" => tables.push(models::mobilenet_v2(alpha, res)),
+        "mixed" => {
+            tables.push(models::mobilenet_v1(alpha, res));
+            tables.push(models::mobilenet_v2(alpha, res));
+        }
+        other => return Err(format!("--model must be v1|v2|mixed, got '{other}'")),
+    }
+
+    let config = ServeConfig::for_spec(&spec)
+        .with_workers(workers)
+        .with_max_batch(max_batch)
+        .with_max_linger(Duration::from_micros(linger_us))
+        .with_backend_tier(tier);
+    let server = Arc::new(Server::start(config));
+    let mut endpoints = Vec::new();
+    for model in &tables {
+        for layer in model.dsc_layers() {
+            let name = format!("{}.{}", model.name(), layer.name());
+            let named = layer.renamed(&name);
+            let weights = named.random_weights(0xC0FFEE);
+            let id = server
+                .register(&name, named, weights)
+                .map_err(|e| format!("registering {name}: {e}"))?;
+            endpoints.push((id, name));
+        }
+    }
+
+    let mut net_config = NetConfig::default().with_addr(addr);
+    if max_conns > 0 {
+        net_config = net_config.with_max_conns(max_conns);
+    }
+    if read_timeout_ms > 0 {
+        net_config = net_config.with_read_timeout(Some(Duration::from_millis(read_timeout_ms)));
+    }
+    if write_timeout_ms > 0 {
+        net_config = net_config.with_write_timeout(Some(Duration::from_millis(write_timeout_ms)));
+    }
+    if idle_timeout_ms > 0 {
+        net_config = net_config.with_idle_timeout(Some(Duration::from_millis(idle_timeout_ms)));
+    }
+    if backlog_limit > 0 {
+        net_config = net_config.with_write_backlog_limit(backlog_limit);
+    }
+    for spec in parse_tenants(flags.get("tenants").unwrap_or(""))? {
+        net_config = net_config.with_tenant(spec);
+    }
+
+    let net = NetServer::start(Arc::clone(&server), net_config).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("serve-net [{tier}]: listening on {}", net.local_addr());
+    for (id, name) in &endpoints {
+        let (c, h, w) = server.model_shape(*id).expect("registered model");
+        println!("  model {:>3}  {name}  input {c}x{h}x{w}", id.index());
+    }
+    if seconds > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(seconds));
+    } else {
+        println!("serve-net: serving until killed (pass --seconds N for a bounded run)");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
+    let net_stats = net.shutdown();
+    println!("{net_stats}");
+    let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("front-end still holds the server"));
+    let stats = server.shutdown();
+    println!("{stats}");
+    Ok(())
+}
+
+/// `name:token[:rate[:burst[:quota]]]`, comma-separated. Rate is
+/// requests/second (0 = unlimited), burst the bucket size, quota the
+/// in-flight cap (0 = unbounded).
+fn parse_tenants(arg: &str) -> Result<Vec<TenantSpec>, String> {
+    let mut specs = Vec::new();
+    for entry in arg.split(',').filter(|e| !e.is_empty()) {
+        let parts: Vec<&str> = entry.split(':').collect();
+        let (name, token) = match parts.as_slice() {
+            [name, token, ..] if !name.is_empty() && !token.is_empty() => (*name, *token),
+            _ => return Err(format!("--tenants: '{entry}' is not name:token[:rate[:burst[:quota]]]")),
+        };
+        let num = |i: usize| -> Result<f64, String> {
+            parts.get(i).map_or(Ok(0.0), |v| {
+                v.parse().map_err(|_| format!("--tenants: bad number '{v}' in '{entry}'"))
+            })
+        };
+        let mut spec = TenantSpec::open(name, token.as_bytes());
+        let rate = num(2)?;
+        if rate > 0.0 {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let burst = num(3)?.max(1.0) as u32;
+            spec = spec.with_rate(rate, burst);
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let quota = num(4)? as u32;
+        if quota > 0 {
+            spec = spec.with_max_inflight(quota);
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+fn parse_or<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: bad value '{v}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_tenants;
+
+    #[test]
+    fn tenant_grammar() {
+        let specs = parse_tenants("a:tok,b:s3cret:100:16:8").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!((specs[0].name.as_str(), specs[0].rate_per_sec), ("a", 0.0));
+        assert_eq!(specs[1].token, b"s3cret");
+        assert_eq!((specs[1].rate_per_sec, specs[1].burst, specs[1].max_inflight), (100.0, 16, 8));
+        assert!(parse_tenants("").unwrap().is_empty());
+        assert!(parse_tenants("noseparator").is_err());
+        assert!(parse_tenants("a:").is_err());
+    }
+}

@@ -6,11 +6,13 @@
 //! npcgra trace      --kind dw --channels 2 --size 8x8 [--machine 2x2] [--cycles 40]
 //! npcgra energy     --kind dw --channels 8 --size 24x24 [--mapping auto|matmul|batched]
 //! npcgra disasm     --kind dw --channels 1 --size 8x8 [--machine 2x2] [--relu]
-//! npcgra serve-bench [--workers 4] [--clients 8] [--requests 160] [--max-batch 4] [--model v1|v2|mixed]
+//! npcgra serve-bench [--workers 4] [--clients 8] [--requests 160] [--max-batch 4] [--model v1|v2|mixed] [--net]
 //! npcgra chaos-bench [--workers 4] [--clients 8] [--seconds 5] [--fault-rate 1e-4] [--panic-worker 0] [--assert-detection]
 //! npcgra chaos-bench --gray [--gray-rate 0.02] [--watchdog-slack 4] [--cycle-budget 8] [--assert-liveness]
 //! npcgra chaos-bench --overload [--overload-factor 2] [--slo-ms 250] [--assert-slo]
 //! npcgra chaos-bench --pipeline [--stages 4] [--spares 1] [--checkpoint-every 1] [--assert-liveness]
+//! npcgra chaos-bench --net [--conns 560] [--healthy-conns 64] [--hostile 8] [--assert-slo]
+//! npcgra serve-net   [--addr 127.0.0.1:0] [--model v1|v2|mixed] [--tenants name:token:rate:burst:quota,...] [--seconds 0]
 //! ```
 
 mod args;
@@ -19,6 +21,7 @@ mod cmd_disasm;
 mod cmd_energy;
 mod cmd_run_layer;
 mod cmd_serve_bench;
+mod cmd_serve_net;
 mod cmd_time_model;
 mod cmd_trace;
 
@@ -37,6 +40,7 @@ fn main() -> ExitCode {
         "energy" => cmd_energy::run(rest),
         "disasm" => cmd_disasm::run(rest),
         "serve-bench" => cmd_serve_bench::run(rest),
+        "serve-net" => cmd_serve_net::run(rest),
         "chaos-bench" => cmd_chaos_bench::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -64,6 +68,9 @@ commands:
   energy      first-order energy estimate of one layer
   disasm      disassemble a mapping's configuration memory (Fig. 3 view)
   serve-bench closed-loop load test of the batching inference server
+  serve-net   run the socket front-end as a standalone loopback server
+              (DESIGN §17 wire protocol; --tenants arms auth/rate/quota,
+              --seconds bounds the run, 0 = serve until killed)
   chaos-bench fault-injection soak: panics, poison and hardware bit flips
               must all be survived (nonzero exit otherwise); with
               --assert-detection, silently corrupted outputs must also be
@@ -82,7 +89,15 @@ commands:
               handoff corrupted (--assert-liveness fails the run unless
               every inference completes bit-exact, healing replays only
               from the last checkpoint, and the kill and wedge each fail
-              over to a stage spare)
+              over to a stage spare); with --net, the server is fronted by
+              the loopback socket reactor and driven at 2x its calibrated
+              wire capacity over hundreds of connections while slow-loris,
+              malformed-frame and mid-flight-disconnect populations attack
+              it — a zero-chaos control phase first proves wire replies
+              are bit-exact with in-process submits (--assert-slo fails
+              the run unless every healthy request resolves bit-exact
+              within the SLO, every attacker class was caught, and no
+              connection leaks)
 
 common flags:
   --machine RxC       array size (default 8x8, the Table 4 machine)
@@ -97,6 +112,9 @@ common flags:
   --cycles N          max trace lines (trace)
   --workers N, --clients N, --requests N, --max-batch N, --linger-us N,
   --deadline-ms N     serve-bench load-generator knobs
+  --net, --net-conns N
+                      serve-bench: also measure wire-path throughput over
+                      N loopback connections (appends a \"net\" record)
   --seconds S, --fault-rate P, --fault-seed N, --panic-worker W,
   --wait-ms N         chaos-bench fault-injection knobs
   --assert-detection, --canary-every N
@@ -109,4 +127,9 @@ common flags:
                       chaos-bench overload-control soak knobs
   --pipeline, --stages N, --spares N, --checkpoint-every N
                       chaos-bench whole-model pipeline failover soak knobs
+  --net, --conns N, --healthy-conns N, --hostile N, --drivers N,
+  --chaos-seed N      chaos-bench socket front-end soak knobs
+  --addr A, --tenants LIST, --max-conns N, --read-timeout-ms N,
+  --write-timeout-ms N, --idle-timeout-ms N, --backlog-limit N,
+  --seconds S         serve-net front-end knobs
 ";

@@ -43,6 +43,7 @@
 //! | [`baseline`] | CCF compiler model and the Table 1 analysis |
 //! | [`area`] | calibrated area model, scaling, ADP, Table 6 comparators |
 //! | [`serve`] | sharded, batching inference server over the simulator |
+//! | [`net`] | multi-tenant TCP front-end: wire protocol, reactor, tenant limits, net chaos |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +54,7 @@ pub use npcgra_area as area;
 pub use npcgra_baseline as baseline;
 pub use npcgra_kernels as kernels;
 pub use npcgra_mem as mem;
+pub use npcgra_net as net;
 pub use npcgra_nn as nn;
 pub use npcgra_serve as serve;
 pub use npcgra_sim as sim;

@@ -1,0 +1,303 @@
+//! A small blocking client for the wire protocol.
+//!
+//! This is the load-generation and test side of the crate: benches and
+//! chaos soaks open one [`NetClient`] per simulated user connection,
+//! submit requests, and redeem replies by tag. The client is also where
+//! the [`NetChaos`](crate::chaos::NetChaos) injector plugs in — chaos is
+//! an *attacker-side* behaviour (corrupt frames, half-written frames,
+//! stalled reads, mid-flight hangups), and the server under test must
+//! survive all of it.
+
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use npcgra_nn::Tensor;
+use npcgra_serve::Priority;
+
+use crate::chaos::{ChaosAction, NetChaos};
+use crate::frame::{encode_frame, FrameDecoder, WireError, WireFrame, WireReply, WireRequest};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes chaos-injected resets).
+    Io(io::Error),
+    /// The server's byte stream failed to decode (should never happen
+    /// against a healthy server — this is a test assertion surface).
+    Wire(WireError),
+    /// The server sent a fatal connection-level error notice.
+    ServerClosed {
+        /// The notice's [`code`](crate::frame::code) constant.
+        code: u8,
+        /// The notice's message.
+        message: String,
+    },
+    /// No reply arrived within the wait bound.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Wire(e) => write!(f, "server stream malformed: {e}"),
+            ClientError::ServerClosed { code, message } => {
+                write!(f, "server closed the connection (code {code}): {message}")
+            }
+            ClientError::Timeout => write!(f, "no reply in time"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One blocking connection to a front-end.
+pub struct NetClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    token: Vec<u8>,
+    next_tag: u64,
+    chaos: Option<NetChaos>,
+    /// Replies that arrived while waiting for a different tag.
+    pending: HashMap<u64, WireReply>,
+    /// Chaos `StallRead`: don't read the socket before this instant.
+    read_gate: Option<Instant>,
+    /// A chaos reset hard-closed the stream; all further calls fail.
+    dead: bool,
+}
+
+impl NetClient {
+    /// Connect and present `token` on every request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from connect/configure.
+    pub fn connect(addr: SocketAddr, token: &[u8]) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient {
+            stream,
+            decoder: FrameDecoder::new(1 << 24),
+            token: token.to_vec(),
+            next_tag: 1,
+            chaos: None,
+            pending: HashMap::new(),
+            read_gate: None,
+            dead: false,
+        })
+    }
+
+    /// Attach a chaos injector to this connection's write path.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: NetChaos) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Submit one request; returns the correlation tag to redeem with
+    /// [`recv_tag`](Self::recv_tag). With chaos attached the frame may be
+    /// corrupted, split, stalled or the connection reset — exactly the
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; a chaos reset surfaces as `ConnectionReset`.
+    pub fn submit(&mut self, model: u32, input: &Tensor, class: Priority, deadline: Option<Duration>) -> io::Result<u64> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let (c, h, w) = input.shape();
+        let frame = WireFrame::Request(WireRequest {
+            tag,
+            token: self.token.clone(),
+            class: class.index() as u8,
+            deadline_ms: deadline.map_or(0, |d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX)),
+            model,
+            shape: (c as u16, h as u16, w as u16),
+            words: input.as_slice().to_vec(),
+        });
+        self.send_frame(&frame)?;
+        Ok(tag)
+    }
+
+    /// Encode and write one frame, applying chaos if attached.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; a chaos reset surfaces as `ConnectionReset`.
+    pub fn send_frame(&mut self, frame: &WireFrame) -> io::Result<()> {
+        let mut bytes = Vec::new();
+        encode_frame(frame, &mut bytes);
+        self.send_raw_chaos(bytes)
+    }
+
+    /// Write raw bytes verbatim (malformed-frame tests).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.check_alive()?;
+        self.stream.write_all(bytes)
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(ErrorKind::ConnectionReset, "chaos reset this connection"));
+        }
+        Ok(())
+    }
+
+    fn send_raw_chaos(&mut self, mut bytes: Vec<u8>) -> io::Result<()> {
+        self.check_alive()?;
+        let action = match &mut self.chaos {
+            Some(c) => c.next_action(),
+            None => ChaosAction::None,
+        };
+        match action {
+            ChaosAction::None => self.stream.write_all(&bytes),
+            ChaosAction::CorruptBit { offset, bit } => {
+                let at = (offset % bytes.len() as u64) as usize;
+                bytes[at] ^= 1 << bit;
+                self.stream.write_all(&bytes)
+            }
+            ChaosAction::PartialWrite { prefix, stall } => {
+                let split = 1 + (prefix % (bytes.len().max(2) as u64 - 1)) as usize;
+                self.stream.write_all(&bytes[..split])?;
+                self.stream.flush()?;
+                std::thread::sleep(stall);
+                self.stream.write_all(&bytes[split..])
+            }
+            ChaosAction::StallRead { stall } => {
+                self.stream.write_all(&bytes)?;
+                self.read_gate = Some(Instant::now() + stall);
+                Ok(())
+            }
+            ChaosAction::Reset { prefix } => {
+                // Write a truncated prefix, then hang up mid-frame: the
+                // server sees EOF with a half-frame buffered and in-flight
+                // work to tombstone.
+                let cut = (prefix % bytes.len() as u64) as usize;
+                if cut > 0 {
+                    let _ = self.stream.write_all(&bytes[..cut]);
+                }
+                let _ = self.stream.shutdown(Shutdown::Both);
+                self.dead = true;
+                Err(io::Error::new(ErrorKind::ConnectionReset, "chaos reset this connection"))
+            }
+        }
+    }
+
+    /// Announce a graceful close.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn bye(&mut self) -> io::Result<()> {
+        self.send_frame(&WireFrame::Bye)
+    }
+
+    /// Hard-close the connection (mid-flight-disconnect tests).
+    pub fn hangup(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.dead = true;
+    }
+
+    /// Wait (up to `timeout`) for the reply carrying `tag`. Replies to
+    /// other tags arriving first are parked and redeemable later — the
+    /// protocol allows out-of-order completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] when nothing arrived in time, otherwise
+    /// the socket/wire/server failure.
+    pub fn recv_tag(&mut self, tag: u64, timeout: Duration) -> Result<WireReply, ClientError> {
+        if let Some(r) = self.pending.remove(&tag) {
+            return Ok(r);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.recv_frame_until(deadline)? {
+                WireFrame::Reply(r) => {
+                    if r.tag == tag {
+                        return Ok(r);
+                    }
+                    self.pending.insert(r.tag, r);
+                }
+                WireFrame::Error { code, message } => {
+                    return Err(ClientError::ServerClosed { code, message });
+                }
+                WireFrame::Bye => {
+                    // Server is draining; replies for admitted work may
+                    // still follow, so keep reading.
+                }
+                WireFrame::Request(_) => {
+                    return Err(ClientError::Wire(WireError::BadKind {
+                        got: crate::frame::KIND_REQUEST,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Read the next frame of any kind before `deadline`.
+    fn recv_frame_until(&mut self, deadline: Instant) -> Result<WireFrame, ClientError> {
+        self.check_alive()?;
+        if let Some(gate) = self.read_gate.take() {
+            // Chaos stalled-read: sit on the socket without draining it.
+            let now = Instant::now();
+            if gate > now {
+                std::thread::sleep(gate - now);
+            }
+        }
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(frame) = self.decoder.next().map_err(ClientError::Wire)? {
+                return Ok(frame);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            self.stream.set_read_timeout(Some(deadline - now))?;
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(ClientError::Io(io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the stream",
+                    )))
+                }
+                Ok(n) => self.decoder.push(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(ClientError::Timeout)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Submit and wait for that request's reply (the simple RPC shape).
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit) and [`recv_tag`](Self::recv_tag).
+    pub fn call(
+        &mut self,
+        model: u32,
+        input: &Tensor,
+        class: Priority,
+        deadline: Option<Duration>,
+        wait: Duration,
+    ) -> Result<WireReply, ClientError> {
+        let tag = self.submit(model, input, class, deadline)?;
+        self.recv_tag(tag, wait)
+    }
+}

@@ -1,0 +1,505 @@
+//! Per-connection state machine.
+//!
+//! One [`Conn`] owns one non-blocking [`TcpStream`] and runs the same
+//! cycle every reactor tick: drain readable bytes into the frame decoder,
+//! handle complete frames (tenant gates → serving-core submit), poll
+//! in-flight tickets without blocking, enforce the read/write/idle
+//! timeouts, and flush the write buffer. Nothing in here blocks and
+//! nothing panics on peer behaviour: every malformed input becomes a
+//! typed [`WireError`](crate::frame::WireError) notice followed by a
+//! close, and every abandoned in-flight request resolves through the
+//! serving core's reply-slot tombstones (dropping the [`Ticket`] *is*
+//! the cleanup — a late reply is counted, not leaked).
+//!
+//! Lifecycle:
+//!
+//! ```text
+//! Running ──Bye/server drain──▶ Draining ──inflight empty──▶ Closing ──flushed──▶ gone
+//!    │
+//!    └─WireError / timeout eviction──────────────────────────▶ Closing
+//! ```
+//!
+//! `Draining` stops accepting new requests but still delivers replies for
+//! work already admitted; `Closing` only flushes buffered output (the
+//! typed error notice, usually) and abandons in-flight tickets to their
+//! tombstones.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use npcgra_nn::Tensor;
+use npcgra_serve::{Priority, ServeError, Server, Ticket};
+
+use crate::frame::{code, encode_frame, FrameDecoder, WireFrame, WireReply, WireRequest, WireResponse};
+use crate::stats::NetCounters;
+use crate::tenant::{TenantDenied, TenantIdx, TenantRegistry};
+use crate::{net_sheds, NetConfig};
+
+/// Why a connection left the reactor (for stats and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer closed or reset the stream.
+    Peer,
+    /// The stream produced a fatal I/O error.
+    Io,
+    /// The peer broke the wire grammar; a typed notice was sent.
+    Malformed,
+    /// Evicted: a frame sat half-received past the read timeout.
+    SlowLoris,
+    /// Evicted: the peer stopped draining replies past the write timeout.
+    WriteStall,
+    /// Evicted: no traffic for the idle timeout.
+    Idle,
+    /// Ordinary end of life: all buffered output flushed after a drain.
+    Done,
+    /// The reactor force-closed it (drain deadline at shutdown).
+    Kicked,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    Running,
+    Draining,
+    Closing,
+}
+
+/// One admitted request waiting for its reply.
+struct Inflight {
+    tag: u64,
+    request_id: u64,
+    ticket: Ticket,
+    tenant: Option<TenantIdx>,
+}
+
+/// Everything a connection needs from the reactor for one tick.
+pub(crate) struct Ctx<'a> {
+    pub(crate) server: &'a Server,
+    pub(crate) tenants: &'a mut TenantRegistry,
+    pub(crate) counters: &'a NetCounters,
+    pub(crate) cfg: &'a NetConfig,
+    /// Net-level backpressure rung in force this tick.
+    pub(crate) level: npcgra_serve::BrownoutLevel,
+    pub(crate) now: Instant,
+}
+
+/// The per-connection state machine; see the module docs.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    out_at: usize,
+    inflight: Vec<Inflight>,
+    state: ConnState,
+    /// Last moment the peer made observable progress (bytes either way).
+    last_activity: Instant,
+    /// When the currently half-received frame started arriving.
+    mid_frame_since: Option<Instant>,
+    /// Last moment a write drained at least one byte while output waited.
+    last_write_progress: Instant,
+    /// Tenant this connection last authenticated as (for eviction stats).
+    tenant_hint: Option<TenantIdx>,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, max_payload: u32, now: Instant) -> Self {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(max_payload),
+            out: Vec::new(),
+            out_at: 0,
+            inflight: Vec::new(),
+            state: ConnState::Running,
+            last_activity: now,
+            mid_frame_since: None,
+            last_write_progress: now,
+            tenant_hint: None,
+        }
+    }
+
+    /// Unflushed output bytes (the reactor's backpressure signal).
+    pub(crate) fn backlog(&self) -> usize {
+        self.out.len() - self.out_at
+    }
+
+    /// Move to `Draining`: no new requests, finish what's admitted. Sends
+    /// a Bye so a well-behaved client stops submitting.
+    pub(crate) fn begin_drain(&mut self) {
+        if self.state == ConnState::Running {
+            encode_frame(&WireFrame::Bye, &mut self.out);
+            self.state = ConnState::Draining;
+        }
+    }
+
+    /// Abandon the connection now: release tenant slots and drop tickets
+    /// (their reply slots tombstone, so late replies are counted, never
+    /// leaked). Must be called exactly once, when the reactor removes the
+    /// connection.
+    pub(crate) fn teardown(&mut self, ctx: &mut Ctx<'_>, reason: CloseReason) {
+        if !self.inflight.is_empty() && reason != CloseReason::Done {
+            ctx.counters.midflight_disconnects.add(1);
+            ctx.counters.tombstoned_inflight.add(self.inflight.len() as u64);
+        }
+        for f in self.inflight.drain(..) {
+            if let Some(t) = f.tenant {
+                ctx.tenants.release(t);
+            }
+            drop(f.ticket); // tombstones the reply slot
+        }
+        let c = ctx.counters;
+        match reason {
+            CloseReason::Peer => c.peer_closed.add(1),
+            CloseReason::Io => c.io_errors.add(1),
+            CloseReason::Malformed => {}
+            CloseReason::SlowLoris => {
+                c.evicted_slow_loris.add(1);
+                if let Some(t) = self.tenant_hint {
+                    ctx.tenants.stats(t).note_evicted_slow_loris();
+                }
+            }
+            CloseReason::WriteStall => c.evicted_write_stall.add(1),
+            CloseReason::Idle => c.evicted_idle.add(1),
+            CloseReason::Done => {}
+            CloseReason::Kicked => c.kicked.add(1),
+        }
+        c.closed.add(1);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Run one tick. `Some(reason)` means the reactor must tear the
+    /// connection down and drop it.
+    pub(crate) fn poll(&mut self, ctx: &mut Ctx<'_>) -> Option<CloseReason> {
+        if let Some(r) = self.read_and_handle(ctx) {
+            return Some(r);
+        }
+        self.poll_tickets(ctx);
+        if let Some(r) = self.check_timeouts(ctx) {
+            return Some(r);
+        }
+        if let Some(r) = self.flush(ctx) {
+            return Some(r);
+        }
+        // Draining and nothing left to do → flush-and-go.
+        if self.state != ConnState::Running && self.inflight.is_empty() && self.backlog() == 0 {
+            return Some(CloseReason::Done);
+        }
+        None
+    }
+
+    fn read_and_handle(&mut self, ctx: &mut Ctx<'_>) -> Option<CloseReason> {
+        if self.state == ConnState::Closing {
+            return None; // output-only from here
+        }
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    // EOF. A clean close with nothing half-sent and nothing
+                    // owed is just the peer being done.
+                    return Some(CloseReason::Peer);
+                }
+                Ok(n) => {
+                    ctx.counters.bytes_rx.add(n as u64);
+                    self.last_activity = ctx.now;
+                    self.decoder.push(&buf[..n]);
+                    if let Some(r) = self.drain_frames(ctx) {
+                        return Some(r);
+                    }
+                    if self.state == ConnState::Closing {
+                        return None;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::ConnectionReset || e.kind() == ErrorKind::ConnectionAborted => {
+                    ctx.counters.peer_resets.add(1);
+                    return Some(CloseReason::Peer);
+                }
+                Err(_) => return Some(CloseReason::Io),
+            }
+        }
+        // Track how long the current half-frame has been pending; the
+        // clock starts when the first byte of an incomplete frame lands.
+        self.mid_frame_since = if self.decoder.mid_frame() {
+            self.mid_frame_since.or(Some(ctx.now))
+        } else {
+            None
+        };
+        None
+    }
+
+    fn drain_frames(&mut self, ctx: &mut Ctx<'_>) -> Option<CloseReason> {
+        loop {
+            match self.decoder.next() {
+                Ok(Some(frame)) => {
+                    ctx.counters.frames_rx.add(1);
+                    self.handle_frame(ctx, frame);
+                    if self.state == ConnState::Closing {
+                        return None; // flush the notice, then die
+                    }
+                }
+                Ok(None) => return None,
+                Err(e) => {
+                    // Typed error, then close: with the length prefix
+                    // untrusted there is no boundary to resync on.
+                    ctx.counters.rejected_malformed.add(1);
+                    encode_frame(
+                        &WireFrame::Error {
+                            code: code::MALFORMED,
+                            message: e.to_string(),
+                        },
+                        &mut self.out,
+                    );
+                    ctx.counters.frames_tx.add(1);
+                    self.state = ConnState::Closing;
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, ctx: &mut Ctx<'_>, frame: WireFrame) {
+        match frame {
+            WireFrame::Request(rq) => {
+                if self.state != ConnState::Running {
+                    self.reject(ctx, rq.tag, code::DRAINING, "server draining");
+                    ctx.counters.rejected_draining.add(1);
+                    return;
+                }
+                self.handle_request(ctx, rq);
+            }
+            WireFrame::Bye => {
+                // Client is done submitting; deliver what's in flight,
+                // then close from our side.
+                self.state = ConnState::Draining;
+            }
+            WireFrame::Reply(_) | WireFrame::Error { .. } => {
+                // Only servers speak these; a client sending one is a
+                // protocol violation.
+                ctx.counters.rejected_malformed.add(1);
+                encode_frame(
+                    &WireFrame::Error {
+                        code: code::MALFORMED,
+                        message: "client sent a server-only frame kind".to_string(),
+                    },
+                    &mut self.out,
+                );
+                ctx.counters.frames_tx.add(1);
+                self.state = ConnState::Closing;
+            }
+        }
+    }
+
+    fn handle_request(&mut self, ctx: &mut Ctx<'_>, rq: WireRequest) {
+        ctx.counters.requests_rx.add(1);
+        // 1. Auth (skipped entirely when no tenants are configured).
+        let tenant = if ctx.tenants.is_open() {
+            None
+        } else {
+            match ctx.tenants.lookup(&rq.token) {
+                Some(idx) => {
+                    self.tenant_hint = Some(idx);
+                    Some(idx)
+                }
+                None => {
+                    ctx.counters.rejected_bad_token.add(1);
+                    self.reject(ctx, rq.tag, code::BAD_TOKEN, "unknown tenant token");
+                    return;
+                }
+            }
+        };
+        let class = Priority::from_index(rq.class as usize);
+        // 2. Net backpressure: write-stalled sockets and accept pressure
+        //    shed here, before a doomed request can consume queue capacity
+        //    or a rate token.
+        if net_sheds(ctx.level, class) {
+            ctx.counters.rejected_backpressure.add(1);
+            if let Some(t) = tenant {
+                ctx.tenants.stats(t).note_rejected();
+            }
+            self.reject(
+                ctx,
+                rq.tag,
+                code::BACKPRESSURE,
+                &format!("net backpressure ({:?}) shed {class} request", ctx.level),
+            );
+            return;
+        }
+        // 3. Tenant rate + quota.
+        if let Some(t) = tenant {
+            match ctx.tenants.admit(t, ctx.now) {
+                Ok(()) => {}
+                Err(TenantDenied::RateLimited) => {
+                    ctx.counters.rejected_rate_limited.add(1);
+                    self.reject(ctx, rq.tag, code::RATE_LIMITED, "tenant over sustained rate");
+                    return;
+                }
+                Err(TenantDenied::QuotaExceeded) => {
+                    ctx.counters.rejected_quota.add(1);
+                    self.reject(ctx, rq.tag, code::QUOTA, "tenant in-flight quota full");
+                    return;
+                }
+                Err(TenantDenied::BadToken) => unreachable!("token resolved above"),
+            }
+        }
+        // 4. Serving-core admission. The decoder guaranteed word count ==
+        //    shape product, so `tensor()` cannot fail here.
+        let Some(input) = rq.tensor() else {
+            if let Some(t) = tenant {
+                ctx.tenants.release(t);
+            }
+            self.reject(ctx, rq.tag, code::MALFORMED, "shape/word-count mismatch");
+            return;
+        };
+        let deadline = (rq.deadline_ms > 0).then(|| Duration::from_millis(u64::from(rq.deadline_ms)));
+        let model = npcgra_serve::ModelId::from_index(rq.model as usize);
+        match ctx.server.submit_with_priority(model, input, deadline, class) {
+            Ok(ticket) => {
+                if let Some(t) = tenant {
+                    ctx.tenants.stats(t).note_admitted();
+                }
+                ctx.counters.admitted.add(1);
+                self.inflight.push(Inflight {
+                    tag: rq.tag,
+                    request_id: ticket.request_id(),
+                    ticket,
+                    tenant,
+                });
+            }
+            Err(e) => {
+                if let Some(t) = tenant {
+                    ctx.tenants.release(t);
+                    ctx.tenants.stats(t).note_rejected();
+                }
+                ctx.counters.rejected_serve.add(1);
+                self.send_reply(
+                    ctx,
+                    WireReply {
+                        tag: rq.tag,
+                        request_id: 0,
+                        result: Err((code::SERVE, e.to_string())),
+                    },
+                );
+            }
+        }
+    }
+
+    fn reject(&mut self, ctx: &mut Ctx<'_>, tag: u64, code: u8, message: &str) {
+        self.send_reply(
+            ctx,
+            WireReply {
+                tag,
+                request_id: 0,
+                result: Err((code, message.to_string())),
+            },
+        );
+    }
+
+    fn send_reply(&mut self, ctx: &mut Ctx<'_>, reply: WireReply) {
+        encode_frame(&WireFrame::Reply(reply), &mut self.out);
+        ctx.counters.frames_tx.add(1);
+        ctx.counters.replies_tx.add(1);
+    }
+
+    /// Resolve whatever tickets are ready, without blocking: a zero
+    /// timeout turns [`Ticket::wait_timeout`] into a try-take, and
+    /// [`ServeError::ReplyTimeout`] is the "still pending" answer.
+    fn poll_tickets(&mut self, ctx: &mut Ctx<'_>) {
+        let mut i = 0;
+        while i < self.inflight.len() {
+            let outcome = self.inflight[i].ticket.wait_timeout(Duration::ZERO);
+            if matches!(outcome, Err(ServeError::ReplyTimeout { .. })) {
+                i += 1;
+                continue;
+            }
+            let f = self.inflight.swap_remove(i);
+            if let Some(t) = f.tenant {
+                ctx.tenants.release(t);
+            }
+            let result = match outcome {
+                Ok(resp) => Ok(WireResponse {
+                    batch: resp.batch_size.min(u16::MAX as usize) as u16,
+                    worker: resp.worker.min(u16::MAX as usize) as u16,
+                    latency_us: u64::try_from(resp.latency.as_micros()).unwrap_or(u64::MAX),
+                    shape: shape_u16(&resp.output),
+                    words: resp.output.as_slice().to_vec(),
+                }),
+                Err(e) => Err((code::SERVE, e.for_request(f.request_id).to_string())),
+            };
+            self.send_reply(
+                ctx,
+                WireReply {
+                    tag: f.tag,
+                    request_id: f.request_id,
+                    result,
+                },
+            );
+        }
+    }
+
+    fn check_timeouts(&mut self, ctx: &mut Ctx<'_>) -> Option<CloseReason> {
+        let cfg = ctx.cfg;
+        if let (Some(limit), Some(since)) = (cfg.read_timeout, self.mid_frame_since) {
+            if ctx.now.saturating_duration_since(since) > limit {
+                return Some(CloseReason::SlowLoris);
+            }
+        }
+        if let Some(limit) = cfg.write_timeout {
+            if self.backlog() > 0 && ctx.now.saturating_duration_since(self.last_write_progress) > limit {
+                return Some(CloseReason::WriteStall);
+            }
+        }
+        if let Some(limit) = cfg.idle_timeout {
+            if self.state == ConnState::Running
+                && self.inflight.is_empty()
+                && self.backlog() == 0
+                && !self.decoder.mid_frame()
+                && ctx.now.saturating_duration_since(self.last_activity) > limit
+            {
+                return Some(CloseReason::Idle);
+            }
+        }
+        None
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) -> Option<CloseReason> {
+        while self.out_at < self.out.len() {
+            match self.stream.write(&self.out[self.out_at..]) {
+                Ok(0) => return Some(CloseReason::Peer),
+                Ok(n) => {
+                    ctx.counters.bytes_tx.add(n as u64);
+                    self.out_at += n;
+                    self.last_write_progress = ctx.now;
+                    self.last_activity = ctx.now;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::ConnectionReset || e.kind() == ErrorKind::BrokenPipe => {
+                    ctx.counters.peer_resets.add(1);
+                    return Some(CloseReason::Peer);
+                }
+                Err(_) => return Some(CloseReason::Io),
+            }
+        }
+        if self.out_at == self.out.len() {
+            self.out.clear();
+            self.out_at = 0;
+            if self.state == ConnState::Closing {
+                return Some(CloseReason::Malformed);
+            }
+        } else if self.out_at > 0 && self.out_at >= self.out.len() / 2 {
+            self.out.drain(..self.out_at);
+            self.out_at = 0;
+        }
+        None
+    }
+}
+
+fn shape_u16(t: &Tensor) -> (u16, u16, u16) {
+    let (c, h, w) = t.shape();
+    (
+        c.min(u16::MAX as usize) as u16,
+        h.min(u16::MAX as usize) as u16,
+        w.min(u16::MAX as usize) as u16,
+    )
+}

@@ -1,0 +1,779 @@
+//! The NP-CGRA wire protocol: length-prefixed, checksummed frames.
+//!
+//! Every frame is a fixed 17-byte header followed by a bounded payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "NPC" + version byte (currently b'1')
+//! 4       1     kind   1=Request 2=Reply 3=Error 4=Bye
+//! 5       4     len    payload length, little-endian, bounded
+//! 9       8     check  FNV-1a 64, little-endian
+//! 17      len   payload
+//! ```
+//!
+//! The checksum covers the nine header bytes *before* it plus the whole
+//! payload, so a bit flip anywhere in a frame — kind, length, payload —
+//! is caught; there is no unprotected byte a corruption can hide in.
+//!
+//! The header is deliberately rigid: a stream that produces a bad magic,
+//! an unknown version or kind, an oversized length, or a checksum mismatch
+//! is *unrecoverable* — with a corrupted length prefix there is no
+//! trustworthy frame boundary left to resynchronise on, so the decoder
+//! poisons itself and the connection closes after a typed [`WireError`]
+//! is reported. Truncation is not an error: the decoder simply waits for
+//! more bytes, and the connection layer's read timeout decides when a
+//! half-frame has lingered long enough to be a slow-loris.
+//!
+//! Payload grammars (all integers little-endian):
+//!
+//! ```text
+//! Request: tag u64 | token u8-len + bytes | class u8 | deadline_ms u32
+//!        | model u32 | c u16 | h u16 | w u16 | c*h*w words (i16)
+//! Reply:   tag u64 | request_id u64 | status u8
+//!          status 0: batch u16 | worker u16 | latency_us u64
+//!                  | c u16 | h u16 | w u16 | c*h*w words (i16)
+//!          else:     message u16-len + utf8
+//! Error:   code u8 | message u16-len + utf8         (then the peer closes)
+//! Bye:     (empty)                                   (graceful drain notice)
+//! ```
+//!
+//! Decoding is strict: every length is bounds-checked, the payload must be
+//! consumed exactly (no trailing bytes), and malformed content surfaces as
+//! [`WireError::BadPayload`] — never a panic, never an out-of-bounds read.
+
+use npcgra_nn::{Tensor, Word};
+
+/// Protocol magic: `b"NPC"` followed by the version byte.
+pub const MAGIC: [u8; 3] = *b"NPC";
+/// Current (and only) protocol version byte.
+pub const VERSION: u8 = b'1';
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 17;
+
+/// Frame kind byte for a client request.
+pub const KIND_REQUEST: u8 = 1;
+/// Frame kind byte for a server reply.
+pub const KIND_REPLY: u8 = 2;
+/// Frame kind byte for a fatal connection-level error notice.
+pub const KIND_ERROR: u8 = 3;
+/// Frame kind byte for a graceful-close notice.
+pub const KIND_BYE: u8 = 4;
+
+/// Reply status / error-frame codes. `0` is success; everything else is a
+/// typed rejection the client can match on without parsing the message.
+pub mod code {
+    /// Request completed; the reply carries the output tensor.
+    pub const OK: u8 = 0;
+    /// The frame violated the wire grammar (the connection closes).
+    pub const MALFORMED: u8 = 1;
+    /// The tenant token matched no registered tenant.
+    pub const BAD_TOKEN: u8 = 2;
+    /// The tenant's token bucket was empty.
+    pub const RATE_LIMITED: u8 = 3;
+    /// The tenant's in-flight quota was full.
+    pub const QUOTA: u8 = 4;
+    /// Net-level backpressure shed the request before admission.
+    pub const BACKPRESSURE: u8 = 5;
+    /// The server is draining; no new work is accepted.
+    pub const DRAINING: u8 = 6;
+    /// The serving core rejected or failed the request ([`ServeError`]
+    /// carried as text; `request_id` still identifies the attempt).
+    ///
+    /// [`ServeError`]: npcgra_serve::ServeError
+    pub const SERVE: u8 = 7;
+    /// The connection was evicted (slow-loris, idle or write-stall).
+    pub const EVICTED: u8 = 8;
+}
+
+/// A decoded frame, either direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFrame {
+    /// A client inference request.
+    Request(WireRequest),
+    /// A server reply (success or typed per-request rejection).
+    Reply(WireReply),
+    /// A fatal connection-level error; the sender closes after this.
+    Error {
+        /// One of the [`code`] constants.
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Graceful-close notice (server drain, or client done).
+    Bye,
+}
+
+/// A client inference request as carried on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    /// Client-chosen correlation tag, echoed verbatim in the reply.
+    pub tag: u64,
+    /// Tenant authentication token (opaque bytes, ≤ 255).
+    pub token: Vec<u8>,
+    /// Priority class: 0 Interactive, 1 Batch, 2 BestEffort.
+    pub class: u8,
+    /// Start-execution deadline in milliseconds; 0 = none.
+    pub deadline_ms: u32,
+    /// Registered model index on the server.
+    pub model: u32,
+    /// Input shape `(channels, height, width)`.
+    pub shape: (u16, u16, u16),
+    /// Input words, row-major as [`Tensor::as_slice`] lays them out.
+    pub words: Vec<Word>,
+}
+
+impl WireRequest {
+    /// Rebuild the input tensor this request carries.
+    ///
+    /// Returns `None` when the word count does not match the shape (the
+    /// decoder already enforces this, so `None` only means the struct was
+    /// built by hand inconsistently).
+    #[must_use]
+    pub fn tensor(&self) -> Option<Tensor> {
+        let (c, h, w) = self.shape;
+        let (c, h, w) = (c as usize, h as usize, w as usize);
+        if c * h * w != self.words.len() {
+            return None;
+        }
+        let mut t = Tensor::zeros(c, h, w);
+        t.as_mut_slice().copy_from_slice(&self.words);
+        Some(t)
+    }
+}
+
+/// A server reply as carried on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReply {
+    /// The request's correlation tag, echoed.
+    pub tag: u64,
+    /// Server-assigned request id (0 when the request never reached the
+    /// serving core's admission — e.g. a rate-limited tenant).
+    pub request_id: u64,
+    /// The outcome: an output, or a `(code, message)` rejection.
+    pub result: Result<WireResponse, (u8, String)>,
+}
+
+/// The success arm of a [`WireReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// How many requests the executing batch coalesced.
+    pub batch: u16,
+    /// Which worker shard ran the batch.
+    pub worker: u16,
+    /// Admission-to-reply latency in microseconds (saturating).
+    pub latency_us: u64,
+    /// Output shape `(channels, height, width)`.
+    pub shape: (u16, u16, u16),
+    /// Output words.
+    pub words: Vec<Word>,
+}
+
+impl WireResponse {
+    /// Rebuild the output tensor; `None` on an inconsistent hand-built
+    /// struct (the decoder enforces shape·len agreement).
+    #[must_use]
+    pub fn tensor(&self) -> Option<Tensor> {
+        let (c, h, w) = self.shape;
+        let (c, h, w) = (c as usize, h as usize, w as usize);
+        if c * h * w != self.words.len() {
+            return None;
+        }
+        let mut t = Tensor::zeros(c, h, w);
+        t.as_mut_slice().copy_from_slice(&self.words);
+        Some(t)
+    }
+}
+
+/// Why a byte stream failed to decode. Every variant is fatal to the
+/// connection: with the length prefix untrusted there is no boundary to
+/// resynchronise on, so the policy is *typed error, then close*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The first three header bytes were not `b"NPC"`.
+    BadMagic {
+        /// The bytes actually seen.
+        got: [u8; 3],
+    },
+    /// The version byte was not [`VERSION`].
+    BadVersion {
+        /// The version byte actually seen.
+        got: u8,
+    },
+    /// The kind byte named no known frame kind.
+    BadKind {
+        /// The kind byte actually seen.
+        got: u8,
+    },
+    /// The declared payload length exceeded the configured bound.
+    Oversize {
+        /// Declared payload length.
+        len: u32,
+        /// The decoder's configured maximum.
+        max: u32,
+    },
+    /// The payload checksum did not match the header's.
+    Checksum {
+        /// Checksum the header declared.
+        declared: u64,
+        /// Checksum computed over the received payload.
+        computed: u64,
+    },
+    /// The payload violated its grammar (short field, trailing bytes,
+    /// shape/word-count mismatch, invalid UTF-8, token over 255 bytes…).
+    BadPayload {
+        /// Which rule the payload broke.
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic { got } => write!(f, "bad magic {got:02x?} (want \"NPC\")"),
+            WireError::BadVersion { got } => write!(f, "unsupported protocol version {got:#04x}"),
+            WireError::BadKind { got } => write!(f, "unknown frame kind {got}"),
+            WireError::Oversize { len, max } => write!(f, "frame payload {len} B exceeds bound {max} B"),
+            WireError::Checksum { declared, computed } => {
+                write!(
+                    f,
+                    "payload checksum mismatch (header {declared:#018x}, computed {computed:#018x})"
+                )
+            }
+            WireError::BadPayload { detail } => write!(f, "malformed payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a 64-bit over `bytes` — the frame checksum. Not cryptographic;
+/// it exists to catch corruption (and the chaos injector's bit flips),
+/// not adversaries, exactly like the simulator's ABFT checksums.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continue an FNV-1a 64 hash over more bytes (the frame checksum chains
+/// the header prefix and the payload without concatenating them).
+#[must_use]
+pub fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode one frame, appending header + payload to `out`.
+///
+/// # Panics
+///
+/// Panics if a hand-built frame violates its own grammar (token > 255
+/// bytes, word count disagreeing with shape, message > 64 KiB): encoding
+/// garbage would poison the peer, so that is a caller bug, not a wire
+/// condition.
+pub fn encode_frame(frame: &WireFrame, out: &mut Vec<u8>) {
+    let mut payload = Vec::new();
+    let kind = match frame {
+        WireFrame::Request(rq) => {
+            assert!(rq.token.len() <= u8::MAX as usize, "tenant token over 255 bytes");
+            let (c, h, w) = rq.shape;
+            assert_eq!(
+                c as usize * h as usize * w as usize,
+                rq.words.len(),
+                "request word count disagrees with shape"
+            );
+            put_u64(&mut payload, rq.tag);
+            payload.push(rq.token.len() as u8);
+            payload.extend_from_slice(&rq.token);
+            payload.push(rq.class);
+            put_u32(&mut payload, rq.deadline_ms);
+            put_u32(&mut payload, rq.model);
+            put_u16(&mut payload, c);
+            put_u16(&mut payload, h);
+            put_u16(&mut payload, w);
+            for &word in &rq.words {
+                payload.extend_from_slice(&word.to_le_bytes());
+            }
+            KIND_REQUEST
+        }
+        WireFrame::Reply(rp) => {
+            put_u64(&mut payload, rp.tag);
+            put_u64(&mut payload, rp.request_id);
+            match &rp.result {
+                Ok(resp) => {
+                    let (c, h, w) = resp.shape;
+                    assert_eq!(
+                        c as usize * h as usize * w as usize,
+                        resp.words.len(),
+                        "reply word count disagrees with shape"
+                    );
+                    payload.push(code::OK);
+                    put_u16(&mut payload, resp.batch);
+                    put_u16(&mut payload, resp.worker);
+                    put_u64(&mut payload, resp.latency_us);
+                    put_u16(&mut payload, c);
+                    put_u16(&mut payload, h);
+                    put_u16(&mut payload, w);
+                    for &word in &resp.words {
+                        payload.extend_from_slice(&word.to_le_bytes());
+                    }
+                }
+                Err((code, message)) => {
+                    assert_ne!(*code, code::OK, "error reply with OK status");
+                    payload.push(*code);
+                    put_message(&mut payload, message);
+                }
+            }
+            KIND_REPLY
+        }
+        WireFrame::Error { code, message } => {
+            payload.push(*code);
+            put_message(&mut payload, message);
+            KIND_ERROR
+        }
+        WireFrame::Bye => KIND_BYE,
+    };
+    let head = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    put_u32(out, payload.len() as u32);
+    let check = fnv1a_update(fnv1a(&out[head..head + 9]), &payload);
+    put_u64(out, check);
+    out.extend_from_slice(&payload);
+}
+
+fn put_message(payload: &mut Vec<u8>, message: &str) {
+    assert!(message.len() <= u16::MAX as usize, "wire message over 64 KiB");
+    put_u16(payload, message.len() as u16);
+    payload.extend_from_slice(message.as_bytes());
+}
+
+/// A strict little-endian payload reader: every take is bounds-checked
+/// and the caller must [`finish`](Reader::finish) to reject trailing
+/// bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or(WireError::BadPayload { detail: what })?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+    fn words(&mut self, count: usize, what: &'static str) -> Result<Vec<Word>, WireError> {
+        let bytes = count.checked_mul(2).ok_or(WireError::BadPayload { detail: what })?;
+        let raw = self.take(bytes, what)?;
+        Ok(raw.chunks_exact(2).map(|p| Word::from_le_bytes([p[0], p[1]])).collect())
+    }
+    fn message(&mut self) -> Result<String, WireError> {
+        let len = self.u16("message length")? as usize;
+        let raw = self.take(len, "message body")?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadPayload {
+            detail: "message not UTF-8",
+        })
+    }
+    fn finish(self) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::BadPayload {
+                detail: "trailing bytes after payload",
+            })
+        }
+    }
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<WireFrame, WireError> {
+    let mut r = Reader::new(payload);
+    let frame = match kind {
+        KIND_REQUEST => {
+            let tag = r.u64("request tag")?;
+            let token_len = r.u8("token length")? as usize;
+            let token = r.take(token_len, "token body")?.to_vec();
+            let class = r.u8("priority class")?;
+            if class > 2 {
+                return Err(WireError::BadPayload {
+                    detail: "priority class out of range",
+                });
+            }
+            let deadline_ms = r.u32("deadline")?;
+            let model = r.u32("model id")?;
+            let c = r.u16("channels")?;
+            let h = r.u16("height")?;
+            let w = r.u16("width")?;
+            let count = c as usize * h as usize * w as usize;
+            let words = r.words(count, "input words")?;
+            WireFrame::Request(WireRequest {
+                tag,
+                token,
+                class,
+                deadline_ms,
+                model,
+                shape: (c, h, w),
+                words,
+            })
+        }
+        KIND_REPLY => {
+            let tag = r.u64("reply tag")?;
+            let request_id = r.u64("request id")?;
+            let status = r.u8("status")?;
+            let result = if status == code::OK {
+                let batch = r.u16("batch size")?;
+                let worker = r.u16("worker")?;
+                let latency_us = r.u64("latency")?;
+                let c = r.u16("channels")?;
+                let h = r.u16("height")?;
+                let w = r.u16("width")?;
+                let count = c as usize * h as usize * w as usize;
+                let words = r.words(count, "output words")?;
+                Ok(WireResponse {
+                    batch,
+                    worker,
+                    latency_us,
+                    shape: (c, h, w),
+                    words,
+                })
+            } else {
+                Err((status, r.message()?))
+            };
+            WireFrame::Reply(WireReply { tag, request_id, result })
+        }
+        KIND_ERROR => {
+            let code = r.u8("error code")?;
+            let message = r.message()?;
+            WireFrame::Error { code, message }
+        }
+        KIND_BYE => WireFrame::Bye,
+        other => return Err(WireError::BadKind { got: other }),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Incremental frame decoder over an untrusted byte stream.
+///
+/// Feed raw socket reads with [`push`](FrameDecoder::push), pop complete
+/// frames with [`next`](FrameDecoder::next). The first [`WireError`]
+/// poisons the decoder permanently — the connection must close (see the
+/// module docs for why resynchronisation is off the table).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames.
+    at: usize,
+    max_payload: u32,
+    poisoned: Option<WireError>,
+}
+
+impl FrameDecoder {
+    /// A decoder that rejects payloads over `max_payload` bytes.
+    #[must_use]
+    pub fn new(max_payload: u32) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            at: 0,
+            max_payload,
+            poisoned: None,
+        }
+    }
+
+    /// Append raw bytes read from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily so a long-lived connection doesn't grow its
+        // buffer without bound while staying O(1) amortised.
+        if self.at > 0 && self.at >= self.buf.len() / 2 {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True while a frame has started arriving but not finished — the
+    /// window the slow-loris read timeout measures.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        self.buf.len() > self.at
+    }
+
+    /// Bytes buffered but not yet decoded.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Pop the next complete frame.
+    ///
+    /// `Ok(None)` means "need more bytes".
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] is fatal: this decoder is poisoned and every
+    /// further call returns the same error.
+    #[allow(clippy::should_implement_trait)] // fallible, non-iterator poll
+    pub fn next(&mut self) -> Result<Option<WireFrame>, WireError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        match self.try_next() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.poisoned = Some(e);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_next(&mut self) -> Result<Option<WireFrame>, WireError> {
+        let avail = &self.buf[self.at..];
+        if avail.len() < HEADER_LEN {
+            // Header bytes present so far must still be a magic prefix:
+            // rejecting garbage at byte 1 instead of byte 17 keeps a
+            // hostile half-open connection from parking junk for free.
+            let n = avail.len().min(3);
+            if avail[..n] != MAGIC[..n] {
+                let mut got = [0u8; 3];
+                got[..n].copy_from_slice(&avail[..n]);
+                return Err(WireError::BadMagic { got });
+            }
+            return Ok(None);
+        }
+        if avail[..3] != MAGIC {
+            return Err(WireError::BadMagic {
+                got: [avail[0], avail[1], avail[2]],
+            });
+        }
+        if avail[3] != VERSION {
+            return Err(WireError::BadVersion { got: avail[3] });
+        }
+        let kind = avail[4];
+        if !(KIND_REQUEST..=KIND_BYE).contains(&kind) {
+            return Err(WireError::BadKind { got: kind });
+        }
+        let len = u32::from_le_bytes([avail[5], avail[6], avail[7], avail[8]]);
+        if len > self.max_payload {
+            return Err(WireError::Oversize {
+                len,
+                max: self.max_payload,
+            });
+        }
+        let declared = u64::from_le_bytes([
+            avail[9], avail[10], avail[11], avail[12], avail[13], avail[14], avail[15], avail[16],
+        ]);
+        let total = HEADER_LEN + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = &avail[HEADER_LEN..total];
+        let computed = fnv1a_update(fnv1a(&avail[..9]), payload);
+        if computed != declared {
+            return Err(WireError::Checksum { declared, computed });
+        }
+        let frame = decode_payload(kind, payload)?;
+        self.at += total;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: &WireFrame) -> WireFrame {
+        let mut bytes = Vec::new();
+        encode_frame(frame, &mut bytes);
+        let mut d = FrameDecoder::new(1 << 20);
+        d.push(&bytes);
+        let got = d.next().expect("decode").expect("complete frame");
+        assert!(d.next().expect("no second frame").is_none());
+        assert!(!d.mid_frame());
+        got
+    }
+
+    fn sample_request() -> WireFrame {
+        WireFrame::Request(WireRequest {
+            tag: 7,
+            token: b"tenant-a".to_vec(),
+            class: 1,
+            deadline_ms: 250,
+            model: 3,
+            shape: (2, 3, 4),
+            words: (0..24).map(|i| i as Word - 12).collect(),
+        })
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let f = sample_request();
+        assert_eq!(roundtrip(&f), f);
+    }
+
+    #[test]
+    fn reply_ok_and_error_roundtrip() {
+        let ok = WireFrame::Reply(WireReply {
+            tag: 9,
+            request_id: 41,
+            result: Ok(WireResponse {
+                batch: 4,
+                worker: 1,
+                latency_us: 12345,
+                shape: (1, 2, 2),
+                words: vec![1, -2, 3, -4],
+            }),
+        });
+        assert_eq!(roundtrip(&ok), ok);
+        let err = WireFrame::Reply(WireReply {
+            tag: 9,
+            request_id: 0,
+            result: Err((code::RATE_LIMITED, "tenant-a over rate".into())),
+        });
+        assert_eq!(roundtrip(&err), err);
+        let notice = WireFrame::Error {
+            code: code::MALFORMED,
+            message: "bad magic".into(),
+        };
+        assert_eq!(roundtrip(&notice), notice);
+        assert_eq!(roundtrip(&WireFrame::Bye), WireFrame::Bye);
+    }
+
+    #[test]
+    fn split_delivery_reassembles() {
+        let mut bytes = Vec::new();
+        encode_frame(&sample_request(), &mut bytes);
+        let mut d = FrameDecoder::new(1 << 20);
+        for chunk in bytes.chunks(3) {
+            assert!(d.next().expect("no error mid-frame").is_none() || chunk.is_empty());
+            d.push(chunk);
+        }
+        assert_eq!(d.next().unwrap().unwrap(), sample_request());
+    }
+
+    #[test]
+    fn bad_magic_is_fatal_and_sticky() {
+        let mut d = FrameDecoder::new(64);
+        d.push(b"GET / HTTP/1.1\r\n");
+        let e = d.next().unwrap_err();
+        assert!(matches!(e, WireError::BadMagic { .. }));
+        assert_eq!(d.next().unwrap_err(), e, "poisoned decoder repeats its error");
+    }
+
+    #[test]
+    fn early_garbage_rejected_before_full_header() {
+        let mut d = FrameDecoder::new(64);
+        d.push(b"XX");
+        assert!(matches!(d.next().unwrap_err(), WireError::BadMagic { .. }));
+    }
+
+    #[test]
+    fn oversize_checksum_kind_version_all_typed() {
+        // Oversize: declared len beyond bound.
+        let mut bytes = Vec::new();
+        encode_frame(&WireFrame::Bye, &mut bytes);
+        let mut big = bytes.clone();
+        big[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut d = FrameDecoder::new(1024);
+        d.push(&big);
+        assert!(matches!(d.next().unwrap_err(), WireError::Oversize { .. }));
+
+        // Checksum: flip a payload bit of a request.
+        let mut bytes = Vec::new();
+        encode_frame(&sample_request(), &mut bytes);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let mut d = FrameDecoder::new(1 << 20);
+        d.push(&bytes);
+        assert!(matches!(d.next().unwrap_err(), WireError::Checksum { .. }));
+
+        // Kind.
+        let mut bytes = Vec::new();
+        encode_frame(&WireFrame::Bye, &mut bytes);
+        bytes[4] = 99;
+        let mut d = FrameDecoder::new(64);
+        d.push(&bytes);
+        assert!(matches!(d.next().unwrap_err(), WireError::BadKind { got: 99 }));
+
+        // Version.
+        let mut bytes = Vec::new();
+        encode_frame(&WireFrame::Bye, &mut bytes);
+        bytes[3] = b'9';
+        let mut d = FrameDecoder::new(64);
+        d.push(&bytes);
+        assert!(matches!(d.next().unwrap_err(), WireError::BadVersion { got: b'9' }));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        // Hand-build a Bye with one extra payload byte and a valid checksum.
+        let payload = [0u8];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(KIND_BYE);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a_update(fnv1a(&bytes[..9]), &payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let mut d = FrameDecoder::new(64);
+        d.push(&bytes);
+        assert!(matches!(d.next().unwrap_err(), WireError::BadPayload { .. }));
+    }
+
+    #[test]
+    fn shape_word_count_mismatch_rejected() {
+        // A request whose declared shape implies more words than carried.
+        let rq = WireRequest {
+            tag: 1,
+            token: vec![],
+            class: 0,
+            deadline_ms: 0,
+            model: 0,
+            shape: (1, 1, 1),
+            words: vec![5],
+        };
+        let mut bytes = Vec::new();
+        encode_frame(&WireFrame::Request(rq), &mut bytes);
+        // Grow the declared width without adding words; refresh checksum so
+        // only the grammar check can object.
+        let w_off = HEADER_LEN + 8 + 1 + 1 + 4 + 4 + 4;
+        bytes[w_off..w_off + 2].copy_from_slice(&4u16.to_le_bytes());
+        let payload = bytes[HEADER_LEN..].to_vec();
+        let check = fnv1a_update(fnv1a(&bytes[..9]), &payload);
+        bytes[9..17].copy_from_slice(&check.to_le_bytes());
+        let mut d = FrameDecoder::new(1 << 20);
+        d.push(&bytes);
+        assert!(matches!(d.next().unwrap_err(), WireError::BadPayload { .. }));
+    }
+}

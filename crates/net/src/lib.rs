@@ -1,0 +1,387 @@
+//! `npcgra-net` — a multi-tenant TCP front-end for the NP-CGRA inference
+//! server.
+//!
+//! The serving core ([`npcgra_serve`]) is integrity-checked, overload-
+//! controlled and gray-failure-hardened, but only in-process callers can
+//! reach it. This crate puts a socket boundary in front of the
+//! submit/ticket API and gives the network path the same treatment the
+//! compute path already has — typed failures, deterministic fault
+//! injection, and nothing that can panic or leak on hostile input:
+//!
+//! * **Wire protocol** ([`frame`]) — length-prefixed, FNV-checksummed,
+//!   versioned frames with a bounded payload; malformed, truncated or
+//!   oversized input becomes a typed [`WireError`](frame::WireError)
+//!   notice followed by a close, never a desync.
+//! * **Reactor** ([`NetServer`]) — a hand-rolled non-blocking readiness
+//!   loop over `std::net` (no tokio/mio: the build is offline). One
+//!   thread owns every connection; per-tick work is bounded by
+//!   `WouldBlock` everywhere.
+//! * **Tenants** ([`tenant`]) — per-tenant auth tokens, token-bucket
+//!   rate limits and in-flight quotas, gated *before* the serving core's
+//!   admission so a hostile tenant spends its own budget, not the queue.
+//!   Outcomes land in the serving core's per-tenant counters
+//!   ([`npcgra_serve::StatsSnapshot::tenants`]).
+//! * **Backpressure** — write backlog and accept pressure map onto the
+//!   serving core's [`BrownoutLevel`] ladder ([`pressure_level`]), and
+//!   net-side shedding follows the same lowest-class-first discipline
+//!   ([`net_sheds`]).
+//! * **Connection chaos** ([`chaos`]) — a seeded, pure-hash injector in
+//!   the style of `sim::fault`: byte corruption, partial writes, stalled
+//!   reads and mid-flight resets, bit-identical per seed.
+//! * **Timeout evictions** — read (slow-loris), write (stalled peer) and
+//!   idle timeouts; a disconnect with requests in flight resolves through
+//!   the serving core's reply-slot tombstones, so nothing leaks.
+//!
+//! Every [`NetConfig`] knob defaults off/unbound: a deployment that never
+//! starts a front-end behaves identically to one built before this crate
+//! existed.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use npcgra_nn::{ConvLayer, Tensor};
+//! use npcgra_serve::{Priority, ServeConfig, Server};
+//! use npcgra_net::{NetClient, NetConfig, NetServer};
+//!
+//! let server = Arc::new(Server::start(ServeConfig::default().with_workers(1)));
+//! let layer = ConvLayer::depthwise("dw", 3, 8, 8, 3, 1, 1);
+//! let weights = layer.random_weights(1);
+//! server.register("demo", layer, weights).unwrap();
+//!
+//! let net = NetServer::start(Arc::clone(&server), NetConfig::default()).unwrap();
+//! let mut client = NetClient::connect(net.local_addr(), b"").unwrap();
+//! let reply = client
+//!     .call(0, &Tensor::random(3, 8, 8, 2), Priority::Interactive, None,
+//!           std::time::Duration::from_secs(30))
+//!     .unwrap();
+//! assert!(reply.result.is_ok());
+//! drop(client);
+//! let stats = net.shutdown();
+//! assert_eq!(stats.admitted, 1);
+//! assert_eq!(stats.active_conns, 0, "no leaked connections");
+//! let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("net front-end still holds the server"));
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod client;
+pub(crate) mod conn;
+pub mod frame;
+pub(crate) mod reactor;
+pub(crate) mod stats;
+pub mod tenant;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use npcgra_serve::{BrownoutLevel, Priority, Server};
+
+pub use chaos::{ChaosAction, NetChaos, NetChaosConfig};
+pub use client::{ClientError, NetClient};
+pub use frame::{WireError, WireFrame, WireReply, WireRequest, WireResponse};
+pub use stats::NetStats;
+pub use tenant::{TenantDenied, TenantSpec};
+
+use reactor::ReactorShared;
+use tenant::TenantRegistry;
+
+/// Front-end configuration. Every limit defaults off/unbound; the only
+/// always-on protections are protocol-inherent (frame checksum, payload
+/// bound, typed-error-then-close on malformed input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Listen address. Default `127.0.0.1:0` (loopback, ephemeral port —
+    /// read the bound port from [`NetServer::local_addr`]).
+    pub addr: SocketAddr,
+    /// Maximum concurrent connections; `0` = unbounded. Beyond the cap,
+    /// accepts get a typed backpressure notice and an immediate close.
+    pub max_conns: usize,
+    /// Maximum frame payload size the decoder accepts.
+    pub max_frame_bytes: u32,
+    /// Evict a connection whose half-received frame is older than this
+    /// (the slow-loris guard). `None` = off.
+    pub read_timeout: Option<Duration>,
+    /// Evict a connection that has refused to drain replies this long.
+    /// `None` = off.
+    pub write_timeout: Option<Duration>,
+    /// Close a connection with no traffic and nothing in flight after
+    /// this long. `None` = off.
+    pub idle_timeout: Option<Duration>,
+    /// Total unflushed reply bytes across connections at which the
+    /// backpressure ladder starts climbing ([`pressure_level`]); `0` =
+    /// unbounded.
+    pub write_backlog_limit: usize,
+    /// How long shutdown keeps delivering replies for admitted work
+    /// before force-closing stragglers.
+    pub drain_timeout: Duration,
+    /// Reactor tick (poll cadence). Smaller is lower latency, more CPU.
+    pub tick: Duration,
+    /// Registered tenants. Empty = auth disabled, no limits (defaults-off).
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            max_conns: 0,
+            max_frame_bytes: 1 << 24,
+            read_timeout: None,
+            write_timeout: None,
+            idle_timeout: None,
+            write_backlog_limit: 0,
+            drain_timeout: Duration::from_secs(5),
+            tick: Duration::from_micros(500),
+            tenants: Vec::new(),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Set the listen address.
+    #[must_use]
+    pub fn with_addr(mut self, addr: SocketAddr) -> Self {
+        self.addr = addr;
+        self
+    }
+    /// Set the connection cap.
+    #[must_use]
+    pub fn with_max_conns(mut self, max: usize) -> Self {
+        self.max_conns = max;
+        self
+    }
+    /// Set the frame payload bound.
+    #[must_use]
+    pub fn with_max_frame_bytes(mut self, max: u32) -> Self {
+        self.max_frame_bytes = max;
+        self
+    }
+    /// Set the slow-loris read timeout.
+    #[must_use]
+    pub fn with_read_timeout(mut self, t: Option<Duration>) -> Self {
+        self.read_timeout = t;
+        self
+    }
+    /// Set the write-stall timeout.
+    #[must_use]
+    pub fn with_write_timeout(mut self, t: Option<Duration>) -> Self {
+        self.write_timeout = t;
+        self
+    }
+    /// Set the idle timeout.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, t: Option<Duration>) -> Self {
+        self.idle_timeout = t;
+        self
+    }
+    /// Set the write-backlog backpressure limit.
+    #[must_use]
+    pub fn with_write_backlog_limit(mut self, bytes: usize) -> Self {
+        self.write_backlog_limit = bytes;
+        self
+    }
+    /// Set the shutdown drain bound.
+    #[must_use]
+    pub fn with_drain_timeout(mut self, t: Duration) -> Self {
+        self.drain_timeout = t;
+        self
+    }
+    /// Set the reactor tick.
+    #[must_use]
+    pub fn with_tick(mut self, t: Duration) -> Self {
+        self.tick = t;
+        self
+    }
+    /// Add a tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
+        self
+    }
+}
+
+/// Map write backlog and accept pressure onto the serving core's brownout
+/// ladder. Either signal alone can climb the ladder; the higher rung wins.
+///
+/// * backlog ≥ 25 % of the limit → [`BrownoutLevel::ShedBestEffort`],
+///   ≥ 50 % → [`BrownoutLevel::CapBatch`], ≥ 100 % →
+///   [`BrownoutLevel::RejectUncached`] (net: only Interactive admitted).
+/// * connections ≥ 75 % of the cap → `ShedBestEffort`, ≥ 90 % →
+///   `CapBatch`; *at* the cap new connections are refused outright at
+///   accept, so the ladder never needs `Drain` from this signal.
+///
+/// A zero limit disables that signal (the defaults-off posture).
+#[must_use]
+pub fn pressure_level(backlog: usize, backlog_limit: usize, conns: usize, max_conns: usize) -> BrownoutLevel {
+    let from_backlog = if backlog_limit == 0 {
+        BrownoutLevel::Normal
+    } else if backlog >= backlog_limit {
+        BrownoutLevel::RejectUncached
+    } else if backlog * 2 >= backlog_limit {
+        BrownoutLevel::CapBatch
+    } else if backlog * 4 >= backlog_limit {
+        BrownoutLevel::ShedBestEffort
+    } else {
+        BrownoutLevel::Normal
+    };
+    let from_conns = if max_conns == 0 {
+        BrownoutLevel::Normal
+    } else if conns * 10 >= max_conns * 9 {
+        BrownoutLevel::CapBatch
+    } else if conns * 4 >= max_conns * 3 {
+        BrownoutLevel::ShedBestEffort
+    } else {
+        BrownoutLevel::Normal
+    };
+    from_backlog.max(from_conns)
+}
+
+/// Which classes the *net* layer sheds at each brownout rung. The net
+/// layer has no batches to cap and no program cache to consult, so the
+/// middle rungs translate to the analogous pressure relief — shedding the
+/// next class down: `ShedBestEffort` sheds best-effort, `CapBatch` and
+/// `RejectUncached` shed everything but interactive, `Drain` sheds all.
+#[must_use]
+pub fn net_sheds(level: BrownoutLevel, class: Priority) -> bool {
+    match level {
+        BrownoutLevel::Normal => false,
+        BrownoutLevel::ShedBestEffort => class == Priority::BestEffort,
+        BrownoutLevel::CapBatch | BrownoutLevel::RejectUncached => class != Priority::Interactive,
+        BrownoutLevel::Drain => true,
+    }
+}
+
+/// A running front-end: one reactor thread serving one listener.
+///
+/// Dropping the handle (or calling [`shutdown`](NetServer::shutdown))
+/// drains gracefully: admitted work keeps its replies until
+/// [`drain_timeout`](NetConfig::drain_timeout), then stragglers are
+/// force-closed and their tickets tombstone. The reactor thread is always
+/// joined — a completed shutdown leaves zero connection threads.
+#[derive(Debug)]
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<ReactorShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `config.addr` and start the reactor thread over `server`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configure socket errors.
+    pub fn start(server: Arc<Server>, config: NetConfig) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ReactorShared {
+            counters: stats::NetCounters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        // Tenant stats handles must exist before the reactor starts so the
+        // serving core's snapshot lists every tenant from the first tick.
+        let handles = config.tenants.iter().map(|t| server.register_tenant(&t.name)).collect();
+        let reactor_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("npcgra-net-reactor".to_string())
+            .spawn(move || {
+                let mut tenants = TenantRegistry::new(&config.tenants, handles, std::time::Instant::now());
+                reactor::run(&reactor_shared, &listener, &server, &config, &mut tenants);
+            })
+            .map_err(io::Error::other)?;
+        Ok(NetServer {
+            addr,
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound listen address (the real port when `addr` asked for 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live snapshot of the front-end counters.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Drain and stop: no new connections, admitted work keeps its
+    /// replies until the drain bound, then the reactor thread is joined.
+    /// Returns the final counters (with `active_conns == 0`).
+    #[must_use]
+    pub fn shutdown(mut self) -> NetStats {
+        self.stop();
+        self.shared.counters.snapshot()
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_off_or_unbound() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.max_conns, 0);
+        assert_eq!(cfg.read_timeout, None);
+        assert_eq!(cfg.write_timeout, None);
+        assert_eq!(cfg.idle_timeout, None);
+        assert_eq!(cfg.write_backlog_limit, 0);
+        assert!(cfg.tenants.is_empty());
+    }
+
+    #[test]
+    fn pressure_ladder_monotone_and_off_by_default() {
+        // Both signals disabled: always Normal.
+        assert_eq!(pressure_level(usize::MAX / 2, 0, usize::MAX / 2, 0), BrownoutLevel::Normal);
+        // Backlog signal.
+        assert_eq!(pressure_level(0, 1000, 0, 0), BrownoutLevel::Normal);
+        assert_eq!(pressure_level(250, 1000, 0, 0), BrownoutLevel::ShedBestEffort);
+        assert_eq!(pressure_level(500, 1000, 0, 0), BrownoutLevel::CapBatch);
+        assert_eq!(pressure_level(1000, 1000, 0, 0), BrownoutLevel::RejectUncached);
+        // Connection signal.
+        assert_eq!(pressure_level(0, 0, 74, 100), BrownoutLevel::Normal);
+        assert_eq!(pressure_level(0, 0, 75, 100), BrownoutLevel::ShedBestEffort);
+        assert_eq!(pressure_level(0, 0, 90, 100), BrownoutLevel::CapBatch);
+        // Higher rung wins.
+        assert_eq!(pressure_level(1000, 1000, 75, 100), BrownoutLevel::RejectUncached);
+    }
+
+    #[test]
+    fn net_shedding_is_lowest_class_first() {
+        use Priority::*;
+        for class in [Interactive, Batch, BestEffort] {
+            assert!(!net_sheds(BrownoutLevel::Normal, class));
+            assert!(net_sheds(BrownoutLevel::Drain, class));
+        }
+        assert!(!net_sheds(BrownoutLevel::ShedBestEffort, Interactive));
+        assert!(!net_sheds(BrownoutLevel::ShedBestEffort, Batch));
+        assert!(net_sheds(BrownoutLevel::ShedBestEffort, BestEffort));
+        assert!(!net_sheds(BrownoutLevel::CapBatch, Interactive));
+        assert!(net_sheds(BrownoutLevel::CapBatch, Batch));
+        assert!(net_sheds(BrownoutLevel::RejectUncached, BestEffort));
+    }
+}

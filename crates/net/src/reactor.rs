@@ -1,0 +1,157 @@
+//! The single-threaded non-blocking reactor.
+//!
+//! No epoll, no mio, no async runtime (the build is offline): the reactor
+//! is a poll-style readiness loop over `std::net` sockets in non-blocking
+//! mode. Each tick it accepts pending connections, computes the net
+//! backpressure rung from write backlog and accept pressure, runs every
+//! connection's state machine once (reads, frames, ticket polls,
+//! timeouts, writes all bounded by `WouldBlock`), then parks for the
+//! configured tick. O(connections) per tick is the honest cost of
+//! portability here, and at loopback benchmark scale (hundreds of
+//! connections, sub-millisecond ticks) it is far from the bottleneck —
+//! the simulator is.
+//!
+//! Shutdown is a drain, not a guillotine: on the shutdown flag the
+//! reactor stops accepting, sends every connection a Bye, keeps
+//! delivering replies for already-admitted work until
+//! [`drain_timeout`](crate::NetConfig::drain_timeout), then force-closes
+//! stragglers (their tickets resolve to tombstones — nothing leaks either
+//! way).
+
+use std::io::{ErrorKind, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use npcgra_serve::{BrownoutLevel, Server};
+
+use crate::conn::{CloseReason, Conn, Ctx};
+use crate::frame::{code, encode_frame, WireFrame};
+use crate::stats::NetCounters;
+use crate::tenant::TenantRegistry;
+use crate::{pressure_level, NetConfig};
+
+#[derive(Debug)]
+pub(crate) struct ReactorShared {
+    pub(crate) counters: NetCounters,
+    pub(crate) shutdown: AtomicBool,
+}
+
+fn level_step(level: BrownoutLevel) -> u64 {
+    BrownoutLevel::ALL.iter().position(|&l| l == level).unwrap_or(0) as u64
+}
+
+/// The reactor body; runs on its own thread until drained.
+pub(crate) fn run(
+    shared: &Arc<ReactorShared>,
+    listener: &TcpListener,
+    server: &Arc<Server>,
+    cfg: &NetConfig,
+    tenants: &mut TenantRegistry,
+) {
+    let counters = &shared.counters;
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut draining_since: Option<Instant> = None;
+    loop {
+        let now = Instant::now();
+        let draining = shared.shutdown.load(Ordering::Acquire);
+        if draining && draining_since.is_none() {
+            draining_since = Some(now);
+            for c in &mut conns {
+                c.begin_drain();
+            }
+        }
+        if !draining {
+            accept_pending(listener, &mut conns, cfg, counters, now);
+        }
+        let backlog: usize = conns.iter().map(Conn::backlog).sum();
+        let level = if draining {
+            BrownoutLevel::Drain
+        } else {
+            pressure_level(backlog, cfg.write_backlog_limit, conns.len(), cfg.max_conns)
+        };
+        counters.write_backlog.set(backlog as u64);
+        counters.pressure_step.set(level_step(level));
+
+        let mut i = 0;
+        while i < conns.len() {
+            let mut ctx = Ctx {
+                server,
+                tenants,
+                counters,
+                cfg,
+                level,
+                now,
+            };
+            if let Some(reason) = conns[i].poll(&mut ctx) {
+                let mut conn = conns.swap_remove(i);
+                conn.teardown(&mut ctx, reason);
+            } else {
+                i += 1;
+            }
+        }
+        counters.active_conns.set(conns.len() as u64);
+
+        if draining {
+            if conns.is_empty() {
+                break;
+            }
+            let expired = draining_since.is_some_and(|s| now.saturating_duration_since(s) > cfg.drain_timeout);
+            if expired {
+                for mut conn in conns.drain(..) {
+                    let mut ctx = Ctx {
+                        server,
+                        tenants,
+                        counters,
+                        cfg,
+                        level,
+                        now,
+                    };
+                    conn.teardown(&mut ctx, CloseReason::Kicked);
+                }
+                counters.active_conns.set(0);
+                break;
+            }
+        }
+        std::thread::sleep(cfg.tick);
+    }
+    debug_assert_eq!(tenants.total_inflight(), 0, "tenant in-flight slots leaked past drain");
+}
+
+fn accept_pending(listener: &TcpListener, conns: &mut Vec<Conn>, cfg: &NetConfig, counters: &NetCounters, now: Instant) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                if cfg.max_conns > 0 && conns.len() >= cfg.max_conns {
+                    // Over the cap: a best-effort typed notice, then close.
+                    // The fresh socket's send buffer is empty, so the small
+                    // frame nearly always fits in one non-blocking write.
+                    counters.rejected_conns.add(1);
+                    let mut notice = Vec::new();
+                    encode_frame(
+                        &WireFrame::Error {
+                            code: code::BACKPRESSURE,
+                            message: format!("connection cap {} reached", cfg.max_conns),
+                        },
+                        &mut notice,
+                    );
+                    let mut s = stream;
+                    let _ = s.write(&notice);
+                    continue;
+                }
+                counters.accepted.add(1);
+                conns.push(Conn::new(stream, cfg.max_frame_bytes, now));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // Transient accept errors (peer gone before accept, fd
+            // pressure): skip this tick rather than kill the front-end.
+            Err(_) => break,
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Front-end counters and their snapshot.
+//!
+//! Same discipline as the serving core's [`npcgra_serve::StatsSnapshot`]:
+//! hot-path increments are relaxed atomics, snapshot reads are `Acquire`,
+//! and the snapshot is a plain owned struct so tests and benches can
+//! assert on it after the reactor thread is gone. Per-*tenant* counters
+//! deliberately do not live here — they are part of the serving core's
+//! snapshot (one place tells the whole story); these are per-*front-end*
+//! totals.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One relaxed-increment, acquire-read counter.
+#[derive(Debug, Default)]
+pub(crate) struct Counter(AtomicU64);
+
+impl Counter {
+    pub(crate) fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    pub(crate) fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Release);
+    }
+    pub(crate) fn get(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Live front-end counters, shared between the reactor thread and
+/// whoever holds the [`NetServer`](crate::NetServer) handle.
+#[derive(Debug, Default)]
+pub(crate) struct NetCounters {
+    pub(crate) accepted: Counter,
+    pub(crate) closed: Counter,
+    pub(crate) rejected_conns: Counter,
+    pub(crate) frames_rx: Counter,
+    pub(crate) frames_tx: Counter,
+    pub(crate) requests_rx: Counter,
+    pub(crate) replies_tx: Counter,
+    pub(crate) admitted: Counter,
+    pub(crate) rejected_malformed: Counter,
+    pub(crate) rejected_bad_token: Counter,
+    pub(crate) rejected_rate_limited: Counter,
+    pub(crate) rejected_quota: Counter,
+    pub(crate) rejected_backpressure: Counter,
+    pub(crate) rejected_draining: Counter,
+    pub(crate) rejected_serve: Counter,
+    pub(crate) evicted_slow_loris: Counter,
+    pub(crate) evicted_idle: Counter,
+    pub(crate) evicted_write_stall: Counter,
+    pub(crate) peer_closed: Counter,
+    pub(crate) peer_resets: Counter,
+    pub(crate) io_errors: Counter,
+    pub(crate) kicked: Counter,
+    pub(crate) midflight_disconnects: Counter,
+    pub(crate) tombstoned_inflight: Counter,
+    pub(crate) bytes_rx: Counter,
+    pub(crate) bytes_tx: Counter,
+    /// Gauge: connections currently owned by the reactor.
+    pub(crate) active_conns: Counter,
+    /// Gauge: unflushed reply bytes across all connections.
+    pub(crate) write_backlog: Counter,
+    /// Gauge: current net backpressure rung (brownout-ladder step index).
+    pub(crate) pressure_step: Counter,
+}
+
+impl NetCounters {
+    pub(crate) fn snapshot(&self) -> NetStats {
+        // Sinks first (Acquire), the source counters last, mirroring the
+        // serving core's capture order so `accepted ≥ closed` and
+        // `requests_rx ≥ admitted + rejected_*` hold in any snapshot.
+        let closed = self.closed.get();
+        let admitted = self.admitted.get();
+        let replies_tx = self.replies_tx.get();
+        NetStats {
+            closed,
+            admitted,
+            replies_tx,
+            rejected_conns: self.rejected_conns.get(),
+            frames_tx: self.frames_tx.get(),
+            rejected_malformed: self.rejected_malformed.get(),
+            rejected_bad_token: self.rejected_bad_token.get(),
+            rejected_rate_limited: self.rejected_rate_limited.get(),
+            rejected_quota: self.rejected_quota.get(),
+            rejected_backpressure: self.rejected_backpressure.get(),
+            rejected_draining: self.rejected_draining.get(),
+            rejected_serve: self.rejected_serve.get(),
+            evicted_slow_loris: self.evicted_slow_loris.get(),
+            evicted_idle: self.evicted_idle.get(),
+            evicted_write_stall: self.evicted_write_stall.get(),
+            peer_closed: self.peer_closed.get(),
+            peer_resets: self.peer_resets.get(),
+            io_errors: self.io_errors.get(),
+            kicked: self.kicked.get(),
+            midflight_disconnects: self.midflight_disconnects.get(),
+            tombstoned_inflight: self.tombstoned_inflight.get(),
+            bytes_rx: self.bytes_rx.get(),
+            bytes_tx: self.bytes_tx.get(),
+            active_conns: self.active_conns.get(),
+            write_backlog: self.write_backlog.get(),
+            pressure_step: self.pressure_step.get(),
+            frames_rx: self.frames_rx.get(),
+            requests_rx: self.requests_rx.get(),
+            accepted: self.accepted.get(),
+        }
+    }
+}
+
+/// A point-in-time copy of the front-end counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections torn down (any reason).
+    pub closed: u64,
+    /// Connections refused at accept (connection cap).
+    pub rejected_conns: u64,
+    /// Complete frames decoded from clients.
+    pub frames_rx: u64,
+    /// Frames written to clients.
+    pub frames_tx: u64,
+    /// Request frames received.
+    pub requests_rx: u64,
+    /// Reply frames written (success or typed rejection).
+    pub replies_tx: u64,
+    /// Requests admitted into the serving core.
+    pub admitted: u64,
+    /// Connections that broke the wire grammar.
+    pub rejected_malformed: u64,
+    /// Requests with an unknown tenant token.
+    pub rejected_bad_token: u64,
+    /// Requests shed by a tenant token bucket.
+    pub rejected_rate_limited: u64,
+    /// Requests shed by a tenant in-flight quota.
+    pub rejected_quota: u64,
+    /// Requests shed by net-level backpressure.
+    pub rejected_backpressure: u64,
+    /// Requests refused because the front-end was draining.
+    pub rejected_draining: u64,
+    /// Requests the serving core rejected synchronously.
+    pub rejected_serve: u64,
+    /// Connections evicted for a half-frame older than the read timeout.
+    pub evicted_slow_loris: u64,
+    /// Connections evicted for inactivity.
+    pub evicted_idle: u64,
+    /// Connections evicted for refusing to drain replies.
+    pub evicted_write_stall: u64,
+    /// Peers that closed cleanly.
+    pub peer_closed: u64,
+    /// Peers that reset/aborted the stream.
+    pub peer_resets: u64,
+    /// Connections dropped on other I/O errors.
+    pub io_errors: u64,
+    /// Connections force-closed at the drain deadline.
+    pub kicked: u64,
+    /// Disconnects that abandoned at least one in-flight request.
+    pub midflight_disconnects: u64,
+    /// In-flight tickets dropped to reply-slot tombstones.
+    pub tombstoned_inflight: u64,
+    /// Raw bytes read from clients.
+    pub bytes_rx: u64,
+    /// Raw bytes written to clients.
+    pub bytes_tx: u64,
+    /// Gauge: live connections (0 after a completed shutdown).
+    pub active_conns: u64,
+    /// Gauge: unflushed reply bytes across all connections.
+    pub write_backlog: u64,
+    /// Gauge: net backpressure rung (0 = Normal … 4 = Drain).
+    pub pressure_step: u64,
+}
+
+impl std::fmt::Display for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "net: conns {} accepted / {} closed / {} refused ({} live), frames {} in / {} out",
+            self.accepted, self.closed, self.rejected_conns, self.active_conns, self.frames_rx, self.frames_tx
+        )?;
+        writeln!(
+            f,
+            "     requests {} in → {} admitted, shed: {} malformed, {} bad-token, {} rate, {} quota, {} backpressure, {} draining, {} serve",
+            self.requests_rx,
+            self.admitted,
+            self.rejected_malformed,
+            self.rejected_bad_token,
+            self.rejected_rate_limited,
+            self.rejected_quota,
+            self.rejected_backpressure,
+            self.rejected_draining,
+            self.rejected_serve,
+        )?;
+        write!(
+            f,
+            "     evictions: {} slow-loris, {} idle, {} write-stall; {} mid-flight disconnects ({} tombstoned), {} peer resets",
+            self.evicted_slow_loris,
+            self.evicted_idle,
+            self.evicted_write_stall,
+            self.midflight_disconnects,
+            self.tombstoned_inflight,
+            self.peer_resets,
+        )
+    }
+}

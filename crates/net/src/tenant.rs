@@ -1,0 +1,275 @@
+//! Per-tenant authentication, token-bucket rate limiting and in-flight
+//! quotas.
+//!
+//! A tenant is a named principal with an opaque auth token; every wire
+//! request carries a token, and the [`TenantRegistry`] decides at frame
+//! time whether the request may even reach the serving core's admission:
+//!
+//! 1. **Auth** — the token must match a registered tenant (unless the
+//!    registry is empty, in which case the front-end runs open, the
+//!    defaults-off posture).
+//! 2. **Rate** — a token bucket of `rate_per_sec` tokens with `burst`
+//!    capacity; an empty bucket rejects with
+//!    [`code::RATE_LIMITED`](crate::frame::code::RATE_LIMITED). Zero rate
+//!    means unlimited.
+//! 3. **Quota** — at most `max_inflight` unresolved requests per tenant;
+//!    each resolution (reply, shed, or disconnect tombstone) releases a
+//!    slot. Zero means unbounded.
+//!
+//! These gates run *before* the serving core's priority/brownout ladder:
+//! a tenant over its budget is the tenant's problem and must not consume
+//! queue capacity that well-behaved tenants are entitled to. Outcomes are
+//! mirrored into the serving core's per-tenant counters
+//! ([`npcgra_serve::TenantHandle`]) so one [`StatsSnapshot`] tells the
+//! whole story.
+//!
+//! [`StatsSnapshot`]: npcgra_serve::StatsSnapshot
+
+use std::time::Instant;
+
+use npcgra_serve::TenantHandle;
+
+/// Static description of one tenant, part of [`NetConfig`](crate::NetConfig).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name (stats key).
+    pub name: String,
+    /// Opaque auth token the tenant presents on every request (≤ 255 bytes).
+    pub token: Vec<u8>,
+    /// Sustained admission rate in requests/second; `0.0` = unlimited.
+    pub rate_per_sec: f64,
+    /// Token-bucket burst capacity (requests admitted back-to-back from a
+    /// full bucket). Ignored when `rate_per_sec` is 0.
+    pub burst: u32,
+    /// Maximum unresolved requests in flight; `0` = unbounded.
+    pub max_inflight: u32,
+}
+
+impl TenantSpec {
+    /// An unlimited tenant: authenticated but never rate-limited or
+    /// quota-bound.
+    #[must_use]
+    pub fn open(name: &str, token: &[u8]) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            token: token.to_vec(),
+            rate_per_sec: 0.0,
+            burst: 0,
+            max_inflight: 0,
+        }
+    }
+
+    /// Set the sustained rate and burst.
+    #[must_use]
+    pub fn with_rate(mut self, per_sec: f64, burst: u32) -> Self {
+        self.rate_per_sec = per_sec;
+        self.burst = burst;
+        self
+    }
+
+    /// Set the in-flight quota.
+    #[must_use]
+    pub fn with_max_inflight(mut self, max: u32) -> Self {
+        self.max_inflight = max;
+        self
+    }
+}
+
+/// Why a tenant gate refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantDenied {
+    /// The token matched no registered tenant.
+    BadToken,
+    /// The tenant's token bucket was empty.
+    RateLimited,
+    /// The tenant's in-flight quota was full.
+    QuotaExceeded,
+}
+
+/// A classic token bucket: `rate` tokens/second refill, capped at `burst`.
+#[derive(Debug)]
+struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate: f64, burst: u32, now: Instant) -> Self {
+        let burst = f64::from(burst.max(1));
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            refilled: now,
+        }
+    }
+
+    fn try_take(&mut self, now: Instant) -> bool {
+        let dt = now.saturating_duration_since(self.refilled).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        self.refilled = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Runtime state for one tenant: spec, bucket, in-flight count and the
+/// serving core's stats handle.
+#[derive(Debug)]
+pub(crate) struct TenantGate {
+    pub(crate) spec: TenantSpec,
+    bucket: Option<TokenBucket>,
+    inflight: u32,
+    pub(crate) stats: TenantHandle,
+}
+
+/// Index of a tenant inside the registry (stable for the front-end's life).
+pub(crate) type TenantIdx = usize;
+
+/// All tenants the front-end knows, keyed by token at frame time.
+///
+/// Owned by the single reactor thread, so interior mutability is not
+/// needed; the shared, lock-free view lives in the serving core's
+/// per-tenant counters.
+#[derive(Debug, Default)]
+pub(crate) struct TenantRegistry {
+    gates: Vec<TenantGate>,
+}
+
+impl TenantRegistry {
+    pub(crate) fn new(specs: &[TenantSpec], handles: Vec<TenantHandle>, now: Instant) -> Self {
+        assert_eq!(specs.len(), handles.len());
+        let gates = specs
+            .iter()
+            .zip(handles)
+            .map(|(spec, stats)| TenantGate {
+                bucket: (spec.rate_per_sec > 0.0).then(|| TokenBucket::new(spec.rate_per_sec, spec.burst, now)),
+                inflight: 0,
+                spec: spec.clone(),
+                stats,
+            })
+            .collect();
+        TenantRegistry { gates }
+    }
+
+    /// True when no tenants are configured: the front-end runs open and
+    /// every token is accepted without limits (the defaults-off posture).
+    pub(crate) fn is_open(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    pub(crate) fn lookup(&self, token: &[u8]) -> Option<TenantIdx> {
+        self.gates.iter().position(|g| g.spec.token == token)
+    }
+
+    /// Apply the rate and quota gates, charging one in-flight slot on
+    /// success. The caller must pair every `Ok` with a later
+    /// [`release`](Self::release).
+    pub(crate) fn admit(&mut self, idx: TenantIdx, now: Instant) -> Result<(), TenantDenied> {
+        let gate = &mut self.gates[idx];
+        if let Some(bucket) = &mut gate.bucket {
+            if !bucket.try_take(now) {
+                gate.stats.note_rate_limited();
+                return Err(TenantDenied::RateLimited);
+            }
+        }
+        if gate.spec.max_inflight > 0 && gate.inflight >= gate.spec.max_inflight {
+            gate.stats.note_rejected();
+            return Err(TenantDenied::QuotaExceeded);
+        }
+        gate.inflight += 1;
+        Ok(())
+    }
+
+    /// Release the in-flight slot charged by a successful `admit`.
+    pub(crate) fn release(&mut self, idx: TenantIdx) {
+        let gate = &mut self.gates[idx];
+        debug_assert!(gate.inflight > 0, "release without admit");
+        gate.inflight = gate.inflight.saturating_sub(1);
+    }
+
+    /// The stats handle for tenant `idx`.
+    pub(crate) fn stats(&self, idx: TenantIdx) -> &TenantHandle {
+        &self.gates[idx].stats
+    }
+
+    /// Total unresolved requests across all tenants (leak check).
+    pub(crate) fn total_inflight(&self) -> u32 {
+        self.gates.iter().map(|g| g.inflight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn registry(specs: &[TenantSpec]) -> (TenantRegistry, npcgra_serve::Server) {
+        let server = npcgra_serve::Server::start(npcgra_serve::ServeConfig::default().with_workers(0));
+        let handles = specs.iter().map(|s| server.register_tenant(&s.name)).collect();
+        (TenantRegistry::new(specs, handles, Instant::now()), server)
+    }
+
+    #[test]
+    fn empty_registry_is_open() {
+        let (reg, server) = registry(&[]);
+        assert!(reg.is_open());
+        assert!(reg.lookup(b"anything").is_none());
+        drop(server.shutdown());
+    }
+
+    #[test]
+    fn token_lookup_and_quota() {
+        let specs = [TenantSpec::open("a", b"tok-a").with_max_inflight(2)];
+        let (mut reg, server) = registry(&specs);
+        let idx = reg.lookup(b"tok-a").unwrap();
+        assert!(reg.lookup(b"tok-b").is_none());
+        let now = Instant::now();
+        assert_eq!(reg.admit(idx, now), Ok(()));
+        assert_eq!(reg.admit(idx, now), Ok(()));
+        assert_eq!(reg.admit(idx, now), Err(TenantDenied::QuotaExceeded));
+        reg.release(idx);
+        assert_eq!(reg.admit(idx, now), Ok(()));
+        assert_eq!(reg.total_inflight(), 2);
+        reg.release(idx);
+        reg.release(idx);
+        assert_eq!(reg.total_inflight(), 0);
+        let stats = server.shutdown();
+        let t = &stats.tenants[0];
+        assert_eq!((t.name.as_str(), t.rejected), ("a", 1));
+    }
+
+    #[test]
+    fn token_bucket_limits_and_refills() {
+        let specs = [TenantSpec::open("b", b"tok-b").with_rate(1000.0, 2)];
+        let (mut reg, server) = registry(&specs);
+        let idx = reg.lookup(b"tok-b").unwrap();
+        let now = Instant::now();
+        // Burst of 2 from a full bucket, then empty.
+        assert_eq!(reg.admit(idx, now), Ok(()));
+        assert_eq!(reg.admit(idx, now), Ok(()));
+        assert_eq!(reg.admit(idx, now), Err(TenantDenied::RateLimited));
+        // 1000/s refills one token per millisecond.
+        assert_eq!(reg.admit(idx, now + Duration::from_millis(2)), Ok(()));
+        let stats = server.shutdown();
+        assert_eq!(stats.tenants[0].rate_limited, 1);
+    }
+
+    #[test]
+    fn zero_rate_is_unlimited() {
+        let specs = [TenantSpec::open("c", b"tok-c")];
+        let (mut reg, server) = registry(&specs);
+        let idx = reg.lookup(b"tok-c").unwrap();
+        let now = Instant::now();
+        for _ in 0..10_000 {
+            assert_eq!(reg.admit(idx, now), Ok(()));
+        }
+        drop(server.shutdown());
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the wire codec: round-trip fidelity for arbitrary
+//! well-formed frames, and the adversarial contract for arbitrary hostile
+//! byte streams — a typed [`WireError`] or "need more bytes", never a
+//! panic, never a desynchronised frame boundary.
+
+use npcgra_net::frame::{self, code, encode_frame, FrameDecoder, WireFrame, WireReply, WireRequest, WireResponse};
+use proptest::prelude::*;
+
+/// Arbitrary well-formed request frames (shapes kept small so a case is
+/// cheap; the word vector is derived from the shape so the grammar's
+/// shape·len agreement holds by construction).
+fn arb_request() -> impl Strategy<Value = WireFrame> {
+    (
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..32), 0u8..3),
+        (any::<u32>(), any::<u32>()),
+        (1u16..5, 1u16..6, 1u16..6),
+        any::<i16>(),
+    )
+        .prop_map(|((tag, token, class), (deadline_ms, model), (c, h, w), seed)| {
+            let n = c as usize * h as usize * w as usize;
+            let words = (0..n).map(|i| seed.wrapping_add(i as i16)).collect();
+            WireFrame::Request(WireRequest {
+                tag,
+                token,
+                class,
+                deadline_ms,
+                model,
+                shape: (c, h, w),
+                words,
+            })
+        })
+}
+
+/// Printable-ASCII messages (the vendored proptest has no regex
+/// strategies).
+fn arb_message() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..40).prop_map(|b| String::from_utf8(b).expect("printable ascii"))
+}
+
+/// Arbitrary well-formed reply / error / bye frames.
+fn arb_other() -> impl Strategy<Value = WireFrame> {
+    prop_oneof![
+        (
+            (any::<u64>(), any::<u64>()),
+            (any::<u16>(), any::<u16>(), any::<u64>()),
+            (1u16..4, 1u16..4, 1u16..4)
+        )
+            .prop_map(|((tag, request_id), (batch, worker, latency_us), (c, h, w))| {
+                let n = c as usize * h as usize * w as usize;
+                WireFrame::Reply(WireReply {
+                    tag,
+                    request_id,
+                    result: Ok(WireResponse {
+                        batch,
+                        worker,
+                        latency_us,
+                        shape: (c, h, w),
+                        words: (0..n as i16).collect(),
+                    }),
+                })
+            }),
+        (any::<u64>(), any::<u64>(), 1u8..9, arb_message()).prop_map(|(tag, request_id, code, message)| {
+            WireFrame::Reply(WireReply {
+                tag,
+                request_id,
+                result: Err((code, message)),
+            })
+        }),
+        (1u8..9, arb_message()).prop_map(|(code, message)| WireFrame::Error { code, message }),
+        Just(WireFrame::Bye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every well-formed frame round-trips bit-exactly, whole or split
+    /// into arbitrary chunk sizes.
+    #[test]
+    fn roundtrip_any_frame(frame in prop_oneof![arb_request(), arb_other()], chunk in 1usize..64) {
+        let mut bytes = Vec::new();
+        encode_frame(&frame, &mut bytes);
+        let mut d = FrameDecoder::new(1 << 20);
+        let mut got = None;
+        for piece in bytes.chunks(chunk) {
+            d.push(piece);
+            if let Some(f) = d.next().expect("well-formed stream") {
+                prop_assert!(got.is_none(), "one frame in, one frame out");
+                got = Some(f);
+            }
+        }
+        prop_assert_eq!(got.expect("frame completed"), frame);
+        prop_assert!(!d.mid_frame());
+    }
+
+    /// Back-to-back frames on one stream decode in order with no
+    /// boundary slip.
+    #[test]
+    fn pipelined_frames_keep_their_boundaries(frames in proptest::collection::vec(arb_request(), 1..5)) {
+        let mut bytes = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut bytes);
+        }
+        let mut d = FrameDecoder::new(1 << 20);
+        d.push(&bytes);
+        for f in &frames {
+            prop_assert_eq!(&d.next().unwrap().expect("next frame"), f);
+        }
+        prop_assert!(d.next().unwrap().is_none());
+        prop_assert!(!d.mid_frame());
+    }
+
+    /// Arbitrary hostile bytes: the decoder never panics — each poll is a
+    /// frame, "need more", or a typed error that then repeats verbatim
+    /// (poisoned decoder, connection closes).
+    #[test]
+    fn random_bytes_never_panic(stream in proptest::collection::vec(any::<u8>(), 0..256), chunk in 1usize..32) {
+        let mut d = FrameDecoder::new(4096);
+        let mut poisoned = None;
+        for piece in stream.chunks(chunk) {
+            d.push(piece);
+            loop {
+                match d.next() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(e) => {
+                        if let Some(first) = poisoned {
+                            prop_assert_eq!(e, first, "poisoned decoder must repeat its first error");
+                        }
+                        poisoned = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A truncated frame is not an error: the decoder reports mid-frame
+    /// (the slow-loris window) and never produces output.
+    #[test]
+    fn truncation_waits_rather_than_errors(frame in arb_request(), cut in 1usize..17) {
+        let mut bytes = Vec::new();
+        encode_frame(&frame, &mut bytes);
+        let keep = bytes.len() - cut.min(bytes.len() - 4); // keep ≥ the magic+version prefix
+        let mut d = FrameDecoder::new(1 << 20);
+        d.push(&bytes[..keep]);
+        prop_assert_eq!(d.next().expect("truncation is not malformed"), None);
+        prop_assert!(d.mid_frame());
+    }
+
+    /// Any single bit flip in an encoded frame surfaces as a typed error —
+    /// or, for flips in the length field that only enlarge the frame, as
+    /// "need more bytes" (the checksum catches it the moment the inflated
+    /// payload would complete). Never a silently different frame: the
+    /// checksum covers the header prefix too, so kind/len flips can't
+    /// smuggle a reinterpreted payload through.
+    #[test]
+    fn bit_flips_never_smuggle_a_frame(frame in arb_request(), bit in any::<usize>()) {
+        let mut bytes = Vec::new();
+        encode_frame(&frame, &mut bytes);
+        let target = bit % (bytes.len() * 8);
+        bytes[target / 8] ^= 1 << (target % 8);
+        let mut d = FrameDecoder::new(1 << 20);
+        d.push(&bytes);
+        match d.next() {
+            Ok(Some(got)) => prop_assert!(false, "a flipped frame decoded cleanly: {:?}", got),
+            Ok(None) => prop_assert!(d.mid_frame(), "length-inflating flip waits for more bytes"),
+            Err(_) => {} // typed rejection: the designed outcome
+        }
+    }
+}
+
+/// A flip confined to payload bytes is always a `Checksum` error
+/// specifically (deterministic spot check riding alongside the
+/// properties).
+#[test]
+fn payload_flip_is_a_checksum_error() {
+    let mut bytes = Vec::new();
+    encode_frame(
+        &WireFrame::Error {
+            code: code::MALFORMED,
+            message: "x".into(),
+        },
+        &mut bytes,
+    );
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    let mut d = FrameDecoder::new(4096);
+    d.push(&bytes);
+    assert!(matches!(d.next().unwrap_err(), frame::WireError::Checksum { .. }));
+}

@@ -123,6 +123,37 @@ impl fmt::Display for ServeError {
     }
 }
 
+impl ServeError {
+    /// Display this error tagged with the request id it resolved — the
+    /// trace key that matches a shed/preempted/late request to its
+    /// client-side record (tickets expose the id via
+    /// [`Ticket::request_id`](crate::Ticket::request_id), successes via
+    /// [`Response::request_id`](crate::Response::request_id)). Id `0`
+    /// means "rejected before an id was assigned" (synchronous admission
+    /// rejections have no ticket to trace).
+    #[must_use]
+    pub fn for_request(&self, request_id: u64) -> ForRequest<'_> {
+        ForRequest { request_id, error: self }
+    }
+}
+
+/// [`ServeError::for_request`]'s display adapter: `request <id>: <error>`.
+#[derive(Debug, Clone, Copy)]
+pub struct ForRequest<'a> {
+    request_id: u64,
+    error: &'a ServeError,
+}
+
+impl fmt::Display for ForRequest<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.request_id == 0 {
+            write!(f, "request <unassigned>: {}", self.error)
+        } else {
+            write!(f, "request {}: {}", self.request_id, self.error)
+        }
+    }
+}
+
 impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
@@ -225,6 +256,19 @@ mod tests {
         assert!(q.to_string().contains("chaos"));
         let d = ServeError::Degraded { healthy: 1, workers: 4 };
         assert!(d.to_string().contains("1/4"));
+    }
+
+    #[test]
+    fn for_request_tags_the_display_with_the_trace_key() {
+        let e = ServeError::DeadlineExceeded;
+        assert_eq!(
+            e.for_request(42).to_string(),
+            "request 42: deadline exceeded before execution"
+        );
+        assert!(
+            e.for_request(0).to_string().starts_with("request <unassigned>:"),
+            "id 0 means the request was rejected before an id existed"
+        );
     }
 
     #[test]

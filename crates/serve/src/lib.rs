@@ -95,9 +95,9 @@ pub(crate) mod watchdog;
 
 pub use cache::ProgramCache;
 pub use config::{ChaosConfig, CrossCheckCorruption, OverloadConfig, PipelineConfig, ServeConfig, StageFault};
-pub use error::{RetryClass, ServeError};
+pub use error::{ForRequest, RetryClass, ServeError};
 pub use npcgra_sim::{BackendTier, IntegrityMode};
 pub use overload::{BreakerState, BrownoutLevel, Priority};
 pub use pipeline::{Pipeline, PipelineStatsSnapshot};
 pub use server::{ModelId, Response, Server, Ticket};
-pub use stats::{StatsSnapshot, WorkerExit};
+pub use stats::{StatsSnapshot, TenantHandle, TenantSnapshot, WorkerExit};

@@ -1102,6 +1102,7 @@ impl<'a> StageWorker<'a> {
                 batch_size: 1,
                 worker: s,
                 latency: job.enqueued.elapsed(),
+                request_id: job.reply.request_id(),
             };
             shared.conclude(&job.reply, Ok(response));
             return;

@@ -118,6 +118,7 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                             batch_size,
                             worker: shard.worker,
                             latency,
+                            request_id: p.reply.request_id(),
                         }),
                     );
                     if delivery == Delivery::Duplicate {

@@ -17,7 +17,7 @@
 //! poison requests so their batch-mates still complete.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -37,6 +37,23 @@ use crate::watchdog::Watchdog;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ModelId(pub(crate) usize);
 
+impl ModelId {
+    /// The id as a dense registration index (what the wire protocol
+    /// carries).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuild an id from its dense index. An index that was never
+    /// registered is not dangerous — submitting with it yields
+    /// [`ServeError::UnknownModel`].
+    #[must_use]
+    pub fn from_index(i: usize) -> ModelId {
+        ModelId(i)
+    }
+}
+
 /// A completed inference.
 #[derive(Debug, Clone)]
 pub struct Response {
@@ -51,6 +68,9 @@ pub struct Response {
     pub worker: usize,
     /// Queue + execution time, from admission to reply.
     pub latency: Duration,
+    /// The request's id (assigned at submit, unique within the process) —
+    /// the trace key matching this reply to its client-side record.
+    pub request_id: u64,
 }
 
 /// The reply slot backing one request: a one-shot rendezvous between the
@@ -67,7 +87,14 @@ struct ReplySlot {
     /// racer; the slot is `Lost` only when the *last* sender drops without
     /// a reply — a hedge loser's drop must not strand the ticket.
     senders: AtomicUsize,
+    /// The request id minted when this slot was created at submit.
+    request_id: u64,
 }
+
+/// Source of request ids: process-wide, monotonically increasing from 1.
+/// Process-wide (rather than per-server) so an id in a log line is
+/// unambiguous even with several servers (or a pipeline) in one process.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 
 #[derive(Debug)]
 enum SlotState {
@@ -107,6 +134,11 @@ pub(crate) struct ReplySender {
 }
 
 impl ReplySender {
+    /// The request id minted for this slot at submit.
+    pub(crate) fn request_id(&self) -> u64 {
+        self.slot.request_id
+    }
+
     /// Deliver the reply, reporting how it landed.
     pub(crate) fn send(&self, result: Result<Response, ServeError>) -> Delivery {
         let mut s = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
@@ -151,6 +183,7 @@ pub(crate) fn reply_pair() -> (ReplySender, Ticket) {
         state: Mutex::new(SlotState::Waiting),
         ready: Condvar::new(),
         senders: AtomicUsize::new(1),
+        request_id: NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed),
     });
     (ReplySender { slot: Arc::clone(&slot) }, Ticket { slot })
 }
@@ -177,6 +210,14 @@ pub struct Ticket {
 }
 
 impl Ticket {
+    /// The request's id, assigned at submit (unique within the process).
+    /// Pairs a client-side record with server-side error text and audit
+    /// output ([`ServeError::for_request`](crate::ServeError::for_request)).
+    #[must_use]
+    pub fn request_id(&self) -> u64 {
+        self.slot.request_id
+    }
+
     /// Block until the request completes or is shed.
     ///
     /// # Errors
@@ -715,6 +756,16 @@ impl Server {
             .unwrap_or_else(PoisonError::into_inner)
             .get(model.0)
             .map(|e| (e.layer.in_channels(), e.layer.in_h(), e.layer.in_w()))
+    }
+
+    /// Register a tenant for per-tenant accounting and return its counter
+    /// handle. Meant for front-ends (e.g. `npcgra-net`): the serving core
+    /// itself never consults tenants, it only carries their counters so
+    /// one [`StatsSnapshot`] tells the whole story
+    /// ([`StatsSnapshot::tenants`]).
+    #[must_use]
+    pub fn register_tenant(&self, name: &str) -> crate::stats::TenantHandle {
+        self.shared.stats.register_tenant(name)
     }
 
     /// Graceful shutdown: stop admitting, let the workers drain every

@@ -7,6 +7,7 @@
 //! factor of √2 with zero allocation per request.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Duration;
 
 use npcgra_sim::BackendTier;
@@ -49,6 +50,61 @@ const HEALTH_SCALE: f64 = 1e6;
 /// pipeline's per-stage calibration so both watchdogs arm on the same
 /// evidence bar.
 pub(crate) const CALIBRATION_MIN_SAMPLES: u64 = 4;
+
+/// Per-tenant outcome counters, written by a front-end (e.g.
+/// `npcgra-net`) through its [`TenantHandle`]. Writes use `Release` and
+/// the snapshot reads `Acquire` — the same discipline as
+/// `admitted_by_class`, so a tenant admission that happened-before a
+/// captured completion is visible in the same snapshot.
+#[derive(Debug)]
+struct TenantCell {
+    name: String,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    rate_limited: AtomicU64,
+    evicted_slow_loris: AtomicU64,
+}
+
+/// A front-end's write handle to one tenant's counters. Cheap to clone;
+/// obtained from [`Server::register_tenant`](crate::Server::register_tenant).
+#[derive(Debug, Clone)]
+pub struct TenantHandle(Arc<TenantCell>);
+
+impl TenantHandle {
+    /// Count a request admitted into the serving core for this tenant.
+    pub fn note_admitted(&self) {
+        self.0.admitted.fetch_add(1, Ordering::Release);
+    }
+    /// Count a request rejected (quota, backpressure, or a serving-core
+    /// rejection) for this tenant.
+    pub fn note_rejected(&self) {
+        self.0.rejected.fetch_add(1, Ordering::Release);
+    }
+    /// Count a request shed by this tenant's token bucket.
+    pub fn note_rate_limited(&self) {
+        self.0.rate_limited.fetch_add(1, Ordering::Release);
+    }
+    /// Count a slow-loris eviction of a connection authenticated as this
+    /// tenant.
+    pub fn note_evicted_slow_loris(&self) {
+        self.0.evicted_slow_loris.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// One tenant's counters as captured in a [`StatsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// The tenant's registered name.
+    pub name: String,
+    /// Requests admitted into the serving core.
+    pub admitted: u64,
+    /// Requests rejected (quota, backpressure or serving-core rejection).
+    pub rejected: u64,
+    /// Requests shed by the tenant's token bucket.
+    pub rate_limited: u64,
+    /// Slow-loris evictions of connections authenticated as this tenant.
+    pub evicted_slow_loris: u64,
+}
 
 /// Live counters, shared between the submission path and the workers.
 #[derive(Debug)]
@@ -142,6 +198,8 @@ pub(crate) struct Stats {
     /// `batch_hist[i]` counts batches of size `i`; index 0 is unused.
     batch_hist: Vec<AtomicU64>,
     worker_busy_ns: Vec<AtomicU64>,
+    /// Tenants registered by a front-end; empty (and cost-free) without one.
+    tenants: RwLock<Vec<Arc<TenantCell>>>,
 }
 
 impl Stats {
@@ -190,7 +248,41 @@ impl Stats {
             exec_latency: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_hist: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
             worker_busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            tenants: RwLock::new(Vec::new()),
         }
+    }
+
+    /// Register a tenant and return its write handle. Registration is
+    /// rare (front-end startup), so a write lock here is fine; the
+    /// handle's increments are lock-free.
+    pub(crate) fn register_tenant(&self, name: &str) -> TenantHandle {
+        let cell = Arc::new(TenantCell {
+            name: name.to_string(),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            evicted_slow_loris: AtomicU64::new(0),
+        });
+        self.tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&cell));
+        TenantHandle(cell)
+    }
+
+    fn tenant_snapshots(&self) -> Vec<TenantSnapshot> {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|t| TenantSnapshot {
+                name: t.name.clone(),
+                admitted: t.admitted.load(Ordering::Acquire),
+                rejected: t.rejected.load(Ordering::Acquire),
+                rate_limited: t.rate_limited.load(Ordering::Acquire),
+                evicted_slow_loris: t.evicted_slow_loris.load(Ordering::Acquire),
+            })
+            .collect()
     }
 
     pub(crate) fn observe_queue_depth(&self, depth: u64) {
@@ -355,7 +447,11 @@ impl Stats {
         let hedge_losses = self.hedge_losses.load(Ordering::Acquire);
         let hedges_dispatched = self.hedges_dispatched.load(Ordering::Relaxed);
         let admitted_by_class = std::array::from_fn(|c| self.admitted_by_class[c].load(Ordering::Acquire));
+        // Tenant counters are sinks too (written Release by the front-end
+        // after its admission decision), so they join the Acquire phase.
+        let tenants = self.tenant_snapshots();
         let mut snap = StatsSnapshot {
+            tenants,
             elapsed,
             completed,
             failed,
@@ -551,6 +647,10 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Programs evicted from the bounded cache (filled in by the server).
     pub cache_evictions: u64,
+    /// Per-tenant outcome counters, in registration order. Empty unless a
+    /// front-end registered tenants via
+    /// [`Server::register_tenant`](crate::Server::register_tenant).
+    pub tenants: Vec<TenantSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -758,6 +858,19 @@ impl std::fmt::Display for StatsSnapshot {
             self.cross_checks,
             self.cross_check_failed,
         )?;
+        if !self.tenants.is_empty() {
+            let tenants: Vec<String> = self
+                .tenants
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{}(adm:{} rej:{} rate:{} loris:{})",
+                        t.name, t.admitted, t.rejected, t.rate_limited, t.evicted_slow_loris
+                    )
+                })
+                .collect();
+            writeln!(f, "tenants:  {}", tenants.join(" "))?;
+        }
         if !self.worker_exits.is_empty() {
             let exits: Vec<String> = self
                 .worker_exits

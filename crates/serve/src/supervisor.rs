@@ -636,6 +636,7 @@ fn run_hedge(shared: &Shared, shard: &mut Shard, model: ModelId, pendings: Vec<P
                         batch_size,
                         worker: shard.worker,
                         latency,
+                        request_id: p.reply.request_id(),
                     }),
                 );
                 if delivery == Delivery::Delivered {

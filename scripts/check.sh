@@ -44,10 +44,10 @@ for b in table1 table3 table5 table6 fig12 fig_schedules fig_layouts \
   cargo run --release -q -p npcgra-eval --bin "$b" >/dev/null
 done
 
-echo "== serve-bench smoke run (both tiers, archived to BENCH_serve.json) =="
+echo "== serve-bench smoke run (both tiers + wire path, archived to BENCH_serve.json) =="
 cargo run --release -q -p npcgra-cli -- serve-bench \
   --machine 4x4 --workers 4 --clients 8 --requests 80 \
-  --tier both --emit-json BENCH_serve.json >/dev/null
+  --tier both --net --net-conns 4 --emit-json BENCH_serve.json >/dev/null
 
 echo "== chaos soak (fault injection + worker panic must be survived) =="
 cargo run --release -q -p npcgra-cli -- chaos-bench \
@@ -85,6 +85,16 @@ cargo run --release -q -p npcgra-cli -- chaos-bench --pipeline \
 echo "== pipeline overload soak (2x capacity + stage wedge/kill; SLO, watchdog and brownout must hold) =="
 cargo run --release -q -p npcgra-cli -- chaos-bench --pipeline --overload \
   --assert-slo >/dev/null
+
+echo "== net soak (2x wire capacity over 500+ connections + slow-loris/malformed/disconnect attackers) =="
+# The soak's built-in phase 0 is the zero-chaos control: the same inputs
+# through the socket front-end and through in-process submit must produce
+# bit-identical tensors before any attacker population comes up.
+# --slo-ms 400: wire p99 sits near 20ms, but the timing calibration runs
+# on the shared CI box — 400ms absorbs noisy-neighbor slowdowns without
+# weakening the no-lost/no-wrong/every-attacker-caught gates.
+cargo run --release -q -p npcgra-cli -- chaos-bench --net \
+  --machine 4x4 --workers 4 --seconds 4 --slo-ms 400 --assert-slo >/dev/null
 
 echo "== benches (quick pass) =="
 cargo bench -p npcgra-bench >/dev/null

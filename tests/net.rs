@@ -1,0 +1,369 @@
+//! Integration tests of the `npcgra-net` TCP front-end: bit-exactness
+//! over loopback, typed rejection of malformed frames, slow-loris / idle
+//! eviction, mid-flight-disconnect tombstones, tenant auth / rate /
+//! quota, net backpressure shedding, and graceful drain on shutdown —
+//! all against a real socket pair, no mocks.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use npcgra::net::{frame, ClientError, NetClient, NetConfig, NetServer, TenantSpec};
+use npcgra::nn::reference;
+use npcgra::serve::{Priority, ServeConfig, Server};
+use npcgra::{CgraSpec, ConvLayer, Tensor};
+
+const WAIT: Duration = Duration::from_secs(30);
+
+fn serve_config() -> ServeConfig {
+    ServeConfig::for_spec(&CgraSpec::np_cgra(4, 4))
+        .with_workers(1)
+        .with_max_linger(Duration::from_millis(1))
+}
+
+/// A small depthwise layer registered as model 0; returns the pieces a
+/// test needs to drive golden comparisons.
+fn start_backend(cfg: ServeConfig) -> (Arc<Server>, ConvLayer, Tensor) {
+    let server = Arc::new(Server::start(cfg));
+    let layer = ConvLayer::depthwise("dw", 3, 10, 10, 3, 1, 1);
+    let weights = layer.random_weights(11);
+    server.register("dw", layer.clone(), weights.clone()).expect("register");
+    (server, layer, weights)
+}
+
+/// Unwrap the backend once the front-end released its handle and shut it
+/// down ([`Server::shutdown`] consumes by value).
+fn finish_backend(server: Arc<Server>) -> npcgra::serve::StatsSnapshot {
+    let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("front-end still holds the server"));
+    server.shutdown()
+}
+
+/// Concurrent loopback clients: every reply is bit-exact with the golden
+/// reference, carries a non-zero server-assigned request id, and ids are
+/// distinct across all requests. Shutdown leaves zero connections.
+#[test]
+fn loopback_replies_are_bit_exact_with_request_ids() {
+    let (server, layer, weights) = start_backend(serve_config());
+    let net = NetServer::start(Arc::clone(&server), NetConfig::default()).expect("bind");
+    let addr = net.local_addr();
+
+    let mut seen_ids = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client_id in 0..3u64 {
+            let layer = &layer;
+            let weights = &weights;
+            handles.push(scope.spawn(move || {
+                let mut client = NetClient::connect(addr, b"").expect("connect");
+                let mut ids = Vec::new();
+                for round in 0..4u64 {
+                    let ifm = Tensor::random(3, 10, 10, client_id * 100 + round);
+                    let golden = reference::run_layer(layer, &ifm, weights).expect("golden");
+                    let reply = client.call(0, &ifm, Priority::Interactive, None, WAIT).expect("reply");
+                    let resp = reply.result.expect("success");
+                    assert_eq!(resp.tensor().expect("consistent"), golden, "client {client_id} round {round}");
+                    assert!(reply.request_id > 0, "admitted work carries a request id");
+                    assert!(resp.latency_us > 0);
+                    ids.push(reply.request_id);
+                }
+                ids
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect::<Vec<u64>>()
+    });
+    seen_ids.sort_unstable();
+    let total = seen_ids.len();
+    seen_ids.dedup();
+    assert_eq!(seen_ids.len(), total, "request ids are unique");
+
+    let stats = net.shutdown();
+    assert_eq!(stats.admitted, 12);
+    assert_eq!(stats.replies_tx, 12);
+    assert_eq!(stats.active_conns, 0, "no leaked connections");
+    let serve_stats = finish_backend(server);
+    assert_eq!(serve_stats.completed, 12);
+}
+
+/// Garbage bytes get a typed MALFORMED notice, then the server closes —
+/// and a client speaking server-only frame kinds gets the same treatment.
+#[test]
+fn malformed_input_gets_typed_error_then_close() {
+    let (server, _, _) = start_backend(serve_config().with_workers(0));
+    let net = NetServer::start(Arc::clone(&server), NetConfig::default()).expect("bind");
+
+    // Arbitrary garbage: rejected at the magic check.
+    let mut client = NetClient::connect(net.local_addr(), b"").expect("connect");
+    client.send_raw(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+    match client.recv_tag(1, WAIT) {
+        Err(ClientError::ServerClosed { code, message }) => {
+            assert_eq!(code, frame::code::MALFORMED);
+            assert!(message.contains("magic"), "diagnostic names the violation: {message}");
+        }
+        other => panic!("expected a typed close, got {other:?}"),
+    }
+
+    // A syntactically valid frame of a kind only servers send.
+    let mut client = NetClient::connect(net.local_addr(), b"").expect("connect");
+    client
+        .send_frame(&frame::WireFrame::Error {
+            code: frame::code::OK,
+            message: "i am a server".into(),
+        })
+        .expect("write");
+    match client.recv_tag(1, WAIT) {
+        Err(ClientError::ServerClosed { code, .. }) => assert_eq!(code, frame::code::MALFORMED),
+        other => panic!("expected a typed close, got {other:?}"),
+    }
+
+    // An oversized frame against a tightened payload bound.
+    drop(net);
+    let net = NetServer::start(Arc::clone(&server), NetConfig::default().with_max_frame_bytes(64)).expect("bind");
+    let mut client = NetClient::connect(net.local_addr(), b"").expect("connect");
+    let big = Tensor::random(4, 16, 16, 1);
+    client.submit(0, &big, Priority::Interactive, None).expect("write");
+    match client.recv_tag(1, WAIT) {
+        Err(ClientError::ServerClosed { code, message }) => {
+            assert_eq!(code, frame::code::MALFORMED);
+            assert!(message.contains("exceeds bound"), "{message}");
+        }
+        other => panic!("expected a typed close, got {other:?}"),
+    }
+
+    let stats = net.shutdown();
+    assert_eq!(stats.rejected_malformed, 1);
+    assert_eq!(stats.active_conns, 0);
+    finish_backend(server);
+}
+
+/// A connection that trickles half a frame and stops is evicted once the
+/// read timeout expires; a connection that goes silent with nothing in
+/// flight is evicted by the idle timeout.
+#[test]
+fn slow_loris_and_idle_connections_are_evicted() {
+    let (server, _, _) = start_backend(serve_config().with_workers(0));
+    let net = NetServer::start(
+        Arc::clone(&server),
+        NetConfig::default()
+            .with_read_timeout(Some(Duration::from_millis(100)))
+            .with_idle_timeout(Some(Duration::from_millis(200))),
+    )
+    .expect("bind");
+
+    // Slow loris: the magic prefix alone, then silence.
+    let mut loris = NetClient::connect(net.local_addr(), b"").expect("connect");
+    loris.send_raw(b"NPC").expect("write");
+    match loris.recv_tag(1, WAIT) {
+        Err(ClientError::Io(_)) | Err(ClientError::ServerClosed { .. }) => {}
+        other => panic!("expected eviction, got {other:?}"),
+    }
+
+    // Idle: connect and never speak.
+    let mut idle = NetClient::connect(net.local_addr(), b"").expect("connect");
+    match idle.recv_tag(1, WAIT) {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected idle eviction, got {other:?}"),
+    }
+
+    let stats = net.shutdown();
+    assert_eq!(stats.evicted_slow_loris, 1);
+    assert_eq!(stats.evicted_idle, 1);
+    assert_eq!(stats.active_conns, 0);
+    finish_backend(server);
+}
+
+/// Hanging up with requests in flight tombstones them: the reply slots
+/// resolve through the serving core's late-reply accounting, tenant
+/// quota slots come back, and nothing leaks.
+#[test]
+fn midflight_disconnect_tombstones_inflight_work() {
+    // Zero workers: admitted work can never complete, so the requests are
+    // guaranteed to still be in flight when the client vanishes.
+    let (server, _, _) = start_backend(serve_config().with_workers(0));
+    let net = NetServer::start(Arc::clone(&server), NetConfig::default()).expect("bind");
+
+    let mut client = NetClient::connect(net.local_addr(), b"").expect("connect");
+    for seed in 0..3 {
+        client
+            .submit(0, &Tensor::random(3, 10, 10, seed), Priority::Interactive, None)
+            .expect("submit");
+    }
+    // Give the reactor time to admit all three, then vanish.
+    let deadline = std::time::Instant::now() + WAIT;
+    while net.stats().admitted < 3 {
+        assert!(std::time::Instant::now() < deadline, "requests never admitted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    client.hangup();
+
+    let deadline = std::time::Instant::now() + WAIT;
+    while net.stats().midflight_disconnects < 1 {
+        assert!(std::time::Instant::now() < deadline, "disconnect never observed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = net.shutdown();
+    assert_eq!(stats.midflight_disconnects, 1);
+    assert_eq!(stats.tombstoned_inflight, 3);
+    assert_eq!(stats.active_conns, 0);
+    // The tombstoned requests surface as shutdown rejections in the core,
+    // not as leaked reply slots.
+    let serve_stats = finish_backend(server);
+    assert_eq!(serve_stats.rejected_shutdown, 3);
+}
+
+/// Tenant gates in order: unknown tokens are refused, the token bucket
+/// enforces the sustained rate, the in-flight quota caps concurrency —
+/// and every outcome lands in the serving core's per-tenant counters.
+#[test]
+fn tenant_auth_rate_and_quota_are_enforced() {
+    let (server, _, _) = start_backend(serve_config().with_workers(0));
+    let net = NetServer::start(
+        Arc::clone(&server),
+        NetConfig::default()
+            // Refills effectively never: the burst is the whole budget.
+            .with_tenant(TenantSpec::open("bursty", b"tok-bursty").with_rate(1e-6, 2))
+            .with_tenant(TenantSpec::open("narrow", b"tok-narrow").with_max_inflight(1)),
+    )
+    .expect("bind");
+    let ifm = Tensor::random(3, 10, 10, 5);
+
+    // Unknown token.
+    let mut stranger = NetClient::connect(net.local_addr(), b"who").expect("connect");
+    let reply = stranger.call(0, &ifm, Priority::Interactive, None, WAIT).expect("reply");
+    assert_eq!(reply.result.unwrap_err().0, frame::code::BAD_TOKEN);
+
+    // Rate: two fit the burst, the third finds the bucket empty.
+    let mut bursty = NetClient::connect(net.local_addr(), b"tok-bursty").expect("connect");
+    for _ in 0..2 {
+        bursty.submit(0, &ifm, Priority::Interactive, None).expect("submit");
+    }
+    let tag = bursty.submit(0, &ifm, Priority::Interactive, None).expect("submit");
+    let reply = bursty.recv_tag(tag, WAIT).expect("reply");
+    assert_eq!(reply.result.unwrap_err().0, frame::code::RATE_LIMITED);
+
+    // Quota: with zero workers the first request pins the only slot.
+    let mut narrow = NetClient::connect(net.local_addr(), b"tok-narrow").expect("connect");
+    narrow.submit(0, &ifm, Priority::Interactive, None).expect("submit");
+    let tag = narrow.submit(0, &ifm, Priority::Interactive, None).expect("submit");
+    let reply = narrow.recv_tag(tag, WAIT).expect("reply");
+    assert_eq!(reply.result.unwrap_err().0, frame::code::QUOTA);
+
+    let stats = net.shutdown();
+    assert_eq!(stats.rejected_bad_token, 1);
+    assert_eq!(stats.rejected_rate_limited, 1);
+    assert_eq!(stats.rejected_quota, 1);
+    assert_eq!(stats.active_conns, 0);
+
+    // The per-tenant story in the one StatsSnapshot.
+    let serve_stats = finish_backend(server);
+    let by_name = |n: &str| {
+        serve_stats
+            .tenants
+            .iter()
+            .find(|t| t.name == n)
+            .unwrap_or_else(|| panic!("tenant {n} missing from snapshot"))
+            .clone()
+    };
+    let bursty = by_name("bursty");
+    assert_eq!(bursty.admitted, 2);
+    assert_eq!(bursty.rate_limited, 1);
+    let narrow = by_name("narrow");
+    assert_eq!(narrow.admitted, 1);
+    assert_eq!(narrow.rejected, 1, "quota rejections count as rejected");
+}
+
+/// Accept pressure climbs the brownout ladder: at ≥75 % of the connection
+/// cap, best-effort requests shed with a typed BACKPRESSURE rejection
+/// while interactive requests still go through.
+#[test]
+fn backpressure_sheds_best_effort_before_interactive() {
+    let (server, layer, weights) = start_backend(serve_config());
+    let net = NetServer::start(Arc::clone(&server), NetConfig::default().with_max_conns(4)).expect("bind");
+
+    // Three of four slots: 75 % → ShedBestEffort.
+    let mut a = NetClient::connect(net.local_addr(), b"").expect("connect");
+    let mut _b = NetClient::connect(net.local_addr(), b"").expect("connect");
+    let mut _c = NetClient::connect(net.local_addr(), b"").expect("connect");
+    // Let the reactor accept all three before submitting.
+    let deadline = std::time::Instant::now() + WAIT;
+    while net.stats().accepted < 3 {
+        assert!(std::time::Instant::now() < deadline, "connections never accepted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let ifm = Tensor::random(3, 10, 10, 9);
+    let reply = a.call(0, &ifm, Priority::BestEffort, None, WAIT).expect("reply");
+    let (code, message) = reply.result.expect_err("best-effort is shed under accept pressure");
+    assert_eq!(code, frame::code::BACKPRESSURE);
+    assert!(message.contains("ShedBestEffort"), "{message}");
+
+    let golden = reference::run_layer(&layer, &ifm, &weights).expect("golden");
+    let reply = a.call(0, &ifm, Priority::Interactive, None, WAIT).expect("reply");
+    assert_eq!(
+        reply.result.expect("interactive admitted").tensor().expect("consistent"),
+        golden
+    );
+
+    let stats = net.shutdown();
+    assert_eq!(stats.rejected_backpressure, 1);
+    assert_eq!(stats.admitted, 1);
+    finish_backend(server);
+}
+
+/// Beyond the connection cap, a new socket gets a typed backpressure
+/// notice and an immediate close instead of a silent refusal.
+#[test]
+fn over_cap_connections_get_a_typed_notice() {
+    let (server, _, _) = start_backend(serve_config().with_workers(0));
+    let net = NetServer::start(Arc::clone(&server), NetConfig::default().with_max_conns(1)).expect("bind");
+
+    let _first = NetClient::connect(net.local_addr(), b"").expect("connect");
+    let deadline = std::time::Instant::now() + WAIT;
+    while net.stats().accepted < 1 {
+        assert!(std::time::Instant::now() < deadline, "first connection never accepted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut second = NetClient::connect(net.local_addr(), b"").expect("connect");
+    match second.recv_tag(1, WAIT) {
+        Err(ClientError::ServerClosed { code, .. }) => assert_eq!(code, frame::code::BACKPRESSURE),
+        other => panic!("expected a typed refusal, got {other:?}"),
+    }
+    let stats = net.shutdown();
+    assert_eq!(stats.rejected_conns, 1);
+    finish_backend(server);
+}
+
+/// Shutdown is a drain: work admitted before the shutdown keeps its
+/// reply, the client sees a Bye, and requests sent after the drain began
+/// get a typed DRAINING rejection.
+#[test]
+fn shutdown_drains_admitted_work() {
+    let (server, layer, weights) = start_backend(serve_config());
+    let net = NetServer::start(Arc::clone(&server), NetConfig::default()).expect("bind");
+    let addr = net.local_addr();
+
+    let mut client = NetClient::connect(addr, b"").expect("connect");
+    let ifm = Tensor::random(3, 10, 10, 42);
+    let golden = reference::run_layer(&layer, &ifm, &weights).expect("golden");
+    let tag = client.submit(0, &ifm, Priority::Interactive, None).expect("submit");
+    let deadline = std::time::Instant::now() + WAIT;
+    while net.stats().admitted < 1 {
+        assert!(std::time::Instant::now() < deadline, "request never admitted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Shut down while the reply is (possibly) still in flight; the drain
+    // must deliver it anyway.
+    let shutdown = std::thread::spawn(move || net.shutdown());
+    let reply = client.recv_tag(tag, WAIT).expect("drained reply");
+    assert_eq!(
+        reply.result.expect("admitted work completes").tensor().expect("consistent"),
+        golden
+    );
+
+    let stats = shutdown.join().expect("shutdown thread");
+    assert_eq!(stats.admitted, 1);
+    assert_eq!(stats.replies_tx, 1);
+    assert_eq!(stats.active_conns, 0, "drain leaves no connections behind");
+    finish_backend(server);
+}
