@@ -28,6 +28,13 @@
 //! connections (closed-loop, one in flight per connection), reporting the
 //! end-to-end wire inferences/sec and latency percentiles — the run
 //! record gains a `net` entry.
+//!
+//! `--journal` adds a crash-durability cost phase: the same keyed
+//! closed-loop workload with the admission journal off, on with batched
+//! fsync (the default `fsync_every = 8`) and on with a per-record fsync,
+//! plus a timed recovery replay of admits stranded by a simulated crash —
+//! the run record gains a `journal` entry (inferences/sec per mode, fsync
+//! counts, and the recovery-replay time).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -35,7 +42,8 @@ use std::time::{Duration, Instant};
 use npcgra::net::{NetClient, NetConfig, NetServer, NetStats};
 use npcgra::nn::{models, Tensor};
 use npcgra::serve::{
-    BackendTier, ModelId, Pipeline, PipelineStatsSnapshot, Priority, ServeConfig, ServeError, Server, StatsSnapshot, Ticket,
+    BackendTier, JournalConfig, ModelId, Pipeline, PipelineStatsSnapshot, Priority, ServeConfig, ServeError, Server,
+    StatsSnapshot, Ticket,
 };
 use npcgra::sim::CompiledModel;
 
@@ -59,6 +67,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     // survived real cross-checks.
     let cross_check_every: u64 = parse_or(&flags, "cross-check-every", 4)?;
     let net_mode = flags.has("net");
+    let journal_mode = flags.has("journal");
     let net_conns: usize = parse_or(&flags, "net-conns", 8)?;
     let which = flags.get("model").unwrap_or("mixed");
     let tiers: Vec<BackendTier> = match flags.get("tier").unwrap_or("cycle-accurate") {
@@ -122,6 +131,21 @@ pub fn run(args: &[String]) -> Result<(), String> {
         None
     };
 
+    // Journal-cost phase: the same workload keyed and journaled at both
+    // fsync policies, plus a timed recovery replay. Like `--net`, it runs
+    // once on the first selected tier — the point is the durability
+    // overhead, not another tier comparison.
+    let journal_result = if journal_mode {
+        let config = ServeConfig::for_spec(&spec)
+            .with_workers(workers)
+            .with_max_batch(max_batch)
+            .with_max_linger(std::time::Duration::from_micros(linger_us))
+            .with_backend_tier(tiers[0]);
+        Some(bench_journal(&config, &model_tables, clients, requests)?)
+    } else {
+        None
+    };
+
     if let [(_, cycle), (_, fast)] = &results[..] {
         if cycle.throughput_rps > 0.0 {
             println!(
@@ -142,6 +166,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             &results,
             &pipeline_results,
             net_result.as_ref(),
+            journal_result.as_ref(),
         );
         let merged = append_record(std::fs::read_to_string(&path).ok().as_deref(), &record);
         std::fs::write(&path, merged).map_err(|e| format!("writing {path}: {e}"))?;
@@ -368,6 +393,147 @@ fn drive_net(
     })
 }
 
+/// One journal-cost bench result: throughput with the journal off, on
+/// with batched fsync, and on with a per-record fsync, plus a timed
+/// recovery replay.
+struct JournalBench {
+    off_rps: f64,
+    batched_rps: f64,
+    per_record_rps: f64,
+    appends: u64,
+    fsyncs_batched: u64,
+    fsyncs_per_record: u64,
+    recovered: usize,
+    replay_ms: f64,
+}
+
+/// Register every DSC layer of each table, returning the endpoint ids.
+fn register_all(server: &Server, model_tables: &[models::Model]) -> Result<Vec<ModelId>, String> {
+    let mut endpoints = Vec::new();
+    for (mi, model) in model_tables.iter().enumerate() {
+        for layer in model.dsc_layers() {
+            let named = layer.renamed(&format!("{}.{}", model.name(), layer.name()));
+            let weights = named.random_weights(0xC0FFEE + mi as u64);
+            let id = server
+                .register(&format!("{}.{}", model.name(), layer.name()), named, weights)
+                .map_err(|e| format!("registering {}: {e}", layer.name()))?;
+            endpoints.push(id);
+        }
+    }
+    Ok(endpoints)
+}
+
+/// The closed-loop workload with every request carrying a unique
+/// idempotency key, so a journaled server writes one Admit + one Ack per
+/// request (keys never collide, nothing deduplicates — this measures the
+/// durability cost, not the dedup path).
+fn drive_keyed(server: &Server, endpoints: &[ModelId], clients: usize, requests: usize) {
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let per_client = requests / clients + usize::from(c < requests % clients);
+                for r in 0..per_client {
+                    let id = endpoints[r % endpoints.len()];
+                    let idem = ((c as u64) << 32) | (r as u64 + 1);
+                    loop {
+                        let input = input_for(server, id, (c * 1_000 + r) as u64);
+                        match server.submit_idem(id, input, None, Priority::Interactive, idem) {
+                            Ok(ticket) => {
+                                let _ = ticket.wait();
+                                break;
+                            }
+                            Err(ServeError::QueueFull { .. }) => {
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("submit failed: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Measure the journal's serving cost and recovery speed: the keyed
+/// workload off / batched-fsync / per-record-fsync, then `min(requests,
+/// 64)` admits stranded on a stalled core, hard-crashed, and timed
+/// through the next start's replay.
+fn bench_journal(
+    config: &ServeConfig,
+    model_tables: &[models::Model],
+    clients: usize,
+    requests: usize,
+) -> Result<JournalBench, String> {
+    let base = std::env::temp_dir().join(format!("npcgra-serve-bench-{}", std::process::id()));
+    let p_batched = base.with_extension("fsync8.journal");
+    let p_per_record = base.with_extension("fsync1.journal");
+    let p_recover = base.with_extension("recover.journal");
+    for p in [&p_batched, &p_per_record, &p_recover] {
+        let _ = std::fs::remove_file(p);
+    }
+    let run = |journal: Option<JournalConfig>| -> Result<(f64, StatsSnapshot), String> {
+        let server = match journal {
+            None => Server::start(*config),
+            Some(j) => {
+                Server::start_with_journal(*config, j)
+                    .map_err(|e| format!("journaled start: {e}"))?
+                    .0
+            }
+        };
+        let endpoints = register_all(&server, model_tables)?;
+        let start = Instant::now();
+        drive_keyed(&server, &endpoints, clients, requests);
+        let elapsed = start.elapsed();
+        let stats = server.shutdown();
+        Ok((stats.completed as f64 / elapsed.as_secs_f64(), stats))
+    };
+    let (off_rps, _) = run(None)?;
+    let (batched_rps, batched) = run(Some(JournalConfig::new(&p_batched)))?;
+    let (per_record_rps, per_record) = run(Some(JournalConfig::new(&p_per_record).with_fsync_every(1)))?;
+
+    // Recovery replay: strand keyed admits on a stalled (zero-worker)
+    // core, crash it, and time the next start's journal scan + replay.
+    let recovered_target = requests.min(64);
+    {
+        let (server, _) =
+            Server::start_with_journal((*config).with_workers(0), JournalConfig::new(&p_recover).with_fsync_every(1))
+                .map_err(|e| format!("recovery setup: {e}"))?;
+        let endpoints = register_all(&server, model_tables)?;
+        for r in 0..recovered_target {
+            let id = endpoints[r % endpoints.len()];
+            let input = input_for(&server, id, r as u64);
+            let _ = server
+                .submit_idem(id, input, None, Priority::Interactive, r as u64 + 1)
+                .map_err(|e| format!("recovery submit: {e}"))?;
+        }
+        let _ = server.hard_crash(0);
+    }
+    let (server, report) =
+        Server::start_with_journal(*config, JournalConfig::new(&p_recover)).map_err(|e| format!("recovery start: {e}"))?;
+    let recovered = report.replayed;
+    let replay_ms = report.elapsed.as_secs_f64() * 1e3;
+    let _ = server.shutdown();
+    for p in [&p_batched, &p_per_record, &p_recover] {
+        let _ = std::fs::remove_file(p);
+    }
+    println!(
+        "serve-bench [journal]: off {off_rps:.1} inf/s, batched fsync {batched_rps:.1} inf/s, per-record fsync \
+         {per_record_rps:.1} inf/s; {} append(s) at {} vs {} fsync(s); recovery replayed {recovered} admit(s) in \
+         {replay_ms:.2}ms",
+        batched.journal_appends, batched.journal_fsyncs, per_record.journal_fsyncs,
+    );
+    Ok(JournalBench {
+        off_rps,
+        batched_rps,
+        per_record_rps,
+        appends: batched.journal_appends,
+        fsyncs_batched: batched.journal_fsyncs,
+        fsyncs_per_record: per_record.journal_fsyncs,
+        recovered,
+        replay_ms,
+    })
+}
+
 /// Run the closed-loop workload against one freshly started server and
 /// return its final statistics.
 fn drive_workload(
@@ -439,6 +605,7 @@ fn drive_workload(
 /// Hand-rendered benchmark record (the workspace carries no JSON
 /// dependency): one entry per tier driven, plus the speedup when both ran
 /// and one `pipeline` entry per whole-model pipelined bench.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     spec: &npcgra::CgraSpec,
     workers: usize,
@@ -447,6 +614,7 @@ fn render_json(
     results: &[(BackendTier, StatsSnapshot)],
     pipeline_results: &[PipelineBench],
     net_result: Option<&NetBench>,
+    journal_result: Option<&JournalBench>,
 ) -> String {
     let tiers: Vec<String> = results
         .iter()
@@ -543,6 +711,34 @@ fn render_json(
             b.stats.bytes_tx,
         )
     });
+    let journal = journal_result.map_or(String::new(), |b| {
+        format!(
+            concat!(
+                ",\n  \"journal\": {{\n",
+                "    \"inferences_per_sec_off\": {:.3},\n",
+                "    \"inferences_per_sec_batched_fsync\": {:.3},\n",
+                "    \"inferences_per_sec_per_record_fsync\": {:.3},\n",
+                "    \"batched_over_off\": {:.4},\n",
+                "    \"per_record_over_off\": {:.4},\n",
+                "    \"appends\": {},\n",
+                "    \"fsyncs_batched\": {},\n",
+                "    \"fsyncs_per_record\": {},\n",
+                "    \"recovered_admits\": {},\n",
+                "    \"recovery_replay_ms\": {:.4}\n",
+                "  }}"
+            ),
+            b.off_rps,
+            b.batched_rps,
+            b.per_record_rps,
+            if b.off_rps > 0.0 { b.batched_rps / b.off_rps } else { 0.0 },
+            if b.off_rps > 0.0 { b.per_record_rps / b.off_rps } else { 0.0 },
+            b.appends,
+            b.fsyncs_batched,
+            b.fsyncs_per_record,
+            b.recovered,
+            b.replay_ms,
+        )
+    });
     let timestamp_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -555,7 +751,7 @@ fn render_json(
             "  \"workers\": {},\n",
             "  \"clients\": {},\n",
             "  \"requests_per_tier\": {},\n",
-            "  \"tiers\": [\n{}\n  ]{}{}{}\n",
+            "  \"tiers\": [\n{}\n  ]{}{}{}{}\n",
             "}}\n"
         ),
         timestamp_unix,
@@ -568,6 +764,7 @@ fn render_json(
         speedup,
         pipeline,
         net,
+        journal,
     )
 }
 

@@ -6,12 +6,13 @@
 //! npcgra trace      --kind dw --channels 2 --size 8x8 [--machine 2x2] [--cycles 40]
 //! npcgra energy     --kind dw --channels 8 --size 24x24 [--mapping auto|matmul|batched]
 //! npcgra disasm     --kind dw --channels 1 --size 8x8 [--machine 2x2] [--relu]
-//! npcgra serve-bench [--workers 4] [--clients 8] [--requests 160] [--max-batch 4] [--model v1|v2|mixed] [--net]
+//! npcgra serve-bench [--workers 4] [--clients 8] [--requests 160] [--max-batch 4] [--model v1|v2|mixed] [--net] [--journal]
 //! npcgra chaos-bench [--workers 4] [--clients 8] [--seconds 5] [--fault-rate 1e-4] [--panic-worker 0] [--assert-detection]
 //! npcgra chaos-bench --gray [--gray-rate 0.02] [--watchdog-slack 4] [--cycle-budget 8] [--assert-liveness]
 //! npcgra chaos-bench --overload [--overload-factor 2] [--slo-ms 250] [--assert-slo]
 //! npcgra chaos-bench --pipeline [--stages 4] [--spares 1] [--checkpoint-every 1] [--assert-liveness]
 //! npcgra chaos-bench --net [--conns 560] [--healthy-conns 64] [--hostile 8] [--assert-slo]
+//! npcgra chaos-bench --crash [--lives 3] [--keys-per-driver 16] [--assert-durability]
 //! npcgra serve-net   [--addr 127.0.0.1:0] [--model v1|v2|mixed] [--tenants name:token:rate:burst:quota,...] [--seconds 0]
 //! ```
 
@@ -97,7 +98,16 @@ commands:
               are bit-exact with in-process submits (--assert-slo fails
               the run unless every healthy request resolves bit-exact
               within the SLO, every attacker class was caught, and no
-              connection leaks)
+              connection leaks); with --crash, keyed traffic is driven
+              through the socket front-end while the journaled serving
+              core is hard-killed across several process lives — clients
+              reconnect and resume unacknowledged keys, recovery replays
+              the admission journal, and a journal-off control phase
+              first proves the journal is inert when disabled
+              (--assert-durability fails the run unless every key lands
+              bit-exact exactly once, replay and resume both fired,
+              recovery stays under --recovery-bound-ms, and a dedup
+              probe redelivers a remembered reply without re-executing)
 
 common flags:
   --machine RxC       array size (default 8x8, the Table 4 machine)
@@ -115,6 +125,10 @@ common flags:
   --net, --net-conns N
                       serve-bench: also measure wire-path throughput over
                       N loopback connections (appends a \"net\" record)
+  --journal           serve-bench: also measure admission-journal cost
+                      (journal off vs batched vs per-record fsync) and
+                      crash-recovery replay time (appends a \"journal\"
+                      record)
   --seconds S, --fault-rate P, --fault-seed N, --panic-worker W,
   --wait-ms N         chaos-bench fault-injection knobs
   --assert-detection, --canary-every N
@@ -129,6 +143,9 @@ common flags:
                       chaos-bench whole-model pipeline failover soak knobs
   --net, --conns N, --healthy-conns N, --hostile N, --drivers N,
   --chaos-seed N      chaos-bench socket front-end soak knobs
+  --crash, --lives N, --keys-per-driver N, --crash-seed N, --journal P,
+  --recovery-bound-ms N, --assert-durability
+                      chaos-bench crash-durability soak knobs
   --addr A, --tenants LIST, --max-conns N, --read-timeout-ms N,
   --write-timeout-ms N, --idle-timeout-ms N, --backlog-limit N,
   --seconds S         serve-net front-end knobs

@@ -13,7 +13,7 @@ use std::io::{self, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-use npcgra_nn::Tensor;
+use npcgra_nn::{Tensor, Word};
 use npcgra_serve::Priority;
 
 use crate::chaos::{ChaosAction, NetChaos};
@@ -59,6 +59,19 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// A keyed request remembered until its reply lands, so a
+/// [`reconnect`](NetClient::reconnect) can re-send it verbatim — same
+/// tag, same idempotency key — and the journaled server collapses the
+/// retry into the original execution.
+struct Resumable {
+    idem: u64,
+    model: u32,
+    class: Priority,
+    deadline: Option<Duration>,
+    shape: (u16, u16, u16),
+    words: Vec<Word>,
+}
+
 /// One blocking connection to a front-end.
 pub struct NetClient {
     stream: TcpStream,
@@ -68,6 +81,8 @@ pub struct NetClient {
     chaos: Option<NetChaos>,
     /// Replies that arrived while waiting for a different tag.
     pending: HashMap<u64, WireReply>,
+    /// Keyed requests still owed a reply, by tag (resume set).
+    inflight: HashMap<u64, Resumable>,
     /// Chaos `StallRead`: don't read the socket before this instant.
     read_gate: Option<Instant>,
     /// A chaos reset hard-closed the stream; all further calls fail.
@@ -90,6 +105,7 @@ impl NetClient {
             next_tag: 1,
             chaos: None,
             pending: HashMap::new(),
+            inflight: HashMap::new(),
             read_gate: None,
             dead: false,
         })
@@ -111,20 +127,99 @@ impl NetClient {
     ///
     /// Socket errors; a chaos reset surfaces as `ConnectionReset`.
     pub fn submit(&mut self, model: u32, input: &Tensor, class: Priority, deadline: Option<Duration>) -> io::Result<u64> {
+        self.submit_idem(model, input, class, deadline, 0)
+    }
+
+    /// Submit one request under a client idempotency key (0 = none).
+    ///
+    /// A non-zero key does two things: the journaled server collapses any
+    /// retry of the key into one execution, and this client remembers the
+    /// request until its reply lands so [`reconnect`](Self::reconnect)
+    /// can re-send it — same tag, same key — after a connection or server
+    /// loss.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; a chaos reset surfaces as `ConnectionReset`.
+    pub fn submit_idem(
+        &mut self,
+        model: u32,
+        input: &Tensor,
+        class: Priority,
+        deadline: Option<Duration>,
+        idem: u64,
+    ) -> io::Result<u64> {
         let tag = self.next_tag;
         self.next_tag += 1;
         let (c, h, w) = input.shape();
+        let shape = (c as u16, h as u16, w as u16);
+        let words = input.as_slice().to_vec();
+        if idem != 0 {
+            self.inflight.insert(
+                tag,
+                Resumable {
+                    idem,
+                    model,
+                    class,
+                    deadline,
+                    shape,
+                    words: words.clone(),
+                },
+            );
+        }
         let frame = WireFrame::Request(WireRequest {
             tag,
+            idem,
             token: self.token.clone(),
             class: class.index() as u8,
             deadline_ms: deadline.map_or(0, |d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX)),
             model,
-            shape: (c as u16, h as u16, w as u16),
-            words: input.as_slice().to_vec(),
+            shape,
+            words,
         });
         self.send_frame(&frame)?;
         Ok(tag)
+    }
+
+    /// Replace the dead stream with a fresh connection and re-send every
+    /// keyed request still owed a reply — same tag, same idempotency key,
+    /// so the journaled server deduplicates, parks, or re-admits each one
+    /// without double-executing. Parked replies for other tags survive;
+    /// the decoder and chaos read-gate reset with the stream. Returns how
+    /// many requests were resumed.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from connect/configure/re-send. On a re-send error
+    /// the remaining requests stay in the resume set for the next try.
+    pub fn reconnect(&mut self, addr: SocketAddr) -> io::Result<usize> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        self.decoder = FrameDecoder::new(1 << 24);
+        self.read_gate = None;
+        self.dead = false;
+        let mut tags: Vec<u64> = self.inflight.keys().copied().collect();
+        tags.sort_unstable();
+        for tag in &tags {
+            let r = &self.inflight[tag];
+            let frame = WireFrame::Request(WireRequest {
+                tag: *tag,
+                idem: r.idem,
+                token: self.token.clone(),
+                class: r.class.index() as u8,
+                deadline_ms: r.deadline.map_or(0, |d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX)),
+                model: r.model,
+                shape: r.shape,
+                words: r.words.clone(),
+            });
+            let mut bytes = Vec::new();
+            encode_frame(&frame, &mut bytes);
+            // Resume writes bypass chaos: the injector models a hostile
+            // first attempt, and a mangled resume would just loop forever.
+            self.stream.write_all(&bytes)?;
+        }
+        Ok(tags.len())
     }
 
     /// Encode and write one frame, applying chaos if attached.
@@ -220,12 +315,16 @@ impl NetClient {
     /// the socket/wire/server failure.
     pub fn recv_tag(&mut self, tag: u64, timeout: Duration) -> Result<WireReply, ClientError> {
         if let Some(r) = self.pending.remove(&tag) {
+            self.inflight.remove(&tag);
             return Ok(r);
         }
         let deadline = Instant::now() + timeout;
         loop {
             match self.recv_frame_until(deadline)? {
                 WireFrame::Reply(r) => {
+                    // The reply settles the tag: it leaves the resume set
+                    // whether redeemed now or parked for later.
+                    self.inflight.remove(&r.tag);
                     if r.tag == tag {
                         return Ok(r);
                     }

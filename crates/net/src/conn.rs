@@ -353,7 +353,10 @@ impl Conn {
         };
         let deadline = (rq.deadline_ms > 0).then(|| Duration::from_millis(u64::from(rq.deadline_ms)));
         let model = npcgra_serve::ModelId::from_index(rq.model as usize);
-        match ctx.server.submit_with_priority(model, input, deadline, class) {
+        // The idempotency key rides through verbatim: on a journaled
+        // server a retried key is deduplicated or parked on the in-flight
+        // owner; on a journal-less server it is ignored entirely.
+        match ctx.server.submit_idem(model, input, deadline, class, rq.idem) {
             Ok(ticket) => {
                 if let Some(t) = tenant {
                     ctx.tenants.stats(t).note_admitted();

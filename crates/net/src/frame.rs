@@ -27,8 +27,9 @@
 //! Payload grammars (all integers little-endian):
 //!
 //! ```text
-//! Request: tag u64 | token u8-len + bytes | class u8 | deadline_ms u32
-//!        | model u32 | c u16 | h u16 | w u16 | c*h*w words (i16)
+//! Request: tag u64 | idem u64 | token u8-len + bytes | class u8
+//!        | deadline_ms u32 | model u32 | c u16 | h u16 | w u16
+//!        | c*h*w words (i16)
 //! Reply:   tag u64 | request_id u64 | status u8
 //!          status 0: batch u16 | worker u16 | latency_us u64
 //!                  | c u16 | h u16 | w u16 | c*h*w words (i16)
@@ -108,6 +109,11 @@ pub enum WireFrame {
 pub struct WireRequest {
     /// Client-chosen correlation tag, echoed verbatim in the reply.
     pub tag: u64,
+    /// Client idempotency key; 0 = none. A journaled server collapses
+    /// retries carrying the same non-zero key into one execution and
+    /// redelivers the remembered reply bit-exactly (see
+    /// [`npcgra_serve::journal`]).
+    pub idem: u64,
     /// Tenant authentication token (opaque bytes, ≤ 255).
     pub token: Vec<u8>,
     /// Priority class: 0 Interactive, 1 Batch, 2 BestEffort.
@@ -295,6 +301,7 @@ pub fn encode_frame(frame: &WireFrame, out: &mut Vec<u8>) {
                 "request word count disagrees with shape"
             );
             put_u64(&mut payload, rq.tag);
+            put_u64(&mut payload, rq.idem);
             payload.push(rq.token.len() as u8);
             payload.extend_from_slice(&rq.token);
             payload.push(rq.class);
@@ -423,6 +430,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<WireFrame, WireError> {
     let frame = match kind {
         KIND_REQUEST => {
             let tag = r.u64("request tag")?;
+            let idem = r.u64("idempotency key")?;
             let token_len = r.u8("token length")? as usize;
             let token = r.take(token_len, "token body")?.to_vec();
             let class = r.u8("priority class")?;
@@ -440,6 +448,7 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<WireFrame, WireError> {
             let words = r.words(count, "input words")?;
             WireFrame::Request(WireRequest {
                 tag,
+                idem,
                 token,
                 class,
                 deadline_ms,
@@ -627,6 +636,7 @@ mod tests {
     fn sample_request() -> WireFrame {
         WireFrame::Request(WireRequest {
             tag: 7,
+            idem: 0xFEED,
             token: b"tenant-a".to_vec(),
             class: 1,
             deadline_ms: 250,
@@ -756,6 +766,7 @@ mod tests {
         // A request whose declared shape implies more words than carried.
         let rq = WireRequest {
             tag: 1,
+            idem: 0,
             token: vec![],
             class: 0,
             deadline_ms: 0,
@@ -767,7 +778,7 @@ mod tests {
         encode_frame(&WireFrame::Request(rq), &mut bytes);
         // Grow the declared width without adding words; refresh checksum so
         // only the grammar check can object.
-        let w_off = HEADER_LEN + 8 + 1 + 1 + 4 + 4 + 4;
+        let w_off = HEADER_LEN + 8 + 8 + 1 + 1 + 4 + 4 + 4;
         bytes[w_off..w_off + 2].copy_from_slice(&4u16.to_le_bytes());
         let payload = bytes[HEADER_LEN..].to_vec();
         let check = fnv1a_update(fnv1a(&bytes[..9]), &payload);

@@ -58,6 +58,11 @@ pub(crate) fn run(
         let draining = shared.shutdown.load(Ordering::Acquire);
         if draining && draining_since.is_none() {
             draining_since = Some(now);
+            // Flush-and-fsync the admission journal before any Bye goes
+            // out: every admit whose ticket a client holds is durable by
+            // the time it learns the server is leaving, so a clean drain
+            // is always a zero-replay restart.
+            server.flush_journal();
             for c in &mut conns {
                 c.begin_drain();
             }

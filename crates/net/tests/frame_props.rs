@@ -11,16 +11,22 @@ use proptest::prelude::*;
 /// shape·len agreement holds by construction).
 fn arb_request() -> impl Strategy<Value = WireFrame> {
     (
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..32), 0u8..3),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..32),
+            0u8..3,
+        ),
         (any::<u32>(), any::<u32>()),
         (1u16..5, 1u16..6, 1u16..6),
         any::<i16>(),
     )
-        .prop_map(|((tag, token, class), (deadline_ms, model), (c, h, w), seed)| {
+        .prop_map(|((tag, idem, token, class), (deadline_ms, model), (c, h, w), seed)| {
             let n = c as usize * h as usize * w as usize;
             let words = (0..n).map(|i| seed.wrapping_add(i as i16)).collect();
             WireFrame::Request(WireRequest {
                 tag,
+                idem,
                 token,
                 class,
                 deadline_ms,

@@ -1,0 +1,95 @@
+//! Reconnect-with-resume over a journaled serving core: keyed requests
+//! that lost their connection (and their server) to a hard crash are
+//! re-sent by [`NetClient::reconnect`] with the same tag and idempotency
+//! key, the recovered server re-executes each exactly once, and the
+//! replies land bit-exact — redeemable out of order through the client's
+//! parked-reply table.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use npcgra_net::{NetClient, NetConfig, NetServer};
+use npcgra_nn::{reference, ConvLayer, Tensor};
+use npcgra_serve::{JournalConfig, Priority, ServeConfig, Server};
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("npcgra-jrnl-{}-{}.log", tag, std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(path.with_extension("log.compact"));
+    path
+}
+
+#[test]
+fn reconnect_resumes_keyed_requests_across_a_server_crash() {
+    let jpath = temp_journal("net-resume");
+    let layer = ConvLayer::depthwise("dw", 2, 8, 8, 3, 1, 1);
+    let weights = layer.random_weights(7);
+    let inputs: Vec<Tensor> = (0..2).map(|i| Tensor::random(2, 8, 8, 40 + i)).collect();
+    let goldens: Vec<Tensor> = inputs
+        .iter()
+        .map(|ifm| reference::run_layer(&layer, ifm, &weights).unwrap())
+        .collect();
+
+    // First life: zero workers, so keyed submits admit durably (fsync per
+    // record) but never complete — the crash lands mid-flight by
+    // construction, exactly the window the journal exists for.
+    let jcfg = JournalConfig::new(&jpath).with_fsync_every(1);
+    let (server, _) = Server::start_with_journal(ServeConfig::default().with_workers(0), jcfg).unwrap();
+    server.register("dw", layer.clone(), weights.clone()).unwrap();
+    server.replay_recovered().unwrap();
+    let server = Arc::new(server);
+    let net = NetServer::start(
+        Arc::clone(&server),
+        NetConfig::default().with_drain_timeout(Duration::from_millis(50)),
+    )
+    .unwrap();
+    let mut client = NetClient::connect(net.local_addr(), b"").unwrap();
+    let tag0 = client
+        .submit_idem(0, &inputs[0], Priority::Interactive, None, 0x5EED_0001)
+        .unwrap();
+    let tag1 = client
+        .submit_idem(0, &inputs[1], Priority::Interactive, None, 0x5EED_0002)
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().submitted < 2 {
+        assert!(Instant::now() < deadline, "keyed submits never reached admission");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let _ = net.shutdown();
+    let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("front-end still holds the core"));
+    let _ = server.hard_crash(0);
+
+    // Second life: recover the journal, re-enqueue the two admitted
+    // requests, and serve from a fresh port. The client re-sends both
+    // keyed requests verbatim; the reservations left by replay collapse
+    // the retries onto the recovered executions.
+    let (server, report) =
+        Server::start_with_journal(ServeConfig::default().with_workers(1), JournalConfig::new(&jpath)).unwrap();
+    assert_eq!(report.replayed, 2, "both admitted requests must survive the crash");
+    server.register("dw", layer, weights).unwrap();
+    assert_eq!(server.replay_recovered().unwrap(), 2);
+    let server = Arc::new(server);
+    let net = NetServer::start(Arc::clone(&server), NetConfig::default()).unwrap();
+    assert_eq!(
+        client.reconnect(net.local_addr()).unwrap(),
+        2,
+        "every unreplied keyed request must resume"
+    );
+    // Redeem out of order: waiting on the second tag first parks the
+    // first reply, which must stay redeemable afterwards.
+    let r1 = client.recv_tag(tag1, Duration::from_secs(30)).unwrap();
+    assert_eq!(
+        r1.result.expect("resumed request must succeed").tensor().unwrap(),
+        goldens[1],
+        "recovered execution diverged"
+    );
+    let r0 = client.recv_tag(tag0, Duration::from_secs(30)).unwrap();
+    assert_eq!(r0.result.expect("parked reply must redeem").tensor().unwrap(), goldens[0]);
+    let _ = net.shutdown();
+    let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("front-end still holds the core"));
+    let stats = server.shutdown();
+    assert_eq!(stats.duplicate_executions, 0, "exactly-once violated");
+    assert_eq!(stats.completed, 2, "each key executes exactly once across both lives");
+    let _ = std::fs::remove_file(&jpath);
+}

@@ -90,6 +90,15 @@ pub enum ServeError {
         /// The shed request's priority class.
         class: Priority,
     },
+    /// The crash-durability admission journal could not be recovered at
+    /// startup (bad magic, or I/O failure while reading or compacting).
+    /// Only [`Server::start_with_journal`](crate::Server::start_with_journal)
+    /// surfaces this; a running server degrades to counting
+    /// `journal_errors` rather than failing requests.
+    Journal {
+        /// What the journal layer reported.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -119,6 +128,7 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded { level, class } => {
                 write!(f, "overloaded (brownout {level}): {class} request shed at admission")
             }
+            ServeError::Journal { message } => write!(f, "admission journal failed: {message}"),
         }
     }
 }
@@ -211,7 +221,8 @@ impl RetryClass {
             | ServeError::ReplyTimeout { .. }
             | ServeError::Quarantined { .. }
             | ServeError::Degraded { .. }
-            | ServeError::Overloaded { .. } => RetryClass::Final,
+            | ServeError::Overloaded { .. }
+            | ServeError::Journal { .. } => RetryClass::Final,
         }
     }
 }
@@ -372,6 +383,12 @@ mod tests {
                 },
                 RetryClass::Final,
             ),
+            (
+                ServeError::Journal {
+                    message: "bad magic".into(),
+                },
+                RetryClass::Final,
+            ),
         ];
         for (e, want) in &every {
             assert_eq!(RetryClass::of(e), *want, "{e}");
@@ -398,10 +415,11 @@ mod tests {
                 | ServeError::ReplyTimeout { .. }
                 | ServeError::Quarantined { .. }
                 | ServeError::Degraded { .. }
-                | ServeError::Overloaded { .. } => {}
+                | ServeError::Overloaded { .. }
+                | ServeError::Journal { .. } => {}
             }
         }
-        assert_eq!(every.len(), 14, "one row per ServeError variant");
+        assert_eq!(every.len(), 15, "one row per ServeError variant");
     }
 
     #[test]

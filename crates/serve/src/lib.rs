@@ -85,6 +85,7 @@ pub(crate) mod batch;
 pub mod cache;
 pub mod config;
 pub mod error;
+pub mod journal;
 pub mod overload;
 pub mod pipeline;
 pub(crate) mod retry;
@@ -96,6 +97,7 @@ pub(crate) mod watchdog;
 pub use cache::ProgramCache;
 pub use config::{ChaosConfig, CrossCheckCorruption, OverloadConfig, PipelineConfig, ServeConfig, StageFault};
 pub use error::{ForRequest, RetryClass, ServeError};
+pub use journal::{JournalConfig, RecoveryReport};
 pub use npcgra_sim::{BackendTier, IntegrityMode};
 pub use overload::{BreakerState, BrownoutLevel, Priority};
 pub use pipeline::{Pipeline, PipelineStatsSnapshot};

@@ -24,7 +24,7 @@ use npcgra_nn::{ConvLayer, Tensor};
 use std::sync::Arc;
 
 use crate::error::{RetryClass, ServeError};
-use crate::server::{send_reply, Delivery, ModelId, Pending, Response, Shared};
+use crate::server::{settle, Delivery, ModelId, Pending, Response, Shared};
 use crate::supervisor::{read_models, requeue_or_fail, Shard};
 
 /// What [`process`] did with its batch — the circuit breaker's sample.
@@ -54,7 +54,7 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
     let mut live = Vec::with_capacity(pendings.len());
     for p in pendings {
         if p.deadline.is_some_and(|d| d < now) {
-            if send_reply(&shared.stats, &p.reply, Err(ServeError::DeadlineExceeded)) != Delivery::Duplicate {
+            if settle(shared, p.idem_key, &p.reply, Err(ServeError::DeadlineExceeded)) != Delivery::Duplicate {
                 shared.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
             }
         } else {
@@ -109,8 +109,9 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                 let done = Instant::now();
                 for (p, output) in group.into_iter().zip(outputs) {
                     let latency = done.duration_since(p.enqueued);
-                    let delivery = send_reply(
-                        &shared.stats,
+                    let delivery = settle(
+                        shared,
+                        p.idem_key,
                         &p.reply,
                         Ok(Response {
                             output,
@@ -148,7 +149,7 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                 }
                 if RetryClass::of(&e) == RetryClass::Final {
                     for p in group {
-                        if send_reply(&shared.stats, &p.reply, Err(e.clone())) != Delivery::Duplicate {
+                        if settle(shared, p.idem_key, &p.reply, Err(e.clone())) != Delivery::Duplicate {
                             shared.stats.failed.fetch_add(1, Ordering::Release);
                         }
                     }
@@ -161,8 +162,9 @@ pub(crate) fn process(shared: &Shared, shard: &mut Shard, model: ModelId, pendin
                     work.push_front((group, generation + 1));
                 } else if group[0].attempts > shared.config.max_retries {
                     let p = group.pop().expect("solo group");
-                    let delivery = send_reply(
-                        &shared.stats,
+                    let delivery = settle(
+                        shared,
+                        p.idem_key,
                         &p.reply,
                         Err(ServeError::Quarantined {
                             attempts: p.attempts,

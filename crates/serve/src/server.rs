@@ -16,9 +16,9 @@
 //! through the bisecting retry policy ([`crate::retry`]) that isolates
 //! poison requests so their batch-mates still complete.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -28,6 +28,7 @@ use npcgra_sim::{LayerReport, MappingKind};
 use crate::cache::ProgramCache;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
+use crate::journal::{self, DedupEntry, DedupTable, JournalConfig, JournalWriter, Record, RecoveredAdmit, RecoveryReport};
 use crate::overload::{BrownoutLevel, LevelChange, OverloadController, Priority, WfqScheduler, CLASSES};
 use crate::stats::{Stats, StatsSnapshot, WorkerExit};
 use crate::supervisor;
@@ -309,6 +310,10 @@ pub(crate) struct Pending {
     pub(crate) integrity_hit: bool,
     /// Admission priority class; decides shed order and dequeue weight.
     pub(crate) class: Priority,
+    /// Client-supplied idempotency key (`0` = none); rides to the terminal
+    /// outcome so [`settle`] can acknowledge the journal and fan the result
+    /// out to deduplicated waiters.
+    pub(crate) idem_key: u64,
 }
 
 impl Pending {
@@ -324,6 +329,7 @@ impl Pending {
             attempts: self.attempts,
             integrity_hit: self.integrity_hit,
             class: self.class,
+            idem_key: self.idem_key,
         }
     }
 }
@@ -448,6 +454,191 @@ impl QueueState {
     }
 }
 
+/// An in-flight reservation for one idempotency key: exactly one execution
+/// owns the key; later submits with the same key park a [`ReplySender`]
+/// here and share the owner's terminal outcome instead of executing again.
+struct Reservation {
+    /// The owning admission's request id (`0` while the reservation is
+    /// provisional — taken before admission commits).
+    request_id: u64,
+    /// Reply slots of deduplicated duplicate submits, fanned out at ack.
+    waiters: Vec<ReplySender>,
+}
+
+/// Runtime state behind an enabled admission journal. One mutex covers the
+/// writer, the dedup table and the reservations so the dedup-check /
+/// reserve / acknowledge transitions are atomic; lock order is always
+/// queue-then-journal (ack sites take only the journal lock), so the pair
+/// cannot deadlock.
+struct JournalRuntime {
+    writer: JournalWriter,
+    dedup: DedupTable,
+    reserved: HashMap<u64, Reservation>,
+    /// Recovered admitted-but-unacknowledged work, parked here by
+    /// [`Server::start_with_journal`] until the models are registered again
+    /// and [`Server::replay_recovered`] re-enqueues it.
+    stash: Vec<RecoveredAdmit>,
+}
+
+pub(crate) struct JournalState {
+    inner: Mutex<JournalRuntime>,
+}
+
+impl JournalState {
+    fn lock(&self) -> MutexGuard<'_, JournalRuntime> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mirror the writer's monotone durability counters into the stats.
+    fn sync_counters(stats: &Stats, writer: &JournalWriter) {
+        stats.journal_appends.store(writer.appends, Ordering::Relaxed);
+        stats.journal_fsyncs.store(writer.fsyncs, Ordering::Relaxed);
+        stats.journal_bytes.store(writer.synced_len(), Ordering::Relaxed);
+    }
+
+    /// Record a terminal outcome: append the Ack record, remember a
+    /// success for redelivery, release the key's reservation and fan the
+    /// outcome out to any deduplicated waiters. Called for every delivery
+    /// except a hedge race's losing reply (the winner already settled).
+    fn acknowledge(&self, stats: &Stats, idem_key: u64, request_id: u64, result: &Result<Response, ServeError>) {
+        let mut jr = self.lock();
+        let outcome = result.as_ref().ok().map(|resp| {
+            let (c, h, w) = resp.output.shape();
+            ((clamp_u16(c), clamp_u16(h), clamp_u16(w)), resp.output.as_slice().to_vec())
+        });
+        if idem_key != 0 {
+            if let Some((shape, words)) = &outcome {
+                let fresh = jr.dedup.insert(
+                    idem_key,
+                    DedupEntry {
+                        request_id,
+                        shape: *shape,
+                        words: words.clone(),
+                    },
+                );
+                if !fresh {
+                    // Two executions completed the same key: the exactly-
+                    // once machinery failed somewhere. Counted, gated on in
+                    // the crash soak.
+                    stats.duplicate_executions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if jr
+            .writer
+            .append(&Record::Ack {
+                request_id,
+                idem_key,
+                outcome,
+            })
+            .is_err()
+        {
+            stats.journal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Self::sync_counters(stats, &jr.writer);
+        let waiters = if idem_key != 0 {
+            jr.reserved.remove(&idem_key).map(|r| r.waiters).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        drop(jr);
+        for waiter in waiters {
+            stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            let _ = waiter.send(result.clone());
+        }
+    }
+
+    /// Roll a provisional reservation back after a failed admission,
+    /// failing any waiters that parked on it in the window.
+    fn abort_reservation(&self, idem_key: u64, error: &ServeError) {
+        let waiters = self.lock().reserved.remove(&idem_key).map(|r| r.waiters).unwrap_or_default();
+        for waiter in waiters {
+            let _ = waiter.send(Err(error.clone()));
+        }
+    }
+}
+
+fn clamp_u16(v: usize) -> u16 {
+    u16::try_from(v).unwrap_or(u16::MAX)
+}
+
+/// A recovery resubmit supersedes the admit record it was replayed from:
+/// append an outcome-less Ack for the old request id so it stops
+/// replaying. No-op for ordinary submits (`supersedes == 0`).
+fn append_superseding_ack(stats: &Stats, jr: &mut JournalRuntime, idem_key: u64, supersedes: u64) {
+    if supersedes == 0 {
+        return;
+    }
+    if jr
+        .writer
+        .append(&Record::Ack {
+            request_id: supersedes,
+            idem_key,
+            outcome: None,
+        })
+        .is_err()
+    {
+        stats.journal_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    JournalState::sync_counters(stats, &jr.writer);
+}
+
+/// Build the redelivered reply for a dedup hit: the remembered output
+/// words, bit-exact, under a synthetic zero-cost report (no simulator ran).
+/// The response carries the *original* execution's request id — the trace
+/// key linking the redelivery back to the run that produced the bits.
+fn redelivery_response(entry: &DedupEntry) -> Response {
+    Response {
+        output: entry.tensor(),
+        report: LayerReport {
+            name: "journal-redelivery".to_string(),
+            cycles: 0,
+            compute_cycles: 0,
+            dma_cycles: 0,
+            macs: 0,
+            pes: 0,
+            clock_hz: 1.0,
+            host_seconds: 0.0,
+            integrity_checked: 0,
+            integrity_failed: 0,
+            integrity_recovered: 0,
+        },
+        batch_size: 0,
+        worker: 0,
+        latency: Duration::ZERO,
+        request_id: entry.request_id,
+    }
+}
+
+/// Flush and fsync any buffered journal records; a no-op without one.
+pub(crate) fn flush_journal_shared(shared: &Shared) {
+    if let Some(j) = &shared.journal {
+        let mut jr = j.lock();
+        if jr.writer.flush().is_err() {
+            shared.stats.journal_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        JournalState::sync_counters(&shared.stats, &jr.writer);
+    }
+}
+
+/// Deliver a terminal outcome through [`send_reply`], acknowledging the
+/// admission journal first unless the delivery turns out to be a hedge
+/// race's losing reply. Every worker-side terminal site goes through here;
+/// with the journal disabled it is exactly [`send_reply`].
+pub(crate) fn settle(shared: &Shared, idem_key: u64, reply: &ReplySender, result: Result<Response, ServeError>) -> Delivery {
+    match &shared.journal {
+        None => send_reply(&shared.stats, reply, result),
+        Some(j) => {
+            let for_ack = result.clone();
+            let delivery = send_reply(&shared.stats, reply, result);
+            if delivery != Delivery::Duplicate {
+                j.acknowledge(&shared.stats, idem_key, reply.request_id(), &for_ack);
+            }
+            delivery
+        }
+    }
+}
+
 pub(crate) struct Shared {
     pub(crate) config: ServeConfig,
     pub(crate) models: RwLock<Vec<ModelEntry>>,
@@ -457,6 +648,9 @@ pub(crate) struct Shared {
     pub(crate) stats: Stats,
     pub(crate) watchdog: Watchdog,
     pub(crate) started: Instant,
+    /// The crash-durability journal; `None` (the default) keeps every
+    /// admission path byte-identical to a journal-less server.
+    pub(crate) journal: Option<JournalState>,
 }
 
 /// A sharded, batching inference server over the cycle-accurate simulator.
@@ -476,7 +670,45 @@ impl Server {
     /// plus the batch watchdog thread when `watchdog_slack` is enabled.
     #[must_use]
     pub fn start(config: ServeConfig) -> Self {
+        Self::start_inner(config, None)
+    }
+
+    /// Start the server with a crash-durability journal at
+    /// `journal.path`. Recovers the journal first: replays the file
+    /// (tolerating a torn tail), rebuilds the redelivery dedup table from
+    /// acknowledged successes, compacts live state into a fresh file, and
+    /// parks admitted-but-unacknowledged requests until the caller has
+    /// re-registered its models (in the same order as the previous
+    /// process) and calls [`Server::replay_recovered`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Journal`] if the journal file exists but does not
+    /// start with the journal magic, or on I/O failure while reading,
+    /// compacting or reopening it.
+    pub fn start_with_journal(config: ServeConfig, journal: JournalConfig) -> Result<(Self, RecoveryReport), ServeError> {
+        let recovery = journal::recover(&journal).map_err(|e| ServeError::Journal { message: e.to_string() })?;
+        let report = recovery.report;
+        let state = JournalState {
+            inner: Mutex::new(JournalRuntime {
+                writer: recovery.writer,
+                dedup: recovery.dedup,
+                reserved: HashMap::new(),
+                stash: recovery.admits,
+            }),
+        };
+        let server = Self::start_inner(config, Some(state));
+        server
+            .shared
+            .stats
+            .journal_replayed
+            .store(report.replayed as u64, Ordering::Relaxed);
+        Ok((server, report))
+    }
+
+    fn start_inner(config: ServeConfig, journal: Option<JournalState>) -> Self {
         let shared = Arc::new(Shared {
+            journal,
             stats: Stats::new(config.workers, config.max_batch),
             models: RwLock::new(Vec::new()),
             queue: Mutex::new(QueueState {
@@ -605,6 +837,40 @@ impl Server {
         deadline: Option<Duration>,
         class: Priority,
     ) -> Result<Ticket, ServeError> {
+        self.submit_inner(model, input, deadline, class, 0, 0)
+    }
+
+    /// Submit with a client-supplied idempotency key (`0` = none). With
+    /// the journal enabled and a non-zero key, the key makes the request
+    /// exactly-once across process crashes and client retries: a retry of
+    /// a completed request is redelivered bit-exact from the dedup table
+    /// (without executing), and a retry racing an in-flight execution
+    /// parks on it and shares its terminal outcome. Without a journal the
+    /// key is ignored and this is exactly [`Server::submit_with_priority`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit_with_priority`].
+    pub fn submit_idem(
+        &self,
+        model: ModelId,
+        input: Tensor,
+        deadline: Option<Duration>,
+        class: Priority,
+        idem_key: u64,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(model, input, deadline, class, idem_key, 0)
+    }
+
+    fn submit_inner(
+        &self,
+        model: ModelId,
+        input: Tensor,
+        deadline: Option<Duration>,
+        class: Priority,
+        idem_key: u64,
+        supersedes: u64,
+    ) -> Result<Ticket, ServeError> {
         let shared = &self.shared;
         let uncached = {
             let models = shared.models.read().unwrap_or_else(PoisonError::into_inner);
@@ -626,8 +892,72 @@ impl Server {
             shared.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::DeadlineExceeded);
         }
-        let now = Instant::now();
         let (tx, ticket) = reply_pair();
+        let journaled = idem_key != 0 && shared.journal.is_some();
+        if journaled {
+            let j = shared.journal.as_ref().expect("journaled implies journal");
+            let mut jr = j.lock();
+            // A recovery resubmit acks the admit it supersedes in the same
+            // critical section as whichever path it takes, so the old
+            // record stops replaying no matter where a crash lands.
+            if let Some(entry) = jr.dedup.get(idem_key) {
+                // Completed before: redeliver the remembered bits without
+                // executing.
+                shared.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                let response = redelivery_response(entry);
+                append_superseding_ack(&shared.stats, &mut jr, idem_key, supersedes);
+                drop(jr);
+                let _ = tx.send(Ok(response));
+                return Ok(ticket);
+            }
+            if let Some(res) = jr.reserved.get_mut(&idem_key) {
+                // In flight under the same key: park on the owning
+                // execution and share its terminal outcome.
+                res.waiters.push(tx);
+                append_superseding_ack(&shared.stats, &mut jr, idem_key, supersedes);
+                return Ok(ticket);
+            }
+            // First sighting of this key: reserve it provisionally so a
+            // concurrent retry parks instead of double-executing. Admission
+            // failure below rolls this back.
+            jr.reserved.insert(
+                idem_key,
+                Reservation {
+                    request_id: 0,
+                    waiters: Vec::new(),
+                },
+            );
+        }
+        let result = self.admit_queued(model, input, deadline, class, idem_key, supersedes, uncached, tx, ticket);
+        if journaled {
+            if let Err(e) = &result {
+                let j = shared.journal.as_ref().expect("journaled implies journal");
+                j.abort_reservation(idem_key, e);
+            }
+        }
+        result
+    }
+
+    /// The queue-lock half of admission: everything from the shutdown /
+    /// degraded / brownout / capacity gates through enqueue, plus the
+    /// journal's Admit append (under both locks, queue then journal, so a
+    /// worker cannot dequeue a request whose admit record is not yet at
+    /// least buffered).
+    #[allow(clippy::too_many_arguments)]
+    fn admit_queued(
+        &self,
+        model: ModelId,
+        input: Tensor,
+        deadline: Option<Duration>,
+        class: Priority,
+        idem_key: u64,
+        supersedes: u64,
+        uncached: bool,
+        tx: ReplySender,
+        ticket: Ticket,
+    ) -> Result<Ticket, ServeError> {
+        let shared = &self.shared;
+        let now = Instant::now();
         let mut q = supervisor::lock_queue(shared);
         if !q.open {
             shared.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
@@ -688,8 +1018,9 @@ impl Server {
                 Some(victim) => {
                     shared.stats.priority_evictions.fetch_add(1, Ordering::Relaxed);
                     shared.stats.overload_sheds[victim.class.index()].fetch_add(1, Ordering::Relaxed);
-                    send_reply(
-                        &shared.stats,
+                    settle(
+                        shared,
+                        victim.idem_key,
                         &victim.reply,
                         Err(ServeError::Overloaded {
                             level,
@@ -705,6 +1036,15 @@ impl Server {
                 }
             }
         }
+        // Capture the journal record's payload before `input` moves into
+        // the queue; the append itself happens after `admit` succeeds, but
+        // still under the queue lock, so no worker can execute a request
+        // whose admit record is not yet buffered in the journal.
+        let journal_payload = (idem_key != 0 && shared.journal.is_some()).then(|| {
+            let (c, h, w) = input.shape();
+            ((clamp_u16(c), clamp_u16(h), clamp_u16(w)), input.as_slice().to_vec())
+        });
+        let request_id = tx.request_id();
         q.admit(
             &shared.stats,
             shared.config.queue_capacity,
@@ -716,9 +1056,32 @@ impl Server {
                 reply: tx,
                 attempts: 0,
                 integrity_hit: false,
+                idem_key,
                 class,
             },
         );
+        if let Some((shape, words)) = journal_payload {
+            let j = shared.journal.as_ref().expect("payload implies journal");
+            let mut jr = j.lock();
+            if let Some(res) = jr.reserved.get_mut(&idem_key) {
+                res.request_id = request_id;
+            }
+            let deadline_ms = deadline.map_or(0, |d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX));
+            let admit = Record::Admit {
+                request_id,
+                idem_key,
+                model: u32::try_from(model.0).unwrap_or(u32::MAX),
+                class: class.index() as u8,
+                deadline_ms,
+                shape,
+                words,
+            };
+            if jr.writer.append(&admit).is_err() {
+                shared.stats.journal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            append_superseding_ack(&shared.stats, &mut jr, idem_key, supersedes);
+            JournalState::sync_counters(&shared.stats, &jr.writer);
+        }
         drop(q);
         shared.ready.notify_one();
         Ok(ticket)
@@ -768,6 +1131,97 @@ impl Server {
         self.shared.stats.register_tenant(name)
     }
 
+    /// Flush and fsync any buffered journal records. A no-op without a
+    /// journal. Front-ends call this at the top of a graceful drain so
+    /// every admitted-but-buffered record is durable before the last
+    /// `Bye` goes out.
+    pub fn flush_journal(&self) {
+        flush_journal_shared(&self.shared);
+    }
+
+    /// Re-enqueue the admitted-but-unacknowledged requests recovered from
+    /// the journal at [`Server::start_with_journal`]. Call after
+    /// re-registering models **in the same order** as the crashed process
+    /// (journal records carry model *ids*, not names). Each replayed
+    /// request goes back through full admission under a fresh request id;
+    /// the new admit record supersedes the recovered one, so a second
+    /// crash replays each request exactly once more, never twice. Returns
+    /// the number of requests re-enqueued.
+    ///
+    /// # Errors
+    ///
+    /// The first admission error aborts the replay and is returned;
+    /// requests not yet replayed stay parked (and stay journaled), so a
+    /// later call — or the next recovery — still sees them.
+    pub fn replay_recovered(&self) -> Result<usize, ServeError> {
+        let Some(j) = &self.shared.journal else {
+            return Ok(0);
+        };
+        let stash = std::mem::take(&mut j.lock().stash);
+        let mut replayed = 0usize;
+        for (i, admit) in stash.iter().enumerate() {
+            let class = Priority::from_index((admit.class as usize).min(CLASSES - 1));
+            let outcome = self.submit_inner(
+                ModelId(admit.model as usize),
+                admit.tensor(),
+                None,
+                class,
+                admit.idem_key,
+                admit.request_id,
+            );
+            match outcome {
+                Ok(_ticket) => replayed += 1,
+                Err(e) => {
+                    j.lock().stash.extend(stash[i..].iter().cloned());
+                    return Err(e);
+                }
+            }
+        }
+        Ok(replayed)
+    }
+
+    /// Simulated process crash: sever the journal writer mid-buffer (the
+    /// first `torn_bytes` of any unflushed records reach the file, torn),
+    /// then tear the process state down the way a kill would — queued and
+    /// in-flight requests are dropped without replies, nothing is drained,
+    /// nothing further is journaled. The crash soak uses this to exercise
+    /// recovery; the returned snapshot is for the *dead* process's
+    /// counters only.
+    pub fn hard_crash(self, torn_bytes: usize) -> StatsSnapshot {
+        if let Some(j) = &self.shared.journal {
+            let mut jr = j.lock();
+            if jr.writer.sever(torn_bytes).is_err() {
+                self.shared.stats.journal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            JournalState::sync_counters(&self.shared.stats, &jr.writer);
+            jr.reserved.clear();
+        }
+        {
+            let mut q = supervisor::lock_queue(&self.shared);
+            q.open = false;
+            // Drop every queued request silently: their senders die here,
+            // so stray tickets observe `WorkerLost`, exactly as a real
+            // kill would look from outside the process.
+            for per_model in &mut q.queues {
+                for queue in per_model.iter_mut() {
+                    queue.clear();
+                }
+            }
+            q.class_totals = [0; CLASSES];
+            q.total = 0;
+            q.inflight.clear();
+        }
+        self.shared.ready.notify_all();
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+        self.shared.watchdog.shutdown();
+        if let Some(handle) = self.watchdog {
+            let _ = handle.join();
+        }
+        self.shared.stats.snapshot(self.shared.started.elapsed(), 0)
+    }
+
     /// Graceful shutdown: stop admitting, let the workers drain every
     /// queued request (batching as usual), join them, and return the final
     /// statistics — including how each worker thread ended
@@ -797,7 +1251,7 @@ impl Server {
             for queue in per_model.iter_mut() {
                 while let Some(p) = queue.pop_front() {
                     self.shared.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
-                    send_reply(&self.shared.stats, &p.reply, Err(ServeError::ShuttingDown));
+                    settle(&self.shared, p.idem_key, &p.reply, Err(ServeError::ShuttingDown));
                 }
             }
         }
@@ -808,6 +1262,10 @@ impl Server {
         q.inflight.clear();
         let depth = q.total;
         drop(q);
+        // Every queued request has now reached a terminal outcome and been
+        // acknowledged; flushing leaves the journal fully acked, so a
+        // clean shutdown is always a zero-replay restart.
+        flush_journal_shared(&self.shared);
         let mut snap = self.shared.stats.snapshot(self.shared.started.elapsed(), depth);
         snap.cache_hits = self.shared.cache.hits();
         snap.cache_misses = self.shared.cache.misses();
@@ -968,7 +1426,7 @@ pub(crate) fn next_work(shared: &Shared, worker: usize, hedge_threshold: Option<
                     let p = q.queues[m][c].pop_front().expect("front checked");
                     q.debit(c, 1);
                     shared.stats.rejected_deadline.fetch_add(1, Ordering::Relaxed);
-                    send_reply(&shared.stats, &p.reply, Err(ServeError::DeadlineExceeded));
+                    settle(shared, p.idem_key, &p.reply, Err(ServeError::DeadlineExceeded));
                 }
                 if q.queues[m][c].is_empty() {
                     continue;

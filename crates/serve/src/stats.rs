@@ -191,6 +191,25 @@ pub(crate) struct Stats {
     shard_dead: Vec<AtomicBool>,
     /// Per-shard breaker state gauge (the [`BreakerState`] dense index).
     breaker_state: Vec<AtomicU64>,
+    /// Records appended to the admission journal (admits + acks). These
+    /// six journal counters are mirrored from the writer's monotone totals
+    /// under the journal lock (`Relaxed` stores), so they are all zero on
+    /// a journal-less server by construction.
+    pub journal_appends: AtomicU64,
+    /// fsync batches the journal writer issued.
+    pub journal_fsyncs: AtomicU64,
+    /// Journal bytes made durable (fsynced file length).
+    pub journal_bytes: AtomicU64,
+    /// Admitted-but-unacknowledged requests replayed at recovery.
+    pub journal_replayed: AtomicU64,
+    /// Journal I/O failures absorbed at runtime (append/flush/sever).
+    pub journal_errors: AtomicU64,
+    /// Requests answered from the idempotency dedup table (redelivery of a
+    /// remembered outcome, or a duplicate parked on the owning execution).
+    pub dedup_hits: AtomicU64,
+    /// Times two executions completed the same idempotency key — the
+    /// exactly-once invariant failing. The crash soak gates on zero.
+    pub duplicate_executions: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
     /// Batch *execution* times (dequeue to reply), feeding the hedge
     /// threshold quantile — distinct from `latency`, which includes queueing.
@@ -244,6 +263,13 @@ impl Stats {
             cross_check_failed: AtomicU64::new(0),
             shard_dead: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             breaker_state: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            journal_appends: AtomicU64::new(0),
+            journal_fsyncs: AtomicU64::new(0),
+            journal_bytes: AtomicU64::new(0),
+            journal_replayed: AtomicU64::new(0),
+            journal_errors: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            duplicate_executions: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             exec_latency: std::array::from_fn(|_| AtomicU64::new(0)),
             batch_hist: (0..=max_batch).map(|_| AtomicU64::new(0)).collect(),
@@ -492,6 +518,13 @@ impl Stats {
             canary_runs: self.canary_runs.load(Ordering::Relaxed),
             canary_failed: self.canary_failed.load(Ordering::Relaxed),
             watchdog_preemptions: self.watchdog_preemptions.load(Ordering::Relaxed),
+            journal_appends: self.journal_appends.load(Ordering::Relaxed),
+            journal_fsyncs: self.journal_fsyncs.load(Ordering::Relaxed),
+            journal_bytes: self.journal_bytes.load(Ordering::Relaxed),
+            journal_replayed: self.journal_replayed.load(Ordering::Relaxed),
+            journal_errors: self.journal_errors.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            duplicate_executions: self.duplicate_executions.load(Ordering::Relaxed),
             shard_health_score: (0..self.health_score.len()).map(|w| self.health_score(w)).collect(),
             ns_per_cycle: std::array::from_fn(|t| self.ns_per_cycle(BackendTier::ALL[t]).unwrap_or(0.0)),
             cycles_charged: std::array::from_fn(|t| self.cycles_charged[t].load(Ordering::Relaxed)),
@@ -603,6 +636,24 @@ pub struct StatsSnapshot {
     /// Batches preempted by the liveness layer (the watchdog cancelling a
     /// stuck run, or a run exceeding its cycle budget).
     pub watchdog_preemptions: u64,
+    /// Records appended to the admission journal (admits + acks); zero on
+    /// a journal-less server.
+    pub journal_appends: u64,
+    /// fsync batches the journal writer issued.
+    pub journal_fsyncs: u64,
+    /// Journal bytes made durable (fsynced file length).
+    pub journal_bytes: u64,
+    /// Admitted-but-unacknowledged requests recovered from the journal at
+    /// startup (set by [`Server::start_with_journal`](crate::Server::start_with_journal)).
+    pub journal_replayed: u64,
+    /// Journal I/O failures absorbed at runtime instead of failing requests.
+    pub journal_errors: u64,
+    /// Requests answered from the idempotency dedup table instead of
+    /// executing (bit-exact redelivery or parked duplicates).
+    pub dedup_hits: u64,
+    /// Times two executions completed the same idempotency key — the
+    /// exactly-once invariant failing. The crash soak gates on zero.
+    pub duplicate_executions: u64,
     /// Each shard's health EWMA in `[0, 1]` (1.0 = every batch on time;
     /// preemptions and gross slowdowns pull it down).
     pub shard_health_score: Vec<f64>,
@@ -858,6 +909,20 @@ impl std::fmt::Display for StatsSnapshot {
             self.cross_checks,
             self.cross_check_failed,
         )?;
+        if self.journal_appends > 0 || self.journal_replayed > 0 || self.dedup_hits > 0 || self.journal_errors > 0 {
+            writeln!(
+                f,
+                "journal:  {} appends, {} fsyncs, {} bytes durable; {} replayed, {} dedup hits, \
+                 {} duplicate executions, {} errors",
+                self.journal_appends,
+                self.journal_fsyncs,
+                self.journal_bytes,
+                self.journal_replayed,
+                self.dedup_hits,
+                self.duplicate_executions,
+                self.journal_errors,
+            )?;
+        }
         if !self.tenants.is_empty() {
             let tenants: Vec<String> = self
                 .tenants
@@ -1086,6 +1151,30 @@ mod tests {
         let snap = s.snapshot(Duration::from_secs(1), 0);
         assert_eq!(snap.watchdog_preemptions, 3);
         assert!(snap.to_string().contains("3 watchdog preemption(s)"));
+    }
+
+    #[test]
+    fn journal_counters_surface_only_when_active() {
+        let s = Stats::new(1, 4);
+        let quiet = s.snapshot(Duration::from_secs(1), 0);
+        assert_eq!(quiet.journal_appends, 0);
+        assert_eq!(quiet.dedup_hits, 0);
+        assert!(
+            !quiet.to_string().contains("journal:"),
+            "a journal-less server's stats never mention the journal"
+        );
+        s.journal_appends.store(7, Ordering::Relaxed);
+        s.journal_fsyncs.store(2, Ordering::Relaxed);
+        s.journal_bytes.store(640, Ordering::Relaxed);
+        s.journal_replayed.store(3, Ordering::Relaxed);
+        s.dedup_hits.fetch_add(1, Ordering::Relaxed);
+        let snap = s.snapshot(Duration::from_secs(1), 0);
+        assert_eq!(snap.journal_appends, 7);
+        assert_eq!(snap.journal_replayed, 3);
+        assert_eq!(snap.duplicate_executions, 0);
+        let text = snap.to_string();
+        assert!(text.contains("journal:  7 appends, 2 fsyncs, 640 bytes durable"));
+        assert!(text.contains("3 replayed, 1 dedup hits, 0 duplicate executions"));
     }
 
     #[test]

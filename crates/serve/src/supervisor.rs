@@ -35,8 +35,8 @@ use crate::error::{RetryClass, ServeError};
 use crate::overload::{self, BreakerDecision, BreakerEvent, CircuitBreaker};
 use crate::retry;
 use crate::server::{
-    next_work, register_inflight, remove_inflight, send_reply, Delivery, ModelEntry, ModelId, Pending, QueueState, Response,
-    Shared, Work,
+    next_work, register_inflight, remove_inflight, settle, Delivery, ModelEntry, ModelId, Pending, QueueState, Response, Shared,
+    Work,
 };
 use crate::stats::WorkerExit;
 
@@ -381,7 +381,12 @@ pub(crate) fn mark_shard_dead(shared: &Shared, worker: usize) {
             for queue in per_model.iter_mut() {
                 while let Some(p) = queue.pop_front() {
                     shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
-                    send_reply(&shared.stats, &p.reply, Err(ServeError::Degraded { healthy: 0, workers }));
+                    settle(
+                        shared,
+                        p.idem_key,
+                        &p.reply,
+                        Err(ServeError::Degraded { healthy: 0, workers }),
+                    );
                 }
             }
         }
@@ -401,7 +406,12 @@ pub(crate) fn requeue_or_fail(shared: &Shared, model: ModelId, pendings: Vec<Pen
     if q.healthy == 0 {
         for p in pendings {
             shared.stats.degraded_sheds.fetch_add(1, Ordering::Relaxed);
-            send_reply(&shared.stats, &p.reply, Err(ServeError::Degraded { healthy: 0, workers }));
+            settle(
+                shared,
+                p.idem_key,
+                &p.reply,
+                Err(ServeError::Degraded { healthy: 0, workers }),
+            );
         }
         return;
     }
@@ -627,8 +637,9 @@ fn run_hedge(shared: &Shared, shard: &mut Shard, model: ModelId, pendings: Vec<P
             let mut delivered_any = false;
             for (p, output) in live.into_iter().zip(outputs) {
                 let latency = done.duration_since(p.enqueued);
-                let delivery = send_reply(
-                    &shared.stats,
+                let delivery = settle(
+                    shared,
+                    p.idem_key,
                     &p.reply,
                     Ok(Response {
                         output,

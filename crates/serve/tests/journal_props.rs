@@ -1,0 +1,164 @@
+//! Property tests for the admission-journal codec: round-trip fidelity
+//! for arbitrary record sequences, torn-tail recovery that stops at the
+//! last whole record, and single-bit-flip detection that quarantines only
+//! the flipped record's suffix — never a silently different record.
+
+use npcgra_serve::journal::{encode_record, replay_bytes, JournalError, Record, TailState, JOURNAL_MAGIC};
+use proptest::prelude::*;
+
+/// Arbitrary admit records (shapes kept small; the word vector is derived
+/// from the shape, as the writer guarantees).
+fn arb_admit() -> impl Strategy<Value = Record> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u32>(), 0u8..3, any::<u32>()),
+        (1u16..4, 1u16..5, 1u16..5),
+        any::<i16>(),
+    )
+        .prop_map(|((request_id, idem_key, model, class, deadline_ms), (c, h, w), seed)| {
+            let n = c as usize * h as usize * w as usize;
+            Record::Admit {
+                request_id,
+                idem_key,
+                model,
+                class,
+                deadline_ms,
+                shape: (c, h, w),
+                words: (0..n).map(|i| seed.wrapping_add(i as i16)).collect(),
+            }
+        })
+}
+
+/// Arbitrary ack records, with and without a remembered outcome.
+fn arb_ack() -> impl Strategy<Value = Record> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+        (1u16..4, 1u16..4, 1u16..4),
+        any::<i16>(),
+    )
+        .prop_map(|(request_id, idem_key, with_outcome, (c, h, w), seed)| Record::Ack {
+            request_id,
+            idem_key,
+            outcome: with_outcome.then(|| {
+                let n = c as usize * h as usize * w as usize;
+                ((c, h, w), (0..n).map(|i| seed.wrapping_sub(i as i16)).collect())
+            }),
+        })
+}
+
+fn arb_records() -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec(prop_oneof![arb_admit(), arb_ack()], 0..8)
+}
+
+/// A full journal image: magic header plus each record's framed encoding,
+/// with the frame boundaries returned for the truncation properties.
+fn journal_image(records: &[Record]) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = JOURNAL_MAGIC.to_vec();
+    let mut boundaries = vec![bytes.len()];
+    for r in records {
+        bytes.extend_from_slice(&encode_record(r));
+        boundaries.push(bytes.len());
+    }
+    (bytes, boundaries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every record sequence round-trips bit-exactly, however the records
+    /// were chunked into append batches (framing is per record, so batch
+    /// boundaries are invisible to replay — asserted by replaying the one
+    /// concatenated image any batching would produce).
+    #[test]
+    fn roundtrip_any_record_sequence(records in arb_records()) {
+        let (bytes, _) = journal_image(&records);
+        let outcome = replay_bytes(&bytes).expect("well-formed image");
+        prop_assert_eq!(outcome.records, records);
+        prop_assert_eq!(outcome.tail, TailState::Clean);
+    }
+
+    /// Truncating the file at any byte (a crash mid-write) recovers
+    /// exactly the records whose frames fit entirely before the cut — the
+    /// longest whole-record prefix — and reports the ragged remainder as
+    /// a torn tail, never an error.
+    #[test]
+    fn truncated_tail_stops_at_last_whole_record(records in arb_records(), cut in any::<usize>()) {
+        let (bytes, boundaries) = journal_image(&records);
+        let keep = JOURNAL_MAGIC.len() + cut % (bytes.len() - JOURNAL_MAGIC.len() + 1);
+        let outcome = replay_bytes(&bytes[..keep]).expect("truncation is tolerated");
+        let whole = boundaries.iter().filter(|&&b| b <= keep).count() - 1;
+        prop_assert_eq!(outcome.records.len(), whole, "must recover the longest whole-record prefix");
+        prop_assert_eq!(&outcome.records[..], &records[..whole]);
+        let at_boundary = boundaries.contains(&keep);
+        prop_assert_eq!(
+            outcome.tail == TailState::Clean,
+            at_boundary,
+            "tail is clean iff the cut lands on a record boundary"
+        );
+    }
+
+    /// Any single bit flip past the magic is detected: replay still
+    /// succeeds, recovers a bit-exact prefix of the original records (at
+    /// most everything before the flipped frame), and quarantines or
+    /// tears the rest — it never yields a record sequence that diverges
+    /// from a prefix of what was written. A flip inside the magic is the
+    /// one unrecoverable case, surfaced as [`JournalError::BadMagic`].
+    #[test]
+    fn bit_flip_quarantines_only_the_suffix(records in arb_records(), bit in any::<usize>()) {
+        let (mut bytes, boundaries) = journal_image(&records);
+        let target = bit % (bytes.len() * 8);
+        bytes[target / 8] ^= 1 << (target % 8);
+        if target / 8 < JOURNAL_MAGIC.len() {
+            prop_assert!(matches!(replay_bytes(&bytes), Err(JournalError::BadMagic)));
+            return Ok(());
+        }
+        let outcome = replay_bytes(&bytes).expect("a flipped body never errors the replay");
+        // The flipped frame and everything after it are quarantined; the
+        // frames before it must survive bit-exact.
+        let flipped_frame = boundaries.iter().filter(|&&b| b <= target / 8).count() - 1;
+        prop_assert!(outcome.records.len() <= records.len());
+        prop_assert!(
+            outcome.records.len() >= flipped_frame.min(records.len()),
+            "a flip in frame {} lost earlier records ({} recovered)",
+            flipped_frame,
+            outcome.records.len()
+        );
+        prop_assert_eq!(
+            &outcome.records[..],
+            &records[..outcome.records.len()],
+            "recovered records must be a bit-exact prefix"
+        );
+        if outcome.records.len() < records.len() {
+            prop_assert!(outcome.tail != TailState::Clean, "lost records must be accounted as torn or corrupt");
+        }
+    }
+}
+
+/// Deterministic spot check riding alongside the properties: a checksum
+/// flip in the *last* record quarantines exactly that record.
+#[test]
+fn checksum_flip_in_last_record_quarantines_it_alone() {
+    let records = vec![
+        Record::Ack {
+            request_id: 1,
+            idem_key: 9,
+            outcome: None,
+        },
+        Record::Admit {
+            request_id: 2,
+            idem_key: 10,
+            model: 0,
+            class: 0,
+            deadline_ms: 0,
+            shape: (1, 1, 2),
+            words: vec![3, -4],
+        },
+    ];
+    let (mut bytes, _) = journal_image(&records);
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x80;
+    let outcome = replay_bytes(&bytes).unwrap();
+    assert_eq!(outcome.records, records[..1]);
+    assert!(matches!(outcome.tail, TailState::Corrupt { bytes } if bytes > 0));
+}

@@ -44,10 +44,10 @@ for b in table1 table3 table5 table6 fig12 fig_schedules fig_layouts \
   cargo run --release -q -p npcgra-eval --bin "$b" >/dev/null
 done
 
-echo "== serve-bench smoke run (both tiers + wire path, archived to BENCH_serve.json) =="
+echo "== serve-bench smoke run (both tiers + wire path + journal cost, archived to BENCH_serve.json) =="
 cargo run --release -q -p npcgra-cli -- serve-bench \
   --machine 4x4 --workers 4 --clients 8 --requests 80 \
-  --tier both --net --net-conns 4 --emit-json BENCH_serve.json >/dev/null
+  --tier both --net --net-conns 4 --journal --emit-json BENCH_serve.json >/dev/null
 
 echo "== chaos soak (fault injection + worker panic must be survived) =="
 cargo run --release -q -p npcgra-cli -- chaos-bench \
@@ -95,6 +95,15 @@ echo "== net soak (2x wire capacity over 500+ connections + slow-loris/malformed
 # weakening the no-lost/no-wrong/every-attacker-caught gates.
 cargo run --release -q -p npcgra-cli -- chaos-bench --net \
   --machine 4x4 --workers 4 --seconds 4 --slo-ms 400 --assert-slo >/dev/null
+
+echo "== crash soak (journaled core hard-killed; keys must survive exactly-once) =="
+# The net soak above stays the no-journal control for the wire path; this
+# gate hard-kills the journaled core three times under keyed load and
+# fails unless nothing admitted is lost, nothing executes twice, every
+# reply is bit-exact, and the journal-off control phase shows the journal
+# is inert when disabled.
+cargo run --release -q -p npcgra-cli -- chaos-bench --crash \
+  --machine 4x4 --workers 4 --assert-durability >/dev/null
 
 echo "== benches (quick pass) =="
 cargo bench -p npcgra-bench >/dev/null
